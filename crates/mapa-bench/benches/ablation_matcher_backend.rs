@@ -1,0 +1,45 @@
+//! Criterion ablation — VF2 vs Ullmann vs brute force subgraph matching.
+//!
+//! The paper builds its matching stage on Peregrine; we implement VF2-style
+//! search (default), Ullmann's bit-matrix algorithm, and a brute-force
+//! reference. This bench quantifies the gap on MAPA-shaped inputs
+//! (ring patterns into complete 8/16-vertex hardware graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapa_graph::PatternGraph;
+use mapa_isomorph::{Backend, MatchOptions, Matcher};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher_backend");
+    group.sample_size(20);
+    let cases = [
+        ("ring4_into_k8", PatternGraph::ring(4), PatternGraph::all_to_all(8)),
+        ("ring5_into_k8", PatternGraph::ring(5), PatternGraph::all_to_all(8)),
+        ("ring5_into_k16", PatternGraph::ring(5), PatternGraph::all_to_all(16)),
+        ("tree5_into_k8", PatternGraph::binary_tree(5), PatternGraph::all_to_all(8)),
+    ];
+    for (name, pattern, data) in &cases {
+        for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
+            // Brute force on K16 is too slow for a tight loop.
+            if *name == "ring5_into_k16" && backend == Backend::BruteForce {
+                continue;
+            }
+            let matcher = Matcher::new(MatchOptions { backend, ..MatchOptions::default() });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend:?}"), name),
+                &(pattern, data),
+                |b, (p, d)| {
+                    b.iter(|| {
+                        let found = matcher.find(black_box(*p), black_box(*d)).unwrap();
+                        black_box(found.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation — offered load vs policy benefit.
+//!
+//! The paper's batch job file keeps the DGX saturated, which limits how
+//! much placement freedom any policy has. Real multi-tenant traces
+//! (Philly) arrive over time. Sweeping Poisson arrival rates shows where
+//! MAPA's benefit peaks: at moderate load the machine has slack and the
+//! Preserve policy's choices bite hardest; at saturation every policy is
+//! forced into whatever just freed.
+
+use mapa_bench::{banner, mean};
+use mapa_core::policy::{AllocationPolicy, BaselinePolicy, PreservePolicy};
+use mapa_sim::{stats, ArrivalProcess, JobRecord, SimConfig, Simulation};
+use mapa_topology::machines;
+use mapa_workloads::generator;
+
+fn p75_sensitive(report: &mapa_sim::SimReport) -> f64 {
+    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
+    stats::summarize(&report.execution_times(sens)).p75
+}
+
+fn main() {
+    banner(
+        "Ablation: offered load (Poisson arrivals) vs Preserve benefit",
+        "extension of paper §4 (batch arrivals) toward Philly-style traces",
+    );
+    let dgx = machines::dgx1_v100();
+    let seeds = [1u64, 2, 3];
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "arrival process", "baseline p75", "Preserve p75", "speedup"
+    );
+    let loads: Vec<(&str, Option<f64>)> = vec![
+        ("batch (paper)", None),
+        ("Poisson mean 30 s", Some(30.0)),
+        ("Poisson mean 90 s", Some(90.0)),
+        ("Poisson mean 180 s", Some(180.0)),
+        ("Poisson mean 400 s", Some(400.0)),
+    ];
+    for (name, mean_gap) in loads {
+        let mut base_p75 = Vec::new();
+        let mut pres_p75 = Vec::new();
+        for &seed in &seeds {
+            let jobs = generator::paper_job_mix(seed);
+            let config = match mean_gap {
+                None => SimConfig::default(),
+                Some(g) => SimConfig {
+                    arrivals: ArrivalProcess::Poisson { mean_gap: g, seed },
+                    ..SimConfig::default()
+                },
+            };
+            for (policy, out) in [
+                (Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>, &mut base_p75),
+                (Box::new(PreservePolicy) as Box<dyn AllocationPolicy>, &mut pres_p75),
+            ] {
+                let rep = Simulation::new(dgx.clone(), policy)
+                    .with_config(config.clone())
+                    .run(&jobs);
+                out.push(p75_sensitive(&rep));
+            }
+        }
+        let b = mean(&base_p75);
+        let p = mean(&pres_p75);
+        println!("{name:<22} {b:>14.0} {p:>14.0} {:>10.3}", b / p);
+    }
+    println!(
+        "\nreading: the speedup column peaks at moderate load — MAPA's benefit \
+         is largest when the scheduler has real choices, and the batch row is \
+         the (conservative) configuration all paper-facing numbers use."
+    );
+}

@@ -1,0 +1,57 @@
+//! Ablation — how much do the bandwidth-sensitivity annotations matter?
+//!
+//! The Preserve policy consumes a per-job `bandwidth_sensitive` flag that
+//! the paper assumes "is known and already annotated" (§3.5). This
+//! ablation re-runs the same mixes with the annotation (a) correct,
+//! (b) inverted, (c) all-sensitive, (d) all-insensitive.
+
+use mapa_bench::{banner, summary_header, summary_row, EVAL_SEEDS};
+use mapa_core::policy::PreservePolicy;
+use mapa_sim::{stats, Simulation};
+use mapa_topology::machines;
+use mapa_workloads::{generator, JobSpec};
+
+fn relabel(jobs: &[JobSpec], f: impl Fn(bool) -> bool) -> Vec<JobSpec> {
+    jobs.iter()
+        .map(|j| JobSpec { bandwidth_sensitive: f(j.bandwidth_sensitive), ..j.clone() })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Ablation: Preserve under oracle / inverted / constant annotations",
+        "DESIGN.md ablation #4 (paper §3.5 annotation assumption)",
+    );
+    let dgx = machines::dgx1_v100();
+    type Relabeler = Box<dyn Fn(bool) -> bool>;
+    let variants: Vec<(&str, Relabeler)> = vec![
+        ("oracle", Box::new(|s| s)),
+        ("inverted", Box::new(|s: bool| !s)),
+        ("all-sensitive", Box::new(|_| true)),
+        ("all-insensitive", Box::new(|_| false)),
+    ];
+
+    println!(
+        "execution time of TRULY sensitive multi-GPU jobs (s), pooled over {} seeds:\n",
+        EVAL_SEEDS.len()
+    );
+    println!("{}", summary_header("annotation"));
+    for (name, relabeler) in &variants {
+        let mut times = Vec::new();
+        for &seed in &EVAL_SEEDS {
+            let jobs = generator::paper_job_mix(seed);
+            let labeled = relabel(&jobs, relabeler);
+            let rep = Simulation::new(dgx.clone(), Box::new(PreservePolicy)).run(&labeled);
+            // Evaluate against the TRUE sensitivity, regardless of label.
+            times.extend(rep.execution_times(|r| {
+                r.job.workload.is_bandwidth_sensitive() && r.job.num_gpus >= 2
+            }));
+        }
+        println!("{}", summary_row(name, &stats::summarize(&times)));
+    }
+    println!(
+        "\nexpected: oracle annotations give the best sensitive-job tail; \
+         inverting them parks sensitive jobs on preservation picks and \
+         insensitive jobs on the fast links — the worst of both."
+    );
+}

@@ -1,0 +1,44 @@
+//! Criterion ablation — symmetry breaking on vs off.
+//!
+//! Peregrine's core trick (which MAPA inherits) is enumerating one match
+//! per automorphism class instead of every vertex mapping. For a 5-ring
+//! (10 automorphisms) that is a 10× reduction in matches to score; this
+//! bench measures the end-to-end matcher speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapa_graph::PatternGraph;
+use mapa_isomorph::{DedupMode, MatchOptions, Matcher};
+use std::hint::black_box;
+
+fn bench_symmetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_breaking");
+    group.sample_size(20);
+    let cases = [
+        ("ring4_into_k8", PatternGraph::ring(4), PatternGraph::all_to_all(8)),
+        ("ring5_into_k8", PatternGraph::ring(5), PatternGraph::all_to_all(8)),
+        ("ring6_into_k10", PatternGraph::ring(6), PatternGraph::all_to_all(10)),
+        ("alltoall4_into_k8", PatternGraph::all_to_all(4), PatternGraph::all_to_all(8)),
+    ];
+    for (name, pattern, data) in &cases {
+        for (mode_name, dedup) in [
+            ("canonical", DedupMode::CanonicalOnly),
+            ("all_mappings", DedupMode::AllMappings),
+        ] {
+            let matcher = Matcher::new(MatchOptions { dedup, ..MatchOptions::default() });
+            group.bench_with_input(
+                BenchmarkId::new(mode_name, name),
+                &(pattern, data),
+                |b, (p, d)| {
+                    b.iter(|| {
+                        let found = matcher.find(black_box(*p), black_box(*d)).unwrap();
+                        black_box(found.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symmetry);
+criterion_main!(benches);

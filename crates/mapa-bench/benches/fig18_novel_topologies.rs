@@ -1,0 +1,51 @@
+//! Fig. 18 — novel 16-GPU topologies: predicted EffBW distributions for
+//! bandwidth-sensitive workloads on Torus-2d and Cube-mesh.
+//!
+//! Expected shape (per the paper): Preserve lifts the lower tail — its MIN
+//! reaches the other policies' 25th percentile; on the irregular Cube-mesh
+//! the gap widens ("as hardware topologies scale and become more complex
+//! and non-uniform, the greater the need for pattern-aware policies").
+
+use mapa_bench::{banner, summary_header, summary_row};
+use mapa_sim::{experiment, stats};
+use mapa_topology::machines;
+use mapa_workloads::generator;
+
+fn main() {
+    banner(
+        "Fig. 18: 16-GPU Torus-2d and Cube-mesh, sensitive workloads",
+        "paper Fig. 18(a)/(b)",
+    );
+    for topology in [machines::torus_2d(), machines::cube_mesh()] {
+        println!("\n=== {} ===", topology.name());
+        let jobs = generator::paper_job_mix(3);
+        let cmp = experiment::compare_policies(&topology, &jobs);
+        println!("predicted EffBW of BW-sensitive multi-GPU jobs (GB/s):");
+        println!("{}", summary_header("policy"));
+        let mut mins = Vec::new();
+        let mut p25s = Vec::new();
+        for rep in &cmp.reports {
+            let bws =
+                rep.predicted_eff_bws(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+            let s = stats::summarize(&bws);
+            println!("{}", summary_row(&rep.policy_name, &s));
+            mins.push((rep.policy_name.clone(), s.min));
+            p25s.push((rep.policy_name.clone(), s.p25));
+        }
+        let preserve_min = mins.iter().find(|(n, _)| n == "Preserve").unwrap().1;
+        let baseline_p25 = p25s.iter().find(|(n, _)| n == "baseline").unwrap().1;
+        println!(
+            "\nshape check: Preserve MIN ({preserve_min:.1}) vs baseline 25th \
+             percentile ({baseline_p25:.1}) — the paper has Preserve's MIN at \
+             or above the other policies' p25."
+        );
+
+        println!("\nexecution time of BW-sensitive multi-GPU jobs (s):");
+        println!("{}", summary_header("policy"));
+        for rep in &cmp.reports {
+            let times =
+                rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+            println!("{}", summary_row(&rep.policy_name, &stats::summarize(&times)));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 2a — all-reduce bandwidth vs transfer size for each link class.
+//!
+//! Paper protocol: NCCL all-reduce on DGX-1V GPU pairs (1,5) double NVLink,
+//! (1,2) single NVLink, (1,6) PCIe (1-indexed; 0-indexed (0,4)/(0,1)/(0,5)).
+//! Expected shape: each curve ramps up between 10⁵ and 10⁷ bytes, the
+//! relative order double > single > PCIe holds at every size, plateaus at
+//! ≈50 / ≈25 / ≈12 GB/s.
+
+use mapa_bench::{banner, sparkline};
+use mapa_interconnect::effbw;
+use mapa_topology::machines;
+
+fn main() {
+    banner(
+        "Fig. 2a: Bandwidth characterization (NCCL all-reduce vs size)",
+        "paper Fig. 2(a)",
+    );
+    let dgx = machines::dgx1_v100();
+    let pairs = [
+        ("NV2-Double (0,4)", vec![0usize, 4]),
+        ("NV2-Single (0,1)", vec![0, 1]),
+        ("PCIe       (0,5)", vec![0, 5]),
+    ];
+
+    print!("{:<18}", "bytes");
+    for (name, _) in &pairs {
+        print!(" {name:>18}");
+    }
+    println!();
+
+    let mut curves: Vec<Vec<f64>> = vec![vec![]; pairs.len()];
+    for exp in 4..=9 {
+        for frac in [0.0, 0.5] {
+            let bytes = 10f64.powf(exp as f64 + frac);
+            print!("{bytes:<18.0}");
+            for (i, (_, gpus)) in pairs.iter().enumerate() {
+                let bw = effbw::measure_at_size(&dgx, gpus, bytes);
+                curves[i].push(bw);
+                print!(" {bw:>18.2}");
+            }
+            println!();
+        }
+    }
+
+    println!();
+    for ((name, _), curve) in pairs.iter().zip(&curves) {
+        println!("{name:<18} {}  plateau {:.1} GB/s", sparkline(curve), curve.last().unwrap());
+    }
+    println!(
+        "\npaper plateaus: double ≈ 45–50, single ≈ 22–25, PCIe ≈ 10–12 GB/s; \
+         ramp between 1e5 and 1e7 bytes"
+    );
+}

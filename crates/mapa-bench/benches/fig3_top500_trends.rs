@@ -1,0 +1,26 @@
+//! Fig. 3 — Top500 accelerator and interconnect trends (survey data).
+
+use mapa_bench::banner;
+use mapa_topology::survey;
+
+fn main() {
+    banner(
+        "Fig. 3: Top500 accelerator-system trends (embedded survey data)",
+        "paper Fig. 3(a)/(b)",
+    );
+    println!(
+        "{:>6} {:>14} {:>16} {:>22}",
+        "year", "GPU systems", "other accel.", "heterog. interconn. %"
+    );
+    for y in survey::top500_trend() {
+        println!(
+            "{:>6} {:>14} {:>16} {:>22.0}",
+            y.year, y.gpu_systems, y.other_accelerator_systems, y.heterogeneous_interconnect_pct
+        );
+    }
+    println!(
+        "\nshape check: accelerator systems grow every year, GPUs dominate, \
+         and heterogeneous interconnects pass 50% — the paper's motivation. \
+         (Static data distilled from the published figure; see DESIGN.md.)"
+    );
+}

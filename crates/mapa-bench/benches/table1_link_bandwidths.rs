@@ -1,0 +1,22 @@
+//! Table 1 — peak bandwidths per link.
+
+use mapa_bench::banner;
+use mapa_topology::LinkType;
+
+fn main() {
+    banner("Table 1: Peak Bandwidths per link", "paper Table 1");
+    println!("{:<22} {:>18} {:>18}", "Link", "paper (GB/s)", "measured (GB/s)");
+    let rows = [
+        ("Single NVLink-v1", LinkType::SingleNvLink1, 20.0),
+        ("Single NVLink-v2", LinkType::SingleNvLink2, 25.0),
+        ("Double NVLink-v2", LinkType::DoubleNvLink2, 50.0),
+        ("16-lane PCIe Gen3", LinkType::Pcie, 12.0),
+    ];
+    let mut all_match = true;
+    for (name, link, paper) in rows {
+        let ours = link.bandwidth_gbps();
+        all_match &= (ours - paper).abs() < f64::EPSILON;
+        println!("{name:<22} {paper:>18.0} {ours:>18.0}");
+    }
+    println!("\nresult: {}", if all_match { "EXACT match" } else { "MISMATCH" });
+}

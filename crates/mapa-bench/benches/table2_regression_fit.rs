@@ -1,0 +1,48 @@
+//! Table 2 — the Eq. 2 regression coefficients.
+//!
+//! Re-runs the paper's protocol (§3.4.3): enumerate 2–5-GPU allocations on
+//! DGX-1V, deduplicate by unique (x, y, z), measure EffBW with the
+//! (simulated) NCCL microbenchmark, and fit θ₁…θ₁₄ by least squares over
+//! the Eq. 2 features. Prints our θ next to the paper's.
+//! Coefficients are not expected to match numerically (they are fitted to
+//! a different microbenchmark substrate and the features are strongly
+//! collinear); what must match is the *predictive quality* (see Fig. 12).
+
+use mapa_bench::banner;
+use mapa_model::{corpus, paper_coefficients, EffBwModel};
+use mapa_topology::machines;
+
+fn main() {
+    banner("Table 2: regression coefficients θ1..θ14", "paper Table 2");
+    let dgx = machines::dgx1_v100();
+    let samples = corpus::build_corpus(&dgx, 2..=5);
+    println!(
+        "training corpus: {} unique (x,y,z) samples from 2-5-GPU allocations \
+         (paper: 31; see EXPERIMENTS.md)",
+        samples.len()
+    );
+    let model = EffBwModel::fit(&samples).expect("corpus large enough");
+    let paper = paper_coefficients();
+
+    let names = [
+        "x", "y", "z", "1/(x+1)", "1/(y+1)", "1/(z+1)", "xy", "yz", "zx", "1/(xy+1)",
+        "1/(yz+1)", "1/(zx+1)", "xyz", "1/(xyz+1)",
+    ];
+    println!("\n{:>4} {:<10} {:>12} {:>12}", "θ", "feature", "ours", "paper");
+    for (i, name) in names.iter().enumerate() {
+        println!(
+            "{:>4} {:<10} {:>12.3} {:>12.3}",
+            format!("θ{}", i + 1),
+            name,
+            model.coefficients()[i],
+            paper[i]
+        );
+    }
+
+    let q = model.evaluate(&samples);
+    println!(
+        "\nfit quality on training corpus: RelErr {:.4}  RMSE {:.3}  MAE {:.3}  r {:.3}",
+        q.relative_error, q.rmse, q.mae, q.pearson_r
+    );
+    println!("paper reports RelErr 0.0709, RMSE 1.5153, MAE 7.0539 on its corpus.");
+}

@@ -1,0 +1,86 @@
+//! Table 3 — normalized execution-time speedup quantiles and throughput.
+//!
+//! Paper values (normalized to baseline):
+//! ```text
+//! Policy        MIN    25th   50th   75th   MAX    Tput
+//! Baseline      1.000  1.000  1.000  1.000  1.000  1.00
+//! Topo-aware    1.002  1.029  1.385  1.014  1.075  1.07
+//! Greedy        0.997  1.059  1.519  1.048  1.319  1.08
+//! Preservation  1.006  1.057  1.119  1.124  1.352  1.12
+//! ```
+//! We report the mean over several seeds; each seed is one 300-job run.
+
+use mapa_bench::{banner, mean, EVAL_SEEDS};
+use mapa_sim::experiment;
+use mapa_topology::machines;
+use mapa_workloads::generator;
+use std::collections::BTreeMap;
+
+fn main() {
+    banner("Table 3: speedup and throughput normalized to baseline", "paper Table 3");
+    let dgx = machines::dgx1_v100();
+
+    type Acc = BTreeMap<String, (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)>;
+    let mut acc_sensitive: Acc = BTreeMap::new();
+    let mut acc_all: Acc = BTreeMap::new();
+    let mut order: Vec<String> = vec![];
+    for &seed in &EVAL_SEEDS {
+        let jobs = generator::paper_job_mix(seed);
+        let cmp = experiment::compare_policies(&dgx, &jobs);
+        for (rows, acc) in [
+            (cmp.table3_sensitive(), &mut acc_sensitive),
+            (cmp.table3(), &mut acc_all),
+        ] {
+            for row in rows {
+                if !order.contains(&row.policy) {
+                    order.push(row.policy.clone());
+                }
+                let e = acc.entry(row.policy.clone()).or_default();
+                e.0.push(row.speedup.min);
+                e.1.push(row.speedup.p25);
+                e.2.push(row.speedup.p50);
+                e.3.push(row.speedup.p75);
+                e.4.push(row.speedup.max);
+                e.5.push(row.normalized_throughput);
+            }
+        }
+    }
+
+    for (title, acc) in [
+        ("bandwidth-SENSITIVE multi-GPU jobs (the population MAPA targets)", &acc_sensitive),
+        ("ALL multi-GPU jobs", &acc_all),
+    ] {
+        println!("\n--- {title} ---");
+        println!("(mean over {} seeded 300-job runs)\n", EVAL_SEEDS.len());
+        println!(
+            "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "policy", "MIN", "25th", "50th", "75th", "MAX", "Tput"
+        );
+        for policy in &order {
+            let e = &acc[policy];
+            println!(
+                "{:<12} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.2}",
+                policy,
+                mean(&e.0),
+                mean(&e.1),
+                mean(&e.2),
+                mean(&e.3),
+                mean(&e.4),
+                mean(&e.5)
+            );
+        }
+    }
+    println!(
+        "\npaper:        MIN     25th    50th    75th    MAX     Tput\n\
+         Topo-aware    1.002   1.029   1.385   1.014   1.075   1.07\n\
+         Greedy        0.997   1.059   1.519   1.048   1.319   1.08\n\
+         Preservation  1.006   1.057   1.119   1.124   1.352   1.12"
+    );
+    println!(
+        "\nshape checks: every MAPA/topology policy ≥ baseline at p25-p75; \
+         Preserve leads the 75th percentile (paper: 1.124, see EXPERIMENTS.md \
+         for our measured value); MAX does not reproduce under saturated \
+         batch-FIFO (all policies hit an identical forced worst case — \
+         discussed in EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,98 @@
+//! Shared helpers for the paper-reproduction bench targets.
+//!
+//! Every table and figure of the MAPA paper has a bench target in
+//! `benches/`; most are plain `harness = false` binaries that regenerate
+//! the published rows/series (run them with `cargo bench`, or individually
+//! with `cargo bench -p mapa-bench --bench fig13_dgxv_eval`). Two targets
+//! (`ablation_matcher_backend`, `ablation_symmetry_breaking`) are Criterion
+//! micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mapa_sim::stats::Summary;
+
+/// Seeds used by the multi-seed evaluation benches. Five runs keep the
+/// Table 3 quantile means stable without blowing up bench time.
+pub const EVAL_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+/// Prints a banner naming the experiment and the paper artifact.
+pub fn banner(experiment: &str, paper_ref: &str) {
+    println!("\n================================================================");
+    println!("{experiment}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Formats a five-number summary row.
+#[must_use]
+pub fn summary_row(label: &str, s: &Summary) -> String {
+    format!(
+        "{label:<16} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}  (n={})",
+        s.min, s.p25, s.p50, s.p75, s.max, s.count
+    )
+}
+
+/// Header matching [`summary_row`].
+#[must_use]
+pub fn summary_header(label: &str) -> String {
+    format!(
+        "{label:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "min", "p25", "p50", "p75", "max"
+    )
+}
+
+/// Mean of a slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Renders a crude ASCII sparkline of a series (for curve benches).
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    if values.is_empty() || max <= min {
+        return String::new();
+    }
+    values
+        .iter()
+        .map(|v| {
+            let idx = ((v - min) / (max - min) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[2.0, 2.0]), "");
+    }
+
+    #[test]
+    fn summary_row_formats() {
+        let s = mapa_sim::stats::summarize(&[1.0, 2.0, 3.0]);
+        let row = summary_row("x", &s);
+        assert!(row.contains("(n=3)"));
+    }
+}

@@ -1,0 +1,306 @@
+//! The MAPA allocator engine: matching + scoring + policy + state (§3.6).
+
+use crate::policy::{AllocationPolicy, PolicyContext};
+use crate::scoring::{self, MatchScore};
+use mapa_graph::PatternGraph;
+use mapa_graph::WeightedGraph;
+use mapa_isomorph::{MatchOptions, Matcher};
+use mapa_model::{corpus, paper_coefficients, EffBwModel};
+use mapa_topology::{AllocationError, HardwareState, Topology};
+use mapa_workloads::JobSpec;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A successful allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationOutcome {
+    /// The job that was placed.
+    pub job_id: u64,
+    /// Physical GPUs assigned, ascending.
+    pub gpus: Vec<usize>,
+    /// Scores of the selected match (Eq. 1–3 + link mix).
+    pub score: MatchScore,
+    /// Wall-clock time the decision took — the §5.4 scheduling overhead.
+    pub scheduling_overhead: Duration,
+}
+
+/// Allocator errors (distinct from "no capacity right now", which is a
+/// normal `Ok(None)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocatorError {
+    /// The job requests zero GPUs or more than the machine has.
+    InvalidRequest {
+        /// GPUs requested.
+        requested: usize,
+        /// GPUs in the machine.
+        machine: usize,
+    },
+    /// State-transition failure (duplicate job id, etc.).
+    State(AllocationError),
+}
+
+impl fmt::Display for AllocatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocatorError::InvalidRequest { requested, machine } => {
+                write!(f, "job requests {requested} GPUs on a {machine}-GPU machine")
+            }
+            AllocatorError::State(e) => write!(f, "state error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocatorError {}
+
+impl From<AllocationError> for AllocatorError {
+    fn from(e: AllocationError) -> Self {
+        AllocatorError::State(e)
+    }
+}
+
+/// The full MAPA stack for one machine: pattern matcher, Predicted-EffBW
+/// model (fitted on this machine's own microbenchmark corpus, falling back
+/// to the paper's Table 2 coefficients when the machine is too uniform to
+/// produce enough unique link mixes), the selection policy, and the
+/// allocation state.
+pub struct MapaAllocator {
+    topology: Topology,
+    state: HardwareState,
+    matcher: Matcher,
+    model: EffBwModel,
+    policy: Box<dyn AllocationPolicy>,
+    data_graph: PatternGraph,
+    bandwidth_graph: WeightedGraph,
+}
+
+impl MapaAllocator {
+    /// Builds an allocator, fitting the EffBW model on the machine's own
+    /// 2–5-GPU allocation corpus (§3.4.3 protocol).
+    #[must_use]
+    pub fn new(topology: Topology, policy: Box<dyn AllocationPolicy>) -> Self {
+        let max_fit = topology.gpu_count().min(5);
+        let model = EffBwModel::fit(&corpus::build_corpus(&topology, 2..=max_fit))
+            .unwrap_or_else(|_| EffBwModel::from_coefficients(paper_coefficients()));
+        Self::with_model(topology, policy, model)
+    }
+
+    /// Builds an allocator with an explicit model (e.g. the paper's
+    /// Table 2 coefficients, or a model fitted on another machine).
+    #[must_use]
+    pub fn with_model(
+        topology: Topology,
+        policy: Box<dyn AllocationPolicy>,
+        model: EffBwModel,
+    ) -> Self {
+        Self {
+            state: HardwareState::new(topology.clone()),
+            matcher: Matcher::new(MatchOptions::default()),
+            data_graph: scoring::matcher_data_graph(&topology),
+            bandwidth_graph: topology.bandwidth_graph(),
+            model,
+            policy,
+            topology,
+        }
+    }
+
+    /// Replaces the matcher configuration (e.g. to enable parallel
+    /// enumeration or switch backends).
+    pub fn set_matcher(&mut self, matcher: Matcher) {
+        self.matcher = matcher;
+    }
+
+    /// The machine this allocator manages.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn state(&self) -> &HardwareState {
+        &self.state
+    }
+
+    /// The Predicted-EffBW model in use.
+    #[must_use]
+    pub fn model(&self) -> &EffBwModel {
+        &self.model
+    }
+
+    /// The active policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Attempts to place `job`. Returns `Ok(None)` when the machine lacks
+    /// free GPUs for it right now (the caller should retry after a
+    /// deallocation, as the FIFO queue of Fig. 14 does).
+    ///
+    /// # Errors
+    /// [`AllocatorError::InvalidRequest`] for impossible requests;
+    /// [`AllocatorError::State`] if the job id is already active.
+    pub fn try_allocate(
+        &mut self,
+        job: &JobSpec,
+    ) -> Result<Option<AllocationOutcome>, AllocatorError> {
+        if job.num_gpus == 0 || job.num_gpus > self.topology.gpu_count() {
+            return Err(AllocatorError::InvalidRequest {
+                requested: job.num_gpus,
+                machine: self.topology.gpu_count(),
+            });
+        }
+        let started = Instant::now();
+        let ctx = PolicyContext {
+            topology: &self.topology,
+            state: &self.state,
+            model: &self.model,
+            matcher: &self.matcher,
+            data_graph: &self.data_graph,
+            bandwidth_graph: &self.bandwidth_graph,
+        };
+        let Some(gpus) = self.policy.select(job, &ctx) else {
+            return Ok(None);
+        };
+        // Score the chosen allocation before mutating state (preserved BW
+        // is defined against the pre-allocation free graph).
+        let score = self.score_allocation(job, &gpus);
+        let scheduling_overhead = started.elapsed();
+        self.state.allocate(job.id, &gpus)?;
+        Ok(Some(AllocationOutcome {
+            job_id: job.id,
+            gpus,
+            score,
+            scheduling_overhead,
+        }))
+    }
+
+    /// Scores a hypothetical allocation of `gpus` to `job` against the
+    /// current state, without allocating.
+    #[must_use]
+    pub fn score_allocation(&self, job: &JobSpec, gpus: &[usize]) -> MatchScore {
+        let pattern = crate::appgraph::job_pattern(job);
+        // Aggregated bandwidth uses the identity embedding of the pattern
+        // onto the ascending GPU list (the embedding chosen by a policy is
+        // already canonicalised to its sorted vertex set).
+        let embedding = mapa_isomorph::Embedding::new(gpus.to_vec());
+        let (free_graph, free_map) = self.state.available_graph();
+        MatchScore {
+            aggregated_bw: scoring::aggregated_bandwidth(
+                &pattern,
+                &self.bandwidth_graph,
+                &embedding,
+            ),
+            predicted_eff_bw: scoring::predicted_effective_bandwidth(
+                &self.model,
+                &self.topology,
+                gpus,
+            ),
+            preserved_bw: scoring::preserved_bandwidth(&free_graph, &free_map, gpus),
+            link_mix: scoring::allocation_link_mix(&self.topology, gpus),
+        }
+    }
+
+    /// Releases a finished job's GPUs (§3.6 deallocation).
+    ///
+    /// # Errors
+    /// Fails when the job is not active.
+    pub fn release(&mut self, job_id: u64) -> Result<Vec<usize>, AllocatorError> {
+        Ok(self.state.deallocate(job_id)?)
+    }
+}
+
+impl fmt::Debug for MapaAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MapaAllocator")
+            .field("topology", &self.topology.name())
+            .field("policy", &self.policy.name())
+            .field("free", &self.state.free_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BaselinePolicy, GreedyPolicy, PreservePolicy};
+    use mapa_topology::machines;
+    use mapa_workloads::{AppTopology, Workload};
+
+    fn job(id: u64, n: usize, sensitive: bool) -> JobSpec {
+        JobSpec {
+            id,
+            num_gpus: n,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: sensitive,
+            workload: Workload::Vgg16,
+            iterations: 100,
+        }
+    }
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
+        let out = a.try_allocate(&job(1, 3, true)).unwrap().unwrap();
+        assert_eq!(out.gpus.len(), 3);
+        assert_eq!(a.state().free_count(), 5);
+        assert!(out.score.predicted_eff_bw > 0.0);
+        let released = a.release(1).unwrap();
+        assert_eq!(released, out.gpus);
+        assert_eq!(a.state().free_count(), 8);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_not_error() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(BaselinePolicy));
+        a.try_allocate(&job(1, 5, true)).unwrap().unwrap();
+        a.try_allocate(&job(2, 3, true)).unwrap().unwrap();
+        assert_eq!(a.try_allocate(&job(3, 1, true)).unwrap(), None);
+        a.release(2).unwrap();
+        assert!(a.try_allocate(&job(3, 1, true)).unwrap().is_some());
+    }
+
+    #[test]
+    fn invalid_requests_are_errors() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(BaselinePolicy));
+        assert!(matches!(
+            a.try_allocate(&job(1, 0, true)),
+            Err(AllocatorError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            a.try_allocate(&job(1, 9, true)),
+            Err(AllocatorError::InvalidRequest { .. })
+        ));
+        a.try_allocate(&job(7, 2, true)).unwrap().unwrap();
+        assert!(matches!(
+            a.try_allocate(&job(7, 2, true)),
+            Err(AllocatorError::State(AllocationError::JobExists(7)))
+        ));
+    }
+
+    #[test]
+    fn outcome_scores_are_consistent() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(GreedyPolicy));
+        let out = a.try_allocate(&job(1, 2, true)).unwrap().unwrap();
+        // Greedy 2-GPU ring lands on a double NVLink: AggBW 50.
+        assert_eq!(out.score.aggregated_bw, 50.0);
+        assert_eq!(out.score.link_mix.double_nvlink, 1);
+        assert!(out.score.preserved_bw > 0.0);
+        assert!(out.scheduling_overhead < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn uniform_machine_falls_back_to_paper_model() {
+        // DGX-2 has one unique link mix per job size — too few samples to
+        // fit; construction must still succeed via Table 2 fallback.
+        let a = MapaAllocator::new(machines::dgx2(), Box::new(PreservePolicy));
+        let mix = mapa_topology::LinkMix { double_nvlink: 1, single_nvlink: 0, pcie: 0 };
+        assert!(a.model().predict(&mix) > 0.0);
+    }
+
+    #[test]
+    fn release_unknown_job_fails() {
+        let mut a = MapaAllocator::new(machines::summit(), Box::new(BaselinePolicy));
+        assert!(a.release(42).is_err());
+    }
+}

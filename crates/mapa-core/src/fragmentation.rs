@@ -1,0 +1,108 @@
+//! Fragmentation analysis (paper §2.2, Fig. 4).
+//!
+//! The paper quantifies allocation quality as
+//! `BW_Allocated / BW_IdealAllocation`: the aggregate bandwidth of what a
+//! job received versus the best possible same-size allocation on an idle
+//! machine (the §2.2 example: {GPU0, GPU1, GPU4} aggregates 87 GB/s versus
+//! the ideal 125 GB/s for 3 GPUs on DGX-1V).
+
+use mapa_model::corpus::combinations;
+use mapa_topology::Topology;
+
+/// Aggregate bandwidth of an allocation: the sum over all GPU pairs inside
+/// it (the complete matching pattern, as in the §2.2 worked example).
+#[must_use]
+pub fn aggregate_bandwidth(topology: &Topology, gpus: &[usize]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..gpus.len() {
+        for j in (i + 1)..gpus.len() {
+            total += topology.bandwidth(gpus[i], gpus[j]);
+        }
+    }
+    total
+}
+
+/// The best aggregate bandwidth achievable by any `k`-GPU allocation on an
+/// idle machine — the denominator of the Fig. 4 quality ratio.
+///
+/// Returns 0 for `k < 2` (no links to aggregate).
+#[must_use]
+pub fn ideal_aggregate_bandwidth(topology: &Topology, k: usize) -> f64 {
+    if k < 2 {
+        return 0.0;
+    }
+    combinations(topology.gpu_count(), k)
+        .into_iter()
+        .map(|combo| aggregate_bandwidth(topology, &combo))
+        .fold(0.0, f64::max)
+}
+
+/// The Fig. 4 quality metric `BW_Allocated / BW_IdealAllocation`.
+///
+/// Defined as 1.0 for 1-GPU allocations (no bandwidth at stake).
+#[must_use]
+pub fn allocation_quality(topology: &Topology, gpus: &[usize]) -> f64 {
+    if gpus.len() < 2 {
+        return 1.0;
+    }
+    aggregate_bandwidth(topology, gpus) / ideal_aggregate_bandwidth(topology, gpus.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_topology::machines;
+
+    #[test]
+    fn paper_worked_example() {
+        let dgx = machines::dgx1_v100();
+        assert_eq!(aggregate_bandwidth(&dgx, &[0, 1, 4]), 87.0);
+        assert_eq!(ideal_aggregate_bandwidth(&dgx, 3), 125.0);
+        assert!((allocation_quality(&dgx, &[0, 1, 4]) - 87.0 / 125.0).abs() < 1e-12);
+        // The ideal allocation itself scores 1.0.
+        assert!((allocation_quality(&dgx, &[0, 2, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_is_bounded() {
+        let dgx = machines::dgx1_v100();
+        for k in 2..=5 {
+            for combo in mapa_model::corpus::combinations(8, k) {
+                let q = allocation_quality(&dgx, &combo);
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&q),
+                    "quality {q} out of range for {combo:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_gpu_quality_is_one() {
+        let dgx = machines::dgx1_v100();
+        assert_eq!(allocation_quality(&dgx, &[5]), 1.0);
+        assert_eq!(ideal_aggregate_bandwidth(&dgx, 1), 0.0);
+        assert_eq!(ideal_aggregate_bandwidth(&dgx, 0), 0.0);
+    }
+
+    #[test]
+    fn uniform_machine_has_no_fragmentation() {
+        let dgx2 = machines::dgx2();
+        for k in 2..=5 {
+            // Every allocation on an NVSwitch machine is ideal.
+            let q = allocation_quality(&dgx2, &(0..k).collect::<Vec<_>>());
+            assert!((q - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ideal_grows_with_job_size() {
+        let dgx = machines::dgx1_v100();
+        let mut prev = 0.0;
+        for k in 2..=6 {
+            let ideal = ideal_aggregate_bandwidth(&dgx, k);
+            assert!(ideal > prev);
+            prev = ideal;
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! MAPA — Multi-Accelerator Pattern Allocation (the paper's §3).
+//!
+//! The framework pipeline of the paper's Fig. 7, end to end:
+//!
+//! 1. **Application topology** ([`appgraph`]): a job's communication
+//!    pattern becomes a small pattern graph (ring/tree/… of Fig. 8).
+//! 2. **Hardware topology** (`mapa-topology`): the server is a complete
+//!    weighted graph (PCIe fallback everywhere).
+//! 3. **Pattern matching** (`mapa-isomorph`): mine the free portion of the
+//!    hardware graph for embeddings of the application pattern.
+//! 4. **Pattern scoring** ([`scoring`]): Aggregated Bandwidth (Eq. 1),
+//!    Predicted Effective Bandwidth (Eq. 2), Preserved Bandwidth (Eq. 3).
+//! 5. **Pattern selection** ([`policy`]): Baseline, Topo-aware, Greedy, and
+//!    the paper's Preserve policy (Algorithm 1).
+//! 6. **State management** ([`MapaAllocator`]): allocate on job start, restore
+//!    on job finish (§3.6).
+//!
+//! # Example
+//!
+//! ```
+//! use mapa_core::{MapaAllocator, policy::PreservePolicy};
+//! use mapa_topology::machines;
+//! use mapa_workloads::{generator, jobs::JobSpec};
+//!
+//! let mut alloc = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
+//! let jobs = generator::paper_job_mix(42);
+//! let result = alloc.try_allocate(&jobs[0]).unwrap().expect("idle machine fits job");
+//! assert_eq!(result.gpus.len(), jobs[0].num_gpus);
+//! alloc.release(jobs[0].id).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appgraph;
+mod allocator;
+pub mod fragmentation;
+pub mod policy;
+pub mod scoring;
+
+pub use allocator::{AllocationOutcome, AllocatorError, MapaAllocator};
+pub use policy::{AllocationPolicy, PolicyContext};

@@ -1,0 +1,674 @@
+//! Allocation policies (paper §3.5 and the §4 baselines).
+//!
+//! * [`BaselinePolicy`] — lowest free GPU ids, "how current GPU allocation
+//!   \[is\] done in existing frameworks such as Nvidia Docker".
+//! * [`TopoAwarePolicy`] — Amaral et al.'s recursive bi-partitioning:
+//!   prefer allocations packed under one CPU socket / PCIe root.
+//! * [`GreedyPolicy`] — MAPA matching + scoring, selecting the match with
+//!   the highest *Aggregated* Bandwidth.
+//! * [`PreservePolicy`] — the paper's Algorithm 1: bandwidth-sensitive jobs
+//!   get the highest *Predicted Effective* Bandwidth match; insensitive
+//!   jobs get the match that *preserves* the most bandwidth for the future.
+//! * [`EffBwGreedyPolicy`] — ablation: highest Predicted EffBW for every
+//!   job regardless of sensitivity.
+//!
+//! All policies are deterministic: score ties break toward the
+//! lexicographically smallest embedding.
+
+use crate::appgraph;
+use crate::scoring;
+use mapa_graph::{PatternGraph, WeightedGraph};
+use mapa_isomorph::{Embedding, Matcher};
+use mapa_model::EffBwModel;
+use mapa_topology::{HardwareState, Topology};
+use mapa_workloads::JobSpec;
+
+/// Everything a policy may consult when placing a job.
+pub struct PolicyContext<'a> {
+    /// The machine.
+    pub topology: &'a Topology,
+    /// Current occupancy.
+    pub state: &'a HardwareState,
+    /// The Predicted-EffBW regression model.
+    pub model: &'a EffBwModel,
+    /// The configured subgraph matcher.
+    pub matcher: &'a Matcher,
+    /// Complete unweighted hardware graph (matcher data graph).
+    pub data_graph: &'a PatternGraph,
+    /// Complete weighted hardware graph (for Eq. 1 scoring).
+    pub bandwidth_graph: &'a WeightedGraph,
+}
+
+/// A GPU-selection policy.
+pub trait AllocationPolicy: Send + Sync {
+    /// Short name used in result tables ("baseline", "Preserve", …).
+    fn name(&self) -> &'static str;
+
+    /// Chooses physical GPUs for `job`, or `None` when the job cannot be
+    /// placed right now. Implementations must only return free GPUs.
+    fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>>;
+}
+
+/// Enumerate all candidate embeddings of the job's pattern into the free
+/// portion of the hardware graph, as physical-GPU assignments.
+#[must_use]
+pub fn candidate_matches(job: &JobSpec, ctx: &PolicyContext<'_>) -> Vec<Embedding> {
+    if job.num_gpus == 0 || job.num_gpus > ctx.state.free_count() {
+        return vec![];
+    }
+    let pattern = appgraph::job_pattern(job);
+    let frozen = ctx.state.frozen_mask();
+    ctx.matcher
+        .find_with_frozen(&pattern, ctx.data_graph, Some(&frozen))
+        .expect("matcher options are valid")
+}
+
+/// Streams every candidate *vertex set* (ascending GPU lists) that can
+/// host the job's pattern, without materialising embeddings.
+///
+/// Scores that depend only on the matched vertex set — Predicted EffBW and
+/// Preserved BW — do not distinguish embeddings of the same set, so
+/// set-based policies use this instead of [`candidate_matches`]. On a
+/// complete data graph (the paper's setting: PCIe connects everything)
+/// every k-subset of free GPUs hosts every k-vertex pattern, so the stream
+/// is a plain combination walk: `C(free, k)` visits instead of up to
+/// `C(free, k) · k!` embeddings. On sparse data graphs it falls back to
+/// the matcher and deduplicates vertex sets.
+pub fn for_each_candidate_set(
+    job: &JobSpec,
+    ctx: &PolicyContext<'_>,
+    mut visit: impl FnMut(&[usize]),
+) {
+    let k = job.num_gpus;
+    let free = ctx.state.free_gpus();
+    if k == 0 || k > free.len() {
+        return;
+    }
+    let n = ctx.data_graph.vertex_count();
+    let complete = ctx.data_graph.edge_count() == n * (n - 1) / 2;
+    if complete {
+        // Lexicographic combination walk over the free list.
+        let mut idx: Vec<usize> = (0..k).collect();
+        let mut current: Vec<usize> = idx.iter().map(|&i| free[i]).collect();
+        loop {
+            visit(&current);
+            // Advance to the next combination.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                if idx[i] != i + free.len() - k {
+                    break;
+                }
+            }
+            idx[i] += 1;
+            for j in (i + 1)..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+            for (slot, &i) in current.iter_mut().zip(&idx) {
+                *slot = free[i];
+            }
+        }
+    } else {
+        let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+        for e in candidate_matches(job, ctx) {
+            let set = e.vertex_set();
+            if seen.insert(set.clone()) {
+                visit(&set);
+            }
+        }
+    }
+}
+
+/// Pick the vertex set maximizing a two-level score over the candidate-set
+/// stream, ties toward the lexicographically smallest set.
+fn argmax_set_by_score2(
+    job: &JobSpec,
+    ctx: &PolicyContext<'_>,
+    mut score: impl FnMut(&[usize]) -> (f64, f64),
+) -> Option<Vec<usize>> {
+    let mut best: Option<((f64, f64), Vec<usize>)> = None;
+    for_each_candidate_set(job, ctx, |set| {
+        let s = score(set);
+        let better = match &best {
+            None => true,
+            Some((bs, _)) => s.0 > bs.0 || (s.0 == bs.0 && s.1 > bs.1),
+        };
+        if better {
+            best = Some((s, set.to_vec()));
+        }
+    });
+    best.map(|(_, set)| set)
+}
+
+/// Pick the embedding maximizing `score`, breaking ties toward the first
+/// (lexicographically smallest) candidate. Returns its physical GPU set.
+///
+/// A building block for custom policies working on materialised matches
+/// (see the `custom_policy` example); the built-in policies stream instead.
+pub fn argmax_by_score(
+    candidates: &[Embedding],
+    mut score: impl FnMut(&Embedding) -> f64,
+) -> Option<Vec<usize>> {
+    argmax_by_score2(candidates, |e| (score(e), 0.0))
+}
+
+/// Like [`argmax_by_score`] with a two-level score: the second component
+/// breaks ties in the first (Algorithm 1 does not specify tie handling;
+/// we resolve primary-score ties by the score most aligned with the
+/// policy's intent, then lexicographically).
+pub fn argmax_by_score2(
+    candidates: &[Embedding],
+    mut score: impl FnMut(&Embedding) -> (f64, f64),
+) -> Option<Vec<usize>> {
+    let mut best: Option<((f64, f64), &Embedding)> = None;
+    for e in candidates {
+        let s = score(e);
+        let better = match &best {
+            None => true,
+            Some((bs, _)) => s.0 > bs.0 || (s.0 == bs.0 && s.1 > bs.1),
+        };
+        if better {
+            best = Some((s, e));
+        }
+    }
+    best.map(|(_, e)| e.vertex_set())
+}
+
+/// The Nvidia-Docker-style baseline: the lowest-indexed free GPUs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselinePolicy;
+
+impl AllocationPolicy for BaselinePolicy {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
+        if job.num_gpus == 0 {
+            return None;
+        }
+        let free = ctx.state.free_gpus();
+        (free.len() >= job.num_gpus).then(|| free[..job.num_gpus].to_vec())
+    }
+}
+
+/// Topology-aware recursive bi-partitioning (Amaral et al.): place the job
+/// in the best-fitting socket (smallest free pool that still fits); when no
+/// socket fits, span as few sockets as possible, fullest-socket first.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopoAwarePolicy;
+
+impl AllocationPolicy for TopoAwarePolicy {
+    fn name(&self) -> &'static str {
+        "Topo-aware"
+    }
+
+    fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
+        let need = job.num_gpus;
+        if need == 0 || ctx.state.free_count() < need {
+            return None;
+        }
+        let topo = ctx.topology;
+        let mut per_socket: Vec<(usize, Vec<usize>)> = (0..topo.socket_count())
+            .map(|s| {
+                let free: Vec<usize> = topo
+                    .gpus_in_socket(s)
+                    .into_iter()
+                    .filter(|&g| ctx.state.is_free(g))
+                    .collect();
+                (s, free)
+            })
+            .collect();
+
+        // Best fit: the socket with the fewest free GPUs that still fits.
+        if let Some((_, gpus)) = per_socket
+            .iter()
+            .filter(|(_, free)| free.len() >= need)
+            .min_by_key(|(s, free)| (free.len(), *s))
+        {
+            return Some(gpus[..need].to_vec());
+        }
+
+        // Otherwise span sockets, taking from the fullest first to keep
+        // the job on as few PCIe domains as possible.
+        per_socket.sort_by(|(sa, fa), (sb, fb)| fb.len().cmp(&fa.len()).then(sa.cmp(sb)));
+        let mut chosen = Vec::with_capacity(need);
+        for (_, free) in &per_socket {
+            for &g in free {
+                if chosen.len() == need {
+                    break;
+                }
+                chosen.push(g);
+            }
+        }
+        (chosen.len() == need).then(|| {
+            chosen.sort_unstable();
+            chosen
+        })
+    }
+}
+
+/// MAPA with greedy Aggregated-Bandwidth selection (§4's "Greedy").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPolicy;
+
+impl AllocationPolicy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
+        if job.num_gpus == 0 || job.num_gpus > ctx.state.free_count() {
+            return None;
+        }
+        let pattern = appgraph::job_pattern(job);
+        let frozen = ctx.state.frozen_mask();
+        // Aggregated bandwidth depends on the *embedding* (which hardware
+        // links the pattern's edges land on), so Greedy streams embeddings
+        // rather than vertex sets — without materialising them.
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        ctx.matcher
+            .for_each_with_frozen(&pattern, ctx.data_graph, Some(&frozen), &mut |m| {
+                let mut agg = 0.0;
+                for (u, v, ()) in pattern.edges() {
+                    agg += ctx.bandwidth_graph.weight(m[u], m[v]).unwrap_or(0.0);
+                }
+                if best.as_ref().is_none_or(|(b, _)| agg > *b) {
+                    best = Some((agg, m.to_vec()));
+                }
+                true
+            })
+            .expect("matcher options are valid");
+        best.map(|(_, m)| {
+            let mut set = m;
+            set.sort_unstable();
+            set
+        })
+    }
+}
+
+/// The paper's Preserve policy (Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PreservePolicy;
+
+impl AllocationPolicy for PreservePolicy {
+    fn name(&self) -> &'static str {
+        "Preserve"
+    }
+
+    fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
+        let (free_graph, free_map) = ctx.state.available_graph();
+        if job.bandwidth_sensitive {
+            // Primary: Predicted EffBW (Algorithm 1). Ties — frequent,
+            // since many placements share a link mix — break toward the
+            // one preserving the most bandwidth for later jobs.
+            argmax_set_by_score2(job, ctx, |gpus| {
+                (
+                    scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus),
+                    scoring::preserved_bandwidth(&free_graph, &free_map, gpus),
+                )
+            })
+        } else {
+            // Primary: Preserved BW (Algorithm 1). Ties break toward the
+            // placement consuming the least effective bandwidth itself.
+            argmax_set_by_score2(job, ctx, |gpus| {
+                (
+                    scoring::preserved_bandwidth(&free_graph, &free_map, gpus),
+                    -scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus),
+                )
+            })
+        }
+    }
+}
+
+/// Ablation policy: Predicted-EffBW-greedy for *every* job (ignores the
+/// sensitivity annotation). Isolates the contribution of bandwidth
+/// preservation from the contribution of EffBW-based scoring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EffBwGreedyPolicy;
+
+impl AllocationPolicy for EffBwGreedyPolicy {
+    fn name(&self) -> &'static str {
+        "EffBW-greedy"
+    }
+
+    fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
+        argmax_set_by_score2(job, ctx, |gpus| {
+            (
+                scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus),
+                0.0,
+            )
+        })
+    }
+}
+
+/// The four policies evaluated in the paper's §4, in presentation order.
+#[must_use]
+pub fn paper_policies() -> Vec<Box<dyn AllocationPolicy>> {
+    vec![
+        Box::new(BaselinePolicy),
+        Box::new(TopoAwarePolicy),
+        Box::new(GreedyPolicy),
+        Box::new(PreservePolicy),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_isomorph::MatchOptions;
+    use mapa_model::{corpus, paper_coefficients};
+    use mapa_topology::machines;
+    use mapa_workloads::{AppTopology, Workload};
+
+    struct Fixture {
+        topology: Topology,
+        state: HardwareState,
+        model: EffBwModel,
+        matcher: Matcher,
+        data_graph: PatternGraph,
+        bandwidth_graph: WeightedGraph,
+    }
+
+    impl Fixture {
+        fn dgx() -> Self {
+            let topology = machines::dgx1_v100();
+            let model = EffBwModel::fit(&corpus::build_corpus(&topology, 2..=5))
+                .unwrap_or_else(|_| EffBwModel::from_coefficients(paper_coefficients()));
+            Self {
+                state: HardwareState::new(topology.clone()),
+                data_graph: scoring::matcher_data_graph(&topology),
+                bandwidth_graph: topology.bandwidth_graph(),
+                matcher: Matcher::new(MatchOptions::default()),
+                model,
+                topology,
+            }
+        }
+
+        fn ctx(&self) -> PolicyContext<'_> {
+            PolicyContext {
+                topology: &self.topology,
+                state: &self.state,
+                model: &self.model,
+                matcher: &self.matcher,
+                data_graph: &self.data_graph,
+                bandwidth_graph: &self.bandwidth_graph,
+            }
+        }
+    }
+
+    fn job(n: usize, sensitive: bool) -> JobSpec {
+        JobSpec {
+            id: 1,
+            num_gpus: n,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: sensitive,
+            workload: if sensitive { Workload::Vgg16 } else { Workload::GoogleNet },
+            iterations: 100,
+        }
+    }
+
+    #[test]
+    fn baseline_takes_lowest_ids() {
+        let mut f = Fixture::dgx();
+        let got = BaselinePolicy.select(&job(3, true), &f.ctx()).unwrap();
+        assert_eq!(got, vec![0, 1, 2]);
+        f.state.allocate(9, &[0, 2]).unwrap();
+        let got = BaselinePolicy.select(&job(3, true), &f.ctx()).unwrap();
+        assert_eq!(got, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn baseline_rejects_oversized() {
+        let f = Fixture::dgx();
+        assert!(BaselinePolicy.select(&job(9, true), &f.ctx()).is_none());
+        assert!(BaselinePolicy.select(&job(0, true), &f.ctx()).is_none());
+    }
+
+    #[test]
+    fn topo_aware_prefers_single_socket() {
+        let mut f = Fixture::dgx();
+        // Occupy 2 GPUs of socket 0; a 4-GPU job must go to socket 1.
+        f.state.allocate(9, &[0, 1]).unwrap();
+        let got = TopoAwarePolicy.select(&job(4, true), &f.ctx()).unwrap();
+        assert_eq!(got, vec![4, 5, 6, 7]);
+        // A 2-GPU job best-fits in socket 0's remaining pair.
+        let got2 = TopoAwarePolicy.select(&job(2, true), &f.ctx()).unwrap();
+        assert_eq!(got2, vec![2, 3]);
+    }
+
+    #[test]
+    fn topo_aware_spans_sockets_when_needed() {
+        let mut f = Fixture::dgx();
+        f.state.allocate(9, &[0, 1, 4, 5]).unwrap();
+        // 3 free in no single socket... each socket has 2 free; a 3-GPU
+        // job must span.
+        let got = TopoAwarePolicy.select(&job(3, true), &f.ctx()).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|&g| f.state.is_free(g)));
+    }
+
+    #[test]
+    fn greedy_picks_max_aggregated_bandwidth() {
+        let f = Fixture::dgx();
+        // 2-GPU ring: the best pair by AggBW is any double-NVLink pair
+        // (50); (0,3) is the lexicographically-first such pair.
+        let got = GreedyPolicy.select(&job(2, true), &f.ctx()).unwrap();
+        let bw = f.topology.bandwidth(got[0], got[1]);
+        assert_eq!(bw, 50.0, "greedy must land on a double link, got {got:?}");
+    }
+
+    #[test]
+    fn preserve_sensitive_maximizes_predicted_effbw() {
+        let f = Fixture::dgx();
+        let got = PreservePolicy.select(&job(2, true), &f.ctx()).unwrap();
+        // Best predicted EffBW pair is a double-NVLink pair.
+        assert_eq!(f.topology.bandwidth(got[0], got[1]), 50.0);
+    }
+
+    #[test]
+    fn preserve_insensitive_maximizes_remaining_bandwidth() {
+        // Eq. 3 semantics, checked against brute force: removing a pair
+        // destroys all links incident to both GPUs minus their shared
+        // link counted once — so the policy prefers pairs whose *mutual*
+        // link is strong (it would be stranded anyway) and whose outward
+        // links are weak.
+        let f = Fixture::dgx();
+        let got = PreservePolicy.select(&job(2, false), &f.ctx()).unwrap();
+        let (free_graph, free_map) = f.state.available_graph();
+        let chosen = scoring::preserved_bandwidth(&free_graph, &free_map, &got);
+        let mut best = f64::NEG_INFINITY;
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                best = best.max(scoring::preserved_bandwidth(&free_graph, &free_map, &[a, b]));
+            }
+        }
+        assert_eq!(chosen, best, "policy choice {got:?} must attain the optimum");
+        // On DGX-1V the optimum is a double-NVLink pair: the 50 GB/s
+        // mutual link is consumed "for free".
+        assert_eq!(f.topology.bandwidth(got[0], got[1]), 50.0);
+    }
+
+    #[test]
+    fn preserve_beats_greedy_for_followup_sensitive_job() {
+        // The paper's core scenario: an insensitive job arrives first;
+        // Preserve parks it on slow links so a later sensitive job still
+        // finds fast ones. Greedy burns the fast links immediately.
+        let jobs = [job(2, false), job(2, true)];
+
+        let mut greedy_world = Fixture::dgx();
+        let g1 = GreedyPolicy.select(&jobs[0], &greedy_world.ctx()).unwrap();
+        greedy_world.state.allocate(1, &g1).unwrap();
+        let g2 = GreedyPolicy.select(&jobs[1], &greedy_world.ctx()).unwrap();
+
+        let mut preserve_world = Fixture::dgx();
+        let p1 = PreservePolicy.select(&jobs[0], &preserve_world.ctx()).unwrap();
+        preserve_world.state.allocate(1, &p1).unwrap();
+        let p2 = PreservePolicy.select(&jobs[1], &preserve_world.ctx()).unwrap();
+
+        let greedy_bw = greedy_world.topology.bandwidth(g2[0], g2[1]);
+        let preserve_bw = preserve_world.topology.bandwidth(p2[0], p2[1]);
+        assert!(
+            preserve_bw >= greedy_bw,
+            "preserve {preserve_bw} must not be worse than greedy {greedy_bw}"
+        );
+    }
+
+    #[test]
+    fn policies_only_return_free_gpus() {
+        let mut f = Fixture::dgx();
+        f.state.allocate(9, &[1, 3, 5]).unwrap();
+        let policies: Vec<Box<dyn AllocationPolicy>> = vec![
+            Box::new(BaselinePolicy),
+            Box::new(TopoAwarePolicy),
+            Box::new(GreedyPolicy),
+            Box::new(PreservePolicy),
+            Box::new(EffBwGreedyPolicy),
+        ];
+        for p in &policies {
+            for n in 1..=5 {
+                if let Some(gpus) = p.select(&job(n, true), &f.ctx()) {
+                    assert_eq!(gpus.len(), n, "{}", p.name());
+                    assert!(
+                        gpus.iter().all(|&g| f.state.is_free(g)),
+                        "{} returned busy GPU: {gpus:?}",
+                        p.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_gpu_jobs_always_placeable_until_full() {
+        let mut f = Fixture::dgx();
+        for i in 0..8 {
+            let gpus = PreservePolicy.select(&job(1, false), &f.ctx()).unwrap();
+            f.state.allocate(i, &gpus).unwrap();
+        }
+        assert!(PreservePolicy.select(&job(1, false), &f.ctx()).is_none());
+    }
+
+    #[test]
+    fn paper_policies_roster() {
+        let names: Vec<&str> = paper_policies().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["baseline", "Topo-aware", "Greedy", "Preserve"]);
+    }
+
+    #[test]
+    fn candidate_set_stream_matches_matcher_dedup() {
+        // On a complete data graph, the combination fast path must visit
+        // exactly the vertex sets the matcher would find.
+        let f = Fixture::dgx();
+        let mut state = f.state.clone();
+        state.allocate(9, &[2, 6]).unwrap();
+        let fixture = Fixture { state, ..f };
+        let ctx = fixture.ctx();
+        let spec = job(3, true);
+        let mut streamed: Vec<Vec<usize>> = vec![];
+        for_each_candidate_set(&spec, &ctx, |set| streamed.push(set.to_vec()));
+        let mut via_matcher: Vec<Vec<usize>> = candidate_matches(&spec, &ctx)
+            .into_iter()
+            .map(|e| e.vertex_set())
+            .collect();
+        via_matcher.sort();
+        via_matcher.dedup();
+        let mut streamed_sorted = streamed.clone();
+        streamed_sorted.sort();
+        assert_eq!(streamed_sorted, via_matcher);
+        // C(6,3) = 20 candidate sets with 2 GPUs busy.
+        assert_eq!(streamed.len(), 20);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Under arbitrary occupancy every policy returns only free GPUs of
+        /// the right count, or None — never a corrupt allocation.
+        #[test]
+        fn policies_sound_under_random_occupancy(
+            busy in proptest::collection::vec(0usize..8, 0..6),
+            n in 1usize..5,
+            sensitive in proptest::prelude::any::<bool>(),
+        ) {
+            let mut f = Fixture::dgx();
+            for (i, g) in busy.iter().enumerate() {
+                let _ = f.state.allocate(100 + i as u64, &[*g]);
+            }
+            let spec = job(n, sensitive);
+            let free = f.state.free_count();
+            let policies: Vec<Box<dyn AllocationPolicy>> = vec![
+                Box::new(BaselinePolicy),
+                Box::new(TopoAwarePolicy),
+                Box::new(GreedyPolicy),
+                Box::new(PreservePolicy),
+                Box::new(EffBwGreedyPolicy),
+            ];
+            for p in &policies {
+                match p.select(&spec, &f.ctx()) {
+                    Some(gpus) => {
+                        proptest::prop_assert_eq!(gpus.len(), n, "{}", p.name());
+                        proptest::prop_assert!(
+                            gpus.iter().all(|&g| f.state.is_free(g)),
+                            "{} returned busy GPU {:?}", p.name(), gpus
+                        );
+                        let mut sorted = gpus.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        proptest::prop_assert_eq!(sorted.len(), n, "{} duplicated", p.name());
+                    }
+                    None => proptest::prop_assert!(
+                        free < n,
+                        "{} refused although {} GPUs free for a {}-GPU job",
+                        p.name(), free, n
+                    ),
+                }
+            }
+        }
+
+        /// Preserve's sensitive branch attains the true maximum predicted
+        /// EffBW over all free k-subsets (checked by brute force).
+        #[test]
+        fn preserve_sensitive_is_optimal(
+            busy in proptest::collection::vec(0usize..8, 0..4),
+            n in 2usize..4,
+        ) {
+            let mut f = Fixture::dgx();
+            for (i, g) in busy.iter().enumerate() {
+                let _ = f.state.allocate(100 + i as u64, &[*g]);
+            }
+            let spec = job(n, true);
+            if f.state.free_count() < n {
+                return Ok(());
+            }
+            let chosen = PreservePolicy.select(&spec, &f.ctx()).unwrap();
+            let chosen_score =
+                scoring::predicted_effective_bandwidth(&f.model, &f.topology, &chosen);
+            // Brute force over free subsets.
+            let free = f.state.free_gpus();
+            let mut best = f64::NEG_INFINITY;
+            let m = free.len();
+            for mask in 0u32..(1 << m) {
+                if mask.count_ones() as usize != n {
+                    continue;
+                }
+                let subset: Vec<usize> = (0..m)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .map(|i| free[i])
+                    .collect();
+                best = best.max(scoring::predicted_effective_bandwidth(
+                    &f.model, &f.topology, &subset,
+                ));
+            }
+            proptest::prop_assert!(
+                (chosen_score - best).abs() < 1e-9,
+                "chosen {} < optimal {}",
+                chosen_score,
+                best
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Pattern scoring (paper §3.4–§3.5).
+//!
+//! Three scores rank a candidate match `M` of application pattern `P`:
+//!
+//! * **Aggregated Bandwidth** (Eq. 1): `Σ w(e)` over the hardware links the
+//!   *application actually uses* — the images of `P`'s edges.
+//! * **Predicted Effective Bandwidth** (Eq. 2): the regression model over
+//!   the match's link mix `(x, y, z)`.
+//! * **Preserved Bandwidth** (Eq. 3): `Σ w(e)` over the hardware graph that
+//!   *remains* after deleting the matched vertices — what future jobs can
+//!   still get.
+
+use mapa_graph::{BitSet, Graph, PatternGraph, WeightedGraph};
+use mapa_isomorph::Embedding;
+use mapa_model::EffBwModel;
+use mapa_topology::{LinkMix, Topology};
+
+/// All scores for one candidate match, as used by the policies and logged
+/// by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchScore {
+    /// Eq. 1: aggregated bandwidth over used links (GB/s).
+    pub aggregated_bw: f64,
+    /// Eq. 2: predicted effective bandwidth from the link mix (GB/s).
+    pub predicted_eff_bw: f64,
+    /// Eq. 3: bandwidth remaining for future jobs after this allocation
+    /// (GB/s), over the currently-free portion of the machine.
+    pub preserved_bw: f64,
+    /// The `(x, y, z)` link mix of the allocation (all pairs inside it).
+    pub link_mix: LinkMix,
+}
+
+/// Eq. 1 — Aggregated Bandwidth: sum of hardware bandwidths over the
+/// pattern's edges under `embedding` (pattern vertex `p` placed on
+/// hardware vertex `embedding.image(p)`).
+#[must_use]
+pub fn aggregated_bandwidth(
+    pattern: &PatternGraph,
+    hardware: &WeightedGraph,
+    embedding: &Embedding,
+) -> f64 {
+    embedding.mapped_edge_weight(pattern, hardware)
+}
+
+/// The `(x, y, z)` link mix of an allocation — every GPU pair inside the
+/// matched vertex set, mirroring the corpus protocol of §3.4.3.
+#[must_use]
+pub fn allocation_link_mix(topology: &Topology, gpus: &[usize]) -> LinkMix {
+    let mut pairs = Vec::new();
+    for i in 0..gpus.len() {
+        for j in (i + 1)..gpus.len() {
+            pairs.push((gpus[i], gpus[j]));
+        }
+    }
+    topology.link_mix(&pairs)
+}
+
+/// Eq. 2 — Predicted Effective Bandwidth of allocating `gpus`.
+///
+/// 1-GPU allocations have no inter-GPU traffic: scored 0.
+#[must_use]
+pub fn predicted_effective_bandwidth(
+    model: &EffBwModel,
+    topology: &Topology,
+    gpus: &[usize],
+) -> f64 {
+    if gpus.len() < 2 {
+        return 0.0;
+    }
+    model.predict(&allocation_link_mix(topology, gpus))
+}
+
+/// Eq. 3 — Preserved Bandwidth: total link bandwidth of the hardware graph
+/// induced by the *free* vertices that remain if `gpus` are allocated.
+///
+/// `free_graph` is the currently-available hardware graph (complete over
+/// free GPUs) and `free_map` maps its vertex ids to physical GPU ids —
+/// both as produced by `HardwareState::available_graph`.
+///
+/// # Panics
+/// Panics if some `gpus` entry is not in `free_map` (allocating a busy
+/// GPU is a state error upstream).
+#[must_use]
+pub fn preserved_bandwidth(
+    free_graph: &WeightedGraph,
+    free_map: &[usize],
+    gpus: &[usize],
+) -> f64 {
+    let mut removed = BitSet::new(free_graph.vertex_count());
+    for &g in gpus {
+        let local = free_map
+            .iter()
+            .position(|&phys| phys == g)
+            .expect("allocated GPU must be free");
+        removed.insert(local);
+    }
+    let (remaining, _) = free_graph.without_vertices(&removed);
+    remaining.total_weight()
+}
+
+/// Computes all three scores for a candidate embedding.
+///
+/// `pattern` is the application graph; `embedding` maps it into
+/// `free_graph` (local vertex ids); `free_map` translates local ids to
+/// physical GPUs.
+#[must_use]
+pub fn score_match(
+    topology: &Topology,
+    model: &EffBwModel,
+    pattern: &PatternGraph,
+    free_graph: &WeightedGraph,
+    free_map: &[usize],
+    embedding: &Embedding,
+) -> MatchScore {
+    let physical: Vec<usize> = embedding.as_slice().iter().map(|&l| free_map[l]).collect();
+    MatchScore {
+        aggregated_bw: aggregated_bandwidth(pattern, free_graph, embedding),
+        predicted_eff_bw: predicted_effective_bandwidth(model, topology, &physical),
+        preserved_bw: preserved_bandwidth(free_graph, free_map, &physical),
+        link_mix: allocation_link_mix(topology, &physical),
+    }
+}
+
+/// The complete graph over all GPUs as an unweighted pattern — the data
+/// graph handed to the matcher (§3.2: hardware graphs are complete).
+#[must_use]
+pub fn matcher_data_graph(topology: &Topology) -> PatternGraph {
+    Graph::complete(topology.gpu_count(), ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_graph::PatternGraph;
+    use mapa_model::{corpus, EffBwModel};
+    use mapa_topology::machines;
+
+    fn dgx_model() -> EffBwModel {
+        let dgx = machines::dgx1_v100();
+        EffBwModel::fit(&corpus::build_corpus(&dgx, 2..=5)).unwrap()
+    }
+
+    #[test]
+    fn fig10_aggregated_bandwidth_example() {
+        // Fig. 10 / §2.2: a 3-GPU triangle on {GPU0, GPU1, GPU4}
+        // aggregates 25 + 50 + 12 = 87 GB/s.
+        let dgx = machines::dgx1_v100();
+        let hw = dgx.bandwidth_graph();
+        let pattern = PatternGraph::all_to_all(3);
+        let e = Embedding::new(vec![0, 1, 4]);
+        assert_eq!(aggregated_bandwidth(&pattern, &hw, &e), 87.0);
+        // Ideal {0,2,3} = 125 GB/s.
+        let ideal = Embedding::new(vec![0, 2, 3]);
+        assert_eq!(aggregated_bandwidth(&pattern, &hw, &ideal), 125.0);
+    }
+
+    #[test]
+    fn aggregated_bandwidth_depends_on_embedding_not_just_set() {
+        // A chain 0-1-2 placed on {0,1,4}: orientation decides which two of
+        // the three links are used.
+        let dgx = machines::dgx1_v100();
+        let hw = dgx.bandwidth_graph();
+        let chain = PatternGraph::chain(3);
+        // 0-1 (25) + 1-4 (12) = 37.
+        let a = aggregated_bandwidth(&chain, &hw, &Embedding::new(vec![0, 1, 4]));
+        // 1-0 (25) + 0-4 (50) = 75.
+        let b = aggregated_bandwidth(&chain, &hw, &Embedding::new(vec![1, 0, 4]));
+        assert_eq!(a, 37.0);
+        assert_eq!(b, 75.0);
+    }
+
+    #[test]
+    fn preserved_bandwidth_on_idle_machine() {
+        // Fig. 10 (right): allocating {0,1,3} on DGX-1V leaves
+        // {2,4,5,6,7}; preserved BW is that induced subgraph's weight.
+        let dgx = machines::dgx1_v100();
+        let free = dgx.bandwidth_graph();
+        let map: Vec<usize> = (0..8).collect();
+        let preserved = preserved_bandwidth(&free, &map, &[0, 1, 3]);
+        // Induced {2,4,5,6,7}: NVLinks 2-6(25), 4-5(25), 4-6(25), 4-7(50),
+        // 5-6(50), 5-7(25), 6-7(50) = 250; PCIe pairs: C(5,2)=10 pairs,
+        // 3 PCIe (2-4, 2-5, 2-7) = 36. Total 286.
+        assert_eq!(preserved, 286.0);
+        // Allocating everything preserves nothing.
+        assert_eq!(preserved_bandwidth(&free, &map, &map), 0.0);
+        // Allocating nothing preserves the full graph.
+        assert_eq!(preserved_bandwidth(&free, &map, &[]), free.total_weight());
+    }
+
+    #[test]
+    fn preserved_bandwidth_respects_partial_occupancy() {
+        // With GPUs 6,7 already busy, the free graph has 6 vertices;
+        // allocating {0,1} preserves the induced {2,3,4,5} subgraph.
+        let dgx = machines::dgx1_v100();
+        let mut state = mapa_topology::HardwareState::new(dgx);
+        state.allocate(99, &[6, 7]).unwrap();
+        let (free, map) = state.available_graph();
+        assert_eq!(map, vec![0, 1, 2, 3, 4, 5]);
+        let p = preserved_bandwidth(&free, &map, &[0, 1]);
+        // Induced {2,3,4,5}: NVLink 2-3 (50), 4-5 (25); PCIe ×4 = 48.
+        assert_eq!(p, 123.0);
+    }
+
+    #[test]
+    fn predicted_effbw_single_gpu_is_zero() {
+        let dgx = machines::dgx1_v100();
+        let model = dgx_model();
+        assert_eq!(predicted_effective_bandwidth(&model, &dgx, &[3]), 0.0);
+        assert!(predicted_effective_bandwidth(&model, &dgx, &[0, 3]) > 30.0);
+    }
+
+    #[test]
+    fn score_match_translates_local_ids() {
+        let dgx = machines::dgx1_v100();
+        let model = dgx_model();
+        let mut state = mapa_topology::HardwareState::new(dgx.clone());
+        state.allocate(1, &[0, 2]).unwrap();
+        let (free, map) = state.available_graph();
+        // Pattern: 2-GPU ring on local vertices (1, 3) = physical (3, 5).
+        let pattern = PatternGraph::ring(2);
+        let e = Embedding::new(vec![1, 3]);
+        let score = score_match(&dgx, &model, &pattern, &free, &map, &e);
+        assert_eq!(score.aggregated_bw, dgx.bandwidth(3, 5));
+        assert_eq!(score.link_mix.total(), 1);
+        assert!(score.preserved_bw > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be free")]
+    fn preserved_bandwidth_rejects_busy_gpu() {
+        let dgx = machines::dgx1_v100();
+        let mut state = mapa_topology::HardwareState::new(dgx);
+        state.allocate(1, &[0]).unwrap();
+        let (free, map) = state.available_graph();
+        let _ = preserved_bandwidth(&free, &map, &[0]);
+    }
+
+    #[test]
+    fn matcher_data_graph_is_complete() {
+        let dgx = machines::dgx1_v100();
+        let g = matcher_data_graph(&dgx);
+        assert_eq!(g.vertex_count(), 8);
+        assert_eq!(g.edge_count(), 28);
+    }
+}

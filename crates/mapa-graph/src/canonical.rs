@@ -1,0 +1,279 @@
+//! Canonical forms for small graphs.
+//!
+//! A *canonical code* is a representation of a graph that is identical for
+//! isomorphic graphs and different for non-isomorphic ones. For the tiny
+//! pattern graphs MAPA handles (≤ ~10 vertices) we compute it by brute-force
+//! minimisation over vertex permutations with degree-sequence pruning —
+//! exact, dependency-free, and fast at this scale.
+//!
+//! Uses:
+//! * deduplicating application pattern shapes in the workload generator;
+//! * asserting "these two graphs are isomorphic" in tests without fixing a
+//!   vertex order;
+//! * computing automorphism counts for the matcher's symmetry-breaking
+//!   validation.
+
+use crate::Graph;
+
+/// Upper bound on vertices for exact canonicalisation (12! ≈ 4.8e8 is too
+/// slow; degree pruning keeps ≤ 10 practical, and MAPA patterns are ≤ 9).
+pub const MAX_CANONICAL_VERTICES: usize = 10;
+
+/// A canonical, hashable code for an unlabeled graph: vertex count plus the
+/// lexicographically-smallest upper-triangle adjacency bit rows over all
+/// vertex permutations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalCode {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl CanonicalCode {
+    /// Number of vertices of the encoded graph.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Computes the canonical code of `g`'s structure (weights ignored).
+///
+/// # Panics
+/// Panics if `g` has more than [`MAX_CANONICAL_VERTICES`] vertices.
+#[must_use]
+pub fn canonical_code<W: Copy>(g: &Graph<W>) -> CanonicalCode {
+    let n = g.vertex_count();
+    assert!(
+        n <= MAX_CANONICAL_VERTICES,
+        "canonical_code supports at most {MAX_CANONICAL_VERTICES} vertices, got {n}"
+    );
+    if n == 0 {
+        return CanonicalCode { n, rows: vec![] };
+    }
+
+    // Group vertices by degree: permutations must map degree classes onto
+    // themselves, which prunes the search massively for regular-ish graphs.
+    let mut best: Option<Vec<u64>> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute_minimize(g, &mut perm, 0, &mut best);
+    CanonicalCode {
+        n,
+        rows: best.expect("at least one permutation evaluated"),
+    }
+}
+
+/// Returns `true` when the two graphs are isomorphic as unlabeled graphs.
+///
+/// # Panics
+/// Panics if either graph exceeds [`MAX_CANONICAL_VERTICES`] vertices.
+#[must_use]
+pub fn are_isomorphic<A: Copy, B: Copy>(a: &Graph<A>, b: &Graph<B>) -> bool {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    let mut da: Vec<usize> = (0..a.vertex_count()).map(|v| a.degree(v)).collect();
+    let mut db: Vec<usize> = (0..b.vertex_count()).map(|v| b.degree(v)).collect();
+    da.sort_unstable();
+    db.sort_unstable();
+    if da != db {
+        return false;
+    }
+    canonical_code(a) == canonical_code(b)
+}
+
+/// Counts the automorphisms of `g` (permutations mapping the graph onto
+/// itself). The identity counts, so the result is ≥ 1.
+///
+/// # Panics
+/// Panics if `g` exceeds [`MAX_CANONICAL_VERTICES`] vertices.
+#[must_use]
+pub fn automorphism_count<W: Copy>(g: &Graph<W>) -> usize {
+    let n = g.vertex_count();
+    assert!(n <= MAX_CANONICAL_VERTICES);
+    if n == 0 {
+        return 1;
+    }
+    let mut count = 0usize;
+    let mut perm = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    automorphism_rec(g, &mut perm, &mut used, 0, &mut count);
+    count
+}
+
+fn automorphism_rec<W: Copy>(
+    g: &Graph<W>,
+    perm: &mut [usize],
+    used: &mut [bool],
+    depth: usize,
+    count: &mut usize,
+) {
+    let n = g.vertex_count();
+    if depth == n {
+        *count += 1;
+        return;
+    }
+    for candidate in 0..n {
+        if used[candidate] || g.degree(candidate) != g.degree(depth) {
+            continue;
+        }
+        // Check consistency with already-assigned vertices.
+        let consistent = (0..depth)
+            .all(|prev| g.has_edge(depth, prev) == g.has_edge(candidate, perm[prev]));
+        if consistent {
+            perm[depth] = candidate;
+            used[candidate] = true;
+            automorphism_rec(g, perm, used, depth + 1, count);
+            used[candidate] = false;
+            perm[depth] = usize::MAX;
+        }
+    }
+}
+
+/// Encodes the adjacency of `g` under permutation `perm` as packed
+/// upper-triangle rows: `rows[i]` holds bits for edges (i, j), j > i.
+fn encode<W: Copy>(g: &Graph<W>, perm: &[usize]) -> Vec<u64> {
+    let n = g.vertex_count();
+    let mut rows = vec![0u64; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if g.has_edge(perm[i], perm[j]) {
+                rows[i] |= 1 << j;
+            }
+        }
+    }
+    rows
+}
+
+fn permute_minimize<W: Copy>(
+    g: &Graph<W>,
+    perm: &mut Vec<usize>,
+    depth: usize,
+    best: &mut Option<Vec<u64>>,
+) {
+    let n = g.vertex_count();
+    if depth == n {
+        let code = encode(g, perm);
+        if best.as_ref().is_none_or(|b| code < *b) {
+            *best = Some(code);
+        }
+        return;
+    }
+    for i in depth..n {
+        perm.swap(depth, i);
+        permute_minimize(g, perm, depth + 1, best);
+        perm.swap(depth, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatternGraph;
+
+    #[test]
+    fn isomorphic_rings_detected_under_relabeling() {
+        let a = PatternGraph::ring(5);
+        // Same ring with scrambled labels: 0-2-4-1-3-0
+        let b = PatternGraph::from_edges(
+            5,
+            &[(0, 2, ()), (2, 4, ()), (4, 1, ()), (1, 3, ()), (3, 0, ())],
+        )
+        .unwrap();
+        assert!(are_isomorphic(&a, &b));
+        assert_eq!(canonical_code(&a), canonical_code(&b));
+    }
+
+    #[test]
+    fn non_isomorphic_same_degree_sequence() {
+        // C6 vs two triangles: both 2-regular on 6 vertices with 6 edges.
+        let c6 = PatternGraph::ring(6);
+        let two_triangles = PatternGraph::from_edges(
+            6,
+            &[(0, 1, ()), (1, 2, ()), (0, 2, ()), (3, 4, ()), (4, 5, ()), (3, 5, ())],
+        )
+        .unwrap();
+        assert!(!are_isomorphic(&c6, &two_triangles));
+    }
+
+    #[test]
+    fn chain_vs_star_differ() {
+        let chain = PatternGraph::chain(4);
+        let star = PatternGraph::star(4);
+        assert_eq!(chain.edge_count(), star.edge_count());
+        assert!(!are_isomorphic(&chain, &star));
+    }
+
+    #[test]
+    fn automorphism_counts_of_known_graphs() {
+        // Cycle C_n has 2n automorphisms (dihedral group).
+        assert_eq!(automorphism_count(&PatternGraph::ring(3)), 6);
+        assert_eq!(automorphism_count(&PatternGraph::ring(4)), 8);
+        assert_eq!(automorphism_count(&PatternGraph::ring(5)), 10);
+        // Path P_n has 2 automorphisms for n >= 2.
+        assert_eq!(automorphism_count(&PatternGraph::chain(4)), 2);
+        // Star K_{1,n-1} has (n-1)! automorphisms.
+        assert_eq!(automorphism_count(&PatternGraph::star(4)), 6);
+        // Complete graph K_n has n!.
+        assert_eq!(automorphism_count(&PatternGraph::all_to_all(4)), 24);
+        // Edgeless graph on n vertices: n!.
+        assert_eq!(automorphism_count(&PatternGraph::new(3)), 6);
+        // Empty graph: exactly the identity.
+        assert_eq!(automorphism_count(&PatternGraph::new(0)), 1);
+    }
+
+    #[test]
+    fn vertex_count_mismatch_is_not_isomorphic() {
+        assert!(!are_isomorphic(&PatternGraph::ring(4), &PatternGraph::ring(5)));
+    }
+
+    #[test]
+    fn weights_are_ignored() {
+        let mut a: Graph<f64> = Graph::new(3);
+        a.add_edge(0, 1, 1.0).unwrap();
+        let mut b: Graph<f64> = Graph::new(3);
+        b.add_edge(1, 2, 99.0).unwrap();
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_large_graph_panics() {
+        let g = PatternGraph::ring(11);
+        let _ = canonical_code(&g);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// The canonical code is invariant under arbitrary relabeling, and
+        /// automorphism counts match between a graph and its relabeling.
+        #[test]
+        fn canonical_code_invariant_under_permutation(
+            n in 1usize..7,
+            edges in proptest::collection::vec((0usize..7, 0usize..7), 0..12),
+            perm_seed in proptest::prelude::any::<u64>(),
+        ) {
+            let mut g = PatternGraph::new(n);
+            for (u, v) in edges {
+                let (u, v) = (u % n, v % n);
+                if u != v { let _ = g.set_edge(u, v, ()); }
+            }
+            // Deterministic permutation from the seed (Fisher-Yates with a
+            // tiny LCG; no rand dependency needed here).
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut state = perm_seed | 1;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            let mut h = PatternGraph::new(n);
+            for (u, v, ()) in g.edges() {
+                h.add_edge(perm[u], perm[v], ()).unwrap();
+            }
+            proptest::prop_assert_eq!(canonical_code(&g), canonical_code(&h));
+            proptest::prop_assert!(are_isomorphic(&g, &h));
+            proptest::prop_assert_eq!(automorphism_count(&g), automorphism_count(&h));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The wider NCCL collective family.
+//!
+//! §6 of the paper: ML workloads "use Nvidia Collective Communications
+//! Library (NCCL) to perform operations like Reduce, AllReduce, Broadcast,
+//! Gather, Scatter, and Scatter-Gather". All-reduce dominates training and
+//! gets the detailed treatment in [`crate::allreduce`]; this module models
+//! the remaining primitives over the same packed ring set so workload
+//! models can mix collectives.
+//!
+//! Cost model (bytes `s`, `n` GPUs, aggregate sustained ring bandwidth `B`,
+//! per-step latency `α` from the slowest ring's link class):
+//!
+//! | op | steps | bytes on the wire per GPU |
+//! |---|---|---|
+//! | broadcast       | n−1 (pipelined ring) | s |
+//! | reduce          | n−1                  | s |
+//! | all-gather      | n−1                  | s·(n−1)/n |
+//! | reduce-scatter  | n−1                  | s·(n−1)/n |
+//! | all-to-all      | n−1                  | s·(n−1)/n |
+
+use crate::rings::RingSet;
+
+/// A collective operation over one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Collective {
+    /// One root sends `s` bytes to everyone (pipelined over the ring).
+    Broadcast,
+    /// Everyone's `s` bytes combine at one root.
+    Reduce,
+    /// All-reduce = reduce-scatter + all-gather (modeled in
+    /// [`crate::allreduce`]; included here for dispatch completeness).
+    AllReduce,
+    /// Everyone ends with everyone's shard (`s` total).
+    AllGather,
+    /// Everyone ends with its reduced shard of `s` total bytes.
+    ReduceScatter,
+    /// Personalized exchange: every GPU sends a distinct shard to every
+    /// other (the paper's "Scatter-Gather").
+    AllToAll,
+}
+
+impl Collective {
+    /// All modeled collectives.
+    #[must_use]
+    pub fn all() -> [Collective; 6] {
+        [
+            Collective::Broadcast,
+            Collective::Reduce,
+            Collective::AllReduce,
+            Collective::AllGather,
+            Collective::ReduceScatter,
+            Collective::AllToAll,
+        ]
+    }
+}
+
+/// Time in seconds for `op` moving `bytes` over the allocation's `rings`.
+///
+/// Degenerate cases (fewer than 2 GPUs, zero bytes, no rings) cost 0.
+#[must_use]
+pub fn collective_time(op: Collective, rings: &RingSet, n_gpus: usize, bytes: f64) -> f64 {
+    if n_gpus < 2 || bytes <= 0.0 || rings.rings.is_empty() {
+        return 0.0;
+    }
+    if op == Collective::AllReduce {
+        return crate::allreduce::allreduce_time(rings, n_gpus, bytes).0;
+    }
+    let n = n_gpus as f64;
+    let bandwidth = rings.total_bus_bandwidth_gbps() * 1e9;
+    let alpha = if rings.rings.iter().all(|r| r.all_nvlink) { 20e-6 } else { 50e-6 };
+    let steps = n - 1.0;
+    let wire_bytes = match op {
+        Collective::Broadcast | Collective::Reduce => bytes,
+        Collective::AllGather | Collective::ReduceScatter | Collective::AllToAll => {
+            bytes * (n - 1.0) / n
+        }
+        Collective::AllReduce => unreachable!("dispatched above"),
+    };
+    steps * (2e-6 + alpha) + wire_bytes / bandwidth
+}
+
+/// Observed bus bandwidth (GB/s) of a collective at `bytes` — comparable
+/// across operations.
+#[must_use]
+pub fn collective_bandwidth_gbps(
+    op: Collective,
+    rings: &RingSet,
+    n_gpus: usize,
+    bytes: f64,
+) -> f64 {
+    let t = collective_time(op, rings, n_gpus, bytes);
+    if t <= 0.0 {
+        return 0.0;
+    }
+    bytes / t / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rings::pack_rings;
+    use mapa_topology::machines;
+
+    fn dgx_quad() -> RingSet {
+        pack_rings(&machines::dgx1_v100(), &[0, 1, 2, 3])
+    }
+
+    #[test]
+    fn degenerate_cases_are_free() {
+        let rings = dgx_quad();
+        for op in Collective::all() {
+            assert_eq!(collective_time(op, &rings, 1, 1e6), 0.0, "{op:?}");
+            assert_eq!(collective_time(op, &rings, 4, 0.0), 0.0, "{op:?}");
+        }
+        let none = pack_rings(&machines::dgx1_v100(), &[0]);
+        assert_eq!(collective_time(Collective::Broadcast, &none, 4, 1e6), 0.0);
+    }
+
+    #[test]
+    fn shard_based_ops_are_cheaper_than_full_payload_ops() {
+        // All-gather moves s(n-1)/n per GPU; broadcast moves the full s.
+        let rings = dgx_quad();
+        let s = 64e6;
+        let bcast = collective_time(Collective::Broadcast, &rings, 4, s);
+        let gather = collective_time(Collective::AllGather, &rings, 4, s);
+        assert!(gather < bcast, "{gather} vs {bcast}");
+    }
+
+    #[test]
+    fn allreduce_dispatch_matches_allreduce_module() {
+        let rings = dgx_quad();
+        let s = 32e6;
+        let via_collective = collective_time(Collective::AllReduce, &rings, 4, s);
+        let direct = crate::allreduce::allreduce_time(&rings, 4, s).0;
+        assert_eq!(via_collective, direct);
+        // All-reduce moves ~2x the data of a reduce-scatter: it must cost
+        // more at saturating sizes.
+        let rs = collective_time(Collective::ReduceScatter, &rings, 4, s);
+        assert!(via_collective > rs);
+    }
+
+    #[test]
+    fn time_is_monotone_in_size_for_every_op() {
+        let rings = dgx_quad();
+        for op in Collective::all() {
+            let mut prev = 0.0;
+            for exp in 4..9 {
+                let t = collective_time(op, &rings, 4, 10f64.powi(exp));
+                assert!(t >= prev, "{op:?} at 1e{exp}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn fragmented_allocations_slow_every_collective() {
+        let dgx = machines::dgx1_v100();
+        let good = pack_rings(&dgx, &[0, 2, 3]);
+        let bad = pack_rings(&dgx, &[0, 1, 4]);
+        for op in Collective::all() {
+            let tg = collective_time(op, &good, 3, 64e6);
+            let tb = collective_time(op, &bad, 3, 64e6);
+            assert!(tb > tg, "{op:?}: fragmented {tb} <= ideal {tg}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_saturates_below_fabric_capacity() {
+        let rings = dgx_quad();
+        for op in Collective::all() {
+            let bw = collective_bandwidth_gbps(op, &rings, 4, 1e9);
+            assert!(bw > 0.0);
+            // Per-GPU wire bandwidth cannot exceed ~2x fabric aggregate
+            // (shard-based ops move less than `bytes` on the wire).
+            assert!(bw <= 2.5 * rings.total_bus_bandwidth_gbps(), "{op:?}: {bw}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! α–β (latency–bandwidth) transfer cost model.
+//!
+//! A point-to-point transfer of `s` bytes over a link costs
+//! `t = α + s / β` seconds, where `α` is the launch/propagation latency and
+//! `β` the peak bandwidth. The bandwidth *observed* for a transfer of size
+//! `s` is `s / t = β · s / (s + αβ)` — the classic saturation ramp of the
+//! paper's Fig. 2a: at `s = αβ` the link delivers half its peak; NVLink
+//! with α = 20 µs and β = 50 GB/s crosses half-peak near 10⁶ bytes and
+//! saturates by 10⁸, exactly the published shape.
+
+use mapa_topology::LinkType;
+
+/// Seconds of fixed latency per transfer, by link class.
+///
+/// PCIe pays extra for the host round-trip (bounce through system memory
+/// and, across sockets, the QPI hop).
+#[must_use]
+pub fn latency_seconds(link: LinkType) -> f64 {
+    match link {
+        LinkType::Pcie => 50e-6,
+        LinkType::SingleNvLink1 => 25e-6,
+        LinkType::SingleNvLink2 | LinkType::DoubleNvLink2 => 20e-6,
+    }
+}
+
+/// Peak bandwidth in bytes/second (Table 1 values converted from GB/s).
+#[must_use]
+pub fn bandwidth_bytes_per_sec(link: LinkType) -> f64 {
+    link.bandwidth_gbps() * 1e9
+}
+
+/// Time in seconds to move `bytes` across `link` once.
+#[must_use]
+pub fn transfer_time(link: LinkType, bytes: f64) -> f64 {
+    latency_seconds(link) + bytes / bandwidth_bytes_per_sec(link)
+}
+
+/// Observed bandwidth in GB/s for a single transfer of `bytes` over `link`.
+///
+/// Returns 0 for a zero-byte transfer.
+#[must_use]
+pub fn observed_bandwidth_gbps(link: LinkType, bytes: f64) -> f64 {
+    if bytes <= 0.0 {
+        return 0.0;
+    }
+    bytes / transfer_time(link, bytes) / 1e9
+}
+
+/// The generic ramp `peak · s / (s + α·peak)` for an arbitrary
+/// (latency, peak-bandwidth) pair — used when a path is composed of several
+/// links and carries an aggregate α/β.
+#[must_use]
+pub fn ramped_bandwidth_gbps(peak_gbps: f64, latency_s: f64, bytes: f64) -> f64 {
+    if bytes <= 0.0 || peak_gbps <= 0.0 {
+        return 0.0;
+    }
+    let t = latency_s + bytes / (peak_gbps * 1e9);
+    bytes / t / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_topology::LinkType::{DoubleNvLink2, Pcie, SingleNvLink2};
+
+    #[test]
+    fn saturation_approaches_table1_peaks() {
+        let huge = 1e9;
+        assert!((observed_bandwidth_gbps(DoubleNvLink2, huge) - 50.0).abs() < 1.0);
+        assert!((observed_bandwidth_gbps(SingleNvLink2, huge) - 25.0).abs() < 0.5);
+        assert!((observed_bandwidth_gbps(Pcie, huge) - 12.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn small_transfers_are_latency_bound() {
+        // Fig. 2a: below ~1e5 bytes every link is far from peak.
+        for link in LinkType::all() {
+            let bw = observed_bandwidth_gbps(link, 1e4);
+            assert!(
+                bw < 0.35 * link.bandwidth_gbps(),
+                "{link}: {bw} too close to peak for 10 KB"
+            );
+        }
+    }
+
+    #[test]
+    fn half_peak_crossover_near_alpha_beta_product() {
+        // At s = αβ the ramp delivers exactly half the peak.
+        let link = DoubleNvLink2;
+        let s = latency_seconds(link) * bandwidth_bytes_per_sec(link);
+        let bw = observed_bandwidth_gbps(link, s);
+        assert!((bw - 25.0).abs() < 1e-6, "{bw}");
+        // For double NVLink this sits at 10^6 bytes (paper Fig. 2a ramp).
+        assert!((s - 1e6).abs() / 1e6 < 0.05);
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_size() {
+        for link in LinkType::all() {
+            let mut prev = 0.0;
+            for exp in 3..10 {
+                let bw = observed_bandwidth_gbps(link, 10f64.powi(exp));
+                assert!(bw >= prev, "{link} at 1e{exp}");
+                prev = bw;
+            }
+        }
+    }
+
+    #[test]
+    fn relative_link_order_preserved_at_every_size() {
+        // Fig. 2a: "the relative performance of each link type to each
+        // other remains" across sizes.
+        for exp in 4..10 {
+            let s = 10f64.powi(exp);
+            let d = observed_bandwidth_gbps(DoubleNvLink2, s);
+            let g = observed_bandwidth_gbps(SingleNvLink2, s);
+            let p = observed_bandwidth_gbps(Pcie, s);
+            assert!(d > g && g > p, "size 1e{exp}: {d} {g} {p}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_sizes() {
+        assert_eq!(observed_bandwidth_gbps(Pcie, 0.0), 0.0);
+        assert_eq!(ramped_bandwidth_gbps(50.0, 1e-6, -3.0), 0.0);
+        assert_eq!(ramped_bandwidth_gbps(0.0, 1e-6, 100.0), 0.0);
+    }
+}

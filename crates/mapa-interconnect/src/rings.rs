@@ -1,0 +1,417 @@
+//! NCCL-style ring construction over an allocation's links.
+//!
+//! NCCL drives collective traffic over *channels*: edge-disjoint rings laid
+//! onto the physical NVLink bricks. We model an allocation's connectivity
+//! as a brick multigraph — a double NVLink contributes two 25 GB/s bricks,
+//! a single NVLink one brick, and every GPU pair additionally owns one
+//! PCIe path (12 GB/s) through the host — then greedily pack Hamiltonian
+//! rings: each ring claims one brick per hop and is bottlenecked by its
+//! slowest hop. Additional rings are only added while they can run entirely
+//! on NVLink-class links; PCIe is never aggregated on top of NVLink rings
+//! (matching NCCL's transport selection).
+
+use mapa_topology::{LinkType, Topology};
+
+/// One brick (usable parallel lane) between a pair of allocation-local GPUs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Brick {
+    /// Endpoint indices *within the allocation* (0..n), `a < b`.
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// Lane bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// True for NVLink lanes, false for the PCIe fallback lane.
+    pub nvlink: bool,
+}
+
+/// The brick multigraph of an allocation.
+#[derive(Debug, Clone)]
+pub struct BrickGraph {
+    n: usize,
+    bricks: Vec<Brick>,
+}
+
+impl BrickGraph {
+    /// Builds the brick multigraph for `gpus` (physical ids) on `topology`.
+    ///
+    /// # Panics
+    /// Panics if `gpus` contains duplicates or out-of-range ids.
+    #[must_use]
+    pub fn build(topology: &Topology, gpus: &[usize]) -> Self {
+        let n = gpus.len();
+        let mut bricks = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                match topology.link_type(gpus[i], gpus[j]) {
+                    LinkType::DoubleNvLink2 => {
+                        for _ in 0..2 {
+                            bricks.push(Brick { a: i, b: j, bandwidth_gbps: 25.0, nvlink: true });
+                        }
+                    }
+                    LinkType::SingleNvLink2 => {
+                        bricks.push(Brick { a: i, b: j, bandwidth_gbps: 25.0, nvlink: true });
+                    }
+                    LinkType::SingleNvLink1 => {
+                        bricks.push(Brick { a: i, b: j, bandwidth_gbps: 20.0, nvlink: true });
+                    }
+                    LinkType::Pcie => {}
+                }
+                // The host path always exists, once per pair.
+                bricks.push(Brick { a: i, b: j, bandwidth_gbps: 12.0, nvlink: false });
+            }
+        }
+        Self { n, bricks }
+    }
+
+    /// Number of GPUs in the allocation.
+    #[must_use]
+    pub fn gpu_count(&self) -> usize {
+        self.n
+    }
+
+    /// All remaining bricks.
+    #[must_use]
+    pub fn bricks(&self) -> &[Brick] {
+        &self.bricks
+    }
+
+    /// Index of the best (highest-bandwidth) remaining brick between `a`
+    /// and `b`, if any.
+    fn best_brick(&self, a: usize, b: usize) -> Option<usize> {
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.bricks
+            .iter()
+            .enumerate()
+            .filter(|(_, brk)| brk.a == a && brk.b == b)
+            .max_by(|(_, x), (_, y)| x.bandwidth_gbps.total_cmp(&y.bandwidth_gbps))
+            .map(|(i, _)| i)
+    }
+}
+
+/// A selected communication ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ring {
+    /// Allocation-local vertex order; the ring closes back to the first.
+    pub order: Vec<usize>,
+    /// Bandwidth of the slowest hop in GB/s — the ring's sustained rate.
+    pub bottleneck_gbps: f64,
+    /// True when every hop rides NVLink.
+    pub all_nvlink: bool,
+}
+
+/// The set of rings NCCL-style channel construction would pack onto an
+/// allocation, with their bottleneck bandwidths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSet {
+    /// Rings, best first.
+    pub rings: Vec<Ring>,
+}
+
+impl RingSet {
+    /// Aggregate sustained (bus) bandwidth: the sum of ring bottlenecks.
+    #[must_use]
+    pub fn total_bus_bandwidth_gbps(&self) -> f64 {
+        self.rings.iter().map(|r| r.bottleneck_gbps).sum()
+    }
+}
+
+/// Packs rings onto the allocation `gpus` of `topology`.
+///
+/// * `n == 0 | 1`: no rings (no inter-GPU traffic).
+/// * `n == 2`: every NVLink brick of the pair is its own channel; PCIe is
+///   used only when no NVLink exists.
+/// * `n >= 3`: greedy Hamiltonian-ring packing — repeatedly pick the cycle
+///   maximizing (bottleneck, then total) bandwidth over remaining bricks,
+///   claim its bricks, and continue while pure-NVLink rings remain. The
+///   first ring may include PCIe hops (there must always be at least one
+///   channel); subsequent rings must be all-NVLink.
+///
+/// # Panics
+/// Panics if `gpus` has out-of-range or duplicate entries, or `n > 10`
+/// (cycle enumeration is exact and factorial; MAPA jobs are ≤ 9 GPUs).
+#[must_use]
+pub fn pack_rings(topology: &Topology, gpus: &[usize]) -> RingSet {
+    let n = gpus.len();
+    assert!(n <= 10, "exact ring packing supports at most 10 GPUs, got {n}");
+    if n < 2 {
+        return RingSet { rings: vec![] };
+    }
+
+    let mut graph = BrickGraph::build(topology, gpus);
+
+    if n == 2 {
+        let nv: Vec<&Brick> = graph.bricks.iter().filter(|b| b.nvlink).collect();
+        let rings = if nv.is_empty() {
+            vec![Ring { order: vec![0, 1], bottleneck_gbps: 12.0, all_nvlink: false }]
+        } else {
+            nv.iter()
+                .map(|b| Ring {
+                    order: vec![0, 1],
+                    bottleneck_gbps: b.bandwidth_gbps,
+                    all_nvlink: true,
+                })
+                .collect()
+        };
+        return RingSet { rings };
+    }
+
+    let cycles = hamiltonian_cycles(n);
+    let mut rings = Vec::new();
+    // (bottleneck, total, all_nvlink, cycle, brick indices) of the best
+    // candidate ring in the current iteration.
+    type Candidate<'a> = (f64, f64, bool, &'a Vec<usize>, Vec<usize>);
+    loop {
+        // Evaluate every cycle against the remaining bricks. A Hamiltonian
+        // cycle on n >= 3 vertices visits each pair at most once, so hops
+        // never compete for the same brick within one cycle.
+        let mut best: Option<Candidate<'_>> = None;
+        for cycle in &cycles {
+            let mut bricks_used = Vec::with_capacity(n);
+            let mut bottleneck = f64::INFINITY;
+            let mut total = 0.0;
+            let mut all_nvlink = true;
+            let mut feasible = true;
+            for k in 0..n {
+                let (u, v) = (cycle[k], cycle[(k + 1) % n]);
+                match graph.best_brick(u, v) {
+                    Some(idx) => {
+                        let b = graph.bricks[idx];
+                        bottleneck = bottleneck.min(b.bandwidth_gbps);
+                        total += b.bandwidth_gbps;
+                        all_nvlink &= b.nvlink;
+                        bricks_used.push(idx);
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bb, bt, _, _, _)) => {
+                    bottleneck > *bb || (bottleneck == *bb && total > *bt)
+                }
+            };
+            if better {
+                best = Some((bottleneck, total, all_nvlink, cycle, bricks_used));
+            }
+        }
+
+        let Some((bottleneck, _, all_nvlink, cycle, bricks_used)) = best else {
+            break;
+        };
+        // After the first ring, only pure-NVLink channels are added.
+        if !rings.is_empty() && !all_nvlink {
+            break;
+        }
+        // Claim the bricks (remove from the multigraph, highest index first).
+        let mut idxs = bricks_used;
+        idxs.sort_unstable_by(|a, b| b.cmp(a));
+        for i in idxs {
+            graph.bricks.swap_remove(i);
+        }
+        rings.push(Ring { order: cycle.clone(), bottleneck_gbps: bottleneck, all_nvlink });
+    }
+
+    RingSet { rings }
+}
+
+/// All distinct Hamiltonian cycles on `n >= 3` labeled vertices, as vertex
+/// orders starting at 0 with second element < last (kills reflections):
+/// `(n-1)!/2` cycles.
+#[must_use]
+pub fn hamiltonian_cycles(n: usize) -> Vec<Vec<usize>> {
+    assert!(n >= 3);
+    let mut rest: Vec<usize> = (1..n).collect();
+    let mut out = Vec::new();
+    permute_collect(&mut rest, 0, &mut |perm| {
+        if perm[0] < perm[n - 2] {
+            let mut cycle = Vec::with_capacity(n);
+            cycle.push(0);
+            cycle.extend_from_slice(perm);
+            out.push(cycle);
+        }
+    });
+    out
+}
+
+fn permute_collect(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute_collect(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_topology::machines;
+
+    #[test]
+    fn cycle_counts() {
+        assert_eq!(hamiltonian_cycles(3).len(), 1);
+        assert_eq!(hamiltonian_cycles(4).len(), 3);
+        assert_eq!(hamiltonian_cycles(5).len(), 12);
+        assert_eq!(hamiltonian_cycles(6).len(), 60);
+    }
+
+    #[test]
+    fn two_gpu_channel_rules() {
+        let dgx = machines::dgx1_v100();
+        // Double NVLink pair (0,3): two 25 GB/s channels = 50.
+        let d = pack_rings(&dgx, &[0, 3]);
+        assert_eq!(d.rings.len(), 2);
+        assert_eq!(d.total_bus_bandwidth_gbps(), 50.0);
+        // Single NVLink pair (0,1): one 25 GB/s channel.
+        let s = pack_rings(&dgx, &[0, 1]);
+        assert_eq!(s.total_bus_bandwidth_gbps(), 25.0);
+        // PCIe pair (0,5): the 12 GB/s fallback only.
+        let p = pack_rings(&dgx, &[0, 5]);
+        assert_eq!(p.total_bus_bandwidth_gbps(), 12.0);
+        assert!(!p.rings[0].all_nvlink);
+    }
+
+    #[test]
+    fn fragmented_triple_is_pcie_bound() {
+        // Paper §2.2: {0,1,4} needs PCIe between 1 and 4 — the single ring
+        // through all three GPUs bottlenecks at 12 GB/s.
+        let dgx = machines::dgx1_v100();
+        let rs = pack_rings(&dgx, &[0, 1, 4]);
+        assert_eq!(rs.rings.len(), 1);
+        assert_eq!(rs.rings[0].bottleneck_gbps, 12.0);
+    }
+
+    #[test]
+    fn ideal_triple_gets_nvlink_ring() {
+        // Paper §2.2 ideal {0,2,3}: single NVLink 0-2 caps the ring at 25.
+        let dgx = machines::dgx1_v100();
+        let rs = pack_rings(&dgx, &[0, 2, 3]);
+        assert!(rs.rings[0].all_nvlink);
+        assert_eq!(rs.rings[0].bottleneck_gbps, 25.0);
+        assert_eq!(rs.total_bus_bandwidth_gbps(), 25.0);
+    }
+
+    #[test]
+    fn quad_packs_two_nvlink_rings() {
+        // Full quad {0,1,2,3} of DGX-1V: bricks allow two disjoint
+        // all-NVLink Hamiltonian rings of bottleneck 25 each.
+        let dgx = machines::dgx1_v100();
+        let rs = pack_rings(&dgx, &[0, 1, 2, 3]);
+        assert!(rs.rings.len() >= 2, "{rs:?}");
+        assert!(rs.rings.iter().take(2).all(|r| r.all_nvlink));
+        assert_eq!(rs.total_bus_bandwidth_gbps(), 50.0);
+    }
+
+    #[test]
+    fn summit_triple_all_double() {
+        // Summit socket {0,1,2}: all pairs double NVLink → two rings of 25.
+        let s = machines::summit();
+        let rs = pack_rings(&s, &[0, 1, 2]);
+        assert_eq!(rs.rings.len(), 2);
+        assert_eq!(rs.total_bus_bandwidth_gbps(), 50.0);
+    }
+
+    #[test]
+    fn single_gpu_and_empty_have_no_rings() {
+        let dgx = machines::dgx1_v100();
+        assert!(pack_rings(&dgx, &[3]).rings.is_empty());
+        assert!(pack_rings(&dgx, &[]).rings.is_empty());
+    }
+
+    #[test]
+    fn brick_graph_counts() {
+        let dgx = machines::dgx1_v100();
+        // Pair (0,3) double: 2 NVLink bricks + 1 PCIe lane.
+        let g = BrickGraph::build(&dgx, &[0, 3]);
+        assert_eq!(g.bricks().len(), 3);
+        assert_eq!(g.bricks().iter().filter(|b| b.nvlink).count(), 2);
+        // Triangle {0,1,4}: (0,1) single + (0,4) double + (1,4) none
+        //   = 3 NVLink bricks + 3 PCIe lanes.
+        let t = BrickGraph::build(&dgx, &[0, 1, 4]);
+        assert_eq!(t.bricks().iter().filter(|b| b.nvlink).count(), 3);
+        assert_eq!(t.bricks().iter().filter(|b| !b.nvlink).count(), 3);
+    }
+
+    #[test]
+    fn more_nvlink_never_hurts() {
+        // Monotonicity: the ideal quad beats any fragmented 4-set.
+        let dgx = machines::dgx1_v100();
+        let ideal = pack_rings(&dgx, &[0, 1, 2, 3]).total_bus_bandwidth_gbps();
+        let frag = pack_rings(&dgx, &[0, 1, 4, 6]).total_bus_bandwidth_gbps();
+        assert!(ideal >= frag, "{ideal} < {frag}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// Ring packing invariants over random allocations on the paper's
+        /// machines: rings are Hamiltonian over the allocation, bottlenecks
+        /// are at least PCIe-class, at most one ring uses PCIe, and total
+        /// bus bandwidth never exceeds the allocation's brick capacity.
+        #[test]
+        fn packing_invariants(
+            machine_idx in 0usize..3,
+            pick in proptest::collection::vec(0usize..8, 2..6),
+        ) {
+            let machine = match machine_idx {
+                0 => machines::dgx1_v100(),
+                1 => machines::dgx1_p100(),
+                _ => machines::summit(),
+            };
+            let n = machine.gpu_count();
+            let mut gpus: Vec<usize> = vec![];
+            for p in pick {
+                let p = p % n;
+                if !gpus.contains(&p) {
+                    gpus.push(p);
+                }
+            }
+            if gpus.len() < 2 {
+                return Ok(());
+            }
+            let rs = pack_rings(&machine, &gpus);
+            proptest::prop_assert!(!rs.rings.is_empty());
+            let mut pcie_rings = 0;
+            for ring in &rs.rings {
+                let mut sorted = ring.order.clone();
+                sorted.sort_unstable();
+                proptest::prop_assert_eq!(sorted, (0..gpus.len()).collect::<Vec<_>>());
+                proptest::prop_assert!(ring.bottleneck_gbps >= 12.0);
+                if !ring.all_nvlink {
+                    pcie_rings += 1;
+                }
+            }
+            proptest::prop_assert!(pcie_rings <= 1, "only the first ring may ride PCIe");
+            let capacity: f64 = BrickGraph::build(&machine, &gpus)
+                .bricks()
+                .iter()
+                .map(|b| b.bandwidth_gbps)
+                .sum();
+            proptest::prop_assert!(rs.total_bus_bandwidth_gbps() <= capacity + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rings_are_valid_permutations() {
+        let dgx = machines::dgx1_v100();
+        for gpus in [vec![0, 1, 2], vec![0, 1, 2, 3, 4], vec![2, 3, 5, 7]] {
+            let rs = pack_rings(&dgx, &gpus);
+            for ring in &rs.rings {
+                let mut sorted = ring.order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..gpus.len()).collect::<Vec<_>>());
+                assert!(ring.bottleneck_gbps >= 12.0);
+            }
+        }
+    }
+}

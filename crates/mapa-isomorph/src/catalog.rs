@@ -1,0 +1,167 @@
+//! A catalog of small pattern graphs.
+//!
+//! Peregrine-style mining systems ship a library of canonical small
+//! patterns; MAPA's application graphs (rings, trees, stars, cliques) are
+//! a subset. This module enumerates *all* connected unlabeled graphs up to
+//! a vertex count, deduplicated by canonical code — used for exhaustive
+//! matcher stress tests ("does every backend agree on every 4-vertex
+//! pattern?") and available to users exploring richer application
+//! topologies than NCCL's.
+
+use mapa_graph::canonical::{canonical_code, CanonicalCode};
+use mapa_graph::PatternGraph;
+use std::collections::HashSet;
+
+/// Enumerates all connected unlabeled graphs on exactly `n` vertices, one
+/// representative per isomorphism class, ordered by edge count then
+/// canonical code.
+///
+/// Known class counts: n=1 → 1, n=2 → 1, n=3 → 2, n=4 → 6, n=5 → 21.
+///
+/// # Panics
+/// Panics for `n == 0` or `n > 6` (exhaustive edge-subset enumeration is
+/// `2^(n(n-1)/2)`; n=6 is 32 768 subsets and the practical cap).
+#[must_use]
+pub fn connected_patterns(n: usize) -> Vec<PatternGraph> {
+    assert!((1..=6).contains(&n), "catalog supports 1..=6 vertices, got {n}");
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .collect();
+    let m = pairs.len();
+    let mut seen: HashSet<CanonicalCode> = HashSet::new();
+    let mut out: Vec<(usize, CanonicalCode, PatternGraph)> = Vec::new();
+    for mask in 0u64..(1 << m) {
+        let mut g = PatternGraph::new(n);
+        for (bit, &(a, b)) in pairs.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                g.add_edge(a, b, ()).expect("subset edges valid");
+            }
+        }
+        if !g.is_connected() {
+            continue;
+        }
+        let code = canonical_code(&g);
+        if seen.insert(code.clone()) {
+            out.push((g.edge_count(), code, g));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    out.into_iter().map(|(_, _, g)| g).collect()
+}
+
+/// All connected patterns with between `min_n` and `max_n` vertices.
+#[must_use]
+pub fn connected_patterns_up_to(min_n: usize, max_n: usize) -> Vec<PatternGraph> {
+    (min_n..=max_n).flat_map(connected_patterns).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, DedupMode, MatchOptions, Matcher};
+    use mapa_graph::canonical::are_isomorphic;
+
+    #[test]
+    fn class_counts_match_oeis_a001349() {
+        // Connected graphs on n nodes: 1, 1, 2, 6, 21, 112 (OEIS A001349).
+        assert_eq!(connected_patterns(1).len(), 1);
+        assert_eq!(connected_patterns(2).len(), 1);
+        assert_eq!(connected_patterns(3).len(), 2);
+        assert_eq!(connected_patterns(4).len(), 6);
+        assert_eq!(connected_patterns(5).len(), 21);
+        assert_eq!(connected_patterns(6).len(), 112);
+    }
+
+    #[test]
+    fn catalog_entries_are_pairwise_non_isomorphic() {
+        let cat = connected_patterns(4);
+        for i in 0..cat.len() {
+            for j in (i + 1)..cat.len() {
+                assert!(!are_isomorphic(&cat[i], &cat[j]), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_contains_the_nccl_shapes() {
+        let cat = connected_patterns(5);
+        for shape in [
+            PatternGraph::ring(5),
+            PatternGraph::chain(5),
+            PatternGraph::star(5),
+            PatternGraph::all_to_all(5),
+            PatternGraph::binary_tree(5),
+        ] {
+            assert!(
+                cat.iter().any(|p| are_isomorphic(p, &shape)),
+                "catalog must contain {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_by_edge_count() {
+        let cat = connected_patterns(5);
+        for w in cat.windows(2) {
+            assert!(w[0].edge_count() <= w[1].edge_count());
+        }
+        // Tree first (n-1 edges), clique last (n(n-1)/2 edges).
+        assert_eq!(cat.first().unwrap().edge_count(), 4);
+        assert_eq!(cat.last().unwrap().edge_count(), 10);
+    }
+
+    #[test]
+    fn range_helper() {
+        let cat = connected_patterns_up_to(2, 4);
+        assert_eq!(cat.len(), 1 + 2 + 6);
+    }
+
+    /// The matcher torture test the catalog exists for: every backend
+    /// agrees on every connected 4-vertex pattern against a nontrivial
+    /// data graph, in both dedup modes.
+    #[test]
+    fn all_backends_agree_on_entire_catalog() {
+        let data = {
+            // DGX-1V NVLink-only graph: sparse enough to be interesting.
+            let mut g = PatternGraph::new(8);
+            for (a, b) in [
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+                (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+                (0, 4), (1, 5), (2, 6), (3, 7),
+            ] {
+                g.add_edge(a, b, ()).unwrap();
+            }
+            g
+        };
+        for pattern in connected_patterns_up_to(2, 4) {
+            let mut counts = Vec::new();
+            for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
+                for dedup in [DedupMode::CanonicalOnly, DedupMode::AllMappings] {
+                    let m = Matcher::new(MatchOptions {
+                        backend,
+                        dedup,
+                        ..MatchOptions::default()
+                    });
+                    counts.push((
+                        format!("{backend:?}/{dedup:?}"),
+                        m.find(&pattern, &data).unwrap().len(),
+                    ));
+                }
+            }
+            // Canonical counts equal across backends; all-mapping counts
+            // equal across backends.
+            let canon: Vec<usize> =
+                counts.iter().step_by(2).map(|(_, c)| *c).collect();
+            let full: Vec<usize> =
+                counts.iter().skip(1).step_by(2).map(|(_, c)| *c).collect();
+            assert!(canon.windows(2).all(|w| w[0] == w[1]), "{pattern:?}: {counts:?}");
+            assert!(full.windows(2).all(|w| w[0] == w[1]), "{pattern:?}: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=6")]
+    fn oversized_catalog_rejected() {
+        let _ = connected_patterns(7);
+    }
+}

@@ -1,0 +1,462 @@
+//! High-level matching façade.
+//!
+//! [`Matcher`] wraps the backends ([`crate::vf2`], [`crate::ullmann`],
+//! brute force) behind one configuration struct, handles symmetry-breaking
+//! deduplication, match caps, frozen-vertex masks, and (optionally)
+//! parallel enumeration, and returns results in a deterministic order.
+
+use crate::symmetry::{self, Constraint};
+use crate::vf2::Vf2Config;
+use crate::{brute_force_embeddings, parallel, ullmann, vf2, Embedding};
+use mapa_graph::{BitSet, Graph};
+use std::fmt;
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// VF2-style backtracking with bitset pruning (default; fastest).
+    #[default]
+    Vf2,
+    /// Ullmann's bit-matrix algorithm (independent cross-check).
+    Ullmann,
+    /// Exhaustive injective assignment (reference; exponential).
+    BruteForce,
+}
+
+/// How to treat automorphic duplicates of the same subgraph occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// Return one canonical embedding per automorphism class (Peregrine
+    /// behaviour; default). A 5-ring occurrence is reported once, not 10×.
+    #[default]
+    CanonicalOnly,
+    /// Return every distinct vertex mapping.
+    AllMappings,
+}
+
+/// Matching configuration.
+#[derive(Debug, Clone, Default)]
+pub struct MatchOptions {
+    /// Search backend.
+    pub backend: Backend,
+    /// Automorphic-duplicate handling.
+    pub dedup: DedupMode,
+    /// Require induced isomorphism instead of monomorphism.
+    pub induced: bool,
+    /// Stop after this many matches (`None` = unbounded).
+    pub max_matches: Option<usize>,
+    /// Number of worker threads (`None` or `Some(1)` = sequential).
+    /// Only the VF2 backend parallelises; others ignore this.
+    pub threads: Option<usize>,
+}
+
+/// Errors from [`Matcher::find`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchError {
+    /// `threads == Some(0)` was requested.
+    ZeroThreads,
+}
+
+impl fmt::Display for MatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchError::ZeroThreads => write!(f, "thread count must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for MatchError {}
+
+/// A configured subgraph matcher. Cheap to construct; holds no graph state.
+#[derive(Debug, Clone, Default)]
+pub struct Matcher {
+    opts: MatchOptions,
+}
+
+impl Matcher {
+    /// Creates a matcher with the given options.
+    #[must_use]
+    pub fn new(opts: MatchOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Finds embeddings of `pattern` in `data`. All data vertices are
+    /// available.
+    ///
+    /// # Errors
+    /// Returns [`MatchError`] on invalid configuration.
+    pub fn find<P: Copy + Sync, D: Copy + Sync>(
+        &self,
+        pattern: &Graph<P>,
+        data: &Graph<D>,
+    ) -> Result<Vec<Embedding>, MatchError> {
+        self.find_with_frozen(pattern, data, None)
+    }
+
+    /// Finds embeddings of `pattern` in `data`, excluding `frozen` data
+    /// vertices (e.g. GPUs already allocated to other tenants).
+    ///
+    /// Results are sorted lexicographically by assignment vector, so output
+    /// is deterministic across backends and thread counts (except under
+    /// `max_matches`, where which matches are found first is
+    /// backend-dependent).
+    ///
+    /// # Errors
+    /// Returns [`MatchError`] on invalid configuration.
+    pub fn find_with_frozen<P: Copy + Sync, D: Copy + Sync>(
+        &self,
+        pattern: &Graph<P>,
+        data: &Graph<D>,
+        frozen: Option<&BitSet>,
+    ) -> Result<Vec<Embedding>, MatchError> {
+        if self.opts.threads == Some(0) {
+            return Err(MatchError::ZeroThreads);
+        }
+        let cap = self.opts.max_matches.unwrap_or(usize::MAX);
+        if cap == 0 {
+            return Ok(vec![]);
+        }
+
+        let constraints: Vec<Constraint> = match self.opts.dedup {
+            DedupMode::CanonicalOnly => {
+                let autos = symmetry::automorphisms(pattern);
+                symmetry::symmetry_breaking_constraints(&autos)
+            }
+            DedupMode::AllMappings => vec![],
+        };
+
+        let mut out: Vec<Embedding> = match self.opts.backend {
+            Backend::Vf2 => {
+                let config = Vf2Config {
+                    induced: self.opts.induced,
+                    constraints,
+                    first_candidates: None,
+                };
+                match self.opts.threads {
+                    Some(t) if t > 1 => {
+                        parallel::enumerate_parallel(pattern, data, &config, frozen, t, cap)
+                    }
+                    _ => {
+                        let mut v = Vec::new();
+                        vf2::enumerate(pattern, data, &config, frozen, &mut |m| {
+                            v.push(Embedding::new(m.to_vec()));
+                            v.len() < cap
+                        });
+                        v
+                    }
+                }
+            }
+            Backend::Ullmann => {
+                let mut v = Vec::new();
+                ullmann::enumerate(pattern, data, self.opts.induced, frozen, &mut |m| {
+                    if symmetry::satisfies(m, &constraints) {
+                        v.push(Embedding::new(m.to_vec()));
+                    }
+                    v.len() < cap
+                });
+                v
+            }
+            Backend::BruteForce => {
+                let mut v: Vec<Embedding> = brute_force_embeddings(
+                    pattern,
+                    data,
+                    self.opts.induced,
+                )
+                .into_iter()
+                .filter(|e| {
+                    symmetry::satisfies(e.as_slice(), &constraints)
+                        && frozen.is_none_or(|f| e.as_slice().iter().all(|&d| !f.contains(d)))
+                })
+                .collect();
+                v.truncate(cap);
+                v
+            }
+        };
+
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Streams embeddings to `visit` without materialising them — the
+    /// memory-safe path for large searches (a 9-vertex ring in a 16-vertex
+    /// complete graph has hundreds of millions of mappings). Respects the
+    /// configured dedup mode and induced flag; `max_matches` caps the
+    /// number of visits; returning `false` from the visitor stops early.
+    ///
+    /// Only the configured backend's sequential path is used (`threads`
+    /// is ignored: a streaming visitor has no meaningful parallel order).
+    ///
+    /// # Errors
+    /// Returns [`MatchError`] on invalid configuration.
+    pub fn for_each_with_frozen<P: Copy, D: Copy>(
+        &self,
+        pattern: &Graph<P>,
+        data: &Graph<D>,
+        frozen: Option<&BitSet>,
+        visit: &mut dyn FnMut(&[usize]) -> bool,
+    ) -> Result<(), MatchError> {
+        if self.opts.threads == Some(0) {
+            return Err(MatchError::ZeroThreads);
+        }
+        let cap = self.opts.max_matches.unwrap_or(usize::MAX);
+        if cap == 0 {
+            return Ok(());
+        }
+        let constraints: Vec<Constraint> = match self.opts.dedup {
+            DedupMode::CanonicalOnly => {
+                let autos = symmetry::automorphisms(pattern);
+                symmetry::symmetry_breaking_constraints(&autos)
+            }
+            DedupMode::AllMappings => vec![],
+        };
+        let mut seen = 0usize;
+        match self.opts.backend {
+            Backend::Vf2 => {
+                let config = Vf2Config {
+                    induced: self.opts.induced,
+                    constraints,
+                    first_candidates: None,
+                };
+                vf2::enumerate(pattern, data, &config, frozen, &mut |m| {
+                    seen += 1;
+                    visit(m) && seen < cap
+                });
+            }
+            Backend::Ullmann => {
+                ullmann::enumerate(pattern, data, self.opts.induced, frozen, &mut |m| {
+                    if symmetry::satisfies(m, &constraints) {
+                        seen += 1;
+                        return visit(m) && seen < cap;
+                    }
+                    true
+                });
+            }
+            Backend::BruteForce => {
+                for e in brute_force_embeddings(pattern, data, self.opts.induced) {
+                    if seen >= cap {
+                        break;
+                    }
+                    let ok = symmetry::satisfies(e.as_slice(), &constraints)
+                        && frozen.is_none_or(|f| {
+                            e.as_slice().iter().all(|&d| !f.contains(d))
+                        });
+                    if ok {
+                        seen += 1;
+                        if !visit(e.as_slice()) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts embeddings without materialising them.
+    ///
+    /// # Errors
+    /// Returns [`MatchError`] on invalid configuration.
+    pub fn count<P: Copy, D: Copy>(
+        &self,
+        pattern: &Graph<P>,
+        data: &Graph<D>,
+    ) -> Result<usize, MatchError> {
+        let mut n = 0usize;
+        self.for_each_with_frozen(pattern, data, None, &mut |_| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// The options this matcher was built with.
+    #[must_use]
+    pub fn options(&self) -> &MatchOptions {
+        &self.opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_graph::PatternGraph;
+
+    fn k(n: usize) -> PatternGraph {
+        PatternGraph::all_to_all(n)
+    }
+
+    #[test]
+    fn backends_agree_in_all_mappings_mode() {
+        let pattern = PatternGraph::ring(4);
+        let data = k(6);
+        let mut results = Vec::new();
+        for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
+            let m = Matcher::new(MatchOptions {
+                backend,
+                dedup: DedupMode::AllMappings,
+                ..MatchOptions::default()
+            });
+            results.push(m.find(&pattern, &data).unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert!(!results[0].is_empty());
+    }
+
+    #[test]
+    fn backends_agree_in_canonical_mode() {
+        let pattern = PatternGraph::ring(5);
+        let data = k(6);
+        let mut results = Vec::new();
+        for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
+            let m = Matcher::new(MatchOptions { backend, ..MatchOptions::default() });
+            results.push(m.find(&pattern, &data).unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        // C5 in K6: C(6,5) vertex sets × (5!/10) distinct cycles per set
+        //   = 6 × 12 = 72 occurrences.
+        assert_eq!(results[0].len(), 72);
+    }
+
+    #[test]
+    fn canonical_mode_divides_by_automorphisms() {
+        let pattern = PatternGraph::ring(4); // 8 automorphisms
+        let data = k(5);
+        let all = Matcher::new(MatchOptions {
+            dedup: DedupMode::AllMappings,
+            ..MatchOptions::default()
+        })
+        .find(&pattern, &data)
+        .unwrap();
+        let canon = Matcher::new(MatchOptions::default()).find(&pattern, &data).unwrap();
+        assert_eq!(all.len(), canon.len() * 8);
+    }
+
+    #[test]
+    fn max_matches_caps_results() {
+        let pattern = PatternGraph::ring(2);
+        let data = k(6);
+        let m = Matcher::new(MatchOptions {
+            max_matches: Some(4),
+            ..MatchOptions::default()
+        });
+        assert_eq!(m.find(&pattern, &data).unwrap().len(), 4);
+        let m0 = Matcher::new(MatchOptions {
+            max_matches: Some(0),
+            ..MatchOptions::default()
+        });
+        assert!(m0.find(&pattern, &data).unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let m = Matcher::new(MatchOptions {
+            threads: Some(0),
+            ..MatchOptions::default()
+        });
+        assert_eq!(
+            m.find(&PatternGraph::ring(2), &k(3)),
+            Err(MatchError::ZeroThreads)
+        );
+    }
+
+    #[test]
+    fn frozen_mask_respected_across_backends() {
+        let pattern = PatternGraph::ring(3);
+        let data = k(5);
+        let frozen = mapa_graph::BitSet::from_indices(5, &[0, 1]);
+        for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
+            let m = Matcher::new(MatchOptions { backend, ..MatchOptions::default() });
+            let found = m.find_with_frozen(&pattern, &data, Some(&frozen)).unwrap();
+            // Only {2,3,4} remains: exactly one triangle occurrence.
+            assert_eq!(found.len(), 1, "{backend:?}");
+            assert_eq!(found[0].vertex_set(), vec![2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn single_vertex_job_on_partially_allocated_server() {
+        let pattern = PatternGraph::new(1);
+        let data = k(8);
+        let frozen = mapa_graph::BitSet::from_indices(8, &[0, 1, 2, 3, 4, 5, 6]);
+        let found = Matcher::default()
+            .find_with_frozen(&pattern, &data, Some(&frozen))
+            .unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].image(0), 7);
+    }
+
+    #[test]
+    fn streaming_agrees_with_collecting() {
+        let pattern = PatternGraph::ring(4);
+        let data = k(7);
+        for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
+            for dedup in [DedupMode::CanonicalOnly, DedupMode::AllMappings] {
+                let m = Matcher::new(MatchOptions { backend, dedup, ..MatchOptions::default() });
+                let collected = m.find(&pattern, &data).unwrap();
+                let mut streamed: Vec<Vec<usize>> = Vec::new();
+                m.for_each_with_frozen(&pattern, &data, None, &mut |e| {
+                    streamed.push(e.to_vec());
+                    true
+                })
+                .unwrap();
+                streamed.sort();
+                let collected_raw: Vec<Vec<usize>> =
+                    collected.iter().map(|e| e.as_slice().to_vec()).collect();
+                assert_eq!(streamed, collected_raw, "{backend:?}/{dedup:?}");
+                assert_eq!(m.count(&pattern, &data).unwrap(), collected.len());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_early_stop_and_cap() {
+        let pattern = PatternGraph::ring(2);
+        let data = k(6);
+        let m = Matcher::default();
+        let mut n = 0;
+        m.for_each_with_frozen(&pattern, &data, None, &mut |_| {
+            n += 1;
+            n < 3
+        })
+        .unwrap();
+        assert_eq!(n, 3);
+        let capped = Matcher::new(MatchOptions {
+            max_matches: Some(4),
+            ..MatchOptions::default()
+        });
+        assert_eq!(capped.count(&pattern, &data).unwrap(), 4);
+    }
+
+    #[test]
+    fn streaming_respects_frozen() {
+        let pattern = PatternGraph::ring(3);
+        let data = k(5);
+        let frozen = mapa_graph::BitSet::from_indices(5, &[4]);
+        let m = Matcher::default();
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        m.for_each_with_frozen(&pattern, &data, Some(&frozen), &mut |e| {
+            sets.push(e.to_vec());
+            true
+        })
+        .unwrap();
+        assert!(!sets.is_empty());
+        assert!(sets.iter().all(|s| !s.contains(&4)));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pattern = PatternGraph::ring(4);
+        let data = k(8);
+        let seq = Matcher::new(MatchOptions::default()).find(&pattern, &data).unwrap();
+        let par = Matcher::new(MatchOptions {
+            threads: Some(4),
+            ..MatchOptions::default()
+        })
+        .find(&pattern, &data)
+        .unwrap();
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,142 @@
+//! Pattern search-order planning.
+//!
+//! Backtracking matchers are sensitive to the order in which pattern
+//! vertices are assigned: placing a vertex adjacent to already-placed ones
+//! lets the candidate set be computed by adjacency intersection instead of a
+//! full scan. The plan here is the classic connectivity-first heuristic:
+//! start from a highest-degree vertex, grow by always picking the unplaced
+//! vertex with the most placed neighbors (ties: higher degree, then lower
+//! index for determinism).
+
+use mapa_graph::Graph;
+
+/// A precomputed assignment order for a pattern graph.
+#[derive(Debug, Clone)]
+pub struct SearchPlan {
+    /// Pattern vertices in assignment order.
+    pub order: Vec<usize>,
+    /// For each position `i`, the positions `< i` whose pattern vertices are
+    /// adjacent to `order[i]` (the "back edges" to check/intersect).
+    pub back_neighbors: Vec<Vec<usize>>,
+}
+
+impl SearchPlan {
+    /// Builds the plan for `pattern`.
+    #[must_use]
+    pub fn build<W: Copy>(pattern: &Graph<W>) -> Self {
+        let n = pattern.vertex_count();
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+
+        for _ in 0..n {
+            let next = (0..n)
+                .filter(|&v| !placed[v])
+                .max_by(|&a, &b| {
+                    let ka = placed_neighbor_count(pattern, &placed, a);
+                    let kb = placed_neighbor_count(pattern, &placed, b);
+                    ka.cmp(&kb)
+                        .then(pattern.degree(a).cmp(&pattern.degree(b)))
+                        .then(b.cmp(&a)) // prefer smaller index
+                })
+                .expect("unplaced vertex exists");
+            placed[next] = true;
+            order.push(next);
+        }
+
+        let back_neighbors = order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                (0..i)
+                    .filter(|&j| pattern.has_edge(v, order[j]))
+                    .collect()
+            })
+            .collect();
+
+        Self { order, back_neighbors }
+    }
+
+    /// Number of pattern vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True for the empty pattern.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+fn placed_neighbor_count<W: Copy>(pattern: &Graph<W>, placed: &[bool], v: usize) -> usize {
+    pattern.neighbors(v).filter(|&u| placed[u]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_graph::PatternGraph;
+
+    #[test]
+    fn order_is_a_permutation() {
+        for pattern in [
+            PatternGraph::ring(6),
+            PatternGraph::chain(5),
+            PatternGraph::star(7),
+            PatternGraph::binary_tree(6),
+            PatternGraph::new(4),
+        ] {
+            let plan = SearchPlan::build(&pattern);
+            let mut seen = plan.order.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..pattern.vertex_count()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn connected_pattern_always_extends_frontier() {
+        // After the first vertex, every placed vertex of a connected pattern
+        // must touch at least one earlier vertex.
+        for pattern in [
+            PatternGraph::ring(7),
+            PatternGraph::chain(6),
+            PatternGraph::binary_tree(7),
+            PatternGraph::all_to_all(5),
+        ] {
+            let plan = SearchPlan::build(&pattern);
+            for i in 1..plan.len() {
+                assert!(
+                    !plan.back_neighbors[i].is_empty(),
+                    "position {i} of {pattern:?} has no back neighbors"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn star_starts_at_hub() {
+        let plan = SearchPlan::build(&PatternGraph::star(5));
+        assert_eq!(plan.order[0], 0, "hub has highest degree");
+    }
+
+    #[test]
+    fn back_neighbors_reference_adjacent_positions() {
+        let pattern = PatternGraph::ring(5);
+        let plan = SearchPlan::build(&pattern);
+        for i in 0..plan.len() {
+            for &j in &plan.back_neighbors[i] {
+                assert!(j < i);
+                assert!(pattern.has_edge(plan.order[i], plan.order[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(SearchPlan::build(&PatternGraph::new(0)).is_empty());
+        let single = SearchPlan::build(&PatternGraph::new(1));
+        assert_eq!(single.order, vec![0]);
+        assert!(single.back_neighbors[0].is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Parallel match enumeration.
+//!
+//! The paper notes (§5.4) that MAPA's scoring overhead "can be reduced by
+//! parallelizing ... since it is a data parallel problem". Enumeration
+//! parallelises the same way: the search tree is partitioned at the first
+//! assignment level — each candidate image of the first pattern vertex
+//! roots an independent subtree — and subtrees are distributed over
+//! crossbeam scoped threads through a shared atomic work index. Each worker
+//! runs a VF2 search whose first-vertex candidate set is restricted to its
+//! assigned subtree root, so no work is duplicated.
+
+use crate::vf2::{self, Vf2Config};
+use crate::Embedding;
+use mapa_graph::{BitSet, Graph};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Enumerates up to `cap` embeddings using `threads` workers.
+///
+/// Results are concatenated in nondeterministic order — callers sort. With
+/// `cap < usize::MAX` the *set* of returned matches is nondeterministic (as
+/// with any early-terminated parallel search), but the count respects the
+/// cap.
+#[must_use]
+pub fn enumerate_parallel<P: Copy + Sync, D: Copy + Sync>(
+    pattern: &Graph<P>,
+    data: &Graph<D>,
+    config: &Vf2Config,
+    frozen: Option<&BitSet>,
+    threads: usize,
+    cap: usize,
+) -> Vec<Embedding> {
+    let pn = pattern.vertex_count();
+    let dn = data.vertex_count();
+    if pn == 0 {
+        return vec![Embedding::new(vec![])];
+    }
+    if threads <= 1 || dn == 0 {
+        let mut out = Vec::new();
+        vf2::enumerate(pattern, data, config, frozen, &mut |m| {
+            out.push(Embedding::new(m.to_vec()));
+            out.len() < cap
+        });
+        return out;
+    }
+
+    let candidates: Vec<usize> = (0..dn)
+        .filter(|&d| frozen.is_none_or(|f| !f.contains(d)))
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Embedding>> = Mutex::new(Vec::new());
+    let found = AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(candidates.len().max(1)) {
+            scope.spawn(|_| {
+                let mut local = Vec::new();
+                loop {
+                    if found.load(Ordering::Relaxed) >= cap {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= candidates.len() {
+                        break;
+                    }
+                    let subtree = Vf2Config {
+                        induced: config.induced,
+                        constraints: config.constraints.clone(),
+                        first_candidates: Some(BitSet::from_indices(dn, &[candidates[i]])),
+                    };
+                    vf2::enumerate(pattern, data, &subtree, frozen, &mut |m| {
+                        local.push(Embedding::new(m.to_vec()));
+                        found.fetch_add(1, Ordering::Relaxed) + 1 < cap
+                    });
+                }
+                results.lock().expect("no panics hold the lock").extend(local);
+            });
+        }
+    })
+    .expect("matcher worker panicked");
+
+    let mut out = results.into_inner().expect("scope joined all workers");
+    out.truncate(cap);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetry::analyze;
+    use mapa_graph::PatternGraph;
+
+    fn sequential(
+        pattern: &PatternGraph,
+        data: &PatternGraph,
+        config: &Vf2Config,
+    ) -> Vec<Embedding> {
+        let mut out = Vec::new();
+        vf2::enumerate(pattern, data, config, None, &mut |m| {
+            out.push(Embedding::new(m.to_vec()));
+            true
+        });
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn parallel_equals_sequential_unconstrained() {
+        let pattern = PatternGraph::ring(4);
+        let data = PatternGraph::all_to_all(7);
+        let config = Vf2Config::default();
+        let expect = sequential(&pattern, &data, &config);
+        for threads in [2, 3, 8] {
+            let mut got =
+                enumerate_parallel(&pattern, &data, &config, None, threads, usize::MAX);
+            got.sort();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_with_constraints() {
+        let pattern = PatternGraph::ring(5);
+        let (_, constraints) = analyze(&pattern);
+        let data = PatternGraph::all_to_all(7);
+        let config = Vf2Config {
+            induced: false,
+            constraints,
+            first_candidates: None,
+        };
+        let expect = sequential(&pattern, &data, &config);
+        let mut got = enumerate_parallel(&pattern, &data, &config, None, 4, usize::MAX);
+        got.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn respects_frozen_mask() {
+        let pattern = PatternGraph::ring(3);
+        let data = PatternGraph::all_to_all(6);
+        let frozen = BitSet::from_indices(6, &[0, 5]);
+        let config = Vf2Config::default();
+        let got = enumerate_parallel(&pattern, &data, &config, Some(&frozen), 3, usize::MAX);
+        assert!(!got.is_empty());
+        for e in &got {
+            assert!(e.as_slice().iter().all(|&d| d != 0 && d != 5));
+        }
+    }
+
+    #[test]
+    fn cap_limits_results() {
+        let pattern = PatternGraph::ring(2);
+        let data = PatternGraph::all_to_all(8);
+        let got = enumerate_parallel(&pattern, &data, &Vf2Config::default(), None, 4, 5);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let got = enumerate_parallel(
+            &PatternGraph::new(0),
+            &PatternGraph::all_to_all(3),
+            &Vf2Config::default(),
+            None,
+            4,
+            usize::MAX,
+        );
+        assert_eq!(got, vec![Embedding::new(vec![])]);
+    }
+
+    #[test]
+    fn induced_mode_parallel() {
+        // Induced C4s in the 3-cube graph (Q3 has 6 faces × 8 mappings each).
+        let mut q3 = PatternGraph::new(8);
+        for u in 0..8u32 {
+            for b in 0..3 {
+                let v = u ^ (1 << b);
+                if u < v {
+                    q3.add_edge(u as usize, v as usize, ()).unwrap();
+                }
+            }
+        }
+        let pattern = PatternGraph::ring(4);
+        let config = Vf2Config {
+            induced: true,
+            ..Vf2Config::default()
+        };
+        let expect = sequential(&pattern, &q3, &config);
+        let mut got = enumerate_parallel(&pattern, &q3, &config, None, 4, usize::MAX);
+        got.sort();
+        assert_eq!(got, expect);
+        assert_eq!(expect.len(), 6 * 8);
+    }
+}

@@ -1,0 +1,111 @@
+//! The Eq. 2 feature expansion.
+//!
+//! Predicted EffBW = θ₁x + θ₂y + θ₃z
+//!                 + θ₄/(x+1) + θ₅/(y+1) + θ₆/(z+1)
+//!                 + θ₇xy + θ₈yz + θ₉zx
+//!                 + θ₁₀/(xy+1) + θ₁₁/(yz+1) + θ₁₂/(zx+1)
+//!                 + θ₁₃xyz + θ₁₄/(xyz+1)
+//!
+//! where `x` = double NVLinks, `y` = single NVLinks, `z` = PCIe links in
+//! the matching pattern. The model is *linear in θ*, so fitting it is
+//! ordinary least squares over this 14-dimensional feature vector.
+
+use mapa_topology::LinkMix;
+
+/// Number of features (and coefficients) in Eq. 2.
+pub const NUM_FEATURES: usize = 14;
+
+/// Expands a link mix into the 14 Eq. 2 features, in θ₁…θ₁₄ order.
+#[must_use]
+pub fn expand(mix: &LinkMix) -> [f64; NUM_FEATURES] {
+    let (x, y, z) = mix.xyz();
+    [
+        x,
+        y,
+        z,
+        1.0 / (x + 1.0),
+        1.0 / (y + 1.0),
+        1.0 / (z + 1.0),
+        x * y,
+        y * z,
+        z * x,
+        1.0 / (x * y + 1.0),
+        1.0 / (y * z + 1.0),
+        1.0 / (z * x + 1.0),
+        x * y * z,
+        1.0 / (x * y * z + 1.0),
+    ]
+}
+
+/// Dot product of a coefficient vector with the expanded features —
+/// the Eq. 2 prediction.
+#[must_use]
+pub fn predict_with(theta: &[f64; NUM_FEATURES], mix: &LinkMix) -> f64 {
+    expand(mix)
+        .iter()
+        .zip(theta.iter())
+        .map(|(f, t)| f * t)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(x: usize, y: usize, z: usize) -> LinkMix {
+        LinkMix { double_nvlink: x, single_nvlink: y, pcie: z }
+    }
+
+    #[test]
+    fn zero_mix_features() {
+        let f = expand(&mix(0, 0, 0));
+        // Linear and pairwise terms vanish; all inverse terms are 1.
+        assert_eq!(f[0..3], [0.0, 0.0, 0.0]);
+        assert_eq!(f[3..6], [1.0, 1.0, 1.0]);
+        assert_eq!(f[6..9], [0.0, 0.0, 0.0]);
+        assert_eq!(f[9..12], [1.0, 1.0, 1.0]);
+        assert_eq!(f[12], 0.0);
+        assert_eq!(f[13], 1.0);
+    }
+
+    #[test]
+    fn feature_order_matches_equation() {
+        let f = expand(&mix(2, 3, 4));
+        assert_eq!(f[0], 2.0); // x
+        assert_eq!(f[1], 3.0); // y
+        assert_eq!(f[2], 4.0); // z
+        assert_eq!(f[3], 1.0 / 3.0); // 1/(x+1)
+        assert_eq!(f[4], 1.0 / 4.0); // 1/(y+1)
+        assert_eq!(f[5], 1.0 / 5.0); // 1/(z+1)
+        assert_eq!(f[6], 6.0); // xy
+        assert_eq!(f[7], 12.0); // yz
+        assert_eq!(f[8], 8.0); // zx
+        assert_eq!(f[9], 1.0 / 7.0); // 1/(xy+1)
+        assert_eq!(f[10], 1.0 / 13.0); // 1/(yz+1)
+        assert_eq!(f[11], 1.0 / 9.0); // 1/(zx+1)
+        assert_eq!(f[12], 24.0); // xyz
+        assert_eq!(f[13], 1.0 / 25.0); // 1/(xyz+1)
+    }
+
+    #[test]
+    fn predict_is_linear_in_theta() {
+        let m = mix(1, 2, 0);
+        let mut t1 = [0.0; NUM_FEATURES];
+        t1[0] = 2.0;
+        assert_eq!(predict_with(&t1, &m), 2.0 * 1.0);
+        let mut t2 = [0.0; NUM_FEATURES];
+        t2[4] = 3.0; // 3/(y+1) = 1
+        assert_eq!(predict_with(&t2, &m), 1.0);
+        // Sum of thetas = sum of predictions.
+        let mut t3 = [0.0; NUM_FEATURES];
+        t3[0] = 2.0;
+        t3[4] = 3.0;
+        assert_eq!(predict_with(&t3, &m), 3.0);
+    }
+
+    #[test]
+    fn features_are_finite_for_large_mixes() {
+        let f = expand(&mix(100, 100, 100));
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

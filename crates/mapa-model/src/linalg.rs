@@ -1,0 +1,321 @@
+//! Minimal dense linear algebra: just enough for ordinary least squares.
+//!
+//! A reproduction should not pull a BLAS for a 14×14 normal-equation
+//! solve. [`Matrix`] is row-major `Vec<f64>`-backed with multiplication,
+//! transpose, and a partial-pivot Gaussian solver; [`least_squares`] wraps
+//! them as `θ = (AᵀA + λI)⁻¹ Aᵀ b` with a tiny ridge `λ` for numerical
+//! safety on collinear feature sets.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors from linear solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Dimensions incompatible for the requested operation.
+    DimensionMismatch,
+    /// The system is singular (no pivot above tolerance).
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch => write!(f, "matrix dimension mismatch"),
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged.
+    #[must_use]
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        Self {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    /// Fails when inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    /// Fails when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Solves `self · x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// # Errors
+    /// Fails for non-square systems, mismatched `b`, or singular matrices.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols || b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below row.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| a[(r1, col)].abs().total_cmp(&a[(r2, col)].abs()))
+                .expect("non-empty range");
+            if a[(pivot_row, col)].abs() < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = a[(col, j)];
+                    a[(col, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[(col, col)];
+            for row in (col + 1)..n {
+                let factor = a[(row, col)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[(row, j)] -= factor * a[(col, j)];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            x[col] /= a[(col, col)];
+            for row in 0..col {
+                x[row] -= a[(row, col)] * x[col];
+            }
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Ordinary least squares with ridge damping: minimises
+/// `‖A·θ − b‖² + λ‖θ‖²` via the normal equations.
+///
+/// # Errors
+/// Fails on dimension mismatch or if `AᵀA + λI` is singular (only possible
+/// with `λ = 0` and rank-deficient features).
+pub fn least_squares(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let at = a.transpose();
+    let mut ata = at.matmul(a)?;
+    for i in 0..ata.rows() {
+        ata[(i, i)] += lambda;
+    }
+    let atb = at.matvec(b)?;
+    ata.solve(&atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve() {
+        let i = Matrix::identity(3);
+        let x = i.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_close(&x, &[1.0, 2.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn known_system() {
+        // 2x + y = 5; x + 3y = 10  →  x = 1, y = 3.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(1, 1)], 50.0);
+        let t = a.transpose();
+        assert_eq!(t[(0, 1)], 3.0);
+        assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // Overdetermined but consistent: b = A·θ with θ = (2, -1).
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 3.0],
+        ]);
+        let theta = [2.0, -1.0];
+        let b = a.matvec(&theta).unwrap();
+        let est = least_squares(&a, &b, 0.0).unwrap();
+        assert_close(&est, &theta, 1e-10);
+    }
+
+    #[test]
+    fn ridge_regularizes_rank_deficiency() {
+        // Duplicate columns are rank-deficient; λ > 0 still solves.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let b = [2.0, 4.0, 6.0];
+        assert_eq!(least_squares(&a, &b, 0.0), Err(LinalgError::Singular));
+        let est = least_squares(&a, &b, 1e-8).unwrap();
+        // Symmetric split: each coefficient ≈ 1.
+        assert_close(&est, &[1.0, 1.0], 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_roundtrips(
+            n in 1usize..6,
+            seed in proptest::collection::vec(-5.0f64..5.0, 36 + 6),
+        ) {
+            // Build a diagonally dominant (hence nonsingular) matrix.
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                let mut rowsum = 0.0;
+                for j in 0..n {
+                    if i != j {
+                        a[(i, j)] = seed[i * 6 + j];
+                        rowsum += a[(i, j)].abs();
+                    }
+                }
+                a[(i, i)] = rowsum + 1.0;
+            }
+            let b: Vec<f64> = seed[36..36 + n].to_vec();
+            let x = a.solve(&b).unwrap();
+            let back = a.matvec(&x).unwrap();
+            for (orig, got) in b.iter().zip(&back) {
+                prop_assert!((orig - got).abs() < 1e-8);
+            }
+        }
+    }
+}

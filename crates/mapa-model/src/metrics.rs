@@ -1,0 +1,131 @@
+//! Prediction-quality metrics reported in the paper (Fig. 12 caption):
+//! relative error, RMSE, MAE — plus Pearson correlation used for the
+//! Fig. 15 simulator-validation plot.
+
+/// Root-mean-square error between predictions and ground truth.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+#[must_use]
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    check(predicted, actual);
+    let mse = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+#[must_use]
+pub fn mae(predicted: &[f64], actual: &[f64]) -> f64 {
+    check(predicted, actual);
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / predicted.len() as f64
+}
+
+/// Mean relative error `|p − a| / |a|`, skipping zero-valued truths.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+#[must_use]
+pub fn mean_relative_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    check(predicted, actual);
+    let pairs: Vec<(f64, f64)> = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(_, a)| **a != 0.0)
+        .map(|(p, a)| (*p, *a))
+        .collect();
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|(p, a)| (p - a).abs() / a.abs()).sum::<f64>() / pairs.len() as f64
+}
+
+/// Pearson correlation coefficient.
+///
+/// Returns 0 when either series has zero variance.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    check(xs, ys);
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+fn check(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    assert!(!a.is_empty(), "metrics need at least one sample");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_are_zero_error() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(mean_relative_error(&a, &a), 0.0);
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_errors() {
+        let p = [2.0, 2.0];
+        let a = [0.0, 4.0];
+        assert_eq!(mae(&p, &a), 2.0);
+        assert_eq!(rmse(&p, &a), 2.0);
+        // Relative error skips the zero truth: |2-4|/4 = 0.5.
+        assert_eq!(mean_relative_error(&p, &a), 0.5);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down) + 1.0).abs() < 1e-12);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &flat), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_series_panic() {
+        let _ = mae(&[], &[]);
+    }
+}

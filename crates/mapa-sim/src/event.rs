@@ -1,0 +1,115 @@
+//! Discrete-event queue for the execution engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Event {
+    /// Simulated time in seconds.
+    pub time: f64,
+    /// Monotonic tie-breaker so simultaneous events process FIFO.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A job arrives at the dispatcher (index into the job list).
+    JobArrival(usize),
+    /// A running job completes and frees its GPUs.
+    JobFinished(u64),
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour in BinaryHeap (earliest first).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time.is_finite() && time >= 0.0, "event time {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::JobFinished(1));
+        q.push(1.0, EventKind::JobFinished(2));
+        q.push(3.0, EventKind::JobFinished(3));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::JobFinished(10));
+        q.push(2.0, EventKind::JobFinished(11));
+        q.push(2.0, EventKind::JobFinished(12));
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::JobFinished(id) => id,
+                EventKind::JobArrival(_) => unreachable!("no arrivals queued"),
+            })
+            .collect();
+        assert_eq!(ids, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, EventKind::JobFinished(1));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,175 @@
+//! Experiment runners: the policy-comparison studies of §4 and §5.
+
+use crate::engine::{JobRecord, SimReport, Simulation};
+use crate::stats::{self, Summary};
+use mapa_core::policy;
+use mapa_topology::Topology;
+use mapa_workloads::JobSpec;
+
+/// Reports of all four paper policies over the same job list and machine —
+/// the data behind Fig. 13, Table 3 and Fig. 18.
+#[derive(Debug, Clone)]
+pub struct PolicyComparison {
+    /// One report per policy, in §4 order (baseline, Topo-aware, Greedy,
+    /// Preserve).
+    pub reports: Vec<SimReport>,
+}
+
+/// Runs the four paper policies on `jobs` against `topology`.
+#[must_use]
+pub fn compare_policies(topology: &Topology, jobs: &[JobSpec]) -> PolicyComparison {
+    let reports = policy::paper_policies()
+        .into_iter()
+        .map(|p| Simulation::new(topology.clone(), p).run(jobs))
+        .collect();
+    PolicyComparison { reports }
+}
+
+/// One row of the Table 3 summary.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Policy name.
+    pub policy: String,
+    /// Speedup at {min, p25, p50, p75, max}, normalized to baseline.
+    pub speedup: stats::SpeedupRow,
+    /// Throughput normalized to baseline.
+    pub normalized_throughput: f64,
+}
+
+impl PolicyComparison {
+    /// The report for a policy by name.
+    #[must_use]
+    pub fn report(&self, policy: &str) -> Option<&SimReport> {
+        self.reports.iter().find(|r| r.policy_name == policy)
+    }
+
+    /// Table 3: per-policy execution-time speedup quantiles and
+    /// throughput, normalized to the baseline policy. Only multi-GPU jobs
+    /// enter the execution-time distributions (1-GPU jobs are placement-
+    /// independent noise).
+    ///
+    /// # Panics
+    /// Panics if the comparison does not include a "baseline" report.
+    #[must_use]
+    pub fn table3(&self) -> Vec<Table3Row> {
+        self.table3_filtered(|r| r.job.num_gpus >= 2)
+    }
+
+    /// Table 3 restricted to bandwidth-sensitive multi-GPU jobs — the
+    /// population where placement quality shows (the paper's Fig. 13
+    /// likewise separates sensitive from insensitive workloads).
+    ///
+    /// # Panics
+    /// Panics if the comparison does not include a "baseline" report.
+    #[must_use]
+    pub fn table3_sensitive(&self) -> Vec<Table3Row> {
+        self.table3_filtered(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2)
+    }
+
+    /// Table 3 over an arbitrary job filter.
+    ///
+    /// # Panics
+    /// Panics if the comparison does not include a "baseline" report.
+    #[must_use]
+    pub fn table3_filtered(&self, filter: impl Fn(&JobRecord) -> bool + Copy) -> Vec<Table3Row> {
+        let baseline = self.report("baseline").expect("baseline run present");
+        let base_summary = stats::summarize(&baseline.execution_times(filter));
+        self.reports
+            .iter()
+            .map(|rep| {
+                let s = stats::summarize(&rep.execution_times(filter));
+                Table3Row {
+                    policy: rep.policy_name.clone(),
+                    speedup: base_summary.speedup_over(&s),
+                    normalized_throughput: rep.throughput_jobs_per_hour
+                        / baseline.throughput_jobs_per_hour,
+                }
+            })
+            .collect()
+    }
+
+    /// Fig. 13(a/c)-style per-workload summaries for one policy:
+    /// `(workload name, execution-time summary, predicted-EffBW summary)`.
+    #[must_use]
+    pub fn per_workload_summaries(&self, policy: &str) -> Vec<(String, Summary, Summary)> {
+        let Some(rep) = self.report(policy) else {
+            return vec![];
+        };
+        let mut workloads: Vec<String> = rep
+            .records
+            .iter()
+            .filter(|r| r.job.num_gpus >= 2)
+            .map(|r| r.job.workload.name().to_string())
+            .collect();
+        workloads.sort();
+        workloads.dedup();
+        workloads
+            .into_iter()
+            .map(|w| {
+                let times =
+                    rep.execution_times(|r| r.job.workload.name() == w && r.job.num_gpus >= 2);
+                let bws =
+                    rep.predicted_eff_bws(|r| r.job.workload.name() == w && r.job.num_gpus >= 2);
+                (w, stats::summarize(&times), stats::summarize(&bws))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_topology::machines;
+    use mapa_workloads::generator;
+
+    fn small_mix() -> Vec<JobSpec> {
+        let cfg = generator::JobMixConfig { job_count: 60, ..Default::default() };
+        generator::generate_jobs(&cfg, 21)
+    }
+
+    #[test]
+    fn comparison_runs_all_four_policies() {
+        let cmp = compare_policies(&machines::dgx1_v100(), &small_mix());
+        let names: Vec<&str> = cmp.reports.iter().map(|r| r.policy_name.as_str()).collect();
+        assert_eq!(names, vec!["baseline", "Topo-aware", "Greedy", "Preserve"]);
+        assert!(cmp.report("Preserve").is_some());
+        assert!(cmp.report("nope").is_none());
+    }
+
+    #[test]
+    fn table3_baseline_row_is_unity() {
+        let cmp = compare_policies(&machines::dgx1_v100(), &small_mix());
+        let t3 = cmp.table3();
+        let base = &t3[0];
+        assert_eq!(base.policy, "baseline");
+        for v in [base.speedup.min, base.speedup.p25, base.speedup.p50, base.speedup.p75, base.speedup.max] {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+        assert!((base.normalized_throughput - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapa_policies_do_not_lose_at_the_tail() {
+        let cmp = compare_policies(&machines::dgx1_v100(), &small_mix());
+        let t3 = cmp.table3();
+        let preserve = t3.iter().find(|r| r.policy == "Preserve").unwrap();
+        assert!(
+            preserve.speedup.p75 >= 0.99,
+            "Preserve p75 speedup {} should not regress",
+            preserve.speedup.p75
+        );
+    }
+
+    #[test]
+    fn per_workload_summaries_cover_multigpu_workloads() {
+        let cmp = compare_policies(&machines::dgx1_v100(), &small_mix());
+        let rows = cmp.per_workload_summaries("Preserve");
+        assert!(!rows.is_empty());
+        for (name, times, bws) in rows {
+            assert!(times.count > 0, "{name}");
+            assert!(times.min > 0.0);
+            assert!(bws.min >= 0.0);
+        }
+        assert!(cmp.per_workload_summaries("unknown").is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! The MAPA simulation framework (paper §5, Fig. 14).
+//!
+//! "The simulation starts with a job file. … The Dispatcher reads the job
+//! file and puts the job in the Job Queue. The Job Queue employs a
+//! First-in First-out policy … If there exist available GPU resources, the
+//! simulator invokes MAPA to obtain an allocation for the next job. The
+//! execution engine … models the availability of a hardware resource. When
+//! a job is allocated, we flag the hardware as busy, record the cycle
+//! time, and begin the execution of the job. Once the specified execution
+//! time has elapsed, we … log the job's information … The logger records
+//! the Predicted Effective Bandwidth information along with other job
+//! properties."
+//!
+//! Our engine is identical in structure, with one upgrade over the paper's
+//! description: instead of replaying fixed measured execution times, job
+//! duration is computed from the workload performance model and the
+//! *actual effective bandwidth* of the allocation the policy produced —
+//! so allocation quality feeds back into execution time exactly as on the
+//! real machine.
+//!
+//! # Example
+//!
+//! ```
+//! use mapa_sim::{Simulation, SimConfig};
+//! use mapa_core::policy::PreservePolicy;
+//! use mapa_topology::machines;
+//! use mapa_workloads::generator;
+//!
+//! let jobs = generator::paper_job_mix(1);
+//! let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+//!     .run(&jobs[..20]);
+//! assert_eq!(report.records.len(), 20);
+//! assert!(report.makespan_seconds > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod event;
+pub mod experiment;
+pub mod logfile;
+pub mod stats;
+pub mod timeline;
+
+pub use engine::{ArrivalProcess, JobRecord, SimConfig, SimReport, Simulation};

@@ -1,0 +1,347 @@
+//! `nvidia-smi topo -m`-style matrix parsing and rendering.
+//!
+//! The paper (§3.2) extracts hardware graphs "from existing tools, such as
+//! nvidia-smi". This module accepts the connectivity-matrix format that
+//! tool prints, so a user on a real machine can feed MAPA the same way:
+//!
+//! ```text
+//!        GPU0  GPU1  GPU2
+//! GPU0    X    NV2   SYS
+//! GPU1   NV2    X    NV1
+//! GPU2   SYS   NV1    X
+//! ```
+//!
+//! Cell legend (as in nvidia-smi): `X` self, `NV<k>` = k bonded NVLink
+//! bricks, and any of `SYS`/`NODE`/`PHB`/`PXB`/`PIX` = a PCIe-class path.
+//! `NV1` maps to single NVLink, `NV2`+ to double; the NVLink generation is
+//! chosen by [`NvlinkGeneration`].
+
+use crate::{LinkType, Topology};
+use mapa_graph::Graph;
+use std::fmt;
+
+/// Which NVLink generation `NV<k>` cells denote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NvlinkGeneration {
+    /// Pascal-era NVLink-v1 (20 GB/s per brick).
+    V1,
+    /// Volta-era NVLink-v2 (25 GB/s per brick; default).
+    #[default]
+    V2,
+}
+
+/// Errors from matrix parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input had no data rows.
+    Empty,
+    /// A row had the wrong number of cells.
+    RowLength {
+        /// Zero-based row index.
+        row: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected (GPU count + row label).
+        expected: usize,
+    },
+    /// An unrecognized cell token.
+    BadCell {
+        /// Zero-based row index.
+        row: usize,
+        /// Zero-based column index.
+        col: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The matrix was not symmetric.
+    Asymmetric {
+        /// Row of the mismatch.
+        row: usize,
+        /// Column of the mismatch.
+        col: usize,
+    },
+    /// A diagonal cell was not `X`.
+    BadDiagonal(usize),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "no data rows found"),
+            ParseError::RowLength { row, found, expected } => {
+                write!(f, "row {row}: found {found} cells, expected {expected}")
+            }
+            ParseError::BadCell { row, col, token } => {
+                write!(f, "row {row} col {col}: unrecognized cell '{token}'")
+            }
+            ParseError::Asymmetric { row, col } => {
+                write!(f, "matrix asymmetric at ({row}, {col})")
+            }
+            ParseError::BadDiagonal(row) => write!(f, "diagonal cell of row {row} must be X"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an `nvidia-smi topo -m`-style matrix into a [`Topology`].
+///
+/// Rows may carry a leading `GPU<n>` label; a header line of column labels
+/// is skipped automatically. Socket domains are inferred: GPUs connected by
+/// any NVLink or a non-`SYS` PCIe path share a socket with their lowest
+/// such peer; `SYS` implies crossing sockets. (For machines without `SYS`
+/// cells everything lands in socket 0.)
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first problem found.
+pub fn parse_topology_matrix(
+    input: &str,
+    name: &str,
+    generation: NvlinkGeneration,
+) -> Result<Topology, ParseError> {
+    // Collect data rows: lines whose first meaningful token is a GPU label
+    // or a cell. Skip the header (a line starting with column labels).
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for line in input.lines() {
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        // Header line: starts with a GPU label and contains ONLY labels.
+        let all_labels = tokens.iter().all(|t| t.starts_with("GPU"));
+        if all_labels {
+            continue;
+        }
+        rows.push(tokens);
+    }
+    if rows.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let n = rows.len();
+
+    // Normalise: drop a leading GPU label if present.
+    let mut cells: Vec<Vec<String>> = Vec::with_capacity(n);
+    for (i, mut row) in rows.into_iter().enumerate() {
+        if row.first().is_some_and(|t| t.starts_with("GPU")) {
+            row.remove(0);
+        }
+        if row.len() < n {
+            return Err(ParseError::RowLength { row: i, found: row.len(), expected: n });
+        }
+        row.truncate(n); // ignore trailing columns (CPU affinity etc.)
+        cells.push(row);
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Cell {
+        Diagonal,
+        NvLink(u32),
+        PciLocal, // PHB / PXB / PIX / NODE: same PCIe root or NUMA node
+        PciSys,   // SYS: across sockets
+    }
+
+    let classify = |row: usize, col: usize, tok: &str| -> Result<Cell, ParseError> {
+        let t = tok.to_ascii_uppercase();
+        if t == "X" {
+            Ok(Cell::Diagonal)
+        } else if let Some(k) = t.strip_prefix("NV") {
+            k.parse::<u32>()
+                .map(Cell::NvLink)
+                .map_err(|_| ParseError::BadCell { row, col, token: tok.to_string() })
+        } else if matches!(t.as_str(), "PHB" | "PXB" | "PIX" | "NODE") {
+            Ok(Cell::PciLocal)
+        } else if t == "SYS" || t == "QPI" {
+            Ok(Cell::PciSys)
+        } else {
+            Err(ParseError::BadCell { row, col, token: tok.to_string() })
+        }
+    };
+
+    let mut grid = vec![vec![Cell::Diagonal; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            grid[i][j] = classify(i, j, &cells[i][j])?;
+        }
+    }
+
+    for (i, row) in grid.iter().enumerate() {
+        if row[i] != Cell::Diagonal {
+            return Err(ParseError::BadDiagonal(i));
+        }
+        for (j, &cell) in row.iter().enumerate().skip(i + 1) {
+            if cell != grid[j][i] {
+                return Err(ParseError::Asymmetric { row: i, col: j });
+            }
+        }
+    }
+
+    let mut links = Graph::new(n);
+    for (i, row) in grid.iter().enumerate() {
+        for (j, &cell) in row.iter().enumerate().skip(i + 1) {
+            if let Cell::NvLink(k) = cell {
+                let link = match (k, generation) {
+                    (0, _) => continue,
+                    (1, NvlinkGeneration::V1) => LinkType::SingleNvLink1,
+                    (1, NvlinkGeneration::V2) => LinkType::SingleNvLink2,
+                    // Treat >= 2 bricks as the paper's "double" class.
+                    (_, _) => LinkType::DoubleNvLink2,
+                };
+                links.add_edge(i, j, link).expect("matrix edges valid");
+            }
+        }
+    }
+
+    // Socket inference: union GPUs not separated by SYS.
+    let mut socket = vec![usize::MAX; n];
+    let mut next = 0;
+    for i in 0..n {
+        if socket[i] != usize::MAX {
+            continue;
+        }
+        socket[i] = next;
+        for j in (i + 1)..n {
+            if socket[j] == usize::MAX && grid[i][j] != Cell::PciSys {
+                socket[j] = next;
+            }
+        }
+        next += 1;
+    }
+
+    Ok(Topology::new(name, links, socket))
+}
+
+/// Renders a topology back into the matrix format (round-trips with
+/// [`parse_topology_matrix`]).
+#[must_use]
+pub fn to_topology_matrix(topology: &Topology) -> String {
+    let n = topology.gpu_count();
+    let mut out = String::new();
+    out.push_str("     ");
+    for j in 0..n {
+        out.push_str(&format!("{:>6}", format!("GPU{j}")));
+    }
+    out.push('\n');
+    for i in 0..n {
+        out.push_str(&format!("{:<5}", format!("GPU{i}")));
+        for j in 0..n {
+            let cell = if i == j {
+                "X".to_string()
+            } else {
+                match topology.link_type(i, j) {
+                    LinkType::DoubleNvLink2 => "NV2".to_string(),
+                    LinkType::SingleNvLink1 | LinkType::SingleNvLink2 => "NV1".to_string(),
+                    LinkType::Pcie => {
+                        if topology.socket_of(i) == topology.socket_of(j) {
+                            "PHB".to_string()
+                        } else {
+                            "SYS".to_string()
+                        }
+                    }
+                }
+            };
+            out.push_str(&format!("{cell:>6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    const SAMPLE: &str = "\
+       GPU0  GPU1  GPU2  GPU3
+GPU0    X    NV2   NV1   SYS
+GPU1   NV2    X    SYS   NV1
+GPU2   NV1   SYS    X    NV2
+GPU3   SYS   NV1   NV2    X
+";
+
+    #[test]
+    fn parses_sample_matrix() {
+        let t = parse_topology_matrix(SAMPLE, "sample", NvlinkGeneration::V2).unwrap();
+        assert_eq!(t.gpu_count(), 4);
+        assert_eq!(t.link_type(0, 1), LinkType::DoubleNvLink2);
+        assert_eq!(t.link_type(0, 2), LinkType::SingleNvLink2);
+        assert_eq!(t.link_type(0, 3), LinkType::Pcie);
+        assert_eq!(t.link_type(2, 3), LinkType::DoubleNvLink2);
+    }
+
+    #[test]
+    fn v1_generation_selects_nvlink_v1() {
+        let t = parse_topology_matrix(SAMPLE, "sample", NvlinkGeneration::V1).unwrap();
+        assert_eq!(t.link_type(0, 2), LinkType::SingleNvLink1);
+        // Multi-brick still maps to the double class.
+        assert_eq!(t.link_type(0, 1), LinkType::DoubleNvLink2);
+    }
+
+    #[test]
+    fn socket_inference_from_sys() {
+        let t = parse_topology_matrix(SAMPLE, "sample", NvlinkGeneration::V2).unwrap();
+        // 0 and 3 are separated by SYS, 0 and 1/2 are not.
+        assert_eq!(t.socket_of(0), t.socket_of(1));
+        assert_eq!(t.socket_of(0), t.socket_of(2));
+        assert_ne!(t.socket_of(0), t.socket_of(3));
+    }
+
+    #[test]
+    fn roundtrip_through_matrix_format() {
+        for machine in [machines::dgx1_v100(), machines::summit(), machines::torus_2d()] {
+            let rendered = to_topology_matrix(&machine);
+            let parsed =
+                parse_topology_matrix(&rendered, machine.name(), NvlinkGeneration::V2).unwrap();
+            assert_eq!(parsed.gpu_count(), machine.gpu_count());
+            for a in 0..machine.gpu_count() {
+                for b in 0..machine.gpu_count() {
+                    if a == b {
+                        continue;
+                    }
+                    // Bandwidth class must survive the roundtrip (NVLink
+                    // generation is normalised to v2 by the renderer).
+                    let orig = match machine.link_type(a, b) {
+                        LinkType::SingleNvLink1 => LinkType::SingleNvLink2,
+                        l => l,
+                    };
+                    assert_eq!(parsed.link_type(a, b), orig, "{} ({a},{b})", machine.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert_eq!(
+            parse_topology_matrix("", "x", NvlinkGeneration::V2),
+            Err(ParseError::Empty)
+        );
+        let bad_cell = "GPU0  X  WAT\nGPU1  WAT  X\n";
+        assert!(matches!(
+            parse_topology_matrix(bad_cell, "x", NvlinkGeneration::V2),
+            Err(ParseError::BadCell { token, .. }) if token == "WAT"
+        ));
+        let asym = "GPU0  X   NV1\nGPU1  SYS  X\n";
+        assert!(matches!(
+            parse_topology_matrix(asym, "x", NvlinkGeneration::V2),
+            Err(ParseError::Asymmetric { .. })
+        ));
+        let short = "GPU0  X  NV1\nGPU1  NV1\n";
+        assert!(matches!(
+            parse_topology_matrix(short, "x", NvlinkGeneration::V2),
+            Err(ParseError::RowLength { .. })
+        ));
+        let diag = "GPU0  NV1  NV1\nGPU1  NV1  X\n";
+        assert!(matches!(
+            parse_topology_matrix(diag, "x", NvlinkGeneration::V2),
+            Err(ParseError::BadDiagonal(0))
+        ));
+    }
+
+    #[test]
+    fn nv0_cells_ignored() {
+        let m = "GPU0  X   NV0\nGPU1  NV0  X\n";
+        let t = parse_topology_matrix(m, "x", NvlinkGeneration::V2).unwrap();
+        assert_eq!(t.link_type(0, 1), LinkType::Pcie);
+    }
+}

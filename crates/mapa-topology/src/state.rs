@@ -1,0 +1,336 @@
+//! Mutable allocation state over a hardware topology.
+//!
+//! §3.6 of the paper: "The hardware graph G is updated whenever there is an
+//! allocation (a job is scheduled) and a deallocation (a job is finished)."
+//! [`HardwareState`] tracks which GPUs belong to which running job, exposes
+//! the frozen-vertex mask the matcher consumes, and computes the remaining
+//! (induced) hardware graph used for Preserved Bandwidth.
+
+use crate::Topology;
+use mapa_graph::{BitSet, WeightedGraph};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a scheduled job (assigned by the caller).
+pub type JobId = u64;
+
+/// Errors from allocation state transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// A requested GPU is already assigned to another job.
+    GpuBusy {
+        /// The GPU index that was requested twice.
+        gpu: usize,
+        /// The job currently holding it.
+        held_by: JobId,
+    },
+    /// A requested GPU index exceeds the machine size.
+    GpuOutOfRange {
+        /// The offending index.
+        gpu: usize,
+        /// The machine's GPU count.
+        count: usize,
+    },
+    /// The same GPU appears twice in one request.
+    DuplicateGpu(usize),
+    /// The job id is already active.
+    JobExists(JobId),
+    /// The job id is not active.
+    UnknownJob(JobId),
+    /// An empty GPU set was requested.
+    EmptyAllocation,
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::GpuBusy { gpu, held_by } => {
+                write!(f, "GPU {gpu} is already held by job {held_by}")
+            }
+            AllocationError::GpuOutOfRange { gpu, count } => {
+                write!(f, "GPU {gpu} out of range for {count}-GPU machine")
+            }
+            AllocationError::DuplicateGpu(g) => write!(f, "GPU {g} requested twice"),
+            AllocationError::JobExists(j) => write!(f, "job {j} is already allocated"),
+            AllocationError::UnknownJob(j) => write!(f, "job {j} is not allocated"),
+            AllocationError::EmptyAllocation => write!(f, "allocation must use at least one GPU"),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// Tracks GPU occupancy for a machine across job allocations/deallocations.
+#[derive(Debug, Clone)]
+pub struct HardwareState {
+    topology: Topology,
+    owner: Vec<Option<JobId>>,
+    jobs: HashMap<JobId, Vec<usize>>,
+}
+
+impl HardwareState {
+    /// Creates an all-free state over `topology`.
+    #[must_use]
+    pub fn new(topology: Topology) -> Self {
+        let n = topology.gpu_count();
+        Self {
+            topology,
+            owner: vec![None; n],
+            jobs: HashMap::new(),
+        }
+    }
+
+    /// The underlying machine.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of currently free GPUs.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_none()).count()
+    }
+
+    /// Number of currently busy GPUs.
+    #[must_use]
+    pub fn busy_count(&self) -> usize {
+        self.topology.gpu_count() - self.free_count()
+    }
+
+    /// True when no job holds any GPU.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Number of active jobs.
+    #[must_use]
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether `gpu` is free.
+    ///
+    /// # Panics
+    /// Panics if `gpu` is out of range.
+    #[must_use]
+    pub fn is_free(&self, gpu: usize) -> bool {
+        self.owner[gpu].is_none()
+    }
+
+    /// The job holding `gpu`, if any.
+    ///
+    /// # Panics
+    /// Panics if `gpu` is out of range.
+    #[must_use]
+    pub fn owner_of(&self, gpu: usize) -> Option<JobId> {
+        self.owner[gpu]
+    }
+
+    /// The GPUs held by `job`, ascending; `None` if the job is unknown.
+    #[must_use]
+    pub fn gpus_of(&self, job: JobId) -> Option<&[usize]> {
+        self.jobs.get(&job).map(Vec::as_slice)
+    }
+
+    /// Free GPU indices, ascending.
+    #[must_use]
+    pub fn free_gpus(&self) -> Vec<usize> {
+        (0..self.owner.len()).filter(|&g| self.is_free(g)).collect()
+    }
+
+    /// The busy-GPU mask in matcher "frozen" form.
+    #[must_use]
+    pub fn frozen_mask(&self) -> BitSet {
+        let mut b = BitSet::new(self.owner.len());
+        for (g, o) in self.owner.iter().enumerate() {
+            if o.is_some() {
+                b.insert(g);
+            }
+        }
+        b
+    }
+
+    /// The remaining hardware graph `G ∖ busy` (complete over free GPUs)
+    /// plus the mapping from its vertex ids back to physical GPU ids.
+    #[must_use]
+    pub fn available_graph(&self) -> (WeightedGraph, Vec<usize>) {
+        self.topology
+            .bandwidth_graph()
+            .without_vertices(&self.frozen_mask())
+    }
+
+    /// Sum of link bandwidths among currently-free GPUs — the "preserved
+    /// bandwidth" of the machine as a whole (Eq. 3 applied to the current
+    /// occupancy).
+    #[must_use]
+    pub fn free_aggregate_bandwidth(&self) -> f64 {
+        self.available_graph().0.total_weight()
+    }
+
+    /// Assigns `gpus` to `job`.
+    ///
+    /// # Errors
+    /// Fails (without mutating state) if the job exists, the set is empty,
+    /// any GPU is out of range, duplicated, or busy.
+    pub fn allocate(&mut self, job: JobId, gpus: &[usize]) -> Result<(), AllocationError> {
+        if self.jobs.contains_key(&job) {
+            return Err(AllocationError::JobExists(job));
+        }
+        if gpus.is_empty() {
+            return Err(AllocationError::EmptyAllocation);
+        }
+        let n = self.topology.gpu_count();
+        let mut seen = BitSet::new(n);
+        for &g in gpus {
+            if g >= n {
+                return Err(AllocationError::GpuOutOfRange { gpu: g, count: n });
+            }
+            if !seen.insert(g) {
+                return Err(AllocationError::DuplicateGpu(g));
+            }
+            if let Some(holder) = self.owner[g] {
+                return Err(AllocationError::GpuBusy { gpu: g, held_by: holder });
+            }
+        }
+        let mut sorted: Vec<usize> = gpus.to_vec();
+        sorted.sort_unstable();
+        for &g in &sorted {
+            self.owner[g] = Some(job);
+        }
+        self.jobs.insert(job, sorted);
+        Ok(())
+    }
+
+    /// Releases all GPUs held by `job`, returning them.
+    ///
+    /// # Errors
+    /// Fails if the job is not active.
+    pub fn deallocate(&mut self, job: JobId) -> Result<Vec<usize>, AllocationError> {
+        let gpus = self.jobs.remove(&job).ok_or(AllocationError::UnknownJob(job))?;
+        for &g in &gpus {
+            debug_assert_eq!(self.owner[g], Some(job));
+            self.owner[g] = None;
+        }
+        Ok(gpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+    use proptest::prelude::*;
+
+    fn state() -> HardwareState {
+        HardwareState::new(machines::dgx1_v100())
+    }
+
+    #[test]
+    fn fresh_state_is_idle() {
+        let s = state();
+        assert!(s.is_idle());
+        assert_eq!(s.free_count(), 8);
+        assert_eq!(s.busy_count(), 0);
+        assert_eq!(s.free_gpus(), (0..8).collect::<Vec<_>>());
+        assert!(s.frozen_mask().is_empty());
+    }
+
+    #[test]
+    fn allocate_and_deallocate_roundtrip() {
+        let mut s = state();
+        s.allocate(1, &[2, 0, 3]).unwrap();
+        assert_eq!(s.gpus_of(1), Some(&[0, 2, 3][..]));
+        assert_eq!(s.owner_of(2), Some(1));
+        assert!(s.is_free(1));
+        assert_eq!(s.free_count(), 5);
+        assert_eq!(s.frozen_mask().to_vec(), vec![0, 2, 3]);
+
+        let released = s.deallocate(1).unwrap();
+        assert_eq!(released, vec![0, 2, 3]);
+        assert!(s.is_idle());
+        assert_eq!(s.free_count(), 8);
+    }
+
+    #[test]
+    fn conflicting_allocation_rejected_atomically() {
+        let mut s = state();
+        s.allocate(1, &[0, 1]).unwrap();
+        // Second job requests a busy GPU — nothing must change.
+        let err = s.allocate(2, &[3, 1]).unwrap_err();
+        assert_eq!(err, AllocationError::GpuBusy { gpu: 1, held_by: 1 });
+        assert!(s.is_free(3), "failed allocation must not hold GPU 3");
+        assert_eq!(s.active_jobs(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut s = state();
+        assert_eq!(s.allocate(1, &[]), Err(AllocationError::EmptyAllocation));
+        assert_eq!(
+            s.allocate(1, &[9]),
+            Err(AllocationError::GpuOutOfRange { gpu: 9, count: 8 })
+        );
+        assert_eq!(s.allocate(1, &[4, 4]), Err(AllocationError::DuplicateGpu(4)));
+        s.allocate(1, &[4]).unwrap();
+        assert_eq!(s.allocate(1, &[5]), Err(AllocationError::JobExists(1)));
+        assert_eq!(s.deallocate(7), Err(AllocationError::UnknownJob(7)));
+    }
+
+    #[test]
+    fn available_graph_shrinks_and_recovers() {
+        let mut s = state();
+        let full_bw = s.free_aggregate_bandwidth();
+        s.allocate(1, &[0, 3]).unwrap();
+        let (g, map) = s.available_graph();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(map, vec![1, 2, 4, 5, 6, 7]);
+        assert!(s.free_aggregate_bandwidth() < full_bw);
+        s.deallocate(1).unwrap();
+        assert_eq!(s.free_aggregate_bandwidth(), full_bw);
+    }
+
+    #[test]
+    fn multiple_tenants_coexist() {
+        let mut s = state();
+        s.allocate(10, &[0, 1]).unwrap();
+        s.allocate(11, &[2, 3, 4]).unwrap();
+        s.allocate(12, &[7]).unwrap();
+        assert_eq!(s.active_jobs(), 3);
+        assert_eq!(s.free_gpus(), vec![5, 6]);
+        s.deallocate(11).unwrap();
+        assert_eq!(s.free_gpus(), vec![2, 3, 4, 5, 6]);
+        assert_eq!(s.owner_of(0), Some(10));
+    }
+
+    proptest! {
+        /// Alternating random allocations and deallocations never corrupt
+        /// the owner map: at every step each GPU is held by at most one job
+        /// and job records agree with the owner table.
+        #[test]
+        fn occupancy_invariants_hold(ops in proptest::collection::vec(
+            (0u64..6, proptest::collection::vec(0usize..8, 1..4), any::<bool>()), 1..40)
+        ) {
+            let mut s = state();
+            for (job, gpus, dealloc) in ops {
+                if dealloc {
+                    let _ = s.deallocate(job);
+                } else {
+                    let _ = s.allocate(job, &gpus);
+                }
+                // Invariants.
+                let mut counted = 0;
+                for g in 0..8 {
+                    if let Some(j) = s.owner_of(g) {
+                        counted += 1;
+                        prop_assert!(s.gpus_of(j).unwrap().contains(&g));
+                    }
+                }
+                let job_total: usize = (0..6).filter_map(|j| s.gpus_of(j).map(<[usize]>::len)).sum();
+                prop_assert_eq!(counted, job_total);
+                prop_assert_eq!(s.free_count() + s.busy_count(), 8);
+            }
+        }
+    }
+}

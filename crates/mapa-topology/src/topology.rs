@@ -1,0 +1,234 @@
+//! The [`Topology`] type: a named machine with GPUs, direct links, and
+//! socket domains.
+
+use crate::{LinkMix, LinkType};
+use mapa_graph::{dot, Graph, WeightedGraph};
+
+/// A multi-GPU server topology.
+///
+/// Stores only *direct* (NVLink) links explicitly; every other GPU pair
+/// implicitly communicates over PCIe at 12 GB/s, per §3.2 of the paper. The
+/// effective hardware graph handed to the matcher is therefore complete —
+/// see [`Topology::bandwidth_graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    name: String,
+    links: Graph<LinkType>,
+    sockets: Vec<usize>,
+}
+
+impl Topology {
+    /// Creates a topology from a direct-link graph and a per-GPU socket id.
+    ///
+    /// # Panics
+    /// Panics if `sockets.len()` differs from the vertex count, or if any
+    /// explicit link is labeled [`LinkType::Pcie`] (PCIe is the implicit
+    /// fallback, never an explicit link).
+    #[must_use]
+    pub fn new(name: impl Into<String>, links: Graph<LinkType>, sockets: Vec<usize>) -> Self {
+        assert_eq!(
+            sockets.len(),
+            links.vertex_count(),
+            "one socket id per GPU required"
+        );
+        assert!(
+            links.edges().all(|(_, _, l)| l != LinkType::Pcie),
+            "PCIe is the implicit fallback; do not add explicit PCIe links"
+        );
+        Self {
+            name: name.into(),
+            links,
+            sockets,
+        }
+    }
+
+    /// The machine's name (e.g. `"DGX-1 V100"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of GPUs.
+    #[must_use]
+    pub fn gpu_count(&self) -> usize {
+        self.links.vertex_count()
+    }
+
+    /// The socket (PCIe root / CPU domain) a GPU belongs to.
+    ///
+    /// # Panics
+    /// Panics if `gpu` is out of range.
+    #[must_use]
+    pub fn socket_of(&self, gpu: usize) -> usize {
+        self.sockets[gpu]
+    }
+
+    /// Number of distinct sockets.
+    #[must_use]
+    pub fn socket_count(&self) -> usize {
+        self.sockets.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// GPUs belonging to `socket`, ascending.
+    #[must_use]
+    pub fn gpus_in_socket(&self, socket: usize) -> Vec<usize> {
+        (0..self.gpu_count())
+            .filter(|&g| self.sockets[g] == socket)
+            .collect()
+    }
+
+    /// The best link between two GPUs; PCIe when no direct link exists.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range or `a == b`.
+    #[must_use]
+    pub fn link_type(&self, a: usize, b: usize) -> LinkType {
+        assert!(a < self.gpu_count() && b < self.gpu_count(), "GPU out of range");
+        assert_ne!(a, b, "no self-links");
+        self.links.weight(a, b).unwrap_or(LinkType::Pcie)
+    }
+
+    /// Peak bandwidth between two GPUs in GB/s.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range or `a == b`.
+    #[must_use]
+    pub fn bandwidth(&self, a: usize, b: usize) -> f64 {
+        self.link_type(a, b).bandwidth_gbps()
+    }
+
+    /// The direct-link (NVLink-only) graph.
+    #[must_use]
+    pub fn link_graph(&self) -> &Graph<LinkType> {
+        &self.links
+    }
+
+    /// The complete hardware graph the paper's matcher mines: every pair of
+    /// GPUs is connected, weighted with the best available bandwidth
+    /// (NVLink where present, PCIe 12 GB/s otherwise).
+    #[must_use]
+    pub fn bandwidth_graph(&self) -> WeightedGraph {
+        let n = self.gpu_count();
+        let mut g = WeightedGraph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b, self.bandwidth(a, b))
+                    .expect("complete graph edges valid");
+            }
+        }
+        g
+    }
+
+    /// Like [`Self::bandwidth_graph`] but weighted with [`LinkType`]s.
+    #[must_use]
+    pub fn complete_link_graph(&self) -> Graph<LinkType> {
+        let n = self.gpu_count();
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b, self.link_type(a, b))
+                    .expect("complete graph edges valid");
+            }
+        }
+        g
+    }
+
+    /// Counts the link-type mix over a set of GPU pairs (the `(x, y, z)` of
+    /// the paper's Eq. 2).
+    #[must_use]
+    pub fn link_mix<'a>(&self, pairs: impl IntoIterator<Item = &'a (usize, usize)>) -> LinkMix {
+        LinkMix::from_links(pairs.into_iter().map(|&(a, b)| self.link_type(a, b)))
+    }
+
+    /// Sum of peak bandwidths over all *direct* NVLink links plus implicit
+    /// PCIe pairs — the total capacity of the complete hardware graph.
+    #[must_use]
+    pub fn total_bandwidth(&self) -> f64 {
+        self.bandwidth_graph().total_weight()
+    }
+
+    /// Graphviz DOT rendering of the direct-link topology with bandwidth
+    /// labels (PCIe pairs omitted for readability).
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let labeled = self.links.map_weights(|_, _, l| l.bandwidth_gbps());
+        let opts = dot::DotOptions {
+            name: self.name.clone(),
+            vertex_labels: (0..self.gpu_count()).map(|g| format!("GPU{g}")).collect(),
+            show_weights: true,
+        };
+        dot::to_dot(&labeled, &opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Topology {
+        let mut links = Graph::new(4);
+        links.add_edge(0, 1, LinkType::DoubleNvLink2).unwrap();
+        links.add_edge(2, 3, LinkType::SingleNvLink2).unwrap();
+        Topology::new("tiny", links, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn pcie_fallback_for_unlinked_pairs() {
+        let t = tiny();
+        assert_eq!(t.link_type(0, 1), LinkType::DoubleNvLink2);
+        assert_eq!(t.link_type(0, 2), LinkType::Pcie);
+        assert_eq!(t.bandwidth(1, 3), 12.0);
+        assert_eq!(t.bandwidth(0, 1), 50.0);
+    }
+
+    #[test]
+    fn bandwidth_graph_is_complete() {
+        let t = tiny();
+        let g = t.bandwidth_graph();
+        assert_eq!(g.edge_count(), 6); // C(4,2)
+        assert_eq!(g.weight(0, 1), Some(50.0));
+        assert_eq!(g.weight(0, 3), Some(12.0));
+        // total: 50 + 25 + 4 * 12
+        assert_eq!(t.total_bandwidth(), 50.0 + 25.0 + 4.0 * 12.0);
+    }
+
+    #[test]
+    fn socket_queries() {
+        let t = tiny();
+        assert_eq!(t.socket_count(), 2);
+        assert_eq!(t.socket_of(0), 0);
+        assert_eq!(t.gpus_in_socket(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn link_mix_over_pairs() {
+        let t = tiny();
+        let mix = t.link_mix(&[(0, 1), (0, 2), (2, 3)]);
+        assert_eq!(mix.double_nvlink, 1);
+        assert_eq!(mix.single_nvlink, 1);
+        assert_eq!(mix.pcie, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit fallback")]
+    fn explicit_pcie_link_rejected() {
+        let mut links = Graph::new(2);
+        links.add_edge(0, 1, LinkType::Pcie).unwrap();
+        let _ = Topology::new("bad", links, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-links")]
+    fn self_link_query_panics() {
+        let _ = tiny().link_type(1, 1);
+    }
+
+    #[test]
+    fn dot_output_mentions_gpus() {
+        let dotsrc = tiny().to_dot();
+        assert!(dotsrc.contains("GPU0"));
+        assert!(dotsrc.contains("50"));
+        // PCIe pairs are not rendered.
+        assert!(!dotsrc.contains("12"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Virtualized accelerators — the paper's §3.2/§3.3 extension sketch.
+//!
+//! "A potential solution to address this is to label the vertices … with
+//! the amount of physical resources available", and for many-to-one
+//! mapping, "representing virtual GPUs as separate nodes in the hardware
+//! graph". This module implements the second idea for Nvidia MIG-style
+//! hardware partitioning: a physical GPU is replaced by `k` virtual GPU
+//! vertices. Each slice inherits the physical GPU's external links (they
+//! *share* the physical NVLink — the pessimistic alternative of dividing
+//! bandwidth per slice is selectable), and slices of the same GPU talk
+//! through on-die memory, modeled as the fastest link class.
+//!
+//! Interference between co-resident slices competing for the same physical
+//! links is out of scope, exactly as the paper leaves it ("account … for
+//! the potential interference of the inter-accelerator interconnects").
+
+use crate::{LinkType, Topology};
+use mapa_graph::Graph;
+
+/// How a slice shares its physical GPU's external links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceBandwidth {
+    /// Each slice sees the full physical link (optimistic; fine when
+    /// co-resident slices rarely communicate simultaneously).
+    Shared,
+    /// External links are degraded one class per extra slice
+    /// (pessimistic static partitioning): double → single → PCIe.
+    Degraded,
+}
+
+/// Splits physical GPU `gpu` of `topology` into `slices` virtual GPUs.
+///
+/// Virtual vertex ids: the physical GPUs keep their relative order; GPU
+/// `gpu` expands in place into `slices` consecutive ids. The returned map
+/// gives, for every new vertex, the physical GPU it lives on.
+///
+/// # Panics
+/// Panics if `gpu` is out of range or `slices` is 0 or exceeds 7 (MIG's
+/// hardware limit).
+#[must_use]
+pub fn partition_gpu(
+    topology: &Topology,
+    gpu: usize,
+    slices: usize,
+    bandwidth: SliceBandwidth,
+) -> (Topology, Vec<usize>) {
+    assert!(gpu < topology.gpu_count(), "GPU {gpu} out of range");
+    assert!((1..=7).contains(&slices), "MIG supports 1..=7 slices, got {slices}");
+
+    let n_old = topology.gpu_count();
+    let n_new = n_old + slices - 1;
+
+    // old vertex -> first new vertex id; `gpu` occupies a range.
+    let new_id = |old: usize| -> usize {
+        if old <= gpu {
+            old
+        } else {
+            old + slices - 1
+        }
+    };
+    let mut phys_of = Vec::with_capacity(n_new);
+    for old in 0..n_old {
+        let copies = if old == gpu { slices } else { 1 };
+        for _ in 0..copies {
+            phys_of.push(old);
+        }
+    }
+
+    let degrade = |l: LinkType| -> Option<LinkType> {
+        match l {
+            LinkType::DoubleNvLink2 => Some(LinkType::SingleNvLink2),
+            LinkType::SingleNvLink2 | LinkType::SingleNvLink1 => None, // PCIe fallback
+            LinkType::Pcie => None,
+        }
+    };
+
+    let mut g: Graph<LinkType> = Graph::new(n_new);
+    for (a, b, link) in topology.link_graph().edges() {
+        let targets_a: Vec<usize> = if a == gpu {
+            (new_id(a)..new_id(a) + slices).collect()
+        } else {
+            vec![new_id(a)]
+        };
+        let targets_b: Vec<usize> = if b == gpu {
+            (new_id(b)..new_id(b) + slices).collect()
+        } else {
+            vec![new_id(b)]
+        };
+        let effective = match bandwidth {
+            SliceBandwidth::Shared => Some(link),
+            SliceBandwidth::Degraded if slices == 1 => Some(link),
+            SliceBandwidth::Degraded => degrade(link),
+        };
+        if let Some(l) = effective {
+            for &ta in &targets_a {
+                for &tb in &targets_b {
+                    g.add_edge(ta, tb, l).expect("expansion edges valid");
+                }
+            }
+        }
+    }
+    // On-die links among slices of the same GPU.
+    for i in 0..slices {
+        for j in (i + 1)..slices {
+            g.add_edge(new_id(gpu) + i, new_id(gpu) + j, LinkType::DoubleNvLink2)
+                .expect("intra-GPU links valid");
+        }
+    }
+
+    let sockets = phys_of.iter().map(|&p| topology.socket_of(p)).collect();
+    let virt = Topology::new(format!("{}+MIG", topology.name()), g, sockets);
+    (virt, phys_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn partition_expands_vertex_count() {
+        let dgx = machines::dgx1_v100();
+        let (virt, phys) = partition_gpu(&dgx, 3, 3, SliceBandwidth::Shared);
+        assert_eq!(virt.gpu_count(), 10);
+        assert_eq!(phys.len(), 10);
+        // Slices 3,4,5 live on physical GPU 3.
+        assert_eq!(&phys[3..6], &[3, 3, 3]);
+        assert_eq!(phys[6], 4, "later GPUs shift up");
+    }
+
+    #[test]
+    fn slices_inherit_external_links_when_shared() {
+        let dgx = machines::dgx1_v100();
+        let (virt, _) = partition_gpu(&dgx, 0, 2, SliceBandwidth::Shared);
+        // Physical 0-3 was double NVLink; both slices (0 and 1) keep it to
+        // new id of 3, which is 3 + 1 = 4.
+        assert_eq!(virt.link_type(0, 4), LinkType::DoubleNvLink2);
+        assert_eq!(virt.link_type(1, 4), LinkType::DoubleNvLink2);
+        // Slices talk on-die at the fastest class.
+        assert_eq!(virt.link_type(0, 1), LinkType::DoubleNvLink2);
+    }
+
+    #[test]
+    fn degraded_mode_steps_links_down() {
+        let dgx = machines::dgx1_v100();
+        let (virt, _) = partition_gpu(&dgx, 0, 2, SliceBandwidth::Degraded);
+        // double (0-3) degrades to single for each slice.
+        assert_eq!(virt.link_type(0, 4), LinkType::SingleNvLink2);
+        // single (0-1, new id 2) degrades to the PCIe fallback.
+        assert_eq!(virt.link_type(0, 2), LinkType::Pcie);
+        // Intra-GPU stays fast.
+        assert_eq!(virt.link_type(0, 1), LinkType::DoubleNvLink2);
+    }
+
+    #[test]
+    fn single_slice_is_identity() {
+        let dgx = machines::dgx1_v100();
+        let (virt, phys) = partition_gpu(&dgx, 2, 1, SliceBandwidth::Degraded);
+        assert_eq!(virt.gpu_count(), 8);
+        assert_eq!(phys, (0..8).collect::<Vec<_>>());
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                assert_eq!(virt.link_type(a, b), dgx.link_type(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn sockets_are_inherited() {
+        let dgx = machines::dgx1_v100();
+        let (virt, phys) = partition_gpu(&dgx, 5, 4, SliceBandwidth::Shared);
+        for (v, &p) in phys.iter().enumerate() {
+            assert_eq!(virt.socket_of(v), dgx.socket_of(p));
+        }
+    }
+
+    #[test]
+    fn mig_machine_schedules_jobs_end_to_end() {
+        // The virtual topology plugs into the normal matcher/policy path:
+        // verify it produces a valid complete bandwidth graph.
+        let dgx = machines::dgx1_v100();
+        let (virt, _) = partition_gpu(&dgx, 0, 7, SliceBandwidth::Shared);
+        assert_eq!(virt.gpu_count(), 14);
+        let bw = virt.bandwidth_graph();
+        assert_eq!(bw.edge_count(), 14 * 13 / 2);
+        assert!(bw.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "MIG supports")]
+    fn too_many_slices_rejected() {
+        let _ = partition_gpu(&machines::dgx1_v100(), 0, 8, SliceBandwidth::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_gpu_rejected() {
+        let _ = partition_gpu(&machines::dgx1_v100(), 8, 2, SliceBandwidth::Shared);
+    }
+}

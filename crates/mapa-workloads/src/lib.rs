@@ -1,0 +1,37 @@
+//! Workload models — MAPA's substitute for running Caffe on GPUs.
+//!
+//! The paper evaluates six CNN training workloads (AlexNet, VGG-16,
+//! ResNet-50, Inception-v3, GoogleNet, CaffeNet via Caffe/NCCL on ImageNet)
+//! and three multi-GPU HPC codes (Cusimann, GMM, Jacobi). None of that can
+//! run here, so each workload is modeled analytically:
+//!
+//! ```text
+//! t_iter(allocation) = t_compute + bytes_per_iter / EffBW(allocation, avg_msg)
+//! ```
+//!
+//! with per-workload `(t_compute, bytes_per_iter, avg_msg)` calibrated so
+//! that the paper's published characteristics *emerge* from the model
+//! rather than being hard-coded:
+//!
+//! * the bandwidth-sensitivity labels of Fig. 5b,
+//! * the double-NVLink-vs-PCIe speedups of Fig. 2b (≈3× for VGG-16,
+//!   ≈1.1× for GoogleNet),
+//! * the linear-in-iterations execution trends of Fig. 6,
+//! * 2-GPU NVLink job durations in the paper's 200–1000 s range (Fig. 13).
+//!
+//! Modules: [`network`] (the nine workload models), [`perf`] (execution
+//! time), [`distributions`] (Fig. 5a message-size CDFs), [`jobs`] (job
+//! specs + the paper's Fig. 14 CSV job-file format), [`generator`]
+//! (the 300-job random mix of §4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod generator;
+pub mod jobs;
+pub mod network;
+pub mod perf;
+
+pub use jobs::{AppTopology, JobSpec};
+pub use network::{Workload, WorkloadClass};

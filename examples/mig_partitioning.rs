@@ -1,0 +1,72 @@
+//! MIG-style GPU partitioning (the paper's §3.2/§3.3 extension sketch):
+//! split a physical GPU into virtual slices, schedule a mixed workload on
+//! the expanded hardware graph, and compare against the unpartitioned
+//! machine.
+//!
+//! Run with: `cargo run --release --example mig_partitioning`
+
+use mapa::prelude::*;
+use mapa::sim::Simulation;
+use mapa::topology::virt::{partition_gpu, SliceBandwidth};
+
+fn main() {
+    let dgx = machines::dgx1_v100();
+    // Split GPU 7 into 4 MIG slices for small inference-style tenants.
+    let (mig, phys) = partition_gpu(&dgx, 7, 4, SliceBandwidth::Shared);
+    println!(
+        "{}: {} virtual GPUs (physical GPU 7 -> slices {:?})\n",
+        mig.name(),
+        mig.gpu_count(),
+        (0..mig.gpu_count()).filter(|&v| phys[v] == 7).collect::<Vec<_>>()
+    );
+
+    // A mix of one big training job and many 1-GPU tenants.
+    let mut jobs = vec![JobSpec {
+        id: 1,
+        num_gpus: 4,
+        topology: AppTopology::Ring,
+        bandwidth_sensitive: true,
+        workload: Workload::Vgg16,
+        iterations: 1500,
+    }];
+    for id in 2..=8 {
+        jobs.push(JobSpec {
+            id,
+            num_gpus: 1,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: false,
+            workload: Workload::Gmm,
+            iterations: 600,
+        });
+    }
+
+    for (name, machine) in [("plain DGX-1V", dgx), ("DGX-1V + MIG(7->4)", mig)] {
+        let report = Simulation::new(machine, Box::new(PreservePolicy)).run(&jobs);
+        let train = report.records.iter().find(|r| r.job.id == 1).unwrap();
+        let small_waits: Vec<f64> = report
+            .records
+            .iter()
+            .filter(|r| r.job.id != 1)
+            .map(|r| r.queue_wait_seconds)
+            .collect();
+        println!("== {name}");
+        println!(
+            "   training job: GPUs {:?}, EffBW {:.1} GB/s, exec {:.0} s",
+            train.gpus, train.predicted_eff_bw, train.execution_seconds
+        );
+        println!(
+            "   1-GPU tenants: mean queue wait {:.0} s, makespan {:.0} s\n",
+            small_waits.iter().sum::<f64>() / small_waits.len() as f64,
+            report.makespan_seconds
+        );
+    }
+    println!(
+        "MIG slices absorb the small tenants, so the machine fits more \
+         concurrent jobs — the many-to-one mapping the paper sketches in §3.3."
+    );
+    println!(
+        "caveat: the bandwidth model treats co-resident slices as full GPUs \
+         (on-die links are fast and compute is not shared); interference \
+         modeling is future work here exactly as in the paper."
+    );
+}

@@ -1,0 +1,69 @@
+//! Multi-tenant server study: replay the paper's 300-job mix under all
+//! four policies and print the Fig. 13 / Table 3 style comparison.
+//!
+//! Run with: `cargo run --release --example multi_tenant_server [seed]`
+
+use mapa::prelude::*;
+use mapa::sim::experiment;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let jobs = generator::paper_job_mix(seed);
+    let dgx = machines::dgx1_v100();
+    println!(
+        "Running {} jobs (seed {seed}) on {} under 4 policies…\n",
+        jobs.len(),
+        dgx.name()
+    );
+
+    let cmp = experiment::compare_policies(&dgx, &jobs);
+
+    println!("Execution time of bandwidth-SENSITIVE multi-GPU jobs (seconds):");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "policy", "min", "p25", "p50", "p75", "max"
+    );
+    for rep in &cmp.reports {
+        let times = rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+        let s = stats::summarize(&times);
+        println!(
+            "{:<12} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
+            rep.policy_name, s.min, s.p25, s.p50, s.p75, s.max
+        );
+    }
+
+    println!("\nPredicted effective bandwidth of multi-GPU jobs (GB/s):");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "policy", "min", "p25", "p50", "p75", "max"
+    );
+    for rep in &cmp.reports {
+        let bws = rep.predicted_eff_bws(|r| r.job.num_gpus >= 2);
+        let s = stats::summarize(&bws);
+        println!(
+            "{:<12} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            rep.policy_name, s.min, s.p25, s.p50, s.p75, s.max
+        );
+    }
+
+    println!("\nTable 3 — speedup over baseline (higher is better):");
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "policy", "min", "p25", "p50", "p75", "max", "tput"
+    );
+    for row in cmp.table3() {
+        println!(
+            "{:<12} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.2}",
+            row.policy,
+            row.speedup.min,
+            row.speedup.p25,
+            row.speedup.p50,
+            row.speedup.p75,
+            row.speedup.max,
+            row.normalized_throughput
+        );
+    }
+}

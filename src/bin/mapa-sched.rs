@@ -1,0 +1,215 @@
+//! `mapa-sched` — command-line front end for the MAPA allocator/simulator.
+//!
+//! ```text
+//! mapa-sched machines
+//! mapa-sched topo <machine>                     # matrix + DOT
+//! mapa-sched generate --count 300 --seed 42     # emit a job file (CSV)
+//! mapa-sched simulate --machine dgx-1-v100 --policy preserve \
+//!                     --jobs jobs.csv [--backfill] [--poisson GAP --seed S]
+//! ```
+//!
+//! A topology can also be given as a file containing `nvidia-smi topo -m`
+//! output, which is how MAPA would attach to a real machine.
+
+use mapa::core::policy::{
+    AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
+    TopoAwarePolicy,
+};
+use mapa::prelude::*;
+use mapa::sim::{ArrivalProcess, JobRecord, SimConfig};
+use mapa::topology::parse::{parse_topology_matrix, to_topology_matrix, NvlinkGeneration};
+use mapa::workloads::jobs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mapa-sched machines
+  mapa-sched topo <machine-or-matrix-file>
+  mapa-sched generate [--count N] [--seed S]
+  mapa-sched simulate --machine <name-or-file> --policy <name> --jobs <file>
+                      [--backfill] [--poisson MEAN_GAP] [--seed S]
+
+policies: baseline | topo-aware | greedy | preserve | effbw-greedy";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("machines") => cmd_machines(),
+        Some("topo") => cmd_topo(args.get(1).ok_or("topo needs a machine name or file")?),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+fn cmd_machines() -> Result<(), String> {
+    println!("{:<14} {:>6} {:>8} {:>9}", "name", "GPUs", "NVLinks", "sockets");
+    for m in machines::all_machines() {
+        println!(
+            "{:<14} {:>6} {:>8} {:>9}",
+            m.name(),
+            m.gpu_count(),
+            m.link_graph().edge_count(),
+            m.socket_count()
+        );
+    }
+    Ok(())
+}
+
+/// Resolves a machine argument: a built-in name (case/punctuation
+/// insensitive) or a path to an `nvidia-smi topo -m` matrix file.
+fn resolve_machine(arg: &str) -> Result<Topology, String> {
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase()
+    };
+    if let Some(m) = machines::all_machines().into_iter().find(|m| norm(m.name()) == norm(arg)) {
+        return Ok(m);
+    }
+    let text = std::fs::read_to_string(arg)
+        .map_err(|e| format!("'{arg}' is not a built-in machine and not a readable file: {e}"))?;
+    parse_topology_matrix(&text, arg, NvlinkGeneration::V2)
+        .map_err(|e| format!("failed to parse '{arg}' as a topology matrix: {e}"))
+}
+
+fn cmd_topo(arg: &str) -> Result<(), String> {
+    let m = resolve_machine(arg)?;
+    println!("# {} — {} GPUs\n", m.name(), m.gpu_count());
+    println!("{}", to_topology_matrix(&m));
+    println!("{}", m.to_dot());
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let mut count = 300usize;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--count" => count = parse_flag(&mut it, "--count")?,
+            "--seed" => seed = parse_flag(&mut it, "--seed")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let cfg = generator::JobMixConfig { job_count: count, ..Default::default() };
+    print!("{}", jobs::write_job_file(&generator::generate_jobs(&cfg, seed)));
+    Ok(())
+}
+
+fn resolve_policy(name: &str) -> Result<Box<dyn AllocationPolicy>, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(Box::new(BaselinePolicy)),
+        "topo-aware" | "topoaware" => Ok(Box::new(TopoAwarePolicy)),
+        "greedy" => Ok(Box::new(GreedyPolicy)),
+        "preserve" | "preservation" => Ok(Box::new(PreservePolicy)),
+        "effbw-greedy" | "effbwgreedy" => Ok(Box::new(EffBwGreedyPolicy)),
+        other => Err(format!("unknown policy '{other}'")),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    it.next()
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value"))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let mut machine_arg: Option<String> = None;
+    let mut policy_arg: Option<String> = None;
+    let mut jobs_file: Option<String> = None;
+    let mut backfill = false;
+    let mut poisson: Option<f64> = None;
+    let mut seed = 0u64;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--machine" => machine_arg = Some(parse_flag(&mut it, "--machine")?),
+            "--policy" => policy_arg = Some(parse_flag(&mut it, "--policy")?),
+            "--jobs" => jobs_file = Some(parse_flag(&mut it, "--jobs")?),
+            "--backfill" => backfill = true,
+            "--poisson" => poisson = Some(parse_flag(&mut it, "--poisson")?),
+            "--seed" => seed = parse_flag(&mut it, "--seed")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let machine = resolve_machine(&machine_arg.ok_or("--machine is required")?)?;
+    let policy = resolve_policy(&policy_arg.ok_or("--policy is required")?)?;
+    let jobs_text = std::fs::read_to_string(jobs_file.as_deref().ok_or("--jobs is required")?)
+        .map_err(|e| format!("cannot read jobs file: {e}"))?;
+    let job_list = jobs::parse_job_file(&jobs_text).map_err(|e| format!("bad job file: {e}"))?;
+    if let Some(bad) = job_list.iter().find(|j| j.num_gpus > machine.gpu_count()) {
+        return Err(format!(
+            "job {} requests {} GPUs but {} has only {}",
+            bad.id,
+            bad.num_gpus,
+            machine.name(),
+            machine.gpu_count()
+        ));
+    }
+
+    let config = SimConfig {
+        strict_fifo: !backfill,
+        arrivals: match poisson {
+            Some(gap) => ArrivalProcess::Poisson { mean_gap: gap, seed },
+            None => ArrivalProcess::Batch,
+        },
+    };
+    let report = Simulation::new(machine, policy).with_config(config).run(&job_list);
+
+    println!(
+        "machine {} | policy {} | {} jobs | makespan {:.0} s | throughput {:.1} jobs/h",
+        report.topology_name,
+        report.policy_name,
+        report.records.len(),
+        report.makespan_seconds,
+        report.throughput_jobs_per_hour
+    );
+    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
+    let multi = |r: &JobRecord| r.job.num_gpus >= 2;
+    if report.records.iter().any(&sens) {
+        let s = stats::summarize(&report.execution_times(sens));
+        println!(
+            "sensitive exec time (s): min {:.0}  p25 {:.0}  p50 {:.0}  p75 {:.0}  max {:.0}",
+            s.min, s.p25, s.p50, s.p75, s.max
+        );
+    }
+    if report.records.iter().any(&multi) {
+        let b = stats::summarize(&report.predicted_eff_bws(multi));
+        println!(
+            "predicted EffBW (GB/s):  min {:.1}  p25 {:.1}  p50 {:.1}  p75 {:.1}  max {:.1}",
+            b.min, b.p25, b.p50, b.p75, b.max
+        );
+    }
+    println!("\nper-job log (id, workload, gpus, effbw, exec):");
+    for r in &report.records {
+        println!(
+            "  {:>4} {:<14} {:?} {:>6.1} GB/s {:>8.0} s",
+            r.job.id,
+            r.job.workload.name(),
+            r.gpus,
+            r.predicted_eff_bw,
+            r.execution_seconds
+        );
+    }
+    Ok(())
+}

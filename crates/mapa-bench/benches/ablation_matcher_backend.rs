@@ -14,10 +14,26 @@ fn bench_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("matcher_backend");
     group.sample_size(20);
     let cases = [
-        ("ring4_into_k8", PatternGraph::ring(4), PatternGraph::all_to_all(8)),
-        ("ring5_into_k8", PatternGraph::ring(5), PatternGraph::all_to_all(8)),
-        ("ring5_into_k16", PatternGraph::ring(5), PatternGraph::all_to_all(16)),
-        ("tree5_into_k8", PatternGraph::binary_tree(5), PatternGraph::all_to_all(8)),
+        (
+            "ring4_into_k8",
+            PatternGraph::ring(4),
+            PatternGraph::all_to_all(8),
+        ),
+        (
+            "ring5_into_k8",
+            PatternGraph::ring(5),
+            PatternGraph::all_to_all(8),
+        ),
+        (
+            "ring5_into_k16",
+            PatternGraph::ring(5),
+            PatternGraph::all_to_all(16),
+        ),
+        (
+            "tree5_into_k8",
+            PatternGraph::binary_tree(5),
+            PatternGraph::all_to_all(8),
+        ),
     ];
     for (name, pattern, data) in &cases {
         for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
@@ -25,7 +41,10 @@ fn bench_backends(c: &mut Criterion) {
             if *name == "ring5_into_k16" && backend == Backend::BruteForce {
                 continue;
             }
-            let matcher = Matcher::new(MatchOptions { backend, ..MatchOptions::default() });
+            let matcher = Matcher::new(MatchOptions {
+                backend,
+                ..MatchOptions::default()
+            });
             group.bench_with_input(
                 BenchmarkId::new(format!("{backend:?}"), name),
                 &(pattern, data),

@@ -50,8 +50,14 @@ fn main() {
                 },
             };
             for (policy, out) in [
-                (Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>, &mut base_p75),
-                (Box::new(PreservePolicy) as Box<dyn AllocationPolicy>, &mut pres_p75),
+                (
+                    Box::new(BaselinePolicy) as Box<dyn AllocationPolicy>,
+                    &mut base_p75,
+                ),
+                (
+                    Box::new(PreservePolicy) as Box<dyn AllocationPolicy>,
+                    &mut pres_p75,
+                ),
             ] {
                 let rep = Simulation::new(dgx.clone(), policy)
                     .with_config(config.clone())

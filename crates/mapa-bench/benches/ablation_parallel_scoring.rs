@@ -10,7 +10,11 @@ use mapa_graph::PatternGraph;
 use mapa_isomorph::{DedupMode, MatchOptions, Matcher};
 use std::time::Instant;
 
-fn time_matcher(pattern: &PatternGraph, data: &PatternGraph, threads: Option<usize>) -> (f64, usize) {
+fn time_matcher(
+    pattern: &PatternGraph,
+    data: &PatternGraph,
+    threads: Option<usize>,
+) -> (f64, usize) {
     let matcher = Matcher::new(MatchOptions {
         threads,
         dedup: DedupMode::AllMappings,
@@ -35,9 +39,21 @@ fn main() {
         "paper §5.4 (parallelizing the data-parallel scoring)",
     );
     let cases = [
-        ("ring6 into K12", PatternGraph::ring(6), PatternGraph::all_to_all(12)),
-        ("ring7 into K12", PatternGraph::ring(7), PatternGraph::all_to_all(12)),
-        ("chain6 into K12", PatternGraph::chain(6), PatternGraph::all_to_all(12)),
+        (
+            "ring6 into K12",
+            PatternGraph::ring(6),
+            PatternGraph::all_to_all(12),
+        ),
+        (
+            "ring7 into K12",
+            PatternGraph::ring(7),
+            PatternGraph::all_to_all(12),
+        ),
+        (
+            "chain6 into K12",
+            PatternGraph::chain(6),
+            PatternGraph::all_to_all(12),
+        ),
     ];
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12} {:>10}",
@@ -48,9 +64,7 @@ fn main() {
         let (t2, _) = time_matcher(pattern, data, Some(2));
         let (t4, _) = time_matcher(pattern, data, Some(4));
         let (t8, _) = time_matcher(pattern, data, Some(8));
-        println!(
-            "{name:<18} {t1:>10.1}ms {t2:>10.1}ms {t4:>10.1}ms {t8:>10.1}ms {n1:>10}"
-        );
+        println!("{name:<18} {t1:>10.1}ms {t2:>10.1}ms {t4:>10.1}ms {t8:>10.1}ms {n1:>10}");
     }
     println!("\nexpected: wall-clock drops with threads (embarrassingly parallel search tree).");
 }

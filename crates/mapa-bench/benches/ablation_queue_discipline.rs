@@ -34,7 +34,10 @@ fn main() {
             for &seed in &EVAL_SEEDS {
                 let jobs = generator::paper_job_mix(seed);
                 let rep = Simulation::new(dgx.clone(), make())
-                    .with_config(SimConfig { strict_fifo: strict, ..SimConfig::default() })
+                    .with_config(SimConfig {
+                        strict_fifo: strict,
+                        ..SimConfig::default()
+                    })
                     .run(&jobs);
                 times.extend(
                     rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2),

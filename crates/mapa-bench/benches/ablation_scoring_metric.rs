@@ -29,7 +29,10 @@ fn main() {
         ("Preserve", || Box::new(PreservePolicy)),
     ];
 
-    println!("sensitive multi-GPU execution time, pooled over {} seeds:\n", EVAL_SEEDS.len());
+    println!(
+        "sensitive multi-GPU execution time, pooled over {} seeds:\n",
+        EVAL_SEEDS.len()
+    );
     println!("{}", summary_header("policy"));
     let mut p75s: Vec<(String, f64)> = Vec::new();
     for (name, make) in &policies {

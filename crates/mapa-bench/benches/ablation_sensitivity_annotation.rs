@@ -13,7 +13,10 @@ use mapa_workloads::{generator, JobSpec};
 
 fn relabel(jobs: &[JobSpec], f: impl Fn(bool) -> bool) -> Vec<JobSpec> {
     jobs.iter()
-        .map(|j| JobSpec { bandwidth_sensitive: f(j.bandwidth_sensitive), ..j.clone() })
+        .map(|j| JobSpec {
+            bandwidth_sensitive: f(j.bandwidth_sensitive),
+            ..j.clone()
+        })
         .collect()
 }
 

@@ -14,17 +14,36 @@ fn bench_symmetry(c: &mut Criterion) {
     let mut group = c.benchmark_group("symmetry_breaking");
     group.sample_size(20);
     let cases = [
-        ("ring4_into_k8", PatternGraph::ring(4), PatternGraph::all_to_all(8)),
-        ("ring5_into_k8", PatternGraph::ring(5), PatternGraph::all_to_all(8)),
-        ("ring6_into_k10", PatternGraph::ring(6), PatternGraph::all_to_all(10)),
-        ("alltoall4_into_k8", PatternGraph::all_to_all(4), PatternGraph::all_to_all(8)),
+        (
+            "ring4_into_k8",
+            PatternGraph::ring(4),
+            PatternGraph::all_to_all(8),
+        ),
+        (
+            "ring5_into_k8",
+            PatternGraph::ring(5),
+            PatternGraph::all_to_all(8),
+        ),
+        (
+            "ring6_into_k10",
+            PatternGraph::ring(6),
+            PatternGraph::all_to_all(10),
+        ),
+        (
+            "alltoall4_into_k8",
+            PatternGraph::all_to_all(4),
+            PatternGraph::all_to_all(8),
+        ),
     ];
     for (name, pattern, data) in &cases {
         for (mode_name, dedup) in [
             ("canonical", DedupMode::CanonicalOnly),
             ("all_mappings", DedupMode::AllMappings),
         ] {
-            let matcher = Matcher::new(MatchOptions { dedup, ..MatchOptions::default() });
+            let matcher = Matcher::new(MatchOptions {
+                dedup,
+                ..MatchOptions::default()
+            });
             group.bench_with_input(
                 BenchmarkId::new(mode_name, name),
                 &(pattern, data),

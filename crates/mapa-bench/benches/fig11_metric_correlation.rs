@@ -13,7 +13,10 @@ use mapa_topology::machines;
 use mapa_workloads::{perf, Workload};
 
 fn main() {
-    banner("Fig. 11: evaluating pattern-scoring metrics", "paper Fig. 11(a)-(c)");
+    banner(
+        "Fig. 11: evaluating pattern-scoring metrics",
+        "paper Fig. 11(a)-(c)",
+    );
     let dgx = machines::dgx1_v100();
 
     // (a)+(c): VGG-16 execution time across all 4- and 5-GPU allocations.
@@ -41,11 +44,21 @@ fn main() {
     }
     let r_agg_eff = metrics::pearson(&agg_all, &eff_all);
 
-    println!("samples: {} (4/5-GPU exec-time), {} (2-5-GPU bandwidth)", time.len(), eff_all.len());
+    println!(
+        "samples: {} (4/5-GPU exec-time), {} (2-5-GPU bandwidth)",
+        time.len(),
+        eff_all.len()
+    );
     println!("\n{:<44} {:>10}", "correlation (Pearson r)", "value");
-    println!("{:<44} {:>10.3}", "(a) AggBW  vs VGG-16 execution time", r_agg_time);
+    println!(
+        "{:<44} {:>10.3}",
+        "(a) AggBW  vs VGG-16 execution time", r_agg_time
+    );
     println!("{:<44} {:>10.3}", "(b) AggBW  vs measured EffBW", r_agg_eff);
-    println!("{:<44} {:>10.3}", "(c) EffBW  vs VGG-16 execution time", r_eff_time);
+    println!(
+        "{:<44} {:>10.3}",
+        "(c) EffBW  vs VGG-16 execution time", r_eff_time
+    );
 
     // The paper's qualitative claim: |r| of (c) far exceeds |r| of (a).
     println!(

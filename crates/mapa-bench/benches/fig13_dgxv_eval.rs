@@ -25,7 +25,10 @@ fn collect(
 }
 
 fn main() {
-    banner("Fig. 13: evaluation on DGX-V (300-job mix x 4 policies)", "paper Fig. 13(a)-(d)");
+    banner(
+        "Fig. 13: evaluation on DGX-V (300-job mix x 4 policies)",
+        "paper Fig. 13(a)-(d)",
+    );
     let dgx = machines::dgx1_v100();
     let mut all_reports: Vec<Vec<SimReport>> = Vec::new();
     for &seed in &EVAL_SEEDS {
@@ -53,7 +56,10 @@ fn main() {
 
     for (title, group) in [
         ("(a) execution time, BW-SENSITIVE jobs (s)", &sensitive[..]),
-        ("(b) execution time, BW-INSENSITIVE jobs (s)", &insensitive[..]),
+        (
+            "(b) execution time, BW-INSENSITIVE jobs (s)",
+            &insensitive[..],
+        ),
     ] {
         println!("\n--- Fig. 13{title} ---");
         for w in group {
@@ -75,8 +81,14 @@ fn main() {
     }
 
     for (title, group) in [
-        ("(c) predicted EffBW, BW-SENSITIVE jobs (GB/s)", &sensitive[..]),
-        ("(d) predicted EffBW, BW-INSENSITIVE jobs (GB/s)", &insensitive[..]),
+        (
+            "(c) predicted EffBW, BW-SENSITIVE jobs (GB/s)",
+            &sensitive[..],
+        ),
+        (
+            "(d) predicted EffBW, BW-INSENSITIVE jobs (GB/s)",
+            &insensitive[..],
+        ),
     ] {
         println!("\n--- Fig. 13{title} ---");
         for w in group {

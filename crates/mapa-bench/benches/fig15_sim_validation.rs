@@ -17,7 +17,10 @@ use mapa_topology::machines;
 use mapa_workloads::generator;
 
 fn main() {
-    banner("Fig. 15: real vs simulated effective bandwidth", "paper Fig. 15");
+    banner(
+        "Fig. 15: real vs simulated effective bandwidth",
+        "paper Fig. 15",
+    );
     let jobs = generator::paper_job_mix(1);
     let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs);
 
@@ -37,7 +40,10 @@ fn main() {
     println!("mean relative error: {rel:.3}");
 
     // Binned scatter so the relationship is visible in text form.
-    println!("\n{:>22} {:>16} {:>8}", "measured EffBW bin", "mean predicted", "jobs");
+    println!(
+        "\n{:>22} {:>16} {:>8}",
+        "measured EffBW bin", "mean predicted", "jobs"
+    );
     for lo in (0..70).step_by(10) {
         let hi = lo + 10;
         let in_bin: Vec<f64> = measured

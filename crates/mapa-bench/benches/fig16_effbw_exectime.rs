@@ -5,15 +5,18 @@
 //! fall as EffBW rises, with diminishing returns past ~50 GB/s.
 
 use mapa_bench::banner;
-use mapa_core::policy::{BaselinePolicy, GreedyPolicy, PreservePolicy, TopoAwarePolicy};
 use mapa_core::policy::AllocationPolicy;
+use mapa_core::policy::{BaselinePolicy, GreedyPolicy, PreservePolicy, TopoAwarePolicy};
 use mapa_model::metrics;
 use mapa_sim::{JobRecord, Simulation};
 use mapa_topology::machines;
 use mapa_workloads::{generator, Workload};
 
 fn main() {
-    banner("Fig. 16: EffBW vs execution time (real-run records)", "paper Fig. 16");
+    banner(
+        "Fig. 16: EffBW vs execution time (real-run records)",
+        "paper Fig. 16",
+    );
     let dgx = machines::dgx1_v100();
     // Pool records from all four policies so the EffBW axis is well covered
     // (the paper's scatter likewise pools all real runs).

@@ -16,7 +16,10 @@ use mapa_workloads::{AppTopology, JobSpec, Workload};
 use std::time::Instant;
 
 fn main() {
-    banner("Fig. 19: scheduling overhead of MAPA w/ Preserve (ms)", "paper Fig. 19");
+    banner(
+        "Fig. 19: scheduling overhead of MAPA w/ Preserve (ms)",
+        "paper Fig. 19",
+    );
     let machines = [
         machines::summit(),
         machines::dgx1_v100(),
@@ -39,8 +42,7 @@ fn main() {
             }
             // Fresh idle allocator per measurement (paper: idle graph,
             // upper bound of scheduling cost).
-            let mut alloc =
-                MapaAllocator::new(machine.clone(), Box::new(PreservePolicy));
+            let mut alloc = MapaAllocator::new(machine.clone(), Box::new(PreservePolicy));
             let job = JobSpec {
                 id: 1,
                 num_gpus: k,
@@ -52,7 +54,10 @@ fn main() {
             // Median of 3 runs.
             let mut times = Vec::new();
             for rep in 0..3 {
-                let j = JobSpec { id: rep + 1, ..job.clone() };
+                let j = JobSpec {
+                    id: rep + 1,
+                    ..job.clone()
+                };
                 let start = Instant::now();
                 let out = alloc.try_allocate(&j).expect("valid");
                 let dt = start.elapsed();

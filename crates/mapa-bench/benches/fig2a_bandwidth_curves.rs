@@ -44,7 +44,11 @@ fn main() {
 
     println!();
     for ((name, _), curve) in pairs.iter().zip(&curves) {
-        println!("{name:<18} {}  plateau {:.1} GB/s", sparkline(curve), curve.last().unwrap());
+        println!(
+            "{name:<18} {}  plateau {:.1} GB/s",
+            sparkline(curve),
+            curve.last().unwrap()
+        );
     }
     println!(
         "\npaper plateaus: double ≈ 45–50, single ≈ 22–25, PCIe ≈ 10–12 GB/s; \

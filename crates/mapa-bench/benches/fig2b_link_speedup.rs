@@ -9,7 +9,10 @@ use mapa_topology::machines;
 use mapa_workloads::{perf, Workload};
 
 fn main() {
-    banner("Fig. 2b: Network speedup with different links", "paper Fig. 2(b)");
+    banner(
+        "Fig. 2b: Network speedup with different links",
+        "paper Fig. 2(b)",
+    );
     let dgx = machines::dgx1_v100();
     // The paper's bar chart, eyeballed: (double, single) speedup vs PCIe.
     let paper: &[(Workload, f64, f64)] = &[

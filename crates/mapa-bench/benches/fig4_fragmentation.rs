@@ -13,7 +13,10 @@ use mapa_topology::machines;
 use mapa_workloads::{generator, Workload};
 
 fn main() {
-    banner("Fig. 4: BW_Allocated / BW_IdealAllocation under baseline", "paper Fig. 4");
+    banner(
+        "Fig. 4: BW_Allocated / BW_IdealAllocation under baseline",
+        "paper Fig. 4",
+    );
     let cfg = generator::JobMixConfig {
         job_count: 100,
         gpus_min: 2,

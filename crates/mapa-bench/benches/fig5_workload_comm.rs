@@ -8,8 +8,14 @@ use mapa_bench::{banner, sparkline};
 use mapa_workloads::{distributions, Workload};
 
 fn main() {
-    banner("Fig. 5a: CDF of collective message sizes", "paper Fig. 5(a)");
-    println!("{:<14} {:>10} {:>44}", "network", "median", "CDF over 1e2..1e9 bytes");
+    banner(
+        "Fig. 5a: CDF of collective message sizes",
+        "paper Fig. 5(a)",
+    );
+    println!(
+        "{:<14} {:>10} {:>44}",
+        "network", "median", "CDF over 1e2..1e9 bytes"
+    );
     for w in Workload::cnns() {
         let curve = distributions::cdf_curve(w, 2, 9, 4);
         let values: Vec<f64> = curve.iter().map(|p| p.cdf).collect();

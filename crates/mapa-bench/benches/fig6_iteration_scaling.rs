@@ -10,7 +10,10 @@ use mapa_topology::machines;
 use mapa_workloads::{perf, Workload};
 
 fn main() {
-    banner("Fig. 6: execution time vs iterations", "paper Fig. 6(a)/(b)");
+    banner(
+        "Fig. 6: execution time vs iterations",
+        "paper Fig. 6(a)/(b)",
+    );
     let dgx = machines::dgx1_v100();
     // NVLink vs PCIe allocations at 2 and 4 GPUs.
     let allocs: [(&str, Vec<usize>); 4] = [
@@ -21,7 +24,11 @@ fn main() {
     ];
 
     for w in [Workload::GoogleNet, Workload::Vgg16] {
-        let label = if w.is_bandwidth_sensitive() { "sensitive" } else { "insensitive" };
+        let label = if w.is_bandwidth_sensitive() {
+            "sensitive"
+        } else {
+            "insensitive"
+        };
         println!("\n-- {} ({label}) --", w.name());
         print!("{:<10}", "iters");
         for (name, _) in &allocs {

@@ -5,7 +5,10 @@ use mapa_topology::LinkType;
 
 fn main() {
     banner("Table 1: Peak Bandwidths per link", "paper Table 1");
-    println!("{:<22} {:>18} {:>18}", "Link", "paper (GB/s)", "measured (GB/s)");
+    println!(
+        "{:<22} {:>18} {:>18}",
+        "Link", "paper (GB/s)", "measured (GB/s)"
+    );
     let rows = [
         ("Single NVLink-v1", LinkType::SingleNvLink1, 20.0),
         ("Single NVLink-v2", LinkType::SingleNvLink2, 25.0),
@@ -18,5 +21,8 @@ fn main() {
         all_match &= (ours - paper).abs() < f64::EPSILON;
         println!("{name:<22} {paper:>18.0} {ours:>18.0}");
     }
-    println!("\nresult: {}", if all_match { "EXACT match" } else { "MISMATCH" });
+    println!(
+        "\nresult: {}",
+        if all_match { "EXACT match" } else { "MISMATCH" }
+    );
 }

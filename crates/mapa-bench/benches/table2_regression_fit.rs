@@ -25,10 +25,25 @@ fn main() {
     let paper = paper_coefficients();
 
     let names = [
-        "x", "y", "z", "1/(x+1)", "1/(y+1)", "1/(z+1)", "xy", "yz", "zx", "1/(xy+1)",
-        "1/(yz+1)", "1/(zx+1)", "xyz", "1/(xyz+1)",
+        "x",
+        "y",
+        "z",
+        "1/(x+1)",
+        "1/(y+1)",
+        "1/(z+1)",
+        "xy",
+        "yz",
+        "zx",
+        "1/(xy+1)",
+        "1/(yz+1)",
+        "1/(zx+1)",
+        "xyz",
+        "1/(xyz+1)",
     ];
-    println!("\n{:>4} {:<10} {:>12} {:>12}", "θ", "feature", "ours", "paper");
+    println!(
+        "\n{:>4} {:<10} {:>12} {:>12}",
+        "θ", "feature", "ours", "paper"
+    );
     for (i, name) in names.iter().enumerate() {
         println!(
             "{:>4} {:<10} {:>12.3} {:>12.3}",

@@ -17,7 +17,10 @@ use mapa_workloads::generator;
 use std::collections::BTreeMap;
 
 fn main() {
-    banner("Table 3: speedup and throughput normalized to baseline", "paper Table 3");
+    banner(
+        "Table 3: speedup and throughput normalized to baseline",
+        "paper Table 3",
+    );
     let dgx = machines::dgx1_v100();
 
     type Acc = BTreeMap<String, (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)>;
@@ -47,7 +50,10 @@ fn main() {
     }
 
     for (title, acc) in [
-        ("bandwidth-SENSITIVE multi-GPU jobs (the population MAPA targets)", &acc_sensitive),
+        (
+            "bandwidth-SENSITIVE multi-GPU jobs (the population MAPA targets)",
+            &acc_sensitive,
+        ),
         ("ALL multi-GPU jobs", &acc_all),
     ] {
         println!("\n--- {title} ---");

@@ -43,7 +43,10 @@ impl fmt::Display for AllocatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocatorError::InvalidRequest { requested, machine } => {
-                write!(f, "job requests {requested} GPUs on a {machine}-GPU machine")
+                write!(
+                    f,
+                    "job requests {requested} GPUs on a {machine}-GPU machine"
+                )
             }
             AllocatorError::State(e) => write!(f, "state error: {e}"),
         }
@@ -294,7 +297,11 @@ mod tests {
         // DGX-2 has one unique link mix per job size — too few samples to
         // fit; construction must still succeed via Table 2 fallback.
         let a = MapaAllocator::new(machines::dgx2(), Box::new(PreservePolicy));
-        let mix = mapa_topology::LinkMix { double_nvlink: 1, single_nvlink: 0, pcie: 0 };
+        let mix = mapa_topology::LinkMix {
+            double_nvlink: 1,
+            single_nvlink: 0,
+            pcie: 0,
+        };
         assert!(a.model().predict(&mix) > 0.0);
     }
 

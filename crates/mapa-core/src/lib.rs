@@ -32,8 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod appgraph;
 mod allocator;
+pub mod appgraph;
 pub mod fragmentation;
 pub mod policy;
 pub mod scoring;

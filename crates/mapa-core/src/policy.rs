@@ -406,7 +406,11 @@ mod tests {
             num_gpus: n,
             topology: AppTopology::Ring,
             bandwidth_sensitive: sensitive,
-            workload: if sensitive { Workload::Vgg16 } else { Workload::GoogleNet },
+            workload: if sensitive {
+                Workload::Vgg16
+            } else {
+                Workload::GoogleNet
+            },
             iterations: 100,
         }
     }
@@ -483,10 +487,17 @@ mod tests {
         let mut best = f64::NEG_INFINITY;
         for a in 0..8 {
             for b in (a + 1)..8 {
-                best = best.max(scoring::preserved_bandwidth(&free_graph, &free_map, &[a, b]));
+                best = best.max(scoring::preserved_bandwidth(
+                    &free_graph,
+                    &free_map,
+                    &[a, b],
+                ));
             }
         }
-        assert_eq!(chosen, best, "policy choice {got:?} must attain the optimum");
+        assert_eq!(
+            chosen, best,
+            "policy choice {got:?} must attain the optimum"
+        );
         // On DGX-1V the optimum is a double-NVLink pair: the 50 GB/s
         // mutual link is consumed "for free".
         assert_eq!(f.topology.bandwidth(got[0], got[1]), 50.0);
@@ -505,9 +516,13 @@ mod tests {
         let g2 = GreedyPolicy.select(&jobs[1], &greedy_world.ctx()).unwrap();
 
         let mut preserve_world = Fixture::dgx();
-        let p1 = PreservePolicy.select(&jobs[0], &preserve_world.ctx()).unwrap();
+        let p1 = PreservePolicy
+            .select(&jobs[0], &preserve_world.ctx())
+            .unwrap();
         preserve_world.state.allocate(1, &p1).unwrap();
-        let p2 = PreservePolicy.select(&jobs[1], &preserve_world.ctx()).unwrap();
+        let p2 = PreservePolicy
+            .select(&jobs[1], &preserve_world.ctx())
+            .unwrap();
 
         let greedy_bw = greedy_world.topology.bandwidth(g2[0], g2[1]);
         let preserve_bw = preserve_world.topology.bandwidth(p2[0], p2[1]);

@@ -81,11 +81,7 @@ pub fn predicted_effective_bandwidth(
 /// Panics if some `gpus` entry is not in `free_map` (allocating a busy
 /// GPU is a state error upstream).
 #[must_use]
-pub fn preserved_bandwidth(
-    free_graph: &WeightedGraph,
-    free_map: &[usize],
-    gpus: &[usize],
-) -> f64 {
+pub fn preserved_bandwidth(free_graph: &WeightedGraph, free_map: &[usize], gpus: &[usize]) -> f64 {
     let mut removed = BitSet::new(free_graph.vertex_count());
     for &g in gpus {
         let local = free_map

@@ -143,7 +143,10 @@ impl BitSet {
     #[must_use]
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         self.check_len(other);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Returns `true` when every set bit of `self` is also set in `other`.
@@ -153,14 +156,21 @@ impl BitSet {
     #[must_use]
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check_len(other);
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over set bit indices in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BlockBits { block, base: bi * BITS }
-        })
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &block)| BlockBits {
+                block,
+                base: bi * BITS,
+            })
     }
 
     /// Index of the lowest set bit, if any.

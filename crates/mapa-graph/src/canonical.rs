@@ -117,8 +117,8 @@ fn automorphism_rec<W: Copy>(
             continue;
         }
         // Check consistency with already-assigned vertices.
-        let consistent = (0..depth)
-            .all(|prev| g.has_edge(depth, prev) == g.has_edge(candidate, perm[prev]));
+        let consistent =
+            (0..depth).all(|prev| g.has_edge(depth, prev) == g.has_edge(candidate, perm[prev]));
         if consistent {
             perm[depth] = candidate;
             used[candidate] = true;
@@ -189,7 +189,14 @@ mod tests {
         let c6 = PatternGraph::ring(6);
         let two_triangles = PatternGraph::from_edges(
             6,
-            &[(0, 1, ()), (1, 2, ()), (0, 2, ()), (3, 4, ()), (4, 5, ()), (3, 5, ())],
+            &[
+                (0, 1, ()),
+                (1, 2, ()),
+                (0, 2, ()),
+                (3, 4, ()),
+                (4, 5, ()),
+                (3, 5, ()),
+            ],
         )
         .unwrap();
         assert!(!are_isomorphic(&c6, &two_triangles));
@@ -223,7 +230,10 @@ mod tests {
 
     #[test]
     fn vertex_count_mismatch_is_not_isomorphic() {
-        assert!(!are_isomorphic(&PatternGraph::ring(4), &PatternGraph::ring(5)));
+        assert!(!are_isomorphic(
+            &PatternGraph::ring(4),
+            &PatternGraph::ring(5)
+        ));
     }
 
     #[test]

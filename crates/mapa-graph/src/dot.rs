@@ -55,7 +55,13 @@ pub fn to_dot<W: Copy + std::fmt::Display>(g: &Graph<W>, opts: &DotOptions) -> S
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "G".to_string()
@@ -75,8 +81,7 @@ mod tests {
 
     #[test]
     fn dot_contains_all_vertices_and_edges() {
-        let g: Graph<f64> =
-            Graph::from_edges(3, &[(0, 1, 50.0), (1, 2, 12.0)]).unwrap();
+        let g: Graph<f64> = Graph::from_edges(3, &[(0, 1, 50.0), (1, 2, 12.0)]).unwrap();
         let dot = to_dot(&g, &DotOptions::default());
         assert!(dot.starts_with("graph G {"));
         assert!(dot.contains("n0 [label=\"0\"];"));

@@ -24,7 +24,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, len } => {
-                write!(f, "vertex {vertex} out of range for graph with {len} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {len} vertices"
+                )
             }
             GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} not allowed"),
             GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),

@@ -127,7 +127,9 @@ impl<W: Copy> Graph<W> {
         }
         self.adj[u].remove(v);
         self.adj[v].remove(u);
-        let w = self.weights[u * self.n + v].take().expect("edge weight present");
+        let w = self.weights[u * self.n + v]
+            .take()
+            .expect("edge weight present");
         self.weights[v * self.n + u] = None;
         self.edge_count -= 1;
         Ok(w)
@@ -180,7 +182,11 @@ impl<W: Copy> Graph<W> {
     /// Iterates over all edges as `(u, v, w)` with `u < v`, ordered
     /// lexicographically.
     pub fn edges(&self) -> EdgeIter<'_, W> {
-        EdgeIter { g: self, u: 0, v: 0 }
+        EdgeIter {
+            g: self,
+            u: 0,
+            v: 0,
+        }
     }
 
     /// The induced subgraph on `vertices`, relabelled `0..vertices.len()` in
@@ -218,7 +224,11 @@ impl<W: Copy> Graph<W> {
     /// Panics if `removed.len() != vertex_count()`.
     #[must_use]
     pub fn without_vertices(&self, removed: &BitSet) -> (Graph<W>, Vec<usize>) {
-        assert_eq!(removed.len(), self.n, "bitset capacity must equal vertex count");
+        assert_eq!(
+            removed.len(),
+            self.n,
+            "bitset capacity must equal vertex count"
+        );
         let keep: Vec<usize> = (0..self.n).filter(|&v| !removed.contains(v)).collect();
         let g = self
             .induced_subgraph(&keep)
@@ -267,7 +277,10 @@ impl<W: Copy> Graph<W> {
         if v < self.n {
             Ok(())
         } else {
-            Err(GraphError::VertexOutOfRange { vertex: v, len: self.n })
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                len: self.n,
+            })
         }
     }
 }

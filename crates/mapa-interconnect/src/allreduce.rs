@@ -64,7 +64,11 @@ pub fn tree_allreduce_time(n_gpus: usize, bottleneck_gbps: f64, bytes: f64) -> f
     let depth = (n_gpus as f64).log2().ceil().max(1.0);
     // Hop latency follows the link class: PCIe-bound trees bounce through
     // the host (keeps Fig. 2a's link ordering even at small sizes).
-    let alpha = if bottleneck_gbps >= 20.0 { 20e-6 } else { 50e-6 };
+    let alpha = if bottleneck_gbps >= 20.0 {
+        20e-6
+    } else {
+        50e-6
+    };
     // Reduce up + broadcast down: 2·depth hops, full payload each hop.
     2.0 * depth * (STEP_OVERHEAD_S + alpha + bytes / (bottleneck_gbps * 1e9))
 }
@@ -77,10 +81,7 @@ pub fn allreduce_time(rings: &RingSet, n_gpus: usize, bytes: f64) -> (f64, Algor
         return (0.0, Algorithm::Ring);
     }
     let ring_t = ring_allreduce_time(rings, n_gpus, bytes);
-    let bottleneck = rings
-        .rings
-        .first()
-        .map_or(12.0, |r| r.bottleneck_gbps);
+    let bottleneck = rings.rings.first().map_or(12.0, |r| r.bottleneck_gbps);
     let tree_t = tree_allreduce_time(n_gpus, bottleneck, bytes);
     if tree_t < ring_t {
         (tree_t, Algorithm::Tree)

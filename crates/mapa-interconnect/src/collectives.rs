@@ -67,7 +67,11 @@ pub fn collective_time(op: Collective, rings: &RingSet, n_gpus: usize, bytes: f6
     }
     let n = n_gpus as f64;
     let bandwidth = rings.total_bus_bandwidth_gbps() * 1e9;
-    let alpha = if rings.rings.iter().all(|r| r.all_nvlink) { 20e-6 } else { 50e-6 };
+    let alpha = if rings.rings.iter().all(|r| r.all_nvlink) {
+        20e-6
+    } else {
+        50e-6
+    };
     let steps = n - 1.0;
     let wire_bytes = match op {
         Collective::Broadcast | Collective::Reduce => bytes,

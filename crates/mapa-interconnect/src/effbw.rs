@@ -68,11 +68,7 @@ pub fn sweep_sizes(
             let bytes = 10f64.powf(f64::from(d) + p as f64 / points_per_decade as f64);
             out.push(CurvePoint {
                 bytes,
-                bandwidth_gbps: allreduce::allreduce_bus_bandwidth_gbps(
-                    &rings,
-                    gpus.len(),
-                    bytes,
-                ),
+                bandwidth_gbps: allreduce::allreduce_bus_bandwidth_gbps(&rings, gpus.len(), bytes),
             });
         }
     }
@@ -148,7 +144,10 @@ mod tests {
         let lo = a.min(b).min(c);
         let hi = a.max(b).max(c);
         assert!(hi > lo, "allocations must differ: {a} {b} {c}");
-        assert!(hi <= 80.0, "bus bandwidth stays in the paper's Fig. 16 range");
+        assert!(
+            hi <= 80.0,
+            "bus bandwidth stays in the paper's Fig. 16 range"
+        );
     }
 
     #[test]
@@ -156,6 +155,9 @@ mod tests {
         let dgx2 = machines::dgx2();
         let a = measure(&dgx2, &[0, 1, 2, 3]);
         let b = measure(&dgx2, &[3, 7, 11, 15]);
-        assert!((a - b).abs() < 1e-9, "NVSwitch placement-independence: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "NVSwitch placement-independence: {a} vs {b}"
+        );
     }
 }

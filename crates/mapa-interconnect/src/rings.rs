@@ -46,19 +46,39 @@ impl BrickGraph {
                 match topology.link_type(gpus[i], gpus[j]) {
                     LinkType::DoubleNvLink2 => {
                         for _ in 0..2 {
-                            bricks.push(Brick { a: i, b: j, bandwidth_gbps: 25.0, nvlink: true });
+                            bricks.push(Brick {
+                                a: i,
+                                b: j,
+                                bandwidth_gbps: 25.0,
+                                nvlink: true,
+                            });
                         }
                     }
                     LinkType::SingleNvLink2 => {
-                        bricks.push(Brick { a: i, b: j, bandwidth_gbps: 25.0, nvlink: true });
+                        bricks.push(Brick {
+                            a: i,
+                            b: j,
+                            bandwidth_gbps: 25.0,
+                            nvlink: true,
+                        });
                     }
                     LinkType::SingleNvLink1 => {
-                        bricks.push(Brick { a: i, b: j, bandwidth_gbps: 20.0, nvlink: true });
+                        bricks.push(Brick {
+                            a: i,
+                            b: j,
+                            bandwidth_gbps: 20.0,
+                            nvlink: true,
+                        });
                     }
                     LinkType::Pcie => {}
                 }
                 // The host path always exists, once per pair.
-                bricks.push(Brick { a: i, b: j, bandwidth_gbps: 12.0, nvlink: false });
+                bricks.push(Brick {
+                    a: i,
+                    b: j,
+                    bandwidth_gbps: 12.0,
+                    nvlink: false,
+                });
             }
         }
         Self { n, bricks }
@@ -133,7 +153,10 @@ impl RingSet {
 #[must_use]
 pub fn pack_rings(topology: &Topology, gpus: &[usize]) -> RingSet {
     let n = gpus.len();
-    assert!(n <= 10, "exact ring packing supports at most 10 GPUs, got {n}");
+    assert!(
+        n <= 10,
+        "exact ring packing supports at most 10 GPUs, got {n}"
+    );
     if n < 2 {
         return RingSet { rings: vec![] };
     }
@@ -143,7 +166,11 @@ pub fn pack_rings(topology: &Topology, gpus: &[usize]) -> RingSet {
     if n == 2 {
         let nv: Vec<&Brick> = graph.bricks.iter().filter(|b| b.nvlink).collect();
         let rings = if nv.is_empty() {
-            vec![Ring { order: vec![0, 1], bottleneck_gbps: 12.0, all_nvlink: false }]
+            vec![Ring {
+                order: vec![0, 1],
+                bottleneck_gbps: 12.0,
+                all_nvlink: false,
+            }]
         } else {
             nv.iter()
                 .map(|b| Ring {
@@ -193,9 +220,7 @@ pub fn pack_rings(topology: &Topology, gpus: &[usize]) -> RingSet {
             }
             let better = match &best {
                 None => true,
-                Some((bb, bt, _, _, _)) => {
-                    bottleneck > *bb || (bottleneck == *bb && total > *bt)
-                }
+                Some((bb, bt, _, _, _)) => bottleneck > *bb || (bottleneck == *bb && total > *bt),
             };
             if better {
                 best = Some((bottleneck, total, all_nvlink, cycle, bricks_used));
@@ -215,7 +240,11 @@ pub fn pack_rings(topology: &Topology, gpus: &[usize]) -> RingSet {
         for i in idxs {
             graph.bricks.swap_remove(i);
         }
-        rings.push(Ring { order: cycle.clone(), bottleneck_gbps: bottleneck, all_nvlink });
+        rings.push(Ring {
+            order: cycle.clone(),
+            bottleneck_gbps: bottleneck,
+            all_nvlink,
+        });
     }
 
     RingSet { rings }

@@ -23,7 +23,10 @@ use std::collections::HashSet;
 /// `2^(n(n-1)/2)`; n=6 is 32 768 subsets and the practical cap).
 #[must_use]
 pub fn connected_patterns(n: usize) -> Vec<PatternGraph> {
-    assert!((1..=6).contains(&n), "catalog supports 1..=6 vertices, got {n}");
+    assert!(
+        (1..=6).contains(&n),
+        "catalog supports 1..=6 vertices, got {n}"
+    );
     let pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
         .collect();
@@ -125,9 +128,22 @@ mod tests {
             // DGX-1V NVLink-only graph: sparse enough to be interesting.
             let mut g = PatternGraph::new(8);
             for (a, b) in [
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
-                (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
-                (0, 4), (1, 5), (2, 6), (3, 7),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+                (0, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7),
             ] {
                 g.add_edge(a, b, ()).unwrap();
             }
@@ -150,12 +166,16 @@ mod tests {
             }
             // Canonical counts equal across backends; all-mapping counts
             // equal across backends.
-            let canon: Vec<usize> =
-                counts.iter().step_by(2).map(|(_, c)| *c).collect();
-            let full: Vec<usize> =
-                counts.iter().skip(1).step_by(2).map(|(_, c)| *c).collect();
-            assert!(canon.windows(2).all(|w| w[0] == w[1]), "{pattern:?}: {counts:?}");
-            assert!(full.windows(2).all(|w| w[0] == w[1]), "{pattern:?}: {counts:?}");
+            let canon: Vec<usize> = counts.iter().step_by(2).map(|(_, c)| *c).collect();
+            let full: Vec<usize> = counts.iter().skip(1).step_by(2).map(|(_, c)| *c).collect();
+            assert!(
+                canon.windows(2).all(|w| w[0] == w[1]),
+                "{pattern:?}: {counts:?}"
+            );
+            assert!(
+                full.windows(2).all(|w| w[0] == w[1]),
+                "{pattern:?}: {counts:?}"
+            );
         }
     }
 

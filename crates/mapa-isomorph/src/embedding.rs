@@ -80,11 +80,7 @@ impl Embedding {
     /// Pattern edges whose images are not connected in `data` contribute 0
     /// (cannot happen for monomorphic embeddings, but the method is total).
     #[must_use]
-    pub fn mapped_edge_weight<W: Copy>(
-        &self,
-        pattern: &Graph<W>,
-        data: &Graph<f64>,
-    ) -> f64 {
+    pub fn mapped_edge_weight<W: Copy>(&self, pattern: &Graph<W>, data: &Graph<f64>) -> f64 {
         pattern
             .edges()
             .filter_map(|(u, v, _)| data.weight(self.image(u), self.image(v)))
@@ -153,11 +149,8 @@ mod tests {
     fn mapped_edge_weight_counts_only_pattern_edges() {
         // Pattern: chain 0-1-2. Data: triangle with distinct weights.
         let pattern = PatternGraph::chain(3);
-        let data = mapa_graph::Graph::from_edges(
-            3,
-            &[(0, 1, 50.0), (1, 2, 25.0), (0, 2, 12.0)],
-        )
-        .unwrap();
+        let data =
+            mapa_graph::Graph::from_edges(3, &[(0, 1, 50.0), (1, 2, 25.0), (0, 2, 12.0)]).unwrap();
         let e = Embedding::new(vec![0, 1, 2]);
         // Chain uses edges (0,1) and (1,2) only; the 12.0 link is unused.
         assert!((e.mapped_edge_weight(&pattern, &data) - 75.0).abs() < 1e-12);

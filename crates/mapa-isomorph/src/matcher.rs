@@ -157,17 +157,15 @@ impl Matcher {
                 v
             }
             Backend::BruteForce => {
-                let mut v: Vec<Embedding> = brute_force_embeddings(
-                    pattern,
-                    data,
-                    self.opts.induced,
-                )
-                .into_iter()
-                .filter(|e| {
-                    symmetry::satisfies(e.as_slice(), &constraints)
-                        && frozen.is_none_or(|f| e.as_slice().iter().all(|&d| !f.contains(d)))
-                })
-                .collect();
+                let mut v: Vec<Embedding> =
+                    brute_force_embeddings(pattern, data, self.opts.induced)
+                        .into_iter()
+                        .filter(|e| {
+                            symmetry::satisfies(e.as_slice(), &constraints)
+                                && frozen
+                                    .is_none_or(|f| e.as_slice().iter().all(|&d| !f.contains(d)))
+                        })
+                        .collect();
                 v.truncate(cap);
                 v
             }
@@ -238,9 +236,7 @@ impl Matcher {
                         break;
                     }
                     let ok = symmetry::satisfies(e.as_slice(), &constraints)
-                        && frozen.is_none_or(|f| {
-                            e.as_slice().iter().all(|&d| !f.contains(d))
-                        });
+                        && frozen.is_none_or(|f| e.as_slice().iter().all(|&d| !f.contains(d)));
                     if ok {
                         seen += 1;
                         if !visit(e.as_slice()) {
@@ -310,7 +306,10 @@ mod tests {
         let data = k(6);
         let mut results = Vec::new();
         for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
-            let m = Matcher::new(MatchOptions { backend, ..MatchOptions::default() });
+            let m = Matcher::new(MatchOptions {
+                backend,
+                ..MatchOptions::default()
+            });
             results.push(m.find(&pattern, &data).unwrap());
         }
         assert_eq!(results[0], results[1]);
@@ -330,7 +329,9 @@ mod tests {
         })
         .find(&pattern, &data)
         .unwrap();
-        let canon = Matcher::new(MatchOptions::default()).find(&pattern, &data).unwrap();
+        let canon = Matcher::new(MatchOptions::default())
+            .find(&pattern, &data)
+            .unwrap();
         assert_eq!(all.len(), canon.len() * 8);
     }
 
@@ -368,7 +369,10 @@ mod tests {
         let data = k(5);
         let frozen = mapa_graph::BitSet::from_indices(5, &[0, 1]);
         for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
-            let m = Matcher::new(MatchOptions { backend, ..MatchOptions::default() });
+            let m = Matcher::new(MatchOptions {
+                backend,
+                ..MatchOptions::default()
+            });
             let found = m.find_with_frozen(&pattern, &data, Some(&frozen)).unwrap();
             // Only {2,3,4} remains: exactly one triangle occurrence.
             assert_eq!(found.len(), 1, "{backend:?}");
@@ -394,7 +398,11 @@ mod tests {
         let data = k(7);
         for backend in [Backend::Vf2, Backend::Ullmann, Backend::BruteForce] {
             for dedup in [DedupMode::CanonicalOnly, DedupMode::AllMappings] {
-                let m = Matcher::new(MatchOptions { backend, dedup, ..MatchOptions::default() });
+                let m = Matcher::new(MatchOptions {
+                    backend,
+                    dedup,
+                    ..MatchOptions::default()
+                });
                 let collected = m.find(&pattern, &data).unwrap();
                 let mut streamed: Vec<Vec<usize>> = Vec::new();
                 m.for_each_with_frozen(&pattern, &data, None, &mut |e| {
@@ -450,7 +458,9 @@ mod tests {
     fn parallel_matches_sequential() {
         let pattern = PatternGraph::ring(4);
         let data = k(8);
-        let seq = Matcher::new(MatchOptions::default()).find(&pattern, &data).unwrap();
+        let seq = Matcher::new(MatchOptions::default())
+            .find(&pattern, &data)
+            .unwrap();
         let par = Matcher::new(MatchOptions {
             threads: Some(4),
             ..MatchOptions::default()

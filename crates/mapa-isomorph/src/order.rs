@@ -46,14 +46,13 @@ impl SearchPlan {
         let back_neighbors = order
             .iter()
             .enumerate()
-            .map(|(i, &v)| {
-                (0..i)
-                    .filter(|&j| pattern.has_edge(v, order[j]))
-                    .collect()
-            })
+            .map(|(i, &v)| (0..i).filter(|&j| pattern.has_edge(v, order[j])).collect())
             .collect();
 
-        Self { order, back_neighbors }
+        Self {
+            order,
+            back_neighbors,
+        }
     }
 
     /// Number of pattern vertices.

@@ -74,7 +74,10 @@ pub fn enumerate_parallel<P: Copy + Sync, D: Copy + Sync>(
                         found.fetch_add(1, Ordering::Relaxed) + 1 < cap
                     });
                 }
-                results.lock().expect("no panics hold the lock").extend(local);
+                results
+                    .lock()
+                    .expect("no panics hold the lock")
+                    .extend(local);
             });
         }
     })
@@ -112,8 +115,7 @@ mod tests {
         let config = Vf2Config::default();
         let expect = sequential(&pattern, &data, &config);
         for threads in [2, 3, 8] {
-            let mut got =
-                enumerate_parallel(&pattern, &data, &config, None, threads, usize::MAX);
+            let mut got = enumerate_parallel(&pattern, &data, &config, None, threads, usize::MAX);
             got.sort();
             assert_eq!(got, expect, "threads={threads}");
         }

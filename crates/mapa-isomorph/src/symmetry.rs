@@ -39,8 +39,8 @@ fn search<W: Copy>(
         if used[candidate] || g.degree(candidate) != g.degree(depth) {
             continue;
         }
-        let consistent = (0..depth)
-            .all(|prev| g.has_edge(depth, prev) == g.has_edge(candidate, perm[prev]));
+        let consistent =
+            (0..depth).all(|prev| g.has_edge(depth, prev) == g.has_edge(candidate, perm[prev]));
         if consistent {
             perm[depth] = candidate;
             used[candidate] = true;
@@ -87,7 +87,10 @@ pub fn symmetry_breaking_constraints(automorphisms: &[Vec<usize>]) -> Vec<Constr
         images.sort_unstable();
         images.dedup();
         for img in images {
-            constraints.push(Constraint { small: v, large: img });
+            constraints.push(Constraint {
+                small: v,
+                large: img,
+            });
         }
         group.retain(|a| a[v] == v);
     }
@@ -121,11 +124,8 @@ mod tests {
         assert_eq!(automorphisms(&PatternGraph::star(4)).len(), 6);
         assert_eq!(automorphisms(&PatternGraph::all_to_all(3)).len(), 6);
         // Asymmetric graph: a path with a pendant making degrees unique.
-        let asym = PatternGraph::from_edges(
-            4,
-            &[(0, 1, ()), (1, 2, ()), (2, 3, ()), (1, 3, ())],
-        )
-        .unwrap();
+        let asym =
+            PatternGraph::from_edges(4, &[(0, 1, ()), (1, 2, ()), (2, 3, ()), (1, 3, ())]).unwrap();
         // deg: 0->1, 1->3, 2->2, 3->2; vertices 2,3 are swappable? 2-3 edge
         // exists, both adjacent to 1... swap(2,3) keeps edges: (1,2)->(1,3) ok,
         // (2,3)->(3,2) ok. So 2 automorphisms.
@@ -157,7 +157,14 @@ mod tests {
         // a spider with legs of distinct lengths 1, 2, 3 from center 2.
         let rigid = PatternGraph::from_edges(
             7,
-            &[(0, 1, ()), (1, 2, ()), (2, 3, ()), (2, 4, ()), (4, 5, ()), (5, 6, ())],
+            &[
+                (0, 1, ()),
+                (1, 2, ()),
+                (2, 3, ()),
+                (2, 4, ()),
+                (4, 5, ()),
+                (5, 6, ()),
+            ],
         )
         .unwrap();
         assert_eq!(automorphisms(&rigid).len(), 1);
@@ -176,7 +183,12 @@ mod tests {
         assert_eq!(autos.len(), 6);
         let mut kept = 0;
         let perms = [
-            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
         ];
         for p in perms {
             if satisfies(&p, &constraints) {

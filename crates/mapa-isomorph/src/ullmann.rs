@@ -58,7 +58,15 @@ pub fn enumerate<P: Copy, D: Copy>(
     let mut used = BitSet::new(dn);
     let mut stopped = false;
     backtrack(
-        pattern, data, induced, &m, 0, &mut map, &mut used, &mut stopped, visit,
+        pattern,
+        data,
+        induced,
+        &m,
+        0,
+        &mut map,
+        &mut used,
+        &mut stopped,
+        visit,
     );
 }
 
@@ -135,7 +143,17 @@ fn backtrack<P: Copy, D: Copy>(
         if ok {
             map[depth] = d;
             used.insert(d);
-            backtrack(pattern, data, induced, m, depth + 1, map, used, stopped, visit);
+            backtrack(
+                pattern,
+                data,
+                induced,
+                m,
+                depth + 1,
+                map,
+                used,
+                stopped,
+                visit,
+            );
             used.remove(d);
             map[depth] = usize::MAX;
         }

@@ -182,11 +182,7 @@ mod tests {
     use mapa_graph::PatternGraph;
     use proptest::prelude::*;
 
-    fn collect(
-        pattern: &PatternGraph,
-        data: &PatternGraph,
-        config: &Vf2Config,
-    ) -> Vec<Embedding> {
+    fn collect(pattern: &PatternGraph, data: &PatternGraph, config: &Vf2Config) -> Vec<Embedding> {
         let mut out = Vec::new();
         enumerate(pattern, data, config, None, &mut |m| {
             out.push(Embedding::new(m.to_vec()));
@@ -208,7 +204,11 @@ mod tests {
         ];
         for (p, d) in cases {
             for induced in [false, true] {
-                let cfg = Vf2Config { induced, constraints: vec![], first_candidates: None };
+                let cfg = Vf2Config {
+                    induced,
+                    constraints: vec![],
+                    first_candidates: None,
+                };
                 let got = collect(&p, &d, &cfg);
                 let mut expect = brute_force_embeddings(&p, &d, induced);
                 expect.sort();
@@ -264,7 +264,11 @@ mod tests {
             let canon = collect(
                 &pattern,
                 &data,
-                &Vf2Config { induced: false, constraints, first_candidates: None },
+                &Vf2Config {
+                    induced: false,
+                    constraints,
+                    first_candidates: None,
+                },
             );
             assert_eq!(
                 all.len(),

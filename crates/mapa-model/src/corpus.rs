@@ -139,10 +139,7 @@ mod tests {
         let dgx = machines::dgx1_v100();
         // {0,1,4}: 1 single + 1 double + 1 PCIe (the 87 GB/s example).
         let mix = allocation_mix(&dgx, &[0, 1, 4]);
-        assert_eq!(
-            (mix.double_nvlink, mix.single_nvlink, mix.pcie),
-            (1, 1, 1)
-        );
+        assert_eq!((mix.double_nvlink, mix.single_nvlink, mix.pcie), (1, 1, 1));
     }
 
     #[test]
@@ -155,7 +152,9 @@ mod tests {
         let corpus = build_corpus(&dgx, 2..=5);
         assert_eq!(corpus.len(), 26, "unique (x,y,z) mixes on DGX-1V");
         // All sampled EffBWs are positive and within the Fig. 12 range.
-        assert!(corpus.iter().all(|s| s.eff_bw_gbps > 0.0 && s.eff_bw_gbps <= 80.0));
+        assert!(corpus
+            .iter()
+            .all(|s| s.eff_bw_gbps > 0.0 && s.eff_bw_gbps <= 80.0));
     }
 
     #[test]

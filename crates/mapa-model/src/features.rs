@@ -53,7 +53,11 @@ mod tests {
     use super::*;
 
     fn mix(x: usize, y: usize, z: usize) -> LinkMix {
-        LinkMix { double_nvlink: x, single_nvlink: y, pcie: z }
+        LinkMix {
+            double_nvlink: x,
+            single_nvlink: y,
+            pcie: z,
+        }
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub fn mean_relative_error(predicted: &[f64], actual: &[f64]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs.iter().map(|(p, a)| (p - a).abs() / a.abs()).sum::<f64>() / pairs.len() as f64
+    pairs
+        .iter()
+        .map(|(p, a)| (p - a).abs() / a.abs())
+        .sum::<f64>()
+        / pairs.len() as f64
 }
 
 /// Pearson correlation coefficient.

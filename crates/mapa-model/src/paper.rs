@@ -39,17 +39,29 @@ mod tests {
         // One double NVLink (a 2-GPU double allocation).
         let double = predict_with(
             &theta,
-            &LinkMix { double_nvlink: 1, single_nvlink: 0, pcie: 0 },
+            &LinkMix {
+                double_nvlink: 1,
+                single_nvlink: 0,
+                pcie: 0,
+            },
         );
         // One single NVLink.
         let single = predict_with(
             &theta,
-            &LinkMix { double_nvlink: 0, single_nvlink: 1, pcie: 0 },
+            &LinkMix {
+                double_nvlink: 0,
+                single_nvlink: 1,
+                pcie: 0,
+            },
         );
         // One PCIe hop.
         let pcie = predict_with(
             &theta,
-            &LinkMix { double_nvlink: 0, single_nvlink: 0, pcie: 1 },
+            &LinkMix {
+                double_nvlink: 0,
+                single_nvlink: 0,
+                pcie: 1,
+            },
         );
         // The paper's model orders the three link classes correctly.
         assert!(double > single, "{double} vs {single}");

@@ -58,7 +58,10 @@ impl EffBwModel {
     /// Fails with fewer samples than features or on a singular system.
     pub fn fit(samples: &[Sample]) -> Result<Self, FitError> {
         if samples.len() < NUM_FEATURES {
-            return Err(FitError::TooFewSamples { got: samples.len(), need: NUM_FEATURES });
+            return Err(FitError::TooFewSamples {
+                got: samples.len(),
+                need: NUM_FEATURES,
+            });
         }
         let rows: Vec<Vec<f64>> = samples
             .iter()
@@ -150,9 +153,21 @@ mod tests {
     fn predictions_track_link_class_order() {
         let dgx = machines::dgx1_v100();
         let model = EffBwModel::fit(&build_corpus(&dgx, 2..=5)).unwrap();
-        let d = model.predict(&LinkMix { double_nvlink: 1, single_nvlink: 0, pcie: 0 });
-        let s = model.predict(&LinkMix { double_nvlink: 0, single_nvlink: 1, pcie: 0 });
-        let p = model.predict(&LinkMix { double_nvlink: 0, single_nvlink: 0, pcie: 1 });
+        let d = model.predict(&LinkMix {
+            double_nvlink: 1,
+            single_nvlink: 0,
+            pcie: 0,
+        });
+        let s = model.predict(&LinkMix {
+            double_nvlink: 0,
+            single_nvlink: 1,
+            pcie: 0,
+        });
+        let p = model.predict(&LinkMix {
+            double_nvlink: 0,
+            single_nvlink: 0,
+            pcie: 1,
+        });
         assert!(d > s && s > p, "{d} {s} {p}");
     }
 
@@ -173,7 +188,11 @@ mod tests {
         for x in 0..4 {
             for y in 0..4 {
                 for z in 0..4 {
-                    let mix = LinkMix { double_nvlink: x, single_nvlink: y, pcie: z };
+                    let mix = LinkMix {
+                        double_nvlink: x,
+                        single_nvlink: y,
+                        pcie: z,
+                    };
                     assert!(model.predict(&mix) >= 0.0, "({x},{y},{z})");
                 }
             }

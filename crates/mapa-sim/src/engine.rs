@@ -62,7 +62,10 @@ impl ArrivalProcess {
                 (0..n).map(|i| i as f64 * gap).collect()
             }
             ArrivalProcess::Poisson { mean_gap, seed } => {
-                assert!(mean_gap > 0.0 && mean_gap.is_finite(), "mean gap must be positive");
+                assert!(
+                    mean_gap > 0.0 && mean_gap.is_finite(),
+                    "mean gap must be positive"
+                );
                 use rand::{Rng, SeedableRng};
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
                 let mut t = 0.0;
@@ -176,7 +179,10 @@ impl Simulation {
     /// Uses a pre-built allocator (custom model or matcher).
     #[must_use]
     pub fn from_allocator(allocator: MapaAllocator) -> Self {
-        Self { allocator, config: SimConfig::default() }
+        Self {
+            allocator,
+            config: SimConfig::default(),
+        }
     }
 
     /// Runs `jobs` (all submitted at t = 0, in order) to completion and
@@ -216,7 +222,9 @@ impl Simulation {
                 }
                 EventKind::JobFinished(job_id) => {
                     let pending = running.remove(&job_id).expect("finish for running job");
-                    self.allocator.release(job_id).expect("running job is allocated");
+                    self.allocator
+                        .release(job_id)
+                        .expect("running job is allocated");
                     records.push(pending.into_record(now));
                 }
             }
@@ -252,15 +260,15 @@ impl Simulation {
     ) {
         let mut skipped: VecDeque<(&JobSpec, f64)> = VecDeque::new();
         while let Some((job, submitted_at)) = queue.pop_front() {
-            match self.allocator.try_allocate(job).expect("job sizes pre-validated") {
+            match self
+                .allocator
+                .try_allocate(job)
+                .expect("job sizes pre-validated")
+            {
                 Some(outcome) => {
-                    let workload_bw =
-                        perf::workload_effbw(job.workload, topology, &outcome.gpus);
-                    let iter_time = perf::iteration_time_with_effbw(
-                        job.workload,
-                        job.num_gpus,
-                        workload_bw,
-                    );
+                    let workload_bw = perf::workload_effbw(job.workload, topology, &outcome.gpus);
+                    let iter_time =
+                        perf::iteration_time_with_effbw(job.workload, job.num_gpus, workload_bw);
                     let exec = iter_time * job.iterations as f64;
                     let finish = now + exec;
                     events.push(finish, EventKind::JobFinished(job.id));
@@ -379,10 +387,7 @@ mod tests {
     #[test]
     fn fifo_blocks_until_resources_free() {
         // 5-GPU then 4-GPU: the second must wait for the first.
-        let jobs = vec![
-            job(1, 5, Workload::Gmm, 50),
-            job(2, 4, Workload::Gmm, 50),
-        ];
+        let jobs = vec![job(1, 5, Workload::Gmm, 50), job(2, 4, Workload::Gmm, 50)];
         let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&jobs);
         let first = report.records.iter().find(|r| r.job.id == 1).unwrap();
         let second = report.records.iter().find(|r| r.job.id == 2).unwrap();
@@ -413,11 +418,17 @@ mod tests {
             job(3, 1, Workload::Gmm, 50),
         ];
         let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
-            .with_config(SimConfig { strict_fifo: false, ..SimConfig::default() })
+            .with_config(SimConfig {
+                strict_fifo: false,
+                ..SimConfig::default()
+            })
             .run(&jobs);
         let j2 = report.records.iter().find(|r| r.job.id == 2).unwrap();
         let j3 = report.records.iter().find(|r| r.job.id == 3).unwrap();
-        assert!(j3.started_at < j2.started_at, "backfill lets job 3 run early");
+        assert!(
+            j3.started_at < j2.started_at,
+            "backfill lets job 3 run early"
+        );
     }
 
     #[test]
@@ -447,10 +458,8 @@ mod tests {
         let mut pres_p75 = 0.0;
         for seed in [2, 3, 4] {
             let jobs = generator::paper_job_mix(seed);
-            let base =
-                Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&jobs);
-            let pres =
-                Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs);
+            let base = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&jobs);
+            let pres = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs);
             let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
             base_p75 += crate::stats::summarize(&base.execution_times(sens)).p75;
             pres_p75 += crate::stats::summarize(&pres.execution_times(sens)).p75;
@@ -533,11 +542,23 @@ mod tests {
 
     #[test]
     fn poisson_arrivals_are_deterministic_and_increasing() {
-        let times_a = ArrivalProcess::Poisson { mean_gap: 50.0, seed: 9 }.submission_times(20);
-        let times_b = ArrivalProcess::Poisson { mean_gap: 50.0, seed: 9 }.submission_times(20);
+        let times_a = ArrivalProcess::Poisson {
+            mean_gap: 50.0,
+            seed: 9,
+        }
+        .submission_times(20);
+        let times_b = ArrivalProcess::Poisson {
+            mean_gap: 50.0,
+            seed: 9,
+        }
+        .submission_times(20);
         assert_eq!(times_a, times_b, "same seed, same arrivals");
         assert!(times_a.windows(2).all(|w| w[1] > w[0]));
-        let times_c = ArrivalProcess::Poisson { mean_gap: 50.0, seed: 10 }.submission_times(20);
+        let times_c = ArrivalProcess::Poisson {
+            mean_gap: 50.0,
+            seed: 10,
+        }
+        .submission_times(20);
         assert_ne!(times_a, times_c);
         // Mean gap roughly matches the parameter (law of large numbers,
         // loose bound for 20 samples).
@@ -550,7 +571,10 @@ mod tests {
         let jobs = generator::paper_job_mix(5);
         let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
             .with_config(SimConfig {
-                arrivals: ArrivalProcess::Poisson { mean_gap: 30.0, seed: 1 },
+                arrivals: ArrivalProcess::Poisson {
+                    mean_gap: 30.0,
+                    seed: 1,
+                },
                 ..SimConfig::default()
             })
             .run(&jobs[..100]);
@@ -568,8 +592,8 @@ mod tests {
         // job arrives, so Preserve should place sensitive jobs near their
         // best effective bandwidth far more often than under batch load.
         let jobs = generator::paper_job_mix(8);
-        let batch = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
-            .run(&jobs[..150]);
+        let batch =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..150]);
         let light = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
             .with_config(SimConfig {
                 arrivals: ArrivalProcess::Uniform { gap: 600.0 },
@@ -590,6 +614,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "mean gap must be positive")]
     fn bad_poisson_config_panics() {
-        let _ = ArrivalProcess::Poisson { mean_gap: 0.0, seed: 0 }.submission_times(3);
+        let _ = ArrivalProcess::Poisson {
+            mean_gap: 0.0,
+            seed: 0,
+        }
+        .submission_times(3);
     }
 }

@@ -123,7 +123,10 @@ mod tests {
     use mapa_workloads::generator;
 
     fn small_mix() -> Vec<JobSpec> {
-        let cfg = generator::JobMixConfig { job_count: 60, ..Default::default() };
+        let cfg = generator::JobMixConfig {
+            job_count: 60,
+            ..Default::default()
+        };
         generator::generate_jobs(&cfg, 21)
     }
 
@@ -142,7 +145,13 @@ mod tests {
         let t3 = cmp.table3();
         let base = &t3[0];
         assert_eq!(base.policy, "baseline");
-        for v in [base.speedup.min, base.speedup.p25, base.speedup.p50, base.speedup.p75, base.speedup.max] {
+        for v in [
+            base.speedup.min,
+            base.speedup.p25,
+            base.speedup.p50,
+            base.speedup.p75,
+            base.speedup.max,
+        ] {
             assert!((v - 1.0).abs() < 1e-12);
         }
         assert!((base.normalized_throughput - 1.0).abs() < 1e-12);

@@ -100,8 +100,12 @@ pub fn parse_log(input: &str) -> Result<Vec<LogEntry>, LogParseError> {
         }
         // The allocation field contains commas inside parentheses; split
         // on the parenthesized group first.
-        let open = trimmed.find('(').ok_or(LogParseError::FieldCount { line })?;
-        let close = trimmed.find(')').ok_or(LogParseError::FieldCount { line })?;
+        let open = trimmed
+            .find('(')
+            .ok_or(LogParseError::FieldCount { line })?;
+        let close = trimmed
+            .find(')')
+            .ok_or(LogParseError::FieldCount { line })?;
         if close < open {
             return Err(LogParseError::FieldCount { line });
         }
@@ -116,7 +120,10 @@ pub fn parse_log(input: &str) -> Result<Vec<LogEntry>, LogParseError> {
             .filter(|s| !s.trim().is_empty())
             .map(|s| s.trim().parse::<usize>())
             .collect::<Result<_, _>>()
-            .map_err(|_| LogParseError::BadField { line, field: "Allocation" })?;
+            .map_err(|_| LogParseError::BadField {
+                line,
+                field: "Allocation",
+            })?;
         let rest: Vec<&str> = trimmed[close + 1..]
             .split(',')
             .map(str::trim)
@@ -126,10 +133,16 @@ pub fn parse_log(input: &str) -> Result<Vec<LogEntry>, LogParseError> {
             return Err(LogParseError::FieldCount { line });
         }
         let topology = rest[0].to_string();
-        let eff_bw_gbps: f64 = rest[1]
-            .parse()
-            .map_err(|_| LogParseError::BadField { line, field: "Effective BW" })?;
-        out.push(LogEntry { id, gpus, topology, eff_bw_gbps });
+        let eff_bw_gbps: f64 = rest[1].parse().map_err(|_| LogParseError::BadField {
+            line,
+            field: "Effective BW",
+        })?;
+        out.push(LogEntry {
+            id,
+            gpus,
+            topology,
+            eff_bw_gbps,
+        });
     }
     Ok(out)
 }
@@ -137,7 +150,7 @@ pub fn parse_log(input: &str) -> Result<Vec<LogEntry>, LogParseError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Simulation, stats};
+    use crate::{stats, Simulation};
     use mapa_core::policy::PreservePolicy;
     use mapa_topology::machines;
     use mapa_workloads::generator;
@@ -172,9 +185,7 @@ mod tests {
         // The logged EffBW distribution matches the in-memory one.
         let from_log: Vec<f64> = entries.iter().map(|e| e.eff_bw_gbps).collect();
         let direct: Vec<f64> = report.records.iter().map(|r| r.predicted_eff_bw).collect();
-        assert!(
-            (stats::summarize(&from_log).p50 - stats::summarize(&direct).p50).abs() < 0.01
-        );
+        assert!((stats::summarize(&from_log).p50 - stats::summarize(&direct).p50).abs() < 0.01);
     }
 
     #[test]
@@ -189,11 +200,17 @@ mod tests {
         ));
         assert!(matches!(
             parse_log("1, (a,b), Ring, 45"),
-            Err(LogParseError::BadField { field: "Allocation", .. })
+            Err(LogParseError::BadField {
+                field: "Allocation",
+                ..
+            })
         ));
         assert!(matches!(
             parse_log("1, (1,2), Ring, fast"),
-            Err(LogParseError::BadField { field: "Effective BW", .. })
+            Err(LogParseError::BadField {
+                field: "Effective BW",
+                ..
+            })
         ));
         assert!(matches!(
             parse_log("1, (1,2), Ring"),

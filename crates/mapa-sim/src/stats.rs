@@ -29,7 +29,10 @@ pub struct Summary {
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty sample");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

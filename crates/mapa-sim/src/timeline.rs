@@ -39,9 +39,17 @@ pub fn utilization(report: &SimReport, gpu_count: usize) -> Utilization {
         }
         gpu_seconds += r.execution_seconds * r.gpus.len() as f64;
     }
-    let per_gpu: Vec<f64> = busy.iter().map(|&b| if makespan > 0.0 { b / makespan } else { 0.0 }).collect();
+    let per_gpu: Vec<f64> = busy
+        .iter()
+        .map(|&b| if makespan > 0.0 { b / makespan } else { 0.0 })
+        .collect();
     let overall = per_gpu.iter().sum::<f64>() / gpu_count as f64;
-    Utilization { per_gpu, overall, gpu_seconds, makespan }
+    Utilization {
+        per_gpu,
+        overall,
+        gpu_seconds,
+        makespan,
+    }
 }
 
 /// Renders an ASCII Gantt chart: one row per GPU, `width` time buckets;
@@ -64,7 +72,11 @@ pub fn gantt(report: &SimReport, gpu_count: usize, width: usize) -> String {
         let digit = b'0' + (r.job.id % 10) as u8;
         for &g in &r.gpus {
             for cell in &mut grid[g][start..end] {
-                *cell = if *cell == b'.' || *cell == digit { digit } else { b'#' };
+                *cell = if *cell == b'.' || *cell == digit {
+                    digit
+                } else {
+                    b'#'
+                };
             }
         }
     }
@@ -172,10 +184,8 @@ mod tests {
         // not utilize the machine worse than baseline on the same mix.
         use mapa_core::policy::PreservePolicy;
         let mix = mapa_workloads::generator::paper_job_mix(4);
-        let base =
-            Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&mix[..80]);
-        let pres =
-            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&mix[..80]);
+        let base = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&mix[..80]);
+        let pres = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&mix[..80]);
         let ub = utilization(&base, 8);
         let up = utilization(&pres, 8);
         // GPU-seconds of work shrink when allocations are faster, so

@@ -175,7 +175,11 @@ pub fn cube_mesh() -> Topology {
 pub fn p3dn() -> Topology {
     let mut t = dgx1_v100();
     // Same fabric, different label.
-    t = Topology::new("P3dn", t.link_graph().clone(), (0..8).map(|g| g / 4).collect());
+    t = Topology::new(
+        "P3dn",
+        t.link_graph().clone(),
+        (0..8).map(|g| g / 4).collect(),
+    );
     t
 }
 
@@ -260,7 +264,14 @@ pub fn fully_connected(n: usize, link: LinkType) -> Topology {
 /// All paper machines keyed by canonical name, in evaluation order.
 #[must_use]
 pub fn all_machines() -> Vec<Topology> {
-    vec![summit(), dgx1_p100(), dgx1_v100(), dgx2(), torus_2d(), cube_mesh()]
+    vec![
+        summit(),
+        dgx1_p100(),
+        dgx1_v100(),
+        dgx2(),
+        torus_2d(),
+        cube_mesh(),
+    ]
 }
 
 #[cfg(test)]
@@ -393,7 +404,11 @@ mod tests {
         assert_eq!(generic.gpu_count(), builtin.gpu_count());
         for a in 0..16 {
             for b in (a + 1)..16 {
-                assert_eq!(generic.link_type(a, b), builtin.link_type(a, b), "({a},{b})");
+                assert_eq!(
+                    generic.link_type(a, b),
+                    builtin.link_type(a, b),
+                    "({a},{b})"
+                );
             }
         }
     }

@@ -68,7 +68,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Empty => write!(f, "no data rows found"),
-            ParseError::RowLength { row, found, expected } => {
+            ParseError::RowLength {
+                row,
+                found,
+                expected,
+            } => {
                 write!(f, "row {row}: found {found} cells, expected {expected}")
             }
             ParseError::BadCell { row, col, token } => {
@@ -126,7 +130,11 @@ pub fn parse_topology_matrix(
             row.remove(0);
         }
         if row.len() < n {
-            return Err(ParseError::RowLength { row: i, found: row.len(), expected: n });
+            return Err(ParseError::RowLength {
+                row: i,
+                found: row.len(),
+                expected: n,
+            });
         }
         row.truncate(n); // ignore trailing columns (CPU affinity etc.)
         cells.push(row);
@@ -147,13 +155,21 @@ pub fn parse_topology_matrix(
         } else if let Some(k) = t.strip_prefix("NV") {
             k.parse::<u32>()
                 .map(Cell::NvLink)
-                .map_err(|_| ParseError::BadCell { row, col, token: tok.to_string() })
+                .map_err(|_| ParseError::BadCell {
+                    row,
+                    col,
+                    token: tok.to_string(),
+                })
         } else if matches!(t.as_str(), "PHB" | "PXB" | "PIX" | "NODE") {
             Ok(Cell::PciLocal)
         } else if t == "SYS" || t == "QPI" {
             Ok(Cell::PciSys)
         } else {
-            Err(ParseError::BadCell { row, col, token: tok.to_string() })
+            Err(ParseError::BadCell {
+                row,
+                col,
+                token: tok.to_string(),
+            })
         }
     };
 
@@ -288,7 +304,11 @@ GPU3   SYS   NV1   NV2    X
 
     #[test]
     fn roundtrip_through_matrix_format() {
-        for machine in [machines::dgx1_v100(), machines::summit(), machines::torus_2d()] {
+        for machine in [
+            machines::dgx1_v100(),
+            machines::summit(),
+            machines::torus_2d(),
+        ] {
             let rendered = to_topology_matrix(&machine);
             let parsed =
                 parse_topology_matrix(&rendered, machine.name(), NvlinkGeneration::V2).unwrap();

@@ -191,7 +191,10 @@ impl HardwareState {
                 return Err(AllocationError::DuplicateGpu(g));
             }
             if let Some(holder) = self.owner[g] {
-                return Err(AllocationError::GpuBusy { gpu: g, held_by: holder });
+                return Err(AllocationError::GpuBusy {
+                    gpu: g,
+                    held_by: holder,
+                });
             }
         }
         let mut sorted: Vec<usize> = gpus.to_vec();
@@ -208,7 +211,10 @@ impl HardwareState {
     /// # Errors
     /// Fails if the job is not active.
     pub fn deallocate(&mut self, job: JobId) -> Result<Vec<usize>, AllocationError> {
-        let gpus = self.jobs.remove(&job).ok_or(AllocationError::UnknownJob(job))?;
+        let gpus = self
+            .jobs
+            .remove(&job)
+            .ok_or(AllocationError::UnknownJob(job))?;
         for &g in &gpus {
             debug_assert_eq!(self.owner[g], Some(job));
             self.owner[g] = None;
@@ -272,7 +278,10 @@ mod tests {
             s.allocate(1, &[9]),
             Err(AllocationError::GpuOutOfRange { gpu: 9, count: 8 })
         );
-        assert_eq!(s.allocate(1, &[4, 4]), Err(AllocationError::DuplicateGpu(4)));
+        assert_eq!(
+            s.allocate(1, &[4, 4]),
+            Err(AllocationError::DuplicateGpu(4))
+        );
         s.allocate(1, &[4]).unwrap();
         assert_eq!(s.allocate(1, &[5]), Err(AllocationError::JobExists(1)));
         assert_eq!(s.deallocate(7), Err(AllocationError::UnknownJob(7)));

@@ -29,11 +29,36 @@ pub struct SurveyYear {
 #[must_use]
 pub fn top500_trend() -> Vec<SurveyYear> {
     vec![
-        SurveyYear { year: 2017, gpu_systems: 84, other_accelerator_systems: 18, heterogeneous_interconnect_pct: 25.0 },
-        SurveyYear { year: 2018, gpu_systems: 98, other_accelerator_systems: 12, heterogeneous_interconnect_pct: 40.0 },
-        SurveyYear { year: 2019, gpu_systems: 125, other_accelerator_systems: 10, heterogeneous_interconnect_pct: 55.0 },
-        SurveyYear { year: 2020, gpu_systems: 140, other_accelerator_systems: 8, heterogeneous_interconnect_pct: 70.0 },
-        SurveyYear { year: 2021, gpu_systems: 150, other_accelerator_systems: 7, heterogeneous_interconnect_pct: 80.0 },
+        SurveyYear {
+            year: 2017,
+            gpu_systems: 84,
+            other_accelerator_systems: 18,
+            heterogeneous_interconnect_pct: 25.0,
+        },
+        SurveyYear {
+            year: 2018,
+            gpu_systems: 98,
+            other_accelerator_systems: 12,
+            heterogeneous_interconnect_pct: 40.0,
+        },
+        SurveyYear {
+            year: 2019,
+            gpu_systems: 125,
+            other_accelerator_systems: 10,
+            heterogeneous_interconnect_pct: 55.0,
+        },
+        SurveyYear {
+            year: 2020,
+            gpu_systems: 140,
+            other_accelerator_systems: 8,
+            heterogeneous_interconnect_pct: 70.0,
+        },
+        SurveyYear {
+            year: 2021,
+            gpu_systems: 150,
+            other_accelerator_systems: 7,
+            heterogeneous_interconnect_pct: 80.0,
+        },
     ]
 }
 
@@ -50,11 +75,11 @@ mod tests {
         // GPU systems grow; heterogeneous share grows; GPUs dominate others.
         for w in t.windows(2) {
             assert!(w[1].gpu_systems >= w[0].gpu_systems);
-            assert!(
-                w[1].heterogeneous_interconnect_pct >= w[0].heterogeneous_interconnect_pct
-            );
+            assert!(w[1].heterogeneous_interconnect_pct >= w[0].heterogeneous_interconnect_pct);
         }
-        assert!(t.iter().all(|y| y.gpu_systems > y.other_accelerator_systems));
+        assert!(t
+            .iter()
+            .all(|y| y.gpu_systems > y.other_accelerator_systems));
         // By the end, heterogeneous interconnects are dominant (>50%).
         assert!(t.last().unwrap().heterogeneous_interconnect_pct > 50.0);
     }

@@ -83,7 +83,10 @@ impl Topology {
     /// Panics if either index is out of range or `a == b`.
     #[must_use]
     pub fn link_type(&self, a: usize, b: usize) -> LinkType {
-        assert!(a < self.gpu_count() && b < self.gpu_count(), "GPU out of range");
+        assert!(
+            a < self.gpu_count() && b < self.gpu_count(),
+            "GPU out of range"
+        );
         assert_ne!(a, b, "no self-links");
         self.links.weight(a, b).unwrap_or(LinkType::Pcie)
     }

@@ -45,7 +45,10 @@ pub fn partition_gpu(
     bandwidth: SliceBandwidth,
 ) -> (Topology, Vec<usize>) {
     assert!(gpu < topology.gpu_count(), "GPU {gpu} out of range");
-    assert!((1..=7).contains(&slices), "MIG supports 1..=7 slices, got {slices}");
+    assert!(
+        (1..=7).contains(&slices),
+        "MIG supports 1..=7 slices, got {slices}"
+    );
 
     let n_old = topology.gpu_count();
     let n_new = n_old + slices - 1;

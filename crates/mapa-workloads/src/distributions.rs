@@ -42,7 +42,10 @@ pub fn cdf_curve(workload: Workload, lo: u32, hi: u32, points_per_decade: usize)
     for d in lo..=hi {
         for p in 0..points_per_decade {
             let bytes = 10f64.powf(f64::from(d) + p as f64 / points_per_decade as f64);
-            out.push(CdfPoint { bytes, cdf: message_size_cdf(workload, bytes) });
+            out.push(CdfPoint {
+                bytes,
+                cdf: message_size_cdf(workload, bytes),
+            });
         }
     }
     out
@@ -61,7 +64,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 

@@ -61,9 +61,10 @@ pub fn generate_jobs(config: &JobMixConfig, seed: u64) -> Vec<JobSpec> {
             let workload = *config.workloads.choose(&mut rng).expect("non-empty pool");
             let model = workload.model();
             let num_gpus = rng.random_range(config.gpus_min..=config.gpus_max);
-            let jitter = 1.0
-                + config.iteration_jitter * (rng.random_range(-1.0f64..=1.0));
-            let iterations = ((model.default_iterations as f64) * jitter).round().max(1.0) as u64;
+            let jitter = 1.0 + config.iteration_jitter * (rng.random_range(-1.0f64..=1.0));
+            let iterations = ((model.default_iterations as f64) * jitter)
+                .round()
+                .max(1.0) as u64;
             JobSpec {
                 id: i as u64 + 1,
                 num_gpus,
@@ -175,7 +176,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one workload")]
     fn empty_pool_panics() {
-        let cfg = JobMixConfig { workloads: vec![], ..JobMixConfig::default() };
+        let cfg = JobMixConfig {
+            workloads: vec![],
+            ..JobMixConfig::default()
+        };
         let _ = generate_jobs(&cfg, 0);
     }
 }

@@ -131,7 +131,11 @@ pub fn write_job_file(jobs: &[JobSpec]) -> String {
             j.id,
             j.num_gpus,
             j.topology,
-            if j.bandwidth_sensitive { "True" } else { "False" },
+            if j.bandwidth_sensitive {
+                "True"
+            } else {
+                "False"
+            },
             j.workload,
             j.iterations
         ));
@@ -158,7 +162,10 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
             continue;
         }
         if fields.len() != 6 {
-            return Err(JobFileError::FieldCount { line, found: fields.len() });
+            return Err(JobFileError::FieldCount {
+                line,
+                found: fields.len(),
+            });
         }
         let parse_u64 = |field: &'static str, s: &str| {
             s.parse::<u64>().map_err(|_| JobFileError::BadField {
@@ -194,7 +201,14 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
             value: fields[4].to_string(),
         })?;
         let iterations = parse_u64("Iterations", fields[5])?;
-        jobs.push(JobSpec { id, num_gpus, topology, bandwidth_sensitive, workload, iterations });
+        jobs.push(JobSpec {
+            id,
+            num_gpus,
+            topology,
+            bandwidth_sensitive,
+            workload,
+            iterations,
+        });
     }
     Ok(jobs)
 }
@@ -253,15 +267,24 @@ mod tests {
         ));
         assert!(matches!(
             parse_job_file("1, 2, Mesh, True, vgg-16, 5"),
-            Err(JobFileError::BadField { field: "Topology", .. })
+            Err(JobFileError::BadField {
+                field: "Topology",
+                ..
+            })
         ));
         assert!(matches!(
             parse_job_file("1, 2, Ring, maybe, vgg-16, 5"),
-            Err(JobFileError::BadField { field: "BW Sensitive", .. })
+            Err(JobFileError::BadField {
+                field: "BW Sensitive",
+                ..
+            })
         ));
         assert!(matches!(
             parse_job_file("1, 2, Ring, True, bert, 5"),
-            Err(JobFileError::BadField { field: "Workload", .. })
+            Err(JobFileError::BadField {
+                field: "Workload",
+                ..
+            })
         ));
         assert!(matches!(
             parse_job_file("1, 2, Ring, True, vgg-16, 5\n1, 2, Ring, True, vgg-16, 5"),
@@ -283,7 +306,10 @@ mod tests {
         ] {
             assert_eq!(AppTopology::from_name(t.name()), Some(t));
         }
-        assert_eq!(AppTopology::from_name("ring+tree"), Some(AppTopology::RingTree));
+        assert_eq!(
+            AppTopology::from_name("ring+tree"),
+            Some(AppTopology::RingTree)
+        );
         assert_eq!(AppTopology::from_name("mesh"), None);
     }
 

@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn paper_call_counts_match_fig5b() {
         assert_eq!(Workload::AlexNet.model().paper_calls_per_iter, 80_001);
-        assert_eq!(Workload::InceptionV3.model().paper_calls_per_iter, 2_830_001);
+        assert_eq!(
+            Workload::InceptionV3.model().paper_calls_per_iter,
+            2_830_001
+        );
         assert_eq!(Workload::Vgg16.model().paper_calls_per_iter, 160_001);
         assert_eq!(Workload::ResNet50.model().paper_calls_per_iter, 1_600_001);
         assert_eq!(Workload::CaffeNet.model().paper_calls_per_iter, 84_936);
@@ -265,7 +268,12 @@ mod tests {
     fn fig5a_large_message_networks() {
         // "Alexnet, VGG, Inception, and CaffeNet involve an average
         // communication data size of at least 1e5 bytes."
-        for w in [Workload::AlexNet, Workload::Vgg16, Workload::InceptionV3, Workload::CaffeNet] {
+        for w in [
+            Workload::AlexNet,
+            Workload::Vgg16,
+            Workload::InceptionV3,
+            Workload::CaffeNet,
+        ] {
             assert!(w.model().avg_message_bytes >= 1e5, "{w}");
         }
         // GoogleNet's average is below 1e5.

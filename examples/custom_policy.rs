@@ -27,8 +27,7 @@ impl AllocationPolicy for WorstFitPolicy {
             .iter()
             .map(|e| {
                 let gpus = e.vertex_set();
-                let score =
-                    scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, &gpus);
+                let score = scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, &gpus);
                 (score, gpus)
             })
             .min_by(|(a, _), (b, _)| a.total_cmp(b))
@@ -37,23 +36,31 @@ impl AllocationPolicy for WorstFitPolicy {
 }
 
 fn main() {
-    let cfg = generator::JobMixConfig { job_count: 120, ..Default::default() };
+    let cfg = generator::JobMixConfig {
+        job_count: 120,
+        ..Default::default()
+    };
     let jobs = generator::generate_jobs(&cfg, 77);
     let dgx = machines::dgx1_v100();
 
-    println!("Policy comparison on {} jobs (sensitive multi-GPU jobs only):\n", jobs.len());
+    println!(
+        "Policy comparison on {} jobs (sensitive multi-GPU jobs only):\n",
+        jobs.len()
+    );
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>11}",
         "policy", "p50 (s)", "p75 (s)", "max (s)", "tput (j/h)"
     );
     for (name, policy) in [
-        ("WorstFit", Box::new(WorstFitPolicy) as Box<dyn AllocationPolicy>),
+        (
+            "WorstFit",
+            Box::new(WorstFitPolicy) as Box<dyn AllocationPolicy>,
+        ),
         ("baseline", Box::new(BaselinePolicy)),
         ("Preserve", Box::new(PreservePolicy)),
     ] {
         let report = Simulation::new(dgx.clone(), policy).run(&jobs);
-        let times =
-            report.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+        let times = report.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
         let s = stats::summarize(&times);
         println!(
             "{:<10} {:>9.0} {:>9.0} {:>9.0} {:>11.1}",

@@ -53,7 +53,11 @@ fn main() {
         .iter()
         .filter(|r| r.job.num_gpus >= 2 && r.allocation_quality < 0.999)
         .count();
-    let multi = report.records.iter().filter(|r| r.job.num_gpus >= 2).count();
+    let multi = report
+        .records
+        .iter()
+        .filter(|r| r.job.num_gpus >= 2)
+        .count();
     println!(
         "\n{sub_ideal}/{multi} multi-GPU jobs received a sub-ideal allocation \
          — the fragmentation MAPA exists to fix."

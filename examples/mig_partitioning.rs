@@ -17,7 +17,9 @@ fn main() {
         "{}: {} virtual GPUs (physical GPU 7 -> slices {:?})\n",
         mig.name(),
         mig.gpu_count(),
-        (0..mig.gpu_count()).filter(|&v| phys[v] == 7).collect::<Vec<_>>()
+        (0..mig.gpu_count())
+            .filter(|&v| phys[v] == 7)
+            .collect::<Vec<_>>()
     );
 
     // A mix of one big training job and many 1-GPU tenants.

@@ -42,7 +42,11 @@ fn main() {
             job.id,
             job.workload,
             job.num_gpus,
-            if job.bandwidth_sensitive { "sensitive" } else { "insensitive" },
+            if job.bandwidth_sensitive {
+                "sensitive"
+            } else {
+                "insensitive"
+            },
             outcome.gpus,
         );
         println!(
@@ -54,10 +58,7 @@ fn main() {
         );
     }
 
-    println!(
-        "\nFree GPUs remaining: {:?}",
-        allocator.state().free_gpus()
-    );
+    println!("\nFree GPUs remaining: {:?}", allocator.state().free_gpus());
     println!(
         "Bandwidth still available to future jobs: {:.0} GB/s",
         allocator.state().free_aggregate_bandwidth()

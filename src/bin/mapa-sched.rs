@@ -55,7 +55,10 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_machines() -> Result<(), String> {
-    println!("{:<14} {:>6} {:>8} {:>9}", "name", "GPUs", "NVLinks", "sockets");
+    println!(
+        "{:<14} {:>6} {:>8} {:>9}",
+        "name", "GPUs", "NVLinks", "sockets"
+    );
     for m in machines::all_machines() {
         println!(
             "{:<14} {:>6} {:>8} {:>9}",
@@ -77,7 +80,10 @@ fn resolve_machine(arg: &str) -> Result<Topology, String> {
             .collect::<String>()
             .to_ascii_lowercase()
     };
-    if let Some(m) = machines::all_machines().into_iter().find(|m| norm(m.name()) == norm(arg)) {
+    if let Some(m) = machines::all_machines()
+        .into_iter()
+        .find(|m| norm(m.name()) == norm(arg))
+    {
         return Ok(m);
     }
     let text = std::fs::read_to_string(arg)
@@ -105,8 +111,14 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
-    let cfg = generator::JobMixConfig { job_count: count, ..Default::default() };
-    print!("{}", jobs::write_job_file(&generator::generate_jobs(&cfg, seed)));
+    let cfg = generator::JobMixConfig {
+        job_count: count,
+        ..Default::default()
+    };
+    print!(
+        "{}",
+        jobs::write_job_file(&generator::generate_jobs(&cfg, seed))
+    );
     Ok(())
 }
 
@@ -170,11 +182,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let config = SimConfig {
         strict_fifo: !backfill,
         arrivals: match poisson {
-            Some(gap) => ArrivalProcess::Poisson { mean_gap: gap, seed },
+            Some(gap) => ArrivalProcess::Poisson {
+                mean_gap: gap,
+                seed,
+            },
             None => ArrivalProcess::Batch,
         },
     };
-    let report = Simulation::new(machine, policy).with_config(config).run(&job_list);
+    let report = Simulation::new(machine, policy)
+        .with_config(config)
+        .run(&job_list);
 
     println!(
         "machine {} | policy {} | {} jobs | makespan {:.0} s | throughput {:.1} jobs/h",

@@ -33,7 +33,10 @@ fn paper_worked_example_end_to_end() {
     };
     let frag = allocator.score_allocation(&spec, &[0, 1, 4]);
     let ideal = allocator.score_allocation(&spec, &[0, 2, 3]);
-    assert_eq!(frag.aggregated_bw, 87.0, "paper: fragmented AggBW = 87 GB/s");
+    assert_eq!(
+        frag.aggregated_bw, 87.0,
+        "paper: fragmented AggBW = 87 GB/s"
+    );
     assert_eq!(ideal.aggregated_bw, 125.0, "paper: ideal AggBW = 125 GB/s");
     assert!(ideal.predicted_eff_bw > frag.predicted_eff_bw);
 }
@@ -67,11 +70,9 @@ fn allocation_respects_sensitivity_routing() {
     let o2 = allocator.try_allocate(&sensitive).unwrap().unwrap();
     // The sensitive job must still land on a double-NVLink pair.
     assert_eq!(
-        o2.score.link_mix.double_nvlink,
-        1,
+        o2.score.link_mix.double_nvlink, 1,
         "sensitive pair should be double NVLink, got {:?} after insensitive {:?}",
-        o2.gpus,
-        o1.gpus
+        o2.gpus, o1.gpus
     );
 }
 
@@ -86,19 +87,36 @@ fn deterministic_simulation_across_runs() {
             .map(|r| (r.job.id, r.gpus.clone(), r.finished_at.to_bits()))
             .collect::<Vec<_>>()
     };
-    assert_eq!(run(()), run(()), "same inputs must give identical schedules");
+    assert_eq!(
+        run(()),
+        run(()),
+        "same inputs must give identical schedules"
+    );
 }
 
 #[test]
 fn simulation_conserves_jobs_across_policies_and_machines() {
     let jobs: Vec<JobSpec> = generator::generate_jobs(
-        &generator::JobMixConfig { job_count: 40, ..Default::default() },
+        &generator::JobMixConfig {
+            job_count: 40,
+            ..Default::default()
+        },
         9,
     );
-    for machine in [machines::dgx1_v100(), machines::dgx1_p100(), machines::torus_2d()] {
+    for machine in [
+        machines::dgx1_v100(),
+        machines::dgx1_p100(),
+        machines::torus_2d(),
+    ] {
         let cmp = experiment::compare_policies(&machine, &jobs);
         for rep in &cmp.reports {
-            assert_eq!(rep.records.len(), jobs.len(), "{}/{}", machine.name(), rep.policy_name);
+            assert_eq!(
+                rep.records.len(),
+                jobs.len(),
+                "{}/{}",
+                machine.name(),
+                rep.policy_name
+            );
             let mut ids: Vec<u64> = rep.records.iter().map(|r| r.job.id).collect();
             ids.sort_unstable();
             assert_eq!(ids, (1..=40).collect::<Vec<u64>>());
@@ -110,13 +128,18 @@ fn simulation_conserves_jobs_across_policies_and_machines() {
 fn summit_six_gpu_machine_works_end_to_end() {
     // Jobs capped at 5 GPUs fit Summit's 6; the socket structure steers
     // topo-aware placements.
-    let jobs: Vec<JobSpec> = (1..=10).map(|i| job(i, (i as usize % 3) + 1, Workload::ResNet50)).collect();
+    let jobs: Vec<JobSpec> = (1..=10)
+        .map(|i| job(i, (i as usize % 3) + 1, Workload::ResNet50))
+        .collect();
     let report = Simulation::new(machines::summit(), Box::new(TopoAwarePolicy)).run(&jobs);
     assert_eq!(report.records.len(), 10);
     // 3-GPU jobs on Summit should sit inside one socket (all-double).
     for r in &report.records {
         if r.job.num_gpus == 3 && r.gpus == vec![0, 1, 2] {
-            assert!(r.measured_eff_bw > 40.0, "intra-socket triple is all double NVLink");
+            assert!(
+                r.measured_eff_bw > 40.0,
+                "intra-socket triple is all double NVLink"
+            );
         }
     }
 }
@@ -125,7 +148,10 @@ fn summit_six_gpu_machine_works_end_to_end() {
 fn backfill_never_loses_jobs() {
     let jobs: Vec<JobSpec> = generator::paper_job_mix(17)[..60].to_vec();
     let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
-        .with_config(SimConfig { strict_fifo: false, ..SimConfig::default() })
+        .with_config(SimConfig {
+            strict_fifo: false,
+            ..SimConfig::default()
+        })
         .run(&jobs);
     assert_eq!(report.records.len(), 60);
 }
@@ -137,8 +163,12 @@ fn effbw_model_matches_microbenchmark_ordering_end_to_end() {
     let dgx = machines::dgx1_v100();
     let allocator = MapaAllocator::new(dgx.clone(), Box::new(PreservePolicy));
     let spec = job(1, 3, Workload::Vgg16);
-    let good = allocator.score_allocation(&spec, &[0, 2, 3]).predicted_eff_bw;
-    let bad = allocator.score_allocation(&spec, &[0, 1, 4]).predicted_eff_bw;
+    let good = allocator
+        .score_allocation(&spec, &[0, 2, 3])
+        .predicted_eff_bw;
+    let bad = allocator
+        .score_allocation(&spec, &[0, 1, 4])
+        .predicted_eff_bw;
     let good_measured = mapa::interconnect::effbw::measure(&dgx, &[0, 2, 3]);
     let bad_measured = mapa::interconnect::effbw::measure(&dgx, &[0, 1, 4]);
     assert!(good > bad);

@@ -60,7 +60,10 @@ fn fig11_effbw_predicts_execution_time_aggbw_does_not() {
     }
     let r_eff = metrics::pearson(&eff, &time);
     let r_agg = metrics::pearson(&agg, &time);
-    assert!(r_eff < -0.8, "EffBW vs time should be strongly negative, got {r_eff}");
+    assert!(
+        r_eff < -0.8,
+        "EffBW vs time should be strongly negative, got {r_eff}"
+    );
     assert!(
         r_eff.abs() > r_agg.abs() + 0.1,
         "EffBW (|r|={:.2}) must out-predict AggBW (|r|={:.2})",
@@ -157,8 +160,14 @@ fn fig19_overhead_sane_and_growing() {
         alloc.try_allocate(&spec).unwrap().unwrap();
         times.push(start.elapsed());
     }
-    assert!(times[1] > times[0], "16-GPU machine must cost more than 8-GPU");
-    assert!(times[1].as_secs() < 5, "overhead stays interactive: {times:?}");
+    assert!(
+        times[1] > times[0],
+        "16-GPU machine must cost more than 8-GPU"
+    );
+    assert!(
+        times[1].as_secs() < 5,
+        "overhead stays interactive: {times:?}"
+    );
 }
 
 /// The §3.5 motivation scenario: Preserve leaves a sensitive job at least
@@ -186,7 +195,11 @@ fn preservation_protects_future_sensitive_jobs() {
     let run = |policy: Box<dyn mapa::core::policy::AllocationPolicy>| {
         let mut a = MapaAllocator::new(dgx.clone(), policy);
         a.try_allocate(&insensitive).unwrap().unwrap();
-        a.try_allocate(&sensitive).unwrap().unwrap().score.predicted_eff_bw
+        a.try_allocate(&sensitive)
+            .unwrap()
+            .unwrap()
+            .score
+            .predicted_eff_bw
     };
     let greedy_eff = run(Box::new(GreedyPolicy));
     let preserve_eff = run(Box::new(PreservePolicy));

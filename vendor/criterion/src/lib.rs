@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! implements the slice of criterion 0.5's API that the workspace's two
+//! micro-benchmarks use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is a simple warm-up plus `sample_size` timed
+//! samples with a median-and-span report — enough to compare backends by
+//! eye, with none of criterion's statistics machinery. Swap the real crate
+//! back in for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter label.
+    pub fn new<F: ToString, P: ToString>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing harness handed to the measured closure, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group only,
+    /// matching upstream's per-group scoping.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark over `input`, reporting the median sample time.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        // Warm-up pass, also used to pick an iteration count that keeps
+        // each sample comfortably above timer resolution.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b, input);
+            samples.push(b.elapsed / iters as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{:<40} time: [{:>12?} .. {:>12?} .. {:>12?}]  ({} samples × {} iters)",
+            self.name,
+            id.to_string(),
+            samples[0],
+            median,
+            samples[samples.len() - 1],
+            samples.len(),
+            iters
+        );
+        self
+    }
+
+    /// Finishes the group (upstream emits summary reports here; the stub
+    /// prints per-benchmark lines eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: ToString>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("\n-- bench group: {name} --");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Entry point used by the generated `main`; runs every registered
+    /// benchmark function.
+    pub fn run_registered(fns: &[&dyn Fn(&mut Criterion)]) {
+        // `cargo bench` forwards flags like `--bench`; the stub has no CLI.
+        let _ = std::env::args();
+        let mut c = Criterion::default();
+        for f in fns {
+            f(&mut c);
+        }
+    }
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $crate::Criterion::run_registered(&[$(&$target),+]);
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub_demo");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", "0..100"), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_macro_and_harness_run() {
+        demo_group();
+    }
+}

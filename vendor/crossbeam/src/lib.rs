@@ -1,0 +1,78 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API.
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! provides the one entry point the workspace uses — [`scope`] with
+//! [`Scope::spawn`] — implemented on top of [`std::thread::scope`], which
+//! has offered the same structured-concurrency guarantee since Rust 1.63.
+//!
+//! Behavioural difference from real crossbeam: a panicking worker unwinds
+//! through `std::thread::scope` (aborting the scope) instead of being
+//! collected into the returned `Err`. Workspace callers treat a worker
+//! panic as fatal (`.expect(..)` on the result), so both shapes surface
+//! identically in practice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Result type of [`scope`], mirroring `crossbeam::thread::Result`.
+pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// Handle for spawning threads that may borrow from the enclosing stack
+/// frame, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives the scope again so
+    /// workers can spawn nested workers, as in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; every thread spawned inside is joined before
+/// `scope` returns. Always returns `Ok` (see the crate docs for the panic
+/// behaviour difference from upstream).
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

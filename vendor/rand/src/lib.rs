@@ -1,0 +1,239 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! implements exactly the slice of the `rand 0.9` API the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::random_range`]
+//! over integer and float ranges, and [`seq::IndexedRandom::choose`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — a small, well-studied PRNG with 64-bit output, plenty for
+//! reproducible workload generation (this is *not* a cryptographic RNG,
+//! matching `rand`'s own documentation for statistical use). Streams are
+//! deterministic per seed but do **not** match upstream `rand`'s ChaCha12
+//! streams; experiments cite seeds, not upstream bit-streams, so swapping
+//! the real crate back in only reshuffles the sampled workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level uniform bit source. Upstream `rand` splits this into
+/// `RngCore`; the workspace only ever needs 64 fresh bits at a time.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (the `rand::SeedableRng` subset we use).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Mirrors `rand 0.9`'s `Rng::random_range`: accepts `a..b` and `a..=b`
+    /// for the integer and float types the workspace samples.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Distribution plumbing backing [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniform sample of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let draw = (rng.next_u64() as u128) % span;
+                    self.start.wrapping_add(draw as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    let draw = (rng.next_u64() as u128) % span;
+                    start.wrapping_add(draw as $t)
+                }
+            }
+        )*};
+    }
+    int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform f64 in `[0, 1)` with 53 random mantissa bits.
+    fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let v = self.start + unit_f64(rng) * (self.end - self.start);
+            // Guard against rounding up to the excluded endpoint.
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty range");
+            start + unit_f64(rng) * (end - start)
+        }
+    }
+}
+
+/// Concrete generators (the `rand::rngs` subset we use).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step (Blackman & Vigna, public domain reference).
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Slice sampling helpers (the `rand::seq` subset we use).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Uniform element selection from indexable collections.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Output;
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000usize), b.random_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..=9usize);
+            assert!((3..=9).contains(&v));
+            let f = rng.random_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&f));
+            let h = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(h > 0.0 && h < 1.0);
+        }
+    }
+
+    #[test]
+    fn integer_samples_cover_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn choose_is_uniformish_and_total() {
+        let pool = [10, 20, 30];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            let v = *pool.choose(&mut rng).unwrap();
+            counts[v as usize / 10 - 1] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

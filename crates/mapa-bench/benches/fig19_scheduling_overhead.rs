@@ -1,24 +1,137 @@
 //! Fig. 19 — MAPA scheduling overhead vs requested job size, per machine.
 //!
-//! Paper protocol: allocate a k-GPU job (k = 2..9) with MAPA + Preserve on
-//! an *idle* hardware graph of Summit (6), DGX-V (8), Torus-2d (16) and
-//! CubeMesh-16 (16); report the decision latency. Expected shape:
-//! milliseconds for small jobs, growing with both job size and machine
-//! size (the paper reaches ~10⁴ ms for 9-GPU jobs on 16-GPU graphs with
-//! single-threaded scoring; our set-streaming scorer is faster, but the
-//! growth curve is the point).
+//! Paper protocol: allocate a k-GPU job (k = 2..9) on an *idle* hardware
+//! graph of Summit (6), DGX-V (8), Torus-2d (16) and CubeMesh-16 (16);
+//! report the decision latency. Expected shape: milliseconds for small
+//! jobs, growing with both job size and machine size (the paper reaches
+//! ~10⁴ ms for 9-GPU jobs on 16-GPU graphs with single-threaded scoring).
+//!
+//! This reproduction extends the protocol with the allocation fast path:
+//! every (machine, policy, size) cell is measured twice — once uncached
+//! (every repetition runs matching + scoring from scratch) and once with
+//! the canonical-state allocation cache, where the allocate/release cycle
+//! returns the machine to the identical occupancy signature so every
+//! repetition after the first is a cache hit. Matchers run on a persistent
+//! worker pool sized by `available_parallelism` (no magic thread counts).
+//!
+//! Besides the table below, results are written machine-readably to
+//! `BENCH_fig19.json` at the workspace root: per-policy median latencies
+//! (cached and uncached), speedups, and cache hit rates — the artifact CI
+//! uploads to track the perf trajectory across PRs.
 
 use mapa_bench::banner;
-use mapa_core::policy::PreservePolicy;
-use mapa_core::MapaAllocator;
-use mapa_topology::machines;
+use mapa_core::policy::{self, AllocationPolicy};
+use mapa_core::{AllocatorConfig, MapaAllocator};
+use mapa_isomorph::{default_threads, MatchOptions, Matcher};
+use mapa_sim::stats;
+use mapa_topology::{machines, Topology};
 use mapa_workloads::{AppTopology, JobSpec, Workload};
 use std::time::Instant;
 
+const REPS: u64 = 5;
+
+struct Cell {
+    machine: String,
+    policy: String,
+    gpus: usize,
+    uncached_ms: f64,
+    cached_ms: f64,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+fn policy_by_name(name: &str) -> Box<dyn AllocationPolicy> {
+    policy::paper_policies()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .expect("paper policy roster")
+}
+
+/// Greedy streams *embeddings* (not vertex sets); ring-9 in a 16-vertex
+/// complete graph has ~2.3e8 canonical occurrences, which is a soak test,
+/// not a benchmark cell. Skip the explosive corner, as the paper's own
+/// single-threaded runs effectively did (they report ~10⁴ ms there).
+fn tractable(policy: &str, machine: &Topology, k: usize) -> bool {
+    policy != "Greedy" || machine.gpu_count() <= 8 || k <= 6
+}
+
+/// Median decision latency over `REPS` allocate/release cycles of a
+/// k-GPU ring job on an idle `machine`, plus cache counters when cached.
+fn measure(machine: &Topology, policy: &str, k: usize, cached: bool) -> (f64, u64, u64) {
+    let config = if cached {
+        AllocatorConfig::cached()
+    } else {
+        AllocatorConfig::default()
+    };
+    let mut alloc = MapaAllocator::new(machine.clone(), policy_by_name(policy)).with_config(config);
+    alloc.set_matcher(Matcher::new(MatchOptions::parallel()));
+    let mut times = Vec::new();
+    for rep in 1..=REPS {
+        let job = JobSpec {
+            id: rep,
+            num_gpus: k,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: true,
+            workload: Workload::Vgg16,
+            iterations: 1,
+        };
+        let start = Instant::now();
+        let out = alloc.try_allocate(&job).expect("valid request");
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(out.is_some(), "idle machine fits the job");
+        alloc.release(rep).unwrap();
+    }
+    let summary = stats::summarize(&times);
+    let (hits, misses) = alloc.cache_stats().map_or((0, 0), |c| (c.hits, c.misses));
+    (summary.p50, hits, misses)
+}
+
+fn json_escape_free(name: &str) -> &str {
+    assert!(
+        !name.contains('"') && !name.contains('\\'),
+        "plain names only"
+    );
+    name
+}
+
+fn write_json(cells: &[Cell]) -> std::path::PathBuf {
+    let mut rows = Vec::new();
+    for c in cells {
+        rows.push(format!(
+            "    {{\"machine\": \"{}\", \"policy\": \"{}\", \"gpus\": {}, \
+             \"uncached_ms\": {:.6}, \"cached_ms\": {:.6}, \"speedup\": {:.3}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}}}",
+            json_escape_free(&c.machine),
+            json_escape_free(&c.policy),
+            c.gpus,
+            c.uncached_ms,
+            c.cached_ms,
+            c.speedup,
+            c.cache_hits,
+            c.cache_misses,
+            c.cache_hit_rate,
+        ));
+    }
+    let body = format!(
+        "{{\n  \"bench\": \"fig19_scheduling_overhead\",\n  \"reps\": {REPS},\n  \
+         \"matcher_threads\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        default_threads(),
+        rows.join(",\n")
+    );
+    // CARGO_MANIFEST_DIR = crates/mapa-bench → workspace root is two up.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fig19.json");
+    std::fs::write(&path, body).expect("write BENCH_fig19.json");
+    path.canonicalize().unwrap_or(path)
+}
+
 fn main() {
     banner(
-        "Fig. 19: scheduling overhead of MAPA w/ Preserve (ms)",
-        "paper Fig. 19",
+        "Fig. 19: scheduling overhead of MAPA (ms), uncached vs cached",
+        "paper Fig. 19 + allocation fast path",
     );
     let machines = [
         machines::summit(),
@@ -26,55 +139,80 @@ fn main() {
         machines::torus_2d(),
         machines::cube_mesh(),
     ];
+    let policies = ["baseline", "Topo-aware", "Greedy", "Preserve"];
 
-    print!("{:<8}", "GPUs");
-    for m in &machines {
-        print!(" {:>14}", m.name());
+    let mut cells: Vec<Cell> = Vec::new();
+    for machine in &machines {
+        for policy in policies {
+            for k in 2..=9usize {
+                if k > machine.gpu_count() || !tractable(policy, machine, k) {
+                    continue;
+                }
+                let (uncached_ms, _, _) = measure(machine, policy, k, false);
+                let (cached_ms, hits, misses) = measure(machine, policy, k, true);
+                assert!(
+                    hits >= REPS - 1,
+                    "repeated job shape on a recurring state must hit the cache \
+                     ({policy}/{k} on {}: {hits} hits)",
+                    machine.name()
+                );
+                cells.push(Cell {
+                    machine: machine.name().to_string(),
+                    policy: policy.to_string(),
+                    gpus: k,
+                    uncached_ms,
+                    cached_ms,
+                    // Clamp the denominator to the timer's practical
+                    // resolution so sub-tick cached medians cannot produce
+                    // `inf`, which is not valid JSON.
+                    speedup: uncached_ms / cached_ms.max(1e-6),
+                    cache_hits: hits,
+                    cache_misses: misses,
+                    cache_hit_rate: hits as f64 / (hits + misses) as f64,
+                });
+            }
+        }
     }
-    println!();
 
-    for k in 2..=9usize {
-        print!("{k:<8}");
-        for machine in &machines {
-            if k > machine.gpu_count() {
-                print!(" {:>14}", "-");
-                continue;
-            }
-            // Fresh idle allocator per measurement (paper: idle graph,
-            // upper bound of scheduling cost).
-            let mut alloc = MapaAllocator::new(machine.clone(), Box::new(PreservePolicy));
-            let job = JobSpec {
-                id: 1,
-                num_gpus: k,
-                topology: AppTopology::Ring,
-                bandwidth_sensitive: true,
-                workload: Workload::Vgg16,
-                iterations: 1,
-            };
-            // Median of 3 runs.
-            let mut times = Vec::new();
-            for rep in 0..3 {
-                let j = JobSpec {
-                    id: rep + 1,
-                    ..job.clone()
-                };
-                let start = Instant::now();
-                let out = alloc.try_allocate(&j).expect("valid");
-                let dt = start.elapsed();
-                assert!(out.is_some());
-                alloc.release(rep + 1).unwrap();
-                times.push(dt.as_secs_f64() * 1e3);
-            }
-            times.sort_by(f64::total_cmp);
-            print!(" {:>14.3}", times[1]);
+    for policy in policies {
+        println!("\n-- policy: {policy} (median ms, uncached → cached) --");
+        print!("{:<8}", "GPUs");
+        for m in &machines {
+            print!(" {:>22}", m.name());
         }
         println!();
+        for k in 2..=9usize {
+            print!("{k:<8}");
+            for m in &machines {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.machine == m.name() && c.policy == policy && c.gpus == k);
+                match cell {
+                    Some(c) => print!(" {:>11.3} → {:>7.3}", c.uncached_ms, c.cached_ms),
+                    None => print!(" {:>22}", "-"),
+                }
+            }
+            println!();
+        }
     }
+
+    let speedups: Vec<f64> = cells.iter().map(|c| c.speedup).collect();
+    let hit_rates: Vec<f64> = cells.iter().map(|c| c.cache_hit_rate).collect();
+    let path = write_json(&cells);
     println!(
-        "\npaper shape: overhead is negligible (ms) for small jobs and grows \
-         with job size and hardware-graph size; 16-GPU machines with 120+ \
-         edges are the most expensive. Our streaming set scorer keeps the \
-         9-GPU/16-GPU case far below the paper's ~10^4 ms single-threaded \
-         figure while preserving the growth trend."
+        "\n{} cells | median cache speedup {:.1}x | median hit rate {:.0}% | \
+         matcher pool: {} thread(s)",
+        cells.len(),
+        stats::summarize(&speedups).p50,
+        stats::summarize(&hit_rates).p50 * 100.0,
+        default_threads()
+    );
+    println!("machine-readable results: {}", path.display());
+    println!(
+        "\npaper shape: overhead grows with job size and hardware-graph size \
+         (the paper's single-threaded scorer reaches ~10^4 ms at 9 GPUs on \
+         16-GPU graphs). Our set-streaming scorer keeps the uncached path \
+         far below that, and the canonical-state cache answers repeated job \
+         shapes on recurring occupancy states in near-constant time."
     );
 }

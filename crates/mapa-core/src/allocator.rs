@@ -1,5 +1,6 @@
 //! The MAPA allocator engine: matching + scoring + policy + state (§3.6).
 
+use crate::cache::{AllocationCache, CacheStats, DEFAULT_CACHE_CAPACITY};
 use crate::policy::{AllocationPolicy, PolicyContext};
 use crate::scoring::{self, MatchScore};
 use mapa_graph::PatternGraph;
@@ -61,11 +62,42 @@ impl From<AllocationError> for AllocatorError {
     }
 }
 
+/// Tunables of the allocation fast path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocatorConfig {
+    /// Memoize selections in an [`AllocationCache`]. Off by default so the
+    /// uncached path stays the reference; the simulator turns it on (the
+    /// property tests prove the two paths produce identical placements).
+    pub cached: bool,
+    /// Entry bound of the cache when `cached` is set.
+    pub cache_capacity: usize,
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        Self {
+            cached: false,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl AllocatorConfig {
+    /// Config with the allocation cache enabled at the default capacity.
+    #[must_use]
+    pub fn cached() -> Self {
+        Self {
+            cached: true,
+            ..Self::default()
+        }
+    }
+}
+
 /// The full MAPA stack for one machine: pattern matcher, Predicted-EffBW
 /// model (fitted on this machine's own microbenchmark corpus, falling back
 /// to the paper's Table 2 coefficients when the machine is too uniform to
-/// produce enough unique link mixes), the selection policy, and the
-/// allocation state.
+/// produce enough unique link mixes), the selection policy, the
+/// allocation state, and (optionally) the allocation-decision cache.
 pub struct MapaAllocator {
     topology: Topology,
     state: HardwareState,
@@ -74,6 +106,7 @@ pub struct MapaAllocator {
     policy: Box<dyn AllocationPolicy>,
     data_graph: PatternGraph,
     bandwidth_graph: WeightedGraph,
+    cache: Option<AllocationCache>,
 }
 
 impl MapaAllocator {
@@ -103,13 +136,48 @@ impl MapaAllocator {
             model,
             policy,
             topology,
+            cache: None,
+        }
+    }
+
+    /// Applies an [`AllocatorConfig`] (builder style).
+    #[must_use]
+    pub fn with_config(mut self, config: AllocatorConfig) -> Self {
+        self.apply_config(&config);
+        self
+    }
+
+    /// Applies an [`AllocatorConfig`] in place. Disabling the cache drops
+    /// it (and its counters); enabling it when one is already active keeps
+    /// the existing entries and counters but re-bounds the capacity,
+    /// evicting oldest-first if the cache now holds too many.
+    pub fn apply_config(&mut self, config: &AllocatorConfig) {
+        if config.cached {
+            match self.cache.as_mut() {
+                Some(cache) => cache.set_capacity(config.cache_capacity),
+                None => self.cache = Some(AllocationCache::new(config.cache_capacity)),
+            }
+        } else {
+            self.cache = None;
         }
     }
 
     /// Replaces the matcher configuration (e.g. to enable parallel
-    /// enumeration or switch backends).
+    /// enumeration on a shared worker pool, or switch backends). Clears
+    /// the allocation cache if one is active: cached decisions may depend
+    /// on the matcher configuration (backend, dedup mode, match caps) for
+    /// matcher-driven policies, so a swap invalidates them wholesale.
     pub fn set_matcher(&mut self, matcher: Matcher) {
         self.matcher = matcher;
+        if let Some(cache) = self.cache.as_mut() {
+            cache.clear();
+        }
+    }
+
+    /// Counters of the allocation cache, if enabled.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(AllocationCache::stats)
     }
 
     /// The machine this allocator manages.
@@ -162,7 +230,26 @@ impl MapaAllocator {
             data_graph: &self.data_graph,
             bandwidth_graph: &self.bandwidth_graph,
         };
-        let Some(gpus) = self.policy.select(job, &ctx) else {
+        // Fast path: answer from the allocation cache when the exact
+        // (pattern, sensitivity, machine, occupancy) decision was already
+        // made. Oversized patterns yield no key and bypass the cache.
+        let selection = match self.cache.as_mut() {
+            Some(cache) => {
+                match cache.key_for(job, self.topology.name(), self.state.occupancy_signature()) {
+                    Some(key) => match cache.get(&key) {
+                        Some(hit) => hit.clone(),
+                        None => {
+                            let selected = self.policy.select(job, &ctx);
+                            cache.insert(key, selected.clone());
+                            selected
+                        }
+                    },
+                    None => self.policy.select(job, &ctx),
+                }
+            }
+            None => self.policy.select(job, &ctx),
+        };
+        let Some(gpus) = selection else {
             return Ok(None);
         };
         // Score the chosen allocation before mutating state (preserved BW
@@ -219,6 +306,7 @@ impl fmt::Debug for MapaAllocator {
             .field("topology", &self.topology.name())
             .field("policy", &self.policy.name())
             .field("free", &self.state.free_count())
+            .field("cached", &self.cache.is_some())
             .finish()
     }
 }
@@ -309,5 +397,111 @@ mod tests {
     fn release_unknown_job_fails() {
         let mut a = MapaAllocator::new(machines::summit(), Box::new(BaselinePolicy));
         assert!(a.release(42).is_err());
+    }
+
+    #[test]
+    fn cached_allocator_hits_on_recurring_states() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .with_config(AllocatorConfig::cached());
+        // Same job shape against the idle machine, released in between:
+        // the occupancy signature recurs, so reps 2.. are cache hits.
+        let mut placements = Vec::new();
+        for rep in 0..4u64 {
+            let out = a.try_allocate(&job(rep + 1, 3, true)).unwrap().unwrap();
+            placements.push(out.gpus.clone());
+            a.release(rep + 1).unwrap();
+        }
+        assert!(placements.windows(2).all(|w| w[0] == w[1]));
+        let stats = a.cache_stats().expect("cache enabled");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 3);
+        assert!(stats.hit_rate() > 0.74);
+    }
+
+    #[test]
+    fn release_rotates_cache_key_so_stale_hits_are_impossible() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .with_config(AllocatorConfig::cached());
+        // Occupy GPUs so the state differs from idle, then place a job.
+        let first = a.try_allocate(&job(1, 2, true)).unwrap().unwrap();
+        let second = a.try_allocate(&job(2, 2, true)).unwrap().unwrap();
+        assert_ne!(first.gpus, second.gpus, "states differ → keys differ");
+        // After releasing job 1 the occupancy is new (job 2 still holds
+        // its GPUs): the next identical request must be a miss, not a
+        // stale idle-state hit that would hand out busy GPUs.
+        a.release(1).unwrap();
+        let third = a.try_allocate(&job(3, 2, true)).unwrap().unwrap();
+        assert!(third.gpus.iter().all(|&g| !second.gpus.contains(&g)));
+        let stats = a.cache_stats().unwrap();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn cached_and_uncached_paths_agree_with_interleaved_releases() {
+        let mut cached = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .with_config(AllocatorConfig::cached());
+        let mut plain = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
+        let stream = [
+            (1u64, 2usize, true),
+            (2, 3, false),
+            (3, 2, true), // same shape as job 1, different occupancy
+            (4, 1, false),
+        ];
+        let mut held = Vec::new();
+        for &(id, n, sensitive) in &stream {
+            let a = cached.try_allocate(&job(id, n, sensitive)).unwrap();
+            let b = plain.try_allocate(&job(id, n, sensitive)).unwrap();
+            assert_eq!(
+                a.as_ref().map(|o| &o.gpus),
+                b.as_ref().map(|o| &o.gpus),
+                "cached and uncached disagree on job {id}"
+            );
+            if a.is_some() {
+                held.push(id);
+            }
+            if id == 2 {
+                cached.release(1).unwrap();
+                plain.release(1).unwrap();
+                held.retain(|&j| j != 1);
+            }
+        }
+        for id in held {
+            assert_eq!(cached.release(id).unwrap(), plain.release(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn set_matcher_invalidates_cached_decisions() {
+        use mapa_isomorph::{MatchOptions, Matcher};
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .with_config(AllocatorConfig::cached());
+        a.try_allocate(&job(1, 2, true)).unwrap().unwrap();
+        a.release(1).unwrap();
+        // The idle-state decision is cached; swapping the matcher must
+        // drop it (a different backend/cap could select differently), so
+        // the repeat is a fresh miss, not a stale hit.
+        a.set_matcher(Matcher::new(MatchOptions::parallel()));
+        a.try_allocate(&job(2, 2, true)).unwrap().unwrap();
+        let stats = a.cache_stats().unwrap();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn config_toggling_drops_and_recreates_cache() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(BaselinePolicy));
+        assert!(a.cache_stats().is_none());
+        a.apply_config(&AllocatorConfig {
+            cached: true,
+            cache_capacity: 8,
+        });
+        a.try_allocate(&job(1, 2, true)).unwrap().unwrap();
+        assert_eq!(a.cache_stats().unwrap().misses, 1);
+        // Re-applying the cached config keeps counters and entries.
+        a.apply_config(&AllocatorConfig::cached());
+        assert_eq!(a.cache_stats().unwrap().misses, 1);
+        a.apply_config(&AllocatorConfig::default());
+        assert!(a.cache_stats().is_none());
     }
 }

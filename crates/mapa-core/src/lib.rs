@@ -13,7 +13,9 @@
 //! 5. **Pattern selection** ([`policy`]): Baseline, Topo-aware, Greedy, and
 //!    the paper's Preserve policy (Algorithm 1).
 //! 6. **State management** ([`MapaAllocator`]): allocate on job start, restore
-//!    on job finish (§3.6).
+//!    on job finish (§3.6), with an optional canonical-state decision
+//!    cache ([`cache`]) memoizing selections across identical job shapes
+//!    and recurring occupancy states.
 //!
 //! # Example
 //!
@@ -34,9 +36,11 @@
 
 mod allocator;
 pub mod appgraph;
+pub mod cache;
 pub mod fragmentation;
 pub mod policy;
 pub mod scoring;
 
-pub use allocator::{AllocationOutcome, AllocatorError, MapaAllocator};
+pub use allocator::{AllocationOutcome, AllocatorConfig, AllocatorError, MapaAllocator};
+pub use cache::{AllocationCache, CacheStats};
 pub use policy::{AllocationPolicy, PolicyContext};

@@ -40,12 +40,29 @@ pub struct PolicyContext<'a> {
 }
 
 /// A GPU-selection policy.
+///
+/// # Purity contract (allocation caching)
+///
+/// The canonical-state allocation cache ([`crate::cache`]) memoizes
+/// selections keyed by *(pattern isomorphism class, `bandwidth_sensitive`,
+/// machine, free-GPU set)*. For cached and uncached paths to be
+/// equivalent, `select` must be a deterministic function of exactly those
+/// inputs — it must not consult other [`JobSpec`] fields (`id`,
+/// `workload`, `iterations`), wall-clock time, or external state, and its
+/// tie-breaking must not depend on the pattern's vertex labeling (break
+/// score ties toward the lexicographically smallest GPU set, as every
+/// built-in policy does). A policy that needs more inputs is still valid —
+/// run it with the cache disabled (`AllocatorConfig::default()`, or
+/// `SimConfig { cached: false, .. }` in the simulator, which otherwise
+/// caches by default).
 pub trait AllocationPolicy: Send + Sync {
     /// Short name used in result tables ("baseline", "Preserve", …).
     fn name(&self) -> &'static str;
 
     /// Chooses physical GPUs for `job`, or `None` when the job cannot be
-    /// placed right now. Implementations must only return free GPUs.
+    /// placed right now. Implementations must only return free GPUs, and
+    /// should honor the purity contract above (see trait docs) so the
+    /// allocation cache stays sound.
     fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>>;
 }
 
@@ -120,6 +137,13 @@ pub fn for_each_candidate_set(
             }
         }
     }
+}
+
+/// The ascending GPU set of an embedding's assignment slice.
+fn sorted_set(m: &[usize]) -> Vec<usize> {
+    let mut set = m.to_vec();
+    set.sort_unstable();
+    set
 }
 
 /// Pick the vertex set maximizing a two-level score over the candidate-set
@@ -268,7 +292,11 @@ impl AllocationPolicy for GreedyPolicy {
         let frozen = ctx.state.frozen_mask();
         // Aggregated bandwidth depends on the *embedding* (which hardware
         // links the pattern's edges land on), so Greedy streams embeddings
-        // rather than vertex sets — without materialising them.
+        // rather than vertex sets — without materialising them. Score
+        // ties break toward the lexicographically smallest GPU set, which
+        // makes the selection a function of the pattern's isomorphism
+        // class (not its labeling) — required for canonical-code keyed
+        // allocation caching.
         let mut best: Option<(f64, Vec<usize>)> = None;
         ctx.matcher
             .for_each_with_frozen(&pattern, ctx.data_graph, Some(&frozen), &mut |m| {
@@ -276,17 +304,17 @@ impl AllocationPolicy for GreedyPolicy {
                 for (u, v, ()) in pattern.edges() {
                     agg += ctx.bandwidth_graph.weight(m[u], m[v]).unwrap_or(0.0);
                 }
-                if best.as_ref().is_none_or(|(b, _)| agg > *b) {
-                    best = Some((agg, m.to_vec()));
+                let better = match &best {
+                    None => true,
+                    Some((b, set)) => agg > *b || (agg == *b && { sorted_set(m) < *set }),
+                };
+                if better {
+                    best = Some((agg, sorted_set(m)));
                 }
                 true
             })
             .expect("matcher options are valid");
-        best.map(|(_, m)| {
-            let mut set = m;
-            set.sort_unstable();
-            set
-        })
+        best.map(|(_, set)| set)
     }
 }
 

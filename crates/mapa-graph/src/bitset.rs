@@ -71,6 +71,15 @@ impl BitSet {
         self.blocks.iter().map(|b| b.count_ones() as usize).sum()
     }
 
+    /// The backing `u64` blocks, least-significant bits first. Bits at or
+    /// beyond [`BitSet::len`] are always zero, so two sets of equal length
+    /// are equal iff their words are — the basis for cheap occupancy
+    /// fingerprints.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.blocks
+    }
+
     /// Tests bit `i`.
     #[must_use]
     pub fn contains(&self, i: usize) -> bool {

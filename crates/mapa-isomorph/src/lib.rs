@@ -12,8 +12,9 @@
 //! * [`symmetry`] — pattern automorphism detection and GraphZero-style
 //!   symmetry-breaking constraints, Peregrine's key trick for enumerating
 //!   each match exactly once per automorphism class;
-//! * [`parallel`] — crossbeam-based parallel enumeration splitting the
-//!   search on first-level candidates;
+//! * [`parallel`] — parallel enumeration splitting the search on
+//!   first-level candidates, running on a persistent [`WorkerPool`]
+//!   (long-lived threads, channel-fed queue, deterministic ordering);
 //! * [`Matcher`] — the high-level façade selecting backend, dedup mode and
 //!   match caps.
 //!
@@ -56,6 +57,7 @@ mod embedding;
 mod matcher;
 mod order;
 pub mod parallel;
+pub mod pool;
 pub mod symmetry;
 pub mod ullmann;
 pub mod vf2;
@@ -64,3 +66,4 @@ pub use brute::brute_force_embeddings;
 pub use embedding::Embedding;
 pub use matcher::{Backend, DedupMode, MatchError, MatchOptions, Matcher};
 pub use order::SearchPlan;
+pub use pool::{default_threads, WorkerPool};

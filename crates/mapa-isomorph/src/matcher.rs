@@ -5,11 +5,13 @@
 //! deduplication, match caps, frozen-vertex masks, and (optionally)
 //! parallel enumeration, and returns results in a deterministic order.
 
+use crate::pool::{default_threads, WorkerPool};
 use crate::symmetry::{self, Constraint};
 use crate::vf2::Vf2Config;
 use crate::{brute_force_embeddings, parallel, ullmann, vf2, Embedding};
 use mapa_graph::{BitSet, Graph};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which search algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +52,19 @@ pub struct MatchOptions {
     pub threads: Option<usize>,
 }
 
+impl MatchOptions {
+    /// Default options with parallel enumeration sized by
+    /// [`default_threads`] (the machine's available parallelism) — the
+    /// replacement for caller-supplied magic thread counts.
+    #[must_use]
+    pub fn parallel() -> Self {
+        Self {
+            threads: Some(default_threads()),
+            ..Self::default()
+        }
+    }
+}
+
 /// Errors from [`Matcher::find`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MatchError {
@@ -67,17 +82,47 @@ impl fmt::Display for MatchError {
 
 impl std::error::Error for MatchError {}
 
-/// A configured subgraph matcher. Cheap to construct; holds no graph state.
+/// A configured subgraph matcher. Holds no graph state; when configured
+/// with more than one thread it owns (or shares) a persistent
+/// [`WorkerPool`] that is reused across every `find` call — thread
+/// start-up is paid once, at construction. Cloning a matcher shares its
+/// pool.
 #[derive(Debug, Clone, Default)]
 pub struct Matcher {
     opts: MatchOptions,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Matcher {
-    /// Creates a matcher with the given options.
+    /// Creates a matcher with the given options. If `opts.threads`
+    /// requests parallelism (`Some(t)` with `t > 1`), a dedicated worker
+    /// pool of that size is spawned here and reused for the matcher's
+    /// lifetime.
     #[must_use]
     pub fn new(opts: MatchOptions) -> Self {
-        Self { opts }
+        let pool = match opts.threads {
+            Some(t) if t > 1 => Some(Arc::new(WorkerPool::new(t))),
+            _ => None,
+        };
+        Self { opts, pool }
+    }
+
+    /// Creates a matcher that runs parallel enumeration on an existing
+    /// shared pool (e.g. one pool serving every allocator of a server).
+    /// `opts.threads` still gates *whether* the parallel path is taken;
+    /// the pool decides the worker count.
+    #[must_use]
+    pub fn with_pool(opts: MatchOptions, pool: Arc<WorkerPool>) -> Self {
+        Self {
+            opts,
+            pool: Some(pool),
+        }
+    }
+
+    /// The worker pool backing parallel enumeration, if any.
+    #[must_use]
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// Finds embeddings of `pattern` in `data`. All data vertices are
@@ -85,7 +130,7 @@ impl Matcher {
     ///
     /// # Errors
     /// Returns [`MatchError`] on invalid configuration.
-    pub fn find<P: Copy + Sync, D: Copy + Sync>(
+    pub fn find<P: Copy, D: Copy>(
         &self,
         pattern: &Graph<P>,
         data: &Graph<D>,
@@ -103,7 +148,7 @@ impl Matcher {
     ///
     /// # Errors
     /// Returns [`MatchError`] on invalid configuration.
-    pub fn find_with_frozen<P: Copy + Sync, D: Copy + Sync>(
+    pub fn find_with_frozen<P: Copy, D: Copy>(
         &self,
         pattern: &Graph<P>,
         data: &Graph<D>,
@@ -132,9 +177,9 @@ impl Matcher {
                     constraints,
                     first_candidates: None,
                 };
-                match self.opts.threads {
-                    Some(t) if t > 1 => {
-                        parallel::enumerate_parallel(pattern, data, &config, frozen, t, cap)
+                match (&self.pool, self.opts.threads) {
+                    (Some(pool), Some(t)) if t > 1 => {
+                        parallel::enumerate_parallel(pattern, data, &config, frozen, pool, cap)
                     }
                     _ => {
                         let mut v = Vec::new();
@@ -468,5 +513,53 @@ mod tests {
         .find(&pattern, &data)
         .unwrap();
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn matcher_reuses_its_pool_across_calls_and_clones() {
+        let m = Matcher::new(MatchOptions {
+            threads: Some(3),
+            ..MatchOptions::default()
+        });
+        let pool_ptr = std::sync::Arc::as_ptr(m.pool().expect("parallel matcher has a pool"));
+        let pattern = PatternGraph::ring(4);
+        let data = k(7);
+        let first = m.find(&pattern, &data).unwrap();
+        for _ in 0..3 {
+            assert_eq!(m.find(&pattern, &data).unwrap(), first);
+        }
+        // Clones share the same pool instead of spawning new threads.
+        let clone = m.clone();
+        assert_eq!(
+            std::sync::Arc::as_ptr(clone.pool().unwrap()),
+            pool_ptr,
+            "clone must share the pool"
+        );
+        assert_eq!(clone.find(&pattern, &data).unwrap(), first);
+    }
+
+    #[test]
+    fn shared_pool_serves_multiple_matchers() {
+        let pool = std::sync::Arc::new(crate::WorkerPool::new(2));
+        let a = Matcher::with_pool(
+            MatchOptions {
+                threads: Some(2),
+                ..MatchOptions::default()
+            },
+            std::sync::Arc::clone(&pool),
+        );
+        let b = Matcher::with_pool(MatchOptions::parallel(), std::sync::Arc::clone(&pool));
+        let pattern = PatternGraph::ring(3);
+        let data = k(6);
+        let seq = Matcher::default().find(&pattern, &data).unwrap();
+        assert_eq!(a.find(&pattern, &data).unwrap(), seq);
+        assert_eq!(b.find(&pattern, &data).unwrap(), seq);
+    }
+
+    #[test]
+    fn parallel_options_use_available_parallelism() {
+        let opts = MatchOptions::parallel();
+        assert_eq!(opts.threads, Some(crate::default_threads()));
+        assert!(opts.threads.unwrap() >= 1);
     }
 }

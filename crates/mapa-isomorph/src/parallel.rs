@@ -4,30 +4,46 @@
 //! parallelizing ... since it is a data parallel problem". Enumeration
 //! parallelises the same way: the search tree is partitioned at the first
 //! assignment level — each candidate image of the first pattern vertex
-//! roots an independent subtree — and subtrees are distributed over
-//! crossbeam scoped threads through a shared atomic work index. Each worker
-//! runs a VF2 search whose first-vertex candidate set is restricted to its
-//! assigned subtree root, so no work is duplicated.
+//! roots an independent subtree — and subtrees are distributed over a
+//! persistent [`WorkerPool`] as one task per subtree root. Each task runs
+//! a VF2 search whose first-vertex candidate set is restricted to its
+//! assigned root, so no work is duplicated, and the pool's shared queue
+//! load-balances uneven subtrees across workers.
 
+use crate::pool::WorkerPool;
 use crate::vf2::{self, Vf2Config};
 use crate::Embedding;
-use mapa_graph::{BitSet, Graph};
+use mapa_graph::{BitSet, Graph, PatternGraph};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 
-/// Enumerates up to `cap` embeddings using `threads` workers.
+/// Search state shared by every subtree task of one enumeration call. The
+/// pool's tasks are `'static`, so the call owns structure-only copies of
+/// both graphs (matching ignores weights; the copy is a few bitset rows).
+struct SharedSearch {
+    pattern: PatternGraph,
+    data: PatternGraph,
+    config: Vf2Config,
+    frozen: Option<BitSet>,
+    found: AtomicUsize,
+    cap: usize,
+}
+
+/// Enumerates up to `cap` embeddings on `pool`'s workers.
 ///
-/// Results are concatenated in nondeterministic order — callers sort. With
-/// `cap < usize::MAX` the *set* of returned matches is nondeterministic (as
+/// Ordering contract: the result is always **sorted lexicographically**
+/// by assignment vector — callers need not sort. When enumeration runs to
+/// exhaustion the result is therefore fully deterministic; under cap
+/// truncation the *set* of returned matches remains nondeterministic (as
 /// with any early-terminated parallel search), but the count respects the
-/// cap.
+/// cap and the order within the set is still sorted.
 #[must_use]
-pub fn enumerate_parallel<P: Copy + Sync, D: Copy + Sync>(
+pub fn enumerate_parallel<P: Copy, D: Copy>(
     pattern: &Graph<P>,
     data: &Graph<D>,
     config: &Vf2Config,
     frozen: Option<&BitSet>,
-    threads: usize,
+    pool: &WorkerPool,
     cap: usize,
 ) -> Vec<Embedding> {
     let pn = pattern.vertex_count();
@@ -35,12 +51,13 @@ pub fn enumerate_parallel<P: Copy + Sync, D: Copy + Sync>(
     if pn == 0 {
         return vec![Embedding::new(vec![])];
     }
-    if threads <= 1 || dn == 0 {
+    if pool.threads() <= 1 || dn == 0 {
         let mut out = Vec::new();
         vf2::enumerate(pattern, data, config, frozen, &mut |m| {
             out.push(Embedding::new(m.to_vec()));
             out.len() < cap
         });
+        out.sort();
         return out;
     }
 
@@ -48,44 +65,55 @@ pub fn enumerate_parallel<P: Copy + Sync, D: Copy + Sync>(
         .filter(|&d| frozen.is_none_or(|f| !f.contains(d)))
         .collect();
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Embedding>> = Mutex::new(Vec::new());
-    let found = AtomicUsize::new(0);
+    let shared = Arc::new(SharedSearch {
+        pattern: pattern.to_pattern(),
+        data: data.to_pattern(),
+        config: config.clone(),
+        frozen: frozen.cloned(),
+        found: AtomicUsize::new(0),
+        cap,
+    });
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(candidates.len().max(1)) {
-            scope.spawn(|_| {
-                let mut local = Vec::new();
-                loop {
-                    if found.load(Ordering::Relaxed) >= cap {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= candidates.len() {
-                        break;
-                    }
-                    let subtree = Vf2Config {
-                        induced: config.induced,
-                        constraints: config.constraints.clone(),
-                        first_candidates: Some(BitSet::from_indices(dn, &[candidates[i]])),
-                    };
-                    vf2::enumerate(pattern, data, &subtree, frozen, &mut |m| {
-                        local.push(Embedding::new(m.to_vec()));
-                        found.fetch_add(1, Ordering::Relaxed) + 1 < cap
-                    });
-                }
-                results
-                    .lock()
-                    .expect("no panics hold the lock")
-                    .extend(local);
-            });
-        }
-    })
-    .expect("matcher worker panicked");
+    let tasks: Vec<_> = candidates
+        .into_iter()
+        .map(|root| {
+            let sh = Arc::clone(&shared);
+            move || search_subtree(&sh, root, dn)
+        })
+        .collect();
 
-    let mut out = results.into_inner().expect("scope joined all workers");
+    // Deterministic reassembly: subtree i's results are in VF2 order and
+    // subtrees are concatenated in root order, so (absent truncation) the
+    // output equals the sequential enumeration, independent of worker
+    // count and scheduling. Sorting unconditionally keeps the contract
+    // simple even when the match count lands exactly on the cap.
+    let mut out: Vec<Embedding> = pool.scatter(tasks).into_iter().flatten().collect();
+    out.sort();
     out.truncate(cap);
     out
+}
+
+fn search_subtree(sh: &SharedSearch, root: usize, dn: usize) -> Vec<Embedding> {
+    let mut local = Vec::new();
+    if sh.found.load(Ordering::Relaxed) >= sh.cap {
+        return local;
+    }
+    let subtree = Vf2Config {
+        induced: sh.config.induced,
+        constraints: sh.config.constraints.clone(),
+        first_candidates: Some(BitSet::from_indices(dn, &[root])),
+    };
+    vf2::enumerate(
+        &sh.pattern,
+        &sh.data,
+        &subtree,
+        sh.frozen.as_ref(),
+        &mut |m| {
+            local.push(Embedding::new(m.to_vec()));
+            sh.found.fetch_add(1, Ordering::Relaxed) + 1 < sh.cap
+        },
+    );
+    local
 }
 
 #[cfg(test)]
@@ -115,9 +143,41 @@ mod tests {
         let config = Vf2Config::default();
         let expect = sequential(&pattern, &data, &config);
         for threads in [2, 3, 8] {
-            let mut got = enumerate_parallel(&pattern, &data, &config, None, threads, usize::MAX);
-            got.sort();
+            let pool = WorkerPool::new(threads);
+            let got = enumerate_parallel(&pattern, &data, &config, None, &pool, usize::MAX);
             assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn untruncated_results_are_sorted_without_caller_sorting() {
+        let pattern = PatternGraph::ring(3);
+        let data = PatternGraph::all_to_all(6);
+        let pool = WorkerPool::new(4);
+        let got = enumerate_parallel(
+            &pattern,
+            &data,
+            &Vf2Config::default(),
+            None,
+            &pool,
+            usize::MAX,
+        );
+        assert!(
+            got.windows(2).all(|w| w[0] <= w[1]),
+            "must come back sorted"
+        );
+    }
+
+    #[test]
+    fn pool_reuse_across_calls_is_deterministic() {
+        let pattern = PatternGraph::ring(4);
+        let data = PatternGraph::all_to_all(7);
+        let config = Vf2Config::default();
+        let pool = WorkerPool::new(3);
+        let first = enumerate_parallel(&pattern, &data, &config, None, &pool, usize::MAX);
+        for _ in 0..5 {
+            let again = enumerate_parallel(&pattern, &data, &config, None, &pool, usize::MAX);
+            assert_eq!(again, first);
         }
     }
 
@@ -132,8 +192,8 @@ mod tests {
             first_candidates: None,
         };
         let expect = sequential(&pattern, &data, &config);
-        let mut got = enumerate_parallel(&pattern, &data, &config, None, 4, usize::MAX);
-        got.sort();
+        let pool = WorkerPool::new(4);
+        let got = enumerate_parallel(&pattern, &data, &config, None, &pool, usize::MAX);
         assert_eq!(got, expect);
     }
 
@@ -143,7 +203,8 @@ mod tests {
         let data = PatternGraph::all_to_all(6);
         let frozen = BitSet::from_indices(6, &[0, 5]);
         let config = Vf2Config::default();
-        let got = enumerate_parallel(&pattern, &data, &config, Some(&frozen), 3, usize::MAX);
+        let pool = WorkerPool::new(3);
+        let got = enumerate_parallel(&pattern, &data, &config, Some(&frozen), &pool, usize::MAX);
         assert!(!got.is_empty());
         for e in &got {
             assert!(e.as_slice().iter().all(|&d| d != 0 && d != 5));
@@ -154,18 +215,20 @@ mod tests {
     fn cap_limits_results() {
         let pattern = PatternGraph::ring(2);
         let data = PatternGraph::all_to_all(8);
-        let got = enumerate_parallel(&pattern, &data, &Vf2Config::default(), None, 4, 5);
+        let pool = WorkerPool::new(4);
+        let got = enumerate_parallel(&pattern, &data, &Vf2Config::default(), None, &pool, 5);
         assert_eq!(got.len(), 5);
     }
 
     #[test]
     fn empty_pattern() {
+        let pool = WorkerPool::new(4);
         let got = enumerate_parallel(
             &PatternGraph::new(0),
             &PatternGraph::all_to_all(3),
             &Vf2Config::default(),
             None,
-            4,
+            &pool,
             usize::MAX,
         );
         assert_eq!(got, vec![Embedding::new(vec![])]);
@@ -189,8 +252,8 @@ mod tests {
             ..Vf2Config::default()
         };
         let expect = sequential(&pattern, &q3, &config);
-        let mut got = enumerate_parallel(&pattern, &q3, &config, None, 4, usize::MAX);
-        got.sort();
+        let pool = WorkerPool::new(4);
+        let got = enumerate_parallel(&pattern, &q3, &config, None, &pool, usize::MAX);
         assert_eq!(got, expect);
         assert_eq!(expect.len(), 6 * 8);
     }

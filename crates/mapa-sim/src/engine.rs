@@ -1,9 +1,11 @@
 //! The simulation engine: dispatcher, FIFO queue, execution, logging.
 
 use crate::event::{EventKind, EventQueue};
+use crate::stats::{self, SchedulingStats};
 use mapa_core::policy::AllocationPolicy;
-use mapa_core::{fragmentation, MapaAllocator};
+use mapa_core::{fragmentation, AllocatorConfig, CacheStats, MapaAllocator};
 use mapa_interconnect::effbw;
+use mapa_isomorph::Matcher;
 use mapa_topology::Topology;
 use mapa_workloads::{perf, JobSpec};
 use std::collections::{HashMap, VecDeque};
@@ -41,6 +43,18 @@ pub struct SimConfig {
     pub strict_fifo: bool,
     /// Job arrival process.
     pub arrivals: ArrivalProcess,
+    /// Memoize allocation decisions in the allocator's canonical-state
+    /// cache (default on — a day of traffic repeats job shapes and
+    /// occupancy states constantly, and the cached path provably returns
+    /// the placements the uncached path would). Requires the policy to
+    /// honor the `AllocationPolicy` purity contract; set `false` for
+    /// custom policies that consult inputs outside the cache key (e.g.
+    /// `job.workload` or `job.id`).
+    pub cached: bool,
+    /// Matcher the allocator should use, e.g. one backed by a worker pool
+    /// shared across several simulations (`Matcher::with_pool`). `None`
+    /// keeps the allocator's own matcher.
+    pub matcher: Option<Matcher>,
 }
 
 impl Default for SimConfig {
@@ -48,6 +62,8 @@ impl Default for SimConfig {
         Self {
             strict_fifo: true,
             arrivals: ArrivalProcess::Batch,
+            cached: true,
+            matcher: None,
         }
     }
 }
@@ -130,6 +146,8 @@ pub struct SimReport {
     /// Jobs completed per hour of simulated time (Table 3's throughput,
     /// up to normalization).
     pub throughput_jobs_per_hour: f64,
+    /// Allocation-cache counters, when the engine ran with caching on.
+    pub cache: Option<CacheStats>,
 }
 
 impl SimReport {
@@ -149,6 +167,29 @@ impl SimReport {
             .filter(|r| filter(r))
             .map(|r| r.predicted_eff_bw)
             .collect()
+    }
+
+    /// Per-job scheduling latencies in milliseconds, in completion order —
+    /// the §5.4 overhead the Fig. 19 evaluation plots.
+    #[must_use]
+    pub fn scheduling_latencies_ms(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.scheduling_overhead.as_secs_f64() * 1e3)
+            .collect()
+    }
+
+    /// Scheduling-overhead summary plus cache counters — the single
+    /// reporting path shared by Fig. 19 and the simulator log file.
+    ///
+    /// # Panics
+    /// Panics when the report has no records.
+    #[must_use]
+    pub fn scheduling_stats(&self) -> SchedulingStats {
+        SchedulingStats {
+            latency_ms: stats::summarize(&self.scheduling_latencies_ms()),
+            cache: self.cache,
+        }
     }
 }
 
@@ -193,6 +234,19 @@ impl Simulation {
     /// machine has) — validate job files against the machine first.
     #[must_use]
     pub fn run(mut self, jobs: &[JobSpec]) -> SimReport {
+        // Thread the configured fast path into the allocator: a shared
+        // matcher (worker pool) and the allocation cache.
+        if let Some(matcher) = self.config.matcher.take() {
+            self.allocator.set_matcher(matcher);
+        }
+        if !self.config.cached {
+            self.allocator.apply_config(&AllocatorConfig::default());
+        } else if self.allocator.cache_stats().is_none() {
+            // Enable at the default capacity; an allocator that arrived
+            // via `from_allocator` with its own cache (possibly custom
+            // sized) is left untouched.
+            self.allocator.apply_config(&AllocatorConfig::cached());
+        }
         let machine_size = self.allocator.topology().gpu_count();
         for j in jobs {
             assert!(
@@ -247,6 +301,7 @@ impl Simulation {
             records,
             makespan_seconds: makespan,
             throughput_jobs_per_hour: throughput,
+            cache: self.allocator.cache_stats(),
         }
     }
 
@@ -609,6 +664,102 @@ mod tests {
             light_s.p25,
             batch_s.p25
         );
+    }
+
+    #[test]
+    fn default_run_exercises_the_allocation_cache() {
+        let jobs = generator::paper_job_mix(17);
+        let report =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..80]);
+        let cache = report.cache.expect("caching is on by default");
+        assert!(cache.lookups() > 0);
+        // A FIFO queue retries its blocked head against unchanged
+        // occupancy on every arrival, and shapes repeat — hits are
+        // structural, not incidental.
+        assert!(cache.hits > 0, "expected cache hits, got {cache:?}");
+        let sched = report.scheduling_stats();
+        assert_eq!(sched.latency_ms.count, 80);
+        assert!(sched.latency_ms.p50 >= 0.0);
+        assert_eq!(sched.cache_hit_rate(), cache.hit_rate());
+        assert_eq!(report.scheduling_latencies_ms().len(), 80);
+    }
+
+    #[test]
+    fn cached_and_uncached_sims_produce_identical_schedules() {
+        let jobs = generator::paper_job_mix(19);
+        for policy in mapa_core::policy::paper_policies() {
+            let name = policy.name();
+            let cached = Simulation::new(machines::dgx1_v100(), policy).run(&jobs[..60]);
+            let uncached_policy = mapa_core::policy::paper_policies()
+                .into_iter()
+                .find(|p| p.name() == name)
+                .unwrap();
+            let uncached = Simulation::new(machines::dgx1_v100(), uncached_policy)
+                .with_config(SimConfig {
+                    cached: false,
+                    ..SimConfig::default()
+                })
+                .run(&jobs[..60]);
+            assert!(uncached.cache.is_none());
+            assert_eq!(cached.records.len(), uncached.records.len(), "{name}");
+            for (a, b) in cached.records.iter().zip(&uncached.records) {
+                assert_eq!(a.job.id, b.job.id, "{name}");
+                assert_eq!(a.gpus, b.gpus, "{name}: placements must be bit-identical");
+                assert_eq!(a.started_at, b.started_at, "{name}");
+                assert_eq!(a.finished_at, b.finished_at, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_matcher_pool_threads_through_the_engine() {
+        use mapa_isomorph::{MatchOptions, WorkerPool};
+        use std::sync::Arc;
+
+        /// A matcher-driven policy (unlike the built-in set-streaming
+        /// ones): enumerates embeddings through `candidate_matches`, i.e.
+        /// through `PolicyContext::matcher` — so a pooled matcher threaded
+        /// through the engine genuinely runs parallel enumeration here.
+        struct MatcherDrivenPolicy;
+
+        impl mapa_core::policy::AllocationPolicy for MatcherDrivenPolicy {
+            fn name(&self) -> &'static str {
+                "matcher-driven"
+            }
+
+            fn select(
+                &self,
+                job: &JobSpec,
+                ctx: &mapa_core::policy::PolicyContext<'_>,
+            ) -> Option<Vec<usize>> {
+                mapa_core::policy::candidate_matches(job, ctx)
+                    .first()
+                    .map(mapa_isomorph::Embedding::vertex_set)
+            }
+        }
+
+        let pool = Arc::new(WorkerPool::new(2));
+        let jobs = generator::paper_job_mix(23);
+        let base =
+            Simulation::new(machines::dgx1_v100(), Box::new(MatcherDrivenPolicy)).run(&jobs[..40]);
+        let pooled = Simulation::new(machines::dgx1_v100(), Box::new(MatcherDrivenPolicy))
+            .with_config(SimConfig {
+                matcher: Some(Matcher::with_pool(
+                    MatchOptions {
+                        threads: Some(2),
+                        ..MatchOptions::default()
+                    },
+                    pool,
+                )),
+                ..SimConfig::default()
+            })
+            .run(&jobs[..40]);
+        // Parallel enumeration on the shared pool returns the same
+        // deterministic candidate order, so schedules are identical.
+        for (a, b) in base.records.iter().zip(&pooled.records) {
+            assert_eq!(a.gpus, b.gpus);
+            assert_eq!(a.finished_at, b.finished_at);
+        }
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Experiment runners: the policy-comparison studies of §4 and §5.
 
-use crate::engine::{JobRecord, SimReport, Simulation};
+use crate::engine::{JobRecord, SimConfig, SimReport, Simulation};
 use crate::stats::{self, Summary};
 use mapa_core::policy;
+use mapa_isomorph::{MatchOptions, Matcher, WorkerPool};
 use mapa_topology::Topology;
 use mapa_workloads::JobSpec;
+use std::sync::Arc;
 
 /// Reports of all four paper policies over the same job list and machine —
 /// the data behind Fig. 13, Table 3 and Fig. 18.
@@ -15,12 +17,26 @@ pub struct PolicyComparison {
     pub reports: Vec<SimReport>,
 }
 
-/// Runs the four paper policies on `jobs` against `topology`.
+/// Runs the four paper policies on `jobs` against `topology`. All four
+/// simulations share one matcher worker pool (sized by the machine's
+/// available parallelism), so thread start-up is paid once for the whole
+/// comparison.
 #[must_use]
 pub fn compare_policies(topology: &Topology, jobs: &[JobSpec]) -> PolicyComparison {
+    let pool = Arc::new(WorkerPool::with_default_threads());
     let reports = policy::paper_policies()
         .into_iter()
-        .map(|p| Simulation::new(topology.clone(), p).run(jobs))
+        .map(|p| {
+            Simulation::new(topology.clone(), p)
+                .with_config(SimConfig {
+                    matcher: Some(Matcher::with_pool(
+                        MatchOptions::parallel(),
+                        Arc::clone(&pool),
+                    )),
+                    ..SimConfig::default()
+                })
+                .run(jobs)
+        })
         .collect();
     PolicyComparison { reports }
 }

@@ -13,9 +13,13 @@ use std::fmt;
 
 /// Header of the extended log format.
 pub const LOG_HEADER: &str =
-    "ID, Allocation, Topology, Effective BW (GBps), Workload, Exec (s), Wait (s), Quality";
+    "ID, Allocation, Topology, Effective BW (GBps), Workload, Exec (s), Wait (s), Quality, Sched (ms)";
 
 /// Serializes a report into the Fig. 14 log format (extended columns).
+/// Each record carries its per-job scheduling latency (§5.4), and the
+/// trailer comments carry the run's allocation-cache counters — the same
+/// numbers [`SimReport::scheduling_stats`] aggregates, so log files and
+/// in-memory reports share one overhead-reporting path.
 #[must_use]
 pub fn write_log(report: &SimReport) -> String {
     let mut out = String::new();
@@ -28,7 +32,7 @@ pub fn write_log(report: &SimReport) -> String {
     for r in &report.records {
         let gpus: Vec<String> = r.gpus.iter().map(usize::to_string).collect();
         out.push_str(&format!(
-            "{}, ({}), {}, {:.2}, {}, {:.2}, {:.2}, {:.4}\n",
+            "{}, ({}), {}, {:.2}, {}, {:.2}, {:.2}, {:.4}, {:.3}\n",
             r.job.id,
             gpus.join(","),
             r.job.topology,
@@ -37,6 +41,16 @@ pub fn write_log(report: &SimReport) -> String {
             r.execution_seconds,
             r.queue_wait_seconds,
             r.allocation_quality,
+            r.scheduling_overhead.as_secs_f64() * 1e3,
+        ));
+    }
+    if let Some(cache) = report.cache {
+        out.push_str(&format!(
+            "# cache: hits={} misses={} evictions={} hit_rate={:.4}\n",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate(),
         ));
     }
     out
@@ -216,6 +230,28 @@ mod tests {
             parse_log("1, (1,2), Ring"),
             Err(LogParseError::FieldCount { line: 1 })
         ));
+    }
+
+    #[test]
+    fn log_carries_scheduling_latency_and_cache_counters() {
+        let jobs = generator::paper_job_mix(4);
+        let report =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..40]);
+        let text = write_log(&report);
+        assert!(text.contains("Sched (ms)"), "header gained the column");
+        let cache = report.cache.expect("default run is cached");
+        assert!(
+            text.contains(&format!("# cache: hits={}", cache.hits)),
+            "cache counters recorded in the log trailer"
+        );
+        // Each record line ends with its scheduling latency: 9 fields.
+        let record_line = text
+            .lines()
+            .find(|l| !l.starts_with('#') && !l.starts_with("ID"))
+            .unwrap();
+        assert_eq!(record_line.split(", ").count(), 9, "{record_line}");
+        // Still parseable by the tolerant reader.
+        assert_eq!(parse_log(&text).unwrap().len(), 40);
     }
 
     #[test]

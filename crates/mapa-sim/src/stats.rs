@@ -87,6 +87,26 @@ impl Summary {
     }
 }
 
+/// Scheduling-overhead report: the §5.4 per-job decision-latency
+/// distribution together with the allocation-cache counters of the run.
+/// This is the one reporting path shared by the Fig. 19 benchmark, the
+/// simulator log file, and [`crate::SimReport::scheduling_stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulingStats {
+    /// Five-number summary (plus mean) of per-job scheduling latency, ms.
+    pub latency_ms: Summary,
+    /// Cache hit/miss counters; `None` when the run was uncached.
+    pub cache: Option<mapa_core::CacheStats>,
+}
+
+impl SchedulingStats {
+    /// Cache hit rate of the run, 0 when uncached or no lookups happened.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.map_or(0.0, |c| c.hit_rate())
+    }
+}
+
 /// One row of Table 3: baseline-time / policy-time per quantile.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedupRow {

@@ -174,6 +174,7 @@ mod tests {
             records: vec![],
             makespan_seconds: 0.0,
             throughput_jobs_per_hour: 0.0,
+            cache: None,
         };
         let _ = utilization(&report, 8);
     }

@@ -45,5 +45,5 @@ mod topology;
 pub mod virt;
 
 pub use link::{LinkMix, LinkType};
-pub use state::{AllocationError, HardwareState, JobId};
+pub use state::{AllocationError, HardwareState, JobId, OccupancySignature};
 pub use topology::Topology;

@@ -60,12 +60,66 @@ impl fmt::Display for AllocationError {
 
 impl std::error::Error for AllocationError {}
 
+/// A cheap identity key for an occupancy state: the exact busy-set words
+/// plus a 64-bit FNV-1a fingerprint over them.
+///
+/// Two signatures of states over the *same machine* are equal iff the
+/// states have identical free/busy GPU sets — the words are exact, so
+/// there are no false positives (the fingerprint is a convenience for
+/// logging and fast inequality, never the source of truth). The signature
+/// is maintained incrementally by [`HardwareState`]: reading it never
+/// rescans the owner table, which is what makes allocation-decision
+/// caching keyed on it viable on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OccupancySignature {
+    busy_words: Vec<u64>,
+    fingerprint: u64,
+}
+
+impl OccupancySignature {
+    fn from_busy(busy: &BitSet) -> Self {
+        let busy_words = busy.as_words().to_vec();
+        // FNV-1a over the words; stable across runs (no RandomState).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in &busy_words {
+            for byte in w.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        Self {
+            busy_words,
+            fingerprint: h,
+        }
+    }
+
+    /// The 64-bit fingerprint (display/logging convenience; collisions
+    /// possible, unlike signature equality itself).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+impl fmt::Display for OccupancySignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "occ:{:016x}", self.fingerprint)
+    }
+}
+
 /// Tracks GPU occupancy for a machine across job allocations/deallocations.
 #[derive(Debug, Clone)]
 pub struct HardwareState {
     topology: Topology,
     owner: Vec<Option<JobId>>,
     jobs: HashMap<JobId, Vec<usize>>,
+    /// Busy-GPU mask, maintained incrementally (never rescanned).
+    busy: BitSet,
+    /// Bumped on every successful allocate/deallocate; failed transitions
+    /// leave it (and the signature) untouched.
+    generation: u64,
+    /// Signature of `busy`, recomputed only when `busy` changes.
+    signature: OccupancySignature,
 }
 
 impl HardwareState {
@@ -73,10 +127,15 @@ impl HardwareState {
     #[must_use]
     pub fn new(topology: Topology) -> Self {
         let n = topology.gpu_count();
+        let busy = BitSet::new(n);
+        let signature = OccupancySignature::from_busy(&busy);
         Self {
             topology,
             owner: vec![None; n],
             jobs: HashMap::new(),
+            busy,
+            generation: 0,
+            signature,
         }
     }
 
@@ -89,7 +148,22 @@ impl HardwareState {
     /// Number of currently free GPUs.
     #[must_use]
     pub fn free_count(&self) -> usize {
-        self.owner.iter().filter(|o| o.is_none()).count()
+        self.topology.gpu_count() - self.busy.count()
+    }
+
+    /// Monotone counter of successful state transitions. Two reads that
+    /// observe the same generation observed the same occupancy, so callers
+    /// can skip recomputing derived data without comparing signatures.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The incremental identity key of the current free/busy set. O(words)
+    /// to clone, never rescans occupancy — see [`OccupancySignature`].
+    #[must_use]
+    pub fn occupancy_signature(&self) -> OccupancySignature {
+        self.signature.clone()
     }
 
     /// Number of currently busy GPUs.
@@ -143,13 +217,7 @@ impl HardwareState {
     /// The busy-GPU mask in matcher "frozen" form.
     #[must_use]
     pub fn frozen_mask(&self) -> BitSet {
-        let mut b = BitSet::new(self.owner.len());
-        for (g, o) in self.owner.iter().enumerate() {
-            if o.is_some() {
-                b.insert(g);
-            }
-        }
-        b
+        self.busy.clone()
     }
 
     /// The remaining hardware graph `G ∖ busy` (complete over free GPUs)
@@ -201,8 +269,10 @@ impl HardwareState {
         sorted.sort_unstable();
         for &g in &sorted {
             self.owner[g] = Some(job);
+            self.busy.insert(g);
         }
         self.jobs.insert(job, sorted);
+        self.bump();
         Ok(())
     }
 
@@ -218,8 +288,17 @@ impl HardwareState {
         for &g in &gpus {
             debug_assert_eq!(self.owner[g], Some(job));
             self.owner[g] = None;
+            self.busy.remove(g);
         }
+        self.bump();
         Ok(gpus)
+    }
+
+    /// Advances the generation and refreshes the signature after a
+    /// successful mutation of `busy`.
+    fn bump(&mut self) {
+        self.generation += 1;
+        self.signature = OccupancySignature::from_busy(&self.busy);
     }
 }
 
@@ -313,6 +392,61 @@ mod tests {
         assert_eq!(s.owner_of(0), Some(10));
     }
 
+    #[test]
+    fn generation_bumps_only_on_successful_transitions() {
+        let mut s = state();
+        assert_eq!(s.generation(), 0);
+        s.allocate(1, &[0, 1]).unwrap();
+        assert_eq!(s.generation(), 1);
+        // Failed transitions leave generation and signature untouched.
+        let sig = s.occupancy_signature();
+        assert!(s.allocate(2, &[1]).is_err());
+        assert!(s.deallocate(9).is_err());
+        assert_eq!(s.generation(), 1);
+        assert_eq!(s.occupancy_signature(), sig);
+        s.deallocate(1).unwrap();
+        assert_eq!(s.generation(), 2);
+    }
+
+    #[test]
+    fn signature_identifies_the_free_set_exactly() {
+        let mut a = state();
+        let mut b = state();
+        let idle = a.occupancy_signature();
+        assert_eq!(idle, b.occupancy_signature(), "idle states agree");
+
+        // Same free *count*, different free *sets* → different signatures
+        // (exact words, not just a hash — no collisions possible).
+        a.allocate(1, &[0, 1]).unwrap();
+        b.allocate(1, &[6, 7]).unwrap();
+        assert_ne!(a.occupancy_signature(), b.occupancy_signature());
+        assert_eq!(a.free_count(), b.free_count());
+
+        // Job identity does not matter, only the occupied set does.
+        let mut c = state();
+        c.allocate(42, &[1, 0]).unwrap();
+        assert_eq!(a.occupancy_signature(), c.occupancy_signature());
+
+        // Releasing returns the state to a previously-seen signature —
+        // the recurrence an allocation cache keys on.
+        a.deallocate(1).unwrap();
+        assert_eq!(a.occupancy_signature(), idle);
+        assert!(a.generation() > 0, "generation never rewinds");
+    }
+
+    #[test]
+    fn signature_display_and_fingerprint() {
+        let mut s = state();
+        let idle = s.occupancy_signature();
+        assert!(format!("{idle}").starts_with("occ:"));
+        s.allocate(1, &[3]).unwrap();
+        let busy = s.occupancy_signature();
+        // Fingerprints of distinct word vectors virtually always differ;
+        // for these two specific masks they must (checked here so a silent
+        // hashing regression is caught).
+        assert_ne!(idle.fingerprint(), busy.fingerprint());
+    }
+
     proptest! {
         /// Alternating random allocations and deallocations never corrupt
         /// the owner map: at every step each GPU is held by at most one job
@@ -339,6 +473,11 @@ mod tests {
                 let job_total: usize = (0..6).filter_map(|j| s.gpus_of(j).map(<[usize]>::len)).sum();
                 prop_assert_eq!(counted, job_total);
                 prop_assert_eq!(s.free_count() + s.busy_count(), 8);
+                // The incrementally-maintained busy mask agrees with the
+                // owner table (the rescans it replaced).
+                let owner_busy: Vec<usize> =
+                    (0..8).filter(|&g| s.owner_of(g).is_some()).collect();
+                prop_assert_eq!(s.frozen_mask().to_vec(), owner_busy);
             }
         }
     }

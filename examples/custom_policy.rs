@@ -11,7 +11,8 @@
 use mapa::core::policy::{candidate_matches, AllocationPolicy, PolicyContext};
 use mapa::core::scoring;
 use mapa::prelude::*;
-use mapa::sim::Simulation;
+use mapa::sim::{SimConfig, Simulation};
+use std::sync::Arc;
 
 /// Adversarial policy: always take the worst-scoring match.
 struct WorstFitPolicy;
@@ -42,6 +43,7 @@ fn main() {
     };
     let jobs = generator::generate_jobs(&cfg, 77);
     let dgx = machines::dgx1_v100();
+    let pool = Arc::new(WorkerPool::with_default_threads());
 
     println!(
         "Policy comparison on {} jobs (sensitive multi-GPU jobs only):\n",
@@ -59,7 +61,16 @@ fn main() {
         ("baseline", Box::new(BaselinePolicy)),
         ("Preserve", Box::new(PreservePolicy)),
     ] {
-        let report = Simulation::new(dgx.clone(), policy).run(&jobs);
+        // WorstFit goes through `candidate_matches`, i.e. the matcher —
+        // so all three runs share one persistent worker pool (the
+        // built-in set-streaming policies simply never call into it).
+        let pooled = Matcher::with_pool(MatchOptions::parallel(), Arc::clone(&pool));
+        let report = Simulation::new(dgx.clone(), policy)
+            .with_config(SimConfig {
+                matcher: Some(pooled),
+                ..SimConfig::default()
+            })
+            .run(&jobs);
         let times = report.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
         let s = stats::summarize(&times);
         println!(

@@ -5,7 +5,7 @@
 //! mapa-sched topo <machine>                     # matrix + DOT
 //! mapa-sched generate --count 300 --seed 42     # emit a job file (CSV)
 //! mapa-sched simulate --machine dgx-1-v100 --policy preserve \
-//!                     --jobs jobs.csv [--backfill] [--poisson GAP --seed S]
+//!                     --jobs jobs.csv [--backfill] [--no-cache] [--poisson GAP --seed S]
 //! ```
 //!
 //! A topology can also be given as a file containing `nvidia-smi topo -m`
@@ -39,7 +39,7 @@ usage:
   mapa-sched topo <machine-or-matrix-file>
   mapa-sched generate [--count N] [--seed S]
   mapa-sched simulate --machine <name-or-file> --policy <name> --jobs <file>
-                      [--backfill] [--poisson MEAN_GAP] [--seed S]
+                      [--backfill] [--no-cache] [--poisson MEAN_GAP] [--seed S]
 
 policies: baseline | topo-aware | greedy | preserve | effbw-greedy";
 
@@ -148,6 +148,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut policy_arg: Option<String> = None;
     let mut jobs_file: Option<String> = None;
     let mut backfill = false;
+    let mut cached = true;
     let mut poisson: Option<f64> = None;
     let mut seed = 0u64;
 
@@ -158,6 +159,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--policy" => policy_arg = Some(parse_flag(&mut it, "--policy")?),
             "--jobs" => jobs_file = Some(parse_flag(&mut it, "--jobs")?),
             "--backfill" => backfill = true,
+            "--no-cache" => cached = false,
             "--poisson" => poisson = Some(parse_flag(&mut it, "--poisson")?),
             "--seed" => seed = parse_flag(&mut it, "--seed")?,
             other => return Err(format!("unknown flag '{other}'")),
@@ -188,6 +190,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             },
             None => ArrivalProcess::Batch,
         },
+        cached,
+        ..SimConfig::default()
     };
     let report = Simulation::new(machine, policy)
         .with_config(config)
@@ -216,6 +220,22 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "predicted EffBW (GB/s):  min {:.1}  p25 {:.1}  p50 {:.1}  p75 {:.1}  max {:.1}",
             b.min, b.p25, b.p50, b.p75, b.max
         );
+    }
+    if !report.records.is_empty() {
+        let sched = report.scheduling_stats();
+        print!(
+            "scheduling latency (ms): min {:.3}  p50 {:.3}  max {:.3}",
+            sched.latency_ms.min, sched.latency_ms.p50, sched.latency_ms.max
+        );
+        match sched.cache {
+            Some(c) => println!(
+                "  | cache: {} hits / {} lookups ({:.0}% hit rate)",
+                c.hits,
+                c.lookups(),
+                c.hit_rate() * 100.0
+            ),
+            None => println!("  | cache: off"),
+        }
     }
     println!("\nper-job log (id, workload, gpus, effbw, exec):");
     for r in &report.records {

@@ -53,11 +53,15 @@ pub mod prelude {
         AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
         TopoAwarePolicy,
     };
-    pub use mapa_core::{scoring, AllocationOutcome, MapaAllocator};
+    pub use mapa_core::{
+        scoring, AllocationCache, AllocationOutcome, AllocatorConfig, CacheStats, MapaAllocator,
+    };
     pub use mapa_graph::{Graph, PatternGraph, WeightedGraph};
-    pub use mapa_isomorph::{MatchOptions, Matcher};
+    pub use mapa_isomorph::{default_threads, MatchOptions, Matcher, WorkerPool};
     pub use mapa_model::{corpus, EffBwModel};
-    pub use mapa_sim::{stats, Simulation};
-    pub use mapa_topology::{machines, HardwareState, LinkMix, LinkType, Topology};
+    pub use mapa_sim::{stats, SimConfig, Simulation};
+    pub use mapa_topology::{
+        machines, HardwareState, LinkMix, LinkType, OccupancySignature, Topology,
+    };
     pub use mapa_workloads::{generator, perf, AppTopology, JobSpec, Workload};
 }

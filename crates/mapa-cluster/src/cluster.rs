@@ -1,0 +1,534 @@
+//! The sharded cluster: N per-server allocators behind one two-stage
+//! placement pipeline (server selection, then GPU selection).
+
+use crate::policy::{ServerPolicy, ShardView};
+use mapa_core::policy::AllocationPolicy;
+use mapa_core::{AllocatorError, CacheStats, MapaAllocator};
+use mapa_isomorph::{MatchOptions, Matcher, WorkerPool};
+use mapa_model::{corpus, paper_coefficients, EffBwModel};
+use mapa_sim::{Placement, SchedulerBackend, SimConfig};
+use mapa_topology::Topology;
+use mapa_workloads::JobSpec;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A fleet of multi-GPU servers scheduled as one system.
+///
+/// Each shard is a complete [`MapaAllocator`] — its own machine, its own
+/// occupancy state, its own allocation cache — so per-server decisions
+/// are exactly the single-server engine's. What the cluster adds:
+///
+/// * one **shared matcher pool**: every shard's matcher enumerates on the
+///   same [`Arc`]`<`[`WorkerPool`]`>`, paying thread start-up once per
+///   cluster (PR 2's `Matcher::with_pool` cashed in);
+/// * a **server-selection stage** ([`ServerPolicy`]) that ranks shards
+///   per job; the cluster tries each ranked shard in turn, so a full (or
+///   too-small) shard falls through to the next;
+/// * one **Predicted-EffBW model per machine type**, fitted once and
+///   cloned across same-named shards instead of refit per shard.
+///
+/// `Cluster` implements [`SchedulerBackend`], so
+/// [`mapa_sim::Engine::over`] drives it with the same dispatcher, FIFO
+/// queue, and event loop as a single server.
+pub struct Cluster {
+    shards: Vec<MapaAllocator>,
+    server_policy: Box<dyn ServerPolicy>,
+    pool: Arc<WorkerPool>,
+    /// Successful placements so far — the rotation state handed to
+    /// stateless server policies.
+    placements: u64,
+}
+
+impl Cluster {
+    /// Builds a (possibly heterogeneous) cluster over `machines`.
+    /// `make_policy` supplies one allocation policy per shard, in shard
+    /// order; `server_policy` is the cluster-level selection stage.
+    ///
+    /// # Panics
+    /// Panics when `machines` is empty.
+    #[must_use]
+    pub fn new(
+        machines: Vec<Topology>,
+        mut make_policy: impl FnMut() -> Box<dyn AllocationPolicy>,
+        server_policy: Box<dyn ServerPolicy>,
+    ) -> Self {
+        assert!(!machines.is_empty(), "a cluster needs at least one server");
+        let pool = Arc::new(WorkerPool::with_default_threads());
+        let opts = MatchOptions {
+            threads: Some(pool.threads()),
+            ..MatchOptions::default()
+        };
+        // Fit the EffBW regression once per machine *type*; same-named
+        // shards share the fitted model instead of rebuilding the
+        // microbenchmark corpus N times.
+        let mut models: HashMap<String, EffBwModel> = HashMap::new();
+        let shards = machines
+            .into_iter()
+            .map(|machine| {
+                let model = models
+                    .entry(machine.name().to_string())
+                    .or_insert_with(|| fit_model(&machine))
+                    .clone();
+                let mut allocator = MapaAllocator::with_model(machine, make_policy(), model);
+                allocator.set_matcher(Matcher::with_pool(opts.clone(), Arc::clone(&pool)));
+                allocator
+            })
+            .collect();
+        Self {
+            shards,
+            server_policy,
+            pool,
+            placements: 0,
+        }
+    }
+
+    /// Builds a homogeneous cluster: `servers` copies of `machine`.
+    ///
+    /// # Panics
+    /// Panics when `servers` is 0.
+    #[must_use]
+    pub fn homogeneous(
+        machine: Topology,
+        servers: usize,
+        make_policy: impl FnMut() -> Box<dyn AllocationPolicy>,
+        server_policy: Box<dyn ServerPolicy>,
+    ) -> Self {
+        assert!(servers >= 1, "a cluster needs at least one server");
+        Self::new(vec![machine; servers], make_policy, server_policy)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The allocator managing shard `id`.
+    ///
+    /// # Panics
+    /// Panics on an invalid shard id.
+    #[must_use]
+    pub fn shard(&self, id: usize) -> &MapaAllocator {
+        &self.shards[id]
+    }
+
+    /// The server-selection policy's name.
+    #[must_use]
+    pub fn server_policy_name(&self) -> &'static str {
+        self.server_policy.name()
+    }
+
+    /// The worker pool every shard's matcher enumerates on.
+    #[must_use]
+    pub fn matcher_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Ranks the shards for `job` per the server policy (scores peeked
+    /// only when the policy asks), then returns shard ids in preference
+    /// order. Exposed for tests and tooling; `try_place` consumes it.
+    fn rank_shards(&mut self, job: &JobSpec) -> Vec<usize> {
+        let scores: Vec<Option<f64>> = if self.server_policy.needs_scores() {
+            self.shards
+                .iter_mut()
+                .map(|shard| {
+                    // An impossible request on *this* shard (heterogeneous
+                    // fleet, job larger than the machine) is simply not a
+                    // candidate — no score.
+                    shard
+                        .peek(job)
+                        .ok()
+                        .flatten()
+                        .map(|(_, score)| score.predicted_eff_bw)
+                })
+                .collect()
+        } else {
+            vec![None; self.shards.len()]
+        };
+        let views: Vec<ShardView<'_>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(id, shard)| ShardView {
+                id,
+                topology: shard.topology(),
+                state: shard.state(),
+                selection_eff_bw: scores[id],
+            })
+            .collect();
+        self.server_policy.rank(job, &views, self.placements)
+    }
+}
+
+/// Fits the machine's own EffBW model, falling back to the paper's
+/// Table 2 coefficients exactly like `MapaAllocator::new`.
+fn fit_model(machine: &Topology) -> EffBwModel {
+    let max_fit = machine.gpu_count().min(5);
+    EffBwModel::fit(&corpus::build_corpus(machine, 2..=max_fit))
+        .unwrap_or_else(|_| EffBwModel::from_coefficients(paper_coefficients()))
+}
+
+impl SchedulerBackend for Cluster {
+    fn label(&self) -> String {
+        // "4× DGX-1 V100" or "2× DGX-1 V100 + DGX-2": counts per machine
+        // type, in first-appearance order.
+        let mut order: Vec<&str> = Vec::new();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for shard in &self.shards {
+            let name = shard.topology().name();
+            if !counts.contains_key(name) {
+                order.push(name);
+            }
+            *counts.entry(name).or_insert(0) += 1;
+        }
+        order
+            .iter()
+            .map(|name| {
+                let c = counts[name];
+                if c == 1 {
+                    (*name).to_string()
+                } else {
+                    format!("{c}× {name}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+
+    fn policy_label(&self) -> String {
+        let mut names: Vec<&str> = self.shards.iter().map(MapaAllocator::policy_name).collect();
+        names.dedup();
+        let alloc = if names.len() == 1 { names[0] } else { "mixed" };
+        format!("{}/{}", self.server_policy.name(), alloc)
+    }
+
+    fn server_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn server_topology(&self, server: usize) -> &Topology {
+        self.shards[server].topology()
+    }
+
+    fn server_cache_stats(&self, server: usize) -> Option<CacheStats> {
+        self.shards[server].cache_stats()
+    }
+
+    fn max_job_gpus(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.topology().gpu_count())
+            .max()
+            .expect("cluster is non-empty")
+    }
+
+    fn total_free_gpus(&self) -> usize {
+        self.shards.iter().map(|s| s.state().free_count()).sum()
+    }
+
+    fn configure(&mut self, config: &SimConfig) {
+        for shard in &mut self.shards {
+            mapa_sim::configure_allocator(shard, config);
+        }
+    }
+
+    fn try_place(&mut self, job: &JobSpec) -> Option<Placement> {
+        // A job id already active anywhere in the fleet is a caller bug:
+        // per-shard states only know their own jobs, so without this
+        // fleet-wide check a duplicate id would silently double-place on
+        // whichever other shard the ranking probes first (the
+        // single-server backend surfaces the same input as an error).
+        if let Some(holder) =
+            (0..self.shards.len()).find(|&s| self.shards[s].state().gpus_of(job.id).is_some())
+        {
+            panic!("job {} is already allocated on shard {holder}", job.id);
+        }
+        let started = Instant::now();
+        let order = self.rank_shards(job);
+        for server in order {
+            debug_assert!(server < self.shards.len(), "policy ranked unknown shard");
+            match self.shards[server].try_allocate(job) {
+                Ok(Some(outcome)) => {
+                    self.placements += 1;
+                    return Some(Placement {
+                        server,
+                        gpus: outcome.gpus,
+                        score: outcome.score,
+                        // The cluster's decision includes the server-
+                        // selection stage (and any shards probed and
+                        // refused).
+                        scheduling_overhead: started.elapsed(),
+                    });
+                }
+                // This shard is full right now; the next ranked shard may
+                // still host the job.
+                Ok(None) => {}
+                // An impossible request *for this shard* — a small
+                // machine in a heterogeneous fleet; other shards may be
+                // large enough.
+                Err(AllocatorError::InvalidRequest { .. }) => {}
+                // A state error (duplicate active job id) is a caller
+                // bug; surface it like the single-server backend would
+                // instead of silently double-placing the job elsewhere.
+                Err(e @ AllocatorError::State(_)) => {
+                    panic!("cluster placement of job {}: {e}", job.id)
+                }
+            }
+        }
+        None
+    }
+
+    fn release(&mut self, server: usize, job: u64) {
+        self.shards[server]
+            .release(job)
+            .expect("running job is allocated on its shard");
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.shards.len())
+            .field("server_policy", &self.server_policy.name())
+            .field("placements", &self.placements)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BestScorePolicy, LeastLoadedPolicy, PackFirstPolicy, RoundRobinPolicy};
+    use mapa_core::policy::{BaselinePolicy, PreservePolicy};
+    use mapa_sim::{ArrivalProcess, Engine, SimConfig};
+    use mapa_topology::machines;
+    use mapa_workloads::{generator, AppTopology, Workload};
+
+    fn job(id: u64, n: usize) -> JobSpec {
+        JobSpec {
+            id,
+            num_gpus: n,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: true,
+            workload: Workload::Vgg16,
+            iterations: 10,
+        }
+    }
+
+    fn fleet(n: usize, server_policy: Box<dyn ServerPolicy>) -> Cluster {
+        Cluster::homogeneous(
+            machines::dgx1_v100(),
+            n,
+            || Box::new(PreservePolicy),
+            server_policy,
+        )
+    }
+
+    #[test]
+    fn shards_share_one_matcher_pool() {
+        let c = fleet(4, Box::new(RoundRobinPolicy));
+        for id in 0..4 {
+            let pool = c.shard(id).matcher().pool().expect("pooled matcher");
+            assert!(
+                Arc::ptr_eq(pool, c.matcher_pool()),
+                "shard {id} must share the cluster pool"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_while_least_loaded_balances() {
+        let mut rr = fleet(3, Box::new(RoundRobinPolicy));
+        rr.configure(&SimConfig::default());
+        for i in 0..6 {
+            let p = rr.try_place(&job(i + 1, 2)).expect("fleet has room");
+            assert_eq!(p.server, (i % 3) as usize, "rotation");
+        }
+        let mut ll = fleet(3, Box::new(LeastLoadedPolicy));
+        ll.configure(&SimConfig::default());
+        let servers: Vec<usize> = (0..6)
+            .map(|i| ll.try_place(&job(i + 1, 2)).unwrap().server)
+            .collect();
+        assert_eq!(servers, vec![0, 1, 2, 0, 1, 2], "load-ordered with id ties");
+    }
+
+    #[test]
+    fn pack_first_fills_a_shard_before_opening_the_next() {
+        let mut c = fleet(3, Box::new(PackFirstPolicy));
+        c.configure(&SimConfig::default());
+        let servers: Vec<usize> = (0..5)
+            .map(|i| c.try_place(&job(i + 1, 2)).unwrap().server)
+            .collect();
+        // 8-GPU shards: four 2-GPU jobs fill shard 0, the fifth opens 1.
+        assert_eq!(servers, vec![0, 0, 0, 0, 1]);
+        assert_eq!(c.total_free_gpus(), 3 * 8 - 5 * 2);
+    }
+
+    #[test]
+    fn full_shards_fall_through_to_the_next_ranked() {
+        let mut c = fleet(2, Box::new(PackFirstPolicy));
+        c.configure(&SimConfig::default());
+        c.try_place(&job(1, 8)).unwrap();
+        // Shard 0 is full; a 5-GPU job must land on shard 1.
+        assert_eq!(c.try_place(&job(2, 5)).unwrap().server, 1);
+        // 4 free GPUs total (shard 1) but an 8-GPU job cannot run → None.
+        assert!(c.try_place(&job(3, 8)).is_none());
+        c.release(0, 1);
+        assert_eq!(c.try_place(&job(3, 8)).unwrap().server, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already allocated")]
+    fn duplicate_active_job_id_panics_instead_of_double_placing() {
+        let mut c = fleet(2, Box::new(RoundRobinPolicy));
+        c.configure(&SimConfig::default());
+        c.try_place(&job(1, 2)).unwrap();
+        // Same id again while job 1 still runs: must surface the state
+        // error (as the single-server backend does), not place the job
+        // on the other shard.
+        let _ = c.try_place(&job(1, 2));
+    }
+
+    #[test]
+    fn heterogeneous_fleet_routes_big_jobs_to_big_machines() {
+        let mut c = Cluster::new(
+            vec![machines::dgx1_v100(), machines::dgx2()],
+            || Box::new(BaselinePolicy),
+            Box::new(LeastLoadedPolicy),
+        );
+        c.configure(&SimConfig::default());
+        assert_eq!(c.max_job_gpus(), 16);
+        assert_eq!(c.label(), "DGX-1 V100 + DGX-2");
+        // A 12-GPU job only fits the DGX-2, whatever the ranking says.
+        let p = c.try_place(&job(1, 12)).expect("dgx2 hosts it");
+        assert_eq!(p.server, 1);
+        assert_eq!(p.gpus.len(), 12);
+    }
+
+    #[test]
+    fn best_score_picks_the_shard_with_the_better_placement() {
+        let mut c = fleet(2, Box::new(BestScorePolicy));
+        c.configure(&SimConfig::default());
+        // Degrade shard 0: occupy most of it so its best remaining 2-GPU
+        // placement scores at or below shard 1's idle-machine best.
+        for i in 0..3 {
+            // Pin 2-GPU jobs onto shard 0 by filling it directly.
+            let out = c.shards[0].try_allocate(&job(100 + i, 2)).unwrap();
+            assert!(out.is_some());
+        }
+        let p = c.try_place(&job(1, 2)).expect("room exists");
+        // The idle shard offers at least as good a placement; with ties
+        // broken by score-then-id the placement's score must equal the
+        // cluster-wide best peek.
+        let best_idle = c.shards[1].peek(&job(2, 2)).unwrap();
+        if let Some((_, idle_score)) = best_idle {
+            assert!(p.score.predicted_eff_bw >= idle_score.predicted_eff_bw - 1e-9);
+        }
+    }
+
+    #[test]
+    fn labels_summarize_fleet_and_policy_stack() {
+        let c = fleet(4, Box::new(LeastLoadedPolicy));
+        assert_eq!(c.label(), "4× DGX-1 V100");
+        assert_eq!(c.policy_label(), "least-loaded/Preserve");
+        let mixed = Cluster::new(
+            vec![machines::dgx1_v100(), machines::summit()],
+            || Box::new(BaselinePolicy),
+            Box::new(RoundRobinPolicy),
+        );
+        assert_eq!(mixed.label(), "DGX-1 V100 + Summit");
+        assert_eq!(mixed.policy_label(), "round-robin/baseline");
+    }
+
+    #[test]
+    fn engine_drives_a_cluster_end_to_end_with_shard_stats() {
+        let jobs = generator::paper_job_mix(7);
+        let cluster = fleet(4, Box::new(LeastLoadedPolicy));
+        let report = Engine::over(cluster).run(&jobs[..120]);
+        assert_eq!(report.records.len(), 120);
+        assert_eq!(report.shards.len(), 4);
+        assert_eq!(report.topology_name, "4× DGX-1 V100");
+        assert_eq!(report.policy_name, "least-loaded/Preserve");
+        // Every shard did real work under least-loaded spreading.
+        for s in &report.shards {
+            assert!(s.jobs_completed > 0, "{s:?}");
+            assert!(s.utilization > 0.0 && s.utilization <= 1.0 + 1e-9, "{s:?}");
+        }
+        let total: usize = report.shards.iter().map(|s| s.jobs_completed).sum();
+        assert_eq!(total, 120);
+        // Caching is on by default across shards and sees traffic.
+        let cache = report.cache.expect("cluster shards cache by default");
+        assert!(cache.lookups() > 0);
+        // Records name valid shards and shard-local GPUs.
+        for r in &report.records {
+            assert!(r.server < 4);
+            assert!(r.gpus.iter().all(|&g| g < 8));
+        }
+    }
+
+    #[test]
+    fn cluster_beats_one_server_on_makespan_under_load() {
+        // 4 servers drain a batch at least ~2× faster than 1 server (the
+        // bound is loose: FIFO order and job-shape packing cost some of
+        // the ideal 4×).
+        let jobs = generator::paper_job_mix(9);
+        let single = Engine::over(fleet(1, Box::new(RoundRobinPolicy))).run(&jobs[..80]);
+        let quad = Engine::over(fleet(4, Box::new(LeastLoadedPolicy))).run(&jobs[..80]);
+        assert!(
+            quad.makespan_seconds < single.makespan_seconds / 2.0,
+            "4 shards {} vs 1 shard {}",
+            quad.makespan_seconds,
+            single.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn cross_server_fragmentation_is_detected() {
+        // Two half-full 8-GPU servers: 8 GPUs free in total, but an
+        // 8-GPU job fits no single shard → the queue blocks and the
+        // engine attributes it to fragmentation.
+        let jobs = vec![
+            job(1, 4),
+            job(2, 4),
+            JobSpec {
+                iterations: 1,
+                ..job(3, 8)
+            },
+        ];
+        let report = Engine::over(fleet(2, Box::new(LeastLoadedPolicy)))
+            .with_config(SimConfig {
+                arrivals: ArrivalProcess::Batch,
+                ..SimConfig::default()
+            })
+            .run(&jobs);
+        assert_eq!(report.records.len(), 3);
+        assert!(report.queue.fragmentation_blocks > 0, "{:?}", report.queue);
+        let j3 = report.records.iter().find(|r| r.job.id == 3).unwrap();
+        assert!(j3.queue_wait_seconds > 0.0, "job 3 had to wait for a drain");
+    }
+
+    #[test]
+    fn burst_arrivals_spread_across_the_fleet() {
+        let jobs: Vec<JobSpec> = (0..12).map(|i| job(i + 1, 4)).collect();
+        let report = Engine::over(fleet(4, Box::new(LeastLoadedPolicy)))
+            .with_config(SimConfig {
+                arrivals: ArrivalProcess::Bursts {
+                    size: 6,
+                    gap: 10_000.0,
+                },
+                ..SimConfig::default()
+            })
+            .run(&jobs);
+        // Each 6-job burst of 4-GPU jobs needs 24 GPUs — less than the
+        // fleet's 32 — so every burst starts immediately, spread over
+        // shards (least-loaded: two jobs per shard per burst at most).
+        for r in &report.records {
+            assert_eq!(r.queue_wait_seconds, 0.0, "{r:?}");
+        }
+        for s in &report.shards {
+            assert!(s.jobs_completed >= 2, "{s:?}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Async-style job ingestion: a bounded MPSC channel between producer
+//! threads and the simulation's event loop.
+//!
+//! The paper's simulator reads a fully-materialized job file. A
+//! production front end doesn't have that luxury: submissions stream in,
+//! and the scheduler must consume them with *backpressure* — a bounded
+//! queue that stalls producers when the scheduler falls behind, instead
+//! of buffering without limit. [`JobFeed`] is that front end, built on
+//! [`std::sync::mpsc::sync_channel`] and plain threads (the same channel
+//! primitives the PR 2 worker pool uses; no async runtime needed
+//! offline). It implements [`Iterator`], so
+//! [`mapa_sim::Engine::run_stream`] consumes it directly: the event loop
+//! pulls the next job exactly when the next arrival must be scheduled.
+
+use mapa_workloads::JobSpec;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// Default bound of the ingestion channel: deep enough to hide producer
+/// latency, shallow enough that a stalled scheduler exerts backpressure
+/// promptly.
+pub const DEFAULT_INGEST_CAPACITY: usize = 64;
+
+/// A bounded stream of jobs produced by a background thread.
+///
+/// Dropping the feed early (before the producer finishes) disconnects
+/// the channel; the producer's next `send` fails and the thread exits,
+/// which the drop joins — no leaked threads, no unbounded buffers.
+pub struct JobFeed {
+    rx: Option<Receiver<JobSpec>>,
+    producer: Option<JoinHandle<()>>,
+}
+
+impl JobFeed {
+    /// Spawns a producer thread that feeds jobs through a channel bounded
+    /// at `capacity` (clamped to at least 1). The producer's sends block
+    /// while the channel is full — the backpressure contract.
+    pub fn spawn(
+        capacity: usize,
+        produce: impl FnOnce(SyncSender<JobSpec>) + Send + 'static,
+    ) -> Self {
+        let (tx, rx) = sync_channel(capacity.max(1));
+        let producer = std::thread::Builder::new()
+            .name("mapa-ingest".to_string())
+            .spawn(move || produce(tx))
+            .expect("spawn ingest producer");
+        Self {
+            rx: Some(rx),
+            producer: Some(producer),
+        }
+    }
+
+    /// Streams an existing job list through a bounded channel — the
+    /// drop-in replacement for handing the simulator a slice, exercising
+    /// the same ingestion path live traffic would.
+    #[must_use]
+    pub fn from_jobs(jobs: Vec<JobSpec>, capacity: usize) -> Self {
+        Self::spawn(capacity, move |tx| {
+            for job in jobs {
+                // A receiver that hung up is a consumer that stopped
+                // early (simulation aborted): just stop producing.
+                if tx.send(job).is_err() {
+                    break;
+                }
+            }
+        })
+    }
+}
+
+impl Iterator for JobFeed {
+    type Item = JobSpec;
+
+    fn next(&mut self) -> Option<JobSpec> {
+        self.rx.as_ref()?.recv().ok()
+    }
+}
+
+impl Drop for JobFeed {
+    fn drop(&mut self) {
+        // Disconnect first so a still-running producer unblocks, then
+        // join it.
+        self.rx.take();
+        if let Some(handle) = self.producer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for JobFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobFeed")
+            .field("connected", &self.rx.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_workloads::{AppTopology, Workload};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn job(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            num_gpus: 1,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: false,
+            workload: Workload::Gmm,
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn feed_preserves_order_through_a_tiny_buffer() {
+        let jobs: Vec<JobSpec> = (0..100).map(job).collect();
+        let feed = JobFeed::from_jobs(jobs.clone(), 1);
+        let ids: Vec<u64> = feed.map(|j| j.id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_channel_exerts_backpressure() {
+        // A capacity-2 channel admits at most 2 unconsumed sends (+1 job
+        // held by the blocked producer): the producer cannot run ahead.
+        let produced = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&produced);
+        let mut feed = JobFeed::spawn(2, move |tx| {
+            for i in 0..50 {
+                tx.send(job(i)).unwrap();
+                counter.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Let the producer run as far as it can without a consumer.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let ahead = produced.load(Ordering::SeqCst);
+        assert!(ahead <= 3, "producer ran {ahead} jobs ahead of consumer");
+        // Draining releases the rest.
+        assert_eq!(feed.by_ref().count(), 50);
+        assert_eq!(produced.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn dropping_a_feed_early_unblocks_and_joins_the_producer() {
+        let mut feed = JobFeed::from_jobs((0..1000).map(job).collect(), 1);
+        assert_eq!(feed.next().unwrap().id, 0);
+        assert_eq!(feed.next().unwrap().id, 1);
+        drop(feed); // must not hang on the blocked producer
+    }
+
+    #[test]
+    fn feed_drives_a_simulation_end_to_end() {
+        use mapa_core::policy::PreservePolicy;
+        use mapa_sim::Simulation;
+        use mapa_topology::machines;
+        use mapa_workloads::generator;
+
+        let jobs = generator::paper_job_mix(15);
+        let direct =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..50]);
+        let fed = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .run_stream(JobFeed::from_jobs(jobs[..50].to_vec(), 4));
+        assert_eq!(direct.records.len(), fed.records.len());
+        for (a, b) in direct.records.iter().zip(&fed.records) {
+            assert_eq!(a.job.id, b.job.id);
+            assert_eq!(a.gpus, b.gpus);
+            assert_eq!(a.finished_at, b.finished_at);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The MAPA cluster layer: many multi-GPU servers behind one scheduler.
+//!
+//! The paper (§6) evaluates allocation policies on *one* multi-tenant
+//! server; production fleets run many — often heterogeneous — machines
+//! behind a single submission front end (ParvaGPU's cloud GPU pools,
+//! MAGMA's many-accelerator mapping). This crate adds that axis on top of
+//! the single-server engine without touching the per-server science:
+//!
+//! * [`Cluster`] — N shards, each a full [`mapa_core::MapaAllocator`]
+//!   (its own [`mapa_topology::HardwareState`] and allocation cache) over
+//!   its own machine. All shards *share one pooled matcher* via
+//!   [`std::sync::Arc`] (the PR 2 worker pool), so thread start-up is
+//!   paid once per cluster, not once per server.
+//! * [`ServerPolicy`] — the pluggable server-selection stage that runs
+//!   *before* the per-server `AllocationPolicy`: round-robin,
+//!   least-loaded, best-pattern-score (peeks every shard's would-be
+//!   placement through the allocation cache), and pack-first. The
+//!   two-stage pipeline answers "which server, then which GPUs" in one
+//!   [`mapa_sim::SchedulerBackend::try_place`] call.
+//! * [`ingest`] — an async-style job ingestion front end: a bounded MPSC
+//!   channel plus a producer thread ([`JobFeed`]), so jobs *stream* into
+//!   the event loop with backpressure instead of arriving as a
+//!   pre-materialized vector. Built on std's channel primitives — no
+//!   tokio needed offline.
+//!
+//! # Example
+//!
+//! ```
+//! use mapa_cluster::{Cluster, LeastLoadedPolicy};
+//! use mapa_core::policy::PreservePolicy;
+//! use mapa_sim::Engine;
+//! use mapa_topology::machines;
+//! use mapa_workloads::generator;
+//!
+//! let cluster = Cluster::homogeneous(
+//!     machines::dgx1_v100(),
+//!     4,
+//!     || Box::new(PreservePolicy),
+//!     Box::new(LeastLoadedPolicy),
+//! );
+//! let jobs = generator::paper_job_mix(1);
+//! let report = Engine::over(cluster).run(&jobs[..40]);
+//! assert_eq!(report.records.len(), 40);
+//! assert_eq!(report.shards.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+pub mod ingest;
+pub mod policy;
+
+pub use cluster::Cluster;
+pub use ingest::{JobFeed, DEFAULT_INGEST_CAPACITY};
+pub use policy::{
+    server_policy_by_name, BestScorePolicy, LeastLoadedPolicy, PackFirstPolicy, RoundRobinPolicy,
+    ServerPolicy, ShardView, SERVER_POLICY_NAMES,
+};

@@ -1,0 +1,318 @@
+//! Server-selection policies: the cluster-level stage that picks a shard
+//! before the shard's own `AllocationPolicy` picks GPUs.
+//!
+//! Every policy is deterministic and *labeling-invariant*: the ranking
+//! depends only on shard load/score state, never on incidental shard
+//! identity, and ties break toward the lowest shard id — the same
+//! lexicographic convention the per-server policies use for GPU-set ties
+//! (required for reproducible schedules and for the 1-shard ≡
+//! single-server equivalence property).
+
+use mapa_topology::{HardwareState, Topology};
+use mapa_workloads::JobSpec;
+
+/// What a [`ServerPolicy`] may consult about one shard.
+pub struct ShardView<'a> {
+    /// Shard index within the cluster.
+    pub id: usize,
+    /// The shard's machine.
+    pub topology: &'a Topology,
+    /// The shard's current occupancy.
+    pub state: &'a HardwareState,
+    /// Predicted EffBW of the shard's would-be placement for the job
+    /// being ranked. `Some` only when the policy requested scores via
+    /// [`ServerPolicy::needs_scores`] *and* the shard can place the job
+    /// right now.
+    pub selection_eff_bw: Option<f64>,
+}
+
+/// A cluster server-selection policy.
+///
+/// `rank` returns shard ids in preference order; the cluster tries each
+/// in turn until one accepts the job (a shard may refuse — it is full, or
+/// the job exceeds its machine). Implementations must be deterministic,
+/// must not depend on shard labeling beyond the final lowest-id
+/// tie-break, and must include every shard they are willing to use (an
+/// omitted shard is never tried for this job).
+pub trait ServerPolicy: Send + Sync {
+    /// Short name used in reports ("round-robin", "least-loaded", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether `rank` consumes per-shard selection scores
+    /// ([`ShardView::selection_eff_bw`]). Scores cost one policy peek per
+    /// shard per decision (served by each shard's allocation cache), so
+    /// they are computed only on request.
+    fn needs_scores(&self) -> bool {
+        false
+    }
+
+    /// Preference order over shards for `job`. `seq` counts successful
+    /// placements so far — the rotation state for stateless round-robin.
+    fn rank(&self, job: &JobSpec, shards: &[ShardView<'_>], seq: u64) -> Vec<usize>;
+}
+
+/// Names accepted by [`server_policy_by_name`], in documentation order.
+pub const SERVER_POLICY_NAMES: [&str; 4] =
+    ["round-robin", "least-loaded", "best-score", "pack-first"];
+
+/// Resolves a server policy from its CLI name (case-insensitive).
+#[must_use]
+pub fn server_policy_by_name(name: &str) -> Option<Box<dyn ServerPolicy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "round-robin" | "roundrobin" => Some(Box::new(RoundRobinPolicy)),
+        "least-loaded" | "leastloaded" => Some(Box::new(LeastLoadedPolicy)),
+        "best-score" | "bestscore" | "best-pattern-score" => Some(Box::new(BestScorePolicy)),
+        "pack-first" | "packfirst" => Some(Box::new(PackFirstPolicy)),
+        _ => None,
+    }
+}
+
+/// Rotate through shards: placement `seq` starts its probe at shard
+/// `seq mod N` and wraps. Ignores load entirely — the fairness baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinPolicy;
+
+impl ServerPolicy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn rank(&self, _job: &JobSpec, shards: &[ShardView<'_>], seq: u64) -> Vec<usize> {
+        let n = shards.len();
+        if n == 0 {
+            return vec![];
+        }
+        let start = (seq % n as u64) as usize;
+        (0..n).map(|i| (start + i) % n).collect()
+    }
+}
+
+/// Prefer the shard with the smallest busy *fraction* (size-normalized,
+/// so heterogeneous fleets balance by relative load, not absolute GPU
+/// counts). Ties break toward the lowest shard id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoadedPolicy;
+
+impl ServerPolicy for LeastLoadedPolicy {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn rank(&self, _job: &JobSpec, shards: &[ShardView<'_>], _seq: u64) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..shards.len()).collect();
+        ids.sort_by(|&a, &b| {
+            shards[a]
+                .state
+                .busy_fraction()
+                .total_cmp(&shards[b].state.busy_fraction())
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+}
+
+/// Prefer the shard whose own allocation policy would place the job with
+/// the highest Predicted EffBW *right now* — MAPA's scoring lifted to the
+/// server-selection stage. Shards that cannot place the job fall to the
+/// back (by ascending id). Score ties break toward the lowest shard id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestScorePolicy;
+
+impl ServerPolicy for BestScorePolicy {
+    fn name(&self) -> &'static str {
+        "best-score"
+    }
+
+    fn needs_scores(&self) -> bool {
+        true
+    }
+
+    fn rank(&self, _job: &JobSpec, shards: &[ShardView<'_>], _seq: u64) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..shards.len()).collect();
+        ids.sort_by(
+            |&a, &b| match (&shards[a].selection_eff_bw, &shards[b].selection_eff_bw) {
+                (Some(sa), Some(sb)) => sb.total_cmp(sa).then(a.cmp(&b)),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => a.cmp(&b),
+            },
+        );
+        ids
+    }
+}
+
+/// Bin-packing: prefer the *most* loaded shard that still has room, so
+/// jobs consolidate onto few servers and whole machines stay free for
+/// large arrivals (the anti-fragmentation counterpart of least-loaded).
+/// Ties break toward the lowest shard id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PackFirstPolicy;
+
+impl ServerPolicy for PackFirstPolicy {
+    fn name(&self) -> &'static str {
+        "pack-first"
+    }
+
+    fn rank(&self, _job: &JobSpec, shards: &[ShardView<'_>], _seq: u64) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..shards.len()).collect();
+        ids.sort_by(|&a, &b| {
+            shards[b]
+                .state
+                .busy_fraction()
+                .total_cmp(&shards[a].state.busy_fraction())
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapa_topology::machines;
+    use mapa_workloads::{AppTopology, Workload};
+
+    fn job(n: usize) -> JobSpec {
+        JobSpec {
+            id: 1,
+            num_gpus: n,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: true,
+            workload: Workload::Vgg16,
+            iterations: 1,
+        }
+    }
+
+    /// Builds identical dgx1-v100 states with the given busy GPU counts.
+    fn states(busy: &[usize]) -> Vec<(Topology, HardwareState)> {
+        busy.iter()
+            .map(|&b| {
+                let t = machines::dgx1_v100();
+                let mut s = HardwareState::new(t.clone());
+                if b > 0 {
+                    s.allocate(99, &(0..b).collect::<Vec<_>>()).unwrap();
+                }
+                (t, s)
+            })
+            .collect()
+    }
+
+    fn views<'a>(
+        owned: &'a [(Topology, HardwareState)],
+        scores: &[Option<f64>],
+    ) -> Vec<ShardView<'a>> {
+        owned
+            .iter()
+            .enumerate()
+            .map(|(id, (t, s))| ShardView {
+                id,
+                topology: t,
+                state: s,
+                selection_eff_bw: scores.get(id).copied().flatten(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates_with_seq_and_is_deterministic() {
+        let owned = states(&[0, 0, 0]);
+        let v = views(&owned, &[None; 3]);
+        let p = RoundRobinPolicy;
+        assert_eq!(p.rank(&job(2), &v, 0), vec![0, 1, 2]);
+        assert_eq!(p.rank(&job(2), &v, 1), vec![1, 2, 0]);
+        assert_eq!(p.rank(&job(2), &v, 2), vec![2, 0, 1]);
+        assert_eq!(p.rank(&job(2), &v, 3), vec![0, 1, 2], "wraps");
+        // Repeated calls with the same seq agree (stateless).
+        assert_eq!(p.rank(&job(2), &v, 7), p.rank(&job(2), &v, 7));
+    }
+
+    #[test]
+    fn least_loaded_ties_break_toward_lowest_id() {
+        // All idle → identity order (lexicographic convention).
+        let owned = states(&[0, 0, 0]);
+        let p = LeastLoadedPolicy;
+        assert_eq!(
+            p.rank(&job(2), &views(&owned, &[None; 3]), 0),
+            vec![0, 1, 2]
+        );
+        // Shard 0 busiest → 1 and 2 tie, lowest id first.
+        let owned = states(&[4, 2, 2]);
+        assert_eq!(
+            p.rank(&job(2), &views(&owned, &[None; 3]), 0),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn least_loaded_is_labeling_invariant() {
+        // Permuting which shard id carries which load permutes the
+        // ranking identically: the decision follows the *state*, not the
+        // label. (The same states under swapped ids produce the swapped
+        // ranking.)
+        let p = LeastLoadedPolicy;
+        let fwd = states(&[6, 0, 3]);
+        let rev = states(&[3, 0, 6]);
+        let rank_fwd = p.rank(&job(1), &views(&fwd, &[None; 3]), 0);
+        let rank_rev = p.rank(&job(1), &views(&rev, &[None; 3]), 0);
+        // fwd loads (6,0,3) → order 1,2,0 ; rev loads (3,0,6) → 1,0,2.
+        assert_eq!(rank_fwd, vec![1, 2, 0]);
+        assert_eq!(rank_rev, vec![1, 0, 2]);
+        // The permutation π = (0↔2) maps one ranking to the other.
+        let mapped: Vec<usize> = rank_fwd.iter().map(|&s| [2, 1, 0][s]).collect();
+        assert_eq!(mapped, rank_rev);
+    }
+
+    #[test]
+    fn least_loaded_normalizes_by_machine_size() {
+        // 4 busy of 16 (DGX-2, 25%) is *less* loaded than 4 busy of 8
+        // (DGX-1, 50%) even though absolute busy counts are equal.
+        let dgx2 = machines::dgx2();
+        let mut s2 = HardwareState::new(dgx2.clone());
+        s2.allocate(1, &[0, 1, 2, 3]).unwrap();
+        let dgx1 = machines::dgx1_v100();
+        let mut s1 = HardwareState::new(dgx1.clone());
+        s1.allocate(1, &[0, 1, 2, 3]).unwrap();
+        let owned = vec![(dgx1, s1), (dgx2, s2)];
+        let v = views(&owned, &[None, None]);
+        assert_eq!(LeastLoadedPolicy.rank(&job(2), &v, 0), vec![1, 0]);
+    }
+
+    #[test]
+    fn best_score_prefers_high_scores_and_breaks_ties_low_id() {
+        let owned = states(&[0, 0, 0, 0]);
+        let p = BestScorePolicy;
+        assert!(p.needs_scores());
+        // Scores: shard1 best, shards 0 and 3 tie, shard2 cannot place.
+        let v = views(&owned, &[Some(40.0), Some(48.0), None, Some(40.0)]);
+        assert_eq!(p.rank(&job(2), &v, 0), vec![1, 0, 3, 2]);
+        // All equal → identity order.
+        let v = views(&owned, &[Some(40.0); 4]);
+        assert_eq!(p.rank(&job(2), &v, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pack_first_prefers_fullest_and_breaks_ties_low_id() {
+        let p = PackFirstPolicy;
+        let owned = states(&[2, 6, 2]);
+        assert_eq!(
+            p.rank(&job(2), &views(&owned, &[None; 3]), 0),
+            vec![1, 0, 2]
+        );
+        // All idle → identity order.
+        let owned = states(&[0, 0, 0]);
+        assert_eq!(
+            p.rank(&job(2), &views(&owned, &[None; 3]), 0),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn by_name_resolves_every_documented_policy() {
+        for name in SERVER_POLICY_NAMES {
+            let p = server_policy_by_name(name).expect(name);
+            assert_eq!(p.name(), name);
+        }
+        assert!(server_policy_by_name("BEST-SCORE").is_some(), "case folds");
+        assert!(server_policy_by_name("nope").is_none());
+    }
+}

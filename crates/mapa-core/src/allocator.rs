@@ -198,30 +198,27 @@ impl MapaAllocator {
         &self.model
     }
 
+    /// The subgraph matcher in use (see [`MapaAllocator::set_matcher`]).
+    #[must_use]
+    pub fn matcher(&self) -> &Matcher {
+        &self.matcher
+    }
+
     /// The active policy's name.
     #[must_use]
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
     }
 
-    /// Attempts to place `job`. Returns `Ok(None)` when the machine lacks
-    /// free GPUs for it right now (the caller should retry after a
-    /// deallocation, as the FIFO queue of Fig. 14 does).
-    ///
-    /// # Errors
-    /// [`AllocatorError::InvalidRequest`] for impossible requests;
-    /// [`AllocatorError::State`] if the job id is already active.
-    pub fn try_allocate(
-        &mut self,
-        job: &JobSpec,
-    ) -> Result<Option<AllocationOutcome>, AllocatorError> {
+    /// Runs the policy's selection for `job` against the current occupancy
+    /// (through the allocation cache when enabled) without touching state.
+    fn select_for(&mut self, job: &JobSpec) -> Result<Option<Vec<usize>>, AllocatorError> {
         if job.num_gpus == 0 || job.num_gpus > self.topology.gpu_count() {
             return Err(AllocatorError::InvalidRequest {
                 requested: job.num_gpus,
                 machine: self.topology.gpu_count(),
             });
         }
-        let started = Instant::now();
         let ctx = PolicyContext {
             topology: &self.topology,
             state: &self.state,
@@ -233,7 +230,7 @@ impl MapaAllocator {
         // Fast path: answer from the allocation cache when the exact
         // (pattern, sensitivity, machine, occupancy) decision was already
         // made. Oversized patterns yield no key and bypass the cache.
-        let selection = match self.cache.as_mut() {
+        Ok(match self.cache.as_mut() {
             Some(cache) => {
                 match cache.key_for(job, self.topology.name(), self.state.occupancy_signature()) {
                     Some(key) => match cache.get(&key) {
@@ -248,8 +245,44 @@ impl MapaAllocator {
                 }
             }
             None => self.policy.select(job, &ctx),
+        })
+    }
+
+    /// Previews the placement `try_allocate` would make for `job` right
+    /// now — the selected GPU set and its scores — without transitioning
+    /// state. The preview goes through the allocation cache exactly like
+    /// a real allocation, so a cluster-level server-selection stage can
+    /// score every shard's would-be placement cheaply and the winning
+    /// shard's subsequent `try_allocate` is a guaranteed cache hit.
+    ///
+    /// Returns `Ok(None)` when the policy cannot place the job right now.
+    ///
+    /// # Errors
+    /// [`AllocatorError::InvalidRequest`] for impossible requests.
+    pub fn peek(
+        &mut self,
+        job: &JobSpec,
+    ) -> Result<Option<(Vec<usize>, MatchScore)>, AllocatorError> {
+        let Some(gpus) = self.select_for(job)? else {
+            return Ok(None);
         };
-        let Some(gpus) = selection else {
+        let score = self.score_allocation(job, &gpus);
+        Ok(Some((gpus, score)))
+    }
+
+    /// Attempts to place `job`. Returns `Ok(None)` when the machine lacks
+    /// free GPUs for it right now (the caller should retry after a
+    /// deallocation, as the FIFO queue of Fig. 14 does).
+    ///
+    /// # Errors
+    /// [`AllocatorError::InvalidRequest`] for impossible requests;
+    /// [`AllocatorError::State`] if the job id is already active.
+    pub fn try_allocate(
+        &mut self,
+        job: &JobSpec,
+    ) -> Result<Option<AllocationOutcome>, AllocatorError> {
+        let started = Instant::now();
+        let Some(gpus) = self.select_for(job)? else {
             return Ok(None);
         };
         // Score the chosen allocation before mutating state (preserved BW
@@ -486,6 +519,30 @@ mod tests {
         let stats = a.cache_stats().unwrap();
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn peek_previews_without_state_transition() {
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .with_config(AllocatorConfig::cached());
+        let j = job(1, 3, true);
+        let (gpus, score) = a.peek(&j).unwrap().expect("idle machine places");
+        assert_eq!(a.state().free_count(), 8, "peek must not allocate");
+        assert!(score.predicted_eff_bw > 0.0);
+        // The real allocation answers from the cache and picks the same
+        // GPUs the preview promised.
+        let out = a.try_allocate(&j).unwrap().unwrap();
+        assert_eq!(out.gpus, gpus);
+        assert_eq!(out.score, score);
+        let stats = a.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1, "peek primed the cache for the allocation");
+        // Once the machine is full for this size, peek reports None.
+        a.try_allocate(&job(2, 5, true)).unwrap().unwrap();
+        assert_eq!(a.peek(&job(3, 2, true)).unwrap(), None);
+        assert!(matches!(
+            a.peek(&job(4, 9, true)),
+            Err(AllocatorError::InvalidRequest { .. })
+        ));
     }
 
     #[test]

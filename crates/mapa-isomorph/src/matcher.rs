@@ -119,7 +119,10 @@ impl Matcher {
         }
     }
 
-    /// The worker pool backing parallel enumeration, if any.
+    /// The worker pool backing parallel enumeration, if any. Exposed so
+    /// callers can verify pool sharing (e.g. every shard of a cluster
+    /// matching on one `Arc`'d pool) or hand the same pool to further
+    /// matchers.
     #[must_use]
     pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
         self.pool.as_ref()

@@ -1,8 +1,18 @@
 //! The simulation engine: dispatcher, FIFO queue, execution, logging.
+//!
+//! The engine is generic over a [`SchedulerBackend`] — the stage that
+//! answers "place this job now?" — so the same dispatcher, queue, and
+//! event loop drive one multi-GPU server ([`SingleServer`], the paper's
+//! Fig. 14 setting) or a whole fleet of them (`mapa-cluster`'s sharded
+//! `Cluster`, which prepends a server-selection stage). Jobs reach the
+//! dispatcher as a *stream* ([`Engine::run_stream`]): arrivals are
+//! scheduled one ahead of the event loop, so a bounded ingestion channel
+//! can feed the simulation without materializing the whole job file.
 
 use crate::event::{EventKind, EventQueue};
 use crate::stats::{self, SchedulingStats};
 use mapa_core::policy::AllocationPolicy;
+use mapa_core::scoring::MatchScore;
 use mapa_core::{fragmentation, AllocatorConfig, CacheStats, MapaAllocator};
 use mapa_interconnect::effbw;
 use mapa_isomorph::Matcher;
@@ -32,6 +42,87 @@ pub enum ArrivalProcess {
         /// RNG seed for the exponential draws.
         seed: u64,
     },
+    /// Skewed load: jobs arrive in bursts of `size` simultaneous
+    /// submissions, bursts separated by `gap` seconds — the diurnal-spike
+    /// shape cluster front ends see, and the worst case for a
+    /// server-selection stage (every burst must spread well).
+    Bursts {
+        /// Jobs per burst (at least 1).
+        size: usize,
+        /// Seconds between consecutive bursts.
+        gap: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Submission times for `n` jobs, non-decreasing.
+    #[cfg(test)]
+    fn submission_times(self, n: usize) -> Vec<f64> {
+        let mut clock = ArrivalClock::new(self);
+        (0..n).map(|_| clock.next_time()).collect()
+    }
+}
+
+/// Stateful arrival-time sampler: yields the submission time of the next
+/// job each call, so arrivals can be scheduled incrementally as jobs
+/// stream in (no job count needed upfront).
+struct ArrivalClock {
+    process: ArrivalProcess,
+    index: usize,
+    last: f64,
+    rng: Option<rand::rngs::StdRng>,
+}
+
+impl ArrivalClock {
+    fn new(process: ArrivalProcess) -> Self {
+        let rng = match process {
+            ArrivalProcess::Uniform { gap } => {
+                assert!(gap >= 0.0 && gap.is_finite(), "gap must be non-negative");
+                None
+            }
+            ArrivalProcess::Poisson { mean_gap, seed } => {
+                assert!(
+                    mean_gap > 0.0 && mean_gap.is_finite(),
+                    "mean gap must be positive"
+                );
+                use rand::SeedableRng;
+                Some(rand::rngs::StdRng::seed_from_u64(seed))
+            }
+            ArrivalProcess::Bursts { size, gap } => {
+                assert!(size >= 1, "burst size must be at least 1");
+                assert!(
+                    gap >= 0.0 && gap.is_finite(),
+                    "burst gap must be non-negative"
+                );
+                None
+            }
+            ArrivalProcess::Batch => None,
+        };
+        Self {
+            process,
+            index: 0,
+            last: 0.0,
+            rng,
+        }
+    }
+
+    fn next_time(&mut self) -> f64 {
+        let t = match self.process {
+            ArrivalProcess::Batch => 0.0,
+            ArrivalProcess::Uniform { gap } => self.index as f64 * gap,
+            ArrivalProcess::Poisson { mean_gap, .. } => {
+                use rand::Rng;
+                let rng = self.rng.as_mut().expect("poisson clock owns an rng");
+                // Inverse-CDF exponential sample.
+                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                self.last + -mean_gap * u.ln()
+            }
+            ArrivalProcess::Bursts { size, gap } => (self.index / size) as f64 * gap,
+        };
+        self.index += 1;
+        self.last = t;
+        t
+    }
 }
 
 /// Engine configuration.
@@ -51,9 +142,9 @@ pub struct SimConfig {
     /// custom policies that consult inputs outside the cache key (e.g.
     /// `job.workload` or `job.id`).
     pub cached: bool,
-    /// Matcher the allocator should use, e.g. one backed by a worker pool
-    /// shared across several simulations (`Matcher::with_pool`). `None`
-    /// keeps the allocator's own matcher.
+    /// Matcher the backend's allocator(s) should use, e.g. one backed by
+    /// a worker pool shared across several simulations
+    /// (`Matcher::with_pool`). `None` keeps the backend's own matcher(s).
     pub matcher: Option<Matcher>,
 }
 
@@ -68,33 +159,176 @@ impl Default for SimConfig {
     }
 }
 
-impl ArrivalProcess {
-    /// Submission times for `n` jobs, non-decreasing.
-    fn submission_times(self, n: usize) -> Vec<f64> {
-        match self {
-            ArrivalProcess::Batch => vec![0.0; n],
-            ArrivalProcess::Uniform { gap } => {
-                assert!(gap >= 0.0 && gap.is_finite(), "gap must be non-negative");
-                (0..n).map(|i| i as f64 * gap).collect()
-            }
-            ArrivalProcess::Poisson { mean_gap, seed } => {
-                assert!(
-                    mean_gap > 0.0 && mean_gap.is_finite(),
-                    "mean gap must be positive"
-                );
-                use rand::{Rng, SeedableRng};
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-                let mut t = 0.0;
-                (0..n)
-                    .map(|_| {
-                        // Inverse-CDF exponential sample.
-                        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-                        t += -mean_gap * u.ln();
-                        t
-                    })
-                    .collect()
+/// A placement decision produced by a [`SchedulerBackend`]: which server
+/// took the job, which of its GPUs, the decision's scores, and how long
+/// the whole decision (server selection included, for a cluster) took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Index of the server that accepted the job (always 0 for
+    /// [`SingleServer`]).
+    pub server: usize,
+    /// Physical GPUs assigned on that server, ascending.
+    pub gpus: Vec<usize>,
+    /// Scores of the selected match (Eq. 1–3 + link mix).
+    pub score: MatchScore,
+    /// Wall-clock time the decision took — the §5.4 scheduling overhead,
+    /// extended with the server-selection stage when one runs.
+    pub scheduling_overhead: Duration,
+}
+
+/// The stage the event engine delegates placement to: one server or a
+/// sharded cluster. Implementations own all allocator state; the engine
+/// owns time, the queue, and the log.
+pub trait SchedulerBackend {
+    /// Label for the report's machine column ("DGX-1 V100", "4× DGX-1
+    /// V100", …).
+    fn label(&self) -> String;
+
+    /// Label for the report's policy column ("Preserve",
+    /// "least-loaded/Preserve", …).
+    fn policy_label(&self) -> String;
+
+    /// Number of servers behind this backend.
+    fn server_count(&self) -> usize;
+
+    /// Topology of server `server` (panics on an invalid index).
+    fn server_topology(&self, server: usize) -> &Topology;
+
+    /// Cache counters of server `server`, if that server caches.
+    fn server_cache_stats(&self, server: usize) -> Option<CacheStats>;
+
+    /// The largest job any server could ever host (admission bound).
+    fn max_job_gpus(&self) -> usize;
+
+    /// Free GPUs summed over every server — used to distinguish "cluster
+    /// is full" from "capacity exists but is fragmented across servers".
+    fn total_free_gpus(&self) -> usize;
+
+    /// Applies the engine configuration (cache toggle, shared matcher)
+    /// before a run.
+    fn configure(&mut self, config: &SimConfig);
+
+    /// Attempts to place `job` now; `None` means "retry after a release"
+    /// (the FIFO queue's normal blocking), never an error — impossible
+    /// requests are rejected by the engine upfront via [`Self::max_job_gpus`].
+    fn try_place(&mut self, job: &JobSpec) -> Option<Placement>;
+
+    /// Releases a finished job's GPUs on the server that placed it.
+    fn release(&mut self, server: usize, job: u64);
+
+    /// Aggregated cache counters over every server; `None` when no server
+    /// caches.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        let mut total: Option<CacheStats> = None;
+        for s in 0..self.server_count() {
+            if let Some(c) = self.server_cache_stats(s) {
+                let t = total.get_or_insert_with(CacheStats::default);
+                t.hits += c.hits;
+                t.misses += c.misses;
+                t.insertions += c.insertions;
+                t.evictions += c.evictions;
             }
         }
+        total
+    }
+}
+
+/// Applies a [`SimConfig`]'s matcher/cache settings to one allocator —
+/// the per-server half of [`SchedulerBackend::configure`], shared by
+/// [`SingleServer`] and multi-server backends (`mapa-cluster` applies it
+/// to every shard) so the two paths cannot drift apart.
+pub fn configure_allocator(allocator: &mut MapaAllocator, config: &SimConfig) {
+    if let Some(matcher) = config.matcher.clone() {
+        allocator.set_matcher(matcher);
+    }
+    if !config.cached {
+        allocator.apply_config(&AllocatorConfig::default());
+    } else if allocator.cache_stats().is_none() {
+        // Enable at the default capacity; an allocator that arrived with
+        // its own cache (possibly custom sized) is left untouched.
+        allocator.apply_config(&AllocatorConfig::cached());
+    }
+}
+
+/// The paper's setting: one machine behind one [`MapaAllocator`].
+pub struct SingleServer {
+    allocator: MapaAllocator,
+}
+
+impl SingleServer {
+    /// Wraps `topology` + `policy` in a fresh allocator.
+    #[must_use]
+    pub fn new(topology: Topology, policy: Box<dyn AllocationPolicy>) -> Self {
+        Self {
+            allocator: MapaAllocator::new(topology, policy),
+        }
+    }
+
+    /// Wraps a pre-built allocator (custom model or matcher).
+    #[must_use]
+    pub fn from_allocator(allocator: MapaAllocator) -> Self {
+        Self { allocator }
+    }
+
+    /// The wrapped allocator.
+    #[must_use]
+    pub fn allocator(&self) -> &MapaAllocator {
+        &self.allocator
+    }
+}
+
+impl SchedulerBackend for SingleServer {
+    fn label(&self) -> String {
+        self.allocator.topology().name().to_string()
+    }
+
+    fn policy_label(&self) -> String {
+        self.allocator.policy_name().to_string()
+    }
+
+    fn server_count(&self) -> usize {
+        1
+    }
+
+    fn server_topology(&self, server: usize) -> &Topology {
+        assert_eq!(server, 0, "single server has exactly one shard");
+        self.allocator.topology()
+    }
+
+    fn server_cache_stats(&self, server: usize) -> Option<CacheStats> {
+        assert_eq!(server, 0, "single server has exactly one shard");
+        self.allocator.cache_stats()
+    }
+
+    fn max_job_gpus(&self) -> usize {
+        self.allocator.topology().gpu_count()
+    }
+
+    fn total_free_gpus(&self) -> usize {
+        self.allocator.state().free_count()
+    }
+
+    fn configure(&mut self, config: &SimConfig) {
+        configure_allocator(&mut self.allocator, config);
+    }
+
+    fn try_place(&mut self, job: &JobSpec) -> Option<Placement> {
+        self.allocator
+            .try_allocate(job)
+            .expect("job sizes pre-validated")
+            .map(|outcome| Placement {
+                server: 0,
+                gpus: outcome.gpus,
+                score: outcome.score,
+                scheduling_overhead: outcome.scheduling_overhead,
+            })
+    }
+
+    fn release(&mut self, server: usize, job: u64) {
+        assert_eq!(server, 0, "single server has exactly one shard");
+        self.allocator
+            .release(job)
+            .expect("running job is allocated");
     }
 }
 
@@ -104,7 +338,9 @@ impl ArrivalProcess {
 pub struct JobRecord {
     /// The job as submitted.
     pub job: JobSpec,
-    /// Physical GPUs it ran on.
+    /// Index of the server that ran it (0 in a single-server simulation).
+    pub server: usize,
+    /// Physical GPUs it ran on (ids local to its server).
     pub gpus: Vec<usize>,
     /// Simulated submission time (0 for a batch job file).
     pub submitted_at: f64,
@@ -132,12 +368,51 @@ pub struct JobRecord {
     pub scheduling_overhead: Duration,
 }
 
+/// Per-server statistics of a run (one entry per shard; a single-server
+/// report has exactly one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Server index.
+    pub server: usize,
+    /// Machine name of this shard.
+    pub machine: String,
+    /// GPUs in this shard.
+    pub gpu_count: usize,
+    /// Jobs this shard ran to completion.
+    pub jobs_completed: usize,
+    /// GPU-seconds of work executed on this shard.
+    pub gpu_seconds: f64,
+    /// `gpu_seconds / (gpu_count × makespan)` — the shard's utilization
+    /// over the whole run (0 when the makespan is 0).
+    pub utilization: f64,
+    /// The shard's allocation-cache counters, when it caches.
+    pub cache: Option<CacheStats>,
+}
+
+/// Dispatcher-queue statistics of a run, sampled after every event.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueueStats {
+    /// Largest queue depth observed.
+    pub max_depth: usize,
+    /// Mean queue depth over all event samples.
+    pub mean_depth: f64,
+    /// Dispatch attempts that left a job blocked in the queue.
+    pub dispatch_blocks: u64,
+    /// Blocked dispatch attempts where the backend's *total* free GPUs
+    /// would have fit the job — capacity existed but was unusable. On a
+    /// cluster this counts cross-server fragmentation (no single shard
+    /// could host a job the pooled free GPUs would fit); on a single
+    /// server it is 0 for the built-in policies (complete hardware
+    /// graphs place any sufficiently small job).
+    pub fragmentation_blocks: u64,
+}
+
 /// The output of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
-    /// Machine name.
+    /// Machine (or fleet) name.
     pub topology_name: String,
-    /// Policy name.
+    /// Policy name (server policy + allocation policy for a cluster).
     pub policy_name: String,
     /// Per-job records in completion order.
     pub records: Vec<JobRecord>,
@@ -146,8 +421,13 @@ pub struct SimReport {
     /// Jobs completed per hour of simulated time (Table 3's throughput,
     /// up to normalization).
     pub throughput_jobs_per_hour: f64,
-    /// Allocation-cache counters, when the engine ran with caching on.
+    /// Allocation-cache counters aggregated over every server, when the
+    /// engine ran with caching on.
     pub cache: Option<CacheStats>,
+    /// Per-server statistics (one entry per shard).
+    pub shards: Vec<ShardStats>,
+    /// Dispatcher-queue statistics.
+    pub queue: QueueStats,
 }
 
 impl SimReport {
@@ -193,19 +473,39 @@ impl SimReport {
     }
 }
 
-/// The Fig. 14 simulator: a machine, a policy, a FIFO queue, and an
-/// event-driven execution engine.
-pub struct Simulation {
-    allocator: MapaAllocator,
+/// The event engine of Fig. 14, generic over its placement stage: a FIFO
+/// queue, a discrete-event execution engine, and a [`SchedulerBackend`]
+/// (one server, or a cluster front end).
+pub struct Engine<B: SchedulerBackend> {
+    backend: B,
     config: SimConfig,
 }
 
-impl Simulation {
-    /// Creates a simulation over `topology` driven by `policy`.
+/// The Fig. 14 simulator: the engine over a [`SingleServer`].
+pub type Simulation = Engine<SingleServer>;
+
+impl Engine<SingleServer> {
+    /// Creates a single-server simulation over `topology` driven by
+    /// `policy`.
     #[must_use]
     pub fn new(topology: Topology, policy: Box<dyn AllocationPolicy>) -> Self {
+        Engine::over(SingleServer::new(topology, policy))
+    }
+
+    /// Uses a pre-built allocator (custom model or matcher).
+    #[must_use]
+    pub fn from_allocator(allocator: MapaAllocator) -> Self {
+        Engine::over(SingleServer::from_allocator(allocator))
+    }
+}
+
+impl<B: SchedulerBackend> Engine<B> {
+    /// Wraps any placement backend (a `mapa-cluster` fleet, a custom
+    /// admission stage, …) in the event engine.
+    #[must_use]
+    pub fn over(backend: B) -> Self {
         Self {
-            allocator: MapaAllocator::new(topology, policy),
+            backend,
             config: SimConfig::default(),
         }
     }
@@ -217,72 +517,95 @@ impl Simulation {
         self
     }
 
-    /// Uses a pre-built allocator (custom model or matcher).
+    /// The placement backend.
     #[must_use]
-    pub fn from_allocator(allocator: MapaAllocator) -> Self {
-        Self {
-            allocator,
-            config: SimConfig::default(),
-        }
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
-    /// Runs `jobs` (all submitted at t = 0, in order) to completion and
-    /// returns the report.
+    /// Runs `jobs` (submitted per the configured arrival process, in
+    /// order) to completion and returns the report.
     ///
     /// # Panics
-    /// Panics if a job can *never* be placed (requests more GPUs than the
-    /// machine has) — validate job files against the machine first.
+    /// Panics if a job can *never* be placed (requests more GPUs than any
+    /// server has) — validate job files against the machines first.
     #[must_use]
-    pub fn run(mut self, jobs: &[JobSpec]) -> SimReport {
-        // Thread the configured fast path into the allocator: a shared
-        // matcher (worker pool) and the allocation cache.
-        if let Some(matcher) = self.config.matcher.take() {
-            self.allocator.set_matcher(matcher);
-        }
-        if !self.config.cached {
-            self.allocator.apply_config(&AllocatorConfig::default());
-        } else if self.allocator.cache_stats().is_none() {
-            // Enable at the default capacity; an allocator that arrived
-            // via `from_allocator` with its own cache (possibly custom
-            // sized) is left untouched.
-            self.allocator.apply_config(&AllocatorConfig::cached());
-        }
-        let machine_size = self.allocator.topology().gpu_count();
-        for j in jobs {
-            assert!(
-                j.num_gpus >= 1 && j.num_gpus <= machine_size,
-                "job {} requests {} GPUs on a {}-GPU machine",
-                j.id,
-                j.num_gpus,
-                machine_size
-            );
+    pub fn run(self, jobs: &[JobSpec]) -> SimReport {
+        self.run_stream(jobs.iter().cloned())
+    }
+
+    /// Runs a *stream* of jobs to completion. Jobs are pulled from the
+    /// iterator one at a time, exactly when the next arrival must be
+    /// scheduled — so a bounded ingestion channel (e.g. `mapa-cluster`'s
+    /// `JobFeed`) drives the simulation with backpressure instead of a
+    /// pre-materialized job vector.
+    ///
+    /// # Panics
+    /// As [`Engine::run`]; job sizes are validated as they arrive.
+    #[must_use]
+    pub fn run_stream(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> SimReport {
+        self.backend.configure(&self.config);
+        let max_gpus = self.backend.max_job_gpus();
+
+        let mut source = jobs.into_iter();
+        let mut clock = ArrivalClock::new(self.config.arrivals);
+        let mut events = EventQueue::new();
+        // Arrival events carry an ordinal; the jobs themselves wait in
+        // `incoming` (arrivals fire in scheduling order: times are
+        // non-decreasing and the heap breaks ties by sequence number).
+        let mut incoming: VecDeque<JobSpec> = VecDeque::new();
+        let mut arrivals = 0usize;
+        if let Some(job) = source.next() {
+            events.push(clock.next_time(), EventKind::JobArrival(arrivals));
+            incoming.push_back(job);
+            arrivals += 1;
         }
 
-        let topology = self.allocator.topology().clone();
-        let submitted = self.config.arrivals.submission_times(jobs.len());
-        let mut queue: VecDeque<(&JobSpec, f64)> = VecDeque::new();
-        let mut events = EventQueue::new();
-        for (idx, &t) in submitted.iter().enumerate() {
-            events.push(t, EventKind::JobArrival(idx));
-        }
+        let mut queue: VecDeque<(JobSpec, f64)> = VecDeque::new();
         let mut running: HashMap<u64, PendingRecord> = HashMap::new();
-        let mut records: Vec<JobRecord> = Vec::with_capacity(jobs.len());
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut depth_max = 0usize;
+        let mut depth_sum = 0u64;
+        let mut depth_samples = 0u64;
+        let mut blocks = 0u64;
+        let mut frag_blocks = 0u64;
 
         while let Some(ev) = events.pop() {
             let now = ev.time;
             match ev.kind {
-                EventKind::JobArrival(idx) => {
-                    queue.push_back((&jobs[idx], now));
+                EventKind::JobArrival(_) => {
+                    let job = incoming.pop_front().expect("arrival scheduled with a job");
+                    assert!(
+                        job.num_gpus >= 1 && job.num_gpus <= max_gpus,
+                        "job {} requests {} GPUs on a {}-GPU machine",
+                        job.id,
+                        job.num_gpus,
+                        max_gpus
+                    );
+                    queue.push_back((job, now));
+                    if let Some(next) = source.next() {
+                        events.push(clock.next_time(), EventKind::JobArrival(arrivals));
+                        incoming.push_back(next);
+                        arrivals += 1;
+                    }
                 }
                 EventKind::JobFinished(job_id) => {
                     let pending = running.remove(&job_id).expect("finish for running job");
-                    self.allocator
-                        .release(job_id)
-                        .expect("running job is allocated");
+                    self.backend.release(pending.server, job_id);
                     records.push(pending.into_record(now));
                 }
             }
-            self.dispatch(&topology, &mut queue, &mut events, &mut running, now);
+            self.dispatch(
+                &mut queue,
+                &mut events,
+                &mut running,
+                now,
+                &mut blocks,
+                &mut frag_blocks,
+            );
+            depth_max = depth_max.max(queue.len());
+            depth_sum += queue.len() as u64;
+            depth_samples += 1;
         }
 
         assert!(queue.is_empty(), "all jobs must eventually run");
@@ -295,33 +618,67 @@ impl Simulation {
         } else {
             0.0
         };
+        let mut shards: Vec<ShardStats> = (0..self.backend.server_count())
+            .map(|s| {
+                let topo = self.backend.server_topology(s);
+                ShardStats {
+                    server: s,
+                    machine: topo.name().to_string(),
+                    gpu_count: topo.gpu_count(),
+                    jobs_completed: 0,
+                    gpu_seconds: 0.0,
+                    utilization: 0.0,
+                    cache: self.backend.server_cache_stats(s),
+                }
+            })
+            .collect();
+        for r in &records {
+            let shard = &mut shards[r.server];
+            shard.jobs_completed += 1;
+            shard.gpu_seconds += r.execution_seconds * r.gpus.len() as f64;
+        }
+        if makespan > 0.0 {
+            for shard in &mut shards {
+                shard.utilization = shard.gpu_seconds / (shard.gpu_count as f64 * makespan);
+            }
+        }
+        let queue_stats = QueueStats {
+            max_depth: depth_max,
+            mean_depth: if depth_samples > 0 {
+                depth_sum as f64 / depth_samples as f64
+            } else {
+                0.0
+            },
+            dispatch_blocks: blocks,
+            fragmentation_blocks: frag_blocks,
+        };
         SimReport {
-            topology_name: topology.name().to_string(),
-            policy_name: self.allocator.policy_name().to_string(),
+            topology_name: self.backend.label(),
+            policy_name: self.backend.policy_label(),
             records,
             makespan_seconds: makespan,
             throughput_jobs_per_hour: throughput,
-            cache: self.allocator.cache_stats(),
+            cache: self.backend.cache_stats(),
+            shards,
+            queue: queue_stats,
         }
     }
 
     fn dispatch(
         &mut self,
-        topology: &Topology,
-        queue: &mut VecDeque<(&JobSpec, f64)>,
+        queue: &mut VecDeque<(JobSpec, f64)>,
         events: &mut EventQueue,
         running: &mut HashMap<u64, PendingRecord>,
         now: f64,
+        blocks: &mut u64,
+        frag_blocks: &mut u64,
     ) {
-        let mut skipped: VecDeque<(&JobSpec, f64)> = VecDeque::new();
+        let mut skipped: VecDeque<(JobSpec, f64)> = VecDeque::new();
         while let Some((job, submitted_at)) = queue.pop_front() {
-            match self
-                .allocator
-                .try_allocate(job)
-                .expect("job sizes pre-validated")
-            {
-                Some(outcome) => {
-                    let workload_bw = perf::workload_effbw(job.workload, topology, &outcome.gpus);
+            match self.backend.try_place(&job) {
+                Some(p) => {
+                    let topology = self.backend.server_topology(p.server);
+                    let workload_bw = perf::workload_effbw(job.workload, topology, &p.gpus);
                     let iter_time =
                         perf::iteration_time_with_effbw(job.workload, job.num_gpus, workload_bw);
                     let exec = iter_time * job.iterations as f64;
@@ -330,24 +687,28 @@ impl Simulation {
                     running.insert(
                         job.id,
                         PendingRecord {
-                            job: job.clone(),
-                            gpus: outcome.gpus.clone(),
+                            server: p.server,
+                            gpus: p.gpus.clone(),
                             submitted_at,
                             started_at: now,
                             execution_seconds: exec,
-                            predicted_eff_bw: outcome.score.predicted_eff_bw,
-                            measured_eff_bw: effbw::measure(topology, &outcome.gpus),
+                            predicted_eff_bw: p.score.predicted_eff_bw,
+                            measured_eff_bw: effbw::measure(topology, &p.gpus),
                             workload_eff_bw: workload_bw,
-                            aggregated_bw: outcome.score.aggregated_bw,
+                            aggregated_bw: p.score.aggregated_bw,
                             allocation_quality: fragmentation::allocation_quality(
-                                topology,
-                                &outcome.gpus,
+                                topology, &p.gpus,
                             ),
-                            scheduling_overhead: outcome.scheduling_overhead,
+                            scheduling_overhead: p.scheduling_overhead,
+                            job,
                         },
                     );
                 }
                 None => {
+                    *blocks += 1;
+                    if self.backend.total_free_gpus() >= job.num_gpus {
+                        *frag_blocks += 1;
+                    }
                     if self.config.strict_fifo {
                         queue.push_front((job, submitted_at));
                         break;
@@ -365,6 +726,7 @@ impl Simulation {
 
 struct PendingRecord {
     job: JobSpec,
+    server: usize,
     gpus: Vec<usize>,
     submitted_at: f64,
     started_at: f64,
@@ -386,6 +748,7 @@ impl PendingRecord {
             finished_at,
             execution_seconds: self.execution_seconds,
             job: self.job,
+            server: self.server,
             gpus: self.gpus,
             predicted_eff_bw: self.predicted_eff_bw,
             measured_eff_bw: self.measured_eff_bw,
@@ -422,6 +785,7 @@ mod tests {
         assert_eq!(report.records.len(), 1);
         let r = &report.records[0];
         assert_eq!(r.started_at, 0.0);
+        assert_eq!(r.server, 0, "single-server records run on shard 0");
         assert!(r.execution_seconds > 0.0);
         assert_eq!(r.finished_at, r.execution_seconds);
         assert_eq!(report.makespan_seconds, r.finished_at);
@@ -448,6 +812,11 @@ mod tests {
         let second = report.records.iter().find(|r| r.job.id == 2).unwrap();
         assert_eq!(second.started_at, first.finished_at);
         assert!(second.queue_wait_seconds > 0.0);
+        assert!(report.queue.dispatch_blocks > 0);
+        assert_eq!(
+            report.queue.fragmentation_blocks, 0,
+            "a single complete-graph server never fragments"
+        );
     }
 
     #[test]
@@ -463,6 +832,7 @@ mod tests {
         let j3 = report.records.iter().find(|r| r.job.id == 3).unwrap();
         // Job 3 cannot jump ahead of job 2 under strict FIFO.
         assert!(j3.started_at >= j2.started_at);
+        assert!(report.queue.max_depth >= 2);
     }
 
     #[test]
@@ -498,6 +868,11 @@ mod tests {
             for r in &report.records {
                 assert_eq!(r.gpus.len(), r.job.num_gpus, "{name}");
             }
+            // The single shard accounts for every completed job.
+            assert_eq!(report.shards.len(), 1, "{name}");
+            assert_eq!(report.shards[0].jobs_completed, 300, "{name}");
+            assert!(report.shards[0].utilization > 0.0, "{name}");
+            assert!(report.shards[0].utilization <= 1.0 + 1e-9, "{name}");
         }
     }
 
@@ -561,6 +936,13 @@ mod tests {
         for w in report.records.windows(2) {
             assert!(w[1].finished_at >= w[0].finished_at);
         }
+        // Shard accounting matches the records.
+        let gpu_seconds: f64 = report
+            .records
+            .iter()
+            .map(|r| r.execution_seconds * r.gpus.len() as f64)
+            .sum();
+        assert!((report.shards[0].gpu_seconds - gpu_seconds).abs() < 1e-6);
     }
 
     #[test]
@@ -622,6 +1004,35 @@ mod tests {
     }
 
     #[test]
+    fn burst_arrivals_group_submissions() {
+        let times = ArrivalProcess::Bursts {
+            size: 3,
+            gap: 500.0,
+        }
+        .submission_times(8);
+        assert_eq!(
+            times,
+            vec![0.0, 0.0, 0.0, 500.0, 500.0, 500.0, 1000.0, 1000.0]
+        );
+        // And the engine honors them end to end.
+        let jobs: Vec<JobSpec> = (0..6).map(|i| job(i + 1, 1, Workload::Gmm, 10)).collect();
+        let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .with_config(SimConfig {
+                arrivals: ArrivalProcess::Bursts {
+                    size: 3,
+                    gap: 500.0,
+                },
+                ..SimConfig::default()
+            })
+            .run(&jobs);
+        let mut by_id = report.records.clone();
+        by_id.sort_by_key(|r| r.job.id);
+        for (i, r) in by_id.iter().enumerate() {
+            assert_eq!(r.submitted_at, (i / 3) as f64 * 500.0, "{r:?}");
+        }
+    }
+
+    #[test]
     fn poisson_arrivals_run_all_jobs_with_queue_accounting() {
         let jobs = generator::paper_job_mix(5);
         let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
@@ -639,6 +1050,8 @@ mod tests {
             assert!(r.started_at >= r.submitted_at - 1e-9);
             assert!((r.queue_wait_seconds - (r.started_at - r.submitted_at)).abs() < 1e-9);
         }
+        assert!(report.queue.mean_depth >= 0.0);
+        assert!(report.queue.max_depth as f64 >= report.queue.mean_depth);
     }
 
     #[test]
@@ -682,6 +1095,8 @@ mod tests {
         assert!(sched.latency_ms.p50 >= 0.0);
         assert_eq!(sched.cache_hit_rate(), cache.hit_rate());
         assert_eq!(report.scheduling_latencies_ms().len(), 80);
+        // Single-shard cache counters equal the aggregate.
+        assert_eq!(report.shards[0].cache, Some(cache));
     }
 
     #[test]
@@ -708,6 +1123,22 @@ mod tests {
                 assert_eq!(a.started_at, b.started_at, "{name}");
                 assert_eq!(a.finished_at, b.finished_at, "{name}");
             }
+        }
+    }
+
+    #[test]
+    fn run_stream_equals_run_on_the_same_jobs() {
+        let jobs = generator::paper_job_mix(21);
+        let slice =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..70]);
+        let streamed = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .run_stream(jobs[..70].iter().cloned());
+        assert_eq!(slice.records.len(), streamed.records.len());
+        for (a, b) in slice.records.iter().zip(&streamed.records) {
+            assert_eq!(a.job.id, b.job.id);
+            assert_eq!(a.gpus, b.gpus);
+            assert_eq!(a.started_at, b.started_at);
+            assert_eq!(a.finished_at, b.finished_at);
         }
     }
 
@@ -770,5 +1201,11 @@ mod tests {
             seed: 0,
         }
         .submission_times(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst size must be at least 1")]
+    fn bad_burst_config_panics() {
+        let _ = ArrivalProcess::Bursts { size: 0, gap: 1.0 }.submission_times(3);
     }
 }

@@ -18,6 +18,14 @@
 //! so allocation quality feeds back into execution time exactly as on the
 //! real machine.
 //!
+//! Beyond the paper, the engine is generic over its placement stage
+//! ([`SchedulerBackend`]): [`Simulation`] is the paper's single-server
+//! instantiation ([`Engine`]`<`[`SingleServer`]`>`), and `mapa-cluster`
+//! plugs a sharded multi-server fleet into the same dispatcher, queue,
+//! and event loop. Jobs can also be *streamed* in through
+//! [`Engine::run_stream`] (arrivals are scheduled one ahead), which is
+//! what the cluster crate's bounded ingestion channel feeds.
+//!
 //! # Example
 //!
 //! ```
@@ -43,4 +51,7 @@ pub mod logfile;
 pub mod stats;
 pub mod timeline;
 
-pub use engine::{ArrivalProcess, JobRecord, SimConfig, SimReport, Simulation};
+pub use engine::{
+    configure_allocator, ArrivalProcess, Engine, JobRecord, Placement, QueueStats,
+    SchedulerBackend, ShardStats, SimConfig, SimReport, Simulation, SingleServer,
+};

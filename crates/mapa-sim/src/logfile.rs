@@ -13,13 +13,15 @@ use std::fmt;
 
 /// Header of the extended log format.
 pub const LOG_HEADER: &str =
-    "ID, Allocation, Topology, Effective BW (GBps), Workload, Exec (s), Wait (s), Quality, Sched (ms)";
+    "ID, Allocation, Topology, Effective BW (GBps), Workload, Exec (s), Wait (s), Quality, Sched (ms), Server";
 
 /// Serializes a report into the Fig. 14 log format (extended columns).
-/// Each record carries its per-job scheduling latency (§5.4), and the
-/// trailer comments carry the run's allocation-cache counters — the same
-/// numbers [`SimReport::scheduling_stats`] aggregates, so log files and
-/// in-memory reports share one overhead-reporting path.
+/// Each record carries its per-job scheduling latency (§5.4) and the
+/// server that ran it; the trailer comments carry the run's
+/// allocation-cache counters, per-shard utilization, and dispatcher-queue
+/// statistics — the same numbers [`SimReport::scheduling_stats`] and
+/// [`SimReport::shards`] report, so log files and in-memory reports share
+/// one reporting path.
 #[must_use]
 pub fn write_log(report: &SimReport) -> String {
     let mut out = String::new();
@@ -32,7 +34,7 @@ pub fn write_log(report: &SimReport) -> String {
     for r in &report.records {
         let gpus: Vec<String> = r.gpus.iter().map(usize::to_string).collect();
         out.push_str(&format!(
-            "{}, ({}), {}, {:.2}, {}, {:.2}, {:.2}, {:.4}, {:.3}\n",
+            "{}, ({}), {}, {:.2}, {}, {:.2}, {:.2}, {:.4}, {:.3}, {}\n",
             r.job.id,
             gpus.join(","),
             r.job.topology,
@@ -42,6 +44,7 @@ pub fn write_log(report: &SimReport) -> String {
             r.queue_wait_seconds,
             r.allocation_quality,
             r.scheduling_overhead.as_secs_f64() * 1e3,
+            r.server,
         ));
     }
     if let Some(cache) = report.cache {
@@ -53,6 +56,19 @@ pub fn write_log(report: &SimReport) -> String {
             cache.hit_rate(),
         ));
     }
+    for s in &report.shards {
+        out.push_str(&format!(
+            "# shard {}: machine={} gpus={} jobs={} util={:.4}\n",
+            s.server, s.machine, s.gpu_count, s.jobs_completed, s.utilization,
+        ));
+    }
+    out.push_str(&format!(
+        "# queue: max_depth={} mean_depth={:.2} blocks={} frag_blocks={}\n",
+        report.queue.max_depth,
+        report.queue.mean_depth,
+        report.queue.dispatch_blocks,
+        report.queue.fragmentation_blocks,
+    ));
     out
 }
 
@@ -244,12 +260,18 @@ mod tests {
             text.contains(&format!("# cache: hits={}", cache.hits)),
             "cache counters recorded in the log trailer"
         );
-        // Each record line ends with its scheduling latency: 9 fields.
+        assert!(
+            text.contains("# shard 0: machine=DGX-1 V100"),
+            "per-shard trailer recorded"
+        );
+        assert!(text.contains("# queue: max_depth="), "queue trailer");
+        // Each record line carries latency and server: 10 fields.
         let record_line = text
             .lines()
             .find(|l| !l.starts_with('#') && !l.starts_with("ID"))
             .unwrap();
-        assert_eq!(record_line.split(", ").count(), 9, "{record_line}");
+        assert_eq!(record_line.split(", ").count(), 10, "{record_line}");
+        assert!(record_line.ends_with(", 0"), "single server logs shard 0");
         // Still parseable by the tolerant reader.
         assert_eq!(parse_log(&text).unwrap().len(), 40);
     }

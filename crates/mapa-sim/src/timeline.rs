@@ -175,6 +175,8 @@ mod tests {
             makespan_seconds: 0.0,
             throughput_jobs_per_hour: 0.0,
             cache: None,
+            shards: vec![],
+            queue: crate::QueueStats::default(),
         };
         let _ = utilization(&report, 8);
     }

@@ -172,6 +172,14 @@ impl HardwareState {
         self.topology.gpu_count() - self.free_count()
     }
 
+    /// Fraction of the machine's GPUs currently busy, in `[0, 1]` — the
+    /// size-normalized load metric cluster server-selection policies
+    /// compare across (possibly heterogeneous) machines.
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        self.busy_count() as f64 / self.topology.gpu_count().max(1) as f64
+    }
+
     /// True when no job holds any GPU.
     #[must_use]
     pub fn is_idle(&self) -> bool {
@@ -310,6 +318,16 @@ mod tests {
 
     fn state() -> HardwareState {
         HardwareState::new(machines::dgx1_v100())
+    }
+
+    #[test]
+    fn busy_fraction_tracks_occupancy() {
+        let mut s = state();
+        assert_eq!(s.busy_fraction(), 0.0);
+        s.allocate(1, &[0, 1, 2, 3]).unwrap();
+        assert!((s.busy_fraction() - 0.5).abs() < 1e-12);
+        s.deallocate(1).unwrap();
+        assert_eq!(s.busy_fraction(), 0.0);
     }
 
     #[test]

@@ -6,11 +6,18 @@
 //! mapa-sched generate --count 300 --seed 42     # emit a job file (CSV)
 //! mapa-sched simulate --machine dgx-1-v100 --policy preserve \
 //!                     --jobs jobs.csv [--backfill] [--no-cache] [--poisson GAP --seed S]
+//! mapa-sched simulate --machine dgx-1-v100 --servers 4 --server-policy least-loaded \
+//!                     --policy preserve --jobs jobs.csv [--json report.json]
 //! ```
 //!
 //! A topology can also be given as a file containing `nvidia-smi topo -m`
-//! output, which is how MAPA would attach to a real machine.
+//! output, which is how MAPA would attach to a real machine. With
+//! `--servers N` (or an explicit `--server-policy`) the job file is
+//! replayed against a sharded cluster of N copies of the machine: a
+//! server-selection policy picks the shard, the allocation policy picks
+//! the GPUs, and jobs stream in through the bounded ingestion channel.
 
+use mapa::cluster::{server_policy_by_name, Cluster, JobFeed, SERVER_POLICY_NAMES};
 use mapa::core::policy::{
     AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
     TopoAwarePolicy,
@@ -39,9 +46,13 @@ usage:
   mapa-sched topo <machine-or-matrix-file>
   mapa-sched generate [--count N] [--seed S]
   mapa-sched simulate --machine <name-or-file> --policy <name> --jobs <file>
-                      [--backfill] [--no-cache] [--poisson MEAN_GAP] [--seed S]
+                      [--servers N] [--server-policy <name>]
+                      [--backfill] [--no-cache] [--seed S]
+                      [--poisson MEAN_GAP | --burst SIZE [--burst-gap SECONDS]]
+                      [--json <report-file>]
 
-policies: baseline | topo-aware | greedy | preserve | effbw-greedy";
+policies:        baseline | topo-aware | greedy | preserve | effbw-greedy
+server policies: round-robin | least-loaded | best-score | pack-first";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -150,7 +161,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut backfill = false;
     let mut cached = true;
     let mut poisson: Option<f64> = None;
+    let mut burst: Option<usize> = None;
+    let mut burst_gap = 300.0f64;
     let mut seed = 0u64;
+    let mut servers = 1usize;
+    let mut server_policy_arg: Option<String> = None;
+    let mut json_file: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -161,13 +177,21 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--backfill" => backfill = true,
             "--no-cache" => cached = false,
             "--poisson" => poisson = Some(parse_flag(&mut it, "--poisson")?),
+            "--burst" => burst = Some(parse_flag(&mut it, "--burst")?),
+            "--burst-gap" => burst_gap = parse_flag(&mut it, "--burst-gap")?,
             "--seed" => seed = parse_flag(&mut it, "--seed")?,
+            "--servers" => servers = parse_flag(&mut it, "--servers")?,
+            "--server-policy" => server_policy_arg = Some(parse_flag(&mut it, "--server-policy")?),
+            "--json" => json_file = Some(parse_flag(&mut it, "--json")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
 
+    if servers == 0 {
+        return Err("--servers must be at least 1".to_string());
+    }
     let machine = resolve_machine(&machine_arg.ok_or("--machine is required")?)?;
-    let policy = resolve_policy(&policy_arg.ok_or("--policy is required")?)?;
+    let policy_name = policy_arg.ok_or("--policy is required")?;
     let jobs_text = std::fs::read_to_string(jobs_file.as_deref().ok_or("--jobs is required")?)
         .map_err(|e| format!("cannot read jobs file: {e}"))?;
     let job_list = jobs::parse_job_file(&jobs_text).map_err(|e| format!("bad job file: {e}"))?;
@@ -181,21 +205,62 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         ));
     }
 
+    let arrivals = match (poisson, burst) {
+        (Some(_), Some(_)) => {
+            return Err("--poisson and --burst are mutually exclusive".to_string())
+        }
+        (Some(gap), None) => ArrivalProcess::Poisson {
+            mean_gap: gap,
+            seed,
+        },
+        (None, Some(size)) => {
+            if size == 0 {
+                return Err("--burst needs at least 1 job per burst".to_string());
+            }
+            if !(burst_gap >= 0.0 && burst_gap.is_finite()) {
+                return Err("--burst-gap must be a non-negative number of seconds".to_string());
+            }
+            ArrivalProcess::Bursts {
+                size,
+                gap: burst_gap,
+            }
+        }
+        (None, None) => ArrivalProcess::Batch,
+    };
     let config = SimConfig {
         strict_fifo: !backfill,
-        arrivals: match poisson {
-            Some(gap) => ArrivalProcess::Poisson {
-                mean_gap: gap,
-                seed,
-            },
-            None => ArrivalProcess::Batch,
-        },
+        arrivals,
         cached,
         ..SimConfig::default()
     };
-    let report = Simulation::new(machine, policy)
-        .with_config(config)
-        .run(&job_list);
+
+    // Jobs stream into the dispatcher through the bounded ingestion
+    // channel — the same front end live traffic would use.
+    let feed = JobFeed::from_jobs(job_list, mapa::cluster::DEFAULT_INGEST_CAPACITY);
+    let report = if servers > 1 || server_policy_arg.is_some() {
+        let server_policy_name = server_policy_arg.as_deref().unwrap_or("least-loaded");
+        let server_policy = server_policy_by_name(server_policy_name).ok_or_else(|| {
+            format!(
+                "unknown server policy '{server_policy_name}' (choose from: {})",
+                SERVER_POLICY_NAMES.join(" | ")
+            )
+        })?;
+        // One allocation-policy instance per shard.
+        let mut shard_policies = (0..servers)
+            .map(|_| resolve_policy(&policy_name))
+            .collect::<Result<Vec<_>, _>>()?;
+        let cluster = Cluster::homogeneous(
+            machine,
+            servers,
+            move || shard_policies.pop().expect("one policy per shard"),
+            server_policy,
+        );
+        Engine::over(cluster).with_config(config).run_stream(feed)
+    } else {
+        Simulation::new(machine, resolve_policy(&policy_name)?)
+            .with_config(config)
+            .run_stream(feed)
+    };
 
     println!(
         "machine {} | policy {} | {} jobs | makespan {:.0} s | throughput {:.1} jobs/h",
@@ -237,16 +302,92 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             None => println!("  | cache: off"),
         }
     }
-    println!("\nper-job log (id, workload, gpus, effbw, exec):");
+    if report.shards.len() > 1 {
+        println!(
+            "queue: max depth {}  mean depth {:.2}  blocks {}  cross-server frag blocks {}",
+            report.queue.max_depth,
+            report.queue.mean_depth,
+            report.queue.dispatch_blocks,
+            report.queue.fragmentation_blocks
+        );
+        for s in &report.shards {
+            println!(
+                "  shard {:>2} {:<14} {:>3} jobs  util {:>5.1}%  gpu-seconds {:>10.0}",
+                s.server,
+                s.machine,
+                s.jobs_completed,
+                s.utilization * 100.0,
+                s.gpu_seconds
+            );
+        }
+    }
+    if let Some(path) = json_file {
+        std::fs::write(&path, report_json(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("report JSON written to {path}");
+    }
+    println!("\nper-job log (id, workload, server, gpus, effbw, exec):");
     for r in &report.records {
         println!(
-            "  {:>4} {:<14} {:?} {:>6.1} GB/s {:>8.0} s",
+            "  {:>4} {:<14} s{} {:?} {:>6.1} GB/s {:>8.0} s",
             r.job.id,
             r.job.workload.name(),
+            r.server,
             r.gpus,
             r.predicted_eff_bw,
             r.execution_seconds
         );
     }
     Ok(())
+}
+
+/// Hand-rolled JSON report (the workspace is dependency-free offline):
+/// run summary, queue statistics, and one object per shard — the
+/// machine-readable artifact CI uploads next to `BENCH_fig19.json`.
+fn report_json(report: &SimReport) -> String {
+    // `scheduling_stats` panics on an empty run; report zeros instead.
+    let (latency_p50, latency_max, hit_rate) = if report.records.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        let sched = report.scheduling_stats();
+        (
+            sched.latency_ms.p50,
+            sched.latency_ms.max,
+            sched.cache_hit_rate(),
+        )
+    };
+    let shards: Vec<String> = report
+        .shards
+        .iter()
+        .map(|s| {
+            let (hits, misses) = s.cache.map_or((0, 0), |c| (c.hits, c.misses));
+            format!(
+                "    {{\"server\": {}, \"machine\": \"{}\", \"gpu_count\": {}, \
+                 \"jobs_completed\": {}, \"gpu_seconds\": {:.3}, \"utilization\": {:.6}, \
+                 \"cache_hits\": {hits}, \"cache_misses\": {misses}}}",
+                s.server, s.machine, s.gpu_count, s.jobs_completed, s.gpu_seconds, s.utilization
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"machine\": \"{}\",\n  \"policy\": \"{}\",\n  \"jobs\": {},\n  \
+         \"makespan_seconds\": {:.3},\n  \"throughput_jobs_per_hour\": {:.3},\n  \
+         \"scheduling_latency_ms\": {{\"p50\": {:.6}, \"max\": {:.6}}},\n  \
+         \"cache_hit_rate\": {:.6},\n  \
+         \"queue\": {{\"max_depth\": {}, \"mean_depth\": {:.3}, \"dispatch_blocks\": {}, \
+         \"fragmentation_blocks\": {}}},\n  \"shards\": [\n{}\n  ]\n}}\n",
+        report.topology_name,
+        report.policy_name,
+        report.records.len(),
+        report.makespan_seconds,
+        report.throughput_jobs_per_hour,
+        latency_p50,
+        latency_max,
+        hit_rate,
+        report.queue.max_depth,
+        report.queue.mean_depth,
+        report.queue.dispatch_blocks,
+        report.queue.fragmentation_blocks,
+        shards.join(",\n")
+    )
 }

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mapa_cluster as cluster;
 pub use mapa_core as core;
 pub use mapa_graph as graph;
 pub use mapa_interconnect as interconnect;
@@ -49,6 +50,10 @@ pub use mapa_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use mapa_cluster::{
+        server_policy_by_name, BestScorePolicy, Cluster, JobFeed, LeastLoadedPolicy,
+        PackFirstPolicy, RoundRobinPolicy, ServerPolicy, ShardView,
+    };
     pub use mapa_core::policy::{
         AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
         TopoAwarePolicy,
@@ -59,7 +64,9 @@ pub mod prelude {
     pub use mapa_graph::{Graph, PatternGraph, WeightedGraph};
     pub use mapa_isomorph::{default_threads, MatchOptions, Matcher, WorkerPool};
     pub use mapa_model::{corpus, EffBwModel};
-    pub use mapa_sim::{stats, SimConfig, Simulation};
+    pub use mapa_sim::{
+        stats, ArrivalProcess, Engine, SchedulerBackend, SimConfig, SimReport, Simulation,
+    };
     pub use mapa_topology::{
         machines, HardwareState, LinkMix, LinkType, OccupancySignature, Topology,
     };

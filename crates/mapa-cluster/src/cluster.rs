@@ -1,18 +1,112 @@
 //! The sharded cluster: N per-server allocators behind one two-stage
-//! placement pipeline (server selection, then GPU selection).
+//! placement pipeline (server selection, then GPU selection), with an
+//! optional per-shard-queue dispatch layer (parallel decisions + job
+//! migration) replacing the engine's global FIFO queue.
 
+use crate::migrate::{MigrationPolicy, MigrationStats};
 use crate::policy::{ServerPolicy, ShardView};
 use mapa_core::policy::AllocationPolicy;
-use mapa_core::{AllocatorError, CacheStats, MapaAllocator};
+use mapa_core::{AllocationOutcome, AllocatorError, CacheStats, MapaAllocator};
 use mapa_isomorph::{MatchOptions, Matcher, WorkerPool};
 use mapa_model::{corpus, paper_coefficients, EffBwModel};
-use mapa_sim::{Placement, SchedulerBackend, SimConfig};
+use mapa_sim::{DispatchReport, DispatchedJob, Placement, SchedulerBackend, SimConfig};
 use mapa_topology::Topology;
 use mapa_workloads::JobSpec;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default bound of each per-shard queue when queued dispatch is enabled
+/// without an explicit depth: deep enough to keep every shard busy under
+/// bursts, shallow enough that routing pressure surfaces as backlog
+/// instead of hiding inside one shard's queue.
+pub const DEFAULT_SHARD_QUEUE_DEPTH: usize = 16;
+
+/// How the cluster evaluates per-shard work within one dispatch round —
+/// server-selection score peeks on the global-queue path, and head-of-
+/// queue placement decisions on the per-shard-queue path.
+///
+/// The two modes are *bit-identical* in every schedule they produce
+/// (`tests/dispatch_equivalence.rs` proves it by property test): each
+/// shard's decision reads and writes only that shard's allocator, pool
+/// results return in submission order, and all cross-shard steps
+/// (routing, outcome merging, migration) run serially in both modes —
+/// parallelism changes wall-clock time, never the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Evaluate shards one after another on the calling thread. Default.
+    #[default]
+    Sequential,
+    /// Evaluate all shards concurrently on the cluster's shared
+    /// [`WorkerPool`], then merge outcomes in shard order.
+    Parallel,
+}
+
+impl DispatchMode {
+    /// Short name used in reports and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchMode::Sequential => "sequential",
+            DispatchMode::Parallel => "parallel",
+        }
+    }
+}
+
+/// Names accepted by [`dispatch_mode_by_name`], in documentation order.
+pub const DISPATCH_MODE_NAMES: [&str; 2] = ["sequential", "parallel"];
+
+/// Resolves a dispatch mode from its CLI name (case-insensitive).
+#[must_use]
+pub fn dispatch_mode_by_name(name: &str) -> Option<DispatchMode> {
+    match name.to_ascii_lowercase().as_str() {
+        "sequential" | "seq" => Some(DispatchMode::Sequential),
+        "parallel" | "par" => Some(DispatchMode::Parallel),
+        _ => None,
+    }
+}
+
+/// A job waiting in a shard queue, with its submission time.
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    job: JobSpec,
+    submitted_at: f64,
+}
+
+/// The per-shard-queue state of queued dispatch: one bounded FIFO per
+/// shard, a backlog for arrivals no eligible queue could hold, and the
+/// per-queue high-water marks the report surfaces.
+#[derive(Debug)]
+struct ShardQueues {
+    depth: usize,
+    queues: Vec<VecDeque<QueuedJob>>,
+    /// Arrivals that found every eligible shard queue full, in arrival
+    /// order. Drained back into shard queues as slots free up — jobs are
+    /// never dropped.
+    backlog: VecDeque<QueuedJob>,
+    max_depths: Vec<usize>,
+}
+
+impl ShardQueues {
+    fn new(shards: usize, depth: usize) -> Self {
+        Self {
+            depth: depth.max(1),
+            queues: vec![VecDeque::new(); shards],
+            backlog: VecDeque::new(),
+            max_depths: vec![0; shards],
+        }
+    }
+
+    fn push(&mut self, shard: usize, item: QueuedJob) {
+        self.queues[shard].push_back(item);
+        self.max_depths[shard] = self.max_depths[shard].max(self.queues[shard].len());
+    }
+
+    fn waiting(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>() + self.backlog.len()
+    }
+}
 
 /// A fleet of multi-GPU servers scheduled as one system.
 ///
@@ -37,9 +131,30 @@ pub struct Cluster {
     server_policy: Box<dyn ServerPolicy>,
     pool: Arc<WorkerPool>,
     /// Successful placements so far — the rotation state handed to
-    /// stateless server policies.
+    /// stateless server policies on the global-queue path.
     placements: u64,
+    dispatch: DispatchMode,
+    migration: MigrationPolicy,
+    /// `Some` when queued dispatch is enabled: per-shard bounded queues
+    /// replace the engine's global FIFO queue.
+    queues: Option<ShardQueues>,
+    /// Jobs routed into shard queues so far — the rotation state handed
+    /// to stateless server policies at admission time.
+    admitted: u64,
+    migration_stats: MigrationStats,
+    /// Pump passes that left shard-queue heads blocked, and the subset
+    /// where the fleet's pooled free GPUs would have fit the head.
+    queue_blocks: u64,
+    queue_frag_blocks: u64,
 }
+
+/// Shard decisions move whole allocators onto pool worker threads in
+/// [`DispatchMode::Parallel`]; this pins the `Send` bound so a non-Send
+/// addition to the allocator stack fails here, not in a user's build.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<MapaAllocator>();
+};
 
 impl Cluster {
     /// Builds a (possibly heterogeneous) cluster over `machines`.
@@ -81,7 +196,76 @@ impl Cluster {
             server_policy,
             pool,
             placements: 0,
+            dispatch: DispatchMode::Sequential,
+            migration: MigrationPolicy::None,
+            queues: None,
+            admitted: 0,
+            migration_stats: MigrationStats::default(),
+            queue_blocks: 0,
+            queue_frag_blocks: 0,
         }
+    }
+
+    /// Sets how per-shard work is evaluated within a dispatch round
+    /// (builder style). [`DispatchMode::Parallel`] runs shard decisions
+    /// concurrently on the cluster's shared worker pool; schedules are
+    /// bit-identical to [`DispatchMode::Sequential`].
+    #[must_use]
+    pub fn with_dispatch(mut self, mode: DispatchMode) -> Self {
+        self.dispatch = mode;
+        self
+    }
+
+    /// Enables queued dispatch (builder style): every shard gets its own
+    /// FIFO queue bounded at `depth` (clamped to at least 1), arrivals
+    /// are routed to a queue by the server policy at admission, and each
+    /// shard runs strict FIFO on its own queue — a slow shard stalls only
+    /// its own backlog, not the fleet. Replaces the engine's global FIFO
+    /// queue (the engine detects this via
+    /// [`SchedulerBackend::manages_queues`]).
+    #[must_use]
+    pub fn with_shard_queues(mut self, depth: usize) -> Self {
+        let shards = self.shards.len();
+        self.queues = Some(ShardQueues::new(shards, depth));
+        self
+    }
+
+    /// Sets the migration policy (builder style). Migration moves
+    /// *waiting* jobs between shard queues, so any policy other than
+    /// [`MigrationPolicy::None`] requires queued dispatch — enabled here
+    /// at [`DEFAULT_SHARD_QUEUE_DEPTH`] when not already configured.
+    #[must_use]
+    pub fn with_migration(mut self, policy: MigrationPolicy) -> Self {
+        self.migration = policy;
+        if policy != MigrationPolicy::None && self.queues.is_none() {
+            self = self.with_shard_queues(DEFAULT_SHARD_QUEUE_DEPTH);
+        }
+        self
+    }
+
+    /// The configured dispatch mode.
+    #[must_use]
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.dispatch
+    }
+
+    /// The configured migration policy.
+    #[must_use]
+    pub fn migration_policy(&self) -> MigrationPolicy {
+        self.migration
+    }
+
+    /// Bound of each per-shard queue; `None` when the cluster runs on the
+    /// engine's global FIFO queue.
+    #[must_use]
+    pub fn shard_queue_depth(&self) -> Option<usize> {
+        self.queues.as_ref().map(|q| q.depth)
+    }
+
+    /// Migration counters so far.
+    #[must_use]
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migration_stats
     }
 
     /// Builds a homogeneous cluster: `servers` copies of `machine`.
@@ -126,24 +310,72 @@ impl Cluster {
         &self.pool
     }
 
+    /// Runs `f` once per shard with exclusive access to that shard's
+    /// allocator and returns the results in shard order. In
+    /// [`DispatchMode::Parallel`] each allocator is *moved* into a pool
+    /// task (shard decisions share no state, so tasks cannot interfere)
+    /// and moved back in submission order — results and allocator end
+    /// states are identical to the sequential path by construction. `f`
+    /// is a plain function pointer so tasks stay `'static` without an
+    /// allocation per call.
+    fn for_each_shard<I, T>(&mut self, inputs: Vec<I>, f: fn(&mut MapaAllocator, I) -> T) -> Vec<T>
+    where
+        I: Send + 'static,
+        T: Send + 'static,
+    {
+        debug_assert_eq!(inputs.len(), self.shards.len());
+        match self.dispatch {
+            DispatchMode::Sequential => self
+                .shards
+                .iter_mut()
+                .zip(inputs)
+                .map(|(shard, input)| f(shard, input))
+                .collect(),
+            DispatchMode::Parallel => {
+                let shards = std::mem::take(&mut self.shards);
+                let tasks: Vec<_> = shards
+                    .into_iter()
+                    .zip(inputs)
+                    .map(|(mut shard, input)| {
+                        move || {
+                            let result = f(&mut shard, input);
+                            (shard, result)
+                        }
+                    })
+                    .collect();
+                let mut results = Vec::with_capacity(tasks.len());
+                for (shard, result) in self.pool.scatter(tasks) {
+                    self.shards.push(shard);
+                    results.push(result);
+                }
+                results
+            }
+        }
+    }
+
+    /// Per-shard Predicted-EffBW peeks for `job` — the score inputs of a
+    /// [`ServerPolicy::needs_scores`] ranking, evaluated per the dispatch
+    /// mode. An impossible request on a shard (heterogeneous fleet, job
+    /// larger than the machine) is simply not a candidate — no score.
+    fn peek_scores(&mut self, job: &JobSpec) -> Vec<Option<f64>> {
+        let inputs = vec![job.clone(); self.shards.len()];
+        self.for_each_shard(inputs, |shard, job| {
+            shard
+                .peek(&job)
+                .ok()
+                .flatten()
+                .map(|(_, score)| score.predicted_eff_bw)
+        })
+    }
+
     /// Ranks the shards for `job` per the server policy (scores peeked
     /// only when the policy asks), then returns shard ids in preference
-    /// order. Exposed for tests and tooling; `try_place` consumes it.
-    fn rank_shards(&mut self, job: &JobSpec) -> Vec<usize> {
+    /// order. `seq` is the rotation state for stateless policies —
+    /// placements so far on the global-queue path, admissions so far when
+    /// routing into shard queues.
+    fn rank_shards(&mut self, job: &JobSpec, seq: u64) -> Vec<usize> {
         let scores: Vec<Option<f64>> = if self.server_policy.needs_scores() {
-            self.shards
-                .iter_mut()
-                .map(|shard| {
-                    // An impossible request on *this* shard (heterogeneous
-                    // fleet, job larger than the machine) is simply not a
-                    // candidate — no score.
-                    shard
-                        .peek(job)
-                        .ok()
-                        .flatten()
-                        .map(|(_, score)| score.predicted_eff_bw)
-                })
-                .collect()
+            self.peek_scores(job)
         } else {
             vec![None; self.shards.len()]
         };
@@ -158,7 +390,184 @@ impl Cluster {
                 selection_eff_bw: scores[id],
             })
             .collect();
-        self.server_policy.rank(job, &views, self.placements)
+        self.server_policy.rank(job, &views, seq)
+    }
+
+    /// Picks the shard queue an arriving job should wait in: the first
+    /// shard in the policy's preference order whose machine could ever
+    /// host the job and whose queue has room. `None` when every eligible
+    /// queue is full (the job then waits in the backlog).
+    fn route_target(&mut self, job: &JobSpec) -> Option<usize> {
+        let eligible = |shards: &[MapaAllocator], queues: &ShardQueues, s: usize| {
+            job.num_gpus <= shards[s].topology().gpu_count()
+                && queues.queues[s].len() < queues.depth
+        };
+        // Ranking can be expensive (best-score peeks every shard), and
+        // the backlog retries routing after every event — bail out before
+        // ranking when no eligible queue has room, since no preference
+        // order could change the answer.
+        {
+            let queues = self.queues.as_ref().expect("routing requires queues");
+            if !(0..self.shards.len()).any(|s| eligible(&self.shards, queues, s)) {
+                return None;
+            }
+        }
+        let seq = self.admitted;
+        let order = self.rank_shards(job, seq);
+        let queues = self.queues.as_ref().expect("routing requires queues");
+        order
+            .into_iter()
+            .find(|&s| eligible(&self.shards, queues, s))
+    }
+
+    /// Moves backlog jobs into shard queues while the backlog head has an
+    /// eligible queue with room. Stops at the first unroutable job —
+    /// later backlog jobs must not overtake it (arrival-order fairness).
+    fn refill_from_backlog(&mut self) {
+        loop {
+            let Some(front) = self
+                .queues
+                .as_ref()
+                .and_then(|q| q.backlog.front())
+                .cloned()
+            else {
+                return;
+            };
+            let Some(target) = self.route_target(&front.job) else {
+                return;
+            };
+            let queues = self.queues.as_mut().expect("routing requires queues");
+            let item = queues.backlog.pop_front().expect("front observed above");
+            queues.push(target, item);
+            self.admitted += 1;
+        }
+    }
+
+    /// One decision round: every shard examines its own queue head and
+    /// places it if it fits *that shard* right now (strict per-shard
+    /// FIFO). Decisions are evaluated per the dispatch mode and their
+    /// outcomes merged in ascending shard order, so the round is
+    /// deterministic in both modes. Returns the jobs placed this round.
+    fn decision_round(&mut self) -> Vec<DispatchedJob> {
+        let heads: Vec<Option<JobSpec>> = self
+            .queues
+            .as_ref()
+            .expect("decision rounds require queues")
+            .queues
+            .iter()
+            .map(|q| q.front().map(|item| item.job.clone()))
+            .collect();
+        let outcomes = self.for_each_shard(heads, decide_head);
+        let mut placed = Vec::new();
+        for (server, outcome) in outcomes.into_iter().enumerate() {
+            let Some(outcome) = outcome else { continue };
+            let queues = self.queues.as_mut().expect("queues live for the round");
+            let item = queues.queues[server]
+                .pop_front()
+                .expect("outcome for a queued head");
+            debug_assert_eq!(item.job.id, outcome.job_id);
+            self.placements += 1;
+            placed.push(DispatchedJob {
+                job: item.job,
+                submitted_at: item.submitted_at,
+                placement: Placement {
+                    server,
+                    gpus: outcome.gpus,
+                    score: outcome.score,
+                    scheduling_overhead: outcome.scheduling_overhead,
+                },
+            });
+        }
+        placed
+    }
+
+    /// One migration pull for `thief` (a shard with an empty queue): take
+    /// the oldest waiting job the thief could start *right now* — checked
+    /// through [`MapaAllocator::peek`], so the subsequent placement is a
+    /// guaranteed cache hit — from the deepest queue among `victims`
+    /// (depth ties break toward the lowest victim id). Returns whether a
+    /// job moved.
+    fn pull_waiting_job(&mut self, thief: usize, victims: &[bool]) -> bool {
+        let Some(queues) = self.queues.as_ref() else {
+            return false;
+        };
+        if !queues.queues[thief].is_empty() {
+            return false;
+        }
+        let victim = (0..self.shards.len())
+            .filter(|&v| v != thief && victims[v] && !queues.queues[v].is_empty())
+            .max_by_key(|&v| (queues.queues[v].len(), std::cmp::Reverse(v)));
+        let Some(victim) = victim else { return false };
+        let thief_capacity = self.shards[thief].topology().gpu_count();
+        let mut take = None;
+        for (idx, item) in queues.queues[victim].iter().enumerate() {
+            if item.job.num_gpus <= thief_capacity
+                && matches!(self.shards[thief].peek(&item.job), Ok(Some(_)))
+            {
+                take = Some(idx);
+                break;
+            }
+        }
+        let Some(idx) = take else { return false };
+        let queues = self.queues.as_mut().expect("queues checked above");
+        let item = queues.queues[victim]
+            .remove(idx)
+            .expect("index found above");
+        queues.push(thief, item);
+        true
+    }
+
+    /// Steal-on-idle migration: every empty-queued shard (ascending id)
+    /// attempts one pull. Victims are snapshotted at pass start — a queue
+    /// an earlier thief just filled is not a victim this pass — so one
+    /// logical migration can never chain across thieves (which would both
+    /// over-count `jobs_stolen` and land the job on the *highest*-id idle
+    /// shard instead of the lowest). Returns whether any job moved.
+    fn steal_pass(&mut self) -> bool {
+        let victims: Vec<bool> = self.queues.as_ref().map_or_else(Vec::new, |q| {
+            q.queues.iter().map(|q| !q.is_empty()).collect()
+        });
+        let mut moved = false;
+        for thief in 0..self.shards.len() {
+            if !victims.is_empty() && !victims[thief] && self.pull_waiting_job(thief, &victims) {
+                self.migration_stats.jobs_stolen += 1;
+                moved = true;
+            }
+        }
+        moved
+    }
+
+    /// Counts still-blocked queue heads after a pump reached quiescence.
+    fn account_blocked_heads(&mut self) {
+        let total_free: usize = self.shards.iter().map(|s| s.state().free_count()).sum();
+        let queues = self.queues.as_ref().expect("accounting requires queues");
+        let mut blocked = 0u64;
+        let mut frag = 0u64;
+        for q in &queues.queues {
+            if let Some(head) = q.front() {
+                blocked += 1;
+                if total_free >= head.job.num_gpus {
+                    frag += 1;
+                }
+            }
+        }
+        self.queue_blocks += blocked;
+        self.queue_frag_blocks += frag;
+    }
+}
+
+/// The per-shard half of a decision round: place the shard's queue head
+/// on the shard, or report that it must keep waiting. Runs on a pool
+/// worker in [`DispatchMode::Parallel`] — it touches nothing but this
+/// shard's allocator.
+fn decide_head(shard: &mut MapaAllocator, head: Option<JobSpec>) -> Option<AllocationOutcome> {
+    let job = head?;
+    match shard.try_allocate(&job) {
+        Ok(outcome) => outcome,
+        // Routing only queues jobs the machine could ever host, so any
+        // error here (duplicate active id) is a caller bug — surface it
+        // like the global-queue path does.
+        Err(e) => panic!("shard placement of job {}: {e}", job.id),
     }
 }
 
@@ -245,8 +654,13 @@ impl SchedulerBackend for Cluster {
         {
             panic!("job {} is already allocated on shard {holder}", job.id);
         }
+        debug_assert!(
+            self.queues.is_none(),
+            "try_place is the global-queue path; queued clusters dispatch via pump"
+        );
         let started = Instant::now();
-        let order = self.rank_shards(job);
+        let seq = self.placements;
+        let order = self.rank_shards(job, seq);
         for server in order {
             debug_assert!(server < self.shards.len(), "policy ranked unknown shard");
             match self.shards[server].try_allocate(job) {
@@ -284,6 +698,96 @@ impl SchedulerBackend for Cluster {
         self.shards[server]
             .release(job)
             .expect("running job is allocated on its shard");
+        // Release-time rebalancing: the shard that just freed capacity
+        // pulls a waiting job from the deepest queue if its own is empty;
+        // the engine's post-event pump then places it. A single pull has
+        // no chaining to guard against, so every other queue is a victim.
+        if self.migration == MigrationPolicy::RebalanceOnRelease {
+            let victims = vec![true; self.shards.len()];
+            if self.pull_waiting_job(server, &victims) {
+                self.migration_stats.jobs_rebalanced += 1;
+            }
+        }
+    }
+
+    fn manages_queues(&self) -> bool {
+        self.queues.is_some()
+    }
+
+    fn admit(&mut self, job: JobSpec, submitted_at: f64) {
+        assert!(
+            self.queues.is_some(),
+            "admit called on a cluster without shard queues"
+        );
+        let item = QueuedJob { job, submitted_at };
+        // Arrival-order fairness: while older jobs wait in the backlog, a
+        // new arrival must queue behind them, not overtake into a shard
+        // queue.
+        let backlogged = !self
+            .queues
+            .as_ref()
+            .expect("checked above")
+            .backlog
+            .is_empty();
+        let target = if backlogged {
+            None
+        } else {
+            self.route_target(&item.job)
+        };
+        let queues = self.queues.as_mut().expect("checked above");
+        match target {
+            Some(shard) => {
+                queues.push(shard, item);
+                self.admitted += 1;
+            }
+            None => queues.backlog.push_back(item),
+        }
+    }
+
+    fn pump(&mut self, _now: f64) -> Vec<DispatchedJob> {
+        if self.queues.is_none() {
+            return Vec::new();
+        }
+        let mut placed = Vec::new();
+        // Rounds until quiescence: placements expose new queue heads and
+        // free backlog slots; migrations hand a placeable job to an idle
+        // shard (the next round starts it). Every round either places or
+        // moves a job, so the loop terminates.
+        loop {
+            self.refill_from_backlog();
+            let round = self.decision_round();
+            let progressed = !round.is_empty();
+            placed.extend(round);
+            let moved = match self.migration {
+                MigrationPolicy::StealOnIdle => self.steal_pass(),
+                MigrationPolicy::None | MigrationPolicy::RebalanceOnRelease => false,
+            };
+            if !progressed && !moved {
+                break;
+            }
+        }
+        self.account_blocked_heads();
+        placed
+    }
+
+    fn queued_jobs(&self) -> usize {
+        self.queues.as_ref().map_or(0, ShardQueues::waiting)
+    }
+
+    fn dispatch_report(&self) -> Option<DispatchReport> {
+        Some(DispatchReport {
+            mode: self.dispatch.name(),
+            migration: self.migration.name(),
+            shard_queue_depth: self.queues.as_ref().map_or(0, |q| q.depth),
+            jobs_stolen: self.migration_stats.jobs_stolen,
+            jobs_rebalanced: self.migration_stats.jobs_rebalanced,
+            max_queue_depths: self
+                .queues
+                .as_ref()
+                .map_or_else(Vec::new, |q| q.max_depths.clone()),
+            dispatch_blocks: self.queue_blocks,
+            fragmentation_blocks: self.queue_frag_blocks,
+        })
     }
 }
 
@@ -293,6 +797,9 @@ impl fmt::Debug for Cluster {
             .field("shards", &self.shards.len())
             .field("server_policy", &self.server_policy.name())
             .field("placements", &self.placements)
+            .field("dispatch", &self.dispatch.name())
+            .field("migration", &self.migration.name())
+            .field("shard_queue_depth", &self.shard_queue_depth())
             .finish()
     }
 }
@@ -507,6 +1014,238 @@ mod tests {
         assert!(report.queue.fragmentation_blocks > 0, "{:?}", report.queue);
         let j3 = report.records.iter().find(|r| r.job.id == 3).unwrap();
         assert!(j3.queue_wait_seconds > 0.0, "job 3 had to wait for a drain");
+    }
+
+    /// Placements, timings, and scores must agree (wall-clock scheduling
+    /// overhead legitimately differs between dispatch modes).
+    fn assert_same_schedule(a: &mapa_sim::SimReport, b: &mapa_sim::SimReport, context: &str) {
+        assert_eq!(a.records.len(), b.records.len(), "{context}");
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.job.id, y.job.id, "{context}");
+            assert_eq!(x.server, y.server, "{context}");
+            assert_eq!(x.gpus, y.gpus, "{context}");
+            assert_eq!(x.submitted_at, y.submitted_at, "{context}");
+            assert_eq!(x.started_at, y.started_at, "{context}");
+            assert_eq!(x.finished_at, y.finished_at, "{context}");
+            assert_eq!(x.predicted_eff_bw, y.predicted_eff_bw, "{context}");
+        }
+        assert_eq!(a.makespan_seconds, b.makespan_seconds, "{context}");
+    }
+
+    #[test]
+    fn queued_dispatch_completes_everything_and_reports_depths() {
+        let jobs = generator::paper_job_mix(25);
+        let cluster = fleet(3, Box::new(RoundRobinPolicy)).with_shard_queues(8);
+        let report = Engine::over(cluster).run(&jobs[..90]);
+        assert_eq!(report.records.len(), 90);
+        let d = report.dispatch.as_ref().expect("cluster reports dispatch");
+        assert_eq!(d.mode, "sequential");
+        assert_eq!(d.migration, "none");
+        assert_eq!(d.shard_queue_depth, 8);
+        assert_eq!(d.max_queue_depths.len(), 3);
+        assert!(d.max_queue_depths.iter().all(|&m| m <= 8), "{d:?}");
+        assert!(d.max_queue_depths.iter().any(|&m| m > 0), "{d:?}");
+        assert_eq!(d.jobs_stolen + d.jobs_rebalanced, 0);
+        // Per-shard queue waits are accounted like global-queue waits.
+        for r in &report.records {
+            assert!(r.started_at >= r.submitted_at - 1e-9, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_replays_sequential_on_the_queued_path() {
+        let jobs = generator::paper_job_mix(27);
+        let seq = Engine::over(fleet(4, Box::new(LeastLoadedPolicy)).with_shard_queues(6))
+            .run(&jobs[..80]);
+        let par = Engine::over(
+            fleet(4, Box::new(LeastLoadedPolicy))
+                .with_shard_queues(6)
+                .with_dispatch(DispatchMode::Parallel),
+        )
+        .run(&jobs[..80]);
+        assert_same_schedule(&seq, &par, "queued path");
+        assert_eq!(par.dispatch.as_ref().unwrap().mode, "parallel");
+    }
+
+    #[test]
+    fn parallel_dispatch_replays_sequential_on_the_global_queue_path() {
+        // Best-score peeks every shard per decision — the per-shard work
+        // parallel dispatch spreads over the pool on the PR 3 path.
+        let jobs = generator::paper_job_mix(29);
+        let seq = Engine::over(fleet(3, Box::new(BestScorePolicy))).run(&jobs[..60]);
+        let par =
+            Engine::over(fleet(3, Box::new(BestScorePolicy)).with_dispatch(DispatchMode::Parallel))
+                .run(&jobs[..60]);
+        assert_same_schedule(&seq, &par, "global-queue path");
+        assert_eq!(par.dispatch.as_ref().unwrap().shard_queue_depth, 0);
+    }
+
+    #[test]
+    fn tiny_shard_queues_overflow_into_the_backlog_without_losing_jobs() {
+        // Depth-1 queues under a 24-job burst: almost everything must
+        // wait in the backlog, and still every job runs exactly once.
+        let jobs: Vec<JobSpec> = (0..24).map(|i| job(i + 1, 4)).collect();
+        let cluster = fleet(2, Box::new(LeastLoadedPolicy)).with_shard_queues(1);
+        let report = Engine::over(cluster)
+            .with_config(SimConfig {
+                arrivals: ArrivalProcess::Batch,
+                ..SimConfig::default()
+            })
+            .run(&jobs);
+        assert_eq!(report.records.len(), 24);
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.job.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (1..=24).collect::<Vec<_>>(), "no loss, no duplication");
+        let d = report.dispatch.as_ref().unwrap();
+        assert!(d.max_queue_depths.iter().all(|&m| m <= 1), "{d:?}");
+    }
+
+    #[test]
+    fn steal_on_idle_moves_work_from_hot_to_idle_shards() {
+        // Pack-first routing piles every arrival onto shard 0's queue;
+        // shard 1 idles. Stealing must move waiting jobs over and beat
+        // the no-migration makespan.
+        let jobs: Vec<JobSpec> = (0..10).map(|i| job(i + 1, 8)).collect();
+        let run = |migration: MigrationPolicy| {
+            Engine::over(
+                fleet(2, Box::new(PackFirstPolicy))
+                    .with_shard_queues(16)
+                    .with_migration(migration),
+            )
+            .run(&jobs)
+        };
+        let none = run(MigrationPolicy::None);
+        let steal = run(MigrationPolicy::StealOnIdle);
+        assert_eq!(none.dispatch.as_ref().unwrap().jobs_stolen, 0);
+        let stolen = steal.dispatch.as_ref().unwrap().jobs_stolen;
+        assert!(stolen > 0, "idle shard must steal");
+        assert!(
+            steal.makespan_seconds < none.makespan_seconds,
+            "stealing {} must beat serial shard-0 drain {}",
+            steal.makespan_seconds,
+            none.makespan_seconds
+        );
+        // Both shards did work under stealing.
+        assert!(steal.shards.iter().all(|s| s.jobs_completed > 0));
+    }
+
+    #[test]
+    fn rebalance_on_release_pulls_waiting_jobs_to_freed_shards() {
+        // Round-robin routing parks half the stream behind shard 0's
+        // monster while shard 1 drains 1-iteration jobs. Each time shard
+        // 1 releases with an empty queue it must pull a waiter over.
+        let mut jobs = vec![JobSpec {
+            iterations: 100_000,
+            ..job(1, 8)
+        }];
+        for i in 0..9 {
+            jobs.push(JobSpec {
+                iterations: 1,
+                ..job(i + 2, 8)
+            });
+        }
+        let cluster = fleet(2, Box::new(RoundRobinPolicy))
+            .with_shard_queues(16)
+            .with_migration(MigrationPolicy::RebalanceOnRelease);
+        let report = Engine::over(cluster).run(&jobs);
+        assert_eq!(report.records.len(), 10);
+        let d = report.dispatch.as_ref().unwrap();
+        assert!(d.jobs_rebalanced > 0, "{d:?}");
+        assert_eq!(d.jobs_stolen, 0);
+        // Everything but the monster finishes before the monster does —
+        // rebalancing kept shard 1 busy instead of idling it.
+        let monster = report.records.iter().find(|r| r.job.id == 1).unwrap();
+        for r in report.records.iter().filter(|r| r.job.id != 1) {
+            assert!(r.finished_at < monster.finished_at, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn steal_pass_does_not_chain_within_one_pass() {
+        // Two idle thieves, one waiting job: exactly one steal may happen,
+        // and the job must land on the *lowest*-id idle shard — a queue an
+        // earlier thief just filled is not a victim for later thieves.
+        let mut c = fleet(3, Box::new(RoundRobinPolicy)).with_shard_queues(4);
+        c.configure(&SimConfig::default());
+        c.queues.as_mut().unwrap().push(
+            2,
+            QueuedJob {
+                job: job(9, 2),
+                submitted_at: 0.0,
+            },
+        );
+        assert!(c.steal_pass());
+        assert_eq!(c.migration_stats().jobs_stolen, 1, "one logical steal");
+        let qs = c.queues.as_ref().unwrap();
+        assert_eq!(qs.queues[0].len(), 1, "lowest-id idle shard wins");
+        assert!(qs.queues[1].is_empty());
+        assert!(qs.queues[2].is_empty());
+        // A second pass may now move it again (fresh snapshot) — but only
+        // if another shard is an eligible thief; shard 0 holds it, so
+        // shards 1 and 2 see shard 0 as the victim and shard 1 wins.
+        assert!(c.steal_pass());
+        assert_eq!(c.migration_stats().jobs_stolen, 2);
+        let qs = c.queues.as_ref().unwrap();
+        assert_eq!(qs.queues[1].len(), 1);
+    }
+
+    #[test]
+    fn with_migration_auto_enables_shard_queues() {
+        let c = fleet(2, Box::new(RoundRobinPolicy)).with_migration(MigrationPolicy::StealOnIdle);
+        assert_eq!(c.shard_queue_depth(), Some(DEFAULT_SHARD_QUEUE_DEPTH));
+        assert!(c.manages_queues());
+        // Explicit depth is preserved.
+        let c = fleet(2, Box::new(RoundRobinPolicy))
+            .with_shard_queues(4)
+            .with_migration(MigrationPolicy::RebalanceOnRelease);
+        assert_eq!(c.shard_queue_depth(), Some(4));
+        // No migration, no queues: the PR 3 global-queue path.
+        let c = fleet(2, Box::new(RoundRobinPolicy)).with_migration(MigrationPolicy::None);
+        assert_eq!(c.shard_queue_depth(), None);
+        assert!(!c.manages_queues());
+    }
+
+    #[test]
+    fn a_slow_shard_stalls_only_its_own_queue() {
+        // Shard 0 hosts one enormous job; round-robin routes the rest
+        // alternately. Without migration, shard 1's stream must keep
+        // flowing while shard 0's queue waits behind the long job —
+        // per-shard FIFO, not global head-of-line blocking.
+        let mut jobs = vec![JobSpec {
+            iterations: 100_000,
+            ..job(1, 8)
+        }];
+        for i in 0..6 {
+            jobs.push(JobSpec {
+                iterations: 1,
+                ..job(i + 2, 8)
+            });
+        }
+        let cluster = fleet(2, Box::new(RoundRobinPolicy)).with_shard_queues(16);
+        let report = Engine::over(cluster).run(&jobs);
+        // Jobs routed to shard 1 (every second arrival) finish while the
+        // shard-0 monster still runs.
+        let monster = report.records.iter().find(|r| r.job.id == 1).unwrap();
+        let shard1: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.server == 1 && r.job.id != 1)
+            .collect();
+        assert!(shard1.len() >= 3, "round-robin fed shard 1");
+        for r in &shard1 {
+            assert!(
+                r.finished_at < monster.finished_at,
+                "shard 1 job {} must not wait for shard 0's monster",
+                r.job.id
+            );
+        }
+        // Shard 0's queued jobs do wait for the monster.
+        let stalled = report
+            .records
+            .iter()
+            .filter(|r| r.server == 0 && r.job.id != 1)
+            .count();
+        assert!(stalled > 0, "some jobs queued behind the monster");
     }
 
     #[test]

@@ -22,6 +22,17 @@
 //!   the event loop with backpressure instead of arriving as a
 //!   pre-materialized vector. Built on std's channel primitives — no
 //!   tokio needed offline.
+//! * **Queued dispatch** ([`Cluster::with_shard_queues`]) — each shard
+//!   gets its own bounded FIFO queue; the server policy routes arrivals
+//!   at admission and each shard drains its own queue, so a slow shard
+//!   stalls only its own backlog instead of head-of-line blocking the
+//!   fleet. [`DispatchMode::Parallel`] evaluates shard decisions
+//!   concurrently on the shared worker pool with a deterministic
+//!   shard-order merge — schedules are bit-identical to sequential
+//!   dispatch. A [`MigrationPolicy`] ([`migrate`]) can requeue waiting
+//!   jobs from hot queues to idle shards (work stealing or release-time
+//!   rebalancing), with counters surfaced in `SimReport`, the log file,
+//!   and the CLI's `--json` report.
 //!
 //! # Example
 //!
@@ -49,10 +60,16 @@
 
 mod cluster;
 pub mod ingest;
+pub mod migrate;
 pub mod policy;
 
-pub use cluster::Cluster;
+pub use cluster::{
+    dispatch_mode_by_name, Cluster, DispatchMode, DEFAULT_SHARD_QUEUE_DEPTH, DISPATCH_MODE_NAMES,
+};
 pub use ingest::{JobFeed, DEFAULT_INGEST_CAPACITY};
+pub use migrate::{
+    migration_policy_by_name, MigrationPolicy, MigrationStats, MIGRATION_POLICY_NAMES,
+};
 pub use policy::{
     server_policy_by_name, BestScorePolicy, LeastLoadedPolicy, PackFirstPolicy, RoundRobinPolicy,
     ServerPolicy, ShardView, SERVER_POLICY_NAMES,

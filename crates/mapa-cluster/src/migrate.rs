@@ -1,0 +1,108 @@
+//! Job migration between shard queues.
+//!
+//! Per-shard queues buy dispatch parallelism but lose the global queue's
+//! built-in load balancing: a job routed to a shard at arrival time is
+//! stuck with that shard's backlog even when another shard sits idle —
+//! the cross-shard imbalance ParvaGPU-style large-scale schedulers drain
+//! with migration. A [`MigrationPolicy`] decides when the cluster may
+//! requeue a *waiting* (never a running) job from one shard's queue to
+//! another's. Migration runs in the serial merge phase of every dispatch
+//! round, so parallel and sequential dispatch see identical migrations —
+//! the determinism argument in `ARCHITECTURE.md` leans on this.
+
+/// When the cluster may move waiting jobs between shard queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationPolicy {
+    /// Never migrate: a job runs on the shard it was routed to. The
+    /// default — per-shard schedules replay routing exactly.
+    #[default]
+    None,
+    /// Work stealing: a shard whose queue is empty takes the oldest
+    /// compatible waiting job it could start *right now* from the deepest
+    /// other queue (ties toward the lowest shard id).
+    StealOnIdle,
+    /// Release-time rebalancing: when a job finishes and leaves its shard
+    /// with an empty queue, that shard pulls the oldest compatible
+    /// waiting job it could start right now from the deepest other queue.
+    RebalanceOnRelease,
+}
+
+impl MigrationPolicy {
+    /// Short name used in reports and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationPolicy::None => "none",
+            MigrationPolicy::StealOnIdle => "steal-on-idle",
+            MigrationPolicy::RebalanceOnRelease => "rebalance-on-release",
+        }
+    }
+}
+
+/// Names accepted by [`migration_policy_by_name`], in documentation order.
+pub const MIGRATION_POLICY_NAMES: [&str; 3] = ["none", "steal-on-idle", "rebalance-on-release"];
+
+/// Resolves a migration policy from its CLI name (case-insensitive;
+/// "steal" and "rebalance" are accepted shorthands).
+#[must_use]
+pub fn migration_policy_by_name(name: &str) -> Option<MigrationPolicy> {
+    match name.to_ascii_lowercase().as_str() {
+        "none" => Some(MigrationPolicy::None),
+        "steal" | "steal-on-idle" | "stealonidle" => Some(MigrationPolicy::StealOnIdle),
+        "rebalance" | "rebalance-on-release" | "rebalanceonrelease" => {
+            Some(MigrationPolicy::RebalanceOnRelease)
+        }
+        _ => None,
+    }
+}
+
+/// Counters of migration activity over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MigrationStats {
+    /// Jobs moved by [`MigrationPolicy::StealOnIdle`].
+    pub jobs_stolen: u64,
+    /// Jobs moved by [`MigrationPolicy::RebalanceOnRelease`].
+    pub jobs_rebalanced: u64,
+}
+
+impl MigrationStats {
+    /// Total jobs that changed shard queues.
+    #[must_use]
+    pub fn total(self) -> u64 {
+        self.jobs_stolen + self.jobs_rebalanced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_resolves_every_documented_policy() {
+        for name in MIGRATION_POLICY_NAMES {
+            let p = migration_policy_by_name(name).expect(name);
+            assert_eq!(p.name(), name);
+        }
+        assert_eq!(
+            migration_policy_by_name("steal"),
+            Some(MigrationPolicy::StealOnIdle),
+            "shorthand"
+        );
+        assert_eq!(
+            migration_policy_by_name("REBALANCE"),
+            Some(MigrationPolicy::RebalanceOnRelease),
+            "case folds"
+        );
+        assert!(migration_policy_by_name("everything").is_none());
+    }
+
+    #[test]
+    fn default_is_none_and_stats_sum() {
+        assert_eq!(MigrationPolicy::default(), MigrationPolicy::None);
+        let stats = MigrationStats {
+            jobs_stolen: 3,
+            jobs_rebalanced: 4,
+        };
+        assert_eq!(stats.total(), 7);
+    }
+}

@@ -114,7 +114,14 @@ impl ServerPolicy for LeastLoadedPolicy {
 /// Prefer the shard whose own allocation policy would place the job with
 /// the highest Predicted EffBW *right now* — MAPA's scoring lifted to the
 /// server-selection stage. Shards that cannot place the job fall to the
-/// back (by ascending id). Score ties break toward the lowest shard id.
+/// back (by ascending id).
+///
+/// Score ties break toward the shard with the smallest busy *fraction* —
+/// normalized per machine size, so a heterogeneous fleet's tie goes to
+/// the relatively idler machine, not whichever equal-scoring shard has
+/// the lower id (raw-score tie-breaking systematically piled tied jobs
+/// onto low-id shards regardless of how loaded they already were) — and
+/// only then toward the lowest shard id.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BestScorePolicy;
 
@@ -131,7 +138,15 @@ impl ServerPolicy for BestScorePolicy {
         let mut ids: Vec<usize> = (0..shards.len()).collect();
         ids.sort_by(
             |&a, &b| match (&shards[a].selection_eff_bw, &shards[b].selection_eff_bw) {
-                (Some(sa), Some(sb)) => sb.total_cmp(sa).then(a.cmp(&b)),
+                (Some(sa), Some(sb)) => sb
+                    .total_cmp(sa)
+                    .then_with(|| {
+                        shards[a]
+                            .state
+                            .busy_fraction()
+                            .total_cmp(&shards[b].state.busy_fraction())
+                    })
+                    .then(a.cmp(&b)),
                 (Some(_), None) => std::cmp::Ordering::Less,
                 (None, Some(_)) => std::cmp::Ordering::Greater,
                 (None, None) => a.cmp(&b),
@@ -282,12 +297,38 @@ mod tests {
         let owned = states(&[0, 0, 0, 0]);
         let p = BestScorePolicy;
         assert!(p.needs_scores());
-        // Scores: shard1 best, shards 0 and 3 tie, shard2 cannot place.
+        // Scores: shard1 best, shards 0 and 3 tie (equal idle load →
+        // lowest id), shard2 cannot place.
         let v = views(&owned, &[Some(40.0), Some(48.0), None, Some(40.0)]);
         assert_eq!(p.rank(&job(2), &v, 0), vec![1, 0, 3, 2]);
-        // All equal → identity order.
+        // All equal (score and load) → identity order.
         let v = views(&owned, &[Some(40.0); 4]);
         assert_eq!(p.rank(&job(2), &v, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn best_score_ties_normalize_load_by_machine_size() {
+        // Regression: a DGX-1 with 4 of 8 GPUs busy (50%) and a DGX-2
+        // with 4 of 16 busy (25%) offer the same score. The raw tie-break
+        // used to hand the job to shard 0 by id alone; the normalized
+        // tie-break must prefer the *relatively* idler DGX-2 even though
+        // both have 4 busy GPUs and the DGX-2 has the higher id.
+        let dgx1 = machines::dgx1_v100();
+        let mut s1 = HardwareState::new(dgx1.clone());
+        s1.allocate(1, &[0, 1, 2, 3]).unwrap();
+        let dgx2 = machines::dgx2();
+        let mut s2 = HardwareState::new(dgx2.clone());
+        s2.allocate(1, &[0, 1, 2, 3]).unwrap();
+        let owned = vec![(dgx1, s1), (dgx2, s2)];
+        let v = views(&owned, &[Some(48.0), Some(48.0)]);
+        assert_eq!(BestScorePolicy.rank(&job(2), &v, 0), vec![1, 0]);
+        // A genuinely better score still dominates any load difference.
+        let v = views(&owned, &[Some(48.1), Some(48.0)]);
+        assert_eq!(BestScorePolicy.rank(&job(2), &v, 0), vec![0, 1]);
+        // Same machine size, same score → ascending busy fraction.
+        let owned = states(&[6, 2, 4]);
+        let v = views(&owned, &[Some(40.0); 3]);
+        assert_eq!(BestScorePolicy.rank(&job(2), &v, 0), vec![1, 2, 0]);
     }
 
     #[test]

@@ -17,12 +17,25 @@
 
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// A unit of pool work.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-unique pool ids, so a worker thread can recognize its own pool.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The id of the pool whose worker loop is running on this thread
+    /// (`0` outside any pool). Lets [`WorkerPool::scatter`] detect
+    /// re-entrant use — a pool task scattering on its own pool — and fall
+    /// back to inline execution instead of deadlocking on workers that
+    /// are all busy waiting for each other.
+    static CURRENT_POOL: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 /// The default worker count: the machine's available parallelism, falling
 /// back to 1 when the runtime cannot report it. Use this instead of
@@ -41,10 +54,12 @@ pub fn default_threads() -> usize {
 /// serving the queue); the panic surfaces at the join point of the batch
 /// that submitted it.
 ///
-/// Do not call [`WorkerPool::scatter`] from *inside* a pool task of the
-/// same pool: the caller blocks waiting for results that can only run on
-/// the thread it is blocking.
+/// Calling [`WorkerPool::scatter`] from *inside* a task of the same pool
+/// is safe: the nested batch runs inline on the calling worker (the
+/// blocked-caller deadlock cannot happen), in task order, so results are
+/// identical to a top-level scatter.
 pub struct WorkerPool {
+    id: u64,
     sender: Option<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -54,6 +69,7 @@ impl WorkerPool {
     #[must_use]
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let (sender, receiver) = channel::<Task>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..threads)
@@ -61,11 +77,15 @@ impl WorkerPool {
                 let rx = Arc::clone(&receiver);
                 std::thread::Builder::new()
                     .name(format!("mapa-matcher-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || {
+                        CURRENT_POOL.with(|p| p.set(id));
+                        worker_loop(&rx);
+                    })
                     .expect("spawn pool worker")
             })
             .collect();
         Self {
+            id,
             sender: Some(sender),
             workers,
         }
@@ -96,6 +116,11 @@ impl WorkerPool {
     /// order* — the deterministic fork/join primitive. The calling thread
     /// blocks until all tasks finish.
     ///
+    /// Re-entrant: when called from a task already running on this pool
+    /// (e.g. a parallel dispatch task whose shard policy enumerates
+    /// through the same shared matcher pool), the batch runs inline on
+    /// the calling worker in task order — same results, no deadlock.
+    ///
     /// # Panics
     /// Panics if any task panicked (the batch cannot be completed).
     pub fn scatter<T, F>(&self, tasks: Vec<F>) -> Vec<T>
@@ -103,6 +128,9 @@ impl WorkerPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        if CURRENT_POOL.with(std::cell::Cell::get) == self.id {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
         let n = tasks.len();
         let (tx, rx) = channel::<(usize, T)>();
         for (i, task) in tasks.into_iter().enumerate() {
@@ -224,6 +252,40 @@ mod tests {
             let _ = tx.send(7usize);
         }));
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn nested_scatter_on_the_same_pool_runs_inline() {
+        // Every worker scatters on its own pool: without the re-entrancy
+        // fallback this deadlocks (all workers blocked waiting for tasks
+        // only they could run). Results must still come back in order.
+        let pool = Arc::new(WorkerPool::new(2));
+        let outer: Vec<_> = (0..4usize)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                move || {
+                    let inner = pool.scatter((0..3usize).map(|j| move || i * 10 + j).collect());
+                    assert_eq!(inner, vec![i * 10, i * 10 + 1, i * 10 + 2]);
+                    i
+                }
+            })
+            .collect();
+        assert_eq!(pool.scatter(outer), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_scatter_on_a_different_pool_still_parallelizes() {
+        // Re-entrancy detection is per pool id: scattering on *another*
+        // pool from inside a task must keep using that pool's workers.
+        let outer_pool = WorkerPool::new(2);
+        let inner_pool = Arc::new(WorkerPool::new(2));
+        let tasks: Vec<_> = (0..4usize)
+            .map(|i| {
+                let inner_pool = Arc::clone(&inner_pool);
+                move || inner_pool.scatter(vec![move || i * 2]).pop().unwrap()
+            })
+            .collect();
+        assert_eq!(outer_pool.scatter(tasks), vec![0, 2, 4, 6]);
     }
 
     #[test]

@@ -176,6 +176,47 @@ pub struct Placement {
     pub scheduling_overhead: Duration,
 }
 
+/// One job a queue-managing backend placed during [`SchedulerBackend::pump`]:
+/// what ran, when it was submitted, and the placement decision — everything
+/// the engine needs to start execution and log the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchedJob {
+    /// The job that was placed.
+    pub job: JobSpec,
+    /// Simulated time the job entered the backend (its arrival).
+    pub submitted_at: f64,
+    /// The placement decision.
+    pub placement: Placement,
+}
+
+/// Dispatch-layer statistics a backend reports after a run: which dispatch
+/// mode and migration policy ran, per-shard queue bounds and high-water
+/// marks, and the migration counters. `None` from backends without a
+/// dispatch layer (the single server).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchReport {
+    /// Dispatch mode name ("sequential" or "parallel").
+    pub mode: &'static str,
+    /// Migration policy name ("none", "steal-on-idle", …).
+    pub migration: &'static str,
+    /// Bound of each per-shard queue; 0 when the backend ran on the
+    /// engine's global FIFO queue instead of per-shard queues.
+    pub shard_queue_depth: usize,
+    /// Jobs moved between shard queues by work stealing.
+    pub jobs_stolen: u64,
+    /// Jobs moved between shard queues by release-time rebalancing.
+    pub jobs_rebalanced: u64,
+    /// Largest depth each shard queue reached (empty when the backend ran
+    /// on the engine's global queue).
+    pub max_queue_depths: Vec<usize>,
+    /// Pump passes that left at least one shard-queue head blocked.
+    pub dispatch_blocks: u64,
+    /// Blocked heads whose job would have fit the backend's pooled free
+    /// GPUs — capacity existed on *some* shard, just not the routed one
+    /// (the cross-shard imbalance migration policies exist to drain).
+    pub fragmentation_blocks: u64,
+}
+
 /// The stage the event engine delegates placement to: one server or a
 /// sharded cluster. Implementations own all allocator state; the engine
 /// owns time, the queue, and the log.
@@ -215,6 +256,48 @@ pub trait SchedulerBackend {
 
     /// Releases a finished job's GPUs on the server that placed it.
     fn release(&mut self, server: usize, job: u64);
+
+    /// Whether this backend manages its own (per-shard) queues. When
+    /// true, the engine routes every arrival straight into the backend
+    /// via [`Self::admit`] and drains placements via [`Self::pump`]; its
+    /// own global FIFO queue stays empty and [`Self::try_place`] is never
+    /// called. Default: false (the engine queues).
+    fn manages_queues(&self) -> bool {
+        false
+    }
+
+    /// Accepts an arriving job into the backend's own queues (only called
+    /// when [`Self::manages_queues`] is true). The backend must hold the
+    /// job until a [`Self::pump`] places it — jobs are never dropped.
+    fn admit(&mut self, job: JobSpec, submitted_at: f64) {
+        let _ = submitted_at;
+        unreachable!(
+            "admit called for job {} on a backend that does not manage queues",
+            job.id
+        );
+    }
+
+    /// Places every queued job that can start *now* and returns them in a
+    /// deterministic order (only called when [`Self::manages_queues`] is
+    /// true). The engine turns each returned job into a running record
+    /// and a finish event.
+    fn pump(&mut self, now: f64) -> Vec<DispatchedJob> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Jobs currently waiting inside the backend's queues (0 for backends
+    /// that do not manage queues). The engine samples this for queue-depth
+    /// statistics and asserts it drains to 0 at the end of a run.
+    fn queued_jobs(&self) -> usize {
+        0
+    }
+
+    /// The backend's dispatch-layer statistics, when it has a dispatch
+    /// layer (mode, migration counters, per-shard queue high-water marks).
+    fn dispatch_report(&self) -> Option<DispatchReport> {
+        None
+    }
 
     /// Aggregated cache counters over every server; `None` when no server
     /// caches.
@@ -428,6 +511,10 @@ pub struct SimReport {
     pub shards: Vec<ShardStats>,
     /// Dispatcher-queue statistics.
     pub queue: QueueStats,
+    /// Dispatch-layer statistics (mode, migration counters, per-shard
+    /// queue high-water marks) from backends that have a dispatch layer;
+    /// `None` for the single server.
+    pub dispatch: Option<DispatchReport>,
 }
 
 impl SimReport {
@@ -546,6 +633,7 @@ impl<B: SchedulerBackend> Engine<B> {
     pub fn run_stream(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> SimReport {
         self.backend.configure(&self.config);
         let max_gpus = self.backend.max_job_gpus();
+        let managed = self.backend.manages_queues();
 
         let mut source = jobs.into_iter();
         let mut clock = ArrivalClock::new(self.config.arrivals);
@@ -582,7 +670,11 @@ impl<B: SchedulerBackend> Engine<B> {
                         job.num_gpus,
                         max_gpus
                     );
-                    queue.push_back((job, now));
+                    if managed {
+                        self.backend.admit(job, now);
+                    } else {
+                        queue.push_back((job, now));
+                    }
                     if let Some(next) = source.next() {
                         events.push(clock.next_time(), EventKind::JobArrival(arrivals));
                         incoming.push_back(next);
@@ -595,20 +687,39 @@ impl<B: SchedulerBackend> Engine<B> {
                     records.push(pending.into_record(now));
                 }
             }
-            self.dispatch(
-                &mut queue,
-                &mut events,
-                &mut running,
-                now,
-                &mut blocks,
-                &mut frag_blocks,
-            );
-            depth_max = depth_max.max(queue.len());
-            depth_sum += queue.len() as u64;
+            if managed {
+                for d in self.backend.pump(now) {
+                    self.start_job(
+                        d.job,
+                        d.submitted_at,
+                        d.placement,
+                        now,
+                        &mut events,
+                        &mut running,
+                    );
+                }
+            } else {
+                self.dispatch(
+                    &mut queue,
+                    &mut events,
+                    &mut running,
+                    now,
+                    &mut blocks,
+                    &mut frag_blocks,
+                );
+            }
+            let depth = queue.len() + self.backend.queued_jobs();
+            depth_max = depth_max.max(depth);
+            depth_sum += depth as u64;
             depth_samples += 1;
         }
 
         assert!(queue.is_empty(), "all jobs must eventually run");
+        assert_eq!(
+            self.backend.queued_jobs(),
+            0,
+            "backend queues must drain completely"
+        );
         assert!(running.is_empty());
         debug_assert!(events.is_empty());
 
@@ -642,6 +753,14 @@ impl<B: SchedulerBackend> Engine<B> {
                 shard.utilization = shard.gpu_seconds / (shard.gpu_count as f64 * makespan);
             }
         }
+        let dispatch = self.backend.dispatch_report();
+        // A queue-managing backend counts its own blocked heads; fold
+        // them into the queue statistics so both paths report in one
+        // place.
+        if let Some(d) = &dispatch {
+            blocks += d.dispatch_blocks;
+            frag_blocks += d.fragmentation_blocks;
+        }
         let queue_stats = QueueStats {
             max_depth: depth_max,
             mean_depth: if depth_samples > 0 {
@@ -661,6 +780,7 @@ impl<B: SchedulerBackend> Engine<B> {
             cache: self.backend.cache_stats(),
             shards,
             queue: queue_stats,
+            dispatch,
         }
     }
 
@@ -677,32 +797,7 @@ impl<B: SchedulerBackend> Engine<B> {
         while let Some((job, submitted_at)) = queue.pop_front() {
             match self.backend.try_place(&job) {
                 Some(p) => {
-                    let topology = self.backend.server_topology(p.server);
-                    let workload_bw = perf::workload_effbw(job.workload, topology, &p.gpus);
-                    let iter_time =
-                        perf::iteration_time_with_effbw(job.workload, job.num_gpus, workload_bw);
-                    let exec = iter_time * job.iterations as f64;
-                    let finish = now + exec;
-                    events.push(finish, EventKind::JobFinished(job.id));
-                    running.insert(
-                        job.id,
-                        PendingRecord {
-                            server: p.server,
-                            gpus: p.gpus.clone(),
-                            submitted_at,
-                            started_at: now,
-                            execution_seconds: exec,
-                            predicted_eff_bw: p.score.predicted_eff_bw,
-                            measured_eff_bw: effbw::measure(topology, &p.gpus),
-                            workload_eff_bw: workload_bw,
-                            aggregated_bw: p.score.aggregated_bw,
-                            allocation_quality: fragmentation::allocation_quality(
-                                topology, &p.gpus,
-                            ),
-                            scheduling_overhead: p.scheduling_overhead,
-                            job,
-                        },
-                    );
+                    self.start_job(job, submitted_at, p, now, events, running);
                 }
                 None => {
                     *blocks += 1;
@@ -721,6 +816,42 @@ impl<B: SchedulerBackend> Engine<B> {
         while let Some(item) = skipped.pop_back() {
             queue.push_front(item);
         }
+    }
+
+    /// Turns a placement into a running record and its finish event — the
+    /// per-job half of dispatch shared by the engine-queued path and the
+    /// backend-managed (`pump`) path, so the two cannot drift apart.
+    fn start_job(
+        &mut self,
+        job: JobSpec,
+        submitted_at: f64,
+        p: Placement,
+        now: f64,
+        events: &mut EventQueue,
+        running: &mut HashMap<u64, PendingRecord>,
+    ) {
+        let topology = self.backend.server_topology(p.server);
+        let workload_bw = perf::workload_effbw(job.workload, topology, &p.gpus);
+        let iter_time = perf::iteration_time_with_effbw(job.workload, job.num_gpus, workload_bw);
+        let exec = iter_time * job.iterations as f64;
+        events.push(now + exec, EventKind::JobFinished(job.id));
+        running.insert(
+            job.id,
+            PendingRecord {
+                server: p.server,
+                gpus: p.gpus.clone(),
+                submitted_at,
+                started_at: now,
+                execution_seconds: exec,
+                predicted_eff_bw: p.score.predicted_eff_bw,
+                measured_eff_bw: effbw::measure(topology, &p.gpus),
+                workload_eff_bw: workload_bw,
+                aggregated_bw: p.score.aggregated_bw,
+                allocation_quality: fragmentation::allocation_quality(topology, &p.gpus),
+                scheduling_overhead: p.scheduling_overhead,
+                job,
+            },
+        );
     }
 }
 

@@ -52,6 +52,7 @@ pub mod stats;
 pub mod timeline;
 
 pub use engine::{
-    configure_allocator, ArrivalProcess, Engine, JobRecord, Placement, QueueStats,
-    SchedulerBackend, ShardStats, SimConfig, SimReport, Simulation, SingleServer,
+    configure_allocator, ArrivalProcess, DispatchReport, DispatchedJob, Engine, JobRecord,
+    Placement, QueueStats, SchedulerBackend, ShardStats, SimConfig, SimReport, Simulation,
+    SingleServer,
 };

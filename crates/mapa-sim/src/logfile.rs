@@ -69,6 +69,18 @@ pub fn write_log(report: &SimReport) -> String {
         report.queue.dispatch_blocks,
         report.queue.fragmentation_blocks,
     ));
+    if let Some(d) = &report.dispatch {
+        let depths: Vec<String> = d.max_queue_depths.iter().map(usize::to_string).collect();
+        out.push_str(&format!(
+            "# dispatch: mode={} migration={} queue_depth={} stolen={} rebalanced={} max_depths=({})\n",
+            d.mode,
+            d.migration,
+            d.shard_queue_depth,
+            d.jobs_stolen,
+            d.jobs_rebalanced,
+            depths.join(","),
+        ));
+    }
     out
 }
 
@@ -274,6 +286,37 @@ mod tests {
         assert!(record_line.ends_with(", 0"), "single server logs shard 0");
         // Still parseable by the tolerant reader.
         assert_eq!(parse_log(&text).unwrap().len(), 40);
+    }
+
+    #[test]
+    fn log_carries_the_dispatch_trailer_for_queued_clusters() {
+        // Single-server reports have no dispatch layer — no trailer.
+        let jobs = generator::paper_job_mix(7);
+        let single =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..10]);
+        assert!(!write_log(&single).contains("# dispatch:"));
+        // A report carrying dispatch statistics writes them.
+        let mut report = single;
+        report.dispatch = Some(crate::DispatchReport {
+            mode: "parallel",
+            migration: "steal-on-idle",
+            shard_queue_depth: 8,
+            jobs_stolen: 3,
+            jobs_rebalanced: 0,
+            max_queue_depths: vec![5, 2],
+            dispatch_blocks: 4,
+            fragmentation_blocks: 1,
+        });
+        let text = write_log(&report);
+        assert!(
+            text.contains(
+                "# dispatch: mode=parallel migration=steal-on-idle queue_depth=8 \
+                 stolen=3 rebalanced=0 max_depths=(5,2)"
+            ),
+            "{text}"
+        );
+        // Trailer stays invisible to the tolerant reader.
+        assert_eq!(parse_log(&text).unwrap().len(), 10);
     }
 
     #[test]

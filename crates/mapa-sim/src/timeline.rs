@@ -177,6 +177,7 @@ mod tests {
             cache: None,
             shards: vec![],
             queue: crate::QueueStats::default(),
+            dispatch: None,
         };
         let _ = utilization(&report, 8);
     }

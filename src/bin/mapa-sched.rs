@@ -17,7 +17,10 @@
 //! server-selection policy picks the shard, the allocation policy picks
 //! the GPUs, and jobs stream in through the bounded ingestion channel.
 
-use mapa::cluster::{server_policy_by_name, Cluster, JobFeed, SERVER_POLICY_NAMES};
+use mapa::cluster::{
+    dispatch_mode_by_name, migration_policy_by_name, server_policy_by_name, Cluster, DispatchMode,
+    JobFeed, MigrationPolicy, DISPATCH_MODE_NAMES, MIGRATION_POLICY_NAMES, SERVER_POLICY_NAMES,
+};
 use mapa::core::policy::{
     AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
     TopoAwarePolicy,
@@ -47,12 +50,17 @@ usage:
   mapa-sched generate [--count N] [--seed S]
   mapa-sched simulate --machine <name-or-file> --policy <name> --jobs <file>
                       [--servers N] [--server-policy <name>]
+                      [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N]
                       [--backfill] [--no-cache] [--seed S]
                       [--poisson MEAN_GAP | --burst SIZE [--burst-gap SECONDS]]
                       [--json <report-file>]
 
-policies:        baseline | topo-aware | greedy | preserve | effbw-greedy
-server policies: round-robin | least-loaded | best-score | pack-first";
+policies:           baseline | topo-aware | greedy | preserve | effbw-greedy
+server policies:    round-robin | least-loaded | best-score | pack-first
+dispatch modes:     sequential | parallel
+migration policies: none | steal-on-idle | rebalance-on-release
+(--shard-queue-depth or a non-none --migration switches the cluster from
+the global FIFO queue to bounded per-shard queues)";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -166,6 +174,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut seed = 0u64;
     let mut servers = 1usize;
     let mut server_policy_arg: Option<String> = None;
+    let mut dispatch_arg: Option<String> = None;
+    let mut migration_arg: Option<String> = None;
+    let mut queue_depth: Option<usize> = None;
     let mut json_file: Option<String> = None;
 
     let mut it = args.iter();
@@ -182,6 +193,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--seed" => seed = parse_flag(&mut it, "--seed")?,
             "--servers" => servers = parse_flag(&mut it, "--servers")?,
             "--server-policy" => server_policy_arg = Some(parse_flag(&mut it, "--server-policy")?),
+            "--dispatch" => dispatch_arg = Some(parse_flag(&mut it, "--dispatch")?),
+            "--migration" => migration_arg = Some(parse_flag(&mut it, "--migration")?),
+            "--shard-queue-depth" => {
+                queue_depth = Some(parse_flag(&mut it, "--shard-queue-depth")?)
+            }
             "--json" => json_file = Some(parse_flag(&mut it, "--json")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -234,10 +250,46 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         ..SimConfig::default()
     };
 
+    let dispatch = match dispatch_arg.as_deref() {
+        None => DispatchMode::Sequential,
+        Some(name) => dispatch_mode_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown dispatch mode '{name}' (choose from: {})",
+                DISPATCH_MODE_NAMES.join(" | ")
+            )
+        })?,
+    };
+    let migration = match migration_arg.as_deref() {
+        None => MigrationPolicy::None,
+        Some(name) => migration_policy_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown migration policy '{name}' (choose from: {})",
+                MIGRATION_POLICY_NAMES.join(" | ")
+            )
+        })?,
+    };
+    // Per-shard queues are always strict per-shard FIFO; silently taking
+    // the queued path would turn a --backfill ablation into a FIFO run.
+    if backfill && (queue_depth.is_some() || migration != MigrationPolicy::None) {
+        return Err(
+            "--backfill applies to the global FIFO queue only; it cannot be combined \
+             with --shard-queue-depth or a non-none --migration (per-shard queues are \
+             strict FIFO per shard)"
+                .to_string(),
+        );
+    }
+    // Any dispatch-layer flag implies the cluster path (a 1-server
+    // cluster is valid — per-shard queues and migration still apply).
+    let clustered = servers > 1
+        || server_policy_arg.is_some()
+        || dispatch_arg.is_some()
+        || migration_arg.is_some()
+        || queue_depth.is_some();
+
     // Jobs stream into the dispatcher through the bounded ingestion
     // channel — the same front end live traffic would use.
     let feed = JobFeed::from_jobs(job_list, mapa::cluster::DEFAULT_INGEST_CAPACITY);
-    let report = if servers > 1 || server_policy_arg.is_some() {
+    let report = if clustered {
         let server_policy_name = server_policy_arg.as_deref().unwrap_or("least-loaded");
         let server_policy = server_policy_by_name(server_policy_name).ok_or_else(|| {
             format!(
@@ -249,12 +301,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         let mut shard_policies = (0..servers)
             .map(|_| resolve_policy(&policy_name))
             .collect::<Result<Vec<_>, _>>()?;
-        let cluster = Cluster::homogeneous(
+        let mut cluster = Cluster::homogeneous(
             machine,
             servers,
             move || shard_policies.pop().expect("one policy per shard"),
             server_policy,
-        );
+        )
+        .with_dispatch(dispatch);
+        if let Some(depth) = queue_depth {
+            if depth == 0 {
+                return Err("--shard-queue-depth must be at least 1".to_string());
+            }
+            cluster = cluster.with_shard_queues(depth);
+        }
+        cluster = cluster.with_migration(migration);
         Engine::over(cluster).with_config(config).run_stream(feed)
     } else {
         Simulation::new(machine, resolve_policy(&policy_name)?)
@@ -302,6 +362,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             None => println!("  | cache: off"),
         }
     }
+    if let Some(d) = &report.dispatch {
+        print!("dispatch: {} | migration: {}", d.mode, d.migration);
+        if d.shard_queue_depth > 0 {
+            print!(
+                " | shard queues: depth {}  stolen {}  rebalanced {}",
+                d.shard_queue_depth, d.jobs_stolen, d.jobs_rebalanced
+            );
+        } else {
+            print!(" | queue: global FIFO");
+        }
+        println!();
+    }
     if report.shards.len() > 1 {
         println!(
             "queue: max depth {}  mean depth {:.2}  blocks {}  cross-server frag blocks {}",
@@ -342,8 +414,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 /// Hand-rolled JSON report (the workspace is dependency-free offline):
-/// run summary, queue statistics, and one object per shard — the
-/// machine-readable artifact CI uploads next to `BENCH_fig19.json`.
+/// run summary, queue statistics, the dispatch layer (mode, migration
+/// counters, per-shard queue high-water marks) when one ran, and one
+/// object per shard — the machine-readable artifact CI uploads next to
+/// `BENCH_fig19.json`.
 fn report_json(report: &SimReport) -> String {
     // `scheduling_stats` panics on an empty run; report zeros instead.
     let (latency_p50, latency_max, hit_rate) = if report.records.is_empty() {
@@ -356,6 +430,20 @@ fn report_json(report: &SimReport) -> String {
             sched.cache_hit_rate(),
         )
     };
+    let dispatch = report.dispatch.as_ref().map_or(String::new(), |d| {
+        let depths: Vec<String> = d.max_queue_depths.iter().map(usize::to_string).collect();
+        format!(
+            "  \"dispatch\": {{\"mode\": \"{}\", \"migration\": \"{}\", \
+             \"shard_queue_depth\": {}, \"jobs_stolen\": {}, \"jobs_rebalanced\": {}, \
+             \"max_queue_depths\": [{}]}},\n",
+            d.mode,
+            d.migration,
+            d.shard_queue_depth,
+            d.jobs_stolen,
+            d.jobs_rebalanced,
+            depths.join(", ")
+        )
+    });
     let shards: Vec<String> = report
         .shards
         .iter()
@@ -375,7 +463,7 @@ fn report_json(report: &SimReport) -> String {
          \"scheduling_latency_ms\": {{\"p50\": {:.6}, \"max\": {:.6}}},\n  \
          \"cache_hit_rate\": {:.6},\n  \
          \"queue\": {{\"max_depth\": {}, \"mean_depth\": {:.3}, \"dispatch_blocks\": {}, \
-         \"fragmentation_blocks\": {}}},\n  \"shards\": [\n{}\n  ]\n}}\n",
+         \"fragmentation_blocks\": {}}},\n{dispatch}  \"shards\": [\n{}\n  ]\n}}\n",
         report.topology_name,
         report.policy_name,
         report.records.len(),

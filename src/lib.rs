@@ -51,8 +51,9 @@ pub use mapa_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use mapa_cluster::{
-        server_policy_by_name, BestScorePolicy, Cluster, JobFeed, LeastLoadedPolicy,
-        PackFirstPolicy, RoundRobinPolicy, ServerPolicy, ShardView,
+        dispatch_mode_by_name, migration_policy_by_name, server_policy_by_name, BestScorePolicy,
+        Cluster, DispatchMode, JobFeed, LeastLoadedPolicy, MigrationPolicy, MigrationStats,
+        PackFirstPolicy, RoundRobinPolicy, ServerPolicy, ShardView, DEFAULT_SHARD_QUEUE_DEPTH,
     };
     pub use mapa_core::policy::{
         AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
@@ -65,7 +66,8 @@ pub mod prelude {
     pub use mapa_isomorph::{default_threads, MatchOptions, Matcher, WorkerPool};
     pub use mapa_model::{corpus, EffBwModel};
     pub use mapa_sim::{
-        stats, ArrivalProcess, Engine, SchedulerBackend, SimConfig, SimReport, Simulation,
+        stats, ArrivalProcess, DispatchReport, Engine, SchedulerBackend, SimConfig, SimReport,
+        Simulation,
     };
     pub use mapa_topology::{
         machines, HardwareState, LinkMix, LinkType, OccupancySignature, Topology,

@@ -1,0 +1,253 @@
+//! The determinism harness that makes concurrent dispatch safe to keep
+//! refactoring: `DispatchMode::Parallel` must replay
+//! `DispatchMode::Sequential` bit-identically — same placements, same
+//! servers, same start/finish times, same scores — for every allocation
+//! policy × server policy combination, on both dispatch paths:
+//!
+//! * the **global-queue path** (PR 3's cluster: one engine FIFO,
+//!   ranked fall-through), where parallel dispatch evaluates the
+//!   server-selection score peeks concurrently; `Sequential` here *is*
+//!   PR 3's cluster — the code path is unchanged — so this half also
+//!   pins that the new dispatch layer with `MigrationPolicy::None` and
+//!   no shard queues replays PR 3 byte for byte;
+//! * the **queued path** (per-shard bounded queues), where parallel
+//!   dispatch runs every shard's head-of-queue decision concurrently on
+//!   the shared worker pool.
+//!
+//! The argument (see ARCHITECTURE.md): each shard's decision reads and
+//! writes only that shard's allocator, pool results return in submission
+//! order, and every cross-shard step — routing, outcome merging,
+//! migration — runs serially in both modes. Wall-clock changes; the
+//! schedule cannot. The property tests below check it anyway, across
+//! randomized job streams, because that argument is exactly the kind of
+//! thing refactors silently break.
+
+use mapa::core::policy::{
+    AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
+    TopoAwarePolicy,
+};
+use mapa::prelude::*;
+use proptest::prelude::*;
+
+fn policy_by_index(i: usize) -> Box<dyn AllocationPolicy> {
+    match i % 5 {
+        0 => Box::new(BaselinePolicy),
+        1 => Box::new(TopoAwarePolicy),
+        2 => Box::new(GreedyPolicy),
+        3 => Box::new(PreservePolicy),
+        _ => Box::new(EffBwGreedyPolicy),
+    }
+}
+
+fn server_policy_by_index(i: usize) -> Box<dyn ServerPolicy> {
+    match i % 4 {
+        0 => Box::new(RoundRobinPolicy),
+        1 => Box::new(LeastLoadedPolicy),
+        2 => Box::new(BestScorePolicy),
+        _ => Box::new(PackFirstPolicy),
+    }
+}
+
+fn fleet(servers: usize, policy_idx: usize, server_policy_idx: usize) -> Cluster {
+    Cluster::homogeneous(
+        machines::dgx1_v100(),
+        servers,
+        || policy_by_index(policy_idx),
+        server_policy_by_index(server_policy_idx),
+    )
+}
+
+/// Bit-identical schedules: every semantic field of every record must
+/// agree (wall-clock `scheduling_overhead` is the one field that
+/// legitimately differs between dispatch modes).
+fn assert_identical_schedules(a: &SimReport, b: &SimReport, context: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{context}");
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.job.id, y.job.id, "{context}");
+        assert_eq!(x.server, y.server, "{context}: server choice");
+        assert_eq!(x.gpus, y.gpus, "{context}: placements");
+        assert_eq!(x.submitted_at, y.submitted_at, "{context}");
+        assert_eq!(x.started_at, y.started_at, "{context}");
+        assert_eq!(x.finished_at, y.finished_at, "{context}");
+        assert_eq!(x.predicted_eff_bw, y.predicted_eff_bw, "{context}");
+        assert_eq!(x.measured_eff_bw, y.measured_eff_bw, "{context}");
+        assert_eq!(x.aggregated_bw, y.aggregated_bw, "{context}");
+        assert_eq!(x.allocation_quality, y.allocation_quality, "{context}");
+    }
+    assert_eq!(a.makespan_seconds, b.makespan_seconds, "{context}");
+    assert_eq!(a.queue.max_depth, b.queue.max_depth, "{context}");
+    assert_eq!(
+        a.queue.dispatch_blocks, b.queue.dispatch_blocks,
+        "{context}"
+    );
+    // Per-shard accounting and migration counters must agree too.
+    for (sa, sb) in a.shards.iter().zip(&b.shards) {
+        assert_eq!(sa.jobs_completed, sb.jobs_completed, "{context}");
+        assert_eq!(sa.gpu_seconds, sb.gpu_seconds, "{context}");
+    }
+    let (da, db) = (a.dispatch.as_ref(), b.dispatch.as_ref());
+    if let (Some(da), Some(db)) = (da, db) {
+        assert_eq!(da.jobs_stolen, db.jobs_stolen, "{context}");
+        assert_eq!(da.jobs_rebalanced, db.jobs_rebalanced, "{context}");
+        assert_eq!(da.max_queue_depths, db.max_queue_depths, "{context}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Queued path: parallel shard decisions replay sequential ones
+    /// bit-identically for every allocation × server policy combination
+    /// on randomized job streams, shard counts, and queue depths.
+    #[test]
+    fn dispatch_parallel_replays_sequential_on_shard_queues(
+        seed in 1u64..500,
+        take in 20usize..50,
+        servers in 2usize..4,
+        depth in 2usize..10,
+        server_policy_idx in 0usize..4,
+    ) {
+        let jobs = generator::paper_job_mix(seed);
+        let jobs = &jobs[..take];
+        for policy_idx in 0..5 {
+            let seq = Engine::over(
+                fleet(servers, policy_idx, server_policy_idx).with_shard_queues(depth),
+            )
+            .run(jobs);
+            let par = Engine::over(
+                fleet(servers, policy_idx, server_policy_idx)
+                    .with_shard_queues(depth)
+                    .with_dispatch(DispatchMode::Parallel),
+            )
+            .run(jobs);
+            let context = format!(
+                "queued: alloc #{policy_idx}, server #{server_policy_idx}, \
+                 seed {seed}, {servers} shards, depth {depth}"
+            );
+            assert_identical_schedules(&seq, &par, &context);
+        }
+    }
+
+    /// Global-queue path (PR 3's cluster, code-path unchanged when
+    /// sequential): parallel score peeks replay it bit-identically for
+    /// every allocation × server policy combination — the new dispatch
+    /// layer with no shard queues and `MigrationPolicy::None` *is* the
+    /// PR 3 cluster.
+    #[test]
+    fn dispatch_parallel_replays_pr3_global_queue_cluster(
+        seed in 1u64..500,
+        take in 20usize..45,
+        servers in 2usize..4,
+        server_policy_idx in 0usize..4,
+    ) {
+        let jobs = generator::paper_job_mix(seed);
+        let jobs = &jobs[..take];
+        for policy_idx in 0..5 {
+            let pr3 = Engine::over(fleet(servers, policy_idx, server_policy_idx)).run(jobs);
+            let par = Engine::over(
+                fleet(servers, policy_idx, server_policy_idx)
+                    .with_dispatch(DispatchMode::Parallel)
+                    .with_migration(MigrationPolicy::None),
+            )
+            .run(jobs);
+            assert_eq!(par.dispatch.as_ref().unwrap().shard_queue_depth, 0);
+            let context = format!(
+                "global queue: alloc #{policy_idx}, server #{server_policy_idx}, seed {seed}"
+            );
+            assert_identical_schedules(&pr3, &par, &context);
+        }
+    }
+
+    /// Parallel ≡ sequential survives migration: steal-on-idle and
+    /// rebalance-on-release run in the serial merge phase, so the modes
+    /// must still agree on every schedule *and* every migration counter.
+    #[test]
+    fn dispatch_modes_agree_under_migration(
+        seed in 1u64..500,
+        take in 20usize..45,
+        migration_idx in 0usize..3,
+        server_policy_idx in 0usize..4,
+    ) {
+        let migration = match migration_idx {
+            0 => MigrationPolicy::None,
+            1 => MigrationPolicy::StealOnIdle,
+            _ => MigrationPolicy::RebalanceOnRelease,
+        };
+        let jobs = generator::paper_job_mix(seed);
+        let jobs = &jobs[..take];
+        let seq = Engine::over(
+            fleet(3, 3, server_policy_idx)
+                .with_shard_queues(4)
+                .with_migration(migration),
+        )
+        .run(jobs);
+        let par = Engine::over(
+            fleet(3, 3, server_policy_idx)
+                .with_shard_queues(4)
+                .with_migration(migration)
+                .with_dispatch(DispatchMode::Parallel),
+        )
+        .run(jobs);
+        let context = format!(
+            "migration {:?}, server #{server_policy_idx}, seed {seed}",
+            migration
+        );
+        assert_identical_schedules(&seq, &par, &context);
+    }
+}
+
+/// A 1-shard queued cluster is still the single-server engine: routing
+/// has one answer, the per-shard queue is *the* FIFO queue, and strict
+/// per-shard FIFO degenerates to the paper's strict global FIFO — so
+/// everything PR 0–3 proved transfers to the queued dispatch layer too.
+#[test]
+fn dispatch_one_shard_queued_cluster_equals_single_server() {
+    let jobs = generator::paper_job_mix(37);
+    let jobs = &jobs[..60];
+    for policy_idx in 0..5 {
+        let single = Simulation::new(machines::dgx1_v100(), policy_by_index(policy_idx)).run(jobs);
+        for mode in [DispatchMode::Sequential, DispatchMode::Parallel] {
+            let cluster = fleet(1, policy_idx, 1)
+                .with_shard_queues(DEFAULT_SHARD_QUEUE_DEPTH)
+                .with_dispatch(mode);
+            let queued = Engine::over(cluster).run(jobs);
+            assert_identical_schedules(
+                &single,
+                &queued,
+                &format!("1-shard queued, alloc #{policy_idx}, {mode:?}"),
+            );
+        }
+    }
+}
+
+/// The equivalence holds with the full production front end in the loop:
+/// bounded-channel ingestion, bursty arrivals, queued dispatch, stealing.
+#[test]
+fn dispatch_modes_agree_through_the_streamed_ingest_path() {
+    let jobs = generator::paper_job_mix(43);
+    let jobs = &jobs[..50];
+    let config = SimConfig {
+        arrivals: ArrivalProcess::Bursts {
+            size: 10,
+            gap: 600.0,
+        },
+        ..SimConfig::default()
+    };
+    let run = |mode: DispatchMode| {
+        Engine::over(
+            fleet(3, 3, 2) // Preserve × best-score: the peek-heavy combo
+                .with_shard_queues(6)
+                .with_migration(MigrationPolicy::StealOnIdle)
+                .with_dispatch(mode),
+        )
+        .with_config(config.clone())
+        .run_stream(JobFeed::from_jobs(jobs.to_vec(), 8))
+    };
+    let seq = run(DispatchMode::Sequential);
+    let par = run(DispatchMode::Parallel);
+    assert_identical_schedules(&seq, &par, "streamed bursts");
+    assert_eq!(
+        seq.dispatch.as_ref().unwrap().jobs_stolen,
+        par.dispatch.as_ref().unwrap().jobs_stolen
+    );
+}

@@ -1,0 +1,158 @@
+//! Stress tests for the ingestion path under per-shard queues: the
+//! bounded `JobFeed` must exert real backpressure (block the producer,
+//! never drop a job), a slow shard must stall only its own queue, and
+//! the feed's capacity must be invisible in the schedule — it bounds
+//! *memory*, not behavior.
+
+use mapa::core::policy::PreservePolicy;
+use mapa::prelude::*;
+use mapa::workloads::{AppTopology, Workload};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn job(id: u64, n: usize, iterations: u64) -> JobSpec {
+    JobSpec {
+        id,
+        num_gpus: n,
+        topology: AppTopology::Ring,
+        bandwidth_sensitive: true,
+        workload: Workload::Vgg16,
+        iterations,
+    }
+}
+
+/// A full bounded feed blocks the producer rather than dropping jobs:
+/// while the consumer has taken `i` items, the producer can be at most
+/// `capacity` buffered sends plus one in-flight send ahead — sampled
+/// throughout a 5000-job drain, not just at the end.
+#[test]
+fn ingest_full_bounded_feed_blocks_the_producer() {
+    const CAPACITY: usize = 4;
+    const JOBS: usize = 5000;
+    let produced = Arc::new(AtomicUsize::new(0));
+    let counter = Arc::clone(&produced);
+    let feed = JobFeed::spawn(CAPACITY, move |tx| {
+        for i in 0..JOBS {
+            tx.send(job(i as u64 + 1, 1, 1)).expect("consumer drains");
+            counter.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    let mut consumed = 0usize;
+    for (i, j) in feed.enumerate() {
+        assert_eq!(j.id, i as u64 + 1, "order preserved");
+        consumed += 1;
+        // The producer may be at most: capacity buffered + 1 blocked in
+        // send + 1 counter-increment race beyond what we consumed.
+        let ahead = produced.load(Ordering::SeqCst);
+        assert!(
+            ahead <= consumed + CAPACITY + 2,
+            "producer ran {ahead} with only {consumed} consumed"
+        );
+    }
+    assert_eq!(consumed, JOBS, "no job dropped");
+    assert_eq!(produced.load(Ordering::SeqCst), JOBS);
+}
+
+/// Under per-shard queues a slow shard stalls only its own queue: while
+/// shard 0 grinds through a monster job, everything that reached shard 1
+/// keeps flowing — no global head-of-line blocking. Shard 0's *own*
+/// waiters do stall (that is per-shard FIFO working as designed); adding
+/// steal-on-idle migration then drains even those through shard 1.
+#[test]
+fn ingest_slow_shard_stalls_only_its_own_queue() {
+    let mut jobs = vec![job(1, 8, 200_000)];
+    for i in 0..40 {
+        jobs.push(job(i + 2, 8, 1));
+    }
+    let run = |migration: MigrationPolicy| {
+        let cluster = Cluster::homogeneous(
+            machines::dgx1_v100(),
+            2,
+            || Box::new(PreservePolicy),
+            Box::new(RoundRobinPolicy),
+        )
+        .with_shard_queues(8)
+        .with_migration(migration);
+        Engine::over(cluster).run_stream(JobFeed::from_jobs(jobs.clone(), 4))
+    };
+
+    // Without migration: shard 1's stream is untouched by the monster;
+    // only jobs routed to shard 0's queue wait behind it.
+    let report = run(MigrationPolicy::None);
+    assert_eq!(report.records.len(), 41);
+    let monster = report.records.iter().find(|r| r.job.id == 1).unwrap();
+    assert_eq!(monster.server, 0, "round-robin routes job 1 to shard 0");
+    let (on_shard1, stalled_on_shard0): (Vec<_>, Vec<_>) = report
+        .records
+        .iter()
+        .filter(|r| r.job.id != 1)
+        .partition(|r| r.server == 1);
+    assert!(on_shard1.len() > 20, "shard 1 absorbed its half + overflow");
+    for r in &on_shard1 {
+        assert!(
+            r.finished_at < monster.finished_at,
+            "job {} on shard 1 must not wait for shard 0's monster",
+            r.job.id
+        );
+    }
+    // Per-shard FIFO: shard 0's own waiters did stall behind the monster.
+    assert!(!stalled_on_shard0.is_empty());
+    for r in &stalled_on_shard0 {
+        assert!(r.started_at >= monster.finished_at, "{r:?}");
+    }
+    // Shard 0's queue really was bounded the whole time.
+    let d = report.dispatch.as_ref().unwrap();
+    assert!(d.max_queue_depths[0] <= 8, "{d:?}");
+
+    // With stealing: the idle shard drains shard 0's queue too, so *every*
+    // quick job finishes while the monster still runs.
+    let stolen = run(MigrationPolicy::StealOnIdle);
+    let monster = stolen.records.iter().find(|r| r.job.id == 1).unwrap();
+    for r in stolen.records.iter().filter(|r| r.job.id != 1) {
+        assert!(
+            r.finished_at < monster.finished_at,
+            "with stealing, job {} must not wait for the monster",
+            r.job.id
+        );
+    }
+    assert!(stolen.dispatch.as_ref().unwrap().jobs_stolen > 0);
+}
+
+/// Feed capacity bounds memory, not behavior: the same queued-cluster
+/// run through a capacity-1 channel and a capacity-64 channel must
+/// produce the identical schedule.
+#[test]
+fn ingest_feed_capacity_does_not_change_the_schedule() {
+    let jobs = generator::paper_job_mix(47);
+    let jobs = &jobs[..70];
+    let run = |capacity: usize| {
+        let cluster = Cluster::homogeneous(
+            machines::dgx1_v100(),
+            3,
+            || Box::new(PreservePolicy),
+            Box::new(LeastLoadedPolicy),
+        )
+        .with_shard_queues(4)
+        .with_migration(MigrationPolicy::StealOnIdle);
+        Engine::over(cluster)
+            .with_config(SimConfig {
+                arrivals: ArrivalProcess::Uniform { gap: 30.0 },
+                ..SimConfig::default()
+            })
+            .run_stream(JobFeed::from_jobs(jobs.to_vec(), capacity))
+    };
+    let tight = run(1);
+    let roomy = run(64);
+    assert_eq!(tight.records.len(), roomy.records.len());
+    for (a, b) in tight.records.iter().zip(&roomy.records) {
+        assert_eq!(a.job.id, b.job.id);
+        assert_eq!(a.server, b.server);
+        assert_eq!(a.gpus, b.gpus);
+        assert_eq!(a.started_at, b.started_at);
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+    assert_eq!(
+        tight.dispatch.as_ref().unwrap().jobs_stolen,
+        roomy.dispatch.as_ref().unwrap().jobs_stolen
+    );
+}

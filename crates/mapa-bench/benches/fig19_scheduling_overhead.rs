@@ -91,6 +91,7 @@ fn measure(machine: &Topology, policy: &str, k: usize, cached: bool) -> (f64, u6
             bandwidth_sensitive: true,
             workload: Workload::Vgg16,
             iterations: 1,
+            priority: 0,
         };
         let start = Instant::now();
         let out = alloc.try_allocate(&job).expect("valid request");
@@ -131,6 +132,7 @@ fn measure_cluster_dispatch(mode: DispatchMode) -> f64 {
             bandwidth_sensitive: true,
             workload: Workload::Vgg16,
             iterations: 1,
+            priority: 0,
         };
         let start = Instant::now();
         let placement = cluster.try_place(&job).expect("fleet has room");

@@ -6,13 +6,15 @@
 use crate::migrate::{MigrationPolicy, MigrationStats};
 use crate::policy::{ServerPolicy, ShardView};
 use mapa_core::policy::AllocationPolicy;
-use mapa_core::{AllocationOutcome, AllocatorError, CacheStats, MapaAllocator};
+use mapa_core::{AllocationOutcome, AllocatorError, CacheStats, MapaAllocator, PreemptionPolicy};
 use mapa_isomorph::{MatchOptions, Matcher, WorkerPool};
 use mapa_model::{corpus, paper_coefficients, EffBwModel};
-use mapa_sim::{DispatchReport, DispatchedJob, Placement, SchedulerBackend, SimConfig};
+use mapa_sim::{
+    DispatchReport, DispatchedJob, Eviction, PendingJob, Placement, SchedulerBackend, SimConfig,
+};
 use mapa_topology::Topology;
-use mapa_workloads::JobSpec;
-use std::collections::{HashMap, VecDeque};
+use mapa_workloads::{JobGroup, JobSpec};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -67,24 +69,19 @@ pub fn dispatch_mode_by_name(name: &str) -> Option<DispatchMode> {
     }
 }
 
-/// A job waiting in a shard queue, with its submission time.
-#[derive(Debug, Clone)]
-struct QueuedJob {
-    job: JobSpec,
-    submitted_at: f64,
-}
-
 /// The per-shard-queue state of queued dispatch: one bounded FIFO per
 /// shard, a backlog for arrivals no eligible queue could hold, and the
 /// per-queue high-water marks the report surfaces.
 #[derive(Debug)]
 struct ShardQueues {
     depth: usize,
-    queues: Vec<VecDeque<QueuedJob>>,
+    /// Waiting jobs per shard, each with its full lifecycle state
+    /// (submission time, preemption ledger).
+    queues: Vec<VecDeque<PendingJob>>,
     /// Arrivals that found every eligible shard queue full, in arrival
     /// order. Drained back into shard queues as slots free up — jobs are
     /// never dropped.
-    backlog: VecDeque<QueuedJob>,
+    backlog: VecDeque<PendingJob>,
     max_depths: Vec<usize>,
 }
 
@@ -98,7 +95,7 @@ impl ShardQueues {
         }
     }
 
-    fn push(&mut self, shard: usize, item: QueuedJob) {
+    fn push(&mut self, shard: usize, item: PendingJob) {
         self.queues[shard].push_back(item);
         self.max_depths[shard] = self.max_depths[shard].max(self.queues[shard].len());
     }
@@ -146,6 +143,12 @@ pub struct Cluster {
     /// where the fleet's pooled free GPUs would have fit the head.
     queue_blocks: u64,
     queue_frag_blocks: u64,
+    /// Gangs waiting for all-or-nothing co-scheduling (queued-dispatch
+    /// path only), in arrival order with their submission times. Gangs
+    /// bypass the per-shard queues: every pump tries to reserve capacity
+    /// for the backlog head atomically across shards, and gangs behind an
+    /// unplaceable head wait (FIFO among gangs).
+    gang_backlog: VecDeque<(JobGroup, f64)>,
 }
 
 /// Shard decisions move whole allocators onto pool worker threads in
@@ -203,6 +206,7 @@ impl Cluster {
             migration_stats: MigrationStats::default(),
             queue_blocks: 0,
             queue_frag_blocks: 0,
+            gang_backlog: VecDeque::new(),
         }
     }
 
@@ -468,8 +472,7 @@ impl Cluster {
             debug_assert_eq!(item.job.id, outcome.job_id);
             self.placements += 1;
             placed.push(DispatchedJob {
-                job: item.job,
-                submitted_at: item.submitted_at,
+                pending: item,
                 placement: Placement {
                     server,
                     gpus: outcome.gpus,
@@ -479,6 +482,57 @@ impl Cluster {
             });
         }
         placed
+    }
+
+    /// Places one job fleet-wide, two-phase: rank shards, **peek** each
+    /// ranked shard (the cheap reservation check, which also primes the
+    /// allocation cache), and commit on the first feasible shard with a
+    /// `try_allocate` that is then a guaranteed cache hit. Shared by gang
+    /// placement; unlike [`SchedulerBackend::try_place`] it carries no
+    /// global-queue-path assertions, so the queued path may use it too.
+    fn place_fleetwide(&mut self, job: &JobSpec) -> Option<(usize, AllocationOutcome)> {
+        let seq = self.placements;
+        let order = self.rank_shards(job, seq);
+        for server in order {
+            match self.shards[server].peek(job) {
+                Ok(Some(_)) => {
+                    let outcome = self.shards[server]
+                        .try_allocate(job)
+                        .expect("peek validated the request")
+                        .expect("peek found a placement");
+                    self.placements += 1;
+                    return Some((server, outcome));
+                }
+                // Full right now, or impossible for this (smaller)
+                // machine: the next ranked shard may still host it.
+                Ok(None) | Err(AllocatorError::InvalidRequest { .. }) => {}
+                Err(e @ AllocatorError::State(_)) => {
+                    panic!("cluster placement of job {}: {e}", job.id)
+                }
+            }
+        }
+        None
+    }
+
+    /// Tries to co-schedule the gang-backlog head(s): each gang is
+    /// reserved atomically across shards via
+    /// [`SchedulerBackend::try_place_gang`]; the first gang that cannot
+    /// be satisfied blocks the ones behind it (FIFO among gangs).
+    fn launch_ready_gangs(&mut self) -> Vec<DispatchedJob> {
+        let mut out = Vec::new();
+        while let Some((gang, submitted_at)) = self.gang_backlog.front().cloned() {
+            let Some(placements) = self.try_place_gang(&gang.members) else {
+                break;
+            };
+            self.gang_backlog.pop_front();
+            for (member, placement) in gang.members.iter().zip(placements) {
+                out.push(DispatchedJob {
+                    pending: PendingJob::gang_member(member.clone(), submitted_at, gang.id),
+                    placement,
+                });
+            }
+        }
+        out
     }
 
     /// One migration pull for `thief` (a shard with an empty queue): take
@@ -537,7 +591,8 @@ impl Cluster {
         moved
     }
 
-    /// Counts still-blocked queue heads after a pump reached quiescence.
+    /// Counts still-blocked queue heads (and a still-blocked gang-backlog
+    /// head) after a pump reached quiescence.
     fn account_blocked_heads(&mut self) {
         let total_free: usize = self.shards.iter().map(|s| s.state().free_count()).sum();
         let queues = self.queues.as_ref().expect("accounting requires queues");
@@ -549,6 +604,12 @@ impl Cluster {
                 if total_free >= head.job.num_gpus {
                     frag += 1;
                 }
+            }
+        }
+        if let Some((gang, _)) = self.gang_backlog.front() {
+            blocked += 1;
+            if total_free >= gang.total_gpus() {
+                frag += 1;
             }
         }
         self.queue_blocks += blocked;
@@ -714,12 +775,124 @@ impl SchedulerBackend for Cluster {
         self.queues.is_some()
     }
 
-    fn admit(&mut self, job: JobSpec, submitted_at: f64) {
+    fn try_place_gang(&mut self, members: &[JobSpec]) -> Option<Vec<Placement>> {
+        // Duplicate active ids are caller bugs on the gang path exactly
+        // as on `try_place`'s.
+        for member in members {
+            if let Some(holder) = (0..self.shards.len())
+                .find(|&s| self.shards[s].state().gpus_of(member.id).is_some())
+            {
+                panic!("job {} is already allocated on shard {holder}", member.id);
+            }
+        }
+        // Cheap feasibility prefilter: the pooled free GPUs must fit the
+        // whole gang before any per-member work is worth doing.
+        let wanted: usize = members.iter().map(|m| m.num_gpus).sum();
+        if self.total_free_gpus() < wanted {
+            return None;
+        }
+        // Two-phase reservation: members are placed in order (peek picks
+        // the shard, the committing allocation is a guaranteed cache
+        // hit); if any member finds no shard, every reservation made so
+        // far is rolled back — occupancy is untouched on failure.
+        let started = Instant::now();
+        let mut placed: Vec<(usize, AllocationOutcome)> = Vec::new();
+        for member in members {
+            match self.place_fleetwide(member) {
+                Some(p) => placed.push(p),
+                None => {
+                    self.placements -= placed.len() as u64;
+                    for (member, (server, _)) in members.iter().zip(&placed) {
+                        self.shards[*server]
+                            .release(member.id)
+                            .expect("rollback releases a just-made reservation");
+                    }
+                    return None;
+                }
+            }
+        }
+        let scheduling_overhead = started.elapsed();
+        Some(
+            placed
+                .into_iter()
+                .map(|(server, outcome)| Placement {
+                    server,
+                    gpus: outcome.gpus,
+                    score: outcome.score,
+                    // The gang decision is atomic; every member carries
+                    // the whole reservation's overhead.
+                    scheduling_overhead,
+                })
+                .collect(),
+        )
+    }
+
+    fn preempt_for(
+        &mut self,
+        job: &JobSpec,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Vec<Eviction> {
+        // Global-queue path: the blocked head may be placed on any shard,
+        // so plan on every shard and evict where it costs least (fewest
+        // victims; ties toward the lowest shard id). Plans roll back, so
+        // losing shards are untouched.
+        let mut best: Option<(usize, Vec<u64>)> = None;
+        for s in 0..self.shards.len() {
+            if let Some(plan) = self.shards[s].preemption_plan(job, policy, shielded) {
+                if !plan.is_empty() && best.as_ref().is_none_or(|(_, b)| plan.len() < b.len()) {
+                    best = Some((s, plan));
+                }
+            }
+        }
+        let Some((server, plan)) = best else {
+            return Vec::new();
+        };
+        self.shards[server].evict(&plan);
+        plan.into_iter()
+            .map(|job_id| Eviction { server, job_id })
+            .collect()
+    }
+
+    fn preempt_blocked(
+        &mut self,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Vec<Eviction> {
+        // Queued path: preemption is shard-local. A blocked head waits in
+        // one shard's queue and will be placed on that shard, so only
+        // that shard's running jobs are candidate victims (pair with a
+        // migration policy to escape a mis-routed head).
+        if self.queues.is_none() {
+            return Vec::new();
+        }
+        let mut evictions = Vec::new();
+        for s in 0..self.shards.len() {
+            let head = self.queues.as_ref().expect("checked above").queues[s]
+                .front()
+                .map(|item| item.job.clone());
+            let Some(head) = head else { continue };
+            if matches!(self.shards[s].peek(&head), Ok(Some(_))) {
+                continue; // placeable already; the next pump starts it
+            }
+            if let Some(plan) = self.shards[s].preemption_plan(&head, policy, shielded) {
+                if !plan.is_empty() {
+                    self.shards[s].evict(&plan);
+                    evictions.extend(
+                        plan.into_iter()
+                            .map(|job_id| Eviction { server: s, job_id }),
+                    );
+                }
+            }
+        }
+        evictions
+    }
+
+    fn admit(&mut self, item: PendingJob) {
         assert!(
             self.queues.is_some(),
             "admit called on a cluster without shard queues"
         );
-        let item = QueuedJob { job, submitted_at };
         // Arrival-order fairness: while older jobs wait in the backlog, a
         // new arrival must queue behind them, not overtake into a shard
         // queue.
@@ -744,20 +917,31 @@ impl SchedulerBackend for Cluster {
         }
     }
 
+    fn admit_gang(&mut self, gang: JobGroup, submitted_at: f64) {
+        assert!(
+            self.queues.is_some(),
+            "admit_gang called on a cluster without shard queues"
+        );
+        self.gang_backlog.push_back((gang, submitted_at));
+    }
+
     fn pump(&mut self, _now: f64) -> Vec<DispatchedJob> {
         if self.queues.is_none() {
             return Vec::new();
         }
         let mut placed = Vec::new();
         // Rounds until quiescence: placements expose new queue heads and
-        // free backlog slots; migrations hand a placeable job to an idle
-        // shard (the next round starts it). Every round either places or
-        // moves a job, so the loop terminates.
+        // free backlog slots; gang launches drain the gang backlog;
+        // migrations hand a placeable job to an idle shard (the next
+        // round starts it). Every round either places or moves a job, so
+        // the loop terminates.
         loop {
             self.refill_from_backlog();
             let round = self.decision_round();
-            let progressed = !round.is_empty();
+            let gangs = self.launch_ready_gangs();
+            let progressed = !round.is_empty() || !gangs.is_empty();
             placed.extend(round);
+            placed.extend(gangs);
             let moved = match self.migration {
                 MigrationPolicy::StealOnIdle => self.steal_pass(),
                 MigrationPolicy::None | MigrationPolicy::RebalanceOnRelease => false,
@@ -772,6 +956,11 @@ impl SchedulerBackend for Cluster {
 
     fn queued_jobs(&self) -> usize {
         self.queues.as_ref().map_or(0, ShardQueues::waiting)
+            + self
+                .gang_backlog
+                .iter()
+                .map(|(gang, _)| gang.len())
+                .sum::<usize>()
     }
 
     fn dispatch_report(&self) -> Option<DispatchReport> {
@@ -821,6 +1010,7 @@ mod tests {
             bandwidth_sensitive: true,
             workload: Workload::Vgg16,
             iterations: 10,
+            priority: 0,
         }
     }
 
@@ -1167,13 +1357,10 @@ mod tests {
         // earlier thief just filled is not a victim for later thieves.
         let mut c = fleet(3, Box::new(RoundRobinPolicy)).with_shard_queues(4);
         c.configure(&SimConfig::default());
-        c.queues.as_mut().unwrap().push(
-            2,
-            QueuedJob {
-                job: job(9, 2),
-                submitted_at: 0.0,
-            },
-        );
+        c.queues
+            .as_mut()
+            .unwrap()
+            .push(2, PendingJob::new(job(9, 2), 0.0));
         assert!(c.steal_pass());
         assert_eq!(c.migration_stats().jobs_stolen, 1, "one logical steal");
         let qs = c.queues.as_ref().unwrap();
@@ -1246,6 +1433,124 @@ mod tests {
             .filter(|r| r.server == 0 && r.job.id != 1)
             .count();
         assert!(stalled > 0, "some jobs queued behind the monster");
+    }
+
+    fn pri_job(id: u64, n: usize, iters: u64, priority: u8) -> JobSpec {
+        JobSpec {
+            priority,
+            iterations: iters,
+            ..job(id, n)
+        }
+    }
+
+    #[test]
+    fn gang_placement_is_atomic_across_shards() {
+        use mapa_sim::Submission;
+        use mapa_workloads::JobGroup;
+        // Two 8-GPU shards. A holder occupies shard picked first; a gang
+        // of two 8-GPU members needs BOTH shards — it must wait for the
+        // holder even though one whole shard sits idle, then co-start.
+        let holder = pri_job(1, 8, 100, 0);
+        let gang = JobGroup::new(5, vec![pri_job(2, 8, 10, 0), pri_job(3, 8, 10, 0)]);
+        let cluster = fleet(2, Box::new(LeastLoadedPolicy)).with_shard_queues(8);
+        let report = Engine::over(cluster)
+            .run_submissions(vec![Submission::Job(holder), Submission::Gang(gang)]);
+        assert_eq!(report.records.len(), 3);
+        let j1 = report.records.iter().find(|r| r.job.id == 1).unwrap();
+        let j2 = report.records.iter().find(|r| r.job.id == 2).unwrap();
+        let j3 = report.records.iter().find(|r| r.job.id == 3).unwrap();
+        assert_eq!(j2.started_at, j3.started_at, "gang co-starts");
+        assert_eq!(j2.started_at, j1.finished_at, "waited for both shards");
+        assert_ne!(j2.server, j3.server, "members spread across shards");
+        assert_eq!(j2.gang, Some(5));
+        assert_eq!(report.gangs.gangs_dispatched, 1);
+        assert_eq!(report.gangs.members_dispatched, 2);
+        assert!(report.gangs.max_wait_seconds > 0.0);
+    }
+
+    #[test]
+    fn failed_gang_reservation_rolls_back_every_member() {
+        let mut c = fleet(2, Box::new(LeastLoadedPolicy));
+        c.configure(&SimConfig::default());
+        // Shard 1 full: a 2×8-GPU gang cannot be satisfied. The first
+        // member would fit shard 0 — the rollback must return it.
+        c.shards[1].try_allocate(&job(99, 8)).unwrap().unwrap();
+        let members = [pri_job(1, 8, 10, 0), pri_job(2, 8, 10, 0)];
+        assert!(c.try_place_gang(&members).is_none());
+        assert_eq!(c.shards[0].state().free_count(), 8, "rollback freed it");
+        assert_eq!(c.total_free_gpus(), 8);
+        // Rotation state is untouched by a failed reservation, and the
+        // gang succeeds once capacity exists.
+        c.release(1, 99);
+        let placements = c.try_place_gang(&members).expect("both shards idle");
+        assert_eq!(placements.len(), 2);
+        assert_ne!(placements[0].server, placements[1].server);
+    }
+
+    #[test]
+    fn global_path_preemption_picks_the_cheapest_shard() {
+        use mapa_core::PreemptionPolicy;
+        let mut c = fleet(2, Box::new(PackFirstPolicy));
+        c.configure(&SimConfig::default());
+        // Shard 0 holds two 4-GPU priority-0 jobs; shard 1 one 8-GPU
+        // priority-0 job. An urgent 8-GPU arrival can be satisfied by one
+        // eviction on shard 1 or two on shard 0 — it must take shard 1.
+        c.shards[0]
+            .try_allocate(&pri_job(1, 4, 10, 0))
+            .unwrap()
+            .unwrap();
+        c.shards[0]
+            .try_allocate(&pri_job(2, 4, 10, 0))
+            .unwrap()
+            .unwrap();
+        c.shards[1]
+            .try_allocate(&pri_job(3, 8, 10, 0))
+            .unwrap()
+            .unwrap();
+        let urgent = pri_job(9, 8, 10, 2);
+        assert!(c.try_place(&urgent).is_none(), "fleet is full");
+        let evictions = c.preempt_for(&urgent, PreemptionPolicy::PriorityEvict, &HashSet::new());
+        assert_eq!(evictions.len(), 1, "fewest-evictions shard wins");
+        assert_eq!(evictions[0].server, 1);
+        assert_eq!(evictions[0].job_id, 3);
+        // The vacated shard now hosts the urgent job.
+        let p = c.try_place(&urgent).expect("eviction freed shard 1");
+        assert_eq!(p.server, 1);
+    }
+
+    #[test]
+    fn queued_path_preemption_is_shard_local() {
+        use mapa_core::PreemptionPolicy;
+        use mapa_sim::Submission;
+        // Round-robin routing: priority-0 monsters land on shards 0 and
+        // 1; the urgent whole-shard job is routed to shard 0's queue.
+        // Shard-local preemption may only evict shard 0's monster — the
+        // shard 1 monster is equally low-priority but on the wrong shard.
+        let subs = vec![
+            Submission::Job(pri_job(1, 8, 100_000, 0)), // shard 0 monster
+            Submission::Job(pri_job(2, 8, 100_000, 0)), // shard 1 monster
+            Submission::Job(pri_job(3, 8, 10, 1)),      // urgent, shard 0 queue
+        ];
+        let cluster = fleet(2, Box::new(RoundRobinPolicy)).with_shard_queues(8);
+        let config = SimConfig {
+            preemption: PreemptionPolicy::PriorityEvict,
+            ..SimConfig::default()
+        };
+        let report = Engine::over(cluster)
+            .with_config(config)
+            .run_submissions(subs);
+        assert_eq!(report.records.len(), 3);
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.job.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3], "no loss, no duplication");
+        assert_eq!(report.preemption.jobs_preempted, 1);
+        let j1 = report.records.iter().find(|r| r.job.id == 1).unwrap();
+        let j2 = report.records.iter().find(|r| r.job.id == 2).unwrap();
+        let j3 = report.records.iter().find(|r| r.job.id == 3).unwrap();
+        assert_eq!(j1.preemptions, 1, "the routed shard's monster fell");
+        assert_eq!(j2.preemptions, 0, "the other shard's monster survived");
+        assert_eq!(j3.started_at, 0.0, "urgent job started immediately");
+        assert_eq!(j3.server, 0, "placed on the shard it preempted");
     }
 
     #[test]

@@ -5,14 +5,17 @@
 //! production front end doesn't have that luxury: submissions stream in,
 //! and the scheduler must consume them with *backpressure* — a bounded
 //! queue that stalls producers when the scheduler falls behind, instead
-//! of buffering without limit. [`JobFeed`] is that front end, built on
+//! of buffering without limit. [`Feed`] is that front end, built on
 //! [`std::sync::mpsc::sync_channel`] and plain threads (the same channel
 //! primitives the PR 2 worker pool uses; no async runtime needed
 //! offline). It implements [`Iterator`], so
-//! [`mapa_sim::Engine::run_stream`] consumes it directly: the event loop
-//! pulls the next job exactly when the next arrival must be scheduled.
+//! [`mapa_sim::Engine::run_stream`] consumes a [`JobFeed`] directly and
+//! [`mapa_sim::Engine::run_submissions`] consumes a [`SubmissionFeed`]
+//! (jobs *and* gangs): the event loop pulls the next submission exactly
+//! when the next arrival must be scheduled.
 
-use mapa_workloads::JobSpec;
+use mapa_sim::Submission;
+use mapa_workloads::{JobGroup, JobSpec};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
 
@@ -21,24 +24,27 @@ use std::thread::JoinHandle;
 /// promptly.
 pub const DEFAULT_INGEST_CAPACITY: usize = 64;
 
-/// A bounded stream of jobs produced by a background thread.
+/// A bounded stream of submissions produced by a background thread.
 ///
 /// Dropping the feed early (before the producer finishes) disconnects
 /// the channel; the producer's next `send` fails and the thread exits,
 /// which the drop joins — no leaked threads, no unbounded buffers.
-pub struct JobFeed {
-    rx: Option<Receiver<JobSpec>>,
+pub struct Feed<T: Send + 'static> {
+    rx: Option<Receiver<T>>,
     producer: Option<JoinHandle<()>>,
 }
 
-impl JobFeed {
-    /// Spawns a producer thread that feeds jobs through a channel bounded
-    /// at `capacity` (clamped to at least 1). The producer's sends block
-    /// while the channel is full — the backpressure contract.
-    pub fn spawn(
-        capacity: usize,
-        produce: impl FnOnce(SyncSender<JobSpec>) + Send + 'static,
-    ) -> Self {
+/// A bounded stream of independent jobs (the PR 3 front end).
+pub type JobFeed = Feed<JobSpec>;
+
+/// A bounded stream of [`Submission`]s — independent jobs and/or gangs.
+pub type SubmissionFeed = Feed<Submission>;
+
+impl<T: Send + 'static> Feed<T> {
+    /// Spawns a producer thread that feeds items through a channel
+    /// bounded at `capacity` (clamped to at least 1). The producer's
+    /// sends block while the channel is full — the backpressure contract.
+    pub fn spawn(capacity: usize, produce: impl FnOnce(SyncSender<T>) + Send + 'static) -> Self {
         let (tx, rx) = sync_channel(capacity.max(1));
         let producer = std::thread::Builder::new()
             .name("mapa-ingest".to_string())
@@ -50,16 +56,16 @@ impl JobFeed {
         }
     }
 
-    /// Streams an existing job list through a bounded channel — the
+    /// Streams an existing item list through a bounded channel — the
     /// drop-in replacement for handing the simulator a slice, exercising
     /// the same ingestion path live traffic would.
     #[must_use]
-    pub fn from_jobs(jobs: Vec<JobSpec>, capacity: usize) -> Self {
+    pub fn from_items(items: Vec<T>, capacity: usize) -> Self {
         Self::spawn(capacity, move |tx| {
-            for job in jobs {
+            for item in items {
                 // A receiver that hung up is a consumer that stopped
                 // early (simulation aborted): just stop producing.
-                if tx.send(job).is_err() {
+                if tx.send(item).is_err() {
                     break;
                 }
             }
@@ -67,15 +73,37 @@ impl JobFeed {
     }
 }
 
-impl Iterator for JobFeed {
-    type Item = JobSpec;
+impl Feed<JobSpec> {
+    /// Streams an existing job list (see [`Feed::from_items`]).
+    #[must_use]
+    pub fn from_jobs(jobs: Vec<JobSpec>, capacity: usize) -> Self {
+        Self::from_items(jobs, capacity)
+    }
+}
 
-    fn next(&mut self) -> Option<JobSpec> {
+impl Feed<Submission> {
+    /// Streams a mixed submission list (see [`Feed::from_items`]).
+    #[must_use]
+    pub fn from_submissions(submissions: Vec<Submission>, capacity: usize) -> Self {
+        Self::from_items(submissions, capacity)
+    }
+
+    /// Streams a gang list: every gang is one submission slot.
+    #[must_use]
+    pub fn from_gangs(gangs: Vec<JobGroup>, capacity: usize) -> Self {
+        Self::from_items(gangs.into_iter().map(Submission::Gang).collect(), capacity)
+    }
+}
+
+impl<T: Send + 'static> Iterator for Feed<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
         self.rx.as_ref()?.recv().ok()
     }
 }
 
-impl Drop for JobFeed {
+impl<T: Send + 'static> Drop for Feed<T> {
     fn drop(&mut self) {
         // Disconnect first so a still-running producer unblocks, then
         // join it.
@@ -86,9 +114,9 @@ impl Drop for JobFeed {
     }
 }
 
-impl std::fmt::Debug for JobFeed {
+impl<T: Send + 'static> std::fmt::Debug for Feed<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JobFeed")
+        f.debug_struct("Feed")
             .field("connected", &self.rx.is_some())
             .finish()
     }
@@ -109,6 +137,7 @@ mod tests {
             bandwidth_sensitive: false,
             workload: Workload::Gmm,
             iterations: 1,
+            priority: 0,
         }
     }
 
@@ -167,5 +196,29 @@ mod tests {
             assert_eq!(a.gpus, b.gpus);
             assert_eq!(a.finished_at, b.finished_at);
         }
+    }
+
+    #[test]
+    fn submission_feed_streams_jobs_and_gangs_in_order() {
+        let subs = vec![
+            Submission::Job(job(1)),
+            Submission::Gang(JobGroup::new(1, vec![job(2), job(3)])),
+            Submission::Job(job(4)),
+        ];
+        let feed = SubmissionFeed::from_submissions(subs.clone(), 1);
+        let collected: Vec<Submission> = feed.collect();
+        assert_eq!(collected, subs);
+        // Gang-only convenience keeps gang order.
+        let gangs = vec![
+            JobGroup::new(1, vec![job(1)]),
+            JobGroup::new(2, vec![job(2), job(3)]),
+        ];
+        let ids: Vec<u64> = SubmissionFeed::from_gangs(gangs, 2)
+            .map(|s| match s {
+                Submission::Gang(g) => g.id,
+                Submission::Job(j) => panic!("unexpected bare job {}", j.id),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
     }
 }

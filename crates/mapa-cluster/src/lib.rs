@@ -33,26 +33,39 @@
 //!   jobs from hot queues to idle shards (work stealing or release-time
 //!   rebalancing), with counters surfaced in `SimReport`, the log file,
 //!   and the CLI's `--json` report.
+//! * **Gangs + preemption at fleet scale** — the cluster reserves
+//!   capacity for a `JobGroup` atomically across shards (peek, then a
+//!   cache-hit commit; any member failing rolls the whole reservation
+//!   back), and under a `PreemptionPolicy` a blocked high-priority
+//!   arrival evicts lower-priority victims on the cheapest shard
+//!   (global-queue path) or its own shard (queued path). Semantics:
+//!   `docs/SCHEDULING.md`.
 //!
 //! # Example
 //!
 //! ```
 //! use mapa_cluster::{Cluster, LeastLoadedPolicy};
 //! use mapa_core::policy::PreservePolicy;
-//! use mapa_sim::Engine;
+//! use mapa_sim::{Engine, Submission};
 //! use mapa_topology::machines;
-//! use mapa_workloads::generator;
+//! use mapa_workloads::{generator, JobGroup};
 //!
-//! let cluster = Cluster::homogeneous(
+//! let fleet = || Cluster::homogeneous(
 //!     machines::dgx1_v100(),
 //!     4,
 //!     || Box::new(PreservePolicy),
 //!     Box::new(LeastLoadedPolicy),
 //! );
 //! let jobs = generator::paper_job_mix(1);
-//! let report = Engine::over(cluster).run(&jobs[..40]);
+//! let report = Engine::over(fleet()).run(&jobs[..40]);
 //! assert_eq!(report.records.len(), 40);
 //! assert_eq!(report.shards.len(), 4);
+//!
+//! // Gangs reserve capacity across shards atomically: members of this
+//! // pair start at the same tick, wherever they are placed.
+//! let gang = JobGroup::new(1, jobs[40..42].to_vec());
+//! let report = Engine::over(fleet()).run_submissions(vec![Submission::Gang(gang)]);
+//! assert_eq!(report.records[0].started_at, report.records[1].started_at);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -66,7 +79,7 @@ pub mod policy;
 pub use cluster::{
     dispatch_mode_by_name, Cluster, DispatchMode, DEFAULT_SHARD_QUEUE_DEPTH, DISPATCH_MODE_NAMES,
 };
-pub use ingest::{JobFeed, DEFAULT_INGEST_CAPACITY};
+pub use ingest::{Feed, JobFeed, SubmissionFeed, DEFAULT_INGEST_CAPACITY};
 pub use migrate::{
     migration_policy_by_name, MigrationPolicy, MigrationStats, MIGRATION_POLICY_NAMES,
 };

@@ -195,6 +195,7 @@ mod tests {
             bandwidth_sensitive: true,
             workload: Workload::Vgg16,
             iterations: 1,
+            priority: 0,
         }
     }
 

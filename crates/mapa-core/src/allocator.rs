@@ -2,6 +2,7 @@
 
 use crate::cache::{AllocationCache, CacheStats, DEFAULT_CACHE_CAPACITY};
 use crate::policy::{AllocationPolicy, PolicyContext};
+use crate::preempt::PreemptionPolicy;
 use crate::scoring::{self, MatchScore};
 use mapa_graph::PatternGraph;
 use mapa_graph::WeightedGraph;
@@ -9,6 +10,7 @@ use mapa_isomorph::{MatchOptions, Matcher};
 use mapa_model::{corpus, paper_coefficients, EffBwModel};
 use mapa_topology::{AllocationError, HardwareState, Topology};
 use mapa_workloads::JobSpec;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -107,6 +109,22 @@ pub struct MapaAllocator {
     data_graph: PatternGraph,
     bandwidth_graph: WeightedGraph,
     cache: Option<AllocationCache>,
+    /// Scheduling metadata of every active job — what preemption victim
+    /// selection ranks on. Keyed by job id; maintained by
+    /// `try_allocate`/`release`.
+    active: HashMap<u64, ActiveJob>,
+    /// Monotonic allocation counter; `ActiveJob::seq` snapshots it so
+    /// victim ordering can prefer the youngest allocation.
+    alloc_seq: u64,
+}
+
+/// Metadata of one running job, recorded at allocation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ActiveJob {
+    priority: u8,
+    bandwidth_sensitive: bool,
+    /// Allocation order (younger = larger).
+    seq: u64,
 }
 
 impl MapaAllocator {
@@ -137,6 +155,8 @@ impl MapaAllocator {
             policy,
             topology,
             cache: None,
+            active: HashMap::new(),
+            alloc_seq: 0,
         }
     }
 
@@ -290,6 +310,15 @@ impl MapaAllocator {
         let score = self.score_allocation(job, &gpus);
         let scheduling_overhead = started.elapsed();
         self.state.allocate(job.id, &gpus)?;
+        self.alloc_seq += 1;
+        self.active.insert(
+            job.id,
+            ActiveJob {
+                priority: job.priority,
+                bandwidth_sensitive: job.bandwidth_sensitive,
+                seq: self.alloc_seq,
+            },
+        );
         Ok(Some(AllocationOutcome {
             job_id: job.id,
             gpus,
@@ -329,7 +358,104 @@ impl MapaAllocator {
     /// # Errors
     /// Fails when the job is not active.
     pub fn release(&mut self, job_id: u64) -> Result<Vec<usize>, AllocatorError> {
-        Ok(self.state.deallocate(job_id)?)
+        let gpus = self.state.deallocate(job_id)?;
+        self.active.remove(&job_id);
+        Ok(gpus)
+    }
+
+    /// Plans a preemption that would make `job` placeable: the victim ids
+    /// to evict, in eviction order, chosen per `policy` among active jobs
+    /// with **strictly lower priority** than `job` and not in `shielded`
+    /// (the caller's do-not-evict set: previously-preempted jobs, gang
+    /// members). The plan is verified — victims are trially deallocated
+    /// and the policy's [`MapaAllocator::peek`] re-run after each — and
+    /// then **fully rolled back**: this method never changes occupancy.
+    /// Commit a returned plan with [`MapaAllocator::evict`].
+    ///
+    /// Returns `None` when `policy` is [`PreemptionPolicy::None`], the
+    /// request is impossible for this machine, or no eligible victim set
+    /// unblocks the job. Returns `Some(vec![])` when the job is placeable
+    /// without evictions (nothing to do).
+    pub fn preemption_plan(
+        &mut self,
+        job: &JobSpec,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Option<Vec<u64>> {
+        if !policy.enabled() || job.num_gpus == 0 || job.num_gpus > self.topology.gpu_count() {
+            return None;
+        }
+        // Victim preference order: lowest priority first, then the
+        // youngest allocation (least progress lost), then highest id.
+        let mut candidates: Vec<(u64, ActiveJob)> = self
+            .active
+            .iter()
+            .filter(|(id, meta)| {
+                meta.priority < job.priority
+                    && !shielded.contains(id)
+                    && (policy != PreemptionPolicy::SensitivityAwareEvict
+                        || !meta.bandwidth_sensitive)
+            })
+            .map(|(&id, &meta)| (id, meta))
+            .collect();
+        candidates.sort_by_key(|&(id, meta)| {
+            (
+                meta.priority,
+                std::cmp::Reverse(meta.seq),
+                std::cmp::Reverse(id),
+            )
+        });
+        // Trial evictions with full rollback: deallocate victims one at a
+        // time until the policy can place the job, remembering each
+        // victim's GPUs so occupancy can be restored exactly.
+        let placeable = |a: &mut Self| {
+            a.state.free_count() >= job.num_gpus && matches!(a.peek(job), Ok(Some(_)))
+        };
+        let mut evicted: Vec<(u64, Vec<usize>, ActiveJob)> = Vec::new();
+        let mut plan = None;
+        if placeable(self) {
+            plan = Some(Vec::new());
+        } else {
+            for (id, meta) in candidates {
+                let gpus = self.state.deallocate(id).expect("active job is allocated");
+                self.active.remove(&id);
+                evicted.push((id, gpus, meta));
+                if placeable(self) {
+                    plan = Some(evicted.iter().map(|(id, _, _)| *id).collect());
+                    break;
+                }
+            }
+        }
+        // Roll back: re-allocate every trial victim on its exact GPUs and
+        // restore its metadata (original allocation order included).
+        for (id, gpus, meta) in evicted.into_iter().rev() {
+            self.state
+                .allocate(id, &gpus)
+                .expect("rollback re-allocates freed GPUs");
+            self.active.insert(id, meta);
+        }
+        plan
+    }
+
+    /// Commits a preemption plan: releases every victim's GPUs. The
+    /// caller (the simulation engine) owns the rest of the contract —
+    /// requeueing the victims, charging the checkpoint/restore penalty,
+    /// and never evicting the same job twice.
+    ///
+    /// # Panics
+    /// Panics if any victim is not an active job — plans must be applied
+    /// to the state they were computed against.
+    pub fn evict(&mut self, victims: &[u64]) {
+        for &id in victims {
+            self.release(id)
+                .expect("preemption victim is an active job");
+        }
+    }
+
+    /// Priority recorded for an active job, if it is running here.
+    #[must_use]
+    pub fn active_priority(&self, job_id: u64) -> Option<u8> {
+        self.active.get(&job_id).map(|meta| meta.priority)
     }
 }
 
@@ -359,6 +485,7 @@ mod tests {
             bandwidth_sensitive: sensitive,
             workload: Workload::Vgg16,
             iterations: 100,
+            priority: 0,
         }
     }
 
@@ -543,6 +670,129 @@ mod tests {
             a.peek(&job(4, 9, true)),
             Err(AllocatorError::InvalidRequest { .. })
         ));
+    }
+
+    fn pri_job(id: u64, n: usize, sensitive: bool, priority: u8) -> JobSpec {
+        JobSpec {
+            priority,
+            ..job(id, n, sensitive)
+        }
+    }
+
+    #[test]
+    fn preemption_plan_picks_lowest_priority_youngest_victims() {
+        use crate::preempt::PreemptionPolicy;
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
+        a.try_allocate(&pri_job(1, 3, false, 0)).unwrap().unwrap();
+        a.try_allocate(&pri_job(2, 3, false, 1)).unwrap().unwrap();
+        a.try_allocate(&pri_job(3, 2, false, 0)).unwrap().unwrap();
+        // A priority-2 job needing 4 GPUs: jobs 1 and 3 are priority-0
+        // candidates; job 3 is younger, so it goes first, but alone frees
+        // only 2 GPUs — job 1 follows.
+        let plan = a
+            .preemption_plan(
+                &pri_job(9, 4, true, 2),
+                PreemptionPolicy::PriorityEvict,
+                &HashSet::new(),
+            )
+            .expect("two priority-0 victims suffice");
+        assert_eq!(plan, vec![3, 1]);
+        // Planning never changes occupancy.
+        assert_eq!(a.state().free_count(), 0);
+        assert!(a.active_priority(1).is_some());
+        // Committing does.
+        a.evict(&plan);
+        assert_eq!(a.state().free_count(), 5);
+        assert!(a.active_priority(1).is_none());
+        assert!(a.try_allocate(&pri_job(9, 4, true, 2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn preemption_respects_priority_shield_and_policy_off() {
+        use crate::preempt::PreemptionPolicy;
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
+        a.try_allocate(&pri_job(1, 5, false, 1)).unwrap().unwrap();
+        a.try_allocate(&pri_job(2, 3, false, 0)).unwrap().unwrap();
+        let urgent = pri_job(9, 6, true, 2);
+        // Policy off → no plan, ever.
+        assert_eq!(
+            a.preemption_plan(&urgent, PreemptionPolicy::None, &HashSet::new()),
+            None
+        );
+        // Evicting job 2 (3 GPUs) is not enough for 6 GPUs, and job 1
+        // (priority 1 < 2) plus job 2 would be — but shield job 1 and the
+        // plan must fail rather than evict a protected job.
+        let shielded: HashSet<u64> = [1].into_iter().collect();
+        assert_eq!(
+            a.preemption_plan(&urgent, PreemptionPolicy::PriorityEvict, &shielded),
+            None
+        );
+        assert_eq!(a.state().free_count(), 0, "failed plans roll back too");
+        // Unshielded, both fall: lowest priority first.
+        let plan = a
+            .preemption_plan(&urgent, PreemptionPolicy::PriorityEvict, &HashSet::new())
+            .unwrap();
+        assert_eq!(plan, vec![2, 1]);
+        // Equal priority is never preempted: a priority-1 arrival has
+        // only job 2 (priority 0) as a candidate, which is not enough.
+        assert!(a
+            .preemption_plan(
+                &pri_job(9, 6, true, 1),
+                PreemptionPolicy::PriorityEvict,
+                &HashSet::new()
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn sensitivity_aware_eviction_shields_sensitive_jobs() {
+        use crate::preempt::PreemptionPolicy;
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
+        a.try_allocate(&pri_job(1, 4, true, 0)).unwrap().unwrap();
+        a.try_allocate(&pri_job(2, 4, false, 0)).unwrap().unwrap();
+        let urgent = pri_job(9, 4, true, 1);
+        // Sensitivity-aware: only the insensitive job 2 is a candidate.
+        let plan = a
+            .preemption_plan(
+                &urgent,
+                PreemptionPolicy::SensitivityAwareEvict,
+                &HashSet::new(),
+            )
+            .unwrap();
+        assert_eq!(plan, vec![2]);
+        // An 8-GPU urgent job would need both; sensitivity-aware refuses.
+        assert_eq!(
+            a.preemption_plan(
+                &pri_job(9, 8, true, 1),
+                PreemptionPolicy::SensitivityAwareEvict,
+                &HashSet::new()
+            ),
+            None
+        );
+        // Plain priority eviction would take both (job 2 younger, first).
+        let both = a
+            .preemption_plan(
+                &pri_job(9, 8, true, 1),
+                PreemptionPolicy::PriorityEvict,
+                &HashSet::new(),
+            )
+            .unwrap();
+        assert_eq!(both, vec![2, 1]);
+    }
+
+    #[test]
+    fn placeable_job_needs_no_evictions() {
+        use crate::preempt::PreemptionPolicy;
+        let mut a = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
+        a.try_allocate(&pri_job(1, 2, false, 0)).unwrap().unwrap();
+        let plan = a
+            .preemption_plan(
+                &pri_job(9, 3, true, 1),
+                PreemptionPolicy::PriorityEvict,
+                &HashSet::new(),
+            )
+            .unwrap();
+        assert!(plan.is_empty(), "room exists; nothing to evict");
     }
 
     #[test]

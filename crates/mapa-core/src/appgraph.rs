@@ -66,6 +66,7 @@ mod tests {
             bandwidth_sensitive: true,
             workload: Workload::Vgg16,
             iterations: 10,
+            priority: 0,
         };
         let p = job_pattern(&job);
         assert_eq!(p.vertex_count(), 4);

@@ -244,6 +244,7 @@ mod tests {
             bandwidth_sensitive: sensitive,
             workload: Workload::Vgg16,
             iterations: 1,
+            priority: 0,
         }
     }
 

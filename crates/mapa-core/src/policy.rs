@@ -440,6 +440,7 @@ mod tests {
                 Workload::GoogleNet
             },
             iterations: 100,
+            priority: 0,
         }
     }
 

@@ -1,0 +1,108 @@
+//! Preemption policies: when a high-priority arrival may vacate running
+//! low-priority jobs.
+//!
+//! MAPA's pattern policies decide *where* a job runs; under multi-tenant
+//! pressure the scheduler must also decide *whether a running job keeps
+//! its GPUs* when a more important tenant arrives and no feasible pattern
+//! exists — MoCA (arXiv:2305.05843) shows adaptive preemption is what
+//! keeps co-located tenants meeting SLAs. A [`PreemptionPolicy`] names
+//! the victim-selection rule; the mechanism lives on
+//! [`MapaAllocator::preemption_plan`](crate::MapaAllocator::preemption_plan)
+//! (choose victims, verify feasibility, roll back) and
+//! [`MapaAllocator::evict`](crate::MapaAllocator::evict) (commit). The
+//! simulation engine charges every evicted job a configurable
+//! checkpoint/restore penalty when it restarts — preemption is never
+//! free, and the scheduling semantics in `docs/SCHEDULING.md` spells out
+//! the full lifecycle.
+
+/// When (and from whom) a scheduler may take GPUs back.
+///
+/// Victim *eligibility*: only running jobs with **strictly lower
+/// priority** than the arrival are ever considered, a job is preempted
+/// **at most once** per run (the engine shields previously-evicted jobs),
+/// and gang members are never victims (evicting one member would break
+/// the gang's co-scheduling contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PreemptionPolicy {
+    /// Never evict: a blocked arrival waits for a natural release. The
+    /// default — schedules are bit-identical to the preemption-free
+    /// engine.
+    #[default]
+    None,
+    /// Evict lowest-priority victims first; among equals, the youngest
+    /// allocation (least work lost), then the highest job id.
+    PriorityEvict,
+    /// Like [`PreemptionPolicy::PriorityEvict`], but bandwidth-sensitive
+    /// jobs are *never* victims: evictions are restricted to insensitive
+    /// jobs, whose placement (and mid-flight progress) is cheapest to
+    /// redo — the MoCA-style rule that shields SLA-bound tenants.
+    SensitivityAwareEvict,
+}
+
+impl PreemptionPolicy {
+    /// Short name used in reports and the CLI.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PreemptionPolicy::None => "none",
+            PreemptionPolicy::PriorityEvict => "priority-evict",
+            PreemptionPolicy::SensitivityAwareEvict => "sensitivity-aware-evict",
+        }
+    }
+
+    /// Whether this policy can ever evict anything.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        self != PreemptionPolicy::None
+    }
+}
+
+/// Names accepted by [`preemption_policy_by_name`], in documentation
+/// order.
+pub const PREEMPTION_POLICY_NAMES: [&str; 3] =
+    ["none", "priority-evict", "sensitivity-aware-evict"];
+
+/// Resolves a preemption policy from its CLI name (case-insensitive;
+/// "priority" and "sensitivity" are accepted shorthands).
+#[must_use]
+pub fn preemption_policy_by_name(name: &str) -> Option<PreemptionPolicy> {
+    match name.to_ascii_lowercase().as_str() {
+        "none" => Some(PreemptionPolicy::None),
+        "priority" | "priority-evict" | "priorityevict" => Some(PreemptionPolicy::PriorityEvict),
+        "sensitivity"
+        | "sensitivity-aware"
+        | "sensitivity-aware-evict"
+        | "sensitivityawareevict" => Some(PreemptionPolicy::SensitivityAwareEvict),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_resolves_every_documented_policy() {
+        for name in PREEMPTION_POLICY_NAMES {
+            let p = preemption_policy_by_name(name).expect(name);
+            assert_eq!(p.name(), name);
+        }
+        assert_eq!(
+            preemption_policy_by_name("priority"),
+            Some(PreemptionPolicy::PriorityEvict)
+        );
+        assert_eq!(
+            preemption_policy_by_name("SENSITIVITY"),
+            Some(PreemptionPolicy::SensitivityAwareEvict)
+        );
+        assert!(preemption_policy_by_name("ruthless").is_none());
+    }
+
+    #[test]
+    fn default_is_none_and_enabled_tracks_it() {
+        assert_eq!(PreemptionPolicy::default(), PreemptionPolicy::None);
+        assert!(!PreemptionPolicy::None.enabled());
+        assert!(PreemptionPolicy::PriorityEvict.enabled());
+        assert!(PreemptionPolicy::SensitivityAwareEvict.enabled());
+    }
+}

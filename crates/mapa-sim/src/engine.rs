@@ -8,17 +8,35 @@
 //! dispatcher as a *stream* ([`Engine::run_stream`]): arrivals are
 //! scheduled one ahead of the event loop, so a bounded ingestion channel
 //! can feed the simulation without materializing the whole job file.
+//!
+//! Two multi-tenant mechanisms sit on top (both off by default, and with
+//! both off the engine replays the preemption-free schedules
+//! bit-identically — `tests/preemption_invariants.rs` pins it):
+//!
+//! * **Preemption** ([`SimConfig::preemption`]): when a blocked arrival
+//!   outranks running jobs, the backend plans and commits an eviction
+//!   ([`SchedulerBackend::preempt_for`]); the engine cancels the victims'
+//!   finish events (epoch-stamped, lazily dropped), requeues them with
+//!   their completed iterations checkpointed, and charges a configurable
+//!   restore penalty on restart. A job is preempted **at most once**.
+//! * **Gang scheduling** ([`Submission::Gang`]): a [`JobGroup`]'s members
+//!   are placed all-or-nothing via [`SchedulerBackend::try_place_gang`]
+//!   (two-phase: place-all-or-roll-back), so every member starts at the
+//!   same simulation tick.
+//!
+//! The full scheduling semantics — lifecycle, ordering rules, worked
+//! examples — lives in `docs/SCHEDULING.md`.
 
 use crate::event::{EventKind, EventQueue};
 use crate::stats::{self, SchedulingStats};
 use mapa_core::policy::AllocationPolicy;
 use mapa_core::scoring::MatchScore;
-use mapa_core::{fragmentation, AllocatorConfig, CacheStats, MapaAllocator};
+use mapa_core::{fragmentation, AllocatorConfig, CacheStats, MapaAllocator, PreemptionPolicy};
 use mapa_interconnect::effbw;
 use mapa_isomorph::Matcher;
 use mapa_topology::Topology;
-use mapa_workloads::{perf, JobSpec};
-use std::collections::{HashMap, VecDeque};
+use mapa_workloads::{perf, JobGroup, JobSpec};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 /// How jobs enter the dispatcher queue.
@@ -125,6 +143,123 @@ impl ArrivalClock {
     }
 }
 
+/// One unit of submission to the engine: a single job, or a gang whose
+/// members must start at the same simulation tick or not at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submission {
+    /// An independent job.
+    Job(JobSpec),
+    /// A co-scheduled multi-job workflow (all-or-nothing admission).
+    Gang(JobGroup),
+}
+
+impl From<JobSpec> for Submission {
+    fn from(job: JobSpec) -> Self {
+        Submission::Job(job)
+    }
+}
+
+impl From<JobGroup> for Submission {
+    fn from(gang: JobGroup) -> Self {
+        Submission::Gang(gang)
+    }
+}
+
+/// A job in flight through the scheduler's queues: the spec plus the
+/// lifecycle state that survives requeueing — original submission time,
+/// gang membership, and the preemption ledger (checkpointed progress,
+/// eviction count, time lost, pending restore penalty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    /// The job as submitted.
+    pub job: JobSpec,
+    /// Simulated time the job (or its gang) was first submitted.
+    pub submitted_at: f64,
+    /// Gang this job belongs to, if it arrived as part of one.
+    pub gang: Option<u64>,
+    /// Iterations already completed in aborted (preempted) runs — the
+    /// checkpointed progress a restart resumes from.
+    pub completed_iterations: u64,
+    /// Times this job has been evicted so far (the engine caps it at 1).
+    pub preemptions: u32,
+    /// Wall-clock simulation time spent in aborted runs.
+    pub preempted_seconds: f64,
+    /// Checkpoint-restore penalty to charge when the next run starts
+    /// (0 for a fresh submission).
+    pub restore_penalty_seconds: f64,
+}
+
+impl PendingJob {
+    /// A fresh (never-preempted, non-gang) submission.
+    #[must_use]
+    pub fn new(job: JobSpec, submitted_at: f64) -> Self {
+        Self {
+            job,
+            submitted_at,
+            gang: None,
+            completed_iterations: 0,
+            preemptions: 0,
+            preempted_seconds: 0.0,
+            restore_penalty_seconds: 0.0,
+        }
+    }
+
+    /// A fresh submission arriving as a member of gang `gang`.
+    #[must_use]
+    pub fn gang_member(job: JobSpec, submitted_at: f64, gang: u64) -> Self {
+        Self {
+            gang: Some(gang),
+            ..Self::new(job, submitted_at)
+        }
+    }
+
+    /// Iterations still to run (total minus checkpointed progress).
+    #[must_use]
+    pub fn remaining_iterations(&self) -> u64 {
+        self.job
+            .iterations
+            .saturating_sub(self.completed_iterations)
+    }
+}
+
+/// One committed eviction a backend performed during preemption: which
+/// server's job lost its GPUs. The GPUs are already released when the
+/// engine sees this; the engine's half of the contract is cancelling the
+/// victim's finish event and requeueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Server the victim was running on.
+    pub server: usize,
+    /// The victim job's id.
+    pub job_id: u64,
+}
+
+/// Preemption counters of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PreemptionStats {
+    /// Jobs evicted mid-run (each counted once; the engine never evicts
+    /// the same job twice).
+    pub jobs_preempted: u64,
+    /// GPU-seconds of discarded progress: aborted-run time that was not
+    /// covered by checkpointed whole iterations, weighted by GPUs held.
+    pub gpu_seconds_lost: f64,
+    /// Total checkpoint-restore penalty charged to restarted victims.
+    pub penalty_seconds_charged: f64,
+}
+
+/// Gang-scheduling counters of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GangStats {
+    /// Gangs whose members all started (at one tick each).
+    pub gangs_dispatched: u64,
+    /// Member jobs across all dispatched gangs.
+    pub members_dispatched: u64,
+    /// Sum over gangs of (start tick − submission time).
+    pub total_wait_seconds: f64,
+    /// Largest gang wait observed.
+    pub max_wait_seconds: f64,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -146,7 +281,21 @@ pub struct SimConfig {
     /// a worker pool shared across several simulations
     /// (`Matcher::with_pool`). `None` keeps the backend's own matcher(s).
     pub matcher: Option<Matcher>,
+    /// Preemption policy: whether (and from whom) a blocked
+    /// higher-priority arrival may take GPUs back. Default
+    /// [`PreemptionPolicy::None`] — with it, schedules are bit-identical
+    /// to the preemption-free engine regardless of job priorities.
+    pub preemption: PreemptionPolicy,
+    /// Checkpoint/restore penalty in simulated seconds, added to an
+    /// evicted job's next run (checkpointing is never free — MoCA charges
+    /// the same way). Only read when `preemption` is enabled.
+    pub preemption_penalty_seconds: f64,
 }
+
+/// Default checkpoint/restore penalty: roughly a large-model
+/// checkpoint-reload on local NVMe — enough to make frivolous evictions
+/// visibly costly, small against the paper's 200–1000 s job runtimes.
+pub const DEFAULT_PREEMPTION_PENALTY_SECONDS: f64 = 30.0;
 
 impl Default for SimConfig {
     fn default() -> Self {
@@ -155,6 +304,8 @@ impl Default for SimConfig {
             arrivals: ArrivalProcess::Batch,
             cached: true,
             matcher: None,
+            preemption: PreemptionPolicy::None,
+            preemption_penalty_seconds: DEFAULT_PREEMPTION_PENALTY_SECONDS,
         }
     }
 }
@@ -177,14 +328,13 @@ pub struct Placement {
 }
 
 /// One job a queue-managing backend placed during [`SchedulerBackend::pump`]:
-/// what ran, when it was submitted, and the placement decision — everything
-/// the engine needs to start execution and log the record.
+/// the pending job (spec, submission time, gang membership, preemption
+/// ledger) and the placement decision — everything the engine needs to
+/// start execution and log the record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DispatchedJob {
-    /// The job that was placed.
-    pub job: JobSpec,
-    /// Simulated time the job entered the backend (its arrival).
-    pub submitted_at: f64,
+    /// The job that was placed, with its full lifecycle state.
+    pub pending: PendingJob,
     /// The placement decision.
     pub placement: Placement,
 }
@@ -257,6 +407,61 @@ pub trait SchedulerBackend {
     /// Releases a finished job's GPUs on the server that placed it.
     fn release(&mut self, server: usize, job: u64);
 
+    /// Attempts to place every member of a gang *now*, all-or-nothing:
+    /// either all members are allocated (the returned placements are in
+    /// member order) or the backend's occupancy is untouched. The default
+    /// is the generic two-phase commit — place members one at a time via
+    /// [`Self::try_place`], and on the first refusal roll back every
+    /// placement made so far via [`Self::release`] — which is correct for
+    /// any backend; `mapa-cluster` layers a cross-shard feasibility
+    /// prefilter and peek-then-commit shard selection on top.
+    fn try_place_gang(&mut self, members: &[JobSpec]) -> Option<Vec<Placement>> {
+        let mut placed: Vec<Placement> = Vec::new();
+        for (idx, job) in members.iter().enumerate() {
+            match self.try_place(job) {
+                Some(p) => placed.push(p),
+                None => {
+                    for (member, p) in members[..idx].iter().zip(&placed) {
+                        self.release(p.server, member.id);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(placed)
+    }
+
+    /// Attempts to free capacity for blocked arrival `job` by evicting
+    /// strictly-lower-priority running jobs per `policy`, skipping ids in
+    /// `shielded` (previously-preempted jobs and gang members). On
+    /// success the victims' GPUs are **already released** when this
+    /// returns; the engine cancels their finish events and requeues them.
+    /// Returns an empty vector when preemption cannot (or may not) help.
+    /// Default: backends without a preemption path never evict.
+    fn preempt_for(
+        &mut self,
+        job: &JobSpec,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Vec<Eviction> {
+        let _ = (job, policy, shielded);
+        Vec::new()
+    }
+
+    /// Queue-managing backends: attempt preemption for every blocked
+    /// queue head (shard-local — a head may only evict victims on its own
+    /// shard, since that is where it will be placed). Same contract as
+    /// [`Self::preempt_for`]; the engine pumps again after processing the
+    /// returned evictions. Default: no evictions.
+    fn preempt_blocked(
+        &mut self,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Vec<Eviction> {
+        let _ = (policy, shielded);
+        Vec::new()
+    }
+
     /// Whether this backend manages its own (per-shard) queues. When
     /// true, the engine routes every arrival straight into the backend
     /// via [`Self::admit`] and drains placements via [`Self::pump`]; its
@@ -266,14 +471,26 @@ pub trait SchedulerBackend {
         false
     }
 
-    /// Accepts an arriving job into the backend's own queues (only called
-    /// when [`Self::manages_queues`] is true). The backend must hold the
-    /// job until a [`Self::pump`] places it — jobs are never dropped.
-    fn admit(&mut self, job: JobSpec, submitted_at: f64) {
-        let _ = submitted_at;
+    /// Accepts an arriving (or preemption-requeued) job into the
+    /// backend's own queues (only called when [`Self::manages_queues`] is
+    /// true). The backend must hold the job until a [`Self::pump`] places
+    /// it — jobs are never dropped.
+    fn admit(&mut self, pending: PendingJob) {
         unreachable!(
             "admit called for job {} on a backend that does not manage queues",
-            job.id
+            pending.job.id
+        );
+    }
+
+    /// Accepts an arriving gang into the backend's own backlog (only
+    /// called when [`Self::manages_queues`] is true). The backend must
+    /// hold the gang until a [`Self::pump`] co-schedules **all** members
+    /// at one tick — partially-satisfiable gangs wait whole.
+    fn admit_gang(&mut self, gang: JobGroup, submitted_at: f64) {
+        let _ = submitted_at;
+        unreachable!(
+            "admit_gang called for gang {} on a backend that does not manage queues",
+            gang.id
         );
     }
 
@@ -413,6 +630,23 @@ impl SchedulerBackend for SingleServer {
             .release(job)
             .expect("running job is allocated");
     }
+
+    fn preempt_for(
+        &mut self,
+        job: &JobSpec,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Vec<Eviction> {
+        match self.allocator.preemption_plan(job, policy, shielded) {
+            Some(plan) if !plan.is_empty() => {
+                self.allocator.evict(&plan);
+                plan.into_iter()
+                    .map(|job_id| Eviction { server: 0, job_id })
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// Everything the logger records about one completed job (Fig. 14's log
@@ -433,8 +667,16 @@ pub struct JobRecord {
     pub finished_at: f64,
     /// Execution duration (`finished_at - started_at`).
     pub execution_seconds: f64,
-    /// Time spent waiting in the queue.
+    /// Time spent waiting in the queue (across all attempts for a
+    /// preempted job: submission-to-final-start minus aborted run time).
     pub queue_wait_seconds: f64,
+    /// Gang this job arrived in, if any.
+    pub gang: Option<u64>,
+    /// Times this job was evicted before completing (0 or 1: the engine
+    /// never preempts the same job twice).
+    pub preemptions: u32,
+    /// Simulated time spent in aborted runs before the final one.
+    pub preempted_seconds: f64,
     /// Eq. 2 score of the chosen allocation (the paper's logged metric).
     pub predicted_eff_bw: f64,
     /// Ground-truth saturating effective bandwidth of the allocation from
@@ -515,6 +757,11 @@ pub struct SimReport {
     /// queue high-water marks) from backends that have a dispatch layer;
     /// `None` for the single server.
     pub dispatch: Option<DispatchReport>,
+    /// Preemption counters (all zero when preemption was off or never
+    /// fired).
+    pub preemption: PreemptionStats,
+    /// Gang-scheduling counters (all zero when no gangs were submitted).
+    pub gangs: GangStats,
 }
 
 impl SimReport {
@@ -630,99 +877,153 @@ impl<B: SchedulerBackend> Engine<B> {
     /// # Panics
     /// As [`Engine::run`]; job sizes are validated as they arrive.
     #[must_use]
-    pub fn run_stream(mut self, jobs: impl IntoIterator<Item = JobSpec>) -> SimReport {
+    pub fn run_stream(self, jobs: impl IntoIterator<Item = JobSpec>) -> SimReport {
+        self.run_submissions(jobs.into_iter().map(Submission::Job))
+    }
+
+    /// Runs a stream of [`Submission`]s — independent jobs and/or gangs —
+    /// to completion. Each submission (a gang counts as one) takes one
+    /// slot of the configured arrival process. This is the most general
+    /// entry point; [`Engine::run`] and [`Engine::run_stream`] wrap it.
+    ///
+    /// # Panics
+    /// Panics if any job (or gang member) requests more GPUs than the
+    /// largest server has, and at end of run if any submission could
+    /// never be scheduled (e.g. a gang whose members cannot co-fit the
+    /// fleet even when idle) — "all jobs must eventually run".
+    #[must_use]
+    pub fn run_submissions(
+        mut self,
+        submissions: impl IntoIterator<Item = Submission>,
+    ) -> SimReport {
         self.backend.configure(&self.config);
         let max_gpus = self.backend.max_job_gpus();
         let managed = self.backend.manages_queues();
 
-        let mut source = jobs.into_iter();
+        let mut source = submissions.into_iter();
         let mut clock = ArrivalClock::new(self.config.arrivals);
-        let mut events = EventQueue::new();
-        // Arrival events carry an ordinal; the jobs themselves wait in
-        // `incoming` (arrivals fire in scheduling order: times are
-        // non-decreasing and the heap breaks ties by sequence number).
-        let mut incoming: VecDeque<JobSpec> = VecDeque::new();
+        let mut st = RunState::default();
+        // Arrival events carry an ordinal; the submissions themselves
+        // wait in `incoming` (arrivals fire in scheduling order: times
+        // are non-decreasing and the heap breaks ties by sequence
+        // number).
+        let mut incoming: VecDeque<Submission> = VecDeque::new();
         let mut arrivals = 0usize;
-        if let Some(job) = source.next() {
-            events.push(clock.next_time(), EventKind::JobArrival(arrivals));
-            incoming.push_back(job);
+        if let Some(sub) = source.next() {
+            st.events
+                .push(clock.next_time(), EventKind::JobArrival(arrivals));
+            incoming.push_back(sub);
             arrivals += 1;
         }
 
-        let mut queue: VecDeque<(JobSpec, f64)> = VecDeque::new();
-        let mut running: HashMap<u64, PendingRecord> = HashMap::new();
-        let mut records: Vec<JobRecord> = Vec::new();
-        let mut depth_max = 0usize;
-        let mut depth_sum = 0u64;
-        let mut depth_samples = 0u64;
-        let mut blocks = 0u64;
-        let mut frag_blocks = 0u64;
-
-        while let Some(ev) = events.pop() {
+        while let Some(ev) = st.events.pop() {
             let now = ev.time;
             match ev.kind {
                 EventKind::JobArrival(_) => {
-                    let job = incoming.pop_front().expect("arrival scheduled with a job");
-                    assert!(
-                        job.num_gpus >= 1 && job.num_gpus <= max_gpus,
-                        "job {} requests {} GPUs on a {}-GPU machine",
-                        job.id,
-                        job.num_gpus,
-                        max_gpus
-                    );
-                    if managed {
-                        self.backend.admit(job, now);
-                    } else {
-                        queue.push_back((job, now));
+                    let sub = incoming.pop_front().expect("arrival scheduled with a job");
+                    let validate = |job: &JobSpec| {
+                        assert!(
+                            job.num_gpus >= 1 && job.num_gpus <= max_gpus,
+                            "job {} requests {} GPUs on a {}-GPU machine",
+                            job.id,
+                            job.num_gpus,
+                            max_gpus
+                        );
+                    };
+                    match sub {
+                        Submission::Job(job) => {
+                            validate(&job);
+                            let pending = PendingJob::new(job, now);
+                            if managed {
+                                self.backend.admit(pending);
+                            } else {
+                                st.queue.push_back(QueueItem::Job(pending));
+                            }
+                        }
+                        Submission::Gang(gang) => {
+                            for member in &gang.members {
+                                validate(member);
+                                // Gang members are never preemption
+                                // victims: evicting one would break the
+                                // co-scheduling contract.
+                                st.shielded.insert(member.id);
+                            }
+                            if managed {
+                                self.backend.admit_gang(gang, now);
+                            } else {
+                                st.queue.push_back(QueueItem::Gang {
+                                    gang,
+                                    submitted_at: now,
+                                });
+                            }
+                        }
                     }
                     if let Some(next) = source.next() {
-                        events.push(clock.next_time(), EventKind::JobArrival(arrivals));
+                        st.events
+                            .push(clock.next_time(), EventKind::JobArrival(arrivals));
                         incoming.push_back(next);
                         arrivals += 1;
                     }
                 }
-                EventKind::JobFinished(job_id) => {
-                    let pending = running.remove(&job_id).expect("finish for running job");
-                    self.backend.release(pending.server, job_id);
-                    records.push(pending.into_record(now));
+                EventKind::JobFinished { job, epoch } => {
+                    // Preempting a job bumps its epoch; a finish event
+                    // scheduled for an aborted run is stale — drop it
+                    // without touching state (lazy cancellation).
+                    if st.epochs.get(&job).copied().unwrap_or(0) != epoch {
+                        continue;
+                    }
+                    let record = st.running.remove(&job).expect("finish for running job");
+                    self.backend.release(record.server, job);
+                    st.records.push(record.into_record(now));
                 }
             }
             if managed {
-                for d in self.backend.pump(now) {
-                    self.start_job(
-                        d.job,
-                        d.submitted_at,
-                        d.placement,
-                        now,
-                        &mut events,
-                        &mut running,
-                    );
+                // Pump, then let blocked queue heads preempt, then pump
+                // again — until preemption has nothing left to offer.
+                loop {
+                    for d in self.backend.pump(now) {
+                        self.start_job(d.pending, d.placement, now, &mut st);
+                    }
+                    if !self.config.preemption.enabled() {
+                        break;
+                    }
+                    let evictions = self
+                        .backend
+                        .preempt_blocked(self.config.preemption, &st.shielded);
+                    if evictions.is_empty() {
+                        break;
+                    }
+                    self.handle_evictions(evictions, now, &mut st);
                 }
             } else {
-                self.dispatch(
-                    &mut queue,
-                    &mut events,
-                    &mut running,
-                    now,
-                    &mut blocks,
-                    &mut frag_blocks,
-                );
+                self.dispatch(now, &mut st);
             }
-            let depth = queue.len() + self.backend.queued_jobs();
-            depth_max = depth_max.max(depth);
-            depth_sum += depth as u64;
-            depth_samples += 1;
+            let depth = st.waiting_jobs() + self.backend.queued_jobs();
+            st.depth_max = st.depth_max.max(depth);
+            st.depth_sum += depth as u64;
+            st.depth_samples += 1;
         }
 
-        assert!(queue.is_empty(), "all jobs must eventually run");
+        assert!(st.queue.is_empty(), "all jobs must eventually run");
         assert_eq!(
             self.backend.queued_jobs(),
             0,
             "backend queues must drain completely"
         );
-        assert!(running.is_empty());
-        debug_assert!(events.is_empty());
+        assert!(st.running.is_empty());
+        debug_assert!(st.events.is_empty());
 
+        let RunState {
+            records,
+            mut blocks,
+            mut frag_blocks,
+            depth_max,
+            depth_sum,
+            depth_samples,
+            preemption,
+            gangs,
+            ..
+        } = st;
         let makespan = records.iter().map(|r| r.finished_at).fold(0.0, f64::max);
         let throughput = if makespan > 0.0 {
             records.len() as f64 / (makespan / 3600.0)
@@ -781,66 +1082,168 @@ impl<B: SchedulerBackend> Engine<B> {
             shards,
             queue: queue_stats,
             dispatch,
+            preemption,
+            gangs,
         }
     }
 
-    fn dispatch(
-        &mut self,
-        queue: &mut VecDeque<(JobSpec, f64)>,
-        events: &mut EventQueue,
-        running: &mut HashMap<u64, PendingRecord>,
-        now: f64,
-        blocks: &mut u64,
-        frag_blocks: &mut u64,
-    ) {
-        let mut skipped: VecDeque<(JobSpec, f64)> = VecDeque::new();
-        while let Some((job, submitted_at)) = queue.pop_front() {
-            match self.backend.try_place(&job) {
-                Some(p) => {
-                    self.start_job(job, submitted_at, p, now, events, running);
-                }
-                None => {
-                    *blocks += 1;
-                    if self.backend.total_free_gpus() >= job.num_gpus {
-                        *frag_blocks += 1;
+    fn dispatch(&mut self, now: f64, st: &mut RunState) {
+        let mut skipped: VecDeque<QueueItem> = VecDeque::new();
+        while let Some(item) = st.queue.pop_front() {
+            match item {
+                QueueItem::Job(pending) => {
+                    if let Some(p) = self.backend.try_place(&pending.job) {
+                        self.start_job(pending, p, now, st);
+                        continue;
+                    }
+                    // Blocked. A high-priority arrival may take GPUs back
+                    // from running lower-priority jobs (once per pass).
+                    if let Some(p) = self.preempt_and_place(&pending.job, now, st) {
+                        self.start_job(pending, p, now, st);
+                        continue;
+                    }
+                    st.blocks += 1;
+                    if self.backend.total_free_gpus() >= pending.job.num_gpus {
+                        st.frag_blocks += 1;
                     }
                     if self.config.strict_fifo {
-                        queue.push_front((job, submitted_at));
+                        st.queue.push_front(QueueItem::Job(pending));
                         break;
                     }
-                    skipped.push_back((job, submitted_at));
+                    skipped.push_back(QueueItem::Job(pending));
+                }
+                QueueItem::Gang { gang, submitted_at } => {
+                    if let Some(placements) = self.backend.try_place_gang(&gang.members) {
+                        for (member, p) in gang.members.iter().zip(placements) {
+                            let pending =
+                                PendingJob::gang_member(member.clone(), submitted_at, gang.id);
+                            self.start_job(pending, p, now, st);
+                        }
+                        continue;
+                    }
+                    st.blocks += 1;
+                    if self.backend.total_free_gpus() >= gang.total_gpus() {
+                        st.frag_blocks += 1;
+                    }
+                    if self.config.strict_fifo {
+                        st.queue.push_front(QueueItem::Gang { gang, submitted_at });
+                        break;
+                    }
+                    skipped.push_back(QueueItem::Gang { gang, submitted_at });
                 }
             }
         }
-        // Backfill mode: blocked jobs return to the queue head in order.
+        // Backfill mode: blocked items return to the queue head in order.
         while let Some(item) = skipped.pop_back() {
-            queue.push_front(item);
+            st.queue.push_front(item);
+        }
+    }
+
+    /// Attempts preemption for blocked arrival `job` and, on success,
+    /// places it in the vacated capacity. `None` when preemption is off,
+    /// found no eligible victims, or (defensively) the post-eviction
+    /// placement still fails.
+    fn preempt_and_place(
+        &mut self,
+        job: &JobSpec,
+        now: f64,
+        st: &mut RunState,
+    ) -> Option<Placement> {
+        if !self.config.preemption.enabled() {
+            return None;
+        }
+        let evictions = self
+            .backend
+            .preempt_for(job, self.config.preemption, &st.shielded);
+        if evictions.is_empty() {
+            return None;
+        }
+        self.handle_evictions(evictions, now, st);
+        // The backend verified feasibility before committing, so this
+        // succeeds; `None` here would simply leave the job blocked.
+        self.backend.try_place(job)
+    }
+
+    /// The engine's half of every eviction: cancel the victim's finish
+    /// event (epoch bump), checkpoint its completed iterations, charge
+    /// the restore penalty to its next run, shield it from further
+    /// preemption, and requeue it at the back of the queue (or re-admit
+    /// it into a queue-managing backend).
+    fn handle_evictions(&mut self, evictions: Vec<Eviction>, now: f64, st: &mut RunState) {
+        let managed = self.backend.manages_queues();
+        for ev in evictions {
+            let record = st
+                .running
+                .remove(&ev.job_id)
+                .expect("evicted job was running");
+            debug_assert_eq!(
+                record.server, ev.server,
+                "eviction names the victim's server"
+            );
+            *st.epochs.entry(ev.job_id).or_insert(0) += 1;
+            st.shielded.insert(ev.job_id);
+            let elapsed = now - record.started_at;
+            let mut pending = record.pending;
+            // Checkpoint whole iterations completed this run (the restore
+            // penalty at the head of the run is not productive time).
+            let remaining = pending.remaining_iterations();
+            let penalty = pending.restore_penalty_seconds;
+            let productive = (elapsed - penalty).max(0.0);
+            let iter_time = if remaining > 0 {
+                (record.execution_seconds - penalty) / remaining as f64
+            } else {
+                0.0
+            };
+            let done = if iter_time > 0.0 {
+                ((productive / iter_time).floor() as u64).min(remaining)
+            } else {
+                0
+            };
+            pending.completed_iterations += done;
+            pending.preemptions += 1;
+            pending.preempted_seconds += elapsed;
+            pending.restore_penalty_seconds = self.config.preemption_penalty_seconds;
+            st.preemption.jobs_preempted += 1;
+            st.preemption.gpu_seconds_lost +=
+                (elapsed - done as f64 * iter_time).max(0.0) * record.gpus.len() as f64;
+            if managed {
+                self.backend.admit(pending);
+            } else {
+                st.queue.push_back(QueueItem::Job(pending));
+            }
         }
     }
 
     /// Turns a placement into a running record and its finish event — the
     /// per-job half of dispatch shared by the engine-queued path and the
     /// backend-managed (`pump`) path, so the two cannot drift apart.
-    fn start_job(
-        &mut self,
-        job: JobSpec,
-        submitted_at: f64,
-        p: Placement,
-        now: f64,
-        events: &mut EventQueue,
-        running: &mut HashMap<u64, PendingRecord>,
-    ) {
+    fn start_job(&mut self, pending: PendingJob, p: Placement, now: f64, st: &mut RunState) {
         let topology = self.backend.server_topology(p.server);
+        let job = &pending.job;
         let workload_bw = perf::workload_effbw(job.workload, topology, &p.gpus);
         let iter_time = perf::iteration_time_with_effbw(job.workload, job.num_gpus, workload_bw);
-        let exec = iter_time * job.iterations as f64;
-        events.push(now + exec, EventKind::JobFinished(job.id));
-        running.insert(
+        let exec =
+            iter_time * pending.remaining_iterations() as f64 + pending.restore_penalty_seconds;
+        if pending.preemptions > 0 {
+            st.preemption.penalty_seconds_charged += pending.restore_penalty_seconds;
+        }
+        if let Some(gang) = pending.gang {
+            st.gangs.members_dispatched += 1;
+            if st.gangs_started.insert(gang) {
+                let wait = now - pending.submitted_at;
+                st.gangs.gangs_dispatched += 1;
+                st.gangs.total_wait_seconds += wait;
+                st.gangs.max_wait_seconds = st.gangs.max_wait_seconds.max(wait);
+            }
+        }
+        let epoch = st.epochs.get(&job.id).copied().unwrap_or(0);
+        st.events
+            .push(now + exec, EventKind::JobFinished { job: job.id, epoch });
+        st.running.insert(
             job.id,
             PendingRecord {
                 server: p.server,
                 gpus: p.gpus.clone(),
-                submitted_at,
                 started_at: now,
                 execution_seconds: exec,
                 predicted_eff_bw: p.score.predicted_eff_bw,
@@ -849,17 +1252,65 @@ impl<B: SchedulerBackend> Engine<B> {
                 aggregated_bw: p.score.aggregated_bw,
                 allocation_quality: fragmentation::allocation_quality(topology, &p.gpus),
                 scheduling_overhead: p.scheduling_overhead,
-                job,
+                pending,
             },
         );
     }
 }
 
+/// An entry of the engine's global queue: one job or one whole gang
+/// (gangs occupy a single FIFO position and block/skip as a unit).
+#[derive(Debug, Clone)]
+enum QueueItem {
+    Job(PendingJob),
+    Gang { gang: JobGroup, submitted_at: f64 },
+}
+
+impl QueueItem {
+    /// Waiting jobs this entry represents (gang = its member count).
+    fn job_count(&self) -> usize {
+        match self {
+            QueueItem::Job(_) => 1,
+            QueueItem::Gang { gang, .. } => gang.len(),
+        }
+    }
+}
+
+/// The mutable state of one run, bundled so dispatch helpers stay
+/// readable.
+#[derive(Default)]
+struct RunState {
+    events: EventQueue,
+    queue: VecDeque<QueueItem>,
+    running: HashMap<u64, PendingRecord>,
+    records: Vec<JobRecord>,
+    /// Run generation per job id; preemption bumps it to lazily cancel
+    /// the victim's scheduled finish event.
+    epochs: HashMap<u64, u32>,
+    /// Do-not-evict set: gang members and previously-preempted jobs.
+    shielded: HashSet<u64>,
+    /// Gang ids whose first member already started (for wait accounting).
+    gangs_started: HashSet<u64>,
+    preemption: PreemptionStats,
+    gangs: GangStats,
+    depth_max: usize,
+    depth_sum: u64,
+    depth_samples: u64,
+    blocks: u64,
+    frag_blocks: u64,
+}
+
+impl RunState {
+    /// Jobs waiting in the engine's own queue (gangs count per member).
+    fn waiting_jobs(&self) -> usize {
+        self.queue.iter().map(QueueItem::job_count).sum()
+    }
+}
+
 struct PendingRecord {
-    job: JobSpec,
+    pending: PendingJob,
     server: usize,
     gpus: Vec<usize>,
-    submitted_at: f64,
     started_at: f64,
     execution_seconds: f64,
     predicted_eff_bw: f64,
@@ -873,12 +1324,17 @@ struct PendingRecord {
 impl PendingRecord {
     fn into_record(self, finished_at: f64) -> JobRecord {
         JobRecord {
-            queue_wait_seconds: self.started_at - self.submitted_at,
-            submitted_at: self.submitted_at,
+            queue_wait_seconds: self.started_at
+                - self.pending.submitted_at
+                - self.pending.preempted_seconds,
+            submitted_at: self.pending.submitted_at,
             started_at: self.started_at,
             finished_at,
             execution_seconds: self.execution_seconds,
-            job: self.job,
+            gang: self.pending.gang,
+            preemptions: self.pending.preemptions,
+            preempted_seconds: self.pending.preempted_seconds,
+            job: self.pending.job,
             server: self.server,
             gpus: self.gpus,
             predicted_eff_bw: self.predicted_eff_bw,
@@ -906,6 +1362,7 @@ mod tests {
             bandwidth_sensitive: workload.is_bandwidth_sensitive(),
             workload,
             iterations: iters,
+            priority: 0,
         }
     }
 
@@ -1320,6 +1777,213 @@ mod tests {
         // deterministic candidate order, so schedules are identical.
         for (a, b) in base.records.iter().zip(&pooled.records) {
             assert_eq!(a.gpus, b.gpus);
+            assert_eq!(a.finished_at, b.finished_at);
+        }
+    }
+
+    fn pri_job(id: u64, n: usize, iters: u64, priority: u8) -> JobSpec {
+        JobSpec {
+            priority,
+            ..job(id, n, Workload::Gmm, iters)
+        }
+    }
+
+    fn preemptive_config(policy: mapa_core::PreemptionPolicy, gap: f64) -> SimConfig {
+        SimConfig {
+            arrivals: ArrivalProcess::Uniform { gap },
+            preemption: policy,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn high_priority_arrival_preempts_a_low_priority_job() {
+        use mapa_core::PreemptionPolicy;
+        // Job 1 (priority 0) holds the whole machine; job 2 (priority 1)
+        // arrives at t=100 and needs the whole machine too.
+        let jobs = vec![pri_job(1, 8, 100_000, 0), pri_job(2, 8, 10, 1)];
+        let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .with_config(preemptive_config(PreemptionPolicy::PriorityEvict, 100.0))
+            .run(&jobs);
+        assert_eq!(report.records.len(), 2, "no job lost");
+        let j1 = report.records.iter().find(|r| r.job.id == 1).unwrap();
+        let j2 = report.records.iter().find(|r| r.job.id == 2).unwrap();
+        // The urgent job started the moment it arrived.
+        assert_eq!(j2.started_at, 100.0);
+        assert_eq!(j2.preemptions, 0);
+        // The victim was evicted once, restarted after the urgent job
+        // finished, and was charged the restore penalty.
+        assert_eq!(j1.preemptions, 1);
+        assert_eq!(j1.preempted_seconds, 100.0, "ran 0..100 before eviction");
+        assert_eq!(j1.started_at, j2.finished_at);
+        assert!(j1.queue_wait_seconds > 0.0);
+        assert_eq!(report.preemption.jobs_preempted, 1);
+        assert_eq!(
+            report.preemption.penalty_seconds_charged,
+            DEFAULT_PREEMPTION_PENALTY_SECONDS
+        );
+        assert!(report.preemption.gpu_seconds_lost > 0.0);
+        // Checkpointing: the victim's completed iterations survive, so
+        // its final run is shorter than a from-scratch run plus penalty.
+        let scratch = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .run(&[pri_job(1, 8, 100_000, 0)]);
+        assert!(
+            j1.execution_seconds
+                < scratch.records[0].execution_seconds + DEFAULT_PREEMPTION_PENALTY_SECONDS,
+            "restart resumes from the checkpoint, not from zero"
+        );
+    }
+
+    #[test]
+    fn preemption_off_ignores_priorities_entirely() {
+        // Same two-job scenario, preemption off: the urgent job waits
+        // like any other arrival, bit-identically to an all-priority-0
+        // run.
+        let prioritized = vec![pri_job(1, 8, 1000, 0), pri_job(2, 8, 10, 3)];
+        let flat = vec![pri_job(1, 8, 1000, 0), pri_job(2, 8, 10, 0)];
+        let run = |jobs: &[JobSpec]| {
+            Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+                .with_config(SimConfig {
+                    arrivals: ArrivalProcess::Uniform { gap: 100.0 },
+                    ..SimConfig::default()
+                })
+                .run(jobs)
+        };
+        let a = run(&prioritized);
+        let b = run(&flat);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.job.id, y.job.id);
+            assert_eq!(x.started_at, y.started_at);
+            assert_eq!(x.finished_at, y.finished_at);
+            assert_eq!(x.preemptions, 0);
+        }
+        assert_eq!(a.preemption, PreemptionStats::default());
+    }
+
+    #[test]
+    fn a_job_is_preempted_at_most_once() {
+        use mapa_core::PreemptionPolicy;
+        // One low-priority monster, then a stream of urgent whole-machine
+        // jobs: the monster may fall once, after which it is shielded —
+        // later urgent arrivals must wait instead of evicting it again.
+        let jobs = vec![
+            pri_job(1, 8, 100_000, 0),
+            pri_job(2, 8, 10, 1),
+            pri_job(3, 8, 10, 1),
+            pri_job(4, 8, 10, 1),
+        ];
+        let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .with_config(preemptive_config(PreemptionPolicy::PriorityEvict, 50.0))
+            .run(&jobs);
+        assert_eq!(report.records.len(), 4);
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.job.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4], "no loss, no duplication");
+        for r in &report.records {
+            assert!(r.preemptions <= 1, "job {} evicted twice", r.job.id);
+        }
+        assert_eq!(report.preemption.jobs_preempted, 1);
+    }
+
+    #[test]
+    fn sensitivity_aware_preemption_protects_sensitive_victims() {
+        use mapa_core::PreemptionPolicy;
+        // The running job is bandwidth-sensitive: sensitivity-aware
+        // eviction refuses, the urgent job waits; plain priority eviction
+        // would have taken the GPUs.
+        let sensitive_holder = JobSpec {
+            bandwidth_sensitive: true,
+            ..pri_job(1, 8, 1000, 0)
+        };
+        let jobs = vec![sensitive_holder, pri_job(2, 8, 10, 1)];
+        let shielded_run = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .with_config(preemptive_config(
+                PreemptionPolicy::SensitivityAwareEvict,
+                100.0,
+            ))
+            .run(&jobs);
+        let j2 = shielded_run.records.iter().find(|r| r.job.id == 2).unwrap();
+        assert!(j2.queue_wait_seconds > 0.0, "no eviction, so it waited");
+        assert_eq!(shielded_run.preemption.jobs_preempted, 0);
+        let evicting_run = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .with_config(preemptive_config(PreemptionPolicy::PriorityEvict, 100.0))
+            .run(&jobs);
+        assert_eq!(evicting_run.preemption.jobs_preempted, 1);
+    }
+
+    #[test]
+    fn gang_members_start_at_the_same_tick() {
+        use mapa_workloads::JobGroup;
+        let gang = JobGroup::new(7, vec![pri_job(1, 4, 50, 0), pri_job(2, 4, 100, 0)]);
+        let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .run_submissions(vec![Submission::Gang(gang)]);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].started_at, report.records[1].started_at);
+        for r in &report.records {
+            assert_eq!(r.gang, Some(7), "records carry the gang id");
+        }
+        assert_eq!(report.gangs.gangs_dispatched, 1);
+        assert_eq!(report.gangs.members_dispatched, 2);
+        assert_eq!(report.gangs.max_wait_seconds, 0.0, "idle machine: no wait");
+    }
+
+    #[test]
+    fn gang_admission_is_all_or_nothing() {
+        use mapa_workloads::JobGroup;
+        // A 5-GPU job occupies the machine; a gang of two 4-GPU jobs
+        // arrives while only 3 GPUs are free. One member would fit —
+        // neither may start until the holder releases.
+        let holder = pri_job(1, 5, 100, 0);
+        let gang = JobGroup::new(1, vec![pri_job(2, 4, 10, 0), pri_job(3, 4, 10, 0)]);
+        let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
+            .run_submissions(vec![Submission::Job(holder), Submission::Gang(gang)]);
+        let j1 = report.records.iter().find(|r| r.job.id == 1).unwrap();
+        let j2 = report.records.iter().find(|r| r.job.id == 2).unwrap();
+        let j3 = report.records.iter().find(|r| r.job.id == 3).unwrap();
+        assert_eq!(j2.started_at, j1.finished_at, "gang waited for the drain");
+        assert_eq!(j2.started_at, j3.started_at, "members co-start");
+        assert!(report.gangs.max_wait_seconds > 0.0);
+        assert!(
+            report.queue.dispatch_blocks > 0,
+            "the gang blocked as a unit"
+        );
+    }
+
+    #[test]
+    fn gangs_and_jobs_interleave_under_strict_fifo() {
+        use mapa_workloads::JobGroup;
+        // Queue order: monster job, then a gang, then a small job. Strict
+        // FIFO: the small job may not overtake the blocked gang.
+        let subs = vec![
+            Submission::Job(pri_job(1, 8, 100, 0)),
+            Submission::Gang(JobGroup::new(
+                1,
+                vec![pri_job(2, 4, 10, 0), pri_job(3, 4, 10, 0)],
+            )),
+            Submission::Job(pri_job(4, 1, 10, 0)),
+        ];
+        let report =
+            Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run_submissions(subs);
+        let j2 = report.records.iter().find(|r| r.job.id == 2).unwrap();
+        let j4 = report.records.iter().find(|r| r.job.id == 4).unwrap();
+        assert!(
+            j4.started_at >= j2.started_at,
+            "strict FIFO holds the single job behind the gang"
+        );
+    }
+
+    #[test]
+    fn run_submissions_with_bare_jobs_equals_run() {
+        let jobs = generator::paper_job_mix(31);
+        let direct =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..50]);
+        let via_submissions = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .run_submissions(jobs[..50].iter().cloned().map(Submission::Job));
+        assert_eq!(direct.records.len(), via_submissions.records.len());
+        for (a, b) in direct.records.iter().zip(&via_submissions.records) {
+            assert_eq!(a.job.id, b.job.id);
+            assert_eq!(a.gpus, b.gpus);
+            assert_eq!(a.started_at, b.started_at);
             assert_eq!(a.finished_at, b.finished_at);
         }
     }

@@ -16,10 +16,19 @@ pub(crate) struct Event {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum EventKind {
-    /// A job arrives at the dispatcher (index into the job list).
+    /// A submission arrives at the dispatcher (index into the stream).
     JobArrival(usize),
-    /// A running job completes and frees its GPUs.
-    JobFinished(u64),
+    /// A running job completes and frees its GPUs. `epoch` is the job's
+    /// run generation: preempting a job bumps its epoch, turning the
+    /// already-scheduled finish event stale — the engine drops finish
+    /// events whose epoch no longer matches (lazy cancellation; a binary
+    /// heap cannot delete).
+    JobFinished {
+        /// Job id.
+        job: u64,
+        /// Run generation the event was scheduled for.
+        epoch: u32,
+    },
 }
 
 impl Eq for Event {}
@@ -48,10 +57,6 @@ pub(crate) struct EventQueue {
 }
 
 impl EventQueue {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
     pub fn push(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time.is_finite() && time >= 0.0, "event time {time}");
         let seq = self.next_seq;
@@ -79,23 +84,23 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(5.0, EventKind::JobFinished(1));
-        q.push(1.0, EventKind::JobFinished(2));
-        q.push(3.0, EventKind::JobFinished(3));
+        let mut q = EventQueue::default();
+        q.push(5.0, EventKind::JobFinished { job: 1, epoch: 0 });
+        q.push(1.0, EventKind::JobFinished { job: 2, epoch: 0 });
+        q.push(3.0, EventKind::JobFinished { job: 3, epoch: 0 });
         let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
         assert_eq!(order, vec![1.0, 3.0, 5.0]);
     }
 
     #[test]
     fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::new();
-        q.push(2.0, EventKind::JobFinished(10));
-        q.push(2.0, EventKind::JobFinished(11));
-        q.push(2.0, EventKind::JobFinished(12));
+        let mut q = EventQueue::default();
+        q.push(2.0, EventKind::JobFinished { job: 10, epoch: 0 });
+        q.push(2.0, EventKind::JobFinished { job: 11, epoch: 0 });
+        q.push(2.0, EventKind::JobFinished { job: 12, epoch: 0 });
         let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
-                EventKind::JobFinished(id) => id,
+                EventKind::JobFinished { job, .. } => job,
                 EventKind::JobArrival(_) => unreachable!("no arrivals queued"),
             })
             .collect();
@@ -104,9 +109,9 @@ mod tests {
 
     #[test]
     fn len_and_empty() {
-        let mut q = EventQueue::new();
+        let mut q = EventQueue::default();
         assert!(q.is_empty());
-        q.push(1.0, EventKind::JobFinished(1));
+        q.push(1.0, EventKind::JobFinished { job: 1, epoch: 0 });
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

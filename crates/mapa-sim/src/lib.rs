@@ -26,19 +26,40 @@
 //! [`Engine::run_stream`] (arrivals are scheduled one ahead), which is
 //! what the cluster crate's bounded ingestion channel feeds.
 //!
+//! Two multi-tenant mechanisms extend the Fig. 14 semantics, both off
+//! by default (and provably inert when off):
+//!
+//! * **Preemption** ([`SimConfig::preemption`]): a blocked
+//!   higher-priority arrival may evict strictly-lower-priority running
+//!   jobs; victims are checkpointed, requeued once, and charged a
+//!   restore penalty ([`SimConfig::preemption_penalty_seconds`]).
+//! * **Gang scheduling** ([`Submission::Gang`], via
+//!   [`Engine::run_submissions`]): a `JobGroup`'s members start at the
+//!   same simulation tick or not at all.
+//!
+//! The full lifecycle and ordering rules live in `docs/SCHEDULING.md`.
+//!
 //! # Example
 //!
 //! ```
-//! use mapa_sim::{Simulation, SimConfig};
+//! use mapa_sim::{Simulation, SimConfig, Submission};
 //! use mapa_core::policy::PreservePolicy;
 //! use mapa_topology::machines;
-//! use mapa_workloads::generator;
+//! use mapa_workloads::{generator, JobGroup};
 //!
 //! let jobs = generator::paper_job_mix(1);
 //! let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
 //!     .run(&jobs[..20]);
 //! assert_eq!(report.records.len(), 20);
 //! assert!(report.makespan_seconds > 0.0);
+//!
+//! // The same engine co-schedules gangs: both members of this pair
+//! // start at the same simulation tick.
+//! let gang = JobGroup::new(1, jobs[20..22].to_vec());
+//! let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+//!     .run_submissions(vec![Submission::Gang(gang)]);
+//! assert_eq!(report.records[0].started_at, report.records[1].started_at);
+//! assert_eq!(report.gangs.gangs_dispatched, 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,7 +73,8 @@ pub mod stats;
 pub mod timeline;
 
 pub use engine::{
-    configure_allocator, ArrivalProcess, DispatchReport, DispatchedJob, Engine, JobRecord,
-    Placement, QueueStats, SchedulerBackend, ShardStats, SimConfig, SimReport, Simulation,
-    SingleServer,
+    configure_allocator, ArrivalProcess, DispatchReport, DispatchedJob, Engine, Eviction,
+    GangStats, JobRecord, PendingJob, Placement, PreemptionStats, QueueStats, SchedulerBackend,
+    ShardStats, SimConfig, SimReport, Simulation, SingleServer, Submission,
+    DEFAULT_PREEMPTION_PENALTY_SECONDS,
 };

@@ -81,6 +81,23 @@ pub fn write_log(report: &SimReport) -> String {
             depths.join(","),
         ));
     }
+    if report.preemption.jobs_preempted > 0 {
+        out.push_str(&format!(
+            "# preemption: jobs={} gpu_seconds_lost={:.2} penalty_seconds={:.2}\n",
+            report.preemption.jobs_preempted,
+            report.preemption.gpu_seconds_lost,
+            report.preemption.penalty_seconds_charged,
+        ));
+    }
+    if report.gangs.gangs_dispatched > 0 {
+        out.push_str(&format!(
+            "# gangs: dispatched={} members={} total_wait={:.2} max_wait={:.2}\n",
+            report.gangs.gangs_dispatched,
+            report.gangs.members_dispatched,
+            report.gangs.total_wait_seconds,
+            report.gangs.max_wait_seconds,
+        ));
+    }
     out
 }
 
@@ -316,6 +333,39 @@ mod tests {
             "{text}"
         );
         // Trailer stays invisible to the tolerant reader.
+        assert_eq!(parse_log(&text).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn log_carries_preemption_and_gang_trailers_only_when_they_fired() {
+        let jobs = generator::paper_job_mix(8);
+        let report =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..10]);
+        let quiet = write_log(&report);
+        assert!(!quiet.contains("# preemption:"), "no evictions, no line");
+        assert!(!quiet.contains("# gangs:"), "no gangs, no line");
+        let mut loud = report;
+        loud.preemption = crate::PreemptionStats {
+            jobs_preempted: 2,
+            gpu_seconds_lost: 123.456,
+            penalty_seconds_charged: 60.0,
+        };
+        loud.gangs = crate::GangStats {
+            gangs_dispatched: 3,
+            members_dispatched: 9,
+            total_wait_seconds: 42.0,
+            max_wait_seconds: 20.5,
+        };
+        let text = write_log(&loud);
+        assert!(
+            text.contains("# preemption: jobs=2 gpu_seconds_lost=123.46 penalty_seconds=60.00"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# gangs: dispatched=3 members=9 total_wait=42.00 max_wait=20.50"),
+            "{text}"
+        );
+        // Trailers stay invisible to the tolerant reader.
         assert_eq!(parse_log(&text).unwrap().len(), 10);
     }
 

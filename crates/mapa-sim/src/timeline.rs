@@ -111,6 +111,7 @@ mod tests {
                 bandwidth_sensitive: false,
                 workload: Workload::Gmm,
                 iterations: iters,
+                priority: 0,
             })
             .collect()
     }
@@ -178,6 +179,8 @@ mod tests {
             shards: vec![],
             queue: crate::QueueStats::default(),
             dispatch: None,
+            preemption: crate::PreemptionStats::default(),
+            gangs: crate::GangStats::default(),
         };
         let _ = utilization(&report, 8);
     }

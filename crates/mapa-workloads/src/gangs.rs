@@ -1,0 +1,139 @@
+//! Gangs: multi-job workflows whose members must be co-scheduled.
+//!
+//! A distributed training pipeline or a coupled HPC workflow submits
+//! *sets* of jobs that only make progress together — MAGMA
+//! (arXiv:2104.13997) optimizes exactly such job-set mappings onto many
+//! accelerators at once. A [`JobGroup`] is that unit of submission: the
+//! scheduler must start **all members at the same simulation tick or none
+//! of them** (all-or-nothing admission), possibly spread across several
+//! servers of a cluster. Members are ordinary [`JobSpec`]s; the gang adds
+//! only the co-scheduling constraint and an identity.
+
+use crate::jobs::JobSpec;
+
+/// A gang: jobs that must start together (all-or-nothing, same tick).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobGroup {
+    /// Gang identity — unique among gangs in one run, and stamped on
+    /// every member's simulation record.
+    pub id: u64,
+    /// The member jobs, in submission order. Never empty.
+    pub members: Vec<JobSpec>,
+}
+
+impl JobGroup {
+    /// Builds a gang over `members`.
+    ///
+    /// # Panics
+    /// Panics when `members` is empty — an empty gang has no admission
+    /// semantics.
+    #[must_use]
+    pub fn new(id: u64, members: Vec<JobSpec>) -> Self {
+        assert!(!members.is_empty(), "a gang needs at least one member");
+        Self { id, members }
+    }
+
+    /// Number of member jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the gang has no members (never true for a constructed
+    /// gang; present for clippy's `len_without_is_empty` convention).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// GPUs the whole gang needs simultaneously.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.members.iter().map(|m| m.num_gpus).sum()
+    }
+
+    /// Highest member priority — the priority the gang presents to
+    /// admission ordering.
+    #[must_use]
+    pub fn priority(&self) -> u8 {
+        self.members.iter().map(|m| m.priority).max().unwrap_or(0)
+    }
+
+    /// Chunks a flat job list into gangs of `size` consecutive jobs (the
+    /// last gang may be smaller). Gang ids count up from 1 in chunk
+    /// order. `size = 0` is clamped to 1 (every job its own gang) — the
+    /// CLI's `--gang-size` flag calls exactly this.
+    #[must_use]
+    pub fn chunk(jobs: Vec<JobSpec>, size: usize) -> Vec<JobGroup> {
+        let size = size.max(1);
+        let mut gangs = Vec::with_capacity(jobs.len().div_ceil(size));
+        let mut members = Vec::with_capacity(size);
+        for job in jobs {
+            members.push(job);
+            if members.len() == size {
+                gangs.push(JobGroup::new(
+                    gangs.len() as u64 + 1,
+                    std::mem::take(&mut members),
+                ));
+            }
+        }
+        if !members.is_empty() {
+            gangs.push(JobGroup::new(gangs.len() as u64 + 1, members));
+        }
+        gangs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::AppTopology;
+    use crate::network::Workload;
+
+    fn job(id: u64, n: usize, priority: u8) -> JobSpec {
+        JobSpec {
+            id,
+            num_gpus: n,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: true,
+            workload: Workload::Vgg16,
+            iterations: 10,
+            priority,
+        }
+    }
+
+    #[test]
+    fn gang_accessors() {
+        let g = JobGroup::new(7, vec![job(1, 2, 0), job(2, 3, 4), job(3, 1, 1)]);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.total_gpus(), 6);
+        assert_eq!(g.priority(), 4, "gang presents its highest member class");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_gang_panics() {
+        let _ = JobGroup::new(1, Vec::new());
+    }
+
+    #[test]
+    fn chunking_preserves_order_and_covers_every_job() {
+        let jobs: Vec<JobSpec> = (1..=7).map(|i| job(i, 1, 0)).collect();
+        let gangs = JobGroup::chunk(jobs.clone(), 3);
+        assert_eq!(gangs.len(), 3);
+        assert_eq!(gangs[0].members.len(), 3);
+        assert_eq!(gangs[2].members.len(), 1, "tail gang keeps the remainder");
+        assert_eq!(
+            gangs.iter().map(|g| g.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let flattened: Vec<u64> = gangs
+            .iter()
+            .flat_map(|g| g.members.iter().map(|m| m.id))
+            .collect();
+        assert_eq!(flattened, (1..=7).collect::<Vec<_>>());
+        // Degenerate sizes: 0 clamps to singleton gangs.
+        assert_eq!(JobGroup::chunk(jobs, 0).len(), 7);
+    }
+}

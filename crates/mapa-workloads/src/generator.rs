@@ -72,6 +72,7 @@ pub fn generate_jobs(config: &JobMixConfig, seed: u64) -> Vec<JobSpec> {
                 bandwidth_sensitive: model.bandwidth_sensitive,
                 workload,
                 iterations,
+                priority: 0,
             }
         })
         .collect()

@@ -11,9 +11,12 @@
 //! 3, 5, Tree, False
 //! ```
 //!
-//! We carry two extra columns — workload name and iterations — so the
-//! execution-time model can run the job (the paper's job files embed
-//! "execution times from real-world runs" the same way).
+//! We carry three extra columns — workload name, iterations, and an
+//! optional tenant priority — so the execution-time model can run the job
+//! (the paper's job files embed "execution times from real-world runs"
+//! the same way) and the preemption layer can tell tenant classes apart.
+//! The `Priority` column may be omitted (it defaults to 0); files written
+//! by [`write_job_file`] always carry it.
 
 use crate::network::Workload;
 use std::fmt;
@@ -80,6 +83,31 @@ pub struct JobSpec {
     pub workload: Workload,
     /// Training iterations to run.
     pub iterations: u64,
+    /// Tenant priority: larger is more important, 0 (the default) is the
+    /// lowest class. Priorities only matter to a scheduler running a
+    /// non-`None` preemption policy — with preemption off they are inert
+    /// annotations and schedules are identical to all-zero priorities.
+    pub priority: u8,
+}
+
+impl JobSpec {
+    /// Returns the job with its priority replaced (builder style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Assigns round-robin tenant classes by job id: `priority = id % classes`
+/// (so `classes = 1` leaves every job at priority 0). A quick way to turn
+/// a flat job file into a multi-class tenant mix for preemption studies —
+/// the CLI's `--priorities N` flag calls exactly this.
+pub fn assign_priority_classes(jobs: &mut [JobSpec], classes: u8) {
+    let classes = classes.max(1);
+    for job in jobs {
+        job.priority = (job.id % u64::from(classes)) as u8;
+    }
 }
 
 /// Errors from job-file parsing.
@@ -109,7 +137,7 @@ impl fmt::Display for JobFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobFileError::FieldCount { line, found } => {
-                write!(f, "line {line}: expected 6 fields, found {found}")
+                write!(f, "line {line}: expected 6 or 7 fields, found {found}")
             }
             JobFileError::BadField { line, field, value } => {
                 write!(f, "line {line}: bad {field}: '{value}'")
@@ -124,10 +152,11 @@ impl std::error::Error for JobFileError {}
 /// Serializes jobs into the CSV job-file format (with header).
 #[must_use]
 pub fn write_job_file(jobs: &[JobSpec]) -> String {
-    let mut out = String::from("ID, NumGPUs, Topology, BW Sensitive, Workload, Iterations\n");
+    let mut out =
+        String::from("ID, NumGPUs, Topology, BW Sensitive, Workload, Iterations, Priority\n");
     for j in jobs {
         out.push_str(&format!(
-            "{}, {}, {}, {}, {}, {}\n",
+            "{}, {}, {}, {}, {}, {}, {}\n",
             j.id,
             j.num_gpus,
             j.topology,
@@ -137,7 +166,8 @@ pub fn write_job_file(jobs: &[JobSpec]) -> String {
                 "False"
             },
             j.workload,
-            j.iterations
+            j.iterations,
+            j.priority
         ));
     }
     out
@@ -161,7 +191,7 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
         if fields[0].parse::<u64>().is_err() && fields[0].eq_ignore_ascii_case("id") {
             continue;
         }
-        if fields.len() != 6 {
+        if fields.len() != 6 && fields.len() != 7 {
             return Err(JobFileError::FieldCount {
                 line,
                 found: fields.len(),
@@ -201,6 +231,14 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
             value: fields[4].to_string(),
         })?;
         let iterations = parse_u64("Iterations", fields[5])?;
+        let priority = match fields.get(6) {
+            Some(s) => s.parse::<u8>().map_err(|_| JobFileError::BadField {
+                line,
+                field: "Priority",
+                value: (*s).to_string(),
+            })?,
+            None => 0,
+        };
         jobs.push(JobSpec {
             id,
             num_gpus,
@@ -208,6 +246,7 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
             bandwidth_sensitive,
             workload,
             iterations,
+            priority,
         });
     }
     Ok(jobs)
@@ -226,6 +265,7 @@ mod tests {
                 bandwidth_sensitive: true,
                 workload: Workload::Vgg16,
                 iterations: 3000,
+                priority: 0,
             },
             JobSpec {
                 id: 2,
@@ -234,6 +274,7 @@ mod tests {
                 bandwidth_sensitive: false,
                 workload: Workload::GoogleNet,
                 iterations: 2000,
+                priority: 2,
             },
         ]
     }
@@ -257,6 +298,40 @@ mod tests {
         assert_eq!(jobs[0].workload, Workload::Vgg16);
         assert_eq!(jobs[1].topology, AppTopology::RingTree);
         assert!(!jobs[1].bandwidth_sensitive);
+        // Six-column files (the paper's format) default priority to 0.
+        assert_eq!(jobs[0].priority, 0);
+        assert_eq!(jobs[1].priority, 0);
+    }
+
+    #[test]
+    fn priority_column_parses_and_defaults() {
+        let text = "1, 2, Ring, True, vgg-16, 100, 3\n2, 2, Ring, True, vgg-16, 100\n";
+        let jobs = parse_job_file(text).unwrap();
+        assert_eq!(jobs[0].priority, 3);
+        assert_eq!(jobs[1].priority, 0);
+        assert!(matches!(
+            parse_job_file("1, 2, Ring, True, vgg-16, 100, urgent"),
+            Err(JobFileError::BadField {
+                field: "Priority",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn priority_classes_follow_job_ids() {
+        let mut jobs: Vec<JobSpec> = (1..=6)
+            .map(|id| JobSpec {
+                id,
+                ..sample_jobs()[0].clone().with_priority(9)
+            })
+            .collect();
+        assign_priority_classes(&mut jobs, 3);
+        let priorities: Vec<u8> = jobs.iter().map(|j| j.priority).collect();
+        assert_eq!(priorities, vec![1, 2, 0, 1, 2, 0]);
+        // One class flattens everything back to priority 0.
+        assign_priority_classes(&mut jobs, 1);
+        assert!(jobs.iter().all(|j| j.priority == 0));
     }
 
     #[test]

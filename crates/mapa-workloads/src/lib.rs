@@ -21,17 +21,20 @@
 //!
 //! Modules: [`network`] (the nine workload models), [`perf`] (execution
 //! time), [`distributions`] (Fig. 5a message-size CDFs), [`jobs`] (job
-//! specs + the paper's Fig. 14 CSV job-file format), [`generator`]
+//! specs + the paper's Fig. 14 CSV job-file format, now with tenant
+//! priorities), [`gangs`] (co-scheduled multi-job workflows), [`generator`]
 //! (the 300-job random mix of §4).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distributions;
+pub mod gangs;
 pub mod generator;
 pub mod jobs;
 pub mod network;
 pub mod perf;
 
-pub use jobs::{AppTopology, JobSpec};
+pub use gangs::JobGroup;
+pub use jobs::{assign_priority_classes, AppTopology, JobSpec};
 pub use network::{Workload, WorkloadClass};

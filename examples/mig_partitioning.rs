@@ -30,6 +30,7 @@ fn main() {
         bandwidth_sensitive: true,
         workload: Workload::Vgg16,
         iterations: 1500,
+        priority: 0,
     }];
     for id in 2..=8 {
         jobs.push(JobSpec {
@@ -39,6 +40,7 @@ fn main() {
             bandwidth_sensitive: false,
             workload: Workload::Gmm,
             iterations: 600,
+            priority: 0,
         });
     }
 

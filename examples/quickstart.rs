@@ -20,6 +20,7 @@ fn main() {
         bandwidth_sensitive: false,
         workload: Workload::GoogleNet,
         iterations: 2000,
+        priority: 0,
     };
     // …then a bandwidth-hungry VGG-16 training run.
     let training = JobSpec {
@@ -29,6 +30,7 @@ fn main() {
         bandwidth_sensitive: true,
         workload: Workload::Vgg16,
         iterations: 3000,
+        priority: 0,
     };
 
     for job in [&background, &training] {

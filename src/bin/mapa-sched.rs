@@ -7,7 +7,10 @@
 //! mapa-sched simulate --machine dgx-1-v100 --policy preserve \
 //!                     --jobs jobs.csv [--backfill] [--no-cache] [--poisson GAP --seed S]
 //! mapa-sched simulate --machine dgx-1-v100 --servers 4 --server-policy least-loaded \
-//!                     --policy preserve --jobs jobs.csv [--json report.json]
+//!                     --policy preserve --jobs jobs.csv \
+//!                     [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N] \
+//!                     [--preemption <name>] [--priorities N] [--gang-size K] \
+//!                     [--json report.json]
 //! ```
 //!
 //! A topology can also be given as a file containing `nvidia-smi topo -m`
@@ -16,19 +19,29 @@
 //! replayed against a sharded cluster of N copies of the machine: a
 //! server-selection policy picks the shard, the allocation policy picks
 //! the GPUs, and jobs stream in through the bounded ingestion channel.
+//! `--priorities N` synthesizes N tenant classes (`priority = id % N`) on
+//! top of the job file's optional `Priority` column, `--preemption` lets
+//! high-priority arrivals evict lower-priority running jobs (requeued
+//! with a checkpoint/restore penalty; see `--preemption-penalty`), and
+//! `--gang-size K` groups every K consecutive jobs into a co-scheduled
+//! gang (all members start at the same tick or none do). The full
+//! semantics is documented in `docs/SCHEDULING.md`.
 
 use mapa::cluster::{
     dispatch_mode_by_name, migration_policy_by_name, server_policy_by_name, Cluster, DispatchMode,
-    JobFeed, MigrationPolicy, DISPATCH_MODE_NAMES, MIGRATION_POLICY_NAMES, SERVER_POLICY_NAMES,
+    MigrationPolicy, SubmissionFeed, DISPATCH_MODE_NAMES, MIGRATION_POLICY_NAMES,
+    SERVER_POLICY_NAMES,
 };
 use mapa::core::policy::{
     AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
     TopoAwarePolicy,
 };
+use mapa::core::{preemption_policy_by_name, PreemptionPolicy, PREEMPTION_POLICY_NAMES};
 use mapa::prelude::*;
-use mapa::sim::{ArrivalProcess, JobRecord, SimConfig};
+use mapa::sim::{ArrivalProcess, JobRecord, SimConfig, Submission};
 use mapa::topology::parse::{parse_topology_matrix, to_topology_matrix, NvlinkGeneration};
 use mapa::workloads::jobs;
+use mapa::workloads::JobGroup;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -51,16 +64,21 @@ usage:
   mapa-sched simulate --machine <name-or-file> --policy <name> --jobs <file>
                       [--servers N] [--server-policy <name>]
                       [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N]
+                      [--preemption <name>] [--preemption-penalty SECONDS]
+                      [--priorities N] [--gang-size K]
                       [--backfill] [--no-cache] [--seed S]
                       [--poisson MEAN_GAP | --burst SIZE [--burst-gap SECONDS]]
                       [--json <report-file>]
 
-policies:           baseline | topo-aware | greedy | preserve | effbw-greedy
-server policies:    round-robin | least-loaded | best-score | pack-first
-dispatch modes:     sequential | parallel
-migration policies: none | steal-on-idle | rebalance-on-release
+policies:            baseline | topo-aware | greedy | preserve | effbw-greedy
+server policies:     round-robin | least-loaded | best-score | pack-first
+dispatch modes:      sequential | parallel
+migration policies:  none | steal-on-idle | rebalance-on-release
+preemption policies: none | priority-evict | sensitivity-aware-evict
 (--shard-queue-depth or a non-none --migration switches the cluster from
-the global FIFO queue to bounded per-shard queues)";
+the global FIFO queue to bounded per-shard queues; --priorities N assigns
+tenant classes id%N; --gang-size K co-schedules every K consecutive jobs —
+see docs/SCHEDULING.md for the full semantics)";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -178,6 +196,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut migration_arg: Option<String> = None;
     let mut queue_depth: Option<usize> = None;
     let mut json_file: Option<String> = None;
+    let mut preemption_arg: Option<String> = None;
+    let mut preemption_penalty: Option<f64> = None;
+    let mut priorities: Option<u8> = None;
+    let mut gang_size: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -199,6 +221,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 queue_depth = Some(parse_flag(&mut it, "--shard-queue-depth")?)
             }
             "--json" => json_file = Some(parse_flag(&mut it, "--json")?),
+            "--preemption" => preemption_arg = Some(parse_flag(&mut it, "--preemption")?),
+            "--preemption-penalty" => {
+                preemption_penalty = Some(parse_flag(&mut it, "--preemption-penalty")?)
+            }
+            "--priorities" => priorities = Some(parse_flag(&mut it, "--priorities")?),
+            "--gang-size" => gang_size = Some(parse_flag(&mut it, "--gang-size")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -210,7 +238,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let policy_name = policy_arg.ok_or("--policy is required")?;
     let jobs_text = std::fs::read_to_string(jobs_file.as_deref().ok_or("--jobs is required")?)
         .map_err(|e| format!("cannot read jobs file: {e}"))?;
-    let job_list = jobs::parse_job_file(&jobs_text).map_err(|e| format!("bad job file: {e}"))?;
+    let mut job_list =
+        jobs::parse_job_file(&jobs_text).map_err(|e| format!("bad job file: {e}"))?;
     if let Some(bad) = job_list.iter().find(|j| j.num_gpus > machine.gpu_count()) {
         return Err(format!(
             "job {} requests {} GPUs but {} has only {}",
@@ -219,6 +248,93 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             machine.name(),
             machine.gpu_count()
         ));
+    }
+    if let Some(classes) = priorities {
+        if classes == 0 {
+            return Err("--priorities needs at least 1 tenant class".to_string());
+        }
+        jobs::assign_priority_classes(&mut job_list, classes);
+    }
+    let preemption = match preemption_arg.as_deref() {
+        None => PreemptionPolicy::None,
+        Some(name) => preemption_policy_by_name(name).ok_or_else(|| {
+            format!(
+                "unknown preemption policy '{name}' (choose from: {})",
+                PREEMPTION_POLICY_NAMES.join(" | ")
+            )
+        })?,
+    };
+    if let Some(penalty) = preemption_penalty {
+        if !(penalty >= 0.0 && penalty.is_finite()) {
+            return Err(
+                "--preemption-penalty must be a non-negative number of seconds".to_string(),
+            );
+        }
+        if preemption == PreemptionPolicy::None {
+            return Err(
+                "--preemption-penalty needs a non-none --preemption policy to matter".to_string(),
+            );
+        }
+    }
+    // Group the stream into gangs of K consecutive jobs when asked; each
+    // gang occupies one arrival slot and is co-scheduled all-or-nothing.
+    let submissions: Vec<Submission> = match gang_size {
+        None => job_list.into_iter().map(Submission::Job).collect(),
+        Some(0) => return Err("--gang-size needs at least 1 job per gang".to_string()),
+        Some(size) => JobGroup::chunk(job_list, size)
+            .into_iter()
+            .map(Submission::Gang)
+            .collect(),
+    };
+    let server_policy_name = server_policy_arg.as_deref().unwrap_or("least-loaded");
+    let resolve_server_policy = || {
+        server_policy_by_name(server_policy_name).ok_or_else(|| {
+            format!(
+                "unknown server policy '{server_policy_name}' (choose from: {})",
+                SERVER_POLICY_NAMES.join(" | ")
+            )
+        })
+    };
+    // Every gang must be co-schedulable on the *idle* fleet, or the run
+    // can never drain (the engine surfaces that as a panic at the end —
+    // a loud crash, but a config error deserves a friendly one). Pooled
+    // capacity is not enough: three 5-GPU members total 15 ≤ 2×8 yet no
+    // two fit one 8-GPU shard together. So reserve each gang on a
+    // scratch idle fleet via the exact placement path the scheduler will
+    // use, and reject the job file if any reservation fails.
+    if submissions.iter().any(|s| matches!(s, Submission::Gang(_))) {
+        resolve_policy(&policy_name)?; // surface a bad --policy before the scratch build
+        let mut scratch = Cluster::homogeneous(
+            machine.clone(),
+            servers,
+            {
+                let name = policy_name.clone();
+                move || resolve_policy(&name).expect("policy name validated just above")
+            },
+            resolve_server_policy()?,
+        );
+        for sub in &submissions {
+            let Submission::Gang(gang) = sub else {
+                continue;
+            };
+            match scratch.try_place_gang(&gang.members) {
+                Some(placements) => {
+                    for (member, p) in gang.members.iter().zip(&placements) {
+                        scratch.release(p.server, member.id);
+                    }
+                }
+                None => {
+                    return Err(format!(
+                        "gang {} (jobs {:?}, {} GPUs total) cannot be co-scheduled even on an \
+                         idle fleet of {servers}× {} — shrink --gang-size or add servers",
+                        gang.id,
+                        gang.members.iter().map(|m| m.id).collect::<Vec<_>>(),
+                        gang.total_gpus(),
+                        machine.name(),
+                    ));
+                }
+            }
+        }
     }
 
     let arrivals = match (poisson, burst) {
@@ -243,12 +359,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
         (None, None) => ArrivalProcess::Batch,
     };
-    let config = SimConfig {
+    let mut config = SimConfig {
         strict_fifo: !backfill,
         arrivals,
         cached,
+        preemption,
         ..SimConfig::default()
     };
+    if let Some(penalty) = preemption_penalty {
+        config.preemption_penalty_seconds = penalty;
+    }
 
     let dispatch = match dispatch_arg.as_deref() {
         None => DispatchMode::Sequential,
@@ -286,17 +406,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         || migration_arg.is_some()
         || queue_depth.is_some();
 
-    // Jobs stream into the dispatcher through the bounded ingestion
-    // channel — the same front end live traffic would use.
-    let feed = JobFeed::from_jobs(job_list, mapa::cluster::DEFAULT_INGEST_CAPACITY);
+    // Submissions stream into the dispatcher through the bounded
+    // ingestion channel — the same front end live traffic would use.
+    let feed =
+        SubmissionFeed::from_submissions(submissions, mapa::cluster::DEFAULT_INGEST_CAPACITY);
     let report = if clustered {
-        let server_policy_name = server_policy_arg.as_deref().unwrap_or("least-loaded");
-        let server_policy = server_policy_by_name(server_policy_name).ok_or_else(|| {
-            format!(
-                "unknown server policy '{server_policy_name}' (choose from: {})",
-                SERVER_POLICY_NAMES.join(" | ")
-            )
-        })?;
+        let server_policy = resolve_server_policy()?;
         // One allocation-policy instance per shard.
         let mut shard_policies = (0..servers)
             .map(|_| resolve_policy(&policy_name))
@@ -315,11 +430,13 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             cluster = cluster.with_shard_queues(depth);
         }
         cluster = cluster.with_migration(migration);
-        Engine::over(cluster).with_config(config).run_stream(feed)
+        Engine::over(cluster)
+            .with_config(config)
+            .run_submissions(feed)
     } else {
         Simulation::new(machine, resolve_policy(&policy_name)?)
             .with_config(config)
-            .run_stream(feed)
+            .run_submissions(feed)
     };
 
     println!(
@@ -374,6 +491,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
         println!();
     }
+    if preemption.enabled() || report.preemption.jobs_preempted > 0 {
+        println!(
+            "preemption: {} | evicted {}  gpu-seconds lost {:.0}  penalty charged {:.0} s",
+            preemption.name(),
+            report.preemption.jobs_preempted,
+            report.preemption.gpu_seconds_lost,
+            report.preemption.penalty_seconds_charged
+        );
+    }
+    if report.gangs.gangs_dispatched > 0 {
+        println!(
+            "gangs: {} dispatched ({} members) | wait mean {:.0} s  max {:.0} s",
+            report.gangs.gangs_dispatched,
+            report.gangs.members_dispatched,
+            report.gangs.total_wait_seconds / report.gangs.gangs_dispatched as f64,
+            report.gangs.max_wait_seconds
+        );
+    }
     if report.shards.len() > 1 {
         println!(
             "queue: max depth {}  mean depth {:.2}  blocks {}  cross-server frag blocks {}",
@@ -394,7 +529,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(path) = json_file {
-        std::fs::write(&path, report_json(&report))
+        std::fs::write(&path, mapa::report::to_json(&report))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("report JSON written to {path}");
     }
@@ -411,71 +546,4 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
-}
-
-/// Hand-rolled JSON report (the workspace is dependency-free offline):
-/// run summary, queue statistics, the dispatch layer (mode, migration
-/// counters, per-shard queue high-water marks) when one ran, and one
-/// object per shard — the machine-readable artifact CI uploads next to
-/// `BENCH_fig19.json`.
-fn report_json(report: &SimReport) -> String {
-    // `scheduling_stats` panics on an empty run; report zeros instead.
-    let (latency_p50, latency_max, hit_rate) = if report.records.is_empty() {
-        (0.0, 0.0, 0.0)
-    } else {
-        let sched = report.scheduling_stats();
-        (
-            sched.latency_ms.p50,
-            sched.latency_ms.max,
-            sched.cache_hit_rate(),
-        )
-    };
-    let dispatch = report.dispatch.as_ref().map_or(String::new(), |d| {
-        let depths: Vec<String> = d.max_queue_depths.iter().map(usize::to_string).collect();
-        format!(
-            "  \"dispatch\": {{\"mode\": \"{}\", \"migration\": \"{}\", \
-             \"shard_queue_depth\": {}, \"jobs_stolen\": {}, \"jobs_rebalanced\": {}, \
-             \"max_queue_depths\": [{}]}},\n",
-            d.mode,
-            d.migration,
-            d.shard_queue_depth,
-            d.jobs_stolen,
-            d.jobs_rebalanced,
-            depths.join(", ")
-        )
-    });
-    let shards: Vec<String> = report
-        .shards
-        .iter()
-        .map(|s| {
-            let (hits, misses) = s.cache.map_or((0, 0), |c| (c.hits, c.misses));
-            format!(
-                "    {{\"server\": {}, \"machine\": \"{}\", \"gpu_count\": {}, \
-                 \"jobs_completed\": {}, \"gpu_seconds\": {:.3}, \"utilization\": {:.6}, \
-                 \"cache_hits\": {hits}, \"cache_misses\": {misses}}}",
-                s.server, s.machine, s.gpu_count, s.jobs_completed, s.gpu_seconds, s.utilization
-            )
-        })
-        .collect();
-    format!(
-        "{{\n  \"machine\": \"{}\",\n  \"policy\": \"{}\",\n  \"jobs\": {},\n  \
-         \"makespan_seconds\": {:.3},\n  \"throughput_jobs_per_hour\": {:.3},\n  \
-         \"scheduling_latency_ms\": {{\"p50\": {:.6}, \"max\": {:.6}}},\n  \
-         \"cache_hit_rate\": {:.6},\n  \
-         \"queue\": {{\"max_depth\": {}, \"mean_depth\": {:.3}, \"dispatch_blocks\": {}, \
-         \"fragmentation_blocks\": {}}},\n{dispatch}  \"shards\": [\n{}\n  ]\n}}\n",
-        report.topology_name,
-        report.policy_name,
-        report.records.len(),
-        report.makespan_seconds,
-        report.throughput_jobs_per_hour,
-        latency_p50,
-        latency_max,
-        hit_rate,
-        report.queue.max_depth,
-        report.queue.mean_depth,
-        report.queue.dispatch_blocks,
-        report.queue.fragmentation_blocks,
-        shards.join(",\n")
-    )
 }

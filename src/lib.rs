@@ -28,6 +28,7 @@
 //!     bandwidth_sensitive: true,
 //!     workload: Workload::Vgg16,
 //!     iterations: 3000,
+//!     priority: 0,
 //! };
 //! let outcome = allocator.try_allocate(&job).unwrap().expect("machine is idle");
 //! assert_eq!(outcome.gpus.len(), 3);
@@ -37,6 +38,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 pub use mapa_cluster as cluster;
 pub use mapa_core as core;
@@ -53,24 +56,26 @@ pub mod prelude {
     pub use mapa_cluster::{
         dispatch_mode_by_name, migration_policy_by_name, server_policy_by_name, BestScorePolicy,
         Cluster, DispatchMode, JobFeed, LeastLoadedPolicy, MigrationPolicy, MigrationStats,
-        PackFirstPolicy, RoundRobinPolicy, ServerPolicy, ShardView, DEFAULT_SHARD_QUEUE_DEPTH,
+        PackFirstPolicy, RoundRobinPolicy, ServerPolicy, ShardView, SubmissionFeed,
+        DEFAULT_SHARD_QUEUE_DEPTH,
     };
     pub use mapa_core::policy::{
         AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
         TopoAwarePolicy,
     };
     pub use mapa_core::{
-        scoring, AllocationCache, AllocationOutcome, AllocatorConfig, CacheStats, MapaAllocator,
+        preemption_policy_by_name, scoring, AllocationCache, AllocationOutcome, AllocatorConfig,
+        CacheStats, MapaAllocator, PreemptionPolicy,
     };
     pub use mapa_graph::{Graph, PatternGraph, WeightedGraph};
     pub use mapa_isomorph::{default_threads, MatchOptions, Matcher, WorkerPool};
     pub use mapa_model::{corpus, EffBwModel};
     pub use mapa_sim::{
-        stats, ArrivalProcess, DispatchReport, Engine, SchedulerBackend, SimConfig, SimReport,
-        Simulation,
+        stats, ArrivalProcess, DispatchReport, Engine, GangStats, PendingJob, PreemptionStats,
+        SchedulerBackend, SimConfig, SimReport, Simulation, Submission,
     };
     pub use mapa_topology::{
         machines, HardwareState, LinkMix, LinkType, OccupancySignature, Topology,
     };
-    pub use mapa_workloads::{generator, perf, AppTopology, JobSpec, Workload};
+    pub use mapa_workloads::{generator, perf, AppTopology, JobGroup, JobSpec, Workload};
 }

@@ -1,0 +1,459 @@
+//! The machine-readable simulation report: `SimReport` → JSON, and a
+//! minimal JSON reader so tests (and downstream tooling) can verify the
+//! emitted artifact round-trips — the same schema CI checks on the
+//! uploaded `CLUSTER_report.json` artifacts.
+//!
+//! The workspace is dependency-free offline, so both directions are
+//! hand-rolled: [`to_json`] is the single serializer the `mapa-sched`
+//! CLI's `--json` flag uses, and [`parse_json`] is a small, total JSON
+//! reader sufficient for the reports we emit (objects, arrays, strings
+//! with escapes, f64 numbers, booleans, null). `tests/report_schema.rs`
+//! is the golden test pinning that what the binary emits parses back to
+//! the values in the in-memory [`SimReport`].
+
+use mapa_sim::SimReport;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Serializes a [`SimReport`] to the CLI's `--json` schema: run summary,
+/// queue statistics, the dispatch layer (when one ran), preemption and
+/// gang counters, and one object per shard.
+#[must_use]
+pub fn to_json(report: &SimReport) -> String {
+    // `scheduling_stats` panics on an empty run; report zeros instead.
+    let (latency_p50, latency_max, hit_rate) = if report.records.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        let sched = report.scheduling_stats();
+        (
+            sched.latency_ms.p50,
+            sched.latency_ms.max,
+            sched.cache_hit_rate(),
+        )
+    };
+    let dispatch = report.dispatch.as_ref().map_or(String::new(), |d| {
+        let depths: Vec<String> = d.max_queue_depths.iter().map(usize::to_string).collect();
+        format!(
+            "  \"dispatch\": {{\"mode\": \"{}\", \"migration\": \"{}\", \
+             \"shard_queue_depth\": {}, \"jobs_stolen\": {}, \"jobs_rebalanced\": {}, \
+             \"max_queue_depths\": [{}]}},\n",
+            d.mode,
+            d.migration,
+            d.shard_queue_depth,
+            d.jobs_stolen,
+            d.jobs_rebalanced,
+            depths.join(", ")
+        )
+    });
+    let shards: Vec<String> = report
+        .shards
+        .iter()
+        .map(|s| {
+            let (hits, misses) = s.cache.map_or((0, 0), |c| (c.hits, c.misses));
+            format!(
+                "    {{\"server\": {}, \"machine\": \"{}\", \"gpu_count\": {}, \
+                 \"jobs_completed\": {}, \"gpu_seconds\": {:.3}, \"utilization\": {:.6}, \
+                 \"cache_hits\": {hits}, \"cache_misses\": {misses}}}",
+                s.server, s.machine, s.gpu_count, s.jobs_completed, s.gpu_seconds, s.utilization
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"machine\": \"{}\",\n  \"policy\": \"{}\",\n  \"jobs\": {},\n  \
+         \"makespan_seconds\": {:.3},\n  \"throughput_jobs_per_hour\": {:.3},\n  \
+         \"scheduling_latency_ms\": {{\"p50\": {:.6}, \"max\": {:.6}}},\n  \
+         \"cache_hit_rate\": {:.6},\n  \
+         \"queue\": {{\"max_depth\": {}, \"mean_depth\": {:.3}, \"dispatch_blocks\": {}, \
+         \"fragmentation_blocks\": {}}},\n{dispatch}  \
+         \"preemption\": {{\"jobs_preempted\": {}, \"gpu_seconds_lost\": {:.3}, \
+         \"penalty_seconds_charged\": {:.3}}},\n  \
+         \"gangs\": {{\"dispatched\": {}, \"members\": {}, \"total_wait_seconds\": {:.3}, \
+         \"max_wait_seconds\": {:.3}}},\n  \"shards\": [\n{}\n  ]\n}}\n",
+        report.topology_name,
+        report.policy_name,
+        report.records.len(),
+        report.makespan_seconds,
+        report.throughput_jobs_per_hour,
+        latency_p50,
+        latency_max,
+        hit_rate,
+        report.queue.max_depth,
+        report.queue.mean_depth,
+        report.queue.dispatch_blocks,
+        report.queue.fragmentation_blocks,
+        report.preemption.jobs_preempted,
+        report.preemption.gpu_seconds_lost,
+        report.preemption.penalty_seconds_charged,
+        report.gangs.gangs_dispatched,
+        report.gangs.members_dispatched,
+        report.gangs.total_wait_seconds,
+        report.gangs.max_wait_seconds,
+        shards.join(",\n")
+    )
+}
+
+/// A parsed JSON value (the subset our reports use; no integer/float
+/// distinction — every number is an `f64`, exactly how the report reads
+/// them back).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; key order is not preserved (sorted map).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member of an object by key, if this is an object that has it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse error: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum container nesting [`parse_json`] accepts. The reports we
+/// emit nest 3 deep; 128 leaves headroom for hand-edited files while
+/// keeping the recursive-descent parser safely inside the stack (the
+/// "total, never panics" contract would otherwise die on `[[[[…`).
+pub const MAX_JSON_DEPTH: usize = 128;
+
+/// Parses a JSON document (total: never panics on any input; containers
+/// nested deeper than [`MAX_JSON_DEPTH`] are a [`JsonError`], not a
+/// stack overflow).
+///
+/// # Errors
+/// Returns a [`JsonError`] with the byte offset of the first problem.
+pub fn parse_json(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            offset: pos,
+            message: "trailing characters after the document",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, what: u8, message: &'static str) -> Result<(), JsonError> {
+    if bytes.get(*pos) == Some(&what) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message,
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_JSON_DEPTH {
+        return Err(JsonError {
+            offset: *pos,
+            message: "containers nested too deeply",
+        });
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(Json::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, b"true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null", Json::Null),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        _ => Err(JsonError {
+            offset: *pos,
+            message: "expected a JSON value",
+        }),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &'static [u8],
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes.len() >= *pos + word.len() && &bytes[*pos..*pos + word.len()] == word {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message: "malformed literal",
+        })
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Number)
+        .ok_or(JsonError {
+            offset: start,
+            message: "malformed number",
+        })
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"', "expected a string")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escaped = bytes.get(*pos).copied().ok_or(JsonError {
+                    offset: *pos,
+                    message: "unterminated escape",
+                })?;
+                *pos += 1;
+                match escaped {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(JsonError {
+                            offset: *pos,
+                            message: "truncated \\u escape",
+                        })?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or(JsonError {
+                                offset: *pos,
+                                message: "bad \\u escape",
+                            })?;
+                        *pos += 4;
+                        out.push(code);
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            offset: *pos - 1,
+                            message: "unknown escape",
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are valid; find the char at this offset).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|_| JsonError {
+                    offset: *pos,
+                    message: "invalid UTF-8",
+                })?;
+                let ch = s.chars().next().expect("non-empty checked above");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[', "expected an array")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{', "expected an object")?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':', "expected ':' after object key")?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = r#"{"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -2e3}}"#;
+        let v = parse_json(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.5));
+        let b = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(b[0], Json::Bool(true));
+        assert_eq!(b[1], Json::Null);
+        assert_eq!(b[2].as_str(), Some("x\n\"y\""));
+        assert_eq!(
+            v.get("c").unwrap().get("d").unwrap().as_f64(),
+            Some(-2000.0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_offsets() {
+        for doc in [
+            "{",
+            "[1, ]",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"abc",
+            "{\"a\": +}",
+        ] {
+            let err = parse_json(doc).expect_err(doc);
+            assert!(err.offset <= doc.len(), "{doc}: {err}");
+        }
+    }
+
+    #[test]
+    fn pathological_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(200_000) + &"]".repeat(200_000);
+        let err = parse_json(&deep).expect_err("must not recurse to death");
+        assert_eq!(err.message, "containers nested too deeply");
+        // The limit leaves ample headroom for real reports (3 levels)
+        // and reasonable hand-written files.
+        let fine = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse_json(&fine).is_ok());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = parse_json(r#""\u00e9A""#).unwrap();
+        assert_eq!(v.as_str(), Some("éA"));
+        // Raw multi-byte UTF-8 passes through too (machine names like
+        // "4× DGX-1 V100" appear in real reports).
+        let raw = parse_json("\"4× DGX-1 V100\"").unwrap();
+        assert_eq!(raw.as_str(), Some("4× DGX-1 V100"));
+    }
+}

@@ -56,6 +56,7 @@ fn run_stream(policy_idx: usize, steps: &[Step], cached: bool) -> (Vec<Option<Ve
             bandwidth_sensitive: sensitive,
             workload: Workload::Vgg16,
             iterations: 1,
+            priority: 0,
         };
         let outcome = alloc.try_allocate(&job).expect("sizes are valid");
         if outcome.is_some() {

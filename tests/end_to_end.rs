@@ -13,6 +13,7 @@ fn job(id: u64, n: usize, workload: Workload) -> JobSpec {
         bandwidth_sensitive: workload.is_bandwidth_sensitive(),
         workload,
         iterations: 200,
+        priority: 0,
     }
 }
 
@@ -30,6 +31,7 @@ fn paper_worked_example_end_to_end() {
         bandwidth_sensitive: true,
         workload: Workload::Vgg16,
         iterations: 1,
+        priority: 0,
     };
     let frag = allocator.score_allocation(&spec, &[0, 1, 4]);
     let ideal = allocator.score_allocation(&spec, &[0, 2, 3]);

@@ -18,6 +18,7 @@ fn job(id: u64, n: usize, iterations: u64) -> JobSpec {
         bandwidth_sensitive: true,
         workload: Workload::Vgg16,
         iterations,
+        priority: 0,
     }
 }
 

@@ -152,6 +152,7 @@ fn fig19_overhead_sane_and_growing() {
         bandwidth_sensitive: true,
         workload: Workload::Vgg16,
         iterations: 1,
+        priority: 0,
     };
     let mut times = Vec::new();
     for machine in [machines::dgx1_v100(), machines::torus_2d()] {
@@ -181,6 +182,7 @@ fn preservation_protects_future_sensitive_jobs() {
         bandwidth_sensitive: false,
         workload: Workload::GoogleNet,
         iterations: 1,
+        priority: 0,
     };
     let sensitive = JobSpec {
         id: 2,
@@ -189,6 +191,7 @@ fn preservation_protects_future_sensitive_jobs() {
         bandwidth_sensitive: true,
         workload: Workload::Vgg16,
         iterations: 1,
+        priority: 0,
     };
     let dgx = machines::dgx1_v100();
 

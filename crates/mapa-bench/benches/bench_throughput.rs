@@ -1,0 +1,582 @@
+//! Headline engine-throughput benchmark → `BENCH_throughput.json`.
+//!
+//! ROADMAP's "raw-speed engine core" item: at fleet scale the simulator's
+//! event loop — not the allocation policy — bounds how large a campaign
+//! the repo can evaluate, so this bench tracks the perf trajectory of the
+//! engine itself across PRs. Three sections:
+//!
+//! * **macro** — end-to-end jobs/sec through the production path: a
+//!   queued cluster of 1 / 8 / 64 DGX-1 V100 shards draining ≥1M small
+//!   (1–2 GPU) jobs (batch arrivals, allocation cache on, zero iteration
+//!   jitter so same-shape jobs finish in large same-tick batches — the
+//!   homogeneous finish-event traffic the calendar queue is tuned for).
+//! * **engine_loop** — events/sec of the dispatcher/event core alone: the
+//!   same job stream run against a trivial O(1) `NullBackend`, isolating
+//!   queue-pop, job-table, and stats cost from placement cost.
+//! * **event_core** — the queue swap itself, measured differentially:
+//!   the same pre-generated event stream (same-tick ties, ~90% lazily
+//!   cancelled entries, far-future outliers — preemption-heavy traffic)
+//!   drained through the pre-PR 6 `ReferenceQueue` (BinaryHeap) and the
+//!   bucketed `CalendarQueue`. Both live in `mapa_sim::queue`, so the
+//!   baseline is re-measured by the same binary on every run.
+//!
+//! The committed `BENCH_throughput.json` also embeds a
+//! `pre_change_baseline` block: macro/engine-loop numbers measured by
+//! this same harness on the pre-overhaul engine (BinaryHeap event queue,
+//! HashMap job tables) before the PR 6 rewrite landed, on the same
+//! hardware as the committed post-change numbers.
+//!
+//! CLI: `--small` (CI sizes), `--out PATH` (default
+//! `BENCH_throughput.json` at the workspace root), and
+//! `--check PATH [--tolerance F]` — compare this run's small-size macro
+//! jobs/sec against the committed baseline file and exit non-zero on a
+//! regression beyond the tolerance (default 0.20). CI runs
+//! `--small --check BENCH_throughput.json`.
+
+use mapa_bench::banner;
+use mapa_cluster::{Cluster, RoundRobinPolicy, DEFAULT_SHARD_QUEUE_DEPTH};
+use mapa_core::policy::BaselinePolicy;
+use mapa_core::scoring::MatchScore;
+use mapa_core::CacheStats;
+use mapa_sim::queue::{CalendarQueue, ReferenceQueue, TimedEvent};
+use mapa_sim::{Engine, Placement, SchedulerBackend, SimConfig};
+use mapa_topology::{machines, LinkMix, Topology};
+use mapa_workloads::generator::{self, JobMixConfig};
+use mapa_workloads::{JobSpec, Workload};
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 3] = [1, 8, 64];
+const FULL_MACRO_JOBS: usize = 1_000_000;
+const SMALL_MACRO_JOBS: usize = 30_000;
+const FULL_LOOP_JOBS: usize = 250_000;
+const SMALL_LOOP_JOBS: usize = 100_000;
+const FULL_CORE_EVENTS: usize = 2_000_000;
+const SMALL_CORE_EVENTS: usize = 300_000;
+const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Numbers measured by this same harness on the pre-PR 6 engine
+/// (BinaryHeap event queue, HashMap job/epoch tables, per-event
+/// queue-depth re-walks), in the same container the committed
+/// post-change numbers come from. The acceptance comparison —
+/// `engine_loop_full.events_per_sec` here vs the committed run — is the
+/// PR's ≥10× event-loop claim.
+const PRE_CHANGE_BASELINE: &str = r#"  "pre_change_baseline": {
+    "harness": "this benchmark, pre-overhaul engine (BinaryHeap queue, HashMap tables)",
+    "macro_small": [
+      {"shards": 1, "jobs": 30000, "jobs_per_sec": 264808.4},
+      {"shards": 8, "jobs": 30000, "jobs_per_sec": 105986.0},
+      {"shards": 64, "jobs": 30000, "jobs_per_sec": 16213.2}
+    ],
+    "macro_full": [
+      {"shards": 1, "jobs": 1000000, "jobs_per_sec": 146762.8},
+      {"shards": 8, "jobs": 1000000, "jobs_per_sec": 91971.7},
+      {"shards": 64, "jobs": 1000000, "jobs_per_sec": 16501.6}
+    ],
+    "engine_loop_small": {"jobs": 100000, "events_per_sec": 8228.2, "jobs_per_sec": 4114.1},
+    "engine_loop_full": {"jobs": 250000, "events_per_sec": 2952.4, "jobs_per_sec": 1476.2}
+  },
+"#;
+
+/// The homogeneous small-job stream: 1–2 GPU jobs of one workload with
+/// zero iteration jitter, so execution times collapse onto few distinct
+/// values and finish events arrive in large same-tick batches.
+fn small_jobs(n: usize) -> Vec<JobSpec> {
+    generator::generate_jobs(
+        &JobMixConfig {
+            job_count: n,
+            gpus_min: 1,
+            gpus_max: 2,
+            workloads: vec![Workload::Gmm],
+            iteration_jitter: 0.0,
+        },
+        11,
+    )
+}
+
+/// End-to-end jobs/sec: `jobs` drained through a queued `shards`-wide
+/// fleet on the production dispatch path (baseline allocation policy +
+/// round-robin server selection — the cheapest real decision, so the
+/// engine, not the allocator, dominates).
+fn macro_run(shards: usize, jobs: &[JobSpec]) -> f64 {
+    let cluster = Cluster::homogeneous(
+        machines::dgx1_v100(),
+        shards,
+        || Box::new(BaselinePolicy),
+        Box::new(RoundRobinPolicy),
+    )
+    .with_shard_queues(DEFAULT_SHARD_QUEUE_DEPTH);
+    let start = Instant::now();
+    let report = Engine::over(cluster).run(jobs);
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(report.records.len(), jobs.len(), "every job must complete");
+    jobs.len() as f64 / wall
+}
+
+/// A trivially-satisfiable backend: O(1) placement on a fixed GPU pair,
+/// bounded only by a free-GPU counter. Isolates the engine's own event
+/// loop, job table, and stats accounting from placement cost.
+struct NullBackend {
+    topology: Topology,
+    free: usize,
+}
+
+const NULL_CAPACITY: usize = 128;
+
+impl SchedulerBackend for NullBackend {
+    fn label(&self) -> String {
+        "null-backend".to_string()
+    }
+    fn policy_label(&self) -> String {
+        "null".to_string()
+    }
+    fn server_count(&self) -> usize {
+        1
+    }
+    fn server_topology(&self, _server: usize) -> &Topology {
+        &self.topology
+    }
+    fn server_cache_stats(&self, _server: usize) -> Option<CacheStats> {
+        None
+    }
+    fn max_job_gpus(&self) -> usize {
+        NULL_CAPACITY
+    }
+    fn total_free_gpus(&self) -> usize {
+        self.free
+    }
+    fn configure(&mut self, _config: &SimConfig) {}
+    fn try_place(&mut self, job: &JobSpec) -> Option<Placement> {
+        if job.num_gpus > self.free {
+            return None;
+        }
+        self.free -= job.num_gpus;
+        Some(Placement {
+            server: 0,
+            gpus: vec![0, 1],
+            score: MatchScore {
+                aggregated_bw: 0.0,
+                predicted_eff_bw: 0.0,
+                preserved_bw: 0.0,
+                link_mix: LinkMix::default(),
+            },
+            scheduling_overhead: std::time::Duration::ZERO,
+        })
+    }
+    fn release(&mut self, _server: usize, _job: u64) {
+        // Every stream job requests 2 GPUs (see `loop_jobs`).
+        self.free += 2;
+    }
+}
+
+/// Engine-loop events/sec over the null backend: every job is admitted,
+/// placed in O(1), and finished, so the wall clock is pure engine
+/// overhead. Each job is one arrival event + one finish event.
+fn engine_loop_run(n: usize) -> (f64, f64) {
+    let jobs: Vec<JobSpec> = small_jobs(n)
+        .into_iter()
+        .map(|mut j| {
+            j.num_gpus = 2;
+            j
+        })
+        .collect();
+    let backend = NullBackend {
+        topology: machines::dgx1_v100(),
+        free: NULL_CAPACITY,
+    };
+    let start = Instant::now();
+    let report = Engine::over(backend).run(&jobs);
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(report.records.len(), jobs.len());
+    let events = 2.0 * n as f64;
+    (events / wall, n as f64 / wall)
+}
+
+/// One step of the pre-generated event-core workload. The stream mimics
+/// preemption-heavy engine traffic: dense same-tick ties, ~90% of
+/// entries lazily cancelled before they pop, and occasional far-future
+/// outliers that overflow the calendar window.
+#[derive(Clone, Copy)]
+enum CoreOp {
+    /// Push at `floor + delta`; `cancelled` entries are skipped on pop
+    /// (and reported to the queue for compaction accounting).
+    Push { delta: f64, cancelled: bool },
+    /// Pop until one non-cancelled event comes out (or the queue dries).
+    Pop,
+}
+
+/// Deterministic 64-bit LCG — no external RNG in the hot loop, and the
+/// identical op stream replays for both queue implementations.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Standing population of pending events during the steady-state phase
+/// — engine traffic is "one finish event per running job", tens of
+/// thousands of jobs, so the queues are measured *loaded*, not drained
+/// to a handful of entries where any structure is fast.
+const CORE_POPULATION: usize = 50_000;
+
+fn core_push(rng: &mut Lcg) -> CoreOp {
+    let kind = rng.next() % 16;
+    let delta = match kind {
+        // Exact ties: the same-tick batches the engine drains.
+        0..=5 => 0.0,
+        // Far beyond the 1024 s wheel window.
+        6 => 2.0e6 + (rng.next() % 1000) as f64,
+        _ => (rng.next() % 2000) as f64 * 0.37,
+    };
+    CoreOp::Push {
+        delta,
+        // 90% of entries go stale before they pop — heavy preemption.
+        cancelled: rng.next() % 10 != 0,
+    }
+}
+
+fn core_ops(pushes: usize) -> Vec<CoreOp> {
+    let mut rng = Lcg(0x5eed_cafe);
+    let mut ops = Vec::with_capacity(pushes + pushes / 10 + 1);
+    // Build up the standing population, then hold it: each pop drains
+    // until one live event comes out (~10 entries at 90% cancellation),
+    // so ten pushes per pop keeps the pending count stationary.
+    let prefill = CORE_POPULATION.min(pushes);
+    for _ in 0..prefill {
+        ops.push(core_push(&mut rng));
+    }
+    let mut pushed = prefill;
+    while pushed < pushes {
+        for _ in 0..10 {
+            if pushed == pushes {
+                break;
+            }
+            ops.push(core_push(&mut rng));
+            pushed += 1;
+        }
+        ops.push(CoreOp::Pop);
+    }
+    ops
+}
+
+/// Minimal common surface of the two queue implementations, so one
+/// driver times both on the identical op stream.
+trait CoreQueue {
+    fn push(&mut self, time: f64, id: u64);
+    fn pop(&mut self) -> Option<TimedEvent<u64>>;
+    fn note_cancelled(&mut self);
+    fn note_drained_stale(&mut self);
+    fn try_compact(&mut self);
+}
+
+impl CoreQueue for ReferenceQueue<u64> {
+    fn push(&mut self, time: f64, id: u64) {
+        ReferenceQueue::push(self, time, id);
+    }
+    fn pop(&mut self) -> Option<TimedEvent<u64>> {
+        ReferenceQueue::pop(self)
+    }
+    fn note_cancelled(&mut self) {}
+    fn note_drained_stale(&mut self) {}
+    fn try_compact(&mut self) {}
+}
+
+impl CoreQueue for CalendarQueue<u64> {
+    fn push(&mut self, time: f64, id: u64) {
+        CalendarQueue::push(self, time, id);
+    }
+    fn pop(&mut self) -> Option<TimedEvent<u64>> {
+        CalendarQueue::pop(self)
+    }
+    fn note_cancelled(&mut self) {
+        CalendarQueue::note_cancelled(self);
+    }
+    fn note_drained_stale(&mut self) {
+        CalendarQueue::note_drained_stale(self);
+    }
+    fn try_compact(&mut self) {
+        // Cancelled ids have a non-zero low decimal digit (see
+        // `core_drive`'s id scheme).
+        self.maybe_compact(|id| id % 10 == 0);
+    }
+}
+
+/// Drives `ops` through `queue` and returns pushes/sec. Ids encode
+/// their cancelled flag (`id % 10 != 0`), so liveness is a pure
+/// function of the payload — no side table in the timed loop.
+fn core_drive<Q: CoreQueue>(queue: &mut Q, ops: &[CoreOp]) -> f64 {
+    let mut floor = 0.0f64;
+    let mut next_live = 0u64;
+    let mut next_cancelled = 1u64;
+    let mut pushes = 0usize;
+    let start = Instant::now();
+    for &op in ops {
+        match op {
+            CoreOp::Push { delta, cancelled } => {
+                let id = if cancelled {
+                    let id = next_cancelled;
+                    // 1,2,…,9, 11,12,… — every id with `id % 10 != 0`.
+                    next_cancelled += if next_cancelled % 10 == 9 { 2 } else { 1 };
+                    id
+                } else {
+                    let id = next_live;
+                    next_live += 10;
+                    id
+                };
+                queue.push(floor + delta, id);
+                if cancelled {
+                    queue.note_cancelled();
+                }
+                pushes += 1;
+            }
+            CoreOp::Pop => {
+                while let Some(ev) = queue.pop() {
+                    if ev.time > floor {
+                        floor = ev.time;
+                    }
+                    if ev.payload % 10 == 0 {
+                        break;
+                    }
+                    queue.note_drained_stale();
+                }
+            }
+        }
+        if pushes % 4096 == 0 {
+            queue.try_compact();
+        }
+    }
+    while queue.pop().is_some() {}
+    let wall = start.elapsed().as_secs_f64();
+    pushes as f64 / wall
+}
+
+fn event_core_run(pushes: usize) -> (f64, f64) {
+    let ops = core_ops(pushes);
+    let mut reference: ReferenceQueue<u64> = ReferenceQueue::default();
+    let reference_eps = core_drive(&mut reference, &ops);
+    let mut calendar: CalendarQueue<u64> = CalendarQueue::default();
+    let calendar_eps = core_drive(&mut calendar, &ops);
+    (reference_eps, calendar_eps)
+}
+
+struct MacroRow {
+    shards: usize,
+    jobs: usize,
+    jobs_per_sec: f64,
+}
+
+fn render_json(
+    mode: &str,
+    small_rows: &[MacroRow],
+    full_rows: &[MacroRow],
+    loop_small: (usize, f64, f64),
+    loop_full: Option<(usize, f64, f64)>,
+) -> String {
+    let rows = |rows: &[MacroRow]| {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "    {{\"shards\": {}, \"jobs\": {}, \"jobs_per_sec\": {:.1}}}",
+                    r.shards, r.jobs, r.jobs_per_sec
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let loop_obj = |(n, eps, jps): (usize, f64, f64)| {
+        format!("{{\"jobs\": {n}, \"events_per_sec\": {eps:.1}, \"jobs_per_sec\": {jps:.1}}}")
+    };
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"throughput\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str(&format!(
+        "  \"macro_small\": [\n{}\n  ],\n",
+        rows(small_rows)
+    ));
+    if !full_rows.is_empty() {
+        body.push_str(&format!("  \"macro_full\": [\n{}\n  ],\n", rows(full_rows)));
+    }
+    body.push_str(&format!(
+        "  \"engine_loop_small\": {},\n",
+        loop_obj(loop_small)
+    ));
+    if let Some(full) = loop_full {
+        body.push_str(&format!("  \"engine_loop_full\": {},\n", loop_obj(full)));
+    }
+    // Trailing sections (event_core, pre_change_baseline) are appended by
+    // main() so this helper stays reusable for the --check parser tests.
+    body
+}
+
+/// Extracts `"jobs_per_sec": <f64>` values from the `"macro_small"` array
+/// of a baseline JSON — a purposely narrow scanner, not a JSON parser
+/// (the file is produced by this bench, so its shape is known).
+fn parse_macro_small(json: &str) -> Vec<(usize, f64)> {
+    let Some(start) = json.find("\"macro_small\"") else {
+        return Vec::new();
+    };
+    let Some(end) = json[start..].find(']') else {
+        return Vec::new();
+    };
+    let section = &json[start..start + end];
+    let mut rows = Vec::new();
+    for line in section.lines() {
+        let shard = line
+            .split("\"shards\": ")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.trim().parse::<usize>().ok());
+        let jps = line
+            .split("\"jobs_per_sec\": ")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse::<f64>().ok());
+        if let (Some(s), Some(j)) = (shard, jps) {
+            rows.push((s, j));
+        }
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `cargo bench` forwards its own `--bench` flag; ignore it.
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let small = flag("--small");
+    let tolerance: f64 = value("--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a float"))
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let out = value("--out").unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_throughput.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+
+    banner(
+        "Engine throughput: end-to-end jobs/sec and event-core events/sec",
+        "ROADMAP raw-speed engine overhaul (tracked artifact)",
+    );
+
+    let mode = if small { "small" } else { "full" };
+    let small_stream = small_jobs(SMALL_MACRO_JOBS);
+    let mut small_rows = Vec::new();
+    println!("\n-- macro (small: {SMALL_MACRO_JOBS} jobs) --");
+    for shards in SHARD_COUNTS {
+        let jps = macro_run(shards, &small_stream);
+        println!("{shards:>3} shards  {jps:>12.0} jobs/sec");
+        small_rows.push(MacroRow {
+            shards,
+            jobs: SMALL_MACRO_JOBS,
+            jobs_per_sec: jps,
+        });
+    }
+    let mut full_rows = Vec::new();
+    if !small {
+        let full_stream = small_jobs(FULL_MACRO_JOBS);
+        println!("\n-- macro (full: {FULL_MACRO_JOBS} jobs) --");
+        for shards in SHARD_COUNTS {
+            let jps = macro_run(shards, &full_stream);
+            println!("{shards:>3} shards  {jps:>12.0} jobs/sec");
+            full_rows.push(MacroRow {
+                shards,
+                jobs: FULL_MACRO_JOBS,
+                jobs_per_sec: jps,
+            });
+        }
+    }
+
+    let loop_small = {
+        let (eps, jps) = engine_loop_run(SMALL_LOOP_JOBS);
+        println!(
+            "\n-- engine loop (null backend, {SMALL_LOOP_JOBS} jobs) --\n\
+             {eps:>12.0} events/sec  ({jps:.0} jobs/sec)"
+        );
+        (SMALL_LOOP_JOBS, eps, jps)
+    };
+    let loop_full = (!small).then(|| {
+        let (eps, jps) = engine_loop_run(FULL_LOOP_JOBS);
+        println!(
+            "\n-- engine loop (null backend, {FULL_LOOP_JOBS} jobs) --\n\
+             {eps:>12.0} events/sec  ({jps:.0} jobs/sec)"
+        );
+        (FULL_LOOP_JOBS, eps, jps)
+    });
+
+    let core_events = if small {
+        SMALL_CORE_EVENTS
+    } else {
+        FULL_CORE_EVENTS
+    };
+    let (reference_eps, calendar_eps) = event_core_run(core_events);
+    println!(
+        "\n-- event core ({core_events} pushes, ties + 90% cancelled + far-future) --\n\
+         reference heap  {reference_eps:>12.0} events/sec\n\
+         calendar queue  {calendar_eps:>12.0} events/sec  ({:.1}x)",
+        calendar_eps / reference_eps
+    );
+
+    let mut body = render_json(mode, &small_rows, &full_rows, loop_small, loop_full);
+    body.push_str(&format!(
+        "  \"event_core\": {{\"events\": {core_events}, \
+         \"reference_events_per_sec\": {reference_eps:.1}, \
+         \"calendar_events_per_sec\": {calendar_eps:.1}, \
+         \"speedup\": {:.2}}},\n",
+        calendar_eps / reference_eps
+    ));
+    body.push_str(PRE_CHANGE_BASELINE);
+    body.push_str("  \"schema\": 1\n}\n");
+
+    if let Some(baseline_path) = value("--check") {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("--check {baseline_path}: {e}"));
+        let want = parse_macro_small(&baseline);
+        assert!(
+            !want.is_empty(),
+            "--check {baseline_path}: no macro_small rows found"
+        );
+        let mut failed = false;
+        println!(
+            "\n-- regression check vs {baseline_path} (tolerance {tolerance:.0}%) --",
+            tolerance = tolerance * 100.0
+        );
+        for (shards, baseline_jps) in want {
+            let Some(row) = small_rows.iter().find(|r| r.shards == shards) else {
+                continue;
+            };
+            let ratio = row.jobs_per_sec / baseline_jps;
+            let verdict = if ratio < 1.0 - tolerance {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "{shards:>3} shards  {:>12.0} vs baseline {baseline_jps:>12.0}  ({ratio:.2}x)  {verdict}",
+                row.jobs_per_sec
+            );
+        }
+        if failed {
+            eprintln!(
+                "throughput regressed more than {:.0}% below the committed baseline",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+
+    std::fs::write(&out, &body).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nmachine-readable results: {out}");
+}

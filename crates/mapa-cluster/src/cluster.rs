@@ -83,6 +83,10 @@ struct ShardQueues {
     /// never dropped.
     backlog: VecDeque<PendingJob>,
     max_depths: Vec<usize>,
+    /// Jobs waiting across every queue plus the backlog, maintained
+    /// incrementally — the engine samples [`Self::waiting`] once per
+    /// event, so it must not re-walk `shards` queues each time.
+    waiting: usize,
 }
 
 impl ShardQueues {
@@ -92,16 +96,54 @@ impl ShardQueues {
             queues: vec![VecDeque::new(); shards],
             backlog: VecDeque::new(),
             max_depths: vec![0; shards],
+            waiting: 0,
         }
     }
 
     fn push(&mut self, shard: usize, item: PendingJob) {
         self.queues[shard].push_back(item);
         self.max_depths[shard] = self.max_depths[shard].max(self.queues[shard].len());
+        self.waiting += 1;
+    }
+
+    /// Removes and returns shard `shard`'s queue head (a placed job).
+    fn pop_head(&mut self, shard: usize) -> Option<PendingJob> {
+        let item = self.queues[shard].pop_front();
+        if item.is_some() {
+            self.waiting -= 1;
+        }
+        item
+    }
+
+    /// Removes the job at `idx` of shard `victim`'s queue (migration).
+    fn take_at(&mut self, victim: usize, idx: usize) -> Option<PendingJob> {
+        let item = self.queues[victim].remove(idx);
+        if item.is_some() {
+            self.waiting -= 1;
+        }
+        item
+    }
+
+    fn push_backlog(&mut self, item: PendingJob) {
+        self.backlog.push_back(item);
+        self.waiting += 1;
+    }
+
+    fn pop_backlog(&mut self) -> Option<PendingJob> {
+        let item = self.backlog.pop_front();
+        if item.is_some() {
+            self.waiting -= 1;
+        }
+        item
     }
 
     fn waiting(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum::<usize>() + self.backlog.len()
+        debug_assert_eq!(
+            self.waiting,
+            self.queues.iter().map(VecDeque::len).sum::<usize>() + self.backlog.len(),
+            "incremental waiting counter must mirror the shard queues"
+        );
+        self.waiting
     }
 }
 
@@ -149,6 +191,9 @@ pub struct Cluster {
     /// for the backlog head atomically across shards, and gangs behind an
     /// unplaceable head wait (FIFO among gangs).
     gang_backlog: VecDeque<(JobGroup, f64)>,
+    /// Members across every backlogged gang — incremental mirror so
+    /// [`SchedulerBackend::queued_jobs`] is O(1) per engine event.
+    gang_members_queued: usize,
 }
 
 /// Shard decisions move whole allocators onto pool worker threads in
@@ -207,6 +252,7 @@ impl Cluster {
             queue_blocks: 0,
             queue_frag_blocks: 0,
             gang_backlog: VecDeque::new(),
+            gang_members_queued: 0,
         }
     }
 
@@ -441,7 +487,7 @@ impl Cluster {
                 return;
             };
             let queues = self.queues.as_mut().expect("routing requires queues");
-            let item = queues.backlog.pop_front().expect("front observed above");
+            let item = queues.pop_backlog().expect("front observed above");
             queues.push(target, item);
             self.admitted += 1;
         }
@@ -466,9 +512,7 @@ impl Cluster {
         for (server, outcome) in outcomes.into_iter().enumerate() {
             let Some(outcome) = outcome else { continue };
             let queues = self.queues.as_mut().expect("queues live for the round");
-            let item = queues.queues[server]
-                .pop_front()
-                .expect("outcome for a queued head");
+            let item = queues.pop_head(server).expect("outcome for a queued head");
             debug_assert_eq!(item.job.id, outcome.job_id);
             self.placements += 1;
             placed.push(DispatchedJob {
@@ -525,6 +569,7 @@ impl Cluster {
                 break;
             };
             self.gang_backlog.pop_front();
+            self.gang_members_queued -= gang.len();
             for (member, placement) in gang.members.iter().zip(placements) {
                 out.push(DispatchedJob {
                     pending: PendingJob::gang_member(member.clone(), submitted_at, gang.id),
@@ -564,9 +609,7 @@ impl Cluster {
         }
         let Some(idx) = take else { return false };
         let queues = self.queues.as_mut().expect("queues checked above");
-        let item = queues.queues[victim]
-            .remove(idx)
-            .expect("index found above");
+        let item = queues.take_at(victim, idx).expect("index found above");
         queues.push(thief, item);
         true
     }
@@ -771,6 +814,23 @@ impl SchedulerBackend for Cluster {
         }
     }
 
+    fn release_batch(&mut self, released: &[(usize, u64)]) {
+        // The engine only batches releases while every queue (engine
+        // FIFO, shard queues, backlogs) is empty, so the per-release
+        // rebalance probe in `release` has no job to pull — release
+        // straight on the shards without N probe calls.
+        debug_assert_eq!(
+            self.queued_jobs(),
+            0,
+            "batched release requires empty queues"
+        );
+        for &(server, job) in released {
+            self.shards[server]
+                .release(job)
+                .expect("running job is allocated on its shard");
+        }
+    }
+
     fn manages_queues(&self) -> bool {
         self.queues.is_some()
     }
@@ -913,7 +973,7 @@ impl SchedulerBackend for Cluster {
                 queues.push(shard, item);
                 self.admitted += 1;
             }
-            None => queues.backlog.push_back(item),
+            None => queues.push_backlog(item),
         }
     }
 
@@ -922,6 +982,7 @@ impl SchedulerBackend for Cluster {
             self.queues.is_some(),
             "admit_gang called on a cluster without shard queues"
         );
+        self.gang_members_queued += gang.len();
         self.gang_backlog.push_back((gang, submitted_at));
     }
 
@@ -955,12 +1016,15 @@ impl SchedulerBackend for Cluster {
     }
 
     fn queued_jobs(&self) -> usize {
-        self.queues.as_ref().map_or(0, ShardQueues::waiting)
-            + self
-                .gang_backlog
+        debug_assert_eq!(
+            self.gang_members_queued,
+            self.gang_backlog
                 .iter()
                 .map(|(gang, _)| gang.len())
-                .sum::<usize>()
+                .sum::<usize>(),
+            "incremental gang-member counter must mirror the backlog"
+        );
+        self.queues.as_ref().map_or(0, ShardQueues::waiting) + self.gang_members_queued
     }
 
     fn dispatch_report(&self) -> Option<DispatchReport> {

@@ -16,9 +16,10 @@
 //! * **Preemption** ([`SimConfig::preemption`]): when a blocked arrival
 //!   outranks running jobs, the backend plans and commits an eviction
 //!   ([`SchedulerBackend::preempt_for`]); the engine cancels the victims'
-//!   finish events (epoch-stamped, lazily dropped), requeues them with
-//!   their completed iterations checkpointed, and charges a configurable
-//!   restore penalty on restart. A job is preempted **at most once**.
+//!   finish events (generation-stamped slab slots, lazily dropped and
+//!   bulk-compacted), requeues them with their completed iterations
+//!   checkpointed, and charges a configurable restore penalty on
+//!   restart. A job is preempted **at most once**.
 //! * **Gang scheduling** ([`Submission::Gang`]): a [`JobGroup`]'s members
 //!   are placed all-or-nothing via [`SchedulerBackend::try_place_gang`]
 //!   (two-phase: place-all-or-roll-back), so every member starts at the
@@ -28,6 +29,8 @@
 //! examples — lives in `docs/SCHEDULING.md`.
 
 use crate::event::{EventKind, EventQueue};
+use crate::queue::TimedEvent;
+use crate::slab::Slab;
 use crate::stats::{self, SchedulingStats};
 use mapa_core::policy::AllocationPolicy;
 use mapa_core::scoring::MatchScore;
@@ -36,7 +39,7 @@ use mapa_interconnect::effbw;
 use mapa_isomorph::Matcher;
 use mapa_topology::Topology;
 use mapa_workloads::{perf, JobGroup, JobSpec};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::time::Duration;
 
 /// How jobs enter the dispatcher queue.
@@ -406,6 +409,21 @@ pub trait SchedulerBackend {
 
     /// Releases a finished job's GPUs on the server that placed it.
     fn release(&mut self, server: usize, job: u64);
+
+    /// Releases a whole batch of finished jobs (`(server, job)` pairs, in
+    /// completion order) in one call. The engine uses this on its
+    /// fast path — a run of same-tick finish events with nothing waiting
+    /// in any queue — where per-release dispatch is provably a no-op.
+    /// The default forwards to [`Self::release`] one pair at a time, so
+    /// the batch is semantically identical to N single releases;
+    /// backends may override it to skip per-release bookkeeping (e.g.
+    /// `mapa-cluster` skips its per-release migration probe, which
+    /// cannot fire while every queue is empty).
+    fn release_batch(&mut self, released: &[(usize, u64)]) {
+        for &(server, job) in released {
+            self.release(server, job);
+        }
+    }
 
     /// Attempts to place every member of a gang *now*, all-or-nothing:
     /// either all members are allocated (the returned placements are in
@@ -902,7 +920,11 @@ impl<B: SchedulerBackend> Engine<B> {
 
         let mut source = submissions.into_iter();
         let mut clock = ArrivalClock::new(self.config.arrivals);
-        let mut st = RunState::default();
+        let mut st = RunState {
+            shard_jobs: vec![0; self.backend.server_count()],
+            shard_gpu_seconds: vec![0.0; self.backend.server_count()],
+            ..RunState::default()
+        };
         // Arrival events carry an ordinal; the submissions themselves
         // wait in `incoming` (arrivals fire in scheduling order: times
         // are non-decreasing and the heap breaks ties by sequence
@@ -916,92 +938,141 @@ impl<B: SchedulerBackend> Engine<B> {
             arrivals += 1;
         }
 
-        while let Some(ev) = st.events.pop() {
-            let now = ev.time;
-            match ev.kind {
-                EventKind::JobArrival(_) => {
-                    let sub = incoming.pop_front().expect("arrival scheduled with a job");
-                    let validate = |job: &JobSpec| {
-                        assert!(
-                            job.num_gpus >= 1 && job.num_gpus <= max_gpus,
-                            "job {} requests {} GPUs on a {}-GPU machine",
-                            job.id,
-                            job.num_gpus,
-                            max_gpus
-                        );
-                    };
-                    match sub {
-                        Submission::Job(job) => {
-                            validate(&job);
-                            let pending = PendingJob::new(job, now);
-                            if managed {
-                                self.backend.admit(pending);
-                            } else {
-                                st.queue.push_back(QueueItem::Job(pending));
-                            }
+        // Events drain in same-tick batches: one `pop_batch` call hands
+        // the engine every event scheduled for a single simulation
+        // instant (FIFO within the tick). Members are still processed
+        // strictly in order — a placement depends on the free set at its
+        // decision point — but a run of finish events with nothing
+        // waiting anywhere releases in one batched backend call.
+        let mut batch: Vec<TimedEvent<EventKind>> = Vec::new();
+        let mut released: Vec<(usize, u64)> = Vec::new();
+        while st.events.pop_batch(&mut batch) > 0 {
+            let now = batch[0].time;
+            let mut i = 0;
+            while i < batch.len() {
+                // Fast path: while every queue is empty, a finish event
+                // can only *free* capacity — dispatch (or pump) after it
+                // is provably a no-op and its queue-depth sample is 0.
+                // Consume the run of finish events and release them in
+                // one call instead of N.
+                if st.queue.is_empty() && self.backend.queued_jobs() == 0 {
+                    released.clear();
+                    let mut live = 0u64;
+                    while let Some(&TimedEvent {
+                        payload: EventKind::JobFinished { slot },
+                        ..
+                    }) = batch.get(i)
+                    {
+                        if let Some(record) = st.running.remove(slot) {
+                            released.push((record.server, record.pending.job.id));
+                            st.record_finish(record, now);
+                            live += 1;
+                        } else {
+                            st.events.note_drained_stale();
                         }
-                        Submission::Gang(gang) => {
-                            for member in &gang.members {
-                                validate(member);
-                                // Gang members are never preemption
-                                // victims: evicting one would break the
-                                // co-scheduling contract.
-                                st.shielded.insert(member.id);
-                            }
-                            if managed {
-                                self.backend.admit_gang(gang, now);
-                            } else {
-                                st.queue.push_back(QueueItem::Gang {
-                                    gang,
-                                    submitted_at: now,
-                                });
-                            }
-                        }
+                        i += 1;
                     }
-                    if let Some(next) = source.next() {
-                        st.events
-                            .push(clock.next_time(), EventKind::JobArrival(arrivals));
-                        incoming.push_back(next);
-                        arrivals += 1;
+                    if !released.is_empty() {
+                        self.backend.release_batch(&released);
                     }
-                }
-                EventKind::JobFinished { job, epoch } => {
-                    // Preempting a job bumps its epoch; a finish event
-                    // scheduled for an aborted run is stale — drop it
-                    // without touching state (lazy cancellation).
-                    if st.epochs.get(&job).copied().unwrap_or(0) != epoch {
-                        continue;
-                    }
-                    let record = st.running.remove(&job).expect("finish for running job");
-                    self.backend.release(record.server, job);
-                    st.records.push(record.into_record(now));
-                }
-            }
-            if managed {
-                // Pump, then let blocked queue heads preempt, then pump
-                // again — until preemption has nothing left to offer.
-                loop {
-                    for d in self.backend.pump(now) {
-                        self.start_job(d.pending, d.placement, now, &mut st);
-                    }
-                    if !self.config.preemption.enabled() {
+                    // Each live finish still contributes its (zero)
+                    // queue-depth sample, exactly as the slow path would.
+                    st.depth_samples += live;
+                    if i >= batch.len() {
                         break;
                     }
-                    let evictions = self
-                        .backend
-                        .preempt_blocked(self.config.preemption, &st.shielded);
-                    if evictions.is_empty() {
-                        break;
-                    }
-                    self.handle_evictions(evictions, now, &mut st);
                 }
-            } else {
-                self.dispatch(now, &mut st);
+                match batch[i].payload {
+                    EventKind::JobArrival(_) => {
+                        let sub = incoming.pop_front().expect("arrival scheduled with a job");
+                        let validate = |job: &JobSpec| {
+                            assert!(
+                                job.num_gpus >= 1 && job.num_gpus <= max_gpus,
+                                "job {} requests {} GPUs on a {}-GPU machine",
+                                job.id,
+                                job.num_gpus,
+                                max_gpus
+                            );
+                        };
+                        match sub {
+                            Submission::Job(job) => {
+                                validate(&job);
+                                let pending = PendingJob::new(job, now);
+                                if managed {
+                                    self.backend.admit(pending);
+                                } else {
+                                    st.waiting += 1;
+                                    st.queue.push_back(QueueItem::Job(pending));
+                                }
+                            }
+                            Submission::Gang(gang) => {
+                                for member in &gang.members {
+                                    validate(member);
+                                    // Gang members are never preemption
+                                    // victims: evicting one would break the
+                                    // co-scheduling contract.
+                                    st.shielded.insert(member.id);
+                                }
+                                if managed {
+                                    self.backend.admit_gang(gang, now);
+                                } else {
+                                    st.waiting += gang.len();
+                                    st.queue.push_back(QueueItem::Gang {
+                                        gang,
+                                        submitted_at: now,
+                                    });
+                                }
+                            }
+                        }
+                        if let Some(next) = source.next() {
+                            st.events
+                                .push(clock.next_time(), EventKind::JobArrival(arrivals));
+                            incoming.push_back(next);
+                            arrivals += 1;
+                        }
+                    }
+                    EventKind::JobFinished { slot } => {
+                        // Preempting a job removes its slab entry (and
+                        // bumps the slot's generation), so the finish
+                        // event scheduled for the aborted run no longer
+                        // resolves — drop it without touching state
+                        // (lazy cancellation).
+                        let Some(record) = st.running.remove(slot) else {
+                            st.events.note_drained_stale();
+                            i += 1;
+                            continue;
+                        };
+                        self.backend.release(record.server, record.pending.job.id);
+                        st.record_finish(record, now);
+                    }
+                }
+                if managed {
+                    // Pump, then let blocked queue heads preempt, then pump
+                    // again — until preemption has nothing left to offer.
+                    loop {
+                        for d in self.backend.pump(now) {
+                            self.start_job(d.pending, d.placement, now, &mut st);
+                        }
+                        if !self.config.preemption.enabled() {
+                            break;
+                        }
+                        let evictions = self
+                            .backend
+                            .preempt_blocked(self.config.preemption, &st.shielded);
+                        if evictions.is_empty() {
+                            break;
+                        }
+                        self.handle_evictions(evictions, now, &mut st);
+                    }
+                } else {
+                    self.dispatch(now, &mut st);
+                }
+                let depth = st.waiting_jobs() + self.backend.queued_jobs();
+                st.depth_max = st.depth_max.max(depth);
+                st.depth_sum += depth as u64;
+                st.depth_samples += 1;
+                i += 1;
             }
-            let depth = st.waiting_jobs() + self.backend.queued_jobs();
-            st.depth_max = st.depth_max.max(depth);
-            st.depth_sum += depth as u64;
-            st.depth_samples += 1;
         }
 
         assert!(st.queue.is_empty(), "all jobs must eventually run");
@@ -1015,6 +1086,8 @@ impl<B: SchedulerBackend> Engine<B> {
 
         let RunState {
             records,
+            shard_jobs,
+            shard_gpu_seconds,
             mut blocks,
             mut frag_blocks,
             depth_max,
@@ -1030,6 +1103,10 @@ impl<B: SchedulerBackend> Engine<B> {
         } else {
             0.0
         };
+        // Per-shard totals were accumulated incrementally as each job
+        // finished (`RunState::record_finish`) — in completion order,
+        // which is also record order, so the sums are bit-identical to
+        // the re-walk over `records` this replaces.
         let mut shards: Vec<ShardStats> = (0..self.backend.server_count())
             .map(|s| {
                 let topo = self.backend.server_topology(s);
@@ -1037,18 +1114,13 @@ impl<B: SchedulerBackend> Engine<B> {
                     server: s,
                     machine: topo.name().to_string(),
                     gpu_count: topo.gpu_count(),
-                    jobs_completed: 0,
-                    gpu_seconds: 0.0,
+                    jobs_completed: shard_jobs.get(s).copied().unwrap_or(0),
+                    gpu_seconds: shard_gpu_seconds.get(s).copied().unwrap_or(0.0),
                     utilization: 0.0,
                     cache: self.backend.server_cache_stats(s),
                 }
             })
             .collect();
-        for r in &records {
-            let shard = &mut shards[r.server];
-            shard.jobs_completed += 1;
-            shard.gpu_seconds += r.execution_seconds * r.gpus.len() as f64;
-        }
         if makespan > 0.0 {
             for shard in &mut shards {
                 shard.utilization = shard.gpu_seconds / (shard.gpu_count as f64 * makespan);
@@ -1090,6 +1162,7 @@ impl<B: SchedulerBackend> Engine<B> {
     fn dispatch(&mut self, now: f64, st: &mut RunState) {
         let mut skipped: VecDeque<QueueItem> = VecDeque::new();
         while let Some(item) = st.queue.pop_front() {
+            st.waiting -= item.job_count();
             match item {
                 QueueItem::Job(pending) => {
                     if let Some(p) = self.backend.try_place(&pending.job) {
@@ -1107,6 +1180,7 @@ impl<B: SchedulerBackend> Engine<B> {
                         st.frag_blocks += 1;
                     }
                     if self.config.strict_fifo {
+                        st.waiting += 1;
                         st.queue.push_front(QueueItem::Job(pending));
                         break;
                     }
@@ -1126,6 +1200,7 @@ impl<B: SchedulerBackend> Engine<B> {
                         st.frag_blocks += 1;
                     }
                     if self.config.strict_fifo {
+                        st.waiting += gang.len();
                         st.queue.push_front(QueueItem::Gang { gang, submitted_at });
                         break;
                     }
@@ -1135,6 +1210,7 @@ impl<B: SchedulerBackend> Engine<B> {
         }
         // Backfill mode: blocked items return to the queue head in order.
         while let Some(item) = skipped.pop_back() {
+            st.waiting += item.job_count();
             st.queue.push_front(item);
         }
     }
@@ -1172,15 +1248,23 @@ impl<B: SchedulerBackend> Engine<B> {
     fn handle_evictions(&mut self, evictions: Vec<Eviction>, now: f64, st: &mut RunState) {
         let managed = self.backend.manages_queues();
         for ev in evictions {
-            let record = st
+            // Victims arrive by job id; the slab is keyed by slot, so
+            // find the entry with a scan (preemption waves are rare and
+            // the slab holds only running jobs). Removing it bumps the
+            // slot's generation — the victim's scheduled finish event is
+            // now stale and will be dropped on drain.
+            let slot = st
                 .running
-                .remove(&ev.job_id)
+                .iter()
+                .find(|(_, r)| r.pending.job.id == ev.job_id)
+                .map(|(slot, _)| slot)
                 .expect("evicted job was running");
+            let record = st.running.remove(slot).expect("slot just found");
+            st.events.note_cancelled();
             debug_assert_eq!(
                 record.server, ev.server,
                 "eviction names the victim's server"
             );
-            *st.epochs.entry(ev.job_id).or_insert(0) += 1;
             st.shielded.insert(ev.job_id);
             let elapsed = now - record.started_at;
             let mut pending = record.pending;
@@ -1209,9 +1293,26 @@ impl<B: SchedulerBackend> Engine<B> {
             if managed {
                 self.backend.admit(pending);
             } else {
+                st.waiting += 1;
                 st.queue.push_back(QueueItem::Job(pending));
             }
         }
+        // After an eviction wave, bulk-drop the stale finish events if
+        // they have come to dominate the queue — this is what pins queue
+        // length to O(running jobs) under heavy preemption.
+        let events = &mut st.events;
+        let running = &st.running;
+        events.maybe_compact(|kind| match kind {
+            EventKind::JobFinished { slot } => running.contains(*slot),
+            EventKind::JobArrival(_) => true,
+        });
+        debug_assert!(
+            st.events.len() <= st.running.len() + st.events.cancelled_hint() + 2,
+            "event queue must stay O(running jobs): {} events, {} running, {} stale",
+            st.events.len(),
+            st.running.len(),
+            st.events.cancelled_hint()
+        );
     }
 
     /// Turns a placement into a running record and its finish event — the
@@ -1236,25 +1337,22 @@ impl<B: SchedulerBackend> Engine<B> {
                 st.gangs.max_wait_seconds = st.gangs.max_wait_seconds.max(wait);
             }
         }
-        let epoch = st.epochs.get(&job.id).copied().unwrap_or(0);
-        st.events
-            .push(now + exec, EventKind::JobFinished { job: job.id, epoch });
-        st.running.insert(
-            job.id,
-            PendingRecord {
-                server: p.server,
-                gpus: p.gpus.clone(),
-                started_at: now,
-                execution_seconds: exec,
-                predicted_eff_bw: p.score.predicted_eff_bw,
-                measured_eff_bw: effbw::measure(topology, &p.gpus),
-                workload_eff_bw: workload_bw,
-                aggregated_bw: p.score.aggregated_bw,
-                allocation_quality: fragmentation::allocation_quality(topology, &p.gpus),
-                scheduling_overhead: p.scheduling_overhead,
-                pending,
-            },
-        );
+        let measured_eff_bw = effbw::measure(topology, &p.gpus);
+        let allocation_quality = fragmentation::allocation_quality(topology, &p.gpus);
+        let slot = st.running.insert(PendingRecord {
+            server: p.server,
+            gpus: p.gpus,
+            started_at: now,
+            execution_seconds: exec,
+            predicted_eff_bw: p.score.predicted_eff_bw,
+            measured_eff_bw,
+            workload_eff_bw: workload_bw,
+            aggregated_bw: p.score.aggregated_bw,
+            allocation_quality,
+            scheduling_overhead: p.scheduling_overhead,
+            pending,
+        });
+        st.events.push(now + exec, EventKind::JobFinished { slot });
     }
 }
 
@@ -1282,11 +1380,24 @@ impl QueueItem {
 struct RunState {
     events: EventQueue,
     queue: VecDeque<QueueItem>,
-    running: HashMap<u64, PendingRecord>,
+    /// Running jobs, slab-allocated: a job's slot id is embedded in its
+    /// finish event, so a finish resolves with one generation-checked
+    /// index instead of a hash lookup, and slots recycle without
+    /// allocating. Removing a job (finish *or* preemption) bumps the
+    /// generation, which is also the lazy-cancellation mechanism — no
+    /// separate epoch table.
+    running: Slab<PendingRecord>,
     records: Vec<JobRecord>,
-    /// Run generation per job id; preemption bumps it to lazily cancel
-    /// the victim's scheduled finish event.
-    epochs: HashMap<u64, u32>,
+    /// Jobs waiting in `queue` (gangs count per member) — maintained
+    /// incrementally at every queue mutation so the per-event depth
+    /// sample is O(1) instead of an O(queue) re-walk.
+    waiting: usize,
+    /// Per-server completion counters, accumulated as each job finishes
+    /// (struct-of-arrays; replaces the end-of-run records re-walk).
+    shard_jobs: Vec<usize>,
+    /// Per-server busy GPU-seconds, accumulated in completion order (so
+    /// the f64 sums are bit-identical to the re-walk they replace).
+    shard_gpu_seconds: Vec<f64>,
     /// Do-not-evict set: gang members and previously-preempted jobs.
     shielded: HashSet<u64>,
     /// Gang ids whose first member already started (for wait accounting).
@@ -1303,7 +1414,24 @@ struct RunState {
 impl RunState {
     /// Jobs waiting in the engine's own queue (gangs count per member).
     fn waiting_jobs(&self) -> usize {
-        self.queue.iter().map(QueueItem::job_count).sum()
+        debug_assert_eq!(
+            self.waiting,
+            self.queue.iter().map(QueueItem::job_count).sum::<usize>(),
+            "incremental waiting counter must mirror the queue"
+        );
+        self.waiting
+    }
+
+    /// Finalizes one finished job: converts its running record, folds it
+    /// into the per-shard counters, and appends it to the log — in
+    /// completion order, the same order the old end-of-run re-walk
+    /// visited records, so every floating-point sum is unchanged.
+    fn record_finish(&mut self, record: PendingRecord, finished_at: f64) {
+        let record = record.into_record(finished_at);
+        self.shard_jobs[record.server] += 1;
+        self.shard_gpu_seconds[record.server] +=
+            record.execution_seconds * record.gpus.len() as f64;
+        self.records.push(record);
     }
 }
 

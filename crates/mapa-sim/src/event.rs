@@ -1,120 +1,35 @@
-//! Discrete-event queue for the execution engine.
+//! Engine event types, scheduled on the calendar queue.
+//!
+//! The queue machinery itself lives in [`crate::queue`] (with the
+//! pre-PR 6 `BinaryHeap` kept as [`crate::queue::ReferenceQueue`], the
+//! differential-test oracle); the per-job state the finish events point
+//! into lives in [`crate::slab`].
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use crate::queue::CalendarQueue;
+use crate::slab::SlotId;
 
-/// A pending simulation event.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct Event {
-    /// Simulated time in seconds.
-    pub time: f64,
-    /// Monotonic tie-breaker so simultaneous events process FIFO.
-    pub seq: u64,
-    /// What happens.
-    pub kind: EventKind,
-}
-
+/// A pending simulation event's payload. `Copy` and 16 bytes — events
+/// move through bucket sorts and batch drains by value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum EventKind {
     /// A submission arrives at the dispatcher (index into the stream).
     JobArrival(usize),
-    /// A running job completes and frees its GPUs. `epoch` is the job's
-    /// run generation: preempting a job bumps its epoch, turning the
-    /// already-scheduled finish event stale — the engine drops finish
-    /// events whose epoch no longer matches (lazy cancellation; a binary
-    /// heap cannot delete).
+    /// A running job completes and frees its GPUs. `slot` addresses the
+    /// job's entry in the engine's running-job slab; preempting a job
+    /// removes that entry (bumping the slot's generation), so the
+    /// victim's already-scheduled finish event goes stale and its
+    /// `Slab::remove` returns `None` — lazy cancellation with no
+    /// separate epoch table. Stale entries are additionally compacted
+    /// out of the queue in bulk after eviction waves
+    /// (`CalendarQueue::maybe_compact`) so they never accumulate.
     JobFinished {
-        /// Job id.
-        job: u64,
-        /// Run generation the event was scheduled for.
-        epoch: u32,
+        /// Slab slot (index + generation) of the running job.
+        slot: SlotId,
     },
 }
 
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour in BinaryHeap (earliest first).
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Time-ordered event queue.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
-    next_seq: u64,
-}
-
-impl EventQueue {
-    pub fn push(&mut self, time: f64, kind: EventKind) {
-        debug_assert!(time.is_finite() && time >= 0.0, "event time {time}");
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
-    }
-
-    pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::default();
-        q.push(5.0, EventKind::JobFinished { job: 1, epoch: 0 });
-        q.push(1.0, EventKind::JobFinished { job: 2, epoch: 0 });
-        q.push(3.0, EventKind::JobFinished { job: 3, epoch: 0 });
-        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
-        assert_eq!(order, vec![1.0, 3.0, 5.0]);
-    }
-
-    #[test]
-    fn simultaneous_events_are_fifo() {
-        let mut q = EventQueue::default();
-        q.push(2.0, EventKind::JobFinished { job: 10, epoch: 0 });
-        q.push(2.0, EventKind::JobFinished { job: 11, epoch: 0 });
-        q.push(2.0, EventKind::JobFinished { job: 12, epoch: 0 });
-        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::JobFinished { job, .. } => job,
-                EventKind::JobArrival(_) => unreachable!("no arrivals queued"),
-            })
-            .collect();
-        assert_eq!(ids, vec![10, 11, 12]);
-    }
-
-    #[test]
-    fn len_and_empty() {
-        let mut q = EventQueue::default();
-        assert!(q.is_empty());
-        q.push(1.0, EventKind::JobFinished { job: 1, epoch: 0 });
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
-    }
-}
+/// The engine's time-ordered event queue: a paged calendar/time-wheel
+/// with a far-future overflow heap — O(1) push and pop for the
+/// homogeneous finish-event traffic the engine generates, same-tick
+/// batches drained in one call (`pop_batch`).
+pub(crate) type EventQueue = CalendarQueue<EventKind>;

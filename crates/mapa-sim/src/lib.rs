@@ -65,10 +65,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod digest;
 mod engine;
 mod event;
 pub mod experiment;
 pub mod logfile;
+pub mod queue;
+pub mod slab;
 pub mod stats;
 pub mod timeline;
 

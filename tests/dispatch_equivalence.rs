@@ -27,7 +27,11 @@ use mapa::core::policy::{
     TopoAwarePolicy,
 };
 use mapa::prelude::*;
+use mapa::sim::digest::schedule_digest;
 use proptest::prelude::*;
+
+#[path = "util/golden.rs"]
+mod golden;
 
 fn policy_by_index(i: usize) -> Box<dyn AllocationPolicy> {
     match i % 5 {
@@ -218,6 +222,30 @@ fn dispatch_one_shard_queued_cluster_equals_single_server() {
             );
         }
     }
+}
+
+/// The overhauled event core replays the **pre-overhaul** engine
+/// bit-identically: schedule digests of a fixed scenario across the full
+/// 5 allocation × 4 server policy matrix, on both the global-queue and
+/// queued cluster paths, must match `tests/golden/dispatch.txt` — which
+/// was blessed on the PR 5 engine (BinaryHeap event queue, HashMap job
+/// tables) before the PR 6 calendar-queue/slab rewrite landed.
+#[test]
+fn golden_replay_pins_the_pre_overhaul_schedules() {
+    let jobs = generator::paper_job_mix(77);
+    let jobs = &jobs[..60];
+    let mut entries = Vec::new();
+    for policy_idx in 0..5 {
+        for server_policy_idx in 0..4 {
+            let label = format!("a{policy_idx}-s{server_policy_idx}");
+            let global = Engine::over(fleet(3, policy_idx, server_policy_idx)).run(jobs);
+            entries.push((format!("global-{label}"), schedule_digest(&global)));
+            let queued = Engine::over(fleet(3, policy_idx, server_policy_idx).with_shard_queues(5))
+                .run(jobs);
+            entries.push((format!("queued-{label}"), schedule_digest(&queued)));
+        }
+    }
+    golden::check_goldens("dispatch.txt", &entries);
 }
 
 /// The equivalence holds with the full production front end in the loop:

@@ -1,0 +1,282 @@
+//! Differential harness for the engine's calendar/time-wheel event
+//! queue (`mapa::sim::queue::CalendarQueue`) against the pre-overhaul
+//! `BinaryHeap` implementation, kept as `ReferenceQueue` exactly so it
+//! can serve as the oracle here.
+//!
+//! The property: for any monotone event stream — same-tick ties,
+//! lazily-cancelled entries, far-future outliers that overflow the
+//! wheel's paged window — both queues pop the *identical* sequence, with
+//! equal-time events in FIFO (insertion) order. The engine's bit-identical
+//! schedule guarantees (parallel ≡ sequential, pre- vs post-overhaul
+//! golden digests) reduce to this property plus "the engine processes
+//! batch members in order", so this is the test that lets the queue keep
+//! being optimised.
+//!
+//! Also pinned here: `pop_batch` is exactly "repeated `pop` while the
+//! time does not change", and bulk compaction of cancelled entries never
+//! reorders survivors while keeping the queue length O(live entries).
+
+use mapa::sim::queue::{CalendarQueue, ReferenceQueue, TimedEvent, COMPACT_MIN_CANCELLED};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// One scripted step of the differential run, decoded from a pair of
+/// random bytes: mostly pushes (with deliberate tie/far-future skew),
+/// interleaved with pops, lazy cancellations, and compaction attempts.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push at `floor + delta` (deltas of 0.0 create same-tick ties;
+    /// huge deltas land in the overflow heap beyond the wheel horizon).
+    Push(f64),
+    /// Pop the next surviving event from both queues and compare.
+    Pop,
+    /// Lazily cancel a pending event (both sides skip it on pop; the
+    /// calendar queue is additionally told via `note_cancelled`).
+    Cancel,
+    /// Give the calendar queue a chance to bulk-compact cancelled
+    /// entries — must be invisible in the pop sequence.
+    Compact,
+}
+
+fn decode(kind: u8, magnitude: u16) -> Op {
+    match kind % 100 {
+        0..=44 => Op::Push(match magnitude % 7 {
+            // Exact ties at the current floor: the FIFO-stability case.
+            0 | 1 => 0.0,
+            // Far beyond the wheel horizon (1024 buckets × 1.0 s):
+            // exercises the overflow heap and window re-anchoring.
+            2 => 5.0e6 + f64::from(magnitude),
+            // Ordinary near-future deltas, spread across pages.
+            _ => f64::from(magnitude) * 0.37,
+        }),
+        45..=74 => Op::Pop,
+        75..=89 => Op::Cancel,
+        _ => Op::Compact,
+    }
+}
+
+/// Pops until a non-cancelled event (or emptiness), exactly the
+/// lazy-cancellation discipline the engine uses. Advances `floor` past
+/// every popped entry — cancelled ones included — because the
+/// monotone-push contract is against the last *popped* time, not the
+/// last live one (the engine's `now` likewise comes from the popped
+/// batch, stale members or not).
+fn pop_live<Q: FnMut() -> Option<TimedEvent<u32>>>(
+    mut pop: Q,
+    cancelled: &HashSet<u32>,
+    floor: &mut f64,
+) -> Option<TimedEvent<u32>> {
+    loop {
+        let ev = pop()?;
+        if ev.time > *floor {
+            *floor = ev.time;
+        }
+        if !cancelled.contains(&ev.payload) {
+            return Some(ev);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline differential property: random streams through the
+    /// bucketed queue and the reference heap produce identical pop
+    /// order — times bit-equal, ties FIFO-stable (payload ids are
+    /// insertion-ordered, and the heap breaks ties by sequence number,
+    /// so equal payloads *is* FIFO stability).
+    #[test]
+    fn calendar_queue_replays_the_reference_heap(
+        ops in proptest::collection::vec((0u8..100, 0u16..1000), 50..400),
+    ) {
+        let mut calendar: CalendarQueue<u32> = CalendarQueue::default();
+        let mut reference: ReferenceQueue<u32> = ReferenceQueue::default();
+        let mut cancelled: HashSet<u32> = HashSet::new();
+        let mut pending: Vec<u32> = Vec::new();
+        let mut next_id: u32 = 0;
+        let mut floor: f64 = 0.0;
+
+        for &(kind, magnitude) in &ops {
+            match decode(kind, magnitude) {
+                Op::Push(delta) => {
+                    let time = floor + delta;
+                    calendar.push(time, next_id);
+                    reference.push(time, next_id);
+                    pending.push(next_id);
+                    next_id += 1;
+                }
+                Op::Pop => {
+                    let before = floor;
+                    let got = pop_live(|| calendar.pop(), &cancelled, &mut floor);
+                    let want = pop_live(|| reference.pop(), &cancelled, &mut floor);
+                    match (&got, &want) {
+                        (None, None) => {}
+                        (Some(g), Some(w)) => {
+                            prop_assert_eq!(
+                                g.time.to_bits(),
+                                w.time.to_bits(),
+                                "pop times diverge: calendar {} vs reference {}",
+                                g.time,
+                                w.time
+                            );
+                            prop_assert_eq!(
+                                g.payload, w.payload,
+                                "tie order diverges at t={}", g.time
+                            );
+                            prop_assert!(w.time >= before, "oracle went back in time");
+                            pending.retain(|&id| id != w.payload);
+                        }
+                        _ => prop_assert!(
+                            false,
+                            "one queue empty, the other not: calendar {:?} vs reference {:?}",
+                            got.map(|e| e.payload),
+                            want.map(|e| e.payload)
+                        ),
+                    }
+                }
+                Op::Cancel => {
+                    // Cancel the pending event picked by the magnitude
+                    // (a no-op when nothing is pending).
+                    if let Some(&id) =
+                        pending.get(usize::from(magnitude) % pending.len().max(1))
+                    {
+                        if cancelled.insert(id) {
+                            calendar.note_cancelled();
+                        }
+                        pending.retain(|&p| p != id);
+                    }
+                }
+                Op::Compact => {
+                    calendar.maybe_compact(|id| !cancelled.contains(id));
+                }
+            }
+        }
+
+        // Drain both queues completely: every survivor must still match.
+        loop {
+            let got = pop_live(|| calendar.pop(), &cancelled, &mut floor);
+            let want = pop_live(|| reference.pop(), &cancelled, &mut floor);
+            match (&got, &want) {
+                (None, None) => break,
+                (Some(g), Some(w)) => {
+                    prop_assert_eq!(g.time.to_bits(), w.time.to_bits());
+                    prop_assert_eq!(g.payload, w.payload);
+                }
+                _ => prop_assert!(false, "queues drained to different lengths"),
+            }
+        }
+        prop_assert!(calendar.is_empty());
+        prop_assert!(reference.is_empty());
+    }
+
+    /// `pop_batch` is observationally "repeated `pop` while the time is
+    /// unchanged": replaying one push stream through two calendar queues,
+    /// one drained a batch at a time and one an event at a time, yields
+    /// the same flat sequence — and every batch is a maximal tie group.
+    #[test]
+    fn pop_batch_flattens_to_single_pops(
+        deltas in proptest::collection::vec((0u8..4, 0u16..500), 20..200),
+    ) {
+        let mut batched: CalendarQueue<u32> = CalendarQueue::default();
+        let mut single: CalendarQueue<u32> = CalendarQueue::default();
+        let mut time = 0.0;
+        for (i, &(tie, magnitude)) in deltas.iter().enumerate() {
+            // Three in four pushes reuse the current time — dense ties.
+            if tie == 0 {
+                time += f64::from(magnitude) * 0.51;
+            }
+            let id = u32::try_from(i).expect("bounded by the strategy");
+            batched.push(time, id);
+            single.push(time, id);
+        }
+
+        let mut batch: Vec<TimedEvent<u32>> = Vec::new();
+        while batched.pop_batch(&mut batch) > 0 {
+            let tick = batch[0].time;
+            for ev in &batch {
+                prop_assert_eq!(
+                    ev.time.to_bits(),
+                    tick.to_bits(),
+                    "batch mixes times"
+                );
+                let want = single.pop().expect("single-pop queue drained early");
+                prop_assert_eq!(ev.payload, want.payload);
+                prop_assert_eq!(ev.time.to_bits(), want.time.to_bits());
+            }
+            // Maximality: the next event (if any) is a *later* tick.
+            if let Some(next) = batched.pop() {
+                prop_assert!(next.time > tick, "batch ended inside its tie group");
+                // Push it back is impossible; mirror by popping the twin.
+                let twin = single.pop().expect("twin exists");
+                prop_assert_eq!(next.payload, twin.payload);
+            }
+        }
+        prop_assert!(single.pop().is_none(), "single-pop queue has leftovers");
+    }
+
+    /// Satellite-3 pin at the property level: under arbitrarily heavy
+    /// lazy cancellation, `maybe_compact` keeps the stored length
+    /// O(live entries) — stale events never accumulate past the
+    /// compaction policy's slack.
+    #[test]
+    fn queue_length_stays_linear_in_live_entries(
+        waves in proptest::collection::vec((1u16..20, 0u8..10), 10..120),
+    ) {
+        let mut queue: CalendarQueue<u32> = CalendarQueue::default();
+        let mut live: HashSet<u32> = HashSet::new();
+        let mut next_id = 0u32;
+        let mut time = 0.0;
+        for &(pushes, keep) in &waves {
+            for _ in 0..pushes {
+                time += 0.25;
+                queue.push(time, next_id);
+                live.insert(next_id);
+                next_id += 1;
+            }
+            // Cancel all but every `keep`-th pending event this wave.
+            let mut ids: Vec<u32> = live.iter().copied().collect();
+            ids.sort_unstable();
+            for (i, id) in ids.into_iter().enumerate() {
+                if (keep == 0 || i % usize::from(keep) + 1 != 1) && live.remove(&id) {
+                    queue.note_cancelled();
+                }
+            }
+            queue.maybe_compact(|id| live.contains(id));
+            prop_assert!(
+                queue.len() <= 2 * live.len() + 4 * COMPACT_MIN_CANCELLED,
+                "queue holds {} entries for {} live jobs",
+                queue.len(),
+                live.len()
+            );
+        }
+    }
+}
+
+/// Deterministic spot check of FIFO tie stability, independent of the
+/// oracle: interleave two tie groups and a far-future outlier, and
+/// assert insertion order within each group survives batching.
+#[test]
+fn same_tick_ties_pop_in_insertion_order() {
+    let mut queue: CalendarQueue<u32> = CalendarQueue::default();
+    queue.push(10.0, 0);
+    queue.push(4.0e7, 99); // overflow outlier, must come out last
+    queue.push(10.0, 1);
+    queue.push(2.0, 10);
+    queue.push(10.0, 2);
+    queue.push(2.0, 11);
+
+    let mut batch = Vec::new();
+    assert_eq!(queue.pop_batch(&mut batch), 2);
+    assert_eq!(
+        batch.iter().map(|e| e.payload).collect::<Vec<_>>(),
+        vec![10, 11]
+    );
+    assert_eq!(queue.pop_batch(&mut batch), 3);
+    assert_eq!(
+        batch.iter().map(|e| e.payload).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    assert_eq!(queue.pop_batch(&mut batch), 1);
+    assert_eq!(batch[0].payload, 99);
+    assert!(queue.is_empty());
+}

@@ -18,10 +18,14 @@ use mapa::core::policy::{
 };
 use mapa::core::PreemptionPolicy;
 use mapa::prelude::*;
+use mapa::sim::digest::schedule_digest;
 use mapa::sim::Submission;
 use mapa::workloads::{assign_priority_classes, JobGroup};
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+#[path = "util/golden.rs"]
+mod golden;
 
 fn policy_by_index(i: usize) -> Box<dyn AllocationPolicy> {
     match i % 5 {
@@ -257,6 +261,27 @@ proptest! {
             }
         }
     }
+}
+
+/// The overhauled event core replays the **pre-overhaul** gang schedules
+/// bit-identically: gang-heavy runs across the 5×4 policy matrix on the
+/// queued cluster path must match `tests/golden/gangs.txt`, blessed on
+/// the PR 5 engine before the calendar-queue/slab rewrite.
+#[test]
+fn golden_replay_pins_the_pre_overhaul_gang_schedules() {
+    let subs = gang_submissions(83, 48, 3);
+    let mut entries = Vec::new();
+    for policy_idx in 0..5 {
+        for server_policy_idx in 0..4 {
+            let report = Engine::over(fleet(3, policy_idx, server_policy_idx).with_shard_queues(5))
+                .run_submissions(subs.clone());
+            entries.push((
+                format!("gangs-a{policy_idx}-s{server_policy_idx}"),
+                schedule_digest(&report),
+            ));
+        }
+    }
+    golden::check_goldens("gangs.txt", &entries);
 }
 
 /// Gangs of one member behave exactly like bare jobs on the engine-queued

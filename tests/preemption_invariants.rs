@@ -24,9 +24,13 @@ use mapa::core::policy::{
 };
 use mapa::core::PreemptionPolicy;
 use mapa::prelude::*;
+use mapa::sim::digest::schedule_digest;
 use mapa::sim::PreemptionStats;
 use mapa::workloads::assign_priority_classes;
 use proptest::prelude::*;
+
+#[path = "util/golden.rs"]
+mod golden;
 
 fn policy_by_index(i: usize) -> Box<dyn AllocationPolicy> {
     match i % 5 {
@@ -287,6 +291,30 @@ fn preempted_records_are_internally_consistent() {
         assert!((r.queue_wait_seconds - wait).abs() < 1e-9, "{r:?}");
         assert!(r.queue_wait_seconds >= -1e-9, "{r:?}");
     }
+}
+
+/// The overhauled event core replays the **pre-overhaul** preemptive
+/// schedules bit-identically: priority-evict runs (whose epoch-stale
+/// finish events exercise the lazy-cancellation path hardest) across the
+/// 5×4 policy matrix on the queued cluster must match
+/// `tests/golden/preemption.txt`, blessed on the PR 5 engine before the
+/// calendar-queue/slab rewrite.
+#[test]
+fn golden_replay_pins_the_pre_overhaul_preemptive_schedules() {
+    let jobs = prioritized_jobs(91, 60, 3);
+    let mut entries = Vec::new();
+    for policy_idx in 0..5 {
+        for server_policy_idx in 0..4 {
+            let report = Engine::over(fleet(3, policy_idx, server_policy_idx).with_shard_queues(5))
+                .with_config(preemptive_config(PreemptionPolicy::PriorityEvict))
+                .run(&jobs);
+            entries.push((
+                format!("evict-a{policy_idx}-s{server_policy_idx}"),
+                schedule_digest(&report),
+            ));
+        }
+    }
+    golden::check_goldens("preemption.txt", &entries);
 }
 
 /// The preemptive single-server engine still beats a preemption-free one

@@ -1,0 +1,60 @@
+//! Golden-digest bookkeeping shared by the replay harness test files
+//! (included via `#[path]` — files under `tests/util/` are not test
+//! targets themselves).
+//!
+//! Each harness computes [`mapa::sim::digest::schedule_digest`] values
+//! for a fixed scenario matrix and calls [`check_goldens`] with a stable
+//! `(label, digest)` list. Normally the list is compared line-by-line
+//! against the checked-in file under `tests/golden/`; with `MAPA_BLESS=1`
+//! the file is rewritten instead. The committed goldens were blessed on
+//! the pre-PR 6 engine (BinaryHeap event queue, HashMap job tables), so
+//! these tests pin that the overhauled event core replays the old
+//! schedules bit-identically — not merely that it is self-consistent.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Compares (or, under `MAPA_BLESS=1`, records) a digest table against
+/// `tests/golden/<file>`.
+pub fn check_goldens(file: &str, entries: &[(String, u64)]) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file);
+    let mut rendered = String::new();
+    for (label, digest) in entries {
+        writeln!(rendered, "{label} {digest:016x}").unwrap();
+    }
+    if std::env::var_os("MAPA_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("blessed {} ({} entries)", path.display(), entries.len());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MAPA_BLESS=1 to record it",
+            path.display()
+        )
+    });
+    if expected == rendered {
+        return;
+    }
+    for (i, (want, got)) in expected.lines().zip(rendered.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "schedule digest diverged from the blessed pre-overhaul engine \
+             at {}:{} — the engine no longer replays the old schedule \
+             bit-identically (bless with MAPA_BLESS=1 only if the change is \
+             intended and documented)",
+            path.display(),
+            i + 1,
+        );
+    }
+    panic!(
+        "golden file {} has {} lines but the harness produced {} entries",
+        path.display(),
+        expected.lines().count(),
+        rendered.lines().count(),
+    );
+}

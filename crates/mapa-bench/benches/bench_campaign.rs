@@ -1,0 +1,370 @@
+//! Campaign-runner throughput benchmark → `BENCH_campaign.json`.
+//!
+//! PR 7's two deliverables, measured by one harness:
+//!
+//! * **campaign** — cells/sec through `CampaignGrid::run` (the
+//!   production campaign path: per-cell context hoisting, CRN
+//!   replications, streaming aggregation) at worker-pool sizes 1 / 4 /
+//!   default. On a multi-core host the >1-worker rows show the fan-out
+//!   win; on a 1-core container they honestly record ~1× (thread-count
+//!   *results* are still bit-identical — asserted here and pinned by
+//!   `tests/campaign.rs`). Only the `workers: 1` row is gated, because
+//!   it is the only hardware-shape-independent one.
+//! * **macro_small / macro_full** — the shard-scaling curve the
+//!   occupancy-mask fix repaired: end-to-end jobs/sec draining a
+//!   homogeneous small-job stream through 1 / 8 / 64 queued shards,
+//!   same workload shape as `bench_throughput`. The committed pre-fix
+//!   curve (inverted: 226k at 1 shard collapsing to 17k at 64) is
+//!   embedded below as the before/after record.
+//!
+//! CLI mirrors `bench_throughput`: `--small` (CI sizes), `--out PATH`
+//! (default `BENCH_campaign.json` at the workspace root), `--check PATH
+//! [--tolerance F]` — compare this run's gated rows against a committed
+//! baseline file and exit non-zero on a regression beyond the tolerance
+//! (default 0.20). The small-size sections run in *both* modes so the
+//! gate always compares like against like; full mode adds the
+//! `campaign_full` / `macro_full` sections on top. CI runs
+//! `--small --check BENCH_campaign.json`.
+
+use mapa::prelude::*;
+use mapa_bench::banner;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 3] = [1, 8, 64];
+const FULL_MACRO_JOBS: usize = 300_000;
+const SMALL_MACRO_JOBS: usize = 30_000;
+/// (jobs per replication, replications) for the two campaign sizes.
+const SMALL_CAMPAIGN: (usize, usize) = (60, 3);
+const FULL_CAMPAIGN: (usize, usize) = (150, 10);
+const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// The shard-scaling curve of the committed pre-fix cluster (PR 6's
+/// `BENCH_throughput.json`, same harness shape, same container family):
+/// every pump walked all 64 shards whether or not anything waited, so
+/// adding shards *divided* throughput. Kept verbatim as the before/after
+/// record for the occupancy-mask fix.
+const PRE_FIX_BASELINE: &str = r#"  "pre_fix_baseline": {
+    "harness": "BENCH_throughput.json macro rows, pre occupancy-mask cluster",
+    "macro_small": [
+      {"shards": 1, "jobs": 30000, "jobs_per_sec": 226534.2},
+      {"shards": 8, "jobs": 30000, "jobs_per_sec": 99895.0},
+      {"shards": 64, "jobs": 30000, "jobs_per_sec": 17052.9}
+    ],
+    "macro_full": [
+      {"shards": 1, "jobs": 1000000, "jobs_per_sec": 177912.4},
+      {"shards": 8, "jobs": 1000000, "jobs_per_sec": 95182.5},
+      {"shards": 64, "jobs": 1000000, "jobs_per_sec": 16322.2}
+    ]
+  },
+"#;
+
+/// The benchmark grid: 2 server policies × 2 allocation policies ×
+/// 2 shard widths × both dispatch modes = 16 cells. Big enough that the
+/// per-cell context hoisting and fan-out matter, small enough for CI.
+fn bench_grid(jobs: usize, replications: usize) -> CampaignGrid {
+    CampaignGrid {
+        server_policies: vec!["round-robin".into(), "least-loaded".into()],
+        alloc_policies: vec!["baseline".into(), "preserve".into()],
+        shards: vec![2, 4],
+        job_counts: vec![jobs],
+        dispatch: vec![DispatchMode::Sequential, DispatchMode::Parallel],
+        replications,
+        base_seed: 42,
+        ..CampaignGrid::new(machines::dgx1_v100())
+    }
+}
+
+struct CampaignRow {
+    workers: usize,
+    cells_per_sec: f64,
+    wall_seconds: f64,
+}
+
+/// How many timed repeats per worker count; the best one is reported.
+/// The small grid finishes in tens of milliseconds, where scheduler
+/// noise on a shared runner swamps a single measurement — best-of-N is
+/// the standard antidote and is what the 20% gate is calibrated for.
+const CAMPAIGN_REPEATS: usize = 3;
+
+/// Runs the grid `CAMPAIGN_REPEATS` times on a `workers`-wide pool and
+/// returns the fastest row plus the (repeat-invariant) result table.
+fn campaign_run(grid: &CampaignGrid, workers: usize) -> (CampaignRow, Vec<CellSummary>) {
+    let pool = Arc::new(WorkerPool::new(workers));
+    let mut best: Option<(f64, Vec<CellSummary>)> = None;
+    for _ in 0..CAMPAIGN_REPEATS {
+        let start = Instant::now();
+        let table = grid.run(&pool).expect("bench grid is valid");
+        let wall = start.elapsed().as_secs_f64();
+        if let Some((best_wall, best_table)) = &best {
+            assert_eq!(best_table, &table, "campaign tables must not vary per run");
+            if wall >= *best_wall {
+                continue;
+            }
+        }
+        best = Some((wall, table));
+    }
+    let (wall, table) = best.expect("at least one repeat");
+    (
+        CampaignRow {
+            workers,
+            cells_per_sec: table.len() as f64 / wall,
+            wall_seconds: wall,
+        },
+        table,
+    )
+}
+
+/// Runs one campaign section — the grid at each worker count — printing
+/// rows and asserting the tables are bit-identical across counts.
+fn campaign_section(jobs_per_rep: usize, replications: usize) -> Vec<CampaignRow> {
+    let grid = bench_grid(jobs_per_rep, replications);
+    let cells = grid.cells().len();
+    println!(
+        "\n-- campaign ({cells} cells x {replications} replications, \
+         {jobs_per_rep} jobs/replication) --"
+    );
+    let mut rows: Vec<CampaignRow> = Vec::new();
+    let mut reference_table: Option<Vec<CellSummary>> = None;
+    for workers in [1usize, 4, default_threads()] {
+        if rows.iter().any(|r| r.workers == workers) {
+            continue;
+        }
+        let (row, table) = campaign_run(&grid, workers);
+        println!(
+            "{workers:>3} workers  {:>8.2} cells/sec  ({:.2}s wall)",
+            row.cells_per_sec, row.wall_seconds
+        );
+        match &reference_table {
+            None => reference_table = Some(table),
+            Some(reference) => assert_eq!(
+                reference, &table,
+                "campaign tables must be bit-identical at any worker count"
+            ),
+        }
+        rows.push(row);
+    }
+    println!("    (result tables bit-identical across all worker counts: verified)");
+    rows
+}
+
+/// End-to-end jobs/sec through a queued `shards`-wide fleet — the same
+/// macro workload as `bench_throughput` (1–2 GPU homogeneous jobs, batch
+/// arrivals, round-robin + baseline, shard queues on), so the numbers
+/// are directly comparable with the committed pre-fix curve.
+fn macro_run(shards: usize, jobs: &[JobSpec]) -> f64 {
+    let cluster = Cluster::homogeneous(
+        machines::dgx1_v100(),
+        shards,
+        || Box::new(BaselinePolicy),
+        Box::new(RoundRobinPolicy),
+    )
+    .with_shard_queues(DEFAULT_SHARD_QUEUE_DEPTH);
+    let start = Instant::now();
+    let report = Engine::over(cluster).run(jobs);
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(report.records.len(), jobs.len(), "every job must complete");
+    jobs.len() as f64 / wall
+}
+
+fn macro_section(job_count: usize) -> Vec<(usize, f64)> {
+    let stream = generator::generate_jobs(
+        &generator::JobMixConfig {
+            job_count,
+            gpus_min: 1,
+            gpus_max: 2,
+            workloads: vec![Workload::Gmm],
+            iteration_jitter: 0.0,
+        },
+        11,
+    );
+    println!("\n-- macro shard scaling ({job_count} jobs, occupancy-mask cluster) --");
+    SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let jps = macro_run(shards, &stream);
+            println!("{shards:>3} shards  {jps:>12.0} jobs/sec");
+            (shards, jps)
+        })
+        .collect()
+}
+
+fn campaign_json(rows: &[CampaignRow], jobs_per_rep: usize, replications: usize) -> String {
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"cells_per_sec\": {:.2}, \"wall_seconds\": {:.3}}}",
+                r.workers, r.cells_per_sec, r.wall_seconds
+            )
+        })
+        .collect();
+    format!(
+        "{{\"cells\": 16, \"replications\": {replications}, \
+         \"jobs_per_replication\": {jobs_per_rep}, \"rows\": [\n{}\n  ]}}",
+        lines.join(",\n")
+    )
+}
+
+fn macro_json(rows: &[(usize, f64)], job_count: usize) -> String {
+    let lines: Vec<String> = rows
+        .iter()
+        .map(|(s, j)| {
+            format!("    {{\"shards\": {s}, \"jobs\": {job_count}, \"jobs_per_sec\": {j:.1}}}")
+        })
+        .collect();
+    format!("[\n{}\n  ]", lines.join(",\n"))
+}
+
+/// Narrow scanner for the gated rows of a baseline file produced by this
+/// bench: `"cells_per_sec"` at `"workers": 1` inside `campaign_small`,
+/// and the `macro_small` shard rows. Purposely not a JSON parser — the
+/// file's shape is known.
+fn parse_gated_rows(json: &str) -> (Option<f64>, Vec<(usize, f64)>) {
+    let field = |line: &str, key: &str| {
+        line.split(&format!("\"{key}\": "))
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse::<f64>().ok())
+    };
+    let section = |name: &str| {
+        json.find(&format!("\"{name}\""))
+            .and_then(|start| json[start..].find(']').map(|end| &json[start..start + end]))
+    };
+    let one_worker = section("campaign_small").and_then(|s| {
+        s.lines()
+            .find(|l| l.contains("\"workers\": 1,"))
+            .and_then(|l| field(l, "cells_per_sec"))
+    });
+    let macro_rows = section("macro_small")
+        .map(|s| {
+            s.lines()
+                .filter_map(|l| match (field(l, "shards"), field(l, "jobs_per_sec")) {
+                    (Some(shards), Some(jps)) => Some((shards as usize, jps)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    (one_worker, macro_rows)
+}
+
+/// Resolves a CLI path against the workspace root. Bench binaries run
+/// with cwd = the *package* directory (`crates/mapa-bench`), but the
+/// tracked artifacts live at the workspace root — so CI can say
+/// `--check BENCH_campaign.json` and mean the committed file.
+fn workspace_path(p: &str) -> String {
+    let path = std::path::Path::new(p);
+    if path.is_absolute() {
+        p.to_string()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(path)
+            .to_string_lossy()
+            .into_owned()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let small = flag("--small");
+    let tolerance: f64 = value("--tolerance")
+        .map(|t| t.parse().expect("--tolerance takes a float"))
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let out = workspace_path(&value("--out").unwrap_or_else(|| "BENCH_campaign.json".to_string()));
+
+    banner(
+        "Campaign runner: cells/sec fan-out and the repaired shard-scaling curve",
+        "PR 7 campaign instrument + occupancy-mask fix (tracked artifact)",
+    );
+
+    let mode = if small { "small" } else { "full" };
+    let (small_jobs, small_reps) = SMALL_CAMPAIGN;
+    let campaign_small = campaign_section(small_jobs, small_reps);
+    let campaign_full = (!small).then(|| {
+        let (jobs, reps) = FULL_CAMPAIGN;
+        campaign_section(jobs, reps)
+    });
+    let macro_small = macro_section(SMALL_MACRO_JOBS);
+    let macro_full = (!small).then(|| macro_section(FULL_MACRO_JOBS));
+
+    let mut body = String::new();
+    body.push_str("{\n  \"bench\": \"campaign\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str(&format!(
+        "  \"campaign_small\": {},\n",
+        campaign_json(&campaign_small, small_jobs, small_reps)
+    ));
+    if let Some(rows) = &campaign_full {
+        let (jobs, reps) = FULL_CAMPAIGN;
+        body.push_str(&format!(
+            "  \"campaign_full\": {},\n",
+            campaign_json(rows, jobs, reps)
+        ));
+    }
+    body.push_str(&format!(
+        "  \"macro_small\": {},\n",
+        macro_json(&macro_small, SMALL_MACRO_JOBS)
+    ));
+    if let Some(rows) = &macro_full {
+        body.push_str(&format!(
+            "  \"macro_full\": {},\n",
+            macro_json(rows, FULL_MACRO_JOBS)
+        ));
+    }
+    body.push_str(PRE_FIX_BASELINE);
+    body.push_str("  \"schema\": 1\n}\n");
+
+    if let Some(baseline_path) = value("--check").map(|p| workspace_path(&p)) {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("--check {baseline_path}: {e}"));
+        let (want_cells, want_macro) = parse_gated_rows(&baseline);
+        assert!(
+            want_cells.is_some() && !want_macro.is_empty(),
+            "--check {baseline_path}: no gated rows found"
+        );
+        let mut failed = false;
+        println!(
+            "\n-- regression check vs {baseline_path} (tolerance {:.0}%) --",
+            tolerance * 100.0
+        );
+        let mut check = |label: String, got: f64, want: f64| {
+            let ratio = got / want;
+            let verdict = if ratio < 1.0 - tolerance {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!("{label:<24} {got:>12.1} vs baseline {want:>12.1}  ({ratio:.2}x)  {verdict}");
+        };
+        if let (Some(want), Some(got)) =
+            (want_cells, campaign_small.iter().find(|r| r.workers == 1))
+        {
+            check("campaign workers=1".to_string(), got.cells_per_sec, want);
+        }
+        for (shards, want) in want_macro {
+            if let Some((_, got)) = macro_small.iter().find(|(s, _)| *s == shards) {
+                check(format!("macro {shards} shards"), *got, want);
+            }
+        }
+        if failed {
+            eprintln!(
+                "campaign bench regressed more than {:.0}% below the committed baseline",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+
+    std::fs::write(&out, &body).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nmachine-readable results: {out}");
+}

@@ -443,6 +443,23 @@ fn parse_macro_small(json: &str) -> Vec<(usize, f64)> {
     rows
 }
 
+/// Resolves a CLI path against the workspace root. Bench binaries run
+/// with cwd = the *package* directory (`crates/mapa-bench`), but the
+/// tracked artifacts live at the workspace root — so CI can say
+/// `--check BENCH_throughput.json` and mean the committed file.
+fn workspace_path(p: &str) -> String {
+    let path = std::path::Path::new(p);
+    if path.is_absolute() {
+        p.to_string()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(path)
+            .to_string_lossy()
+            .into_owned()
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // `cargo bench` forwards its own `--bench` flag; ignore it.
@@ -457,13 +474,8 @@ fn main() {
     let tolerance: f64 = value("--tolerance")
         .map(|t| t.parse().expect("--tolerance takes a float"))
         .unwrap_or(DEFAULT_TOLERANCE);
-    let out = value("--out").unwrap_or_else(|| {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join("BENCH_throughput.json")
-            .to_string_lossy()
-            .into_owned()
-    });
+    let out =
+        workspace_path(&value("--out").unwrap_or_else(|| "BENCH_throughput.json".to_string()));
 
     banner(
         "Engine throughput: end-to-end jobs/sec and event-core events/sec",
@@ -539,7 +551,7 @@ fn main() {
     body.push_str(PRE_CHANGE_BASELINE);
     body.push_str("  \"schema\": 1\n}\n");
 
-    if let Some(baseline_path) = value("--check") {
+    if let Some(baseline_path) = value("--check").map(|p| workspace_path(&p)) {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("--check {baseline_path}: {e}"));
         let want = parse_macro_small(&baseline);

@@ -69,9 +69,54 @@ pub fn dispatch_mode_by_name(name: &str) -> Option<DispatchMode> {
     }
 }
 
+/// Sets bit `i` of a `u64`-word bitmask.
+fn mask_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Clears bit `i` of a `u64`-word bitmask.
+fn mask_clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// Reads bit `i` of a `u64`-word bitmask.
+fn mask_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+/// Indices of set bits, ascending — word-at-a-time scan, so iterating a
+/// sparse mask over many shards touches O(words + set bits), not
+/// O(shards).
+fn mask_indices(words: &[u64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            out.push(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+    out
+}
+
 /// The per-shard-queue state of queued dispatch: one bounded FIFO per
 /// shard, a backlog for arrivals no eligible queue could hold, and the
 /// per-queue high-water marks the report surfaces.
+///
+/// Two occupancy bitmasks keep every pump pass O(active shards) instead
+/// of O(all shards) (the 64-shard fleets of `BENCH_throughput.json` were
+/// ~14× *slower* than 1 shard without them):
+///
+/// * `occupied` — bit `s` set ⇔ shard `s`'s queue is non-empty; pump-side
+///   scans (blocked-head accounting, steal passes) walk only set bits.
+/// * `ready` — bit `s` set ⇔ shard `s`'s head is worth (re)trying: a new
+///   head was exposed, or the shard's capacity grew since the head last
+///   failed to place. A failed head decision clears the bit — placement
+///   feasibility depends only on the shard's free GPU set and shrinking
+///   that set can never unblock a head, so skipping clean shards is
+///   exact memoization, never an approximation (schedules stay
+///   bit-identical; `tests/dispatch_equivalence.rs` pins this against
+///   the pre-mask golden digests).
 #[derive(Debug)]
 struct ShardQueues {
     depth: usize,
@@ -87,6 +132,10 @@ struct ShardQueues {
     /// incrementally — the engine samples [`Self::waiting`] once per
     /// event, so it must not re-walk `shards` queues each time.
     waiting: usize,
+    /// Non-empty-queue occupancy mask (see type docs).
+    occupied: Vec<u64>,
+    /// Heads worth a placement retry (see type docs).
+    ready: Vec<u64>,
 }
 
 impl ShardQueues {
@@ -97,10 +146,17 @@ impl ShardQueues {
             backlog: VecDeque::new(),
             max_depths: vec![0; shards],
             waiting: 0,
+            occupied: vec![0; shards.div_ceil(64)],
+            ready: vec![0; shards.div_ceil(64)],
         }
     }
 
     fn push(&mut self, shard: usize, item: PendingJob) {
+        if self.queues[shard].is_empty() {
+            // A new head is exposed: this shard must be (re)tried.
+            mask_set(&mut self.occupied, shard);
+            mask_set(&mut self.ready, shard);
+        }
         self.queues[shard].push_back(item);
         self.max_depths[shard] = self.max_depths[shard].max(self.queues[shard].len());
         self.waiting += 1;
@@ -111,6 +167,14 @@ impl ShardQueues {
         let item = self.queues[shard].pop_front();
         if item.is_some() {
             self.waiting -= 1;
+            if self.queues[shard].is_empty() {
+                mask_clear(&mut self.occupied, shard);
+                mask_clear(&mut self.ready, shard);
+            } else {
+                // The next head is exposed and has never been tried
+                // against the shard's current state.
+                mask_set(&mut self.ready, shard);
+            }
         }
         item
     }
@@ -120,8 +184,43 @@ impl ShardQueues {
         let item = self.queues[victim].remove(idx);
         if item.is_some() {
             self.waiting -= 1;
+            if self.queues[victim].is_empty() {
+                mask_clear(&mut self.occupied, victim);
+                mask_clear(&mut self.ready, victim);
+            } else if idx == 0 {
+                mask_set(&mut self.ready, victim);
+            }
         }
         item
+    }
+
+    /// Capacity on `shard` grew (release or eviction): its blocked head,
+    /// if any, may fit now.
+    fn note_capacity_freed(&mut self, shard: usize) {
+        if mask_get(&self.occupied, shard) {
+            mask_set(&mut self.ready, shard);
+        }
+    }
+
+    /// Shard `shard`'s head failed to place: until its head changes or
+    /// its capacity grows, retrying is pointless.
+    fn note_head_blocked(&mut self, shard: usize) {
+        mask_clear(&mut self.ready, shard);
+    }
+
+    /// Shards whose head is worth a placement attempt, ascending.
+    fn ready_shards(&self) -> Vec<usize> {
+        mask_indices(&self.ready)
+    }
+
+    /// Shards with a non-empty queue, ascending.
+    fn occupied_shards(&self) -> Vec<usize> {
+        mask_indices(&self.occupied)
+    }
+
+    /// Number of shards with a non-empty queue.
+    fn occupied_count(&self) -> usize {
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     fn push_backlog(&mut self, item: PendingJob) {
@@ -142,6 +241,13 @@ impl ShardQueues {
             self.waiting,
             self.queues.iter().map(VecDeque::len).sum::<usize>() + self.backlog.len(),
             "incremental waiting counter must mirror the shard queues"
+        );
+        debug_assert!(
+            self.queues
+                .iter()
+                .enumerate()
+                .all(|(s, q)| mask_get(&self.occupied, s) != q.is_empty()),
+            "occupancy mask must mirror the shard queues"
         );
         self.waiting
     }
@@ -214,11 +320,39 @@ impl Cluster {
     #[must_use]
     pub fn new(
         machines: Vec<Topology>,
-        mut make_policy: impl FnMut() -> Box<dyn AllocationPolicy>,
+        make_policy: impl FnMut() -> Box<dyn AllocationPolicy>,
         server_policy: Box<dyn ServerPolicy>,
     ) -> Self {
+        let mut models = HashMap::new();
+        Self::with_shared_resources(
+            machines,
+            make_policy,
+            server_policy,
+            Arc::new(WorkerPool::with_default_threads()),
+            &mut models,
+        )
+    }
+
+    /// Builds a cluster on an existing worker pool, reusing (and
+    /// extending) a cache of fitted EffBW models keyed by machine name.
+    /// This is the campaign runner's per-cell context hoisting: a cell's
+    /// replications rebuild fleet state from scratch each time, but the
+    /// expensive immutable setup — the fitted regression model and the
+    /// matcher thread pool — is paid once per cell, not once per
+    /// replication. [`Cluster::new`] is this with a fresh pool and an
+    /// empty model cache.
+    ///
+    /// # Panics
+    /// Panics when `machines` is empty.
+    #[must_use]
+    pub fn with_shared_resources(
+        machines: Vec<Topology>,
+        mut make_policy: impl FnMut() -> Box<dyn AllocationPolicy>,
+        server_policy: Box<dyn ServerPolicy>,
+        pool: Arc<WorkerPool>,
+        models: &mut HashMap<String, EffBwModel>,
+    ) -> Self {
         assert!(!machines.is_empty(), "a cluster needs at least one server");
-        let pool = Arc::new(WorkerPool::with_default_threads());
         let opts = MatchOptions {
             threads: Some(pool.threads()),
             ..MatchOptions::default()
@@ -226,7 +360,6 @@ impl Cluster {
         // Fit the EffBW regression once per machine *type*; same-named
         // shards share the fitted model instead of rebuilding the
         // microbenchmark corpus N times.
-        let mut models: HashMap<String, EffBwModel> = HashMap::new();
         let shards = machines
             .into_iter()
             .map(|machine| {
@@ -360,62 +493,56 @@ impl Cluster {
         &self.pool
     }
 
-    /// Runs `f` once per shard with exclusive access to that shard's
-    /// allocator and returns the results in shard order. In
-    /// [`DispatchMode::Parallel`] each allocator is *moved* into a pool
-    /// task (shard decisions share no state, so tasks cannot interfere)
-    /// and moved back in submission order — results and allocator end
-    /// states are identical to the sequential path by construction. `f`
-    /// is a plain function pointer so tasks stay `'static` without an
-    /// allocation per call.
-    fn for_each_shard<I, T>(&mut self, inputs: Vec<I>, f: fn(&mut MapaAllocator, I) -> T) -> Vec<T>
-    where
-        I: Send + 'static,
-        T: Send + 'static,
-    {
-        debug_assert_eq!(inputs.len(), self.shards.len());
-        match self.dispatch {
-            DispatchMode::Sequential => self
-                .shards
-                .iter_mut()
-                .zip(inputs)
-                .map(|(shard, input)| f(shard, input))
-                .collect(),
-            DispatchMode::Parallel => {
-                let shards = std::mem::take(&mut self.shards);
-                let tasks: Vec<_> = shards
-                    .into_iter()
-                    .zip(inputs)
-                    .map(|(mut shard, input)| {
-                        move || {
-                            let result = f(&mut shard, input);
-                            (shard, result)
-                        }
-                    })
-                    .collect();
-                let mut results = Vec::with_capacity(tasks.len());
-                for (shard, result) in self.pool.scatter(tasks) {
-                    self.shards.push(shard);
-                    results.push(result);
-                }
-                results
-            }
-        }
-    }
-
     /// Per-shard Predicted-EffBW peeks for `job` — the score inputs of a
     /// [`ServerPolicy::needs_scores`] ranking, evaluated per the dispatch
     /// mode. An impossible request on a shard (heterogeneous fleet, job
     /// larger than the machine) is simply not a candidate — no score.
+    ///
+    /// In [`DispatchMode::Parallel`] the shards are *moved* into pool
+    /// tasks (peeks share no state, so tasks cannot interfere) in
+    /// contiguous chunks of roughly `shards / pool threads` — one task
+    /// per worker instead of one per shard, so a 64-shard ranking costs
+    /// ~8 scatter round-trips of task overhead, not 64 — and moved back
+    /// in submission order, which *is* shard order.
     fn peek_scores(&mut self, job: &JobSpec) -> Vec<Option<f64>> {
-        let inputs = vec![job.clone(); self.shards.len()];
-        self.for_each_shard(inputs, |shard, job| {
+        fn peek_one(shard: &mut MapaAllocator, job: &JobSpec) -> Option<f64> {
             shard
-                .peek(&job)
+                .peek(job)
                 .ok()
                 .flatten()
                 .map(|(_, score)| score.predicted_eff_bw)
-        })
+        }
+        match self.dispatch {
+            DispatchMode::Sequential => {
+                let shards = &mut self.shards;
+                shards.iter_mut().map(|s| peek_one(s, job)).collect()
+            }
+            DispatchMode::Parallel => {
+                let n = self.shards.len();
+                let chunk_size = n.div_ceil(self.pool.threads().clamp(1, n.max(1)));
+                let mut drained = std::mem::take(&mut self.shards).into_iter();
+                let mut tasks = Vec::new();
+                loop {
+                    let chunk: Vec<MapaAllocator> = drained.by_ref().take(chunk_size).collect();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    let job = job.clone();
+                    tasks.push(move || {
+                        let mut chunk = chunk;
+                        let scores: Vec<Option<f64>> =
+                            chunk.iter_mut().map(|s| peek_one(s, &job)).collect();
+                        (chunk, scores)
+                    });
+                }
+                let mut results = Vec::with_capacity(n);
+                for (chunk, scores) in self.pool.scatter(tasks) {
+                    self.shards.extend(chunk);
+                    results.extend(scores);
+                }
+                results
+            }
+        }
     }
 
     /// Ranks the shards for `job` per the server policy (scores peeked
@@ -493,25 +620,45 @@ impl Cluster {
         }
     }
 
-    /// One decision round: every shard examines its own queue head and
-    /// places it if it fits *that shard* right now (strict per-shard
-    /// FIFO). Decisions are evaluated per the dispatch mode and their
-    /// outcomes merged in ascending shard order, so the round is
-    /// deterministic in both modes. Returns the jobs placed this round.
+    /// One decision round: every *ready* shard examines its own queue
+    /// head and places it if it fits *that shard* right now (strict
+    /// per-shard FIFO). Only shards on the `ready` mask are evaluated —
+    /// a head that already failed against an unchanged shard would fail
+    /// again (feasibility is monotone in the shard's free set), so the
+    /// round costs O(ready shards), not O(all shards), with bit-identical
+    /// outcomes. Decisions are evaluated per the dispatch mode and merged
+    /// in ascending shard order, so the round is deterministic in both
+    /// modes. Returns the jobs placed this round.
     fn decision_round(&mut self) -> Vec<DispatchedJob> {
-        let heads: Vec<Option<JobSpec>> = self
+        let candidates = self
             .queues
             .as_ref()
             .expect("decision rounds require queues")
-            .queues
-            .iter()
-            .map(|q| q.front().map(|item| item.job.clone()))
-            .collect();
-        let outcomes = self.for_each_shard(heads, decide_head);
+            .ready_shards();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let heads: Vec<JobSpec> = {
+            let queues = self.queues.as_ref().expect("queues live for the round");
+            candidates
+                .iter()
+                .map(|&s| {
+                    queues.queues[s]
+                        .front()
+                        .expect("ready shards have a queue head")
+                        .job
+                        .clone()
+                })
+                .collect()
+        };
+        let outcomes = self.decide_on_shards(&candidates, heads);
         let mut placed = Vec::new();
-        for (server, outcome) in outcomes.into_iter().enumerate() {
-            let Some(outcome) = outcome else { continue };
+        for (&server, outcome) in candidates.iter().zip(outcomes) {
             let queues = self.queues.as_mut().expect("queues live for the round");
+            let Some(outcome) = outcome else {
+                queues.note_head_blocked(server);
+                continue;
+            };
             let item = queues.pop_head(server).expect("outcome for a queued head");
             debug_assert_eq!(item.job.id, outcome.job_id);
             self.placements += 1;
@@ -526,6 +673,55 @@ impl Cluster {
             });
         }
         placed
+    }
+
+    /// Runs [`decide_head`] on each `(candidate shard, head)` pair per
+    /// the dispatch mode, returning outcomes in candidate order. In
+    /// [`DispatchMode::Parallel`] only the candidate allocators are moved
+    /// into pool tasks (decisions share no state, so tasks cannot
+    /// interfere); non-candidate shards never leave the cluster, and
+    /// results come back in submission order, so outcomes and allocator
+    /// end states are identical to the sequential path by construction.
+    fn decide_on_shards(
+        &mut self,
+        candidates: &[usize],
+        heads: Vec<JobSpec>,
+    ) -> Vec<Option<AllocationOutcome>> {
+        debug_assert_eq!(candidates.len(), heads.len());
+        match self.dispatch {
+            DispatchMode::Sequential => candidates
+                .iter()
+                .zip(heads)
+                .map(|(&s, head)| decide_head(&mut self.shards[s], head))
+                .collect(),
+            DispatchMode::Parallel => {
+                let mut slots: Vec<Option<MapaAllocator>> = std::mem::take(&mut self.shards)
+                    .into_iter()
+                    .map(Some)
+                    .collect();
+                let tasks: Vec<_> = candidates
+                    .iter()
+                    .zip(heads)
+                    .map(|(&s, head)| {
+                        let mut shard = slots[s].take().expect("candidate shards are distinct");
+                        move || {
+                            let outcome = decide_head(&mut shard, head);
+                            (shard, outcome)
+                        }
+                    })
+                    .collect();
+                let mut outcomes = Vec::with_capacity(tasks.len());
+                for (&s, (shard, outcome)) in candidates.iter().zip(self.pool.scatter(tasks)) {
+                    slots[s] = Some(shard);
+                    outcomes.push(outcome);
+                }
+                self.shards = slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every moved shard returned"))
+                    .collect();
+                outcomes
+            }
+        }
     }
 
     /// Places one job fleet-wide, two-phase: rank shards, **peek** each
@@ -621,12 +817,21 @@ impl Cluster {
     /// over-count `jobs_stolen` and land the job on the *highest*-id idle
     /// shard instead of the lowest). Returns whether any job moved.
     fn steal_pass(&mut self) -> bool {
-        let victims: Vec<bool> = self.queues.as_ref().map_or_else(Vec::new, |q| {
-            q.queues.iter().map(|q| !q.is_empty()).collect()
-        });
+        let Some(queues) = self.queues.as_ref() else {
+            return false;
+        };
+        // No victim (every queue empty) or no thief (every queue busy):
+        // the occupancy mask answers in O(words) without a shard walk.
+        let occupied = queues.occupied_count();
+        if occupied == 0 || occupied == self.shards.len() {
+            return false;
+        }
+        let victims: Vec<bool> = (0..self.shards.len())
+            .map(|s| mask_get(&queues.occupied, s))
+            .collect();
         let mut moved = false;
         for thief in 0..self.shards.len() {
-            if !victims.is_empty() && !victims[thief] && self.pull_waiting_job(thief, &victims) {
+            if !victims[thief] && self.pull_waiting_job(thief, &victims) {
                 self.migration_stats.jobs_stolen += 1;
                 moved = true;
             }
@@ -637,22 +842,26 @@ impl Cluster {
     /// Counts still-blocked queue heads (and a still-blocked gang-backlog
     /// head) after a pump reached quiescence.
     fn account_blocked_heads(&mut self) {
-        let total_free: usize = self.shards.iter().map(|s| s.state().free_count()).sum();
         let queues = self.queues.as_ref().expect("accounting requires queues");
-        let mut blocked = 0u64;
+        let mut blocked = queues.occupied_count() as u64;
         let mut frag = 0u64;
-        for q in &queues.queues {
-            if let Some(head) = q.front() {
-                blocked += 1;
+        // The free-GPU sum is only needed for fragmentation accounting;
+        // skip it (and the occupied walk) when nothing is blocked.
+        if blocked > 0 || !self.gang_backlog.is_empty() {
+            let total_free: usize = self.shards.iter().map(|s| s.state().free_count()).sum();
+            for s in queues.occupied_shards() {
+                let head = queues.queues[s]
+                    .front()
+                    .expect("occupied shards have heads");
                 if total_free >= head.job.num_gpus {
                     frag += 1;
                 }
             }
-        }
-        if let Some((gang, _)) = self.gang_backlog.front() {
-            blocked += 1;
-            if total_free >= gang.total_gpus() {
-                frag += 1;
+            if let Some((gang, _)) = self.gang_backlog.front() {
+                blocked += 1;
+                if total_free >= gang.total_gpus() {
+                    frag += 1;
+                }
             }
         }
         self.queue_blocks += blocked;
@@ -664,8 +873,7 @@ impl Cluster {
 /// on the shard, or report that it must keep waiting. Runs on a pool
 /// worker in [`DispatchMode::Parallel`] — it touches nothing but this
 /// shard's allocator.
-fn decide_head(shard: &mut MapaAllocator, head: Option<JobSpec>) -> Option<AllocationOutcome> {
-    let job = head?;
+fn decide_head(shard: &mut MapaAllocator, job: JobSpec) -> Option<AllocationOutcome> {
     match shard.try_allocate(&job) {
         Ok(outcome) => outcome,
         // Routing only queues jobs the machine could ever host, so any
@@ -802,6 +1010,11 @@ impl SchedulerBackend for Cluster {
         self.shards[server]
             .release(job)
             .expect("running job is allocated on its shard");
+        // The shard's free set grew: its blocked queue head (if any) is
+        // worth retrying on the next pump.
+        if let Some(queues) = self.queues.as_mut() {
+            queues.note_capacity_freed(server);
+        }
         // Release-time rebalancing: the shard that just freed capacity
         // pulls a waiting job from the deepest queue if its own is empty;
         // the engine's post-event pump then places it. A single pull has
@@ -909,6 +1122,9 @@ impl SchedulerBackend for Cluster {
             return Vec::new();
         };
         self.shards[server].evict(&plan);
+        if let Some(queues) = self.queues.as_mut() {
+            queues.note_capacity_freed(server);
+        }
         plan.into_iter()
             .map(|job_id| Eviction { server, job_id })
             .collect()
@@ -926,8 +1142,13 @@ impl SchedulerBackend for Cluster {
         if self.queues.is_none() {
             return Vec::new();
         }
+        let occupied = self
+            .queues
+            .as_ref()
+            .expect("checked above")
+            .occupied_shards();
         let mut evictions = Vec::new();
-        for s in 0..self.shards.len() {
+        for s in occupied {
             let head = self.queues.as_ref().expect("checked above").queues[s]
                 .front()
                 .map(|item| item.job.clone());
@@ -938,6 +1159,13 @@ impl SchedulerBackend for Cluster {
             if let Some(plan) = self.shards[s].preemption_plan(&head, policy, shielded) {
                 if !plan.is_empty() {
                     self.shards[s].evict(&plan);
+                    // The eviction freed capacity for this head — without
+                    // this the ready mask would never retry it and the
+                    // preemption would be wasted.
+                    self.queues
+                        .as_mut()
+                        .expect("checked above")
+                        .note_capacity_freed(s);
                     evictions.extend(
                         plan.into_iter()
                             .map(|job_id| Eviction { server: s, job_id }),

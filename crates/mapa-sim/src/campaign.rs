@@ -1,0 +1,593 @@
+//! Parallel experiment campaigns: grids of simulation configurations
+//! ("cells"), each replicated N times under **common random numbers**
+//! (CRN), fanned out across a worker pool and folded into streaming
+//! summary statistics.
+//!
+//! MAPA's claim is comparative — pattern-aware placement beats baseline
+//! policies — so the interesting output is never one run but a *grid*:
+//! policy × load × fleet shape, with enough seeded replications per cell
+//! to put a confidence interval on each number. This module is that
+//! instrument:
+//!
+//! * **Common random numbers.** Replication `r` of *every* cell draws its
+//!   randomness from [`crn_seed`]`(base_seed, r)` — derived from the base
+//!   seed and the replication index **only**, never from the cell's
+//!   configuration. Paired cells therefore replay bit-identical arrival
+//!   streams, so a policy A vs. policy B difference is pure policy signal
+//!   and the paired-difference variance collapses (the classic CRN
+//!   variance-reduction win — see `examples/design_space.rs`).
+//! * **Deterministic fan-out.** Cells are scattered over a
+//!   [`WorkerPool`]; results come back in cell submission order and each
+//!   cell's replications run sequentially in index order, so the output
+//!   table is bit-identical at any worker-thread count.
+//! * **Streaming aggregation.** Each replication's [`SimReport`] is
+//!   folded into a fixed-size [`CellAccumulator`] (Welford moments +
+//!   bounded quantile state) and dropped — campaign memory is O(cells),
+//!   not O(cells × jobs).
+
+use crate::digest::{schedule_digest, Fnv1a};
+use crate::engine::SimReport;
+use crate::stats;
+use mapa_isomorph::WorkerPool;
+use std::sync::Arc;
+
+/// Exact-quantile buffer bound of [`StreamingQuantiles`]: up to this many
+/// observations quantiles are computed exactly from a sorted copy; beyond
+/// it the state collapses to fixed-size P² estimators. Keeps a cell's
+/// aggregation state O(1) regardless of jobs × replications.
+pub const EXACT_QUANTILE_CAP: usize = 4096;
+
+/// Derives replication `replication`'s RNG seed from the campaign base
+/// seed — and from **nothing else**. This is the CRN contract: the seed
+/// must not depend on the cell's configuration, so every cell's
+/// replication `r` observes the identical random stream. The mix is a
+/// splitmix64 finalizer over a Weyl-sequence step, so nearby
+/// `(base_seed, replication)` pairs land far apart.
+#[must_use]
+pub fn crn_seed(base_seed: u64, replication: u64) -> u64 {
+    let mut z = base_seed.wrapping_add(replication.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm): one pass,
+/// O(1) state, no catastrophic cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0.0 before any observation).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n−1 denominator; 0.0 below two
+    /// observations).
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the 95% confidence interval on the mean under the
+    /// normal approximation (`1.96·s/√n`; 0.0 below two observations).
+    /// With the handful of replications campaigns typically run, the
+    /// t-distribution correction would widen this somewhat — treat it as
+    /// a dispersion indicator, not an exact coverage guarantee.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.sample_std() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// One P² (Jain & Chlamtac) quantile estimator: five markers tracking a
+/// single probability in O(1) state. Used by [`StreamingQuantiles`] only
+/// past [`EXACT_QUANTILE_CAP`] observations.
+#[derive(Debug, Clone)]
+struct P2Quantile {
+    p: f64,
+    /// Marker heights (the five tracked order statistics).
+    q: [f64; 5],
+    /// Actual marker positions, 1-based.
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments per observation.
+    dn: [f64; 5],
+    count: usize,
+    /// First five observations, buffered until initialization.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    fn new(p: f64) -> Self {
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.init.push(x);
+            if self.count == 5 {
+                self.init.sort_by(f64::total_cmp);
+                for (slot, &v) in self.q.iter_mut().zip(&self.init) {
+                    *slot = v;
+                }
+                self.init.clear();
+            }
+            return;
+        }
+        // Locate the cell x falls into and bump marker positions.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers toward their desired positions with the
+        // piecewise-parabolic (P²) update, falling back to linear when the
+        // parabola would leave the bracket.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, qi, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, ni, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        qi + d / (np - nm)
+            * ((ni - nm + d) * (qp - qi) / (np - ni) + (np - ni - d) * (qi - qm) / (ni - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    fn quantile(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count <= 5 || !self.init.is_empty() {
+            // Still in (or never left) the exact buffer regime.
+            let mut sorted = if self.init.is_empty() {
+                self.q[..self.count.min(5)].to_vec()
+            } else {
+                self.init.clone()
+            };
+            sorted.sort_by(f64::total_cmp);
+            return stats::percentile(&sorted, self.p * 100.0);
+        }
+        self.q[2]
+    }
+}
+
+/// Streaming p50/p95/p99 of one metric. Exact (buffered, computed via
+/// [`stats::percentile`] on a sorted copy) up to [`EXACT_QUANTILE_CAP`]
+/// observations; past the cap the buffer is replayed into three P²
+/// estimators and dropped, capping the state at O(1). The estimates past
+/// the cap are approximate — documented, deterministic in insertion
+/// order, and within a few percent on unimodal latency-shaped data.
+#[derive(Debug, Clone)]
+pub struct StreamingQuantiles {
+    exact: Option<Vec<f64>>,
+    sketch: [P2Quantile; 3],
+    count: u64,
+}
+
+/// The probabilities [`StreamingQuantiles`] tracks, in output order.
+const QUANTILE_PROBS: [f64; 3] = [0.50, 0.95, 0.99];
+
+impl Default for StreamingQuantiles {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingQuantiles {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            exact: Some(Vec::new()),
+            sketch: QUANTILE_PROBS.map(P2Quantile::new),
+            count: 0,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if let Some(buf) = self.exact.as_mut() {
+            buf.push(x);
+            if buf.len() > EXACT_QUANTILE_CAP {
+                // Graduate to the fixed-size sketch: replay the buffer in
+                // arrival order (deterministic), then drop it.
+                let buf = self.exact.take().expect("checked above");
+                for v in buf {
+                    for q in &mut self.sketch {
+                        q.push(v);
+                    }
+                }
+            }
+        } else {
+            for q in &mut self.sketch {
+                q.push(x);
+            }
+        }
+    }
+
+    /// Observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether quantiles are still computed exactly (at or below
+    /// [`EXACT_QUANTILE_CAP`] observations).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// `(p50, p95, p99)`; zeros when no observation has been folded.
+    #[must_use]
+    pub fn quantiles(&self) -> (f64, f64, f64) {
+        if self.count == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        match self.exact.as_ref() {
+            Some(buf) => {
+                let mut sorted = buf.clone();
+                sorted.sort_by(f64::total_cmp);
+                (
+                    stats::percentile(&sorted, 50.0),
+                    stats::percentile(&sorted, 95.0),
+                    stats::percentile(&sorted, 99.0),
+                )
+            }
+            None => (
+                self.sketch[0].quantile(),
+                self.sketch[1].quantile(),
+                self.sketch[2].quantile(),
+            ),
+        }
+    }
+}
+
+/// Mean and 95% CI half-width of one metric across a cell's replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Mean across replications.
+    pub mean: f64,
+    /// 95% confidence-interval half-width (normal approximation).
+    pub ci95: f64,
+}
+
+/// The aggregated result of one campaign cell: summary statistics over
+/// its replications, with no per-replication report retained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// The cell's display label (policy/load/fleet description).
+    pub label: String,
+    /// Replications folded in.
+    pub replications: u64,
+    /// Total jobs observed across replications.
+    pub jobs: u64,
+    /// Makespan across replications.
+    pub makespan_seconds: MetricSummary,
+    /// Throughput across replications.
+    pub throughput_jobs_per_hour: MetricSummary,
+    /// Per-replication mean job queue wait.
+    pub queue_wait_mean_seconds: MetricSummary,
+    /// Median per-job queue wait, pooled across replications.
+    pub queue_wait_p50_seconds: f64,
+    /// 95th-percentile per-job queue wait, pooled across replications.
+    pub queue_wait_p95_seconds: f64,
+    /// 99th-percentile per-job queue wait, pooled across replications.
+    pub queue_wait_p99_seconds: f64,
+    /// FNV-1a chain over the per-replication schedule digests, in
+    /// replication order — a fingerprint of every placement decision the
+    /// cell made, used to prove bit-identical results across worker-pool
+    /// thread counts.
+    pub schedule_digest: u64,
+}
+
+/// Streaming per-cell fold: accepts one [`SimReport`] per replication,
+/// keeps O(1) state (Welford moments, bounded quantile buffers, a digest
+/// chain), and emits a [`CellSummary`]. The report is dropped after
+/// [`CellAccumulator::observe`] returns — this is what makes campaign
+/// memory O(cells) instead of O(cells × jobs).
+#[derive(Debug, Clone, Default)]
+pub struct CellAccumulator {
+    replications: u64,
+    jobs: u64,
+    makespan: Welford,
+    throughput: Welford,
+    queue_wait_mean: Welford,
+    queue_waits: StreamingQuantiles,
+    digest: Fnv1a,
+}
+
+impl CellAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one replication's report in.
+    pub fn observe(&mut self, report: &SimReport) {
+        self.replications += 1;
+        self.jobs += report.records.len() as u64;
+        self.makespan.push(report.makespan_seconds);
+        self.throughput.push(report.throughput_jobs_per_hour);
+        let waits: Vec<f64> = report
+            .records
+            .iter()
+            .map(|r| r.queue_wait_seconds)
+            .collect();
+        if !waits.is_empty() {
+            self.queue_wait_mean
+                .push(waits.iter().sum::<f64>() / waits.len() as f64);
+        }
+        for w in waits {
+            self.queue_waits.push(w);
+        }
+        self.digest.write_u64(schedule_digest(report));
+    }
+
+    /// Finishes the fold into a [`CellSummary`] labelled `label`.
+    #[must_use]
+    pub fn finish(self, label: String) -> CellSummary {
+        let summary = |w: &Welford| MetricSummary {
+            mean: w.mean(),
+            ci95: w.ci95_half_width(),
+        };
+        let (p50, p95, p99) = self.queue_waits.quantiles();
+        CellSummary {
+            label,
+            replications: self.replications,
+            jobs: self.jobs,
+            makespan_seconds: summary(&self.makespan),
+            throughput_jobs_per_hour: summary(&self.throughput),
+            queue_wait_mean_seconds: summary(&self.queue_wait_mean),
+            queue_wait_p50_seconds: p50,
+            queue_wait_p95_seconds: p95,
+            queue_wait_p99_seconds: p99,
+            schedule_digest: self.digest.finish(),
+        }
+    }
+}
+
+/// A campaign: a list of cells (one simulation configuration each), a
+/// replication count, and the CRN base seed. The cell type is anything
+/// the caller likes — the runner never inspects it beyond handing it to
+/// the caller's closures.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec<C> {
+    /// The grid, flattened — one entry per cell, in output order.
+    pub cells: Vec<C>,
+    /// Seeded replications per cell (clamped to at least 1 by
+    /// [`run_campaign`]).
+    pub replications: usize,
+    /// CRN base seed: replication `r` of every cell runs with
+    /// [`crn_seed`]`(base_seed, r)`.
+    pub base_seed: u64,
+}
+
+/// Runs a campaign: every cell becomes one pool task that builds its
+/// context once via `setup` (the expensive immutable state — fitted
+/// models, topologies, matcher pools — is paid per *cell*, not per
+/// replication), then runs `replications` simulations sequentially in
+/// replication order, folding each report into a [`CellAccumulator`] and
+/// dropping it. `label` names the cell in its summary row.
+///
+/// Results return in `spec.cells` order regardless of pool size or
+/// scheduling, and every cell's replication `r` receives the CRN seed
+/// [`crn_seed`]`(spec.base_seed, r)` — together these make the output
+/// table bit-identical at any worker-thread count. Cells may themselves
+/// use `pool` internally (e.g. parallel pattern matchers): [`WorkerPool`]
+/// scatter calls are re-entrant, so nested use runs inline on the worker
+/// instead of deadlocking.
+pub fn run_campaign<C, Ctx, L, S, R>(
+    spec: CampaignSpec<C>,
+    pool: &Arc<WorkerPool>,
+    label: L,
+    setup: S,
+    run: R,
+) -> Vec<CellSummary>
+where
+    C: Send + 'static,
+    L: Fn(&C) -> String + Send + Sync + 'static,
+    S: Fn(&C) -> Ctx + Send + Sync + 'static,
+    R: Fn(&mut Ctx, u64) -> SimReport + Send + Sync + 'static,
+{
+    let replications = spec.replications.max(1);
+    let base_seed = spec.base_seed;
+    let label = Arc::new(label);
+    let setup = Arc::new(setup);
+    let run = Arc::new(run);
+    let tasks: Vec<_> = spec
+        .cells
+        .into_iter()
+        .map(|cell| {
+            let (label, setup, run) = (Arc::clone(&label), Arc::clone(&setup), Arc::clone(&run));
+            move || {
+                let name = label(&cell);
+                let mut ctx = setup(&cell);
+                let mut acc = CellAccumulator::new();
+                for r in 0..replications {
+                    let report = run(&mut ctx, crn_seed(base_seed, r as u64));
+                    acc.observe(&report);
+                }
+                acc.finish(name)
+            }
+        })
+        .collect();
+    pool.scatter(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, Simulation};
+    use mapa_core::policy::PreservePolicy;
+    use mapa_topology::machines;
+    use mapa_workloads::generator::{self, JobMixConfig};
+
+    #[test]
+    fn crn_seed_depends_only_on_base_and_replication() {
+        assert_eq!(crn_seed(7, 3), crn_seed(7, 3));
+        assert_ne!(crn_seed(7, 3), crn_seed(7, 4));
+        assert_ne!(crn_seed(7, 3), crn_seed(8, 3));
+        // Replication 0 is not the identity on the base seed.
+        assert_ne!(crn_seed(7, 0), 7);
+    }
+
+    #[test]
+    fn welford_matches_naive_mean_and_std() {
+        let xs = [3.0, 1.5, -2.0, 8.25, 0.0, 4.5];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.sample_std() - var.sqrt()).abs() < 1e-12);
+        assert!((w.ci95_half_width() - 1.96 * var.sqrt() / (xs.len() as f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_exact_below_cap() {
+        let mut q = StreamingQuantiles::new();
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        for &x in &xs {
+            q.push(x);
+        }
+        assert!(q.is_exact());
+        let mut sorted = xs;
+        sorted.sort_by(f64::total_cmp);
+        let (p50, p95, p99) = q.quantiles();
+        assert_eq!(p50, stats::percentile(&sorted, 50.0));
+        assert_eq!(p95, stats::percentile(&sorted, 95.0));
+        assert_eq!(p99, stats::percentile(&sorted, 99.0));
+    }
+
+    #[test]
+    fn quantiles_approximate_beyond_cap() {
+        let mut q = StreamingQuantiles::new();
+        let n = EXACT_QUANTILE_CAP * 4;
+        for i in 0..n {
+            // A deterministic permutation of 0..n (n is a power of two, so
+            // any odd multiplier is a bijection mod n).
+            q.push(((i * 40503) % n) as f64);
+        }
+        assert!(!q.is_exact());
+        let (p50, p95, p99) = q.quantiles();
+        let n = n as f64;
+        assert!((p50 - 0.50 * n).abs() / n < 0.05, "p50 {p50}");
+        assert!((p95 - 0.95 * n).abs() / n < 0.05, "p95 {p95}");
+        assert!((p99 - 0.99 * n).abs() / n < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn campaign_results_arrive_in_cell_order_with_context_reuse() {
+        let pool = Arc::new(WorkerPool::new(3));
+        let spec = CampaignSpec {
+            cells: vec![40usize, 10, 25],
+            replications: 2,
+            base_seed: 99,
+        };
+        let summaries = run_campaign(
+            spec,
+            &pool,
+            |&jobs: &usize| format!("jobs={jobs}"),
+            // The context (a fitted-model-bearing simulation input) is
+            // built once per cell.
+            |&jobs: &usize| (machines::dgx1_v100(), jobs),
+            |(machine, jobs), seed| {
+                let mix = JobMixConfig {
+                    job_count: *jobs,
+                    ..JobMixConfig::default()
+                };
+                let jobs = generator::generate_jobs(&mix, seed);
+                Simulation::new(machine.clone(), Box::new(PreservePolicy))
+                    .with_config(SimConfig::default())
+                    .run(&jobs)
+            },
+        );
+        let labels: Vec<&str> = summaries.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["jobs=40", "jobs=10", "jobs=25"]);
+        assert_eq!(summaries[0].replications, 2);
+        assert_eq!(summaries[0].jobs, 80);
+        assert_eq!(summaries[1].jobs, 20);
+        for s in &summaries {
+            assert!(s.makespan_seconds.mean > 0.0);
+            assert!(s.throughput_jobs_per_hour.mean > 0.0);
+        }
+    }
+}

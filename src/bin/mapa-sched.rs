@@ -11,6 +11,9 @@
 //!                     [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N] \
 //!                     [--preemption <name>] [--priorities N] [--gang-size K] \
 //!                     [--json report.json]
+//! mapa-sched campaign --machine dgx-1-v100 \
+//!                     --grid "alloc-policies=baseline,preserve;shards=2,4;jobs=100" \
+//!                     --replications 10 [--json campaign.json]
 //! ```
 //!
 //! A topology can also be given as a file containing `nvidia-smi topo -m`
@@ -32,10 +35,7 @@ use mapa::cluster::{
     MigrationPolicy, SubmissionFeed, DISPATCH_MODE_NAMES, MIGRATION_POLICY_NAMES,
     SERVER_POLICY_NAMES,
 };
-use mapa::core::policy::{
-    AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
-    TopoAwarePolicy,
-};
+use mapa::core::policy::AllocationPolicy;
 use mapa::core::{preemption_policy_by_name, PreemptionPolicy, PREEMPTION_POLICY_NAMES};
 use mapa::prelude::*;
 use mapa::sim::{ArrivalProcess, JobRecord, SimConfig, Submission};
@@ -43,6 +43,7 @@ use mapa::topology::parse::{parse_topology_matrix, to_topology_matrix, NvlinkGen
 use mapa::workloads::jobs;
 use mapa::workloads::JobGroup;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +70,13 @@ usage:
                       [--backfill] [--no-cache] [--seed S]
                       [--poisson MEAN_GAP | --burst SIZE [--burst-gap SECONDS]]
                       [--json <report-file>]
+  mapa-sched campaign --machine <name-or-file>
+                      [--grid \"axis=v1,v2;axis=v1;...\"] [--replications N]
+                      [--base-seed S] [--poisson MEAN_GAP] [--shard-queue-depth N]
+                      [--threads N] [--json <report-file>]
+                      (grid axes: server-policies, alloc-policies, shards, jobs,
+                       dispatch — each a comma list; every cell of the cross-
+                       product runs N replications under common random numbers)
 
 policies:            baseline | topo-aware | greedy | preserve | effbw-greedy
 server policies:     round-robin | least-loaded | best-score | pack-first
@@ -86,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("topo") => cmd_topo(args.get(1).ok_or("topo needs a machine name or file")?),
         Some("generate") => cmd_generate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".to_string()),
     }
@@ -160,14 +169,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn resolve_policy(name: &str) -> Result<Box<dyn AllocationPolicy>, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "baseline" => Ok(Box::new(BaselinePolicy)),
-        "topo-aware" | "topoaware" => Ok(Box::new(TopoAwarePolicy)),
-        "greedy" => Ok(Box::new(GreedyPolicy)),
-        "preserve" | "preservation" => Ok(Box::new(PreservePolicy)),
-        "effbw-greedy" | "effbwgreedy" => Ok(Box::new(EffBwGreedyPolicy)),
-        other => Err(format!("unknown policy '{other}'")),
-    }
+    allocation_policy_by_name(name).ok_or_else(|| format!("unknown policy '{name}'"))
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -544,6 +546,150 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             r.predicted_eff_bw,
             r.execution_seconds
         );
+    }
+    Ok(())
+}
+
+/// Parses the `--grid` axis syntax: `;`-separated `axis=v1,v2,...`
+/// entries applied over the grid's defaults.
+fn apply_grid_axes(grid: &mut CampaignGrid, spec: &str) -> Result<(), String> {
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let (axis, values) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("grid entry '{entry}' is not axis=v1,v2,..."))?;
+        let values: Vec<&str> = values
+            .split(',')
+            .map(str::trim)
+            .filter(|v| !v.is_empty())
+            .collect();
+        if values.is_empty() {
+            return Err(format!("grid axis '{axis}' has no values"));
+        }
+        let parse_usizes = |axis: &str| -> Result<Vec<usize>, String> {
+            values
+                .iter()
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("grid axis '{axis}': '{v}' is not a number"))
+                })
+                .collect()
+        };
+        match axis.trim() {
+            "server-policies" => {
+                grid.server_policies = values.iter().map(ToString::to_string).collect();
+            }
+            "alloc-policies" | "policies" => {
+                grid.alloc_policies = values.iter().map(ToString::to_string).collect();
+            }
+            "shards" => grid.shards = parse_usizes("shards")?,
+            "jobs" => grid.job_counts = parse_usizes("jobs")?,
+            "dispatch" => {
+                grid.dispatch = values
+                    .iter()
+                    .map(|v| {
+                        dispatch_mode_by_name(v).ok_or_else(|| {
+                            format!(
+                                "unknown dispatch mode '{v}' (choose from: {})",
+                                DISPATCH_MODE_NAMES.join(" | ")
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown grid axis '{other}' (choose from: server-policies | \
+                     alloc-policies | shards | jobs | dispatch)"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let mut machine_arg: Option<String> = None;
+    let mut grid_arg: Option<String> = None;
+    let mut replications: Option<usize> = None;
+    let mut base_seed: Option<u64> = None;
+    let mut poisson: Option<f64> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut json_file: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--machine" => machine_arg = Some(parse_flag(&mut it, "--machine")?),
+            "--grid" => grid_arg = Some(parse_flag(&mut it, "--grid")?),
+            "--replications" => replications = Some(parse_flag(&mut it, "--replications")?),
+            "--base-seed" => base_seed = Some(parse_flag(&mut it, "--base-seed")?),
+            "--poisson" => poisson = Some(parse_flag(&mut it, "--poisson")?),
+            "--shard-queue-depth" => {
+                queue_depth = Some(parse_flag(&mut it, "--shard-queue-depth")?)
+            }
+            "--threads" => threads = Some(parse_flag(&mut it, "--threads")?),
+            "--json" => json_file = Some(parse_flag(&mut it, "--json")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let machine = resolve_machine(&machine_arg.ok_or("--machine is required")?)?;
+    let mut grid = CampaignGrid::new(machine);
+    if let Some(spec) = grid_arg.as_deref() {
+        apply_grid_axes(&mut grid, spec)?;
+    }
+    if let Some(n) = replications {
+        if n == 0 {
+            return Err("--replications must be at least 1".to_string());
+        }
+        grid.replications = n;
+    }
+    if let Some(s) = base_seed {
+        grid.base_seed = s;
+    }
+    grid.poisson_mean_gap = poisson;
+    if let Some(depth) = queue_depth {
+        if depth == 0 {
+            return Err("--shard-queue-depth must be at least 1".to_string());
+        }
+        grid.shard_queue_depth = depth;
+    }
+    let pool = Arc::new(match threads {
+        Some(0) => return Err("--threads must be at least 1".to_string()),
+        Some(n) => WorkerPool::new(n),
+        None => WorkerPool::with_default_threads(),
+    });
+
+    let summaries = grid.run(&pool)?;
+    println!(
+        "campaign: {} cells x {} replications (base seed {}, {} workers)",
+        summaries.len(),
+        grid.replications,
+        grid.base_seed,
+        pool.threads()
+    );
+    println!(
+        "{:<55} {:>16} {:>18} {:>8} {:>8} {:>8}",
+        "cell", "makespan (s)", "jobs/hour", "p50 wait", "p95", "p99"
+    );
+    for s in &summaries {
+        println!(
+            "{:<55} {:>8.0} ±{:>5.0} {:>10.1} ±{:>5.1} {:>8.1} {:>8.1} {:>8.1}",
+            s.label,
+            s.makespan_seconds.mean,
+            s.makespan_seconds.ci95,
+            s.throughput_jobs_per_hour.mean,
+            s.throughput_jobs_per_hour.ci95,
+            s.queue_wait_p50_seconds,
+            s.queue_wait_p95_seconds,
+            s.queue_wait_p99_seconds
+        );
+    }
+    if let Some(path) = json_file {
+        let doc = mapa::campaign::campaign_to_json(&summaries, grid.replications, grid.base_seed);
+        std::fs::write(&path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("campaign JSON written to {path}");
     }
     Ok(())
 }

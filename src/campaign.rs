@@ -1,0 +1,403 @@
+//! Cluster campaign grids: the façade layer between the generic
+//! campaign runner ([`mapa_sim::campaign`]) and the fleet backend
+//! ([`mapa_cluster::Cluster`]).
+//!
+//! A [`CampaignGrid`] names a cross-product of server policies ×
+//! allocation policies × fleet sizes × load levels × dispatch modes;
+//! [`CampaignGrid::run`] flattens it into cells, validates every policy
+//! name up front, pre-fits the effective-bandwidth model once per
+//! machine type, and fans the cells out over one shared worker pool.
+//! Every cell's replication `r` draws its job mix and arrival stream
+//! from [`mapa_sim::campaign::crn_seed`]`(base_seed, r)` — common random
+//! numbers, so cells differ only by their configuration and paired
+//! comparisons subtract away the arrival noise.
+
+use crate::report::json_escape;
+use mapa_cluster::{server_policy_by_name, Cluster, DispatchMode, DEFAULT_SHARD_QUEUE_DEPTH};
+use mapa_core::policy::{
+    AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
+    TopoAwarePolicy,
+};
+use mapa_isomorph::WorkerPool;
+use mapa_model::EffBwModel;
+use mapa_sim::campaign::{run_campaign, CampaignSpec, CellSummary};
+use mapa_sim::{ArrivalProcess, Engine, SimConfig, SimReport};
+use mapa_topology::Topology;
+use mapa_workloads::generator::{self, JobMixConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The paper's allocation policies by CLI name (the same spellings
+/// `mapa-sched --policy` accepts).
+#[must_use]
+pub fn allocation_policy_by_name(name: &str) -> Option<Box<dyn AllocationPolicy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Some(Box::new(BaselinePolicy)),
+        "topo-aware" | "topoaware" => Some(Box::new(TopoAwarePolicy)),
+        "greedy" => Some(Box::new(GreedyPolicy)),
+        "preserve" | "preservation" => Some(Box::new(PreservePolicy)),
+        "effbw-greedy" | "effbwgreedy" => Some(Box::new(EffBwGreedyPolicy)),
+        _ => None,
+    }
+}
+
+/// One flattened campaign cell: a complete cluster configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridCell {
+    /// Cluster-level server-selection policy name.
+    pub server_policy: String,
+    /// Per-shard allocation policy name.
+    pub alloc_policy: String,
+    /// Number of identical shards in the fleet.
+    pub shards: usize,
+    /// Jobs per replication (the load level).
+    pub jobs: usize,
+    /// Dispatch mode for the queued path.
+    pub dispatch: DispatchMode,
+}
+
+impl GridCell {
+    /// The cell's display label, used in summary tables and JSON.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/shards={}/jobs={}/{}",
+            self.server_policy,
+            self.alloc_policy,
+            self.shards,
+            self.jobs,
+            self.dispatch.name()
+        )
+    }
+}
+
+/// A campaign over homogeneous [`Cluster`] fleets: the cross-product of
+/// the axis vectors below, each cell replicated `replications` times
+/// under common random numbers.
+#[derive(Debug, Clone)]
+pub struct CampaignGrid {
+    /// The machine every shard runs (homogeneous fleets).
+    pub machine: Topology,
+    /// Server-selection policy axis (names per
+    /// [`server_policy_by_name`]).
+    pub server_policies: Vec<String>,
+    /// Allocation policy axis (names per [`allocation_policy_by_name`]).
+    pub alloc_policies: Vec<String>,
+    /// Fleet-size axis.
+    pub shards: Vec<usize>,
+    /// Load axis: jobs per replication.
+    pub job_counts: Vec<usize>,
+    /// Dispatch-mode axis.
+    pub dispatch: Vec<DispatchMode>,
+    /// Per-shard queue bound for the queued dispatch path.
+    pub shard_queue_depth: usize,
+    /// `Some(gap)` runs Poisson arrivals with that mean inter-arrival
+    /// gap (seconds), seeded by the replication's CRN seed; `None`
+    /// submits all jobs at t=0.
+    pub poisson_mean_gap: Option<f64>,
+    /// Seeded replications per cell.
+    pub replications: usize,
+    /// CRN base seed (see [`mapa_sim::campaign::crn_seed`]).
+    pub base_seed: u64,
+}
+
+impl CampaignGrid {
+    /// A 1-cell grid with sensible defaults, ready for axis extension.
+    #[must_use]
+    pub fn new(machine: Topology) -> Self {
+        Self {
+            machine,
+            server_policies: vec!["round-robin".into()],
+            alloc_policies: vec!["preserve".into()],
+            shards: vec![4],
+            job_counts: vec![200],
+            dispatch: vec![DispatchMode::Sequential],
+            shard_queue_depth: DEFAULT_SHARD_QUEUE_DEPTH,
+            poisson_mean_gap: None,
+            replications: 5,
+            base_seed: 42,
+        }
+    }
+
+    /// Flattens the grid into cells, slowest axis first (server policy,
+    /// then allocation policy, shards, jobs, dispatch) — the output
+    /// order of [`CampaignGrid::run`].
+    #[must_use]
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut out = Vec::new();
+        for sp in &self.server_policies {
+            for ap in &self.alloc_policies {
+                for &shards in &self.shards {
+                    for &jobs in &self.job_counts {
+                        for &dispatch in &self.dispatch {
+                            out.push(GridCell {
+                                server_policy: sp.clone(),
+                                alloc_policy: ap.clone(),
+                                shards,
+                                jobs,
+                                dispatch,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Validates the grid without running it.
+    ///
+    /// # Errors
+    /// Returns a message naming the first unknown policy name or
+    /// degenerate axis.
+    pub fn validate(&self) -> Result<(), String> {
+        for sp in &self.server_policies {
+            if server_policy_by_name(sp).is_none() {
+                return Err(format!("unknown server policy '{sp}'"));
+            }
+        }
+        for ap in &self.alloc_policies {
+            if allocation_policy_by_name(ap).is_none() {
+                return Err(format!("unknown allocation policy '{ap}'"));
+            }
+        }
+        if self.shards.contains(&0) {
+            return Err("shard counts must be at least 1".into());
+        }
+        if self.server_policies.is_empty()
+            || self.alloc_policies.is_empty()
+            || self.shards.is_empty()
+            || self.job_counts.is_empty()
+            || self.dispatch.is_empty()
+        {
+            return Err("every grid axis needs at least one value".into());
+        }
+        if let Some(gap) = self.poisson_mean_gap {
+            if !(gap > 0.0 && gap.is_finite()) {
+                return Err("poisson mean gap must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the campaign on `pool`: one pool task per cell, replications
+    /// sequential within a cell, results in [`CampaignGrid::cells`]
+    /// order. The fitted effective-bandwidth model is computed once here
+    /// and shared by every cell (context hoisting) — replications pay
+    /// only job generation and simulation, never a model refit or a
+    /// thread-pool spawn. Output tables are bit-identical for any pool
+    /// size.
+    ///
+    /// # Errors
+    /// Returns [`CampaignGrid::validate`]'s error without running
+    /// anything when the grid is invalid.
+    pub fn run(&self, pool: &Arc<WorkerPool>) -> Result<Vec<CellSummary>, String> {
+        self.validate()?;
+        // Pre-fit the model for the (single) machine type so cells only
+        // ever hit the cache inside `Cluster::with_shared_resources`.
+        let mut models: HashMap<String, EffBwModel> = HashMap::new();
+        let _ = Cluster::with_shared_resources(
+            vec![self.machine.clone()],
+            || Box::new(BaselinePolicy),
+            server_policy_by_name("round-robin").expect("built-in policy"),
+            Arc::clone(pool),
+            &mut models,
+        );
+        let ctx_proto = CellContext {
+            machine: self.machine.clone(),
+            pool: Arc::clone(pool),
+            models,
+            queue_depth: self.shard_queue_depth,
+            poisson_mean_gap: self.poisson_mean_gap,
+            cell: None,
+        };
+        let spec = CampaignSpec {
+            cells: self.cells(),
+            replications: self.replications,
+            base_seed: self.base_seed,
+        };
+        Ok(run_campaign(
+            spec,
+            pool,
+            GridCell::label,
+            move |cell: &GridCell| CellContext {
+                cell: Some(cell.clone()),
+                models: ctx_proto.models.clone(),
+                machine: ctx_proto.machine.clone(),
+                pool: Arc::clone(&ctx_proto.pool),
+                queue_depth: ctx_proto.queue_depth,
+                poisson_mean_gap: ctx_proto.poisson_mean_gap,
+            },
+            CellContext::run_replication,
+        ))
+    }
+}
+
+/// Per-cell context: everything immutable a replication needs, built
+/// once per cell. Replications reset simulation state by constructing a
+/// fresh [`Cluster`], but reuse the fitted model map and the worker
+/// pool.
+struct CellContext {
+    machine: Topology,
+    pool: Arc<WorkerPool>,
+    models: HashMap<String, EffBwModel>,
+    queue_depth: usize,
+    poisson_mean_gap: Option<f64>,
+    cell: Option<GridCell>,
+}
+
+impl CellContext {
+    fn run_replication(&mut self, seed: u64) -> SimReport {
+        let cell = self.cell.as_ref().expect("cell set by setup").clone();
+        let cluster = Cluster::with_shared_resources(
+            vec![self.machine.clone(); cell.shards],
+            || allocation_policy_by_name(&cell.alloc_policy).expect("validated before the run"),
+            server_policy_by_name(&cell.server_policy).expect("validated before the run"),
+            Arc::clone(&self.pool),
+            &mut self.models,
+        )
+        .with_dispatch(cell.dispatch)
+        .with_shard_queues(self.queue_depth);
+        let mix = JobMixConfig {
+            job_count: cell.jobs,
+            ..JobMixConfig::default()
+        };
+        // CRN: the job mix and the arrival process both draw from the
+        // replication's seed — and from nothing cell-specific.
+        let jobs = generator::generate_jobs(&mix, seed);
+        let arrivals = match self.poisson_mean_gap {
+            Some(mean_gap) => ArrivalProcess::Poisson { mean_gap, seed },
+            None => ArrivalProcess::Batch,
+        };
+        Engine::over(cluster)
+            .with_config(SimConfig {
+                arrivals,
+                ..SimConfig::default()
+            })
+            .run(&jobs)
+    }
+}
+
+/// Serializes campaign results to the CLI's `campaign --json` schema:
+/// the grid parameters and one object per cell, in cell order. Schedule
+/// digests are emitted as hex *strings* — the reader parses numbers as
+/// `f64`, which cannot represent all 64-bit digests exactly.
+#[must_use]
+pub fn campaign_to_json(summaries: &[CellSummary], replications: usize, base_seed: u64) -> String {
+    let cells: Vec<String> = summaries
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"label\": \"{}\", \"replications\": {}, \"jobs\": {}, \
+                 \"makespan_seconds\": {{\"mean\": {:.6}, \"ci95\": {:.6}}}, \
+                 \"throughput_jobs_per_hour\": {{\"mean\": {:.6}, \"ci95\": {:.6}}}, \
+                 \"queue_wait_mean_seconds\": {{\"mean\": {:.6}, \"ci95\": {:.6}}}, \
+                 \"queue_wait_p50_seconds\": {:.6}, \"queue_wait_p95_seconds\": {:.6}, \
+                 \"queue_wait_p99_seconds\": {:.6}, \"schedule_digest\": \"{:#018x}\"}}",
+                json_escape(&s.label),
+                s.replications,
+                s.jobs,
+                s.makespan_seconds.mean,
+                s.makespan_seconds.ci95,
+                s.throughput_jobs_per_hour.mean,
+                s.throughput_jobs_per_hour.ci95,
+                s.queue_wait_mean_seconds.mean,
+                s.queue_wait_mean_seconds.ci95,
+                s.queue_wait_p50_seconds,
+                s.queue_wait_p95_seconds,
+                s.queue_wait_p99_seconds,
+                s.schedule_digest
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"campaign\": {{\"replications\": {replications}, \"base_seed\": {base_seed}, \
+         \"cells\": {}}},\n  \"cells\": [\n{}\n  ],\n  \"schema\": 1\n}}\n",
+        summaries.len(),
+        cells.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::parse_json;
+    use mapa_topology::machines;
+
+    fn tiny_grid() -> CampaignGrid {
+        CampaignGrid {
+            server_policies: vec!["round-robin".into(), "least-loaded".into()],
+            alloc_policies: vec!["baseline".into()],
+            shards: vec![2],
+            job_counts: vec![30],
+            dispatch: vec![DispatchMode::Sequential],
+            replications: 2,
+            base_seed: 7,
+            ..CampaignGrid::new(machines::dgx1_v100())
+        }
+    }
+
+    #[test]
+    fn grid_flattens_in_axis_order() {
+        let grid = tiny_grid();
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].server_policy, "round-robin");
+        assert_eq!(cells[1].server_policy, "least-loaded");
+        assert_eq!(
+            cells[0].label(),
+            "round-robin/baseline/shards=2/jobs=30/sequential"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unknown_policies_and_degenerate_axes() {
+        let mut grid = tiny_grid();
+        grid.alloc_policies = vec!["nope".into()];
+        assert!(grid.validate().unwrap_err().contains("nope"));
+        let mut grid = tiny_grid();
+        grid.shards = vec![0];
+        assert!(grid.validate().is_err());
+        let mut grid = tiny_grid();
+        grid.job_counts.clear();
+        assert!(grid.validate().is_err());
+        let mut grid = tiny_grid();
+        grid.poisson_mean_gap = Some(0.0);
+        assert!(grid.validate().is_err());
+    }
+
+    #[test]
+    fn campaign_json_round_trips() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let grid = tiny_grid();
+        let summaries = grid.run(&pool).unwrap();
+        assert_eq!(summaries.len(), 2);
+        let doc = campaign_to_json(&summaries, grid.replications, grid.base_seed);
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(
+            v.get("campaign").unwrap().get("cells").unwrap().as_f64(),
+            Some(2.0)
+        );
+        let cells = v.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 2);
+        for (cell, summary) in cells.iter().zip(&summaries) {
+            assert_eq!(
+                cell.get("label").unwrap().as_str(),
+                Some(summary.label.as_str())
+            );
+            assert_eq!(
+                cell.get("schedule_digest").unwrap().as_str(),
+                Some(format!("{:#018x}", summary.schedule_digest).as_str())
+            );
+            assert!(
+                cell.get("makespan_seconds")
+                    .unwrap()
+                    .get("mean")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+                    > 0.0
+            );
+        }
+    }
+}

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod report;
 
 pub use mapa_cluster as cluster;
@@ -70,10 +71,13 @@ pub mod prelude {
     pub use mapa_graph::{Graph, PatternGraph, WeightedGraph};
     pub use mapa_isomorph::{default_threads, MatchOptions, Matcher, WorkerPool};
     pub use mapa_model::{corpus, EffBwModel};
+    pub use mapa_sim::campaign::{crn_seed, CampaignSpec, CellSummary};
     pub use mapa_sim::{
         stats, ArrivalProcess, DispatchReport, Engine, GangStats, PendingJob, PreemptionStats,
         SchedulerBackend, SimConfig, SimReport, Simulation, Submission,
     };
+
+    pub use crate::campaign::{allocation_policy_by_name, CampaignGrid, GridCell};
     pub use mapa_topology::{
         machines, HardwareState, LinkMix, LinkType, OccupancySignature, Topology,
     };

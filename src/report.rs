@@ -92,6 +92,26 @@ pub fn to_json(report: &SimReport) -> String {
     )
 }
 
+/// Escapes a string for embedding inside a JSON string literal
+/// (backslash, quote, and control characters; everything else passes
+/// through verbatim, including multi-byte UTF-8).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// A parsed JSON value (the subset our reports use; no integer/float
 /// distinction — every number is an `f64`, exactly how the report reads
 /// them back).

@@ -14,7 +14,7 @@ use mapa_topology::machines;
 use mapa_workloads::generator;
 
 fn p75_sensitive(report: &mapa_sim::SimReport) -> f64 {
-    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
+    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2;
     stats::summarize(&report.execution_times(sens)).p75
 }
 

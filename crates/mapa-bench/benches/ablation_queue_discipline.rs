@@ -40,7 +40,7 @@ fn main() {
                     })
                     .run(&jobs);
                 times.extend(
-                    rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2),
+                    rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2),
                 );
                 policy_makespans.push(rep.makespan_seconds);
             }

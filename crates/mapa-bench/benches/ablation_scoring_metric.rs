@@ -41,7 +41,7 @@ fn main() {
         for &seed in &EVAL_SEEDS {
             let jobs = generator::paper_job_mix(seed);
             let rep = Simulation::new(dgx.clone(), make()).run(&jobs);
-            let t = rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+            let t = rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2);
             per_seed_p75.push(stats::summarize(&t).p75);
             times.extend(t);
         }

@@ -13,10 +13,7 @@ use mapa_workloads::{generator, JobSpec};
 
 fn relabel(jobs: &[JobSpec], f: impl Fn(bool) -> bool) -> Vec<JobSpec> {
     jobs.iter()
-        .map(|j| JobSpec {
-            bandwidth_sensitive: f(j.bandwidth_sensitive),
-            ..j.clone()
-        })
+        .map(|j| j.clone().with_bandwidth_sensitive(f(j.bandwidth_sensitive)))
         .collect()
 }
 
@@ -47,7 +44,7 @@ fn main() {
             let rep = Simulation::new(dgx.clone(), Box::new(PreservePolicy)).run(&labeled);
             // Evaluate against the TRUE sensitivity, regardless of label.
             times.extend(rep.execution_times(|r| {
-                r.job.workload.is_bandwidth_sensitive() && r.job.num_gpus >= 2
+                r.job.workload.is_bandwidth_sensitive() && r.job.num_gpus() >= 2
             }));
         }
         println!("{}", summary_row(name, &stats::summarize(&times)));

@@ -175,6 +175,7 @@ fn macro_section(job_count: usize) -> Vec<(usize, f64)> {
             gpus_max: 2,
             workloads: vec![Workload::Gmm],
             iteration_jitter: 0.0,
+            ..generator::JobMixConfig::default()
         },
         11,
     );

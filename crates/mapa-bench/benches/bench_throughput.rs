@@ -42,7 +42,7 @@ use mapa_sim::queue::{CalendarQueue, ReferenceQueue, TimedEvent};
 use mapa_sim::{Engine, Placement, SchedulerBackend, SimConfig};
 use mapa_topology::{machines, LinkMix, Topology};
 use mapa_workloads::generator::{self, JobMixConfig};
-use mapa_workloads::{JobSpec, Workload};
+use mapa_workloads::{GpuDemand, JobSpec, Workload};
 use std::time::Instant;
 
 const SHARD_COUNTS: [usize; 3] = [1, 8, 64];
@@ -88,6 +88,7 @@ fn small_jobs(n: usize) -> Vec<JobSpec> {
             gpus_max: 2,
             workloads: vec![Workload::Gmm],
             iteration_jitter: 0.0,
+            ..JobMixConfig::default()
         },
         11,
     )
@@ -146,10 +147,10 @@ impl SchedulerBackend for NullBackend {
     }
     fn configure(&mut self, _config: &SimConfig) {}
     fn try_place(&mut self, job: &JobSpec) -> Option<Placement> {
-        if job.num_gpus > self.free {
+        if job.num_gpus() > self.free {
             return None;
         }
-        self.free -= job.num_gpus;
+        self.free -= job.num_gpus();
         Some(Placement {
             server: 0,
             gpus: vec![0, 1],
@@ -175,7 +176,7 @@ fn engine_loop_run(n: usize) -> (f64, f64) {
     let jobs: Vec<JobSpec> = small_jobs(n)
         .into_iter()
         .map(|mut j| {
-            j.num_gpus = 2;
+            j.demand = GpuDemand::Whole(2);
             j
         })
         .collect();

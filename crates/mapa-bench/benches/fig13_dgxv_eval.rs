@@ -69,7 +69,7 @@ fn main() {
                 let times = collect(
                     &all_reports,
                     pi,
-                    |r| r.job.workload == *w && r.job.num_gpus >= 2,
+                    |r| r.job.workload == *w && r.job.num_gpus() >= 2,
                     |r| r.execution_seconds,
                 );
                 if times.is_empty() {
@@ -98,7 +98,7 @@ fn main() {
                 let bws = collect(
                     &all_reports,
                     pi,
-                    |r| r.job.workload == *w && r.job.num_gpus >= 2,
+                    |r| r.job.workload == *w && r.job.num_gpus() >= 2,
                     |r| r.predicted_eff_bw,
                 );
                 if bws.is_empty() {

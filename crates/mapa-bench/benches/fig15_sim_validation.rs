@@ -27,7 +27,7 @@ fn main() {
     let mut measured = Vec::new();
     let mut predicted = Vec::new();
     for r in &report.records {
-        if r.job.num_gpus >= 2 {
+        if r.job.num_gpus() >= 2 {
             measured.push(r.measured_eff_bw);
             predicted.push(r.predicted_eff_bw);
         }

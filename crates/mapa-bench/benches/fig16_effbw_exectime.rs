@@ -38,7 +38,7 @@ fn main() {
     for w in Workload::cnns() {
         let pts: Vec<(&JobRecord, f64)> = records
             .iter()
-            .filter(|r| r.job.workload == w && r.job.num_gpus >= 2)
+            .filter(|r| r.job.workload == w && r.job.num_gpus() >= 2)
             .map(|r| (r, r.measured_eff_bw))
             .collect();
         if pts.len() < 3 {

@@ -25,7 +25,7 @@ fn main() {
         let mut mins = Vec::new();
         let mut p25s = Vec::new();
         for rep in &cmp.reports {
-            let bws = rep.predicted_eff_bws(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+            let bws = rep.predicted_eff_bws(|r| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2);
             let s = stats::summarize(&bws);
             println!("{}", summary_row(&rep.policy_name, &s));
             mins.push((rep.policy_name.clone(), s.min));
@@ -42,7 +42,7 @@ fn main() {
         println!("\nexecution time of BW-sensitive multi-GPU jobs (s):");
         println!("{}", summary_header("policy"));
         for rep in &cmp.reports {
-            let times = rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+            let times = rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2);
             println!(
                 "{}",
                 summary_row(&rep.policy_name, &stats::summarize(&times))

@@ -35,7 +35,7 @@ use mapa_core::{AllocatorConfig, MapaAllocator};
 use mapa_isomorph::{default_threads, MatchOptions, Matcher};
 use mapa_sim::{stats, SchedulerBackend, SimConfig};
 use mapa_topology::{machines, Topology};
-use mapa_workloads::{AppTopology, JobSpec, Workload};
+use mapa_workloads::{AppTopology, GpuDemand, JobSpec, Workload};
 use std::time::Instant;
 
 const REPS: u64 = 5;
@@ -84,15 +84,10 @@ fn measure(machine: &Topology, policy: &str, k: usize, cached: bool) -> (f64, u6
     alloc.set_matcher(Matcher::new(MatchOptions::parallel()));
     let mut times = Vec::new();
     for rep in 1..=REPS {
-        let job = JobSpec {
-            id: rep,
-            num_gpus: k,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: true,
-            workload: Workload::Vgg16,
-            iterations: 1,
-            priority: 0,
-        };
+        let job = JobSpec::new(rep, GpuDemand::Whole(k), Workload::Vgg16)
+            .with_topology(AppTopology::Ring)
+            .with_bandwidth_sensitive(true)
+            .with_iterations(1);
         let start = Instant::now();
         let out = alloc.try_allocate(&job).expect("valid request");
         times.push(start.elapsed().as_secs_f64() * 1e3);
@@ -125,15 +120,14 @@ fn measure_cluster_dispatch(mode: DispatchMode) -> f64 {
     });
     let mut times = Vec::new();
     for rep in 1..=DISPATCH_DECISIONS {
-        let job = JobSpec {
-            id: rep,
-            num_gpus: 2 + (rep as usize % 5), // 2..=6-GPU mix
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: true,
-            workload: Workload::Vgg16,
-            iterations: 1,
-            priority: 0,
-        };
+        let job = JobSpec::new(
+            rep,
+            GpuDemand::Whole(2 + (rep as usize % 5)),
+            Workload::Vgg16,
+        )
+        .with_topology(AppTopology::Ring) // 2..=6-GPU mix
+        .with_bandwidth_sensitive(true)
+        .with_iterations(1);
         let start = Instant::now();
         let placement = cluster.try_place(&job).expect("fleet has room");
         times.push(start.elapsed().as_secs_f64() * 1e3);

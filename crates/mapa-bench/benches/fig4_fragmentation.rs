@@ -23,6 +23,7 @@ fn main() {
         gpus_max: 5,
         workloads: Workload::cnns().to_vec(),
         iteration_jitter: 0.2,
+        ..generator::JobMixConfig::default()
     };
     let jobs = generator::generate_jobs(&cfg, 4);
     let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&jobs);
@@ -32,7 +33,7 @@ fn main() {
         let q: Vec<f64> = report
             .records
             .iter()
-            .filter(|r| r.job.num_gpus == k)
+            .filter(|r| r.job.num_gpus() == k)
             .map(|r| r.allocation_quality)
             .collect();
         if q.is_empty() {

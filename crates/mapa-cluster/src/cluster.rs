@@ -576,7 +576,7 @@ impl Cluster {
     /// queue is full (the job then waits in the backlog).
     fn route_target(&mut self, job: &JobSpec) -> Option<usize> {
         let eligible = |shards: &[MapaAllocator], queues: &ShardQueues, s: usize| {
-            job.num_gpus <= shards[s].topology().gpu_count()
+            job.num_gpus() <= shards[s].topology().gpu_count()
                 && queues.queues[s].len() < queues.depth
         };
         // Ranking can be expensive (best-score peeks every shard), and
@@ -796,7 +796,7 @@ impl Cluster {
         let thief_capacity = self.shards[thief].topology().gpu_count();
         let mut take = None;
         for (idx, item) in queues.queues[victim].iter().enumerate() {
-            if item.job.num_gpus <= thief_capacity
+            if item.job.num_gpus() <= thief_capacity
                 && matches!(self.shards[thief].peek(&item.job), Ok(Some(_)))
             {
                 take = Some(idx);
@@ -853,7 +853,7 @@ impl Cluster {
                 let head = queues.queues[s]
                     .front()
                     .expect("occupied shards have heads");
-                if total_free >= head.job.num_gpus {
+                if total_free >= head.job.num_gpus() {
                     frag += 1;
                 }
             }
@@ -1060,7 +1060,7 @@ impl SchedulerBackend for Cluster {
         }
         // Cheap feasibility prefilter: the pooled free GPUs must fit the
         // whole gang before any per-member work is worth doing.
-        let wanted: usize = members.iter().map(|m| m.num_gpus).sum();
+        let wanted: usize = members.iter().map(|m| m.num_gpus()).sum();
         if self.total_free_gpus() < wanted {
             return None;
         }
@@ -1292,18 +1292,10 @@ mod tests {
     use mapa_core::policy::{BaselinePolicy, PreservePolicy};
     use mapa_sim::{ArrivalProcess, Engine, SimConfig};
     use mapa_topology::machines;
-    use mapa_workloads::{generator, AppTopology, Workload};
+    use mapa_workloads::{generator, Workload};
 
     fn job(id: u64, n: usize) -> JobSpec {
-        JobSpec {
-            id,
-            num_gpus: n,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: true,
-            workload: Workload::Vgg16,
-            iterations: 10,
-            priority: 0,
-        }
+        JobSpec::new(id, mapa_workloads::GpuDemand::Whole(n), Workload::Vgg16).with_iterations(10)
     }
 
     fn fleet(n: usize, server_policy: Box<dyn ServerPolicy>) -> Cluster {
@@ -1478,14 +1470,7 @@ mod tests {
         // Two half-full 8-GPU servers: 8 GPUs free in total, but an
         // 8-GPU job fits no single shard → the queue blocks and the
         // engine attributes it to fragmentation.
-        let jobs = vec![
-            job(1, 4),
-            job(2, 4),
-            JobSpec {
-                iterations: 1,
-                ..job(3, 8)
-            },
-        ];
+        let jobs = vec![job(1, 4), job(2, 4), job(3, 8).with_iterations(1)];
         let report = Engine::over(fleet(2, Box::new(LeastLoadedPolicy)))
             .with_config(SimConfig {
                 arrivals: ArrivalProcess::Batch,
@@ -1616,15 +1601,9 @@ mod tests {
         // Round-robin routing parks half the stream behind shard 0's
         // monster while shard 1 drains 1-iteration jobs. Each time shard
         // 1 releases with an empty queue it must pull a waiter over.
-        let mut jobs = vec![JobSpec {
-            iterations: 100_000,
-            ..job(1, 8)
-        }];
+        let mut jobs = vec![job(1, 8).with_iterations(100_000)];
         for i in 0..9 {
-            jobs.push(JobSpec {
-                iterations: 1,
-                ..job(i + 2, 8)
-            });
+            jobs.push(job(i + 2, 8).with_iterations(1));
         }
         let cluster = fleet(2, Box::new(RoundRobinPolicy))
             .with_shard_queues(16)
@@ -1690,15 +1669,9 @@ mod tests {
         // alternately. Without migration, shard 1's stream must keep
         // flowing while shard 0's queue waits behind the long job —
         // per-shard FIFO, not global head-of-line blocking.
-        let mut jobs = vec![JobSpec {
-            iterations: 100_000,
-            ..job(1, 8)
-        }];
+        let mut jobs = vec![job(1, 8).with_iterations(100_000)];
         for i in 0..6 {
-            jobs.push(JobSpec {
-                iterations: 1,
-                ..job(i + 2, 8)
-            });
+            jobs.push(job(i + 2, 8).with_iterations(1));
         }
         let cluster = fleet(2, Box::new(RoundRobinPolicy)).with_shard_queues(16);
         let report = Engine::over(cluster).run(&jobs);
@@ -1728,11 +1701,7 @@ mod tests {
     }
 
     fn pri_job(id: u64, n: usize, iters: u64, priority: u8) -> JobSpec {
-        JobSpec {
-            priority,
-            iterations: iters,
-            ..job(id, n)
-        }
+        job(id, n).with_iterations(iters).with_priority(priority)
     }
 
     #[test]

@@ -125,20 +125,14 @@ impl<T: Send + 'static> std::fmt::Debug for Feed<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mapa_workloads::{AppTopology, Workload};
+    use mapa_workloads::{GpuDemand, Workload};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn job(id: u64) -> JobSpec {
-        JobSpec {
-            id,
-            num_gpus: 1,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: false,
-            workload: Workload::Gmm,
-            iterations: 1,
-            priority: 0,
-        }
+        JobSpec::new(id, GpuDemand::Whole(1), Workload::Gmm)
+            .with_bandwidth_sensitive(false)
+            .with_iterations(1)
     }
 
     #[test]

@@ -185,18 +185,10 @@ impl ServerPolicy for PackFirstPolicy {
 mod tests {
     use super::*;
     use mapa_topology::machines;
-    use mapa_workloads::{AppTopology, Workload};
+    use mapa_workloads::{GpuDemand, Workload};
 
     fn job(n: usize) -> JobSpec {
-        JobSpec {
-            id: 1,
-            num_gpus: n,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: true,
-            workload: Workload::Vgg16,
-            iterations: 1,
-            priority: 0,
-        }
+        JobSpec::new(1, GpuDemand::Whole(n), Workload::Vgg16).with_iterations(1)
     }
 
     /// Builds identical dgx1-v100 states with the given busy GPU counts.

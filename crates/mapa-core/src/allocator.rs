@@ -233,9 +233,9 @@ impl MapaAllocator {
     /// Runs the policy's selection for `job` against the current occupancy
     /// (through the allocation cache when enabled) without touching state.
     fn select_for(&mut self, job: &JobSpec) -> Result<Option<Vec<usize>>, AllocatorError> {
-        if job.num_gpus == 0 || job.num_gpus > self.topology.gpu_count() {
+        if job.num_gpus() == 0 || job.num_gpus() > self.topology.gpu_count() {
             return Err(AllocatorError::InvalidRequest {
-                requested: job.num_gpus,
+                requested: job.num_gpus(),
                 machine: self.topology.gpu_count(),
             });
         }
@@ -248,8 +248,9 @@ impl MapaAllocator {
             bandwidth_graph: &self.bandwidth_graph,
         };
         // Fast path: answer from the allocation cache when the exact
-        // (pattern, sensitivity, machine, occupancy) decision was already
-        // made. Oversized patterns yield no key and bypass the cache.
+        // (pattern, sensitivity, demand kind, SLO tag, machine, occupancy)
+        // decision was already made. Oversized patterns yield no key and
+        // bypass the cache.
         Ok(match self.cache.as_mut() {
             Some(cache) => {
                 match cache.key_for(job, self.topology.name(), self.state.occupancy_signature()) {
@@ -382,7 +383,7 @@ impl MapaAllocator {
         policy: PreemptionPolicy,
         shielded: &HashSet<u64>,
     ) -> Option<Vec<u64>> {
-        if !policy.enabled() || job.num_gpus == 0 || job.num_gpus > self.topology.gpu_count() {
+        if !policy.enabled() || job.num_gpus() == 0 || job.num_gpus() > self.topology.gpu_count() {
             return None;
         }
         // Victim preference order: lowest priority first, then the
@@ -409,7 +410,7 @@ impl MapaAllocator {
         // time until the policy can place the job, remembering each
         // victim's GPUs so occupancy can be restored exactly.
         let placeable = |a: &mut Self| {
-            a.state.free_count() >= job.num_gpus && matches!(a.peek(job), Ok(Some(_)))
+            a.state.free_count() >= job.num_gpus() && matches!(a.peek(job), Ok(Some(_)))
         };
         let mut evicted: Vec<(u64, Vec<usize>, ActiveJob)> = Vec::new();
         let mut plan = None;
@@ -475,18 +476,12 @@ mod tests {
     use super::*;
     use crate::policy::{BaselinePolicy, GreedyPolicy, PreservePolicy};
     use mapa_topology::machines;
-    use mapa_workloads::{AppTopology, Workload};
+    use mapa_workloads::Workload;
 
     fn job(id: u64, n: usize, sensitive: bool) -> JobSpec {
-        JobSpec {
-            id,
-            num_gpus: n,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: sensitive,
-            workload: Workload::Vgg16,
-            iterations: 100,
-            priority: 0,
-        }
+        JobSpec::new(id, mapa_workloads::GpuDemand::Whole(n), Workload::Vgg16)
+            .with_bandwidth_sensitive(sensitive)
+            .with_iterations(100)
     }
 
     #[test]
@@ -673,10 +668,7 @@ mod tests {
     }
 
     fn pri_job(id: u64, n: usize, sensitive: bool, priority: u8) -> JobSpec {
-        JobSpec {
-            priority,
-            ..job(id, n, sensitive)
-        }
+        job(id, n, sensitive).with_priority(priority)
     }
 
     #[test]

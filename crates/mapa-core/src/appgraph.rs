@@ -24,7 +24,7 @@ pub fn build_pattern(topology: AppTopology, n_gpus: usize) -> PatternGraph {
 /// The pattern graph for a job spec.
 #[must_use]
 pub fn job_pattern(job: &JobSpec) -> PatternGraph {
-    build_pattern(job.topology, job.num_gpus)
+    build_pattern(job.topology, job.num_gpus())
 }
 
 #[cfg(test)]
@@ -59,15 +59,9 @@ mod tests {
 
     #[test]
     fn job_pattern_uses_spec_fields() {
-        let job = JobSpec {
-            id: 1,
-            num_gpus: 4,
-            topology: AppTopology::AllToAll,
-            bandwidth_sensitive: true,
-            workload: Workload::Vgg16,
-            iterations: 10,
-            priority: 0,
-        };
+        let job = JobSpec::new(1, mapa_workloads::GpuDemand::Whole(4), Workload::Vgg16)
+            .with_topology(AppTopology::AllToAll)
+            .with_iterations(10);
         let p = job_pattern(&job);
         assert_eq!(p.vertex_count(), 4);
         assert_eq!(p.edge_count(), 6);

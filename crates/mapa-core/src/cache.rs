@@ -1,13 +1,16 @@
 //! Memoization of allocation decisions — the canonical-state cache.
 //!
-//! A policy's selection is a pure function of four inputs: the job's
-//! pattern (up to isomorphism), its bandwidth-sensitivity flag, the
-//! machine, and the current free-GPU set. Multi-tenant traffic repeats
-//! those inputs constantly — the paper's job mix draws from four pattern
-//! shapes and eight sizes, and a machine that empties returns to a
-//! previously-seen occupancy — so [`AllocationCache`] memoizes the
-//! selected placement under the key
-//! `(pattern canonical code, sensitivity, machine id, occupancy signature)`.
+//! A policy's selection is a pure function of six inputs: the job's
+//! pattern (up to isomorphism), its bandwidth-sensitivity flag, its demand
+//! kind (whole GPUs vs MIG slices — they see different eligible vertices
+//! on partitioned machines), whether it carries an SLO tag (the pressure
+//! penalty weighs tagged jobs harder), the machine, and the current
+//! free-GPU set. Multi-tenant traffic repeats those inputs constantly —
+//! the paper's job mix draws from four pattern shapes and eight sizes, and
+//! a machine that empties returns to a previously-seen occupancy — so
+//! [`AllocationCache`] memoizes the selected placement under the key
+//! `(pattern canonical code, sensitivity, fractional, SLO-tagged,
+//! machine id, occupancy signature)`.
 //!
 //! **Soundness.** The occupancy signature is the *exact* busy set (see
 //! [`OccupancySignature`]), the canonical code identifies the pattern's
@@ -41,6 +44,8 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 pub struct CacheKey {
     pattern: Arc<CanonicalCode>,
     bandwidth_sensitive: bool,
+    fractional: bool,
+    slo_tagged: bool,
     machine: Arc<str>,
     signature: OccupancySignature,
 }
@@ -131,16 +136,16 @@ impl AllocationCache {
         machine: &str,
         signature: OccupancySignature,
     ) -> Option<CacheKey> {
-        if job.num_gpus > MAX_CANONICAL_VERTICES {
+        if job.num_gpus() > MAX_CANONICAL_VERTICES {
             return None;
         }
         let pattern = Arc::clone(
             self.pattern_codes
-                .entry((job.topology, job.num_gpus))
+                .entry((job.topology, job.num_gpus()))
                 .or_insert_with(|| {
                     Arc::new(canonical_code(&crate::appgraph::build_pattern(
                         job.topology,
-                        job.num_gpus,
+                        job.num_gpus(),
                     )))
                 }),
         );
@@ -156,6 +161,8 @@ impl AllocationCache {
         Some(CacheKey {
             pattern,
             bandwidth_sensitive: job.bandwidth_sensitive,
+            fractional: job.is_fractional(),
+            slo_tagged: job.has_slo(),
             machine,
             signature,
         })
@@ -237,15 +244,10 @@ mod tests {
     use mapa_workloads::Workload;
 
     fn job(n: usize, topology: AppTopology, sensitive: bool) -> JobSpec {
-        JobSpec {
-            id: 1,
-            num_gpus: n,
-            topology,
-            bandwidth_sensitive: sensitive,
-            workload: Workload::Vgg16,
-            iterations: 1,
-            priority: 0,
-        }
+        JobSpec::new(1, mapa_workloads::GpuDemand::Whole(n), Workload::Vgg16)
+            .with_topology(topology)
+            .with_bandwidth_sensitive(sensitive)
+            .with_iterations(1)
     }
 
     #[test]
@@ -314,6 +316,36 @@ mod tests {
             .key_for(&job(3, AppTopology::AllToAll, true), "dgx", sig)
             .unwrap();
         assert_eq!(base, triangle);
+    }
+
+    #[test]
+    fn key_distinguishes_demand_kind_and_slo_tag() {
+        let mut cache = AllocationCache::default();
+        let state = HardwareState::new(machines::dgx1_v100());
+        let sig = state.occupancy_signature();
+        let whole = cache
+            .key_for(&job(3, AppTopology::Ring, true), "dgx", sig.clone())
+            .unwrap();
+        let mut slices = job(3, AppTopology::Ring, true);
+        slices.demand = mapa_workloads::GpuDemand::Slices(3);
+        let fractional = cache.key_for(&slices, "dgx", sig.clone()).unwrap();
+        assert_ne!(
+            whole, fractional,
+            "whole and slice demands see different eligible vertices"
+        );
+        let tagged = cache
+            .key_for(
+                &job(3, AppTopology::Ring, true).with_slo(25.0),
+                "dgx",
+                sig.clone(),
+            )
+            .unwrap();
+        assert_ne!(whole, tagged, "SLO tag changes the pressure weight");
+        // The SLO *value* is not part of the key — selection ignores it.
+        let tagged_other = cache
+            .key_for(&job(3, AppTopology::Ring, true).with_slo(90.0), "dgx", sig)
+            .unwrap();
+        assert_eq!(tagged, tagged_other);
     }
 
     #[test]

@@ -35,11 +35,13 @@
 //! let mut alloc = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
 //! let jobs = generator::paper_job_mix(42);
 //! let result = alloc.try_allocate(&jobs[0]).unwrap().expect("idle machine fits job");
-//! assert_eq!(result.gpus.len(), jobs[0].num_gpus);
+//! assert_eq!(result.gpus.len(), jobs[0].num_gpus());
 //!
 //! // A full machine + a priority-1 arrival: plan who would be evicted.
-//! let mut urgent = jobs[1].clone().with_priority(1);
-//! urgent.num_gpus = 8; // needs the whole server
+//! let urgent = jobs[1]
+//!     .clone()
+//!     .with_priority(1)
+//!     .with_demand(mapa_workloads::GpuDemand::Whole(8)); // needs the whole server
 //! let plan = alloc
 //!     .preemption_plan(&urgent, PreemptionPolicy::PriorityEvict, &HashSet::new())
 //!     .expect("a lower-priority victim exists");

@@ -17,7 +17,7 @@
 
 use crate::appgraph;
 use crate::scoring;
-use mapa_graph::{PatternGraph, WeightedGraph};
+use mapa_graph::{BitSet, PatternGraph, WeightedGraph};
 use mapa_isomorph::{Embedding, Matcher};
 use mapa_model::EffBwModel;
 use mapa_topology::{HardwareState, Topology};
@@ -39,16 +39,59 @@ pub struct PolicyContext<'a> {
     pub bandwidth_graph: &'a WeightedGraph,
 }
 
+impl PolicyContext<'_> {
+    /// Whether vertex `v` may host the job's demand: fractional
+    /// ([`mapa_workloads::GpuDemand::Slices`]) demands may land on any
+    /// vertex; whole-GPU demands never land on MIG slices. Identity on
+    /// unpartitioned machines.
+    #[must_use]
+    pub fn demand_eligible(&self, job: &JobSpec, v: usize) -> bool {
+        job.is_fractional() || self.topology.slice_map().is_none_or(|m| !m.is_slice(v))
+    }
+
+    /// Free vertices eligible for the job's demand, ascending. Equal to
+    /// `state.free_gpus()` on unpartitioned machines.
+    #[must_use]
+    pub fn eligible_free(&self, job: &JobSpec) -> Vec<usize> {
+        let free = self.state.free_gpus();
+        if job.is_fractional() || !self.topology.is_partitioned() {
+            return free;
+        }
+        free.into_iter()
+            .filter(|&v| self.demand_eligible(job, v))
+            .collect()
+    }
+
+    /// The matcher frozen mask for the job's demand: busy vertices, plus
+    /// slice vertices when the job wants whole GPUs. Equal to
+    /// `state.frozen_mask()` on unpartitioned machines.
+    #[must_use]
+    pub fn eligible_frozen(&self, job: &JobSpec) -> BitSet {
+        let mut frozen = self.state.frozen_mask();
+        if !job.is_fractional() {
+            if let Some(m) = self.topology.slice_map() {
+                for v in 0..m.vertex_count() {
+                    if m.is_slice(v) {
+                        frozen.insert(v);
+                    }
+                }
+            }
+        }
+        frozen
+    }
+}
+
 /// A GPU-selection policy.
 ///
 /// # Purity contract (allocation caching)
 ///
 /// The canonical-state allocation cache ([`crate::cache`]) memoizes
 /// selections keyed by *(pattern isomorphism class, `bandwidth_sensitive`,
-/// machine, free-GPU set)*. For cached and uncached paths to be
-/// equivalent, `select` must be a deterministic function of exactly those
-/// inputs — it must not consult other [`JobSpec`] fields (`id`,
-/// `workload`, `iterations`), wall-clock time, or external state, and its
+/// demand kind, SLO-tagged, machine, free-GPU set)*. For cached and
+/// uncached paths to be equivalent, `select` must be a deterministic
+/// function of exactly those inputs — it must not consult other
+/// [`JobSpec`] fields (`id`, `workload`, `iterations`, the SLO *value*),
+/// wall-clock time, or external state, and its
 /// tie-breaking must not depend on the pattern's vertex labeling (break
 /// score ties toward the lexicographically smallest GPU set, as every
 /// built-in policy does). A policy that needs more inputs is still valid —
@@ -70,11 +113,11 @@ pub trait AllocationPolicy: Send + Sync {
 /// portion of the hardware graph, as physical-GPU assignments.
 #[must_use]
 pub fn candidate_matches(job: &JobSpec, ctx: &PolicyContext<'_>) -> Vec<Embedding> {
-    if job.num_gpus == 0 || job.num_gpus > ctx.state.free_count() {
+    if job.num_gpus() == 0 || job.num_gpus() > ctx.state.free_count() {
         return vec![];
     }
     let pattern = appgraph::job_pattern(job);
-    let frozen = ctx.state.frozen_mask();
+    let frozen = ctx.eligible_frozen(job);
     ctx.matcher
         .find_with_frozen(&pattern, ctx.data_graph, Some(&frozen))
         .expect("matcher options are valid")
@@ -96,8 +139,8 @@ pub fn for_each_candidate_set(
     ctx: &PolicyContext<'_>,
     mut visit: impl FnMut(&[usize]),
 ) {
-    let k = job.num_gpus;
-    let free = ctx.state.free_gpus();
+    let k = job.num_gpus();
+    let free = ctx.eligible_free(job);
     if k == 0 || k > free.len() {
         return;
     }
@@ -211,11 +254,12 @@ impl AllocationPolicy for BaselinePolicy {
     }
 
     fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
-        if job.num_gpus == 0 {
+        let need = job.num_gpus();
+        if need == 0 {
             return None;
         }
-        let free = ctx.state.free_gpus();
-        (free.len() >= job.num_gpus).then(|| free[..job.num_gpus].to_vec())
+        let free = ctx.eligible_free(job);
+        (free.len() >= need).then(|| free[..need].to_vec())
     }
 }
 
@@ -231,8 +275,8 @@ impl AllocationPolicy for TopoAwarePolicy {
     }
 
     fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
-        let need = job.num_gpus;
-        if need == 0 || ctx.state.free_count() < need {
+        let need = job.num_gpus();
+        if need == 0 || ctx.eligible_free(job).len() < need {
             return None;
         }
         let topo = ctx.topology;
@@ -241,7 +285,7 @@ impl AllocationPolicy for TopoAwarePolicy {
                 let free: Vec<usize> = topo
                     .gpus_in_socket(s)
                     .into_iter()
-                    .filter(|&g| ctx.state.is_free(g))
+                    .filter(|&g| ctx.state.is_free(g) && ctx.demand_eligible(job, g))
                     .collect();
                 (s, free)
             })
@@ -285,18 +329,19 @@ impl AllocationPolicy for GreedyPolicy {
     }
 
     fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
-        if job.num_gpus == 0 || job.num_gpus > ctx.state.free_count() {
+        if job.num_gpus() == 0 || job.num_gpus() > ctx.state.free_count() {
             return None;
         }
         let pattern = appgraph::job_pattern(job);
-        let frozen = ctx.state.frozen_mask();
+        let frozen = ctx.eligible_frozen(job);
         // Aggregated bandwidth depends on the *embedding* (which hardware
         // links the pattern's edges land on), so Greedy streams embeddings
         // rather than vertex sets — without materialising them. Score
         // ties break toward the lexicographically smallest GPU set, which
         // makes the selection a function of the pattern's isomorphism
         // class (not its labeling) — required for canonical-code keyed
-        // allocation caching.
+        // allocation caching. On partitioned machines the co-residency
+        // pressure penalty (zero elsewhere) is subtracted from AggBW.
         let mut best: Option<(f64, Vec<usize>)> = None;
         ctx.matcher
             .for_each_with_frozen(&pattern, ctx.data_graph, Some(&frozen), &mut |m| {
@@ -304,12 +349,14 @@ impl AllocationPolicy for GreedyPolicy {
                 for (u, v, ()) in pattern.edges() {
                     agg += ctx.bandwidth_graph.weight(m[u], m[v]).unwrap_or(0.0);
                 }
+                let set = sorted_set(m);
+                let score = agg - scoring::pressure_penalty(job, ctx.state, &set);
                 let better = match &best {
                     None => true,
-                    Some((b, set)) => agg > *b || (agg == *b && { sorted_set(m) < *set }),
+                    Some((b, bset)) => score > *b || (score == *b && set < *bset),
                 };
                 if better {
-                    best = Some((agg, sorted_set(m)));
+                    best = Some((score, set));
                 }
                 true
             })
@@ -330,21 +377,25 @@ impl AllocationPolicy for PreservePolicy {
     fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
         let (free_graph, free_map) = ctx.state.available_graph();
         if job.bandwidth_sensitive {
-            // Primary: Predicted EffBW (Algorithm 1). Ties — frequent,
-            // since many placements share a link mix — break toward the
-            // one preserving the most bandwidth for later jobs.
+            // Primary: Predicted EffBW (Algorithm 1), less the co-residency
+            // pressure penalty (zero on unpartitioned machines). Ties —
+            // frequent, since many placements share a link mix — break
+            // toward the one preserving the most bandwidth for later jobs.
             argmax_set_by_score2(job, ctx, |gpus| {
                 (
-                    scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus),
+                    scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus)
+                        - scoring::pressure_penalty(job, ctx.state, gpus),
                     scoring::preserved_bandwidth(&free_graph, &free_map, gpus),
                 )
             })
         } else {
-            // Primary: Preserved BW (Algorithm 1). Ties break toward the
-            // placement consuming the least effective bandwidth itself.
+            // Primary: Preserved BW (Algorithm 1), less the pressure
+            // penalty. Ties break toward the placement consuming the least
+            // effective bandwidth itself.
             argmax_set_by_score2(job, ctx, |gpus| {
                 (
-                    scoring::preserved_bandwidth(&free_graph, &free_map, gpus),
+                    scoring::preserved_bandwidth(&free_graph, &free_map, gpus)
+                        - scoring::pressure_penalty(job, ctx.state, gpus),
                     -scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus),
                 )
             })
@@ -366,7 +417,8 @@ impl AllocationPolicy for EffBwGreedyPolicy {
     fn select(&self, job: &JobSpec, ctx: &PolicyContext<'_>) -> Option<Vec<usize>> {
         argmax_set_by_score2(job, ctx, |gpus| {
             (
-                scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus),
+                scoring::predicted_effective_bandwidth(ctx.model, ctx.topology, gpus)
+                    - scoring::pressure_penalty(job, ctx.state, gpus),
                 0.0,
             )
         })
@@ -389,8 +441,8 @@ mod tests {
     use super::*;
     use mapa_isomorph::MatchOptions;
     use mapa_model::{corpus, paper_coefficients};
-    use mapa_topology::machines;
-    use mapa_workloads::{AppTopology, Workload};
+    use mapa_topology::{machines, PartitionPlan};
+    use mapa_workloads::{GpuDemand, Workload};
 
     struct Fixture {
         topology: Topology,
@@ -403,7 +455,10 @@ mod tests {
 
     impl Fixture {
         fn dgx() -> Self {
-            let topology = machines::dgx1_v100();
+            Self::of(machines::dgx1_v100())
+        }
+
+        fn of(topology: Topology) -> Self {
             let model = EffBwModel::fit(&corpus::build_corpus(&topology, 2..=5))
                 .unwrap_or_else(|_| EffBwModel::from_coefficients(paper_coefficients()));
             Self {
@@ -429,19 +484,14 @@ mod tests {
     }
 
     fn job(n: usize, sensitive: bool) -> JobSpec {
-        JobSpec {
-            id: 1,
-            num_gpus: n,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: sensitive,
-            workload: if sensitive {
-                Workload::Vgg16
-            } else {
-                Workload::GoogleNet
-            },
-            iterations: 100,
-            priority: 0,
-        }
+        let workload = if sensitive {
+            Workload::Vgg16
+        } else {
+            Workload::GoogleNet
+        };
+        JobSpec::new(1, GpuDemand::Whole(n), workload)
+            .with_bandwidth_sensitive(sensitive)
+            .with_iterations(100)
     }
 
     #[test]
@@ -625,6 +675,80 @@ mod tests {
         assert_eq!(streamed_sorted, via_matcher);
         // C(6,3) = 20 candidate sets with 2 GPUs busy.
         assert_eq!(streamed.len(), 20);
+    }
+
+    /// DGX-1V with GPU 0 split into 4 MIG slices: vertices 0..4 are the
+    /// slices, 4..11 the remaining whole GPUs.
+    fn partitioned() -> Fixture {
+        let plan = PartitionPlan::new().split(0, 4);
+        Fixture::of(plan.apply(&machines::dgx1_v100()).into_topology())
+    }
+
+    #[test]
+    fn whole_jobs_never_land_on_slices() {
+        let f = partitioned();
+        let map = f.topology.slice_map().unwrap().clone();
+        let policies: Vec<Box<dyn AllocationPolicy>> = vec![
+            Box::new(BaselinePolicy),
+            Box::new(TopoAwarePolicy),
+            Box::new(GreedyPolicy),
+            Box::new(PreservePolicy),
+            Box::new(EffBwGreedyPolicy),
+        ];
+        for p in &policies {
+            for n in 1..=4 {
+                let gpus = p
+                    .select(&job(n, true), &f.ctx())
+                    .unwrap_or_else(|| panic!("{} refused a {n}-GPU whole job", p.name()));
+                assert!(
+                    gpus.iter().all(|&v| !map.is_slice(v)),
+                    "{} put a whole-GPU job on a slice: {gpus:?}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_jobs_may_use_slices() {
+        let mut f = partitioned();
+        // Occupy every whole GPU; only the four slices of phys 0 are free.
+        f.state.allocate(9, &[4, 5, 6, 7, 8, 9, 10]).unwrap();
+        let spec = JobSpec::new(1, GpuDemand::Slices(2), Workload::ResNet50);
+        assert!(
+            PreservePolicy.select(&job(2, true), &f.ctx()).is_none(),
+            "whole jobs must not fall back to slices"
+        );
+        for p in [
+            Box::new(GreedyPolicy) as Box<dyn AllocationPolicy>,
+            Box::new(PreservePolicy),
+        ] {
+            let gpus = p.select(&spec, &f.ctx()).unwrap();
+            assert_eq!(gpus.len(), 2, "{}", p.name());
+            assert!(gpus.iter().all(|&v| v < 4), "{}: {gpus:?}", p.name());
+        }
+    }
+
+    #[test]
+    fn fractional_jobs_place_on_unpartitioned_machines() {
+        let f = Fixture::dgx();
+        let spec = JobSpec::new(1, GpuDemand::Slices(2), Workload::ResNet50);
+        let gpus = PreservePolicy.select(&spec, &f.ctx()).unwrap();
+        assert_eq!(gpus.len(), 2);
+    }
+
+    #[test]
+    fn slo_pressure_spreads_tenants_across_physical_gpus() {
+        // Two split GPUs: vertices 0,1 = phys 0; 2,3 = phys 1. A busy slice
+        // on phys 0 makes its sibling slice pay the co-residency penalty,
+        // so an SLO-tagged single-slice tenant lands on phys 1 instead.
+        let plan = PartitionPlan::new().split(0, 2).split(1, 2);
+        let mut f = Fixture::of(plan.apply(&machines::dgx1_v100()).into_topology());
+        f.state.allocate(9, &[0]).unwrap();
+        let spec = JobSpec::new(1, GpuDemand::Slices(1), Workload::BertServing).with_slo(25.0);
+        let got = GreedyPolicy.select(&spec, &f.ctx()).unwrap();
+        assert_eq!(got, vec![2], "expected the quiet physical GPU, got {got:?}");
+        assert_eq!(f.state.co_resident_busy(got[0]), 0);
     }
 
     proptest::proptest! {

@@ -9,11 +9,21 @@
 //! * **Preserved Bandwidth** (Eq. 3): `Σ w(e)` over the hardware graph that
 //!   *remains* after deleting the matched vertices — what future jobs can
 //!   still get.
+//!
+//! On MIG-partitioned machines a fourth term joins the ranking:
+//! **co-residency pressure** ([`co_residency_pressure`]) — how many busy
+//! slices already share the candidate vertices' physical GPUs. Slices on
+//! one die contend for the same external links and memory bandwidth
+//! (MoCA's framing), so policies subtract a pressure penalty from their
+//! primary score, weighted heavier for SLO-tagged tenants
+//! ([`pressure_penalty`]). On unpartitioned machines both terms are
+//! exactly zero, leaving the paper's rankings bit-identical.
 
 use mapa_graph::{BitSet, Graph, PatternGraph, WeightedGraph};
 use mapa_isomorph::Embedding;
 use mapa_model::EffBwModel;
-use mapa_topology::{LinkMix, Topology};
+use mapa_topology::{HardwareState, LinkMix, Topology};
+use mapa_workloads::JobSpec;
 
 /// All scores for one candidate match, as used by the policies and logged
 /// by the simulator.
@@ -122,6 +132,36 @@ pub fn score_match(
 #[must_use]
 pub fn matcher_data_graph(topology: &Topology) -> PatternGraph {
     Graph::complete(topology.gpu_count(), ())
+}
+
+/// Penalty in GB/s per busy co-resident slice for untagged jobs.
+pub const PRESSURE_WEIGHT: f64 = 2.0;
+
+/// Penalty in GB/s per busy co-resident slice for SLO-tagged jobs —
+/// heavier, so placement spreads latency-critical tenants away from
+/// saturated physical GPUs first.
+pub const SLO_PRESSURE_WEIGHT: f64 = 6.0;
+
+/// Co-residency / interference pressure of placing on `gpus`: the total
+/// number of *busy* slices sharing a physical GPU with any candidate
+/// vertex. Exactly `0.0` on unpartitioned machines, so the paper's
+/// rankings are untouched there.
+#[must_use]
+pub fn co_residency_pressure(state: &HardwareState, gpus: &[usize]) -> f64 {
+    gpus.iter().map(|&v| state.co_resident_busy(v) as f64).sum()
+}
+
+/// The pressure penalty a policy subtracts from its primary score:
+/// [`co_residency_pressure`] weighted by [`SLO_PRESSURE_WEIGHT`] for
+/// SLO-tagged jobs and [`PRESSURE_WEIGHT`] otherwise.
+#[must_use]
+pub fn pressure_penalty(job: &JobSpec, state: &HardwareState, gpus: &[usize]) -> f64 {
+    let weight = if job.has_slo() {
+        SLO_PRESSURE_WEIGHT
+    } else {
+        PRESSURE_WEIGHT
+    };
+    weight * co_residency_pressure(state, gpus)
 }
 
 #[cfg(test)]
@@ -237,5 +277,41 @@ mod tests {
         let g = matcher_data_graph(&dgx);
         assert_eq!(g.vertex_count(), 8);
         assert_eq!(g.edge_count(), 28);
+    }
+
+    #[test]
+    fn pressure_is_zero_on_unpartitioned_machines() {
+        let dgx = machines::dgx1_v100();
+        let mut state = mapa_topology::HardwareState::new(dgx);
+        state.allocate(1, &[0, 1, 2]).unwrap();
+        assert_eq!(co_residency_pressure(&state, &[3, 4]), 0.0);
+        let job = mapa_workloads::JobSpec::new(
+            1,
+            mapa_workloads::GpuDemand::Slices(2),
+            mapa_workloads::Workload::BertServing,
+        )
+        .with_slo(50.0);
+        assert_eq!(pressure_penalty(&job, &state, &[3, 4]), 0.0);
+    }
+
+    #[test]
+    fn pressure_counts_busy_co_residents_and_weights_slo() {
+        use mapa_topology::PartitionPlan;
+        use mapa_workloads::{GpuDemand, Workload};
+        // GPU 0 → 4 slices (vertices 0..4), rest whole (4..=10).
+        let topo = PartitionPlan::new()
+            .split(0, 4)
+            .apply(&machines::dgx1_v100())
+            .into_topology();
+        let mut state = mapa_topology::HardwareState::new(topo);
+        state.allocate(1, &[0, 1]).unwrap();
+        // Placing on free slices 2 and 3: each sees 2 busy co-residents.
+        assert_eq!(co_residency_pressure(&state, &[2, 3]), 4.0);
+        // A whole vertex sees none.
+        assert_eq!(co_residency_pressure(&state, &[5]), 0.0);
+        let plain = JobSpec::new(9, GpuDemand::Slices(2), Workload::ResNetServing);
+        let tagged = plain.clone().with_slo(25.0);
+        assert_eq!(pressure_penalty(&plain, &state, &[2, 3]), 8.0);
+        assert_eq!(pressure_penalty(&tagged, &state, &[2, 3]), 24.0);
     }
 }

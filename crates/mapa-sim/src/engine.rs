@@ -711,6 +711,92 @@ pub struct JobRecord {
     pub scheduling_overhead: Duration,
 }
 
+impl JobRecord {
+    /// Mean simulated latency of one iteration in milliseconds. For
+    /// inference tenants one iteration is one request, so this is the
+    /// per-request latency the SLO is judged against; 0 for zero-iteration
+    /// jobs.
+    #[must_use]
+    pub fn request_latency_ms(&self) -> f64 {
+        if self.job.iterations == 0 {
+            0.0
+        } else {
+            self.execution_seconds / self.job.iterations as f64 * 1e3
+        }
+    }
+
+    /// Whether the job met its SLO target; `None` for untagged jobs.
+    #[must_use]
+    pub fn slo_met(&self) -> Option<bool> {
+        self.job
+            .slo_ms
+            .map(|target| self.request_latency_ms() <= target)
+    }
+}
+
+/// SLO-attainment statistics over a run's SLO-tagged jobs (inference
+/// tenants). All zero when the mix had no tagged jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloStats {
+    /// SLO-tagged jobs that completed.
+    pub jobs: usize,
+    /// Tagged jobs whose per-request latency met their target.
+    pub met: usize,
+    /// Tagged jobs that blew their target (`jobs - met`).
+    pub missed: usize,
+    /// 95th-percentile per-request latency over tagged jobs, ms.
+    pub p95_latency_ms: f64,
+    /// 95th-percentile SLO target over tagged jobs, ms — the yardstick
+    /// `p95_latency_ms` is read against.
+    pub p95_target_ms: f64,
+}
+
+impl SloStats {
+    /// Recounts the statistics from a slice of job records (the engine
+    /// builds its report through this exact function, so an external
+    /// recount over [`SimReport::records`] must reproduce the report's
+    /// numbers bit for bit).
+    #[must_use]
+    pub fn from_records(records: &[JobRecord]) -> Self {
+        let mut latencies = Vec::new();
+        let mut targets = Vec::new();
+        let mut met = 0usize;
+        for r in records {
+            let Some(target) = r.job.slo_ms else { continue };
+            let latency = r.request_latency_ms();
+            if latency <= target {
+                met += 1;
+            }
+            latencies.push(latency);
+            targets.push(target);
+        }
+        let jobs = latencies.len();
+        if jobs == 0 {
+            return Self::default();
+        }
+        latencies.sort_by(f64::total_cmp);
+        targets.sort_by(f64::total_cmp);
+        Self {
+            jobs,
+            met,
+            missed: jobs - met,
+            p95_latency_ms: stats::percentile(&latencies, 95.0),
+            p95_target_ms: stats::percentile(&targets, 95.0),
+        }
+    }
+
+    /// Fraction of tagged jobs that met their target; 1 when none were
+    /// tagged (vacuously attained).
+    #[must_use]
+    pub fn attainment(&self) -> f64 {
+        if self.jobs == 0 {
+            1.0
+        } else {
+            self.met as f64 / self.jobs as f64
+        }
+    }
+}
+
 /// Per-server statistics of a run (one entry per shard; a single-server
 /// report has exactly one).
 #[derive(Debug, Clone, PartialEq)]
@@ -780,6 +866,9 @@ pub struct SimReport {
     pub preemption: PreemptionStats,
     /// Gang-scheduling counters (all zero when no gangs were submitted).
     pub gangs: GangStats,
+    /// SLO-attainment counters over the run's SLO-tagged (inference)
+    /// jobs; all zero when none were submitted.
+    pub slo: SloStats,
 }
 
 impl SimReport {
@@ -987,10 +1076,10 @@ impl<B: SchedulerBackend> Engine<B> {
                         let sub = incoming.pop_front().expect("arrival scheduled with a job");
                         let validate = |job: &JobSpec| {
                             assert!(
-                                job.num_gpus >= 1 && job.num_gpus <= max_gpus,
+                                job.num_gpus() >= 1 && job.num_gpus() <= max_gpus,
                                 "job {} requests {} GPUs on a {}-GPU machine",
                                 job.id,
-                                job.num_gpus,
+                                job.num_gpus(),
                                 max_gpus
                             );
                         };
@@ -1147,6 +1236,7 @@ impl<B: SchedulerBackend> Engine<B> {
         SimReport {
             topology_name: self.backend.label(),
             policy_name: self.backend.policy_label(),
+            slo: SloStats::from_records(&records),
             records,
             makespan_seconds: makespan,
             throughput_jobs_per_hour: throughput,
@@ -1176,7 +1266,7 @@ impl<B: SchedulerBackend> Engine<B> {
                         continue;
                     }
                     st.blocks += 1;
-                    if self.backend.total_free_gpus() >= pending.job.num_gpus {
+                    if self.backend.total_free_gpus() >= pending.job.num_gpus() {
                         st.frag_blocks += 1;
                     }
                     if self.config.strict_fifo {
@@ -1322,7 +1412,7 @@ impl<B: SchedulerBackend> Engine<B> {
         let topology = self.backend.server_topology(p.server);
         let job = &pending.job;
         let workload_bw = perf::workload_effbw(job.workload, topology, &p.gpus);
-        let iter_time = perf::iteration_time_with_effbw(job.workload, job.num_gpus, workload_bw);
+        let iter_time = perf::iteration_time_with_effbw(job.workload, job.num_gpus(), workload_bw);
         let exec =
             iter_time * pending.remaining_iterations() as f64 + pending.restore_penalty_seconds;
         if pending.preemptions > 0 {
@@ -1480,18 +1570,10 @@ mod tests {
     use super::*;
     use mapa_core::policy::{BaselinePolicy, GreedyPolicy, PreservePolicy};
     use mapa_topology::machines;
-    use mapa_workloads::{generator, AppTopology, Workload};
+    use mapa_workloads::{generator, Workload};
 
     fn job(id: u64, n: usize, workload: Workload, iters: u64) -> JobSpec {
-        JobSpec {
-            id,
-            num_gpus: n,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: workload.is_bandwidth_sensitive(),
-            workload,
-            iterations: iters,
-            priority: 0,
-        }
+        JobSpec::new(id, mapa_workloads::GpuDemand::Whole(n), workload).with_iterations(iters)
     }
 
     #[test]
@@ -1582,7 +1664,7 @@ mod tests {
             assert!(report.throughput_jobs_per_hour > 0.0, "{name}");
             // GPU occupancy sanity: records have correct sizes.
             for r in &report.records {
-                assert_eq!(r.gpus.len(), r.job.num_gpus, "{name}");
+                assert_eq!(r.gpus.len(), r.job.num_gpus(), "{name}");
             }
             // The single shard accounts for every completed job.
             assert_eq!(report.shards.len(), 1, "{name}");
@@ -1606,7 +1688,7 @@ mod tests {
             let jobs = generator::paper_job_mix(seed);
             let base = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&jobs);
             let pres = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs);
-            let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
+            let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2;
             base_p75 += crate::stats::summarize(&base.execution_times(sens)).p75;
             pres_p75 += crate::stats::summarize(&pres.execution_times(sens)).p75;
         }
@@ -1621,7 +1703,7 @@ mod tests {
         let jobs = generator::paper_job_mix(13);
         let base = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&jobs);
         let greedy = Simulation::new(machines::dgx1_v100(), Box::new(GreedyPolicy)).run(&jobs);
-        let multi = |r: &JobRecord| r.job.num_gpus >= 2;
+        let multi = |r: &JobRecord| r.job.num_gpus() >= 2;
         let base_bw = crate::stats::summarize(&base.predicted_eff_bws(multi));
         let greedy_bw = crate::stats::summarize(&greedy.predicted_eff_bws(multi));
         assert!(
@@ -1641,7 +1723,7 @@ mod tests {
             assert!((r.finished_at - r.started_at - r.execution_seconds).abs() < 1e-9);
             assert!(r.queue_wait_seconds >= 0.0);
             assert!((0.0..=1.0 + 1e-9).contains(&r.allocation_quality));
-            if r.job.num_gpus >= 2 {
+            if r.job.num_gpus() >= 2 {
                 assert!(r.measured_eff_bw > 0.0);
                 assert!(r.workload_eff_bw > 0.0);
             } else {
@@ -1784,7 +1866,7 @@ mod tests {
                 ..SimConfig::default()
             })
             .run(&jobs[..150]);
-        let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
+        let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2;
         let batch_s = crate::stats::summarize(&batch.predicted_eff_bws(sens));
         let light_s = crate::stats::summarize(&light.predicted_eff_bws(sens));
         assert!(
@@ -1910,10 +1992,7 @@ mod tests {
     }
 
     fn pri_job(id: u64, n: usize, iters: u64, priority: u8) -> JobSpec {
-        JobSpec {
-            priority,
-            ..job(id, n, Workload::Gmm, iters)
-        }
+        job(id, n, Workload::Gmm, iters).with_priority(priority)
     }
 
     fn preemptive_config(policy: mapa_core::PreemptionPolicy, gap: f64) -> SimConfig {
@@ -2019,10 +2098,7 @@ mod tests {
         // The running job is bandwidth-sensitive: sensitivity-aware
         // eviction refuses, the urgent job waits; plain priority eviction
         // would have taken the GPUs.
-        let sensitive_holder = JobSpec {
-            bandwidth_sensitive: true,
-            ..pri_job(1, 8, 1000, 0)
-        };
+        let sensitive_holder = pri_job(1, 8, 1000, 0).with_bandwidth_sensitive(true);
         let jobs = vec![sensitive_holder, pri_job(2, 8, 10, 1)];
         let shielded_run = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy))
             .with_config(preemptive_config(
@@ -2130,5 +2206,64 @@ mod tests {
     #[should_panic(expected = "burst size must be at least 1")]
     fn bad_burst_config_panics() {
         let _ = ArrivalProcess::Bursts { size: 0, gap: 1.0 }.submission_times(3);
+    }
+
+    #[test]
+    fn inference_mix_reports_slo_attainment() {
+        let mix = generator::generate_jobs(
+            &mapa_workloads::generator::JobMixConfig {
+                job_count: 60,
+                inference_fraction: 0.4,
+                ..Default::default()
+            },
+            11,
+        );
+        let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&mix);
+        let tagged = mix.iter().filter(|j| j.has_slo()).count();
+        assert!(tagged > 0, "mix must contain inference tenants");
+        assert_eq!(report.slo.jobs, tagged, "every tagged job is counted");
+        assert_eq!(report.slo.met + report.slo.missed, report.slo.jobs);
+        assert!(report.slo.p95_latency_ms > 0.0);
+        assert!(report.slo.p95_target_ms > 0.0);
+        assert!((0.0..=1.0).contains(&report.slo.attainment()));
+        // The report's counters are exactly a recount over its records.
+        assert_eq!(report.slo, SloStats::from_records(&report.records));
+        // Training-only runs report all-zero SLO stats.
+        let plain = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .run(&generator::paper_job_mix(11)[..30]);
+        assert_eq!(plain.slo, SloStats::default());
+        assert_eq!(plain.slo.attainment(), 1.0, "vacuously attained");
+    }
+
+    #[test]
+    fn partitioned_machine_runs_mixed_tenants_to_completion() {
+        use mapa_topology::PartitionPlan;
+        use mapa_workloads::GpuDemand;
+        let topo = PartitionPlan::new()
+            .split(0, 4)
+            .apply(&machines::dgx1_v100())
+            .into_topology();
+        let map = topo.slice_map().unwrap().clone();
+        let jobs = vec![
+            job(1, 2, Workload::Vgg16, 50),
+            JobSpec::new(2, GpuDemand::Slices(2), Workload::BertServing).with_slo(40.0),
+            job(3, 3, Workload::ResNet50, 50),
+            JobSpec::new(4, GpuDemand::Slices(1), Workload::ResNetServing).with_slo(20.0),
+        ];
+        let report = Simulation::new(topo, Box::new(PreservePolicy)).run(&jobs);
+        assert_eq!(report.records.len(), 4);
+        for r in &report.records {
+            assert_eq!(r.gpus.len(), r.job.num_gpus());
+            if !r.job.is_fractional() {
+                assert!(
+                    r.gpus.iter().all(|&v| !map.is_slice(v)),
+                    "whole job {} on slices: {:?}",
+                    r.job.id,
+                    r.gpus
+                );
+            }
+        }
+        assert_eq!(report.slo.jobs, 2);
+        assert_eq!(report.slo, SloStats::from_records(&report.records));
     }
 }

@@ -68,7 +68,7 @@ impl PolicyComparison {
     /// Panics if the comparison does not include a "baseline" report.
     #[must_use]
     pub fn table3(&self) -> Vec<Table3Row> {
-        self.table3_filtered(|r| r.job.num_gpus >= 2)
+        self.table3_filtered(|r| r.job.num_gpus() >= 2)
     }
 
     /// Table 3 restricted to bandwidth-sensitive multi-GPU jobs — the
@@ -79,7 +79,7 @@ impl PolicyComparison {
     /// Panics if the comparison does not include a "baseline" report.
     #[must_use]
     pub fn table3_sensitive(&self) -> Vec<Table3Row> {
-        self.table3_filtered(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2)
+        self.table3_filtered(|r| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2)
     }
 
     /// Table 3 over an arbitrary job filter.
@@ -114,7 +114,7 @@ impl PolicyComparison {
         let mut workloads: Vec<String> = rep
             .records
             .iter()
-            .filter(|r| r.job.num_gpus >= 2)
+            .filter(|r| r.job.num_gpus() >= 2)
             .map(|r| r.job.workload.name().to_string())
             .collect();
         workloads.sort();
@@ -123,9 +123,9 @@ impl PolicyComparison {
             .into_iter()
             .map(|w| {
                 let times =
-                    rep.execution_times(|r| r.job.workload.name() == w && r.job.num_gpus >= 2);
+                    rep.execution_times(|r| r.job.workload.name() == w && r.job.num_gpus() >= 2);
                 let bws =
-                    rep.predicted_eff_bws(|r| r.job.workload.name() == w && r.job.num_gpus >= 2);
+                    rep.predicted_eff_bws(|r| r.job.workload.name() == w && r.job.num_gpus() >= 2);
                 (w, stats::summarize(&times), stats::summarize(&bws))
             })
             .collect()

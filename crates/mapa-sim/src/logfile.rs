@@ -98,6 +98,17 @@ pub fn write_log(report: &SimReport) -> String {
             report.gangs.max_wait_seconds,
         ));
     }
+    if report.slo.jobs > 0 {
+        out.push_str(&format!(
+            "# slo: jobs={} met={} missed={} attainment={:.4} p95_latency_ms={:.3} p95_target_ms={:.3}\n",
+            report.slo.jobs,
+            report.slo.met,
+            report.slo.missed,
+            report.slo.attainment(),
+            report.slo.p95_latency_ms,
+            report.slo.p95_target_ms,
+        ));
+    }
     out
 }
 
@@ -367,6 +378,34 @@ mod tests {
         );
         // Trailers stay invisible to the tolerant reader.
         assert_eq!(parse_log(&text).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn log_carries_the_slo_trailer_only_for_inference_mixes() {
+        let training = generator::paper_job_mix(9);
+        let quiet =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&training[..10]);
+        assert!(!write_log(&quiet).contains("# slo:"), "no tenants, no line");
+        let mix = generator::generate_jobs(
+            &generator::JobMixConfig {
+                job_count: 20,
+                inference_fraction: 0.5,
+                ..Default::default()
+            },
+            9,
+        );
+        let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&mix);
+        let text = write_log(&report);
+        assert!(
+            text.contains(&format!(
+                "# slo: jobs={} met={} missed={}",
+                report.slo.jobs, report.slo.met, report.slo.missed
+            )),
+            "{text}"
+        );
+        assert!(text.contains("p95_latency_ms="), "{text}");
+        // Trailer stays invisible to the tolerant reader.
+        assert_eq!(parse_log(&text).unwrap().len(), 20);
     }
 
     #[test]

@@ -99,19 +99,15 @@ mod tests {
     use crate::Simulation;
     use mapa_core::policy::BaselinePolicy;
     use mapa_topology::machines;
-    use mapa_workloads::{AppTopology, JobSpec, Workload};
+    use mapa_workloads::{GpuDemand, JobSpec, Workload};
 
     fn jobs(specs: &[(u64, usize, u64)]) -> Vec<JobSpec> {
         specs
             .iter()
-            .map(|&(id, n, iters)| JobSpec {
-                id,
-                num_gpus: n,
-                topology: AppTopology::Ring,
-                bandwidth_sensitive: false,
-                workload: Workload::Gmm,
-                iterations: iters,
-                priority: 0,
+            .map(|&(id, n, iters)| {
+                JobSpec::new(id, GpuDemand::Whole(n), Workload::Gmm)
+                    .with_bandwidth_sensitive(false)
+                    .with_iterations(iters)
             })
             .collect()
     }
@@ -181,6 +177,7 @@ mod tests {
             dispatch: None,
             preemption: crate::PreemptionStats::default(),
             gangs: crate::GangStats::default(),
+            slo: crate::SloStats::default(),
         };
         let _ = utilization(&report, 8);
     }

@@ -47,3 +47,4 @@ pub mod virt;
 pub use link::{LinkMix, LinkType};
 pub use state::{AllocationError, HardwareState, JobId, OccupancySignature};
 pub use topology::Topology;
+pub use virt::{PartitionPlan, SliceBandwidth, SliceMap, VirtualTopology};

@@ -228,6 +228,58 @@ impl HardwareState {
         self.busy.clone()
     }
 
+    /// The physical GPU vertex `v` lives on. Identity on unpartitioned
+    /// machines; the slice→physical map on machines built by a
+    /// [`crate::virt::PartitionPlan`].
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn physical_of(&self, v: usize) -> usize {
+        assert!(v < self.topology.gpu_count(), "vertex {v} out of range");
+        self.topology.slice_map().map_or(v, |m| m.physical_of(v))
+    }
+
+    /// Number of physical GPUs (≤ vertex count on partitioned machines).
+    #[must_use]
+    pub fn physical_gpu_count(&self) -> usize {
+        self.topology
+            .slice_map()
+            .map_or(self.topology.gpu_count(), |m| m.physical_count())
+    }
+
+    /// How many *busy* vertices co-reside with `v` on its physical GPU,
+    /// excluding `v` itself. Always 0 on unpartitioned machines — the
+    /// allocator's co-residency pressure term reads exactly this.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn co_resident_busy(&self, v: usize) -> usize {
+        assert!(v < self.topology.gpu_count(), "vertex {v} out of range");
+        match self.topology.slice_map() {
+            Some(m) => m
+                .vertices_of(m.physical_of(v))
+                .filter(|&w| w != v && !self.is_free(w))
+                .count(),
+            None => 0,
+        }
+    }
+
+    /// Occupied slices on physical GPU `phys` (0 or 1 on unpartitioned
+    /// machines). Never exceeds the GPU's slice count — the conservation
+    /// invariant the slice property tests pin.
+    ///
+    /// # Panics
+    /// Panics if `phys` is out of range.
+    #[must_use]
+    pub fn busy_slices_of_physical(&self, phys: usize) -> usize {
+        match self.topology.slice_map() {
+            Some(m) => m.vertices_of(phys).filter(|&w| !self.is_free(w)).count(),
+            None => usize::from(!self.is_free(phys)),
+        }
+    }
+
     /// The remaining hardware graph `G ∖ busy` (complete over free GPUs)
     /// plus the mapping from its vertex ids back to physical GPU ids.
     #[must_use]
@@ -463,6 +515,47 @@ mod tests {
         // for these two specific masks they must (checked here so a silent
         // hashing regression is caught).
         assert_ne!(idle.fingerprint(), busy.fingerprint());
+    }
+
+    #[test]
+    fn slice_queries_on_unpartitioned_machines_are_identity() {
+        let mut s = state();
+        s.allocate(1, &[0, 1]).unwrap();
+        assert_eq!(s.physical_gpu_count(), 8);
+        for v in 0..8 {
+            assert_eq!(s.physical_of(v), v);
+            assert_eq!(s.co_resident_busy(v), 0);
+        }
+        assert_eq!(s.busy_slices_of_physical(0), 1);
+        assert_eq!(s.busy_slices_of_physical(2), 0);
+    }
+
+    #[test]
+    fn slice_queries_track_co_residency() {
+        use crate::virt::PartitionPlan;
+        // GPU 0 → 3 slices (vertices 0,1,2), the rest whole (3..=9).
+        let topo = PartitionPlan::new()
+            .split(0, 3)
+            .apply(&machines::dgx1_v100())
+            .into_topology();
+        let mut s = HardwareState::new(topo);
+        assert_eq!(s.physical_gpu_count(), 8);
+        assert_eq!(s.physical_of(2), 0);
+        assert_eq!(s.physical_of(3), 1);
+
+        s.allocate(1, &[0]).unwrap();
+        s.allocate(2, &[2, 3]).unwrap();
+        // Vertex 1 is free but sees two busy co-resident slices.
+        assert_eq!(s.co_resident_busy(1), 2);
+        assert_eq!(s.co_resident_busy(0), 1, "excludes itself");
+        assert_eq!(s.co_resident_busy(3), 0, "whole GPUs have no co-residents");
+        assert_eq!(s.busy_slices_of_physical(0), 2);
+        assert_eq!(s.busy_slices_of_physical(1), 1);
+        assert_eq!(s.busy_slices_of_physical(2), 0);
+
+        s.deallocate(2).unwrap();
+        assert_eq!(s.co_resident_busy(1), 1);
+        assert_eq!(s.busy_slices_of_physical(0), 1);
     }
 
     proptest! {

@@ -1,6 +1,7 @@
 //! The [`Topology`] type: a named machine with GPUs, direct links, and
 //! socket domains.
 
+use crate::virt::SliceMap;
 use crate::{LinkMix, LinkType};
 use mapa_graph::{dot, Graph, WeightedGraph};
 
@@ -15,6 +16,10 @@ pub struct Topology {
     name: String,
     links: Graph<LinkType>,
     sockets: Vec<usize>,
+    /// Present iff this machine came out of a
+    /// [`crate::virt::PartitionPlan`]: which physical GPU each vertex
+    /// lives on. `None` for ordinary machines.
+    slices: Option<SliceMap>,
 }
 
 impl Topology {
@@ -39,7 +44,35 @@ impl Topology {
             name: name.into(),
             links,
             sockets,
+            slices: None,
         }
+    }
+
+    /// Attaches a slice↔physical map (partition-plan expansion only).
+    ///
+    /// # Panics
+    /// Panics if the map's vertex count disagrees with the topology's.
+    pub(crate) fn with_slice_map(mut self, map: SliceMap) -> Self {
+        assert_eq!(
+            map.vertex_count(),
+            self.gpu_count(),
+            "slice map must cover every vertex"
+        );
+        self.slices = Some(map);
+        self
+    }
+
+    /// The slice↔physical map, when this machine is the expansion of a
+    /// [`crate::virt::PartitionPlan`]; `None` for ordinary machines.
+    #[must_use]
+    pub fn slice_map(&self) -> Option<&SliceMap> {
+        self.slices.as_ref()
+    }
+
+    /// Whether any physical GPU of this machine is split into slices.
+    #[must_use]
+    pub fn is_partitioned(&self) -> bool {
+        self.slices.as_ref().is_some_and(SliceMap::is_partitioned)
     }
 
     /// The machine's name (e.g. `"DGX-1 V100"`).

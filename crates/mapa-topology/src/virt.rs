@@ -10,12 +10,20 @@
 //! bandwidth per slice is selectable), and slices of the same GPU talk
 //! through on-die memory, modeled as the fastest link class.
 //!
-//! Interference between co-resident slices competing for the same physical
-//! links is out of scope, exactly as the paper leaves it ("account … for
-//! the potential interference of the inter-accelerator interconnects").
+//! The entry point is [`PartitionPlan`]: declare which GPUs split into how
+//! many slices, then [`PartitionPlan::apply`] it to a machine to get a
+//! [`VirtualTopology`] whose [`SliceMap`] names every slice's physical
+//! GPU. The map travels inside the [`Topology`] itself, so allocators and
+//! schedulers downstream see slice structure without extra plumbing.
+//!
+//! Static link interference is still out of scope exactly as the paper
+//! leaves it; *dynamic* co-residency pressure is scored by the allocator
+//! (see `mapa-core`), which reads the [`SliceMap`] embedded here.
 
 use crate::{LinkType, Topology};
 use mapa_graph::Graph;
+use std::collections::BTreeMap;
+use std::fmt;
 
 /// How a slice shares its physical GPU's external links.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +36,347 @@ pub enum SliceBandwidth {
     Degraded,
 }
 
+/// Slice↔physical mapping of a partitioned machine.
+///
+/// Vertices of a [`VirtualTopology`] are slices (or whole GPUs, for
+/// physical GPUs the plan left alone); this type answers which physical
+/// GPU each vertex lives on and how many slices each physical GPU was cut
+/// into. Slices of one GPU always occupy consecutive vertex ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceMap {
+    /// Per vertex: the physical GPU it lives on.
+    phys_of: Vec<usize>,
+    /// Per physical GPU: how many slices it was cut into (1 = whole).
+    slice_count: Vec<usize>,
+    /// Per physical GPU: its first vertex id.
+    first_vertex: Vec<usize>,
+}
+
+impl SliceMap {
+    fn new(phys_of: Vec<usize>, slice_count: Vec<usize>) -> Self {
+        let mut first_vertex = Vec::with_capacity(slice_count.len());
+        let mut next = 0;
+        for &c in &slice_count {
+            first_vertex.push(next);
+            next += c;
+        }
+        debug_assert_eq!(next, phys_of.len());
+        Self {
+            phys_of,
+            slice_count,
+            first_vertex,
+        }
+    }
+
+    /// An identity map: `n` physical GPUs, none sliced.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self::new((0..n).collect(), vec![1; n])
+    }
+
+    /// Number of vertices (slices + whole GPUs).
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.phys_of.len()
+    }
+
+    /// Number of physical GPUs.
+    #[must_use]
+    pub fn physical_count(&self) -> usize {
+        self.slice_count.len()
+    }
+
+    /// The physical GPU vertex `v` lives on.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn physical_of(&self, v: usize) -> usize {
+        self.phys_of[v]
+    }
+
+    /// How many slices physical GPU `phys` was cut into (1 = whole).
+    ///
+    /// # Panics
+    /// Panics if `phys` is out of range.
+    #[must_use]
+    pub fn slices_of(&self, phys: usize) -> usize {
+        self.slice_count[phys]
+    }
+
+    /// The vertex ids living on physical GPU `phys` (consecutive).
+    ///
+    /// # Panics
+    /// Panics if `phys` is out of range.
+    #[must_use]
+    pub fn vertices_of(&self, phys: usize) -> std::ops::Range<usize> {
+        let first = self.first_vertex[phys];
+        first..first + self.slice_count[phys]
+    }
+
+    /// Whether vertex `v` is a slice of a partitioned GPU (as opposed to
+    /// a whole GPU the plan left alone).
+    #[must_use]
+    pub fn is_slice(&self, v: usize) -> bool {
+        self.slice_count[self.phys_of[v]] > 1
+    }
+
+    /// Whether two vertices share a physical GPU.
+    #[must_use]
+    pub fn co_resident(&self, a: usize, b: usize) -> bool {
+        self.phys_of[a] == self.phys_of[b]
+    }
+
+    /// Whether any GPU is actually split.
+    #[must_use]
+    pub fn is_partitioned(&self) -> bool {
+        self.slice_count.iter().any(|&c| c > 1)
+    }
+}
+
+/// A declarative multi-GPU partition plan: which physical GPUs split into
+/// how many slices, and how slices share external links.
+///
+/// ```
+/// use mapa_topology::virt::{PartitionPlan, SliceBandwidth};
+/// use mapa_topology::machines;
+///
+/// let virt = PartitionPlan::new()
+///     .split(0, 7)
+///     .split(3, 2)
+///     .apply(&machines::dgx1_v100());
+/// assert_eq!(virt.topology().gpu_count(), 8 + 6 + 1);
+/// assert_eq!(virt.slice_map().slices_of(0), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartitionPlan {
+    splits: BTreeMap<usize, usize>,
+    degraded: bool,
+}
+
+impl PartitionPlan {
+    /// An empty plan (no GPU split, links shared).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the slice-bandwidth mode for the whole plan (default
+    /// [`SliceBandwidth::Shared`]).
+    #[must_use]
+    pub fn with_bandwidth(mut self, bandwidth: SliceBandwidth) -> Self {
+        self.degraded = bandwidth == SliceBandwidth::Degraded;
+        self
+    }
+
+    /// Splits physical GPU `gpu` into `slices` slices. Splitting the same
+    /// GPU twice keeps the last value; `slices = 1` removes the split.
+    ///
+    /// # Panics
+    /// Panics if `slices` is 0 or exceeds 7 (MIG's hardware limit).
+    #[must_use]
+    pub fn split(mut self, gpu: usize, slices: usize) -> Self {
+        assert!(
+            (1..=7).contains(&slices),
+            "MIG supports 1..=7 slices, got {slices}"
+        );
+        if slices == 1 {
+            self.splits.remove(&gpu);
+        } else {
+            self.splits.insert(gpu, slices);
+        }
+        self
+    }
+
+    /// Whether the plan splits nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.splits.is_empty()
+    }
+
+    /// The slice-bandwidth mode.
+    #[must_use]
+    pub fn bandwidth(&self) -> SliceBandwidth {
+        if self.degraded {
+            SliceBandwidth::Degraded
+        } else {
+            SliceBandwidth::Shared
+        }
+    }
+
+    /// The `(gpu, slices)` pairs, ascending by GPU.
+    pub fn splits(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.splits.iter().map(|(&g, &s)| (g, s))
+    }
+
+    /// Parses the CLI spelling `"gpu:slices,gpu:slices,..."` (e.g.
+    /// `"0:7,3:2"`), optionally suffixed with `";degraded"` for
+    /// [`SliceBandwidth::Degraded`].
+    ///
+    /// # Errors
+    /// Returns a human-readable message for malformed input.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        let (body, mode) = match s.split_once(';') {
+            Some((body, mode)) => (body, Some(mode.trim())),
+            None => (s, None),
+        };
+        let mut plan = PartitionPlan::new();
+        match mode {
+            None => {}
+            Some(m) if m.eq_ignore_ascii_case("shared") => {}
+            Some(m) if m.eq_ignore_ascii_case("degraded") => {
+                plan = plan.with_bandwidth(SliceBandwidth::Degraded);
+            }
+            Some(m) => return Err(format!("unknown slice-bandwidth mode '{m}'")),
+        }
+        for part in body.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (gpu, slices) = part
+                .split_once(':')
+                .ok_or_else(|| format!("expected gpu:slices, got '{part}'"))?;
+            let gpu: usize = gpu
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad GPU index '{gpu}'"))?;
+            let slices: usize = slices
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad slice count '{slices}'"))?;
+            if !(1..=7).contains(&slices) {
+                return Err(format!("MIG supports 1..=7 slices, got {slices}"));
+            }
+            plan = plan.split(gpu, slices);
+        }
+        Ok(plan)
+    }
+
+    /// Canonical spelling, parseable by [`PartitionPlan::parse`].
+    #[must_use]
+    pub fn label(&self) -> String {
+        let body = self
+            .splits
+            .iter()
+            .map(|(g, s)| format!("{g}:{s}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        if self.degraded {
+            format!("{body};degraded")
+        } else {
+            body
+        }
+    }
+
+    /// Applies the plan to a machine, expanding each split GPU in place
+    /// into consecutive slice vertices. Physical GPUs keep their relative
+    /// order; the virtual machine's name encodes the plan (so model
+    /// caches keyed by machine name never confuse two plans).
+    ///
+    /// # Panics
+    /// Panics if any split GPU is out of range, or if `topology` is
+    /// already partitioned.
+    #[must_use]
+    pub fn apply(&self, topology: &Topology) -> VirtualTopology {
+        assert!(
+            topology.slice_map().is_none(),
+            "topology '{}' is already partitioned",
+            topology.name()
+        );
+        let n_old = topology.gpu_count();
+        for &gpu in self.splits.keys() {
+            assert!(gpu < n_old, "GPU {gpu} out of range");
+        }
+
+        let copies = |old: usize| -> usize { self.splits.get(&old).copied().unwrap_or(1) };
+        // old vertex -> first new vertex id.
+        let mut new_id = Vec::with_capacity(n_old);
+        let mut phys_of = Vec::new();
+        let mut slice_count = Vec::with_capacity(n_old);
+        for old in 0..n_old {
+            new_id.push(phys_of.len());
+            let c = copies(old);
+            slice_count.push(c);
+            for _ in 0..c {
+                phys_of.push(old);
+            }
+        }
+        let n_new = phys_of.len();
+
+        let degrade = |l: LinkType| -> Option<LinkType> {
+            match l {
+                LinkType::DoubleNvLink2 => Some(LinkType::SingleNvLink2),
+                LinkType::SingleNvLink2 | LinkType::SingleNvLink1 => None, // PCIe fallback
+                LinkType::Pcie => None,
+            }
+        };
+
+        let mut g: Graph<LinkType> = Graph::new(n_new);
+        for (a, b, link) in topology.link_graph().edges() {
+            // A link is degraded when either endpoint is actually sliced.
+            let effective = if self.degraded && (copies(a) > 1 || copies(b) > 1) {
+                degrade(link)
+            } else {
+                Some(link)
+            };
+            if let Some(l) = effective {
+                for ta in new_id[a]..new_id[a] + copies(a) {
+                    for tb in new_id[b]..new_id[b] + copies(b) {
+                        g.add_edge(ta, tb, l).expect("expansion edges valid");
+                    }
+                }
+            }
+        }
+        // On-die links among slices of the same GPU.
+        for (old, &base) in new_id.iter().enumerate() {
+            for i in 0..copies(old) {
+                for j in (i + 1)..copies(old) {
+                    g.add_edge(base + i, base + j, LinkType::DoubleNvLink2)
+                        .expect("intra-GPU links valid");
+                }
+            }
+        }
+
+        let sockets = phys_of.iter().map(|&p| topology.socket_of(p)).collect();
+        let name = format!("{}+MIG({})", topology.name(), self.label());
+        let map = SliceMap::new(phys_of, slice_count);
+        let topology = Topology::new(name, g, sockets).with_slice_map(map.clone());
+        VirtualTopology { topology, map }
+    }
+}
+
+impl fmt::Display for PartitionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A partitioned machine: the expanded [`Topology`] (which also carries
+/// the [`SliceMap`] internally) plus the map as a named handle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualTopology {
+    topology: Topology,
+    map: SliceMap,
+}
+
+impl VirtualTopology {
+    /// The expanded machine topology (slice map embedded).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Consumes the virtual machine, yielding the topology.
+    #[must_use]
+    pub fn into_topology(self) -> Topology {
+        self.topology
+    }
+
+    /// The slice↔physical mapping.
+    #[must_use]
+    pub fn slice_map(&self) -> &SliceMap {
+        &self.map
+    }
+}
+
 /// Splits physical GPU `gpu` of `topology` into `slices` virtual GPUs.
 ///
 /// Virtual vertex ids: the physical GPUs keep their relative order; GPU
@@ -37,6 +386,10 @@ pub enum SliceBandwidth {
 /// # Panics
 /// Panics if `gpu` is out of range or `slices` is 0 or exceeds 7 (MIG's
 /// hardware limit).
+#[deprecated(
+    since = "0.8.0",
+    note = "use PartitionPlan::new().split(gpu, slices).apply(&topology)"
+)]
 #[must_use]
 pub fn partition_gpu(
     topology: &Topology,
@@ -45,77 +398,18 @@ pub fn partition_gpu(
     bandwidth: SliceBandwidth,
 ) -> (Topology, Vec<usize>) {
     assert!(gpu < topology.gpu_count(), "GPU {gpu} out of range");
-    assert!(
-        (1..=7).contains(&slices),
-        "MIG supports 1..=7 slices, got {slices}"
-    );
-
-    let n_old = topology.gpu_count();
-    let n_new = n_old + slices - 1;
-
-    // old vertex -> first new vertex id; `gpu` occupies a range.
-    let new_id = |old: usize| -> usize {
-        if old <= gpu {
-            old
-        } else {
-            old + slices - 1
-        }
-    };
-    let mut phys_of = Vec::with_capacity(n_new);
-    for old in 0..n_old {
-        let copies = if old == gpu { slices } else { 1 };
-        for _ in 0..copies {
-            phys_of.push(old);
-        }
-    }
-
-    let degrade = |l: LinkType| -> Option<LinkType> {
-        match l {
-            LinkType::DoubleNvLink2 => Some(LinkType::SingleNvLink2),
-            LinkType::SingleNvLink2 | LinkType::SingleNvLink1 => None, // PCIe fallback
-            LinkType::Pcie => None,
-        }
-    };
-
-    let mut g: Graph<LinkType> = Graph::new(n_new);
-    for (a, b, link) in topology.link_graph().edges() {
-        let targets_a: Vec<usize> = if a == gpu {
-            (new_id(a)..new_id(a) + slices).collect()
-        } else {
-            vec![new_id(a)]
-        };
-        let targets_b: Vec<usize> = if b == gpu {
-            (new_id(b)..new_id(b) + slices).collect()
-        } else {
-            vec![new_id(b)]
-        };
-        let effective = match bandwidth {
-            SliceBandwidth::Shared => Some(link),
-            SliceBandwidth::Degraded if slices == 1 => Some(link),
-            SliceBandwidth::Degraded => degrade(link),
-        };
-        if let Some(l) = effective {
-            for &ta in &targets_a {
-                for &tb in &targets_b {
-                    g.add_edge(ta, tb, l).expect("expansion edges valid");
-                }
-            }
-        }
-    }
-    // On-die links among slices of the same GPU.
-    for i in 0..slices {
-        for j in (i + 1)..slices {
-            g.add_edge(new_id(gpu) + i, new_id(gpu) + j, LinkType::DoubleNvLink2)
-                .expect("intra-GPU links valid");
-        }
-    }
-
-    let sockets = phys_of.iter().map(|&p| topology.socket_of(p)).collect();
-    let virt = Topology::new(format!("{}+MIG", topology.name()), g, sockets);
-    (virt, phys_of)
+    let virt = PartitionPlan::new()
+        .with_bandwidth(bandwidth)
+        .split(gpu, slices)
+        .apply(topology);
+    let phys = (0..virt.slice_map().vertex_count())
+        .map(|v| virt.slice_map().physical_of(v))
+        .collect();
+    (virt.into_topology(), phys)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::machines;
@@ -199,5 +493,86 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_gpu_rejected() {
         let _ = partition_gpu(&machines::dgx1_v100(), 8, 2, SliceBandwidth::Shared);
+    }
+
+    #[test]
+    fn shim_matches_plan_expansion() {
+        // The deprecated single-GPU call is exactly a one-split plan.
+        let dgx = machines::dgx1_v100();
+        for bw in [SliceBandwidth::Shared, SliceBandwidth::Degraded] {
+            let (old_topo, old_phys) = partition_gpu(&dgx, 3, 4, bw);
+            let plan = PartitionPlan::new().with_bandwidth(bw).split(3, 4);
+            let virt = plan.apply(&dgx);
+            assert_eq!(virt.topology(), &old_topo);
+            let phys: Vec<usize> = (0..virt.slice_map().vertex_count())
+                .map(|v| virt.slice_map().physical_of(v))
+                .collect();
+            assert_eq!(phys, old_phys);
+        }
+    }
+
+    #[test]
+    fn multi_gpu_plan_expands_every_split() {
+        let dgx = machines::dgx1_v100();
+        let virt = PartitionPlan::new().split(0, 7).split(3, 2).apply(&dgx);
+        let map = virt.slice_map();
+        assert_eq!(virt.topology().gpu_count(), 7 + 2 + 6);
+        assert_eq!(map.vertex_count(), 15);
+        assert_eq!(map.physical_count(), 8);
+        assert_eq!(map.slices_of(0), 7);
+        assert_eq!(map.slices_of(3), 2);
+        assert_eq!(map.slices_of(1), 1);
+        assert_eq!(map.vertices_of(0), 0..7);
+        // Physical 1 follows GPU 0's seven slices.
+        assert_eq!(map.vertices_of(1), 7..8);
+        assert_eq!(map.vertices_of(3), 9..11);
+        assert!(map.is_slice(0) && map.is_slice(9));
+        assert!(!map.is_slice(7), "unsplit GPUs are whole vertices");
+        assert!(map.co_resident(9, 10));
+        assert!(!map.co_resident(0, 9));
+        // The map also rides inside the topology.
+        assert_eq!(virt.topology().slice_map(), Some(map));
+        assert!(virt.topology().is_partitioned());
+    }
+
+    #[test]
+    fn plan_name_encodes_the_plan() {
+        let dgx = machines::dgx1_v100();
+        let shared = PartitionPlan::new().split(0, 7).split(3, 2).apply(&dgx);
+        assert_eq!(shared.topology().name(), "DGX-1 V100+MIG(0:7,3:2)");
+        let degraded = PartitionPlan::new()
+            .with_bandwidth(SliceBandwidth::Degraded)
+            .split(0, 2)
+            .apply(&dgx);
+        assert_eq!(degraded.topology().name(), "DGX-1 V100+MIG(0:2;degraded)");
+    }
+
+    #[test]
+    fn plan_parse_roundtrip() {
+        for text in ["0:7,3:2", "0:2;degraded", "5:4"] {
+            let plan = PartitionPlan::parse(text).unwrap();
+            assert_eq!(plan.label(), text);
+            assert_eq!(PartitionPlan::parse(&plan.label()).unwrap(), plan);
+        }
+        assert!(PartitionPlan::parse("0:8").is_err());
+        assert!(PartitionPlan::parse("0-7").is_err());
+        assert!(PartitionPlan::parse("x:2").is_err());
+        assert!(PartitionPlan::parse("0:2;sideways").is_err());
+        assert!(PartitionPlan::parse("").unwrap().is_empty());
+        // `shared` is the explicit spelling of the default.
+        assert_eq!(
+            PartitionPlan::parse("0:2;shared").unwrap(),
+            PartitionPlan::parse("0:2").unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already partitioned")]
+    fn double_partition_rejected() {
+        let once = PartitionPlan::new()
+            .split(0, 2)
+            .apply(&machines::dgx1_v100())
+            .into_topology();
+        let _ = PartitionPlan::new().split(1, 2).apply(&once);
     }
 }

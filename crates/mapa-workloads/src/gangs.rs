@@ -49,7 +49,7 @@ impl JobGroup {
     /// GPUs the whole gang needs simultaneously.
     #[must_use]
     pub fn total_gpus(&self) -> usize {
-        self.members.iter().map(|m| m.num_gpus).sum()
+        self.members.iter().map(|m| m.num_gpus()).sum()
     }
 
     /// Highest member priority — the priority the gang presents to
@@ -87,19 +87,13 @@ impl JobGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::jobs::AppTopology;
+    use crate::jobs::GpuDemand;
     use crate::network::Workload;
 
     fn job(id: u64, n: usize, priority: u8) -> JobSpec {
-        JobSpec {
-            id,
-            num_gpus: n,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: true,
-            workload: Workload::Vgg16,
-            iterations: 10,
-            priority,
-        }
+        JobSpec::new(id, GpuDemand::Whole(n), Workload::Vgg16)
+            .with_iterations(10)
+            .with_priority(priority)
     }
 
     #[test]

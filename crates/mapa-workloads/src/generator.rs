@@ -5,8 +5,15 @@
 //! requested GPUs, from 1 to 5, which follows a uniform distribution"
 //! (citing Philly's observation that multi-tenant GPU request sizes are
 //! roughly uniform).
+//!
+//! Beyond the paper, [`JobMixConfig::inference_fraction`] mixes in
+//! SLO-tagged inference tenants (fractional slice demands, short recurring
+//! requests) for the MIG/spatial-sharing studies. The fraction defaults to
+//! `0.0`, and a zero fraction consumes exactly the paper's RNG stream, so
+//! default mixes — and every golden schedule built on them — are
+//! bit-identical to earlier releases.
 
-use crate::jobs::{AppTopology, JobSpec};
+use crate::jobs::{GpuDemand, JobSpec};
 use crate::network::Workload;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -27,6 +34,18 @@ pub struct JobMixConfig {
     /// factor in `[1 - jitter, 1 + jitter]` so durations vary (paper jobs
     /// embed measured execution times with natural variance).
     pub iteration_jitter: f64,
+    /// Fraction of jobs that are SLO-tagged inference tenants in `[0, 1]`
+    /// (default `0.0` — the paper's pure-training mix). Inference jobs
+    /// draw from [`Workload::inference`], request [`GpuDemand::Slices`],
+    /// and carry a latency SLO.
+    pub inference_fraction: f64,
+    /// Inclusive upper bound on an inference tenant's slice demand
+    /// (lower bound is 1).
+    pub inference_slices_max: usize,
+    /// Latency SLO stamped on inference jobs, in milliseconds. `None`
+    /// (the default) derives a per-workload target from
+    /// [`default_slo_ms`].
+    pub inference_slo_ms: Option<f64>,
 }
 
 impl Default for JobMixConfig {
@@ -37,42 +56,83 @@ impl Default for JobMixConfig {
             gpus_max: 5,
             workloads: Workload::all().to_vec(),
             iteration_jitter: 0.2,
+            inference_fraction: 0.0,
+            inference_slices_max: 2,
+            inference_slo_ms: None,
         }
     }
 }
 
+/// The default per-request latency SLO for an inference workload: its
+/// healthy-allocation latency (compute + communication at a 40 GB/s
+/// effective bandwidth) with 25% headroom. Tight enough that saturated
+/// co-residency misses it, loose enough that a well-spread placement
+/// meets it.
+#[must_use]
+pub fn default_slo_ms(workload: Workload) -> f64 {
+    let m = workload.model();
+    (m.compute_seconds + m.comm_bytes_per_iter / 40e9) * 1e3 * 1.25
+}
+
 /// Generates a reproducible random job mix.
 ///
-/// Application topology defaults to [`AppTopology::Ring`] for multi-GPU
-/// CNN jobs (NCCL's large-transfer choice) and `Ring` for HPC codes as
-/// well; 1-GPU jobs get `Ring` trivially (no edges).
+/// Application topology defaults to [`crate::jobs::AppTopology::Ring`]
+/// for multi-GPU CNN jobs (NCCL's large-transfer choice) and `Ring` for
+/// HPC codes as well; 1-GPU jobs get `Ring` trivially (no edges).
+///
+/// Inference tenants are interleaved deterministically (an accumulator
+/// over `inference_fraction`, not an RNG draw), so a zero fraction leaves
+/// the paper's RNG stream untouched.
 ///
 /// # Panics
 /// Panics if the config is degenerate (`gpus_min > gpus_max`, zero
-/// workloads, or jitter outside `[0, 1)`).
+/// workloads, jitter outside `[0, 1)`, `inference_fraction` outside
+/// `[0, 1]`, or a zero `inference_slices_max` with a positive fraction).
 #[must_use]
 pub fn generate_jobs(config: &JobMixConfig, seed: u64) -> Vec<JobSpec> {
     assert!(config.gpus_min >= 1 && config.gpus_min <= config.gpus_max);
     assert!(!config.workloads.is_empty(), "need at least one workload");
     assert!((0.0..1.0).contains(&config.iteration_jitter));
+    assert!(
+        (0.0..=1.0).contains(&config.inference_fraction),
+        "inference fraction must be in [0, 1]"
+    );
+    assert!(
+        config.inference_fraction == 0.0 || config.inference_slices_max >= 1,
+        "inference jobs need at least one slice"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0.0f64;
     (0..config.job_count)
         .map(|i| {
-            let workload = *config.workloads.choose(&mut rng).expect("non-empty pool");
-            let model = workload.model();
-            let num_gpus = rng.random_range(config.gpus_min..=config.gpus_max);
-            let jitter = 1.0 + config.iteration_jitter * (rng.random_range(-1.0f64..=1.0));
-            let iterations = ((model.default_iterations as f64) * jitter)
-                .round()
-                .max(1.0) as u64;
-            JobSpec {
-                id: i as u64 + 1,
-                num_gpus,
-                topology: AppTopology::Ring,
-                bandwidth_sensitive: model.bandwidth_sensitive,
-                workload,
-                iterations,
-                priority: 0,
+            let id = i as u64 + 1;
+            acc += config.inference_fraction;
+            let inference = acc >= 1.0 - 1e-12;
+            if inference {
+                acc -= 1.0;
+                let pool = Workload::inference();
+                let workload = *pool.choose(&mut rng).expect("non-empty pool");
+                let model = workload.model();
+                let slices = rng.random_range(1..=config.inference_slices_max);
+                let jitter = 1.0 + config.iteration_jitter * (rng.random_range(-1.0f64..=1.0));
+                let iterations = ((model.default_iterations as f64) * jitter)
+                    .round()
+                    .max(1.0) as u64;
+                let slo = config
+                    .inference_slo_ms
+                    .unwrap_or_else(|| default_slo_ms(workload));
+                JobSpec::new(id, GpuDemand::Slices(slices), workload)
+                    .with_iterations(iterations)
+                    .with_slo(slo)
+            } else {
+                let workload = *config.workloads.choose(&mut rng).expect("non-empty pool");
+                let model = workload.model();
+                let num_gpus = rng.random_range(config.gpus_min..=config.gpus_max);
+                let jitter = 1.0 + config.iteration_jitter * (rng.random_range(-1.0f64..=1.0));
+                let iterations = ((model.default_iterations as f64) * jitter)
+                    .round()
+                    .max(1.0) as u64;
+                JobSpec::new(id, GpuDemand::Whole(num_gpus), workload).with_iterations(iterations)
             }
         })
         .collect()
@@ -103,7 +163,9 @@ mod tests {
         let jobs = paper_job_mix(7);
         assert_eq!(jobs.len(), 300);
         for j in &jobs {
-            assert!((1..=5).contains(&j.num_gpus));
+            assert!((1..=5).contains(&j.num_gpus()));
+            assert!(!j.is_fractional());
+            assert!(!j.has_slo());
             assert!(j.iterations > 0);
             assert_eq!(j.bandwidth_sensitive, j.workload.is_bandwidth_sensitive());
         }
@@ -117,7 +179,7 @@ mod tests {
         let jobs = paper_job_mix(123);
         let mut counts = HashMap::new();
         for j in &jobs {
-            *counts.entry(j.num_gpus).or_insert(0usize) += 1;
+            *counts.entry(j.num_gpus()).or_insert(0usize) += 1;
         }
         // 300 jobs over 5 sizes: expect 60 each; allow generous slack.
         for size in 1..=5 {
@@ -165,13 +227,59 @@ mod tests {
             gpus_max: 3,
             workloads: vec![Workload::Jacobi],
             iteration_jitter: 0.0,
+            ..JobMixConfig::default()
         };
         let jobs = generate_jobs(&cfg, 1);
         assert_eq!(jobs.len(), 10);
         assert!(jobs.iter().all(|j| j.workload == Workload::Jacobi));
-        assert!(jobs.iter().all(|j| (2..=3).contains(&j.num_gpus)));
+        assert!(jobs.iter().all(|j| (2..=3).contains(&j.num_gpus())));
         let iters = Workload::Jacobi.model().default_iterations;
         assert!(jobs.iter().all(|j| j.iterations == iters));
+    }
+
+    #[test]
+    fn inference_fraction_mixes_slo_tenants() {
+        let cfg = JobMixConfig {
+            job_count: 100,
+            inference_fraction: 0.25,
+            ..JobMixConfig::default()
+        };
+        let jobs = generate_jobs(&cfg, 11);
+        let inference: Vec<_> = jobs.iter().filter(|j| j.workload.is_inference()).collect();
+        // The accumulator interleaving is exact, not probabilistic.
+        assert_eq!(inference.len(), 25);
+        for j in &inference {
+            assert!(j.is_fractional());
+            assert!((1..=2).contains(&j.num_gpus()));
+            assert_eq!(j.slo_ms, Some(default_slo_ms(j.workload)), "{}", j.id);
+        }
+        // Training jobs are untouched by the mix.
+        for j in jobs.iter().filter(|j| !j.workload.is_inference()) {
+            assert!(!j.is_fractional());
+            assert!(!j.has_slo());
+        }
+    }
+
+    #[test]
+    fn explicit_slo_overrides_the_derived_target() {
+        let cfg = JobMixConfig {
+            job_count: 10,
+            inference_fraction: 1.0,
+            inference_slo_ms: Some(33.0),
+            ..JobMixConfig::default()
+        };
+        let jobs = generate_jobs(&cfg, 3);
+        assert!(jobs.iter().all(|j| j.slo_ms == Some(33.0)));
+        assert!(jobs.iter().all(|j| j.workload.is_inference()));
+    }
+
+    #[test]
+    fn zero_fraction_preserves_the_paper_stream() {
+        // The inference gate must not consume RNG draws: a 0.0 fraction
+        // yields the identical mix as the config that predates it.
+        let jobs = generate_jobs(&JobMixConfig::default(), 42);
+        assert_eq!(jobs, paper_job_mix(42));
+        assert!(jobs.iter().all(|j| !j.workload.is_inference()));
     }
 
     #[test]
@@ -179,6 +287,16 @@ mod tests {
     fn empty_pool_panics() {
         let cfg = JobMixConfig {
             workloads: vec![],
+            ..JobMixConfig::default()
+        };
+        let _ = generate_jobs(&cfg, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inference fraction")]
+    fn out_of_range_fraction_panics() {
+        let cfg = JobMixConfig {
+            inference_fraction: 1.5,
             ..JobMixConfig::default()
         };
         let _ = generate_jobs(&cfg, 0);

@@ -11,12 +11,16 @@
 //! 3, 5, Tree, False
 //! ```
 //!
-//! We carry three extra columns — workload name, iterations, and an
-//! optional tenant priority — so the execution-time model can run the job
-//! (the paper's job files embed "execution times from real-world runs"
-//! the same way) and the preemption layer can tell tenant classes apart.
-//! The `Priority` column may be omitted (it defaults to 0); files written
-//! by [`write_job_file`] always carry it.
+//! We carry extra columns — workload name, iterations, an optional tenant
+//! priority, and an optional per-request latency SLO — so the
+//! execution-time model can run the job (the paper's job files embed
+//! "execution times from real-world runs" the same way), the preemption
+//! layer can tell tenant classes apart, and inference tenants can carry
+//! their deadline. The `NumGPUs` column accepts a `s` suffix for
+//! fractional demands (`3s` = three MIG slices); the `SloMs` column may be
+//! omitted or `-` (no SLO). Files written by [`write_job_file`] use the
+//! legacy 7-column format whenever no job needs the new columns, so old
+//! files and old readers keep working.
 
 use crate::network::Workload;
 use std::fmt;
@@ -68,33 +72,171 @@ impl fmt::Display for AppTopology {
     }
 }
 
+/// How many accelerator units a job wants, and of what granularity.
+///
+/// `Whole(n)` is the paper's demand model: `n` physical GPUs, and the job
+/// never shares a die with anyone. `Slices(k)` is the MIG/fractional
+/// demand: `k` slice-or-GPU vertices, which *may* land on slices that
+/// co-reside on a physical GPU (and on an unpartitioned machine simply
+/// land on whole GPUs). Both demands occupy one topology vertex per unit —
+/// the difference is which vertices are eligible and how co-residency is
+/// scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuDemand {
+    /// `n` whole physical GPUs (never placed on MIG slices).
+    Whole(usize),
+    /// `k` fractional slices (placeable on slices or whole GPUs).
+    Slices(usize),
+}
+
+impl GpuDemand {
+    /// Number of topology vertices the demand occupies.
+    #[must_use]
+    pub fn units(self) -> usize {
+        match self {
+            GpuDemand::Whole(n) | GpuDemand::Slices(n) => n,
+        }
+    }
+
+    /// Whether this is a fractional (slice) demand.
+    #[must_use]
+    pub fn is_fractional(self) -> bool {
+        matches!(self, GpuDemand::Slices(_))
+    }
+
+    /// Parses the job-file spelling: `"3"` → `Whole(3)`, `"3s"` →
+    /// `Slices(3)` (suffix case-insensitive).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if let Some(head) = s.strip_suffix(['s', 'S']) {
+            head.parse::<u64>()
+                .ok()
+                .map(|n| GpuDemand::Slices(n as usize))
+        } else {
+            s.parse::<u64>().ok().map(|n| GpuDemand::Whole(n as usize))
+        }
+    }
+}
+
+impl fmt::Display for GpuDemand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuDemand::Whole(n) => write!(f, "{n}"),
+            GpuDemand::Slices(n) => write!(f, "{n}s"),
+        }
+    }
+}
+
 /// One job in a job file.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`JobSpec::new`] and the `with_*` builders so new fields (like the
+/// fractional demand and the SLO) can land without breaking downstream
+/// code.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct JobSpec {
     /// Job identifier (unique within a job file).
     pub id: u64,
-    /// GPUs requested (1–5 in the paper's mix).
-    pub num_gpus: usize,
+    /// Accelerator demand: whole GPUs (1–5 in the paper's mix) or MIG
+    /// slices.
+    pub demand: GpuDemand,
     /// Application communication topology.
     pub topology: AppTopology,
     /// Bandwidth-sensitivity annotation consumed by the Preserve policy.
     pub bandwidth_sensitive: bool,
     /// The workload driving the execution-time model.
     pub workload: Workload,
-    /// Training iterations to run.
+    /// Training iterations (or, for inference workloads, requests) to run.
     pub iterations: u64,
     /// Tenant priority: larger is more important, 0 (the default) is the
     /// lowest class. Priorities only matter to a scheduler running a
     /// non-`None` preemption policy — with preemption off they are inert
     /// annotations and schedules are identical to all-zero priorities.
     pub priority: u8,
+    /// Per-request latency SLO in milliseconds (inference tenants).
+    /// `None` (the default) means the job carries no deadline; the
+    /// engine counts SLO attainment only for tagged jobs.
+    pub slo_ms: Option<f64>,
 }
 
 impl JobSpec {
+    /// Builds a job with the workload's model defaults: `Ring` topology,
+    /// the workload's bandwidth-sensitivity annotation, its default
+    /// iteration count, priority 0, and no SLO.
+    #[must_use]
+    pub fn new(id: u64, demand: GpuDemand, workload: Workload) -> Self {
+        let model = workload.model();
+        JobSpec {
+            id,
+            demand,
+            topology: AppTopology::Ring,
+            bandwidth_sensitive: model.bandwidth_sensitive,
+            workload,
+            iterations: model.default_iterations,
+            priority: 0,
+            slo_ms: None,
+        }
+    }
+
+    /// Number of topology vertices (GPUs or slices) the job occupies.
+    #[must_use]
+    pub fn num_gpus(&self) -> usize {
+        self.demand.units()
+    }
+
+    /// Whether the job requests fractional slices rather than whole GPUs.
+    #[must_use]
+    pub fn is_fractional(&self) -> bool {
+        self.demand.is_fractional()
+    }
+
+    /// Whether the job carries a latency SLO.
+    #[must_use]
+    pub fn has_slo(&self) -> bool {
+        self.slo_ms.is_some()
+    }
+
+    /// Returns the job with its demand replaced (builder style).
+    #[must_use]
+    pub fn with_demand(mut self, demand: GpuDemand) -> Self {
+        self.demand = demand;
+        self
+    }
+
+    /// Returns the job with its application topology replaced.
+    #[must_use]
+    pub fn with_topology(mut self, topology: AppTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Returns the job with its bandwidth-sensitivity annotation replaced.
+    #[must_use]
+    pub fn with_bandwidth_sensitive(mut self, sensitive: bool) -> Self {
+        self.bandwidth_sensitive = sensitive;
+        self
+    }
+
+    /// Returns the job with its iteration count replaced.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
     /// Returns the job with its priority replaced (builder style).
     #[must_use]
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Returns the job tagged with a per-request latency SLO.
+    #[must_use]
+    pub fn with_slo(mut self, target_ms: f64) -> Self {
+        self.slo_ms = Some(target_ms);
         self
     }
 }
@@ -137,7 +279,7 @@ impl fmt::Display for JobFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobFileError::FieldCount { line, found } => {
-                write!(f, "line {line}: expected 6 or 7 fields, found {found}")
+                write!(f, "line {line}: expected 6 to 8 fields, found {found}")
             }
             JobFileError::BadField { line, field, value } => {
                 write!(f, "line {line}: bad {field}: '{value}'")
@@ -150,15 +292,25 @@ impl fmt::Display for JobFileError {
 impl std::error::Error for JobFileError {}
 
 /// Serializes jobs into the CSV job-file format (with header).
+///
+/// When every job requests whole GPUs and carries no SLO, the legacy
+/// 7-column format is emitted byte-for-byte; otherwise an 8th `SloMs`
+/// column is appended (`-` for untagged jobs) and fractional demands are
+/// written with the `s` suffix.
 #[must_use]
 pub fn write_job_file(jobs: &[JobSpec]) -> String {
+    let extended = jobs.iter().any(|j| j.is_fractional() || j.has_slo());
     let mut out =
-        String::from("ID, NumGPUs, Topology, BW Sensitive, Workload, Iterations, Priority\n");
+        String::from("ID, NumGPUs, Topology, BW Sensitive, Workload, Iterations, Priority");
+    if extended {
+        out.push_str(", SloMs");
+    }
+    out.push('\n');
     for j in jobs {
         out.push_str(&format!(
-            "{}, {}, {}, {}, {}, {}, {}\n",
+            "{}, {}, {}, {}, {}, {}, {}",
             j.id,
-            j.num_gpus,
+            j.demand,
             j.topology,
             if j.bandwidth_sensitive {
                 "True"
@@ -169,6 +321,13 @@ pub fn write_job_file(jobs: &[JobSpec]) -> String {
             j.iterations,
             j.priority
         ));
+        if extended {
+            match j.slo_ms {
+                Some(ms) => out.push_str(&format!(", {ms}")),
+                None => out.push_str(", -"),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -191,7 +350,7 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
         if fields[0].parse::<u64>().is_err() && fields[0].eq_ignore_ascii_case("id") {
             continue;
         }
-        if fields.len() != 6 && fields.len() != 7 {
+        if !(6..=8).contains(&fields.len()) {
             return Err(JobFileError::FieldCount {
                 line,
                 found: fields.len(),
@@ -208,7 +367,11 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
         if !seen.insert(id) {
             return Err(JobFileError::DuplicateId(id));
         }
-        let num_gpus = parse_u64("NumGPUs", fields[1])? as usize;
+        let demand = GpuDemand::from_name(fields[1]).ok_or_else(|| JobFileError::BadField {
+            line,
+            field: "NumGPUs",
+            value: fields[1].to_string(),
+        })?;
         let topology = AppTopology::from_name(fields[2]).ok_or_else(|| JobFileError::BadField {
             line,
             field: "Topology",
@@ -239,15 +402,32 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
             })?,
             None => 0,
         };
-        jobs.push(JobSpec {
-            id,
-            num_gpus,
-            topology,
-            bandwidth_sensitive,
-            workload,
-            iterations,
-            priority,
-        });
+        let slo_ms = match fields.get(7) {
+            None => None,
+            Some(&"-") => None,
+            Some(s) => {
+                let ms = s.parse::<f64>().map_err(|_| JobFileError::BadField {
+                    line,
+                    field: "SloMs",
+                    value: (*s).to_string(),
+                })?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return Err(JobFileError::BadField {
+                        line,
+                        field: "SloMs",
+                        value: (*s).to_string(),
+                    });
+                }
+                Some(ms)
+            }
+        };
+        let mut job = JobSpec::new(id, demand, workload)
+            .with_topology(topology)
+            .with_bandwidth_sensitive(bandwidth_sensitive)
+            .with_iterations(iterations)
+            .with_priority(priority);
+        job.slo_ms = slo_ms;
+        jobs.push(job);
     }
     Ok(jobs)
 }
@@ -258,25 +438,52 @@ mod tests {
 
     fn sample_jobs() -> Vec<JobSpec> {
         vec![
-            JobSpec {
-                id: 1,
-                num_gpus: 3,
-                topology: AppTopology::Ring,
-                bandwidth_sensitive: true,
-                workload: Workload::Vgg16,
-                iterations: 3000,
-                priority: 0,
-            },
-            JobSpec {
-                id: 2,
-                num_gpus: 5,
-                topology: AppTopology::Tree,
-                bandwidth_sensitive: false,
-                workload: Workload::GoogleNet,
-                iterations: 2000,
-                priority: 2,
-            },
+            JobSpec::new(1, GpuDemand::Whole(3), Workload::Vgg16),
+            JobSpec::new(2, GpuDemand::Whole(5), Workload::GoogleNet)
+                .with_topology(AppTopology::Tree)
+                .with_priority(2),
         ]
+    }
+
+    #[test]
+    fn builder_applies_workload_defaults() {
+        let j = JobSpec::new(7, GpuDemand::Whole(3), Workload::Vgg16);
+        assert_eq!(j.num_gpus(), 3);
+        assert_eq!(j.topology, AppTopology::Ring);
+        assert!(j.bandwidth_sensitive, "VGG-16 is sensitive");
+        assert_eq!(j.iterations, Workload::Vgg16.model().default_iterations);
+        assert_eq!(j.priority, 0);
+        assert!(!j.is_fractional());
+        assert!(!j.has_slo());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let j = JobSpec::new(1, GpuDemand::Slices(2), Workload::BertServing)
+            .with_topology(AppTopology::Tree)
+            .with_bandwidth_sensitive(true)
+            .with_iterations(500)
+            .with_priority(3)
+            .with_slo(50.0);
+        assert!(j.is_fractional());
+        assert_eq!(j.num_gpus(), 2);
+        assert_eq!(j.topology, AppTopology::Tree);
+        assert!(j.bandwidth_sensitive);
+        assert_eq!(j.iterations, 500);
+        assert_eq!(j.priority, 3);
+        assert_eq!(j.slo_ms, Some(50.0));
+    }
+
+    #[test]
+    fn demand_spelling_roundtrip() {
+        assert_eq!(GpuDemand::from_name("4"), Some(GpuDemand::Whole(4)));
+        assert_eq!(GpuDemand::from_name("4s"), Some(GpuDemand::Slices(4)));
+        assert_eq!(GpuDemand::from_name("4S"), Some(GpuDemand::Slices(4)));
+        assert_eq!(GpuDemand::from_name("x"), None);
+        assert_eq!(GpuDemand::from_name("s"), None);
+        for d in [GpuDemand::Whole(3), GpuDemand::Slices(7)] {
+            assert_eq!(GpuDemand::from_name(&d.to_string()), Some(d));
+        }
     }
 
     #[test]
@@ -285,6 +492,29 @@ mod tests {
         let text = write_job_file(&jobs);
         let parsed = parse_job_file(&text).unwrap();
         assert_eq!(parsed, jobs);
+    }
+
+    #[test]
+    fn whole_gpu_files_keep_the_legacy_format() {
+        let text = write_job_file(&sample_jobs());
+        assert!(text
+            .starts_with("ID, NumGPUs, Topology, BW Sensitive, Workload, Iterations, Priority\n"));
+        assert!(!text.contains("SloMs"));
+    }
+
+    #[test]
+    fn fractional_and_slo_jobs_roundtrip() {
+        let jobs = vec![
+            JobSpec::new(1, GpuDemand::Whole(2), Workload::Vgg16),
+            JobSpec::new(2, GpuDemand::Slices(3), Workload::BertServing).with_slo(25.0),
+        ];
+        let text = write_job_file(&jobs);
+        assert!(text.contains("SloMs"));
+        assert!(text.contains("3s"));
+        let parsed = parse_job_file(&text).unwrap();
+        assert_eq!(parsed, jobs);
+        // The untagged job writes `-` and parses back to no SLO.
+        assert_eq!(parsed[0].slo_ms, None);
     }
 
     #[test]
@@ -319,11 +549,30 @@ mod tests {
     }
 
     #[test]
+    fn slo_column_parses_and_validates() {
+        let jobs = parse_job_file("1, 2s, Ring, False, bert-serving, 100, 0, 40\n").unwrap();
+        assert_eq!(jobs[0].demand, GpuDemand::Slices(2));
+        assert_eq!(jobs[0].slo_ms, Some(40.0));
+        let jobs = parse_job_file("1, 2, Ring, True, vgg-16, 100, 0, -\n").unwrap();
+        assert_eq!(jobs[0].slo_ms, None);
+        for bad in ["nan", "-5", "0", "soon"] {
+            assert!(
+                matches!(
+                    parse_job_file(&format!("1, 2, Ring, True, vgg-16, 100, 0, {bad}")),
+                    Err(JobFileError::BadField { field: "SloMs", .. })
+                ),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
     fn priority_classes_follow_job_ids() {
         let mut jobs: Vec<JobSpec> = (1..=6)
-            .map(|id| JobSpec {
-                id,
-                ..sample_jobs()[0].clone().with_priority(9)
+            .map(|id| {
+                let mut j = sample_jobs()[0].clone().with_priority(9);
+                j.id = id;
+                j
             })
             .collect();
         assign_priority_classes(&mut jobs, 3);
@@ -339,6 +588,17 @@ mod tests {
         assert!(matches!(
             parse_job_file("1, 2, Ring, True, vgg-16"),
             Err(JobFileError::FieldCount { line: 1, found: 5 })
+        ));
+        assert!(matches!(
+            parse_job_file("1, 2, Ring, True, vgg-16, 5, 0, 50, extra"),
+            Err(JobFileError::FieldCount { line: 1, found: 9 })
+        ));
+        assert!(matches!(
+            parse_job_file("1, 2x, Ring, True, vgg-16, 5"),
+            Err(JobFileError::BadField {
+                field: "NumGPUs",
+                ..
+            })
         ));
         assert!(matches!(
             parse_job_file("1, 2, Mesh, True, vgg-16, 5"),
@@ -410,6 +670,23 @@ mod tests {
         ) {
             let cfg = crate::generator::JobMixConfig {
                 job_count: count,
+                ..Default::default()
+            };
+            let jobs = crate::generator::generate_jobs(&cfg, seed);
+            let text = write_job_file(&jobs);
+            let parsed = parse_job_file(&text).expect("own output parses");
+            proptest::prop_assert_eq!(parsed, jobs);
+        }
+
+        /// Inference mixes (fractional demands + SLO tags) round-trip too.
+        #[test]
+        fn roundtrip_for_inference_mixes(
+            count in 1usize..20,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let cfg = crate::generator::JobMixConfig {
+                job_count: count,
+                inference_fraction: 0.5,
                 ..Default::default()
             };
             let jobs = crate::generator::generate_jobs(&cfg, seed);

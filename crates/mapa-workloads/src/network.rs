@@ -9,6 +9,9 @@ pub enum WorkloadClass {
     CnnTraining,
     /// Non-NN multi-GPU HPC code.
     Hpc,
+    /// Latency-SLO inference serving (MoCA/ParvaGPU-style tenants):
+    /// short recurring requests, typically on MIG slices.
+    Inference,
 }
 
 /// One of the paper's evaluated workloads.
@@ -32,6 +35,13 @@ pub enum Workload {
     Gmm,
     /// Jacobi solver — <3% improvement from fast links in the paper.
     Jacobi,
+    /// BERT-style transformer serving — latency-SLO inference tenant.
+    /// Not part of the paper's nine; excluded from [`Workload::all`].
+    BertServing,
+    /// ResNet-50 image-classification serving — latency-SLO inference
+    /// tenant. Not part of the paper's nine; excluded from
+    /// [`Workload::all`].
+    ResNetServing,
 }
 
 /// Static model of one workload: everything the scheduler and the
@@ -75,6 +85,14 @@ impl Workload {
             Workload::Gmm,
             Workload::Jacobi,
         ]
+    }
+
+    /// The inference-serving workloads (not part of the paper's nine —
+    /// they never appear in [`Workload::all`], so default job mixes and
+    /// golden schedules are unchanged by their existence).
+    #[must_use]
+    pub fn inference() -> [Workload; 2] {
+        [Workload::BertServing, Workload::ResNetServing]
     }
 
     /// The six CNN workloads of Fig. 5.
@@ -193,6 +211,31 @@ impl Workload {
                 bandwidth_sensitive: false,
                 default_iterations: 1300,
             },
+            // Inference tenants: one iteration models one request, so
+            // `compute + bytes/EffBW` is the per-request latency the SLO
+            // counters compare against. Compute dominates on a healthy
+            // slice; the communication term is what co-residency pressure
+            // inflates when slices share external links.
+            BertServing => WorkloadModel {
+                workload: self,
+                class: Inference,
+                compute_seconds: 0.030,
+                comm_bytes_per_iter: 0.2e9,
+                avg_message_bytes: 1e6,
+                paper_calls_per_iter: 8,
+                bandwidth_sensitive: false,
+                default_iterations: 2000,
+            },
+            ResNetServing => WorkloadModel {
+                workload: self,
+                class: Inference,
+                compute_seconds: 0.008,
+                comm_bytes_per_iter: 0.05e9,
+                avg_message_bytes: 2e5,
+                paper_calls_per_iter: 4,
+                bandwidth_sensitive: false,
+                default_iterations: 4000,
+            },
         }
     }
 
@@ -209,20 +252,32 @@ impl Workload {
             Workload::Cusimann => "cusimann",
             Workload::Gmm => "gmm",
             Workload::Jacobi => "jacobi",
+            Workload::BertServing => "bert-serving",
+            Workload::ResNetServing => "resnet-serving",
         }
     }
 
-    /// Parses a canonical name (case-insensitive).
+    /// Parses a canonical name (case-insensitive). Covers the paper's
+    /// nine plus the inference-serving workloads.
     #[must_use]
     pub fn from_name(name: &str) -> Option<Workload> {
         let lower = name.to_ascii_lowercase();
-        Workload::all().into_iter().find(|w| w.name() == lower)
+        Workload::all()
+            .into_iter()
+            .chain(Workload::inference())
+            .find(|w| w.name() == lower)
     }
 
     /// Shorthand for `self.model().bandwidth_sensitive`.
     #[must_use]
     pub fn is_bandwidth_sensitive(self) -> bool {
         self.model().bandwidth_sensitive
+    }
+
+    /// Whether this is a latency-SLO inference-serving workload.
+    #[must_use]
+    pub fn is_inference(self) -> bool {
+        self.model().class == WorkloadClass::Inference
     }
 }
 
@@ -282,11 +337,37 @@ mod tests {
 
     #[test]
     fn name_roundtrip() {
-        for w in Workload::all() {
+        for w in Workload::all().into_iter().chain(Workload::inference()) {
             assert_eq!(Workload::from_name(w.name()), Some(w));
             assert_eq!(Workload::from_name(&w.name().to_uppercase()), Some(w));
         }
         assert_eq!(Workload::from_name("bert"), None);
+    }
+
+    #[test]
+    fn inference_workloads_stay_out_of_the_paper_mix() {
+        // `all()` feeds the default job generator; keeping serving
+        // workloads out of it is what preserves the golden schedules.
+        for w in Workload::inference() {
+            assert!(!Workload::all().contains(&w), "{w}");
+            assert!(w.is_inference());
+            assert_eq!(w.model().class, WorkloadClass::Inference);
+        }
+        assert!(Workload::all().iter().all(|w| !w.is_inference()));
+    }
+
+    #[test]
+    fn inference_requests_are_short() {
+        // Per-request latency on a healthy 40 GB/s allocation must land
+        // in the tens-of-milliseconds regime an SLO can discriminate.
+        for w in Workload::inference() {
+            let m = w.model();
+            let latency_ms = (m.compute_seconds + m.comm_bytes_per_iter / 40e9) * 1e3;
+            assert!(
+                (1.0..200.0).contains(&latency_ms),
+                "{w}: {latency_ms} ms/request"
+            );
+        }
     }
 
     #[test]

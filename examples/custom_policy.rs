@@ -71,7 +71,7 @@ fn main() {
                 ..SimConfig::default()
             })
             .run(&jobs);
-        let times = report.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+        let times = report.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2);
         let s = stats::summarize(&times);
         println!(
             "{:<10} {:>9.0} {:>9.0} {:>9.0} {:>11.1}",

@@ -94,7 +94,7 @@ fn main() {
     // the policy effect; with independent streams the same estimator
     // also carries the arrival noise.
     let torus = machines::torus_2d();
-    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
+    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2;
     let mut paired = Welford::default();
     let mut independent = Welford::default();
     for r in 0..REPLICATIONS as u64 {

@@ -20,6 +20,7 @@ fn main() {
         gpus_max: 5,
         workloads: Workload::cnns().to_vec(),
         iteration_jitter: 0.2,
+        ..generator::JobMixConfig::default()
     };
     let jobs = generator::generate_jobs(&cfg, seed);
     let dgx = machines::dgx1_v100();
@@ -35,7 +36,7 @@ fn main() {
         let qualities: Vec<f64> = report
             .records
             .iter()
-            .filter(|r| r.job.num_gpus == k)
+            .filter(|r| r.job.num_gpus() == k)
             .map(|r| r.allocation_quality)
             .collect();
         if qualities.is_empty() {
@@ -51,12 +52,12 @@ fn main() {
     let sub_ideal = report
         .records
         .iter()
-        .filter(|r| r.job.num_gpus >= 2 && r.allocation_quality < 0.999)
+        .filter(|r| r.job.num_gpus() >= 2 && r.allocation_quality < 0.999)
         .count();
     let multi = report
         .records
         .iter()
-        .filter(|r| r.job.num_gpus >= 2)
+        .filter(|r| r.job.num_gpus() >= 2)
         .count();
     println!(
         "\n{sub_ideal}/{multi} multi-GPU jobs received a sub-ideal allocation \

@@ -27,7 +27,7 @@ fn main() {
         "policy", "min", "p25", "p50", "p75", "max"
     );
     for rep in &cmp.reports {
-        let times = rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus >= 2);
+        let times = rep.execution_times(|r| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2);
         let s = stats::summarize(&times);
         println!(
             "{:<12} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
@@ -41,7 +41,7 @@ fn main() {
         "policy", "min", "p25", "p50", "p75", "max"
     );
     for rep in &cmp.reports {
-        let bws = rep.predicted_eff_bws(|r| r.job.num_gpus >= 2);
+        let bws = rep.predicted_eff_bws(|r| r.job.num_gpus() >= 2);
         let s = stats::summarize(&bws);
         println!(
             "{:<12} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",

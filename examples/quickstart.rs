@@ -13,25 +13,15 @@ fn main() {
     let mut allocator = MapaAllocator::new(dgx.clone(), Box::new(PreservePolicy));
 
     // An insensitive job arrives first…
-    let background = JobSpec {
-        id: 1,
-        num_gpus: 2,
-        topology: AppTopology::Ring,
-        bandwidth_sensitive: false,
-        workload: Workload::GoogleNet,
-        iterations: 2000,
-        priority: 0,
-    };
+    let background = JobSpec::new(1, GpuDemand::Whole(2), Workload::GoogleNet)
+        .with_topology(AppTopology::Ring)
+        .with_bandwidth_sensitive(false)
+        .with_iterations(2000);
     // …then a bandwidth-hungry VGG-16 training run.
-    let training = JobSpec {
-        id: 2,
-        num_gpus: 3,
-        topology: AppTopology::Ring,
-        bandwidth_sensitive: true,
-        workload: Workload::Vgg16,
-        iterations: 3000,
-        priority: 0,
-    };
+    let training = JobSpec::new(2, GpuDemand::Whole(3), Workload::Vgg16)
+        .with_topology(AppTopology::Ring)
+        .with_bandwidth_sensitive(true)
+        .with_iterations(3000);
 
     for job in [&background, &training] {
         let outcome = allocator
@@ -43,7 +33,7 @@ fn main() {
             "job {} ({}, {} GPUs, {}) -> GPUs {:?}",
             job.id,
             job.workload,
-            job.num_gpus,
+            job.num_gpus(),
             if job.bandwidth_sensitive {
                 "sensitive"
             } else {

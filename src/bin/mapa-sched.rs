@@ -4,16 +4,20 @@
 //! mapa-sched machines
 //! mapa-sched topo <machine>                     # matrix + DOT
 //! mapa-sched generate --count 300 --seed 42     # emit a job file (CSV)
+//!                     [--inference-mix FRACTION] [--slices-max K] [--slo-ms MS]
 //! mapa-sched simulate --machine dgx-1-v100 --policy preserve \
 //!                     --jobs jobs.csv [--backfill] [--no-cache] [--poisson GAP --seed S]
 //! mapa-sched simulate --machine dgx-1-v100 --servers 4 --server-policy least-loaded \
 //!                     --policy preserve --jobs jobs.csv \
 //!                     [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N] \
 //!                     [--preemption <name>] [--priorities N] [--gang-size K] \
+//!                     [--partition GPU:SLICES,...[;degraded]] \
 //!                     [--json report.json]
 //! mapa-sched campaign --machine dgx-1-v100 \
 //!                     --grid "alloc-policies=baseline,preserve;shards=2,4;jobs=100" \
-//!                     --replications 10 [--json campaign.json]
+//!                     --replications 10 [--poisson GAP1,GAP2,... | batch] \
+//!                     [--partition SPEC-or-none]... [--inference-mix FRACTION] \
+//!                     [--json campaign.json]
 //! ```
 //!
 //! A topology can also be given as a file containing `nvidia-smi topo -m`
@@ -27,8 +31,11 @@
 //! high-priority arrivals evict lower-priority running jobs (requeued
 //! with a checkpoint/restore penalty; see `--preemption-penalty`), and
 //! `--gang-size K` groups every K consecutive jobs into a co-scheduled
-//! gang (all members start at the same tick or none do). The full
-//! semantics is documented in `docs/SCHEDULING.md`.
+//! gang (all members start at the same tick or none do). `--partition`
+//! applies a MIG-style plan to every server (slice tenants from
+//! `generate --inference-mix` can land on slices; whole-GPU jobs
+//! cannot), and the summary/trailer/JSON then carry SLO-attainment
+//! counters. The full semantics is documented in `docs/SCHEDULING.md`.
 
 use mapa::cluster::{
     dispatch_mode_by_name, migration_policy_by_name, server_policy_by_name, Cluster, DispatchMode,
@@ -62,7 +69,9 @@ usage:
   mapa-sched machines
   mapa-sched topo <machine-or-matrix-file>
   mapa-sched generate [--count N] [--seed S]
+                      [--inference-mix FRACTION] [--slices-max K] [--slo-ms MS]
   mapa-sched simulate --machine <name-or-file> --policy <name> --jobs <file>
+                      [--partition GPU:SLICES,GPU:SLICES,...[;degraded]]
                       [--servers N] [--server-policy <name>]
                       [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N]
                       [--preemption <name>] [--preemption-penalty SECONDS]
@@ -72,11 +81,15 @@ usage:
                       [--json <report-file>]
   mapa-sched campaign --machine <name-or-file>
                       [--grid \"axis=v1,v2;axis=v1;...\"] [--replications N]
-                      [--base-seed S] [--poisson MEAN_GAP] [--shard-queue-depth N]
-                      [--threads N] [--json <report-file>]
+                      [--base-seed S] [--poisson GAP1,GAP2,... | batch]
+                      [--partition SPEC-or-none]... [--inference-mix FRACTION]
+                      [--shard-queue-depth N] [--threads N] [--json <report-file>]
                       (grid axes: server-policies, alloc-policies, shards, jobs,
-                       dispatch — each a comma list; every cell of the cross-
-                       product runs N replications under common random numbers)
+                       dispatch — each a comma list; --poisson is the arrival-
+                       intensity axis (comma list, `batch` = all at t=0) and each
+                       --partition adds a MIG-plan axis value (`none` = whole
+                       GPUs); every cell of the cross-product runs N
+                       replications under common random numbers)
 
 policies:            baseline | topo-aware | greedy | preserve | effbw-greedy
 server policies:     round-robin | least-loaded | best-score | pack-first
@@ -149,16 +162,36 @@ fn cmd_topo(arg: &str) -> Result<(), String> {
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let mut count = 300usize;
     let mut seed = 42u64;
+    let mut inference_mix = 0.0f64;
+    let mut slices_max = 2usize;
+    let mut slo_ms: Option<f64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--count" => count = parse_flag(&mut it, "--count")?,
             "--seed" => seed = parse_flag(&mut it, "--seed")?,
+            "--inference-mix" => inference_mix = parse_flag(&mut it, "--inference-mix")?,
+            "--slices-max" => slices_max = parse_flag(&mut it, "--slices-max")?,
+            "--slo-ms" => slo_ms = Some(parse_flag(&mut it, "--slo-ms")?),
             other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if !(0.0..=1.0).contains(&inference_mix) {
+        return Err("--inference-mix must be a fraction in [0, 1]".to_string());
+    }
+    if inference_mix > 0.0 && !(1..=7).contains(&slices_max) {
+        return Err("--slices-max must be in 1..=7 (MIG's hardware limit)".to_string());
+    }
+    if let Some(ms) = slo_ms {
+        if !(ms > 0.0 && ms.is_finite()) {
+            return Err("--slo-ms must be a positive number of milliseconds".to_string());
         }
     }
     let cfg = generator::JobMixConfig {
         job_count: count,
+        inference_fraction: inference_mix,
+        inference_slices_max: slices_max,
+        inference_slo_ms: slo_ms,
         ..Default::default()
     };
     print!(
@@ -184,6 +217,7 @@ fn parse_flag<T: std::str::FromStr>(
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut machine_arg: Option<String> = None;
+    let mut partition_arg: Option<String> = None;
     let mut policy_arg: Option<String> = None;
     let mut jobs_file: Option<String> = None;
     let mut backfill = false;
@@ -207,6 +241,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--machine" => machine_arg = Some(parse_flag(&mut it, "--machine")?),
+            "--partition" => partition_arg = Some(parse_flag(&mut it, "--partition")?),
             "--policy" => policy_arg = Some(parse_flag(&mut it, "--policy")?),
             "--jobs" => jobs_file = Some(parse_flag(&mut it, "--jobs")?),
             "--backfill" => backfill = true,
@@ -237,16 +272,57 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         return Err("--servers must be at least 1".to_string());
     }
     let machine = resolve_machine(&machine_arg.ok_or("--machine is required")?)?;
+    // A --partition plan turns the machine into its MIG-virtualized
+    // counterpart before anything downstream sees it: slices become
+    // first-class vertices, and the slice map rides inside the topology.
+    let machine = match partition_arg.as_deref() {
+        None => machine,
+        Some(spec) => {
+            let plan =
+                PartitionPlan::parse(spec).map_err(|e| format!("bad --partition plan: {e}"))?;
+            if plan.is_empty() {
+                return Err("--partition needs at least one gpu:slices split".to_string());
+            }
+            if let Some((gpu, _)) = plan.splits().find(|&(gpu, _)| gpu >= machine.gpu_count()) {
+                return Err(format!(
+                    "--partition splits GPU {gpu}, but {} has only {} GPUs",
+                    machine.name(),
+                    machine.gpu_count()
+                ));
+            }
+            plan.apply(&machine).into_topology()
+        }
+    };
     let policy_name = policy_arg.ok_or("--policy is required")?;
     let jobs_text = std::fs::read_to_string(jobs_file.as_deref().ok_or("--jobs is required")?)
         .map_err(|e| format!("cannot read jobs file: {e}"))?;
     let mut job_list =
         jobs::parse_job_file(&jobs_text).map_err(|e| format!("bad job file: {e}"))?;
-    if let Some(bad) = job_list.iter().find(|j| j.num_gpus > machine.gpu_count()) {
+    // Whole-GPU jobs never land on slice vertices, so on a partitioned
+    // machine they must fit the *whole-GPU pool*, not the vertex count.
+    let whole_pool = match machine.slice_map() {
+        None => machine.gpu_count(),
+        Some(map) => (0..map.vertex_count())
+            .filter(|&v| !map.is_slice(v))
+            .count(),
+    };
+    if let Some(bad) = job_list
+        .iter()
+        .find(|j| !j.is_fractional() && j.num_gpus() > whole_pool)
+    {
+        return Err(format!(
+            "job {} requests {} whole GPUs but {} has only {}",
+            bad.id,
+            bad.num_gpus(),
+            machine.name(),
+            whole_pool
+        ));
+    }
+    if let Some(bad) = job_list.iter().find(|j| j.num_gpus() > machine.gpu_count()) {
         return Err(format!(
             "job {} requests {} GPUs but {} has only {}",
             bad.id,
-            bad.num_gpus,
+            bad.num_gpus(),
             machine.name(),
             machine.gpu_count()
         ));
@@ -449,8 +525,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         report.makespan_seconds,
         report.throughput_jobs_per_hour
     );
-    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
-    let multi = |r: &JobRecord| r.job.num_gpus >= 2;
+    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2;
+    let multi = |r: &JobRecord| r.job.num_gpus() >= 2;
     if report.records.iter().any(&sens) {
         let s = stats::summarize(&report.execution_times(sens));
         println!(
@@ -509,6 +585,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             report.gangs.members_dispatched,
             report.gangs.total_wait_seconds / report.gangs.gangs_dispatched as f64,
             report.gangs.max_wait_seconds
+        );
+    }
+    if report.slo.jobs > 0 {
+        println!(
+            "slo: {} inference tenants | met {}  missed {}  attainment {:.1}% | \
+             p95 latency {:.3} ms (p95 target {:.3} ms)",
+            report.slo.jobs,
+            report.slo.met,
+            report.slo.missed,
+            report.slo.attainment() * 100.0,
+            report.slo.p95_latency_ms,
+            report.slo.p95_target_ms
         );
     }
     if report.shards.len() > 1 {
@@ -612,7 +700,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     let mut grid_arg: Option<String> = None;
     let mut replications: Option<usize> = None;
     let mut base_seed: Option<u64> = None;
-    let mut poisson: Option<f64> = None;
+    let mut poisson_arg: Option<String> = None;
+    let mut partition_args: Vec<String> = Vec::new();
+    let mut inference_mix: Option<f64> = None;
     let mut queue_depth: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut json_file: Option<String> = None;
@@ -624,7 +714,9 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
             "--grid" => grid_arg = Some(parse_flag(&mut it, "--grid")?),
             "--replications" => replications = Some(parse_flag(&mut it, "--replications")?),
             "--base-seed" => base_seed = Some(parse_flag(&mut it, "--base-seed")?),
-            "--poisson" => poisson = Some(parse_flag(&mut it, "--poisson")?),
+            "--poisson" => poisson_arg = Some(parse_flag(&mut it, "--poisson")?),
+            "--partition" => partition_args.push(parse_flag(&mut it, "--partition")?),
+            "--inference-mix" => inference_mix = Some(parse_flag(&mut it, "--inference-mix")?),
             "--shard-queue-depth" => {
                 queue_depth = Some(parse_flag(&mut it, "--shard-queue-depth")?)
             }
@@ -648,7 +740,53 @@ fn cmd_campaign(args: &[String]) -> Result<(), String> {
     if let Some(s) = base_seed {
         grid.base_seed = s;
     }
-    grid.poisson_mean_gap = poisson;
+    // Arrival-intensity axis: a comma list of mean gaps; the keyword
+    // `batch` spells the all-at-t=0 cell, so `--poisson batch,60,300`
+    // sweeps batch against two Poisson intensities.
+    if let Some(spec) = poisson_arg.as_deref() {
+        let mut gaps = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if part.eq_ignore_ascii_case("batch") {
+                gaps.push(None);
+            } else {
+                let gap: f64 = part
+                    .parse()
+                    .map_err(|_| format!("--poisson: '{part}' is neither a gap nor 'batch'"))?;
+                gaps.push(Some(gap));
+            }
+        }
+        if gaps.is_empty() {
+            return Err("--poisson needs at least one gap or 'batch'".to_string());
+        }
+        grid.arrival_gaps = gaps;
+    }
+    // Partition-plan axis: each --partition adds one cell value; `none`
+    // (or `whole`) spells the unpartitioned machine.
+    if !partition_args.is_empty() {
+        let mut partitions = Vec::new();
+        for spec in &partition_args {
+            let spec = spec.trim();
+            if spec.eq_ignore_ascii_case("none") || spec.eq_ignore_ascii_case("whole") {
+                partitions.push(None);
+            } else {
+                let plan =
+                    PartitionPlan::parse(spec).map_err(|e| format!("bad --partition plan: {e}"))?;
+                if plan.is_empty() {
+                    return Err(
+                        "--partition needs gpu:slices splits (or the keyword 'none')".to_string(),
+                    );
+                }
+                partitions.push(Some(plan));
+            }
+        }
+        grid.partitions = partitions;
+    }
+    if let Some(frac) = inference_mix {
+        if !(0.0..=1.0).contains(&frac) {
+            return Err("--inference-mix must be a fraction in [0, 1]".to_string());
+        }
+        grid.mix.inference_fraction = frac;
+    }
     if let Some(depth) = queue_depth {
         if depth == 0 {
             return Err("--shard-queue-depth must be at least 1".to_string());

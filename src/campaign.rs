@@ -3,7 +3,8 @@
 //! ([`mapa_cluster::Cluster`]).
 //!
 //! A [`CampaignGrid`] names a cross-product of server policies ×
-//! allocation policies × fleet sizes × load levels × dispatch modes;
+//! allocation policies × fleet sizes × load levels × dispatch modes ×
+//! arrival intensities × partition plans;
 //! [`CampaignGrid::run`] flattens it into cells, validates every policy
 //! name up front, pre-fits the effective-bandwidth model once per
 //! machine type, and fans the cells out over one shared worker pool.
@@ -22,7 +23,7 @@ use mapa_isomorph::WorkerPool;
 use mapa_model::EffBwModel;
 use mapa_sim::campaign::{run_campaign, CampaignSpec, CellSummary};
 use mapa_sim::{ArrivalProcess, Engine, SimConfig, SimReport};
-use mapa_topology::Topology;
+use mapa_topology::{PartitionPlan, Topology};
 use mapa_workloads::generator::{self, JobMixConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -42,7 +43,7 @@ pub fn allocation_policy_by_name(name: &str) -> Option<Box<dyn AllocationPolicy>
 }
 
 /// One flattened campaign cell: a complete cluster configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridCell {
     /// Cluster-level server-selection policy name.
     pub server_policy: String,
@@ -54,20 +55,36 @@ pub struct GridCell {
     pub jobs: usize,
     /// Dispatch mode for the queued path.
     pub dispatch: DispatchMode,
+    /// Arrival-intensity axis value: `Some(gap)` runs Poisson arrivals
+    /// with that mean inter-arrival gap (seconds), `None` submits all
+    /// jobs at t=0 (batch).
+    pub poisson_gap: Option<f64>,
+    /// Partition-plan axis value: `Some(plan)` runs every shard as the
+    /// MIG-partitioned machine, `None` runs the whole-GPU machine.
+    pub partition: Option<PartitionPlan>,
 }
 
 impl GridCell {
-    /// The cell's display label, used in summary tables and JSON.
+    /// The cell's display label, used in summary tables and JSON. Axis
+    /// segments for batch arrivals and unpartitioned machines are
+    /// omitted, so pre-existing grids keep their historical labels.
     #[must_use]
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}/{}/shards={}/jobs={}/{}",
             self.server_policy,
             self.alloc_policy,
             self.shards,
             self.jobs,
             self.dispatch.name()
-        )
+        );
+        if let Some(gap) = self.poisson_gap {
+            label.push_str(&format!("/gap={gap}"));
+        }
+        if let Some(plan) = &self.partition {
+            label.push_str(&format!("/mig={plan}"));
+        }
+        label
     }
 }
 
@@ -91,10 +108,20 @@ pub struct CampaignGrid {
     pub dispatch: Vec<DispatchMode>,
     /// Per-shard queue bound for the queued dispatch path.
     pub shard_queue_depth: usize,
-    /// `Some(gap)` runs Poisson arrivals with that mean inter-arrival
-    /// gap (seconds), seeded by the replication's CRN seed; `None`
-    /// submits all jobs at t=0.
-    pub poisson_mean_gap: Option<f64>,
+    /// Arrival-intensity axis: each `Some(gap)` cell runs Poisson
+    /// arrivals with that mean inter-arrival gap (seconds), seeded by
+    /// the replication's CRN seed; a `None` cell submits all jobs at
+    /// t=0. Default `vec![None]` (batch only).
+    pub arrival_gaps: Vec<Option<f64>>,
+    /// Partition-plan axis: each `Some(plan)` cell applies the MIG plan
+    /// to every shard's machine; a `None` cell runs the whole-GPU
+    /// machine. Default `vec![None]` (unpartitioned only).
+    pub partitions: Vec<Option<PartitionPlan>>,
+    /// The job-mix template every cell draws from. `job_count` is
+    /// overridden per cell by the load axis; everything else (GPU-size
+    /// range, workload pool, inference fraction, SLO) is shared so CRN
+    /// pairing holds across cells.
+    pub mix: JobMixConfig,
     /// Seeded replications per cell.
     pub replications: usize,
     /// CRN base seed (see [`mapa_sim::campaign::crn_seed`]).
@@ -113,15 +140,17 @@ impl CampaignGrid {
             job_counts: vec![200],
             dispatch: vec![DispatchMode::Sequential],
             shard_queue_depth: DEFAULT_SHARD_QUEUE_DEPTH,
-            poisson_mean_gap: None,
+            arrival_gaps: vec![None],
+            partitions: vec![None],
+            mix: JobMixConfig::default(),
             replications: 5,
             base_seed: 42,
         }
     }
 
     /// Flattens the grid into cells, slowest axis first (server policy,
-    /// then allocation policy, shards, jobs, dispatch) — the output
-    /// order of [`CampaignGrid::run`].
+    /// then allocation policy, shards, jobs, dispatch, arrival gap,
+    /// partition plan) — the output order of [`CampaignGrid::run`].
     #[must_use]
     pub fn cells(&self) -> Vec<GridCell> {
         let mut out = Vec::new();
@@ -130,13 +159,19 @@ impl CampaignGrid {
                 for &shards in &self.shards {
                     for &jobs in &self.job_counts {
                         for &dispatch in &self.dispatch {
-                            out.push(GridCell {
-                                server_policy: sp.clone(),
-                                alloc_policy: ap.clone(),
-                                shards,
-                                jobs,
-                                dispatch,
-                            });
+                            for &gap in &self.arrival_gaps {
+                                for partition in &self.partitions {
+                                    out.push(GridCell {
+                                        server_policy: sp.clone(),
+                                        alloc_policy: ap.clone(),
+                                        shards,
+                                        jobs,
+                                        dispatch,
+                                        poisson_gap: gap,
+                                        partition: partition.clone(),
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -169,12 +204,38 @@ impl CampaignGrid {
             || self.shards.is_empty()
             || self.job_counts.is_empty()
             || self.dispatch.is_empty()
+            || self.arrival_gaps.is_empty()
+            || self.partitions.is_empty()
         {
             return Err("every grid axis needs at least one value".into());
         }
-        if let Some(gap) = self.poisson_mean_gap {
-            if !(gap > 0.0 && gap.is_finite()) {
+        for gap in self.arrival_gaps.iter().flatten() {
+            if !(*gap > 0.0 && gap.is_finite()) {
                 return Err("poisson mean gap must be positive and finite".into());
+            }
+        }
+        for plan in self.partitions.iter().flatten() {
+            if plan.is_empty() {
+                return Err("an empty partition plan: spell the whole-GPU cell as None".into());
+            }
+            let n = self.machine.gpu_count();
+            if let Some((gpu, _)) = plan.splits().find(|&(gpu, _)| gpu >= n) {
+                return Err(format!(
+                    "partition plan '{plan}' splits GPU {gpu}, but '{}' has only {n} GPUs",
+                    self.machine.name()
+                ));
+            }
+            // Whole-GPU training jobs never land on slices, so every plan
+            // must leave enough unsplit GPUs for the largest whole demand
+            // the mix can draw — otherwise a replication deadlocks on an
+            // unplaceable job.
+            let whole_left = n - plan.splits().count();
+            if whole_left < self.mix.gpus_max {
+                return Err(format!(
+                    "partition plan '{plan}' leaves {whole_left} whole GPUs, but the mix \
+                     draws whole-GPU jobs up to {}",
+                    self.mix.gpus_max
+                ));
             }
         }
         Ok(())
@@ -193,22 +254,26 @@ impl CampaignGrid {
     /// anything when the grid is invalid.
     pub fn run(&self, pool: &Arc<WorkerPool>) -> Result<Vec<CellSummary>, String> {
         self.validate()?;
-        // Pre-fit the model for the (single) machine type so cells only
-        // ever hit the cache inside `Cluster::with_shared_resources`.
+        // Pre-fit the model for every machine variant the partition axis
+        // produces, so cells only ever hit the cache inside
+        // `Cluster::with_shared_resources` (a partitioned machine's name
+        // encodes its plan, so each variant keys its own model).
         let mut models: HashMap<String, EffBwModel> = HashMap::new();
-        let _ = Cluster::with_shared_resources(
-            vec![self.machine.clone()],
-            || Box::new(BaselinePolicy),
-            server_policy_by_name("round-robin").expect("built-in policy"),
-            Arc::clone(pool),
-            &mut models,
-        );
+        for partition in &self.partitions {
+            let _ = Cluster::with_shared_resources(
+                vec![machine_for(&self.machine, partition.as_ref())],
+                || Box::new(BaselinePolicy),
+                server_policy_by_name("round-robin").expect("built-in policy"),
+                Arc::clone(pool),
+                &mut models,
+            );
+        }
         let ctx_proto = CellContext {
             machine: self.machine.clone(),
             pool: Arc::clone(pool),
             models,
             queue_depth: self.shard_queue_depth,
-            poisson_mean_gap: self.poisson_mean_gap,
+            mix: self.mix.clone(),
             cell: None,
         };
         let spec = CampaignSpec {
@@ -226,10 +291,19 @@ impl CampaignGrid {
                 machine: ctx_proto.machine.clone(),
                 pool: Arc::clone(&ctx_proto.pool),
                 queue_depth: ctx_proto.queue_depth,
-                poisson_mean_gap: ctx_proto.poisson_mean_gap,
+                mix: ctx_proto.mix.clone(),
             },
             CellContext::run_replication,
         ))
+    }
+}
+
+/// The machine a cell's shards run: the base machine, or the plan
+/// applied to it.
+fn machine_for(base: &Topology, partition: Option<&PartitionPlan>) -> Topology {
+    match partition {
+        Some(plan) => plan.apply(base).into_topology(),
+        None => base.clone(),
     }
 }
 
@@ -242,15 +316,16 @@ struct CellContext {
     pool: Arc<WorkerPool>,
     models: HashMap<String, EffBwModel>,
     queue_depth: usize,
-    poisson_mean_gap: Option<f64>,
+    mix: JobMixConfig,
     cell: Option<GridCell>,
 }
 
 impl CellContext {
     fn run_replication(&mut self, seed: u64) -> SimReport {
         let cell = self.cell.as_ref().expect("cell set by setup").clone();
+        let machine = machine_for(&self.machine, cell.partition.as_ref());
         let cluster = Cluster::with_shared_resources(
-            vec![self.machine.clone(); cell.shards],
+            vec![machine; cell.shards],
             || allocation_policy_by_name(&cell.alloc_policy).expect("validated before the run"),
             server_policy_by_name(&cell.server_policy).expect("validated before the run"),
             Arc::clone(&self.pool),
@@ -260,12 +335,13 @@ impl CellContext {
         .with_shard_queues(self.queue_depth);
         let mix = JobMixConfig {
             job_count: cell.jobs,
-            ..JobMixConfig::default()
+            ..self.mix.clone()
         };
         // CRN: the job mix and the arrival process both draw from the
-        // replication's seed — and from nothing cell-specific.
+        // replication's seed — and from nothing cell-specific beyond the
+        // load level, so paired comparisons subtract the arrival noise.
         let jobs = generator::generate_jobs(&mix, seed);
-        let arrivals = match self.poisson_mean_gap {
+        let arrivals = match cell.poisson_gap {
             Some(mean_gap) => ArrivalProcess::Poisson { mean_gap, seed },
             None => ArrivalProcess::Batch,
         };
@@ -362,8 +438,71 @@ mod tests {
         grid.job_counts.clear();
         assert!(grid.validate().is_err());
         let mut grid = tiny_grid();
-        grid.poisson_mean_gap = Some(0.0);
+        grid.arrival_gaps = vec![Some(0.0)];
         assert!(grid.validate().is_err());
+        let mut grid = tiny_grid();
+        grid.partitions = vec![Some(PartitionPlan::new())];
+        assert!(grid.validate().unwrap_err().contains("empty partition"));
+        let mut grid = tiny_grid();
+        grid.partitions = vec![Some(PartitionPlan::new().split(9, 2))];
+        assert!(grid.validate().unwrap_err().contains("only 8 GPUs"));
+        // Splitting 4 of 8 GPUs leaves 4 whole < gpus_max = 5.
+        let mut grid = tiny_grid();
+        grid.partitions = vec![Some(
+            PartitionPlan::new()
+                .split(0, 2)
+                .split(1, 2)
+                .split(2, 2)
+                .split(3, 2),
+        )];
+        assert!(grid.validate().unwrap_err().contains("whole GPUs"));
+    }
+
+    #[test]
+    fn arrival_and_partition_axes_extend_the_grid() {
+        let mut grid = tiny_grid();
+        grid.server_policies = vec!["round-robin".into()];
+        grid.arrival_gaps = vec![None, Some(12.0)];
+        grid.partitions = vec![None, Some(PartitionPlan::new().split(0, 4))];
+        grid.validate().unwrap();
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 4);
+        let labels: Vec<String> = cells.iter().map(GridCell::label).collect();
+        assert_eq!(
+            labels[0],
+            "round-robin/baseline/shards=2/jobs=30/sequential"
+        );
+        assert_eq!(
+            labels[1],
+            "round-robin/baseline/shards=2/jobs=30/sequential/mig=0:4"
+        );
+        assert_eq!(
+            labels[2],
+            "round-robin/baseline/shards=2/jobs=30/sequential/gap=12"
+        );
+        assert_eq!(
+            labels[3],
+            "round-robin/baseline/shards=2/jobs=30/sequential/gap=12/mig=0:4"
+        );
+    }
+
+    #[test]
+    fn partitioned_cells_run_and_differ_from_whole_cells() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut grid = tiny_grid();
+        grid.server_policies = vec!["round-robin".into()];
+        grid.alloc_policies = vec!["greedy".into()];
+        grid.job_counts = vec![20];
+        grid.partitions = vec![None, Some(PartitionPlan::new().split(0, 4))];
+        grid.mix.inference_fraction = 0.3;
+        let summaries = grid.run(&pool).unwrap();
+        assert_eq!(summaries.len(), 2);
+        // CRN: both cells ran the identical job mix, but on different
+        // machines — the schedules must genuinely differ.
+        assert_ne!(
+            summaries[0].schedule_digest, summaries[1].schedule_digest,
+            "partitioning must change the schedule"
+        );
     }
 
     #[test]

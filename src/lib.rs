@@ -21,15 +21,10 @@
 //! let mut allocator = MapaAllocator::new(machines::dgx1_v100(), Box::new(PreservePolicy));
 //!
 //! // A bandwidth-sensitive 3-GPU ring job (VGG-16-like).
-//! let job = JobSpec {
-//!     id: 1,
-//!     num_gpus: 3,
-//!     topology: AppTopology::Ring,
-//!     bandwidth_sensitive: true,
-//!     workload: Workload::Vgg16,
-//!     iterations: 3000,
-//!     priority: 0,
-//! };
+//! let job = JobSpec::new(1, GpuDemand::Whole(3), Workload::Vgg16)
+//!     .with_topology(AppTopology::Ring)
+//!     .with_bandwidth_sensitive(true)
+//!     .with_iterations(3000);
 //! let outcome = allocator.try_allocate(&job).unwrap().expect("machine is idle");
 //! assert_eq!(outcome.gpus.len(), 3);
 //! // The Preserve policy gives sensitive jobs a high-EffBW match.
@@ -74,12 +69,15 @@ pub mod prelude {
     pub use mapa_sim::campaign::{crn_seed, CampaignSpec, CellSummary};
     pub use mapa_sim::{
         stats, ArrivalProcess, DispatchReport, Engine, GangStats, PendingJob, PreemptionStats,
-        SchedulerBackend, SimConfig, SimReport, Simulation, Submission,
+        SchedulerBackend, SimConfig, SimReport, Simulation, SloStats, Submission,
     };
 
     pub use crate::campaign::{allocation_policy_by_name, CampaignGrid, GridCell};
     pub use mapa_topology::{
-        machines, HardwareState, LinkMix, LinkType, OccupancySignature, Topology,
+        machines, HardwareState, LinkMix, LinkType, OccupancySignature, PartitionPlan,
+        SliceBandwidth, SliceMap, Topology, VirtualTopology,
     };
-    pub use mapa_workloads::{generator, perf, AppTopology, JobGroup, JobSpec, Workload};
+    pub use mapa_workloads::{
+        generator, perf, AppTopology, GpuDemand, JobGroup, JobSpec, Workload,
+    };
 }

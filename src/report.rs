@@ -68,7 +68,9 @@ pub fn to_json(report: &SimReport) -> String {
          \"preemption\": {{\"jobs_preempted\": {}, \"gpu_seconds_lost\": {:.3}, \
          \"penalty_seconds_charged\": {:.3}}},\n  \
          \"gangs\": {{\"dispatched\": {}, \"members\": {}, \"total_wait_seconds\": {:.3}, \
-         \"max_wait_seconds\": {:.3}}},\n  \"shards\": [\n{}\n  ]\n}}\n",
+         \"max_wait_seconds\": {:.3}}},\n  \
+         \"slo\": {{\"jobs\": {}, \"met\": {}, \"missed\": {}, \"attainment\": {:.6}, \
+         \"p95_latency_ms\": {:.6}, \"p95_target_ms\": {:.6}}},\n  \"shards\": [\n{}\n  ]\n}}\n",
         report.topology_name,
         report.policy_name,
         report.records.len(),
@@ -88,6 +90,12 @@ pub fn to_json(report: &SimReport) -> String {
         report.gangs.members_dispatched,
         report.gangs.total_wait_seconds,
         report.gangs.max_wait_seconds,
+        report.slo.jobs,
+        report.slo.met,
+        report.slo.missed,
+        report.slo.attainment(),
+        report.slo.p95_latency_ms,
+        report.slo.p95_target_ms,
         shards.join(",\n")
     )
 }

@@ -49,15 +49,14 @@ fn run_stream(policy_idx: usize, steps: &[Step], cached: bool) -> (Vec<Option<Ve
             let victim = held.remove(shape_idx % held.len());
             alloc.release(victim).expect("held job releases");
         }
-        let job = JobSpec {
-            id: i as u64 + 1,
-            num_gpus: 1 + size % 5,
-            topology: shape(shape_idx),
-            bandwidth_sensitive: sensitive,
-            workload: Workload::Vgg16,
-            iterations: 1,
-            priority: 0,
-        };
+        let job = JobSpec::new(
+            i as u64 + 1,
+            GpuDemand::Whole(1 + size % 5),
+            Workload::Vgg16,
+        )
+        .with_topology(shape(shape_idx))
+        .with_bandwidth_sensitive(sensitive)
+        .with_iterations(1);
         let outcome = alloc.try_allocate(&job).expect("sizes are valid");
         if outcome.is_some() {
             held.push(job.id);

@@ -30,7 +30,7 @@ fn arrival_stream_digest(report: &SimReport) -> u64 {
     h.write_u64(records.len() as u64);
     for r in &records {
         h.write_u64(r.job.id);
-        h.write_u64(r.job.num_gpus as u64);
+        h.write_u64(r.job.num_gpus() as u64);
         h.write_u64(r.job.iterations);
         h.write_u64(u64::from(r.job.bandwidth_sensitive));
         h.write_f64(r.submitted_at);

@@ -137,7 +137,7 @@ fn multi_shard_runs_stay_well_formed_for_every_server_policy() {
         assert_eq!(jobs_total, 90, "server policy #{server_policy_idx}");
         for r in &report.records {
             assert!(r.server < 3);
-            assert_eq!(r.gpus.len(), r.job.num_gpus);
+            assert_eq!(r.gpus.len(), r.job.num_gpus());
         }
     }
 }

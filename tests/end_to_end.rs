@@ -6,15 +6,9 @@ use mapa::sim::{experiment, SimConfig};
 use mapa::workloads::jobs;
 
 fn job(id: u64, n: usize, workload: Workload) -> JobSpec {
-    JobSpec {
-        id,
-        num_gpus: n,
-        topology: AppTopology::Ring,
-        bandwidth_sensitive: workload.is_bandwidth_sensitive(),
-        workload,
-        iterations: 200,
-        priority: 0,
-    }
+    JobSpec::new(id, GpuDemand::Whole(n), workload)
+        .with_topology(AppTopology::Ring)
+        .with_iterations(200)
 }
 
 #[test]
@@ -24,15 +18,10 @@ fn paper_worked_example_end_to_end() {
     // score exactly as the paper computes.
     let dgx = machines::dgx1_v100();
     let allocator = MapaAllocator::new(dgx.clone(), Box::new(PreservePolicy));
-    let spec = JobSpec {
-        id: 1,
-        num_gpus: 3,
-        topology: AppTopology::AllToAll,
-        bandwidth_sensitive: true,
-        workload: Workload::Vgg16,
-        iterations: 1,
-        priority: 0,
-    };
+    let spec = JobSpec::new(1, GpuDemand::Whole(3), Workload::Vgg16)
+        .with_topology(AppTopology::AllToAll)
+        .with_bandwidth_sensitive(true)
+        .with_iterations(1);
     let frag = allocator.score_allocation(&spec, &[0, 1, 4]);
     let ideal = allocator.score_allocation(&spec, &[0, 2, 3]);
     assert_eq!(
@@ -137,7 +126,7 @@ fn summit_six_gpu_machine_works_end_to_end() {
     assert_eq!(report.records.len(), 10);
     // 3-GPU jobs on Summit should sit inside one socket (all-double).
     for r in &report.records {
-        if r.job.num_gpus == 3 && r.gpus == vec![0, 1, 2] {
+        if r.job.num_gpus() == 3 && r.gpus == vec![0, 1, 2] {
             assert!(
                 r.measured_eff_bw > 40.0,
                 "intra-socket triple is all double NVLink"

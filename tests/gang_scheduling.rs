@@ -68,14 +68,14 @@ fn gang_submissions(seed: u64, take: usize, max_size: usize) -> Vec<Submission> 
     let mut members: Vec<JobSpec> = Vec::new();
     let mut total = 0usize;
     for job in jobs {
-        if !members.is_empty() && (members.len() == max_size || total + job.num_gpus > 8) {
+        if !members.is_empty() && (members.len() == max_size || total + job.num_gpus() > 8) {
             gangs.push(JobGroup::new(
                 gangs.len() as u64 + 1,
                 std::mem::take(&mut members),
             ));
             total = 0;
         }
-        total += job.num_gpus;
+        total += job.num_gpus();
         members.push(job);
     }
     if !members.is_empty() {
@@ -317,14 +317,11 @@ fn singleton_gangs_equal_bare_jobs() {
 #[should_panic(expected = "all jobs must eventually run")]
 fn an_unsatisfiable_gang_panics_at_drain() {
     let members: Vec<JobSpec> = (1..=3)
-        .map(|id| JobSpec {
-            id,
-            num_gpus: 8,
-            topology: AppTopology::Ring,
-            bandwidth_sensitive: false,
-            workload: Workload::Gmm,
-            iterations: 1,
-            priority: 0,
+        .map(|id| {
+            JobSpec::new(id, GpuDemand::Whole(8), Workload::Gmm)
+                .with_topology(AppTopology::Ring)
+                .with_bandwidth_sensitive(false)
+                .with_iterations(1)
         })
         .collect();
     // 3×8 GPUs on a 2×8-GPU fleet can never co-start.

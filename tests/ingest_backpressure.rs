@@ -11,15 +11,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn job(id: u64, n: usize, iterations: u64) -> JobSpec {
-    JobSpec {
-        id,
-        num_gpus: n,
-        topology: AppTopology::Ring,
-        bandwidth_sensitive: true,
-        workload: Workload::Vgg16,
-        iterations,
-        priority: 0,
-    }
+    JobSpec::new(id, GpuDemand::Whole(n), Workload::Vgg16)
+        .with_topology(AppTopology::Ring)
+        .with_bandwidth_sensitive(true)
+        .with_iterations(iterations)
 }
 
 /// A full bounded feed blocks the producer rather than dropping jobs:

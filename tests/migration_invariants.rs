@@ -53,7 +53,7 @@ fn check_invariants(report: &SimReport, jobs: &[JobSpec], depth: usize, context:
             r.job.id
         );
         // Locality: one server, requested width, server-local GPU ids.
-        assert_eq!(r.gpus.len(), r.job.num_gpus, "{context}");
+        assert_eq!(r.gpus.len(), r.job.num_gpus(), "{context}");
         assert!(r.server < report.shards.len(), "{context}");
         let gpu_count = report.shards[r.server].gpu_count;
         assert!(r.gpus.iter().all(|&g| g < gpu_count), "{context}");
@@ -168,7 +168,7 @@ fn migration_respects_machine_capacity_in_heterogeneous_fleets() {
         for r in &report.records {
             // Summit has 6 GPUs: nothing wider may ever land there.
             if r.server == 0 {
-                assert!(r.job.num_gpus <= 6, "{r:?}");
+                assert!(r.job.num_gpus() <= 6, "{r:?}");
             }
         }
     }

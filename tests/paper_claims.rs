@@ -17,13 +17,14 @@ fn section2_fragmentation_hurts_small_jobs_most() {
         gpus_max: 5,
         workloads: Workload::cnns().to_vec(),
         iteration_jitter: 0.2,
+        ..generator::JobMixConfig::default()
     };
     let jobs = generator::generate_jobs(&cfg, 4);
     let report = Simulation::new(machines::dgx1_v100(), Box::new(BaselinePolicy)).run(&jobs);
     let q3: Vec<f64> = report
         .records
         .iter()
-        .filter(|r| r.job.num_gpus == 3)
+        .filter(|r| r.job.num_gpus() == 3)
         .map(|r| r.allocation_quality)
         .collect();
     let s = stats::summarize(&q3);
@@ -104,7 +105,7 @@ fn table3_policy_ordering_on_one_mix() {
         );
     }
 
-    let multi = |r: &JobRecord| r.job.num_gpus >= 2;
+    let multi = |r: &JobRecord| r.job.num_gpus() >= 2;
     let base = stats::summarize(&cmp.report("baseline").unwrap().predicted_eff_bws(multi));
     let greedy = stats::summarize(&cmp.report("Greedy").unwrap().predicted_eff_bws(multi));
     assert!(
@@ -129,7 +130,7 @@ fn table3_policy_ordering_on_one_mix() {
 fn fig18_preserve_lifts_lower_tail_on_cube_mesh() {
     let jobs = generator::paper_job_mix(3);
     let cmp = mapa::sim::experiment::compare_policies(&machines::cube_mesh(), &jobs);
-    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus >= 2;
+    let sens = |r: &JobRecord| r.job.bandwidth_sensitive && r.job.num_gpus() >= 2;
     let base = stats::summarize(&cmp.report("baseline").unwrap().predicted_eff_bws(sens));
     let pres = stats::summarize(&cmp.report("Preserve").unwrap().predicted_eff_bws(sens));
     assert!(
@@ -145,15 +146,10 @@ fn fig18_preserve_lifts_lower_tail_on_cube_mesh() {
 #[test]
 fn fig19_overhead_sane_and_growing() {
     use std::time::Instant;
-    let spec = JobSpec {
-        id: 1,
-        num_gpus: 4,
-        topology: AppTopology::Ring,
-        bandwidth_sensitive: true,
-        workload: Workload::Vgg16,
-        iterations: 1,
-        priority: 0,
-    };
+    let spec = JobSpec::new(1, GpuDemand::Whole(4), Workload::Vgg16)
+        .with_topology(AppTopology::Ring)
+        .with_bandwidth_sensitive(true)
+        .with_iterations(1);
     let mut times = Vec::new();
     for machine in [machines::dgx1_v100(), machines::torus_2d()] {
         let mut alloc = MapaAllocator::new(machine, Box::new(PreservePolicy));
@@ -175,24 +171,14 @@ fn fig19_overhead_sane_and_growing() {
 /// as well off as Greedy does after an insensitive job was placed first.
 #[test]
 fn preservation_protects_future_sensitive_jobs() {
-    let insensitive = JobSpec {
-        id: 1,
-        num_gpus: 2,
-        topology: AppTopology::Ring,
-        bandwidth_sensitive: false,
-        workload: Workload::GoogleNet,
-        iterations: 1,
-        priority: 0,
-    };
-    let sensitive = JobSpec {
-        id: 2,
-        num_gpus: 2,
-        topology: AppTopology::Ring,
-        bandwidth_sensitive: true,
-        workload: Workload::Vgg16,
-        iterations: 1,
-        priority: 0,
-    };
+    let insensitive = JobSpec::new(1, GpuDemand::Whole(2), Workload::GoogleNet)
+        .with_topology(AppTopology::Ring)
+        .with_bandwidth_sensitive(false)
+        .with_iterations(1);
+    let sensitive = JobSpec::new(2, GpuDemand::Whole(2), Workload::Vgg16)
+        .with_topology(AppTopology::Ring)
+        .with_bandwidth_sensitive(true)
+        .with_iterations(1);
     let dgx = machines::dgx1_v100();
 
     let run = |policy: Box<dyn mapa::core::policy::AllocationPolicy>| {

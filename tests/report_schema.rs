@@ -14,7 +14,7 @@ use mapa::workloads::JobGroup;
 
 /// The top-level keys CI's schema check asserts on the artifact —
 /// keep in sync with `.github/workflows/ci.yml`.
-const TOP_LEVEL_KEYS: [&str; 12] = [
+const TOP_LEVEL_KEYS: [&str; 13] = [
     "machine",
     "policy",
     "jobs",
@@ -26,6 +26,7 @@ const TOP_LEVEL_KEYS: [&str; 12] = [
     "dispatch",
     "preemption",
     "gangs",
+    "slo",
     "shards",
 ];
 
@@ -47,6 +48,15 @@ fn exercised_report() -> SimReport {
             job.priority = (job.id % 3) as u8;
             submissions.push(Submission::Job(job));
         }
+    }
+    // A handful of SLO-tagged fractional inference tenants so the slo
+    // block carries non-zero counters.
+    for id in 0..4 {
+        submissions.push(Submission::Job(
+            JobSpec::new(10_000 + id, GpuDemand::Slices(2), Workload::BertServing)
+                .with_iterations(200)
+                .with_slo(25.0),
+        ));
     }
     let cluster = Cluster::homogeneous(
         machines::dgx1_v100(),
@@ -142,6 +152,28 @@ fn json_report_round_trips_and_matches_the_ci_schema() {
     );
     assert!(report.gangs.gangs_dispatched > 0, "the run submitted gangs");
 
+    // SLO counters round-trip exactly; the run submitted tagged tenants.
+    let slo = parsed.get("slo").unwrap();
+    assert_eq!(
+        slo.get("jobs").unwrap().as_f64(),
+        Some(report.slo.jobs as f64)
+    );
+    assert_eq!(
+        slo.get("met").unwrap().as_f64(),
+        Some(report.slo.met as f64)
+    );
+    assert_eq!(
+        slo.get("missed").unwrap().as_f64(),
+        Some(report.slo.missed as f64)
+    );
+    let attainment = slo.get("attainment").unwrap().as_f64().unwrap();
+    assert!((attainment - report.slo.attainment()).abs() < 1e-6);
+    let p95 = slo.get("p95_latency_ms").unwrap().as_f64().unwrap();
+    assert!((p95 - report.slo.p95_latency_ms).abs() < 1e-6);
+    let p95_target = slo.get("p95_target_ms").unwrap().as_f64().unwrap();
+    assert!((p95_target - report.slo.p95_target_ms).abs() < 1e-6);
+    assert!(report.slo.jobs > 0, "the run submitted SLO-tagged tenants");
+
     // Per-shard objects.
     let shards = parsed.get("shards").unwrap().as_array().unwrap();
     assert_eq!(shards.len(), report.shards.len());
@@ -202,6 +234,11 @@ fn single_server_report_omits_only_the_dispatch_block() {
             .as_f64(),
         Some(0.0)
     );
+    // The slo block is always present; with no tagged tenants its counters
+    // are zero and attainment is vacuously 1.
+    let slo = parsed.get("slo").unwrap();
+    assert_eq!(slo.get("jobs").unwrap().as_f64(), Some(0.0));
+    assert_eq!(slo.get("attainment").unwrap().as_f64(), Some(1.0));
 }
 
 #[test]

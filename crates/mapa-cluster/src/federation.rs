@@ -1,0 +1,1161 @@
+//! The federation tier: N [`Cluster`]s (regions/cells) behind one
+//! cross-cluster router, with per-tenant quotas and dominant-resource
+//! fairness enforced at admission.
+//!
+//! A cluster is to a federation exactly what a shard is to a cluster: the
+//! [`SchedulerBackend`] pattern reused one level up. A pluggable
+//! [`FederationPolicy`] ranks clusters per decision (first-fit spillover,
+//! round-robin, least-loaded), the chosen cluster then runs its own
+//! server-selection and GPU-selection stages untouched. Because the
+//! federation adds no parallelism of its own — every cross-cluster step
+//! is serial, and each inner cluster's sequential ≡ parallel contract is
+//! already proven — a federated schedule is bit-identical at any worker
+//! thread count, and a 1-cluster federation replays the bare cluster's
+//! schedules bit for bit (`tests/federation.rs` pins both).
+//!
+//! Multi-tenancy follows the admission-control shape of the multi-tenant
+//! inference literature (MoCA-style adaptive admission, DRF fairness):
+//!
+//! * **Quotas** — each tenant may hold at most `quota` accelerator units
+//!   (queued-in-cluster + running) at once. Over-quota work is *held at
+//!   the federation gate*, never handed to a cluster. A single job (or
+//!   gang) larger than its tenant's quota is admitted only when the
+//!   tenant holds nothing — a concurrency cap must not deadlock the
+//!   engine's "all jobs eventually run" contract.
+//! * **DRF at admission** — held work is re-admitted in ascending order
+//!   of the owning tenant's *dominant share* (its largest per-dimension
+//!   fraction of federation capacity, whole GPUs and MIG slices counted
+//!   separately), ties broken by arrival order. The least-served tenant
+//!   always re-enters first.
+//! * **Spillover** — when the policy's first-choice cluster cannot take a
+//!   job (saturated on the global path, less free capacity than the
+//!   demand on the queued path), the job routes to the next ranked
+//!   cluster and the `spillovers` counter (and the receiving cluster's
+//!   `spill_ins`) records it. Under [`SpilloverPolicy`] this makes the
+//!   invariant testable: no spillover ever happens while cluster 0 has
+//!   room.
+//! * **Gangs** — on the queued path a gang is *pinned*: admitted whole to
+//!   one cluster that can ever host it. On the global path the federation
+//!   first tries to pin (each ranked cluster's atomic peek-then-commit
+//!   [`Cluster::try_place_gang`]), then falls back to *spanning* members
+//!   across clusters via the generic two-phase commit (place members one
+//!   at a time, roll everything back on the first refusal).
+
+use crate::cluster::Cluster;
+use mapa_core::PreemptionPolicy;
+use mapa_sim::{
+    DispatchReport, DispatchedJob, Eviction, FedClusterStats, FedTenantStats, FederationReport,
+    PendingJob, Placement, SchedulerBackend, SimConfig,
+};
+use mapa_topology::Topology;
+use mapa_workloads::{JobGroup, JobSpec};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// What a [`FederationPolicy`] may consult about one cluster. All fields
+/// are snapshots — owned values, not references — so a view vector can be
+/// built once per decision and handed to the policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView {
+    /// Cluster index within the federation.
+    pub id: usize,
+    /// Servers (shards) in this cluster.
+    pub servers: usize,
+    /// Total accelerator units (GPU/slice vertices) in this cluster.
+    pub gpu_count: usize,
+    /// Currently free accelerator units.
+    pub free_gpus: usize,
+    /// Largest job any of its servers could ever host.
+    pub max_job_gpus: usize,
+    /// Jobs waiting inside the cluster's own queues (0 on the global
+    /// path).
+    pub queued_jobs: usize,
+}
+
+impl ClusterView {
+    /// Busy fraction of the cluster's capacity (0 when it has no GPUs).
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        if self.gpu_count == 0 {
+            0.0
+        } else {
+            (self.gpu_count - self.free_gpus) as f64 / self.gpu_count as f64
+        }
+    }
+}
+
+/// A cross-cluster routing policy: the federation-level analogue of
+/// [`crate::ServerPolicy`]. `rank` returns cluster ids in preference
+/// order; the federation tries each in turn. Implementations must be
+/// deterministic and labeling-invariant beyond the final lowest-id
+/// tie-break, exactly like server policies.
+pub trait FederationPolicy: Send + Sync {
+    /// Short name used in reports ("spillover", "round-robin", …).
+    fn name(&self) -> &'static str;
+
+    /// Preference order over clusters for `job`. `seq` counts admissions
+    /// so far — the rotation state for stateless round-robin.
+    fn rank(&self, job: &JobSpec, clusters: &[ClusterView], seq: u64) -> Vec<usize>;
+}
+
+/// Names accepted by [`federation_policy_by_name`], in documentation
+/// order.
+pub const FEDERATION_POLICY_NAMES: [&str; 3] = ["spillover", "round-robin", "least-loaded"];
+
+/// Resolves a federation policy from its CLI name (case-insensitive).
+#[must_use]
+pub fn federation_policy_by_name(name: &str) -> Option<Box<dyn FederationPolicy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "spillover" | "first-fit" => Some(Box::new(SpilloverPolicy)),
+        "round-robin" | "roundrobin" => Some(Box::new(FedRoundRobinPolicy)),
+        "least-loaded" | "leastloaded" => Some(Box::new(FedLeastLoadedPolicy)),
+        _ => None,
+    }
+}
+
+/// First-fit: always prefer the lowest-index cluster; later clusters only
+/// receive what earlier ones cannot take. The baseline that makes
+/// spillover observable — under it, `spillovers == 0` iff cluster 0
+/// absorbed everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpilloverPolicy;
+
+impl FederationPolicy for SpilloverPolicy {
+    fn name(&self) -> &'static str {
+        "spillover"
+    }
+
+    fn rank(&self, _job: &JobSpec, clusters: &[ClusterView], _seq: u64) -> Vec<usize> {
+        (0..clusters.len()).collect()
+    }
+}
+
+/// Rotate through clusters: admission `seq` starts its probe at cluster
+/// `seq mod N` and wraps — the fairness baseline, load ignored.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedRoundRobinPolicy;
+
+impl FederationPolicy for FedRoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn rank(&self, _job: &JobSpec, clusters: &[ClusterView], seq: u64) -> Vec<usize> {
+        let n = clusters.len();
+        if n == 0 {
+            return vec![];
+        }
+        let start = (seq % n as u64) as usize;
+        (0..n).map(|i| (start + i) % n).collect()
+    }
+}
+
+/// Prefer the cluster with the smallest busy fraction (size-normalized,
+/// so heterogeneous federations balance by relative load). Ties break
+/// toward the lowest cluster id.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedLeastLoadedPolicy;
+
+impl FederationPolicy for FedLeastLoadedPolicy {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn rank(&self, _job: &JobSpec, clusters: &[ClusterView], _seq: u64) -> Vec<usize> {
+        let mut ids: Vec<usize> = (0..clusters.len()).collect();
+        ids.sort_by(|&a, &b| {
+            clusters[a]
+                .busy_fraction()
+                .total_cmp(&clusters[b].busy_fraction())
+                .then(a.cmp(&b))
+        });
+        ids
+    }
+}
+
+/// Per-tenant usage ledger: what the tenant currently holds (split by
+/// demand dimension for the DRF share), its high-water mark, and how
+/// often its admissions were deferred by quota.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantUsage {
+    whole_in_use: usize,
+    slices_in_use: usize,
+    peak: usize,
+    quota_holds: u64,
+}
+
+impl TenantUsage {
+    fn in_use(&self) -> usize {
+        self.whole_in_use + self.slices_in_use
+    }
+}
+
+/// A quota-deferred job waiting at the federation gate.
+#[derive(Debug)]
+struct HeldJob {
+    pending: PendingJob,
+    seq: u64,
+}
+
+/// A quota-deferred gang waiting at the federation gate.
+#[derive(Debug)]
+struct HeldGang {
+    gang: JobGroup,
+    submitted_at: f64,
+    seq: u64,
+}
+
+/// N clusters behind one [`FederationPolicy`], with per-tenant quotas and
+/// DRF re-admission. Implements [`SchedulerBackend`] by delegation:
+/// servers are numbered federation-wide (cluster 0's shards first), and
+/// every placement, release, and eviction is translated between global
+/// and cluster-local indices.
+pub struct Federation {
+    clusters: Vec<Cluster>,
+    policy: Box<dyn FederationPolicy>,
+    /// Global index of each cluster's first server.
+    offsets: Vec<usize>,
+    /// Accelerator units per cluster (static).
+    gpu_counts: Vec<usize>,
+    total_gpus: usize,
+    default_quota: Option<usize>,
+    quotas: BTreeMap<u64, usize>,
+    tenants: BTreeMap<u64, TenantUsage>,
+    /// Active charge per job id: (tenant, units, fractional).
+    ledger: HashMap<u64, (Option<u64>, usize, bool)>,
+    /// Job (or gang-lead) ids whose quota hold has been counted, so a
+    /// retried `try_place` does not re-count the same deferral.
+    quota_blocked: HashSet<u64>,
+    held: VecDeque<HeldJob>,
+    held_gangs: VecDeque<HeldGang>,
+    /// Successful placements (global path) — rotation seq.
+    placements: u64,
+    /// Jobs routed into clusters (queued path) — rotation seq.
+    admitted: u64,
+    /// Arrival stamp for held-queue tie-breaks.
+    arrivals: u64,
+    spillovers: u64,
+    gangs_pinned: u64,
+    gangs_spanned: u64,
+    jobs_routed: Vec<u64>,
+    spill_ins: Vec<u64>,
+}
+
+impl Federation {
+    /// Builds a federation over `clusters` routed by `policy`.
+    ///
+    /// # Panics
+    /// Panics when `clusters` is empty or the clusters disagree on queue
+    /// management (all must run shard queues, or none — the engine picks
+    /// one dispatch path for the whole backend).
+    #[must_use]
+    pub fn new(clusters: Vec<Cluster>, policy: Box<dyn FederationPolicy>) -> Self {
+        assert!(
+            !clusters.is_empty(),
+            "a federation needs at least one cluster"
+        );
+        let queued = clusters[0].manages_queues();
+        assert!(
+            clusters.iter().all(|c| c.manages_queues() == queued),
+            "all federated clusters must agree on queue management"
+        );
+        let mut offsets = Vec::with_capacity(clusters.len());
+        let mut gpu_counts = Vec::with_capacity(clusters.len());
+        let mut next = 0;
+        for c in &clusters {
+            offsets.push(next);
+            next += c.server_count();
+            gpu_counts.push(
+                (0..c.server_count())
+                    .map(|s| c.server_topology(s).gpu_count())
+                    .sum(),
+            );
+        }
+        let total_gpus = gpu_counts.iter().sum();
+        let n = clusters.len();
+        Self {
+            clusters,
+            policy,
+            offsets,
+            gpu_counts,
+            total_gpus,
+            default_quota: None,
+            quotas: BTreeMap::new(),
+            tenants: BTreeMap::new(),
+            ledger: HashMap::new(),
+            quota_blocked: HashSet::new(),
+            held: VecDeque::new(),
+            held_gangs: VecDeque::new(),
+            placements: 0,
+            admitted: 0,
+            arrivals: 0,
+            spillovers: 0,
+            gangs_pinned: 0,
+            gangs_spanned: 0,
+            jobs_routed: vec![0; n],
+            spill_ins: vec![0; n],
+        }
+    }
+
+    /// Sets the quota every tenant gets unless overridden: at most `gpus`
+    /// accelerator units held concurrently (builder style).
+    #[must_use]
+    pub fn with_default_quota(mut self, gpus: usize) -> Self {
+        self.default_quota = Some(gpus);
+        self
+    }
+
+    /// Overrides one tenant's quota (builder style).
+    #[must_use]
+    pub fn with_quota(mut self, tenant: u64, gpus: usize) -> Self {
+        self.quotas.insert(tenant, gpus);
+        self
+    }
+
+    /// Number of federated clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The cluster at `id` (panics on an invalid index).
+    #[must_use]
+    pub fn cluster(&self, id: usize) -> &Cluster {
+        &self.clusters[id]
+    }
+
+    /// The routing policy's name.
+    #[must_use]
+    pub fn federation_policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Jobs routed away from the policy's first choice so far.
+    #[must_use]
+    pub fn spillovers(&self) -> u64 {
+        self.spillovers
+    }
+
+    /// The quota `tenant` is subject to (`None` = unlimited).
+    #[must_use]
+    pub fn quota_for(&self, tenant: u64) -> Option<usize> {
+        self.quotas.get(&tenant).copied().or(self.default_quota)
+    }
+
+    /// Accelerator units `tenant` currently holds (queued-in-cluster +
+    /// running). The quota-conservation invariant the property tests pin:
+    /// this never exceeds the tenant's quota, except for a single job or
+    /// gang admitted alone under the anti-deadlock valve.
+    #[must_use]
+    pub fn tenant_gpus_in_use(&self, tenant: u64) -> usize {
+        self.tenants.get(&tenant).map_or(0, TenantUsage::in_use)
+    }
+
+    fn views(&self) -> Vec<ClusterView> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(id, c)| ClusterView {
+                id,
+                servers: c.server_count(),
+                gpu_count: self.gpu_counts[id],
+                free_gpus: c.total_free_gpus(),
+                max_job_gpus: c.max_job_gpus(),
+                queued_jobs: c.queued_jobs(),
+            })
+            .collect()
+    }
+
+    /// Which cluster owns global server index `server`.
+    fn cluster_of(&self, server: usize) -> usize {
+        match self.offsets.binary_search(&server) {
+            Ok(c) => c,
+            Err(insert) => insert - 1,
+        }
+    }
+
+    /// Whether `tenant` may take `units` more right now. Untenanted and
+    /// unquota'd work always fits; a tenant holding nothing may exceed
+    /// its quota with one admission (anti-deadlock valve — see module
+    /// docs).
+    fn fits_quota(&self, tenant: Option<u64>, units: usize) -> bool {
+        let Some(t) = tenant else { return true };
+        let Some(quota) = self.quota_for(t) else {
+            return true;
+        };
+        let used = self.tenant_gpus_in_use(t);
+        used + units <= quota || used == 0
+    }
+
+    /// The first over-quota tenant a gang admission would create, if any.
+    fn gang_quota_violation(&self, members: &[JobSpec]) -> Option<u64> {
+        let mut need: BTreeMap<u64, usize> = BTreeMap::new();
+        for m in members {
+            if let Some(t) = m.tenant {
+                *need.entry(t).or_default() += m.num_gpus();
+            }
+        }
+        need.into_iter()
+            .find(|&(t, units)| !self.fits_quota(Some(t), units))
+            .map(|(t, _)| t)
+    }
+
+    /// DRF dominant share: the tenant's largest per-dimension fraction of
+    /// federation capacity (whole GPUs and MIG slices counted as separate
+    /// dimensions).
+    fn dominant_share(&self, tenant: u64) -> f64 {
+        let Some(u) = self.tenants.get(&tenant) else {
+            return 0.0;
+        };
+        let capacity = self.total_gpus.max(1) as f64;
+        (u.whole_in_use as f64 / capacity).max(u.slices_in_use as f64 / capacity)
+    }
+
+    fn charge(&mut self, tenant: Option<u64>, units: usize, fractional: bool) {
+        let Some(t) = tenant else { return };
+        let u = self.tenants.entry(t).or_default();
+        if fractional {
+            u.slices_in_use += units;
+        } else {
+            u.whole_in_use += units;
+        }
+        u.peak = u.peak.max(u.in_use());
+    }
+
+    fn uncharge(&mut self, tenant: Option<u64>, units: usize, fractional: bool) {
+        let Some(t) = tenant else { return };
+        let u = self.tenants.entry(t).or_default();
+        if fractional {
+            u.slices_in_use -= units;
+        } else {
+            u.whole_in_use -= units;
+        }
+    }
+
+    /// Settles a job that left the clusters (finished or evicted):
+    /// removes its ledger entry and returns its charge.
+    fn settle(&mut self, job: u64) {
+        if let Some((tenant, units, fractional)) = self.ledger.remove(&job) {
+            self.uncharge(tenant, units, fractional);
+        }
+    }
+
+    /// Counts one quota deferral for `marker` (a job or gang-lead id),
+    /// once — retried attempts on the same blocked item do not re-count.
+    fn note_quota_hold(&mut self, tenant: Option<u64>, marker: u64) {
+        if self.quota_blocked.insert(marker) {
+            if let Some(t) = tenant {
+                self.tenants.entry(t).or_default().quota_holds += 1;
+            }
+        }
+    }
+
+    /// Global-path placement with an explicit quota switch: the gang
+    /// spanning path pre-checks the whole gang and must not be re-gated
+    /// member by member (a gang admitted under the anti-deadlock valve
+    /// would otherwise wedge halfway through).
+    fn try_place_inner(&mut self, job: &JobSpec, enforce_quota: bool) -> Option<Placement> {
+        let units = job.num_gpus();
+        if enforce_quota && !self.fits_quota(job.tenant, units) {
+            self.note_quota_hold(job.tenant, job.id);
+            return None;
+        }
+        let views = self.views();
+        let rank = self.policy.rank(job, &views, self.placements);
+        let feasible: Vec<usize> = rank
+            .into_iter()
+            .filter(|&c| self.clusters[c].max_job_gpus() >= units)
+            .collect();
+        let first = *feasible.first()?;
+        for &c in &feasible {
+            if let Some(mut p) = self.clusters[c].try_place(job) {
+                p.server += self.offsets[c];
+                if c != first {
+                    self.spillovers += 1;
+                    self.spill_ins[c] += 1;
+                }
+                self.jobs_routed[c] += 1;
+                self.placements += 1;
+                self.quota_blocked.remove(&job.id);
+                self.charge(job.tenant, units, job.is_fractional());
+                self.ledger
+                    .insert(job.id, (job.tenant, units, job.is_fractional()));
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Queued-path routing: hands `pending` to the chosen cluster's own
+    /// queues and charges its tenant. Spillover on this path means "the
+    /// first-choice cluster had less free capacity than the demand" — a
+    /// routing heuristic, since placement happens later inside the
+    /// cluster.
+    fn route_job(&mut self, pending: PendingJob) {
+        let units = pending.job.num_gpus();
+        let views = self.views();
+        let rank = self.policy.rank(&pending.job, &views, self.admitted);
+        let feasible: Vec<usize> = rank
+            .into_iter()
+            .filter(|&c| self.clusters[c].max_job_gpus() >= units)
+            .collect();
+        let first = *feasible
+            .first()
+            .expect("engine pre-validates job sizes against max_job_gpus");
+        let pick = feasible
+            .iter()
+            .copied()
+            .find(|&c| self.clusters[c].total_free_gpus() >= units)
+            .unwrap_or(first);
+        if pick != first {
+            self.spillovers += 1;
+            self.spill_ins[pick] += 1;
+        }
+        self.jobs_routed[pick] += 1;
+        self.admitted += 1;
+        self.quota_blocked.remove(&pending.job.id);
+        self.charge(pending.job.tenant, units, pending.job.is_fractional());
+        self.ledger.insert(
+            pending.job.id,
+            (pending.job.tenant, units, pending.job.is_fractional()),
+        );
+        self.clusters[pick].admit(pending);
+    }
+
+    /// Queued-path gang routing: pins the whole gang to one cluster that
+    /// can ever host it (largest member and total demand both fit).
+    fn route_gang(&mut self, gang: JobGroup, submitted_at: f64) {
+        let total: usize = gang.members.iter().map(JobSpec::num_gpus).sum();
+        let largest = gang
+            .members
+            .iter()
+            .map(JobSpec::num_gpus)
+            .max()
+            .unwrap_or(0);
+        let views = self.views();
+        let rank = self.policy.rank(&gang.members[0], &views, self.admitted);
+        let feasible: Vec<usize> = rank
+            .into_iter()
+            .filter(|&c| self.clusters[c].max_job_gpus() >= largest && self.gpu_counts[c] >= total)
+            .collect();
+        let first = *feasible
+            .first()
+            .expect("gangs are pre-validated against cluster capacity");
+        let pick = feasible
+            .iter()
+            .copied()
+            .find(|&c| self.clusters[c].total_free_gpus() >= total)
+            .unwrap_or(first);
+        if pick != first {
+            self.spillovers += 1;
+            self.spill_ins[pick] += gang.members.len() as u64;
+        }
+        self.jobs_routed[pick] += gang.members.len() as u64;
+        self.admitted += gang.members.len() as u64;
+        self.quota_blocked.remove(&gang.members[0].id);
+        for m in &gang.members {
+            self.charge(m.tenant, m.num_gpus(), m.is_fractional());
+            self.ledger
+                .insert(m.id, (m.tenant, m.num_gpus(), m.is_fractional()));
+        }
+        self.gangs_pinned += 1;
+        self.clusters[pick].admit_gang(gang, submitted_at);
+    }
+
+    /// Re-admits held work in DRF order: repeatedly pick the admissible
+    /// held item whose tenant has the lowest dominant share (ties by
+    /// arrival order), admit it, recompute shares, repeat until nothing
+    /// held fits. Recomputing after every admission is what makes this
+    /// dominant-resource *fair* rather than merely FIFO-under-quota.
+    fn drain_held(&mut self) {
+        loop {
+            // (share, arrival seq, is_gang, index) of the best candidate.
+            let mut best: Option<(f64, u64, bool, usize)> = None;
+            let consider = |cand: (f64, u64, bool, usize), best: &mut Option<_>| {
+                if best
+                    .is_none_or(|(s, q, _, _): (f64, u64, bool, usize)| (cand.0, cand.1) < (s, q))
+                {
+                    *best = Some(cand);
+                }
+            };
+            for (i, h) in self.held.iter().enumerate() {
+                if !self.fits_quota(h.pending.job.tenant, h.pending.job.num_gpus()) {
+                    continue;
+                }
+                let share = h.pending.job.tenant.map_or(0.0, |t| self.dominant_share(t));
+                consider((share, h.seq, false, i), &mut best);
+            }
+            for (i, h) in self.held_gangs.iter().enumerate() {
+                if self.gang_quota_violation(&h.gang.members).is_some() {
+                    continue;
+                }
+                let share = h
+                    .gang
+                    .members
+                    .iter()
+                    .filter_map(|m| m.tenant)
+                    .map(|t| self.dominant_share(t))
+                    .fold(0.0, f64::max);
+                consider((share, h.seq, true, i), &mut best);
+            }
+            match best {
+                None => break,
+                Some((_, _, false, i)) => {
+                    let h = self.held.remove(i).expect("index from enumerate");
+                    self.route_job(h.pending);
+                }
+                Some((_, _, true, i)) => {
+                    let h = self.held_gangs.remove(i).expect("index from enumerate");
+                    self.route_gang(h.gang, h.submitted_at);
+                }
+            }
+        }
+    }
+}
+
+impl SchedulerBackend for Federation {
+    fn label(&self) -> String {
+        let inner: Vec<String> = self.clusters.iter().map(SchedulerBackend::label).collect();
+        format!(
+            "{}-cluster federation [{}]",
+            self.clusters.len(),
+            inner.join("; ")
+        )
+    }
+
+    fn policy_label(&self) -> String {
+        format!("{}/{}", self.policy.name(), self.clusters[0].policy_label())
+    }
+
+    fn server_count(&self) -> usize {
+        self.clusters.iter().map(Cluster::server_count).sum()
+    }
+
+    fn server_topology(&self, server: usize) -> &Topology {
+        let c = self.cluster_of(server);
+        self.clusters[c].server_topology(server - self.offsets[c])
+    }
+
+    fn server_cache_stats(&self, server: usize) -> Option<mapa_core::CacheStats> {
+        let c = self.cluster_of(server);
+        self.clusters[c].server_cache_stats(server - self.offsets[c])
+    }
+
+    fn max_job_gpus(&self) -> usize {
+        self.clusters
+            .iter()
+            .map(Cluster::max_job_gpus)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn total_free_gpus(&self) -> usize {
+        self.clusters.iter().map(Cluster::total_free_gpus).sum()
+    }
+
+    fn configure(&mut self, config: &SimConfig) {
+        for c in &mut self.clusters {
+            c.configure(config);
+        }
+    }
+
+    fn try_place(&mut self, job: &JobSpec) -> Option<Placement> {
+        self.try_place_inner(job, true)
+    }
+
+    fn release(&mut self, server: usize, job: u64) {
+        let c = self.cluster_of(server);
+        self.clusters[c].release(server - self.offsets[c], job);
+        self.settle(job);
+    }
+
+    fn release_batch(&mut self, released: &[(usize, u64)]) {
+        // Partition into per-cluster sub-batches (order preserved within
+        // each cluster) so every inner cluster keeps its own batched
+        // fast path.
+        let mut per: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.clusters.len()];
+        for &(server, job) in released {
+            let c = self.cluster_of(server);
+            per[c].push((server - self.offsets[c], job));
+            self.settle(job);
+        }
+        for (c, batch) in per.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.clusters[c].release_batch(&batch);
+            }
+        }
+    }
+
+    fn try_place_gang(&mut self, members: &[JobSpec]) -> Option<Vec<Placement>> {
+        let marker = members.first().map_or(u64::MAX, |m| m.id);
+        if let Some(t) = self.gang_quota_violation(members) {
+            self.note_quota_hold(Some(t), marker);
+            return None;
+        }
+        let total: usize = members.iter().map(JobSpec::num_gpus).sum();
+        let largest = members.iter().map(JobSpec::num_gpus).max().unwrap_or(0);
+        let lead = members.first()?;
+        let views = self.views();
+        let rank = self.policy.rank(lead, &views, self.placements);
+        let feasible: Vec<usize> = rank
+            .into_iter()
+            .filter(|&c| self.clusters[c].max_job_gpus() >= largest)
+            .collect();
+        let first = *feasible.first()?;
+        // Pinned attempt: each ranked cluster's own atomic gang path.
+        for &c in &feasible {
+            if self.clusters[c].total_free_gpus() < total {
+                continue;
+            }
+            if let Some(mut placements) = self.clusters[c].try_place_gang(members) {
+                for p in &mut placements {
+                    p.server += self.offsets[c];
+                }
+                if c != first {
+                    self.spillovers += 1;
+                    self.spill_ins[c] += members.len() as u64;
+                }
+                self.jobs_routed[c] += members.len() as u64;
+                self.placements += members.len() as u64;
+                self.quota_blocked.remove(&marker);
+                for m in members {
+                    self.charge(m.tenant, m.num_gpus(), m.is_fractional());
+                    self.ledger
+                        .insert(m.id, (m.tenant, m.num_gpus(), m.is_fractional()));
+                }
+                self.gangs_pinned += 1;
+                return Some(placements);
+            }
+        }
+        // Spanning fallback: generic two-phase commit across clusters —
+        // place members one at a time (quota pre-checked gang-wide
+        // above), roll everything back on the first refusal. Routing
+        // counters are committed only on success.
+        let snapshot = (
+            self.spillovers,
+            self.spill_ins.clone(),
+            self.jobs_routed.clone(),
+            self.placements,
+        );
+        let mut placed: Vec<Placement> = Vec::new();
+        for (idx, job) in members.iter().enumerate() {
+            match self.try_place_inner(job, false) {
+                Some(p) => placed.push(p),
+                None => {
+                    for (m, p) in members[..idx].iter().zip(&placed) {
+                        self.release(p.server, m.id);
+                    }
+                    (
+                        self.spillovers,
+                        self.spill_ins,
+                        self.jobs_routed,
+                        self.placements,
+                    ) = snapshot;
+                    return None;
+                }
+            }
+        }
+        let distinct: HashSet<usize> = placed.iter().map(|p| self.cluster_of(p.server)).collect();
+        if distinct.len() > 1 {
+            self.gangs_spanned += 1;
+        } else {
+            self.gangs_pinned += 1;
+        }
+        self.quota_blocked.remove(&marker);
+        Some(placed)
+    }
+
+    fn preempt_for(
+        &mut self,
+        job: &JobSpec,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Vec<Eviction> {
+        // A quota-blocked job is short of *permission*, not capacity —
+        // eviction cannot help it.
+        if !self.fits_quota(job.tenant, job.num_gpus()) {
+            return Vec::new();
+        }
+        let views = self.views();
+        let rank = self.policy.rank(job, &views, self.placements);
+        for c in rank {
+            if self.clusters[c].max_job_gpus() < job.num_gpus() {
+                continue;
+            }
+            let evictions = self.clusters[c].preempt_for(job, policy, shielded);
+            if !evictions.is_empty() {
+                return evictions
+                    .into_iter()
+                    .map(|mut e| {
+                        self.settle(e.job_id);
+                        e.server += self.offsets[c];
+                        e
+                    })
+                    .collect();
+            }
+        }
+        Vec::new()
+    }
+
+    fn preempt_blocked(
+        &mut self,
+        policy: PreemptionPolicy,
+        shielded: &HashSet<u64>,
+    ) -> Vec<Eviction> {
+        let mut out = Vec::new();
+        for c in 0..self.clusters.len() {
+            let offset = self.offsets[c];
+            for mut e in self.clusters[c].preempt_blocked(policy, shielded) {
+                self.settle(e.job_id);
+                e.server += offset;
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    fn manages_queues(&self) -> bool {
+        self.clusters[0].manages_queues()
+    }
+
+    fn admit(&mut self, pending: PendingJob) {
+        if !self.fits_quota(pending.job.tenant, pending.job.num_gpus()) {
+            self.note_quota_hold(pending.job.tenant, pending.job.id);
+            let seq = self.arrivals;
+            self.arrivals += 1;
+            self.held.push_back(HeldJob { pending, seq });
+            return;
+        }
+        self.arrivals += 1;
+        self.route_job(pending);
+    }
+
+    fn admit_gang(&mut self, gang: JobGroup, submitted_at: f64) {
+        if let Some(t) = self.gang_quota_violation(&gang.members) {
+            self.note_quota_hold(Some(t), gang.members[0].id);
+            let seq = self.arrivals;
+            self.arrivals += 1;
+            self.held_gangs.push_back(HeldGang {
+                gang,
+                submitted_at,
+                seq,
+            });
+            return;
+        }
+        self.arrivals += 1;
+        self.route_gang(gang, submitted_at);
+    }
+
+    fn pump(&mut self, now: f64) -> Vec<DispatchedJob> {
+        // Quota capacity may have been freed since the last pump: DRF
+        // re-admission first, then every cluster drains in index order.
+        self.drain_held();
+        let mut out = Vec::new();
+        for c in 0..self.clusters.len() {
+            let offset = self.offsets[c];
+            for mut d in self.clusters[c].pump(now) {
+                d.placement.server += offset;
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    fn queued_jobs(&self) -> usize {
+        let inner: usize = self.clusters.iter().map(Cluster::queued_jobs).sum();
+        let held_members: usize = self.held_gangs.iter().map(|h| h.gang.len()).sum();
+        inner + self.held.len() + held_members
+    }
+
+    fn dispatch_report(&self) -> Option<DispatchReport> {
+        let mut reports = self.clusters.iter().filter_map(Cluster::dispatch_report);
+        let mut merged = reports.next()?;
+        for r in reports {
+            merged.jobs_stolen += r.jobs_stolen;
+            merged.jobs_rebalanced += r.jobs_rebalanced;
+            merged.max_queue_depths.extend(r.max_queue_depths);
+            merged.dispatch_blocks += r.dispatch_blocks;
+            merged.fragmentation_blocks += r.fragmentation_blocks;
+        }
+        Some(merged)
+    }
+
+    fn federation_report(&self) -> Option<FederationReport> {
+        Some(FederationReport {
+            policy: self.policy.name(),
+            spillovers: self.spillovers,
+            quota_holds: self.tenants.values().map(|t| t.quota_holds).sum(),
+            gangs_pinned: self.gangs_pinned,
+            gangs_spanned: self.gangs_spanned,
+            clusters: self
+                .clusters
+                .iter()
+                .enumerate()
+                .map(|(i, c)| FedClusterStats {
+                    cluster: i,
+                    label: c.label(),
+                    first_server: self.offsets[i],
+                    servers: c.server_count(),
+                    gpu_count: self.gpu_counts[i],
+                    jobs_routed: self.jobs_routed[i],
+                    spill_ins: self.spill_ins[i],
+                    jobs_completed: 0,
+                    gpu_seconds: 0.0,
+                })
+                .collect(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|(&tenant, u)| FedTenantStats {
+                    tenant,
+                    quota_gpus: self.quota_for(tenant),
+                    peak_gpus: u.peak,
+                    quota_holds: u.quota_holds,
+                    jobs_completed: 0,
+                    gpu_seconds: 0.0,
+                })
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LeastLoadedPolicy;
+    use mapa_core::policy::PreservePolicy;
+    use mapa_sim::Engine;
+    use mapa_topology::machines;
+    use mapa_workloads::{generator, GpuDemand, Workload};
+
+    fn cluster(shards: usize) -> Cluster {
+        Cluster::homogeneous(
+            machines::dgx1_v100(),
+            shards,
+            || Box::new(PreservePolicy),
+            Box::new(LeastLoadedPolicy),
+        )
+    }
+
+    fn federation(n: usize, shards: usize, policy: Box<dyn FederationPolicy>) -> Federation {
+        Federation::new((0..n).map(|_| cluster(shards)).collect(), policy)
+    }
+
+    #[test]
+    fn views_expose_capacity_and_load() {
+        let fed = federation(2, 2, Box::new(SpilloverPolicy));
+        let views = fed.views();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].servers, 2);
+        assert_eq!(views[0].gpu_count, 16);
+        assert_eq!(views[0].free_gpus, 16);
+        assert_eq!(views[0].busy_fraction(), 0.0);
+        assert_eq!(fed.server_count(), 4);
+        assert_eq!(fed.max_job_gpus(), 8);
+        assert_eq!(fed.total_free_gpus(), 32);
+    }
+
+    #[test]
+    fn policy_names_resolve() {
+        for name in FEDERATION_POLICY_NAMES {
+            let p = federation_policy_by_name(name).expect(name);
+            assert_eq!(p.name(), name);
+        }
+        assert!(federation_policy_by_name("SPILLOVER").is_some());
+        assert!(federation_policy_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn round_robin_rotates_and_least_loaded_sorts() {
+        let fed = federation(3, 1, Box::new(SpilloverPolicy));
+        let views = fed.views();
+        let rr = FedRoundRobinPolicy;
+        assert_eq!(rr.rank(&job(1, None, 2), &views, 0), vec![0, 1, 2]);
+        assert_eq!(rr.rank(&job(1, None, 2), &views, 2), vec![2, 0, 1]);
+        let ll = FedLeastLoadedPolicy;
+        assert_eq!(ll.rank(&job(1, None, 2), &views, 0), vec![0, 1, 2]);
+    }
+
+    fn job(id: u64, tenant: Option<u64>, gpus: usize) -> JobSpec {
+        let mut j = JobSpec::new(id, GpuDemand::Whole(gpus), Workload::Vgg16).with_iterations(1);
+        j.tenant = tenant;
+        j
+    }
+
+    #[test]
+    fn global_indexing_round_trips_across_clusters() {
+        let mut fed = federation(2, 2, Box::new(SpilloverPolicy));
+        assert_eq!(fed.cluster_of(0), 0);
+        assert_eq!(fed.cluster_of(1), 0);
+        assert_eq!(fed.cluster_of(2), 1);
+        assert_eq!(fed.cluster_of(3), 1);
+        // Fill cluster 0 (2 shards × 8 GPUs), then the next job spills.
+        for id in 0..4 {
+            let p = fed.try_place(&job(id, None, 4)).expect("room in cluster 0");
+            assert!(p.server < 2, "first-fit stays in cluster 0");
+        }
+        assert_eq!(fed.spillovers(), 0);
+        let p = fed
+            .try_place(&job(99, None, 4))
+            .expect("cluster 1 has room");
+        assert!(p.server >= 2, "spilled into cluster 1");
+        assert_eq!(fed.spillovers(), 1);
+        // Release through the global index reaches the right shard.
+        fed.release(p.server, 99);
+        assert_eq!(fed.total_free_gpus(), 16);
+    }
+
+    #[test]
+    fn quota_blocks_and_releases_unblock() {
+        let mut fed = federation(2, 1, Box::new(SpilloverPolicy)).with_default_quota(4);
+        let p0 = fed.try_place(&job(1, Some(7), 3)).expect("under quota");
+        assert_eq!(fed.tenant_gpus_in_use(7), 3);
+        // 3 + 3 > 4 → deferred, and the hold is counted exactly once.
+        assert!(fed.try_place(&job(2, Some(7), 3)).is_none());
+        assert!(fed.try_place(&job(2, Some(7), 3)).is_none());
+        let report = fed.federation_report().unwrap();
+        assert_eq!(report.quota_holds, 1, "retries do not re-count");
+        // Another tenant is unaffected.
+        assert!(fed.try_place(&job(3, Some(8), 3)).is_some());
+        // Release frees the quota; the job now fits.
+        fed.release(p0.server, 1);
+        assert_eq!(fed.tenant_gpus_in_use(7), 0);
+        assert!(fed.try_place(&job(2, Some(7), 3)).is_some());
+    }
+
+    #[test]
+    fn oversized_job_admitted_only_alone() {
+        let mut fed = federation(1, 1, Box::new(SpilloverPolicy)).with_default_quota(2);
+        // 5 > quota 2, but the tenant holds nothing → the valve admits it.
+        let p = fed.try_place(&job(1, Some(3), 5)).expect("valve admits");
+        // Holding 5, even a 1-GPU job is over quota.
+        assert!(fed.try_place(&job(2, Some(3), 1)).is_none());
+        fed.release(p.server, 1);
+        assert!(fed.try_place(&job(2, Some(3), 1)).is_some());
+    }
+
+    #[test]
+    fn gang_quota_checked_gang_wide() {
+        let mut fed = federation(2, 1, Box::new(SpilloverPolicy)).with_default_quota(4);
+        let members = vec![job(1, Some(5), 3), job(2, Some(5), 3)];
+        // 6 > 4 with nothing held → valve admits the gang whole.
+        let ps = fed
+            .try_place_gang(&members)
+            .expect("valve admits gangs too");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(fed.tenant_gpus_in_use(5), 6);
+        // Now the tenant is over; a second gang is refused.
+        let more = vec![job(3, Some(5), 1)];
+        assert!(fed.try_place_gang(&more).is_none());
+    }
+
+    #[test]
+    fn gangs_pin_when_possible_and_span_when_not() {
+        // Each cluster is one 8-GPU server; after the 6-GPU pinned gang
+        // a 2+8 gang fits nowhere whole but spans (2 on cluster 0's
+        // remainder, 8 on idle cluster 1).
+        let mut fed = federation(2, 1, Box::new(SpilloverPolicy));
+        let pinned = vec![job(1, None, 3), job(2, None, 3)];
+        fed.try_place_gang(&pinned)
+            .expect("6 GPUs pin on cluster 0");
+        let spanning = vec![job(3, None, 2), job(4, None, 8)];
+        let ps = fed.try_place_gang(&spanning).expect("spans both clusters");
+        let clusters: HashSet<usize> = ps.iter().map(|p| fed.cluster_of(p.server)).collect();
+        assert_eq!(clusters.len(), 2, "members landed on both clusters");
+        let report = fed.federation_report().unwrap();
+        assert_eq!(report.gangs_pinned, 1);
+        assert_eq!(report.gangs_spanned, 1);
+    }
+
+    #[test]
+    fn spanning_rollback_restores_counters_and_occupancy() {
+        let mut fed = federation(2, 1, Box::new(SpilloverPolicy));
+        // 3 members × 6 GPUs = 18 > 16 total: must fail after placing 2.
+        let doomed = vec![job(1, None, 6), job(2, None, 6), job(3, None, 6)];
+        assert!(fed.try_place_gang(&doomed).is_none());
+        assert_eq!(fed.total_free_gpus(), 16, "occupancy rolled back");
+        let report = fed.federation_report().unwrap();
+        assert_eq!(report.spillovers, 0, "counters rolled back");
+        assert_eq!(report.clusters[0].jobs_routed, 0);
+        assert_eq!(report.gangs_pinned + report.gangs_spanned, 0);
+    }
+
+    #[test]
+    fn queued_path_routes_admits_and_pumps_with_drf_order() {
+        let clusters = vec![
+            cluster(1).with_shard_queues(8),
+            cluster(1).with_shard_queues(8),
+        ];
+        let mut fed = Federation::new(clusters, Box::new(SpilloverPolicy)).with_default_quota(8);
+        assert!(fed.manages_queues());
+        // Tenant 1 takes 6 of its 8-GPU quota, tenant 2 takes 2 of its
+        // own; both route to cluster 0 and start on the first pump.
+        fed.admit(PendingJob::new(job(1, Some(1), 6), 0.0));
+        fed.admit(PendingJob::new(job(2, Some(2), 2), 0.0));
+        // Both tenants go over: two held jobs.
+        fed.admit(PendingJob::new(job(3, Some(1), 4), 0.0));
+        fed.admit(PendingJob::new(job(4, Some(2), 7), 0.0));
+        assert_eq!(fed.queued_jobs(), 4, "2 in clusters, 2 held");
+        let started = fed.pump(0.0);
+        assert_eq!(started.len(), 2, "held jobs stay held while quota is full");
+        let server_of = |id: u64| {
+            started
+                .iter()
+                .find(|d| d.pending.job.id == id)
+                .expect("started on the first pump")
+                .placement
+                .server
+        };
+        // Tenant 1 finishes → its quota frees → DRF re-admits *its* held
+        // job (share fell to 0; tenant 2 is still over for a 7-GPU ask).
+        fed.release(server_of(1), 1);
+        let next = fed.pump(0.0);
+        assert_eq!(next.len(), 1, "only the freed tenant drains");
+        assert_eq!(next[0].pending.job.id, 3);
+        // Tenant 2 frees next; its held job re-admits even though tenant
+        // 1's job arrived first, and spills to cluster 1 for room.
+        fed.release(server_of(2), 2);
+        let last = fed.pump(0.0);
+        assert_eq!(last.len(), 1, "held jobs re-admitted after release");
+        assert_eq!(last[0].pending.job.id, 4);
+        assert_eq!(fed.cluster_of(last[0].placement.server), 1, "spilled over");
+        assert_eq!(fed.queued_jobs(), 0);
+        let report = fed.federation_report().unwrap();
+        assert_eq!(report.quota_holds, 2);
+        assert_eq!(report.spillovers, 1);
+    }
+
+    #[test]
+    fn single_cluster_federation_matches_bare_cluster_end_to_end() {
+        // The unit-level smoke of the tests/federation.rs golden suite.
+        let jobs = generator::paper_job_mix(5);
+        let bare = Engine::over(cluster(3)).run(&jobs[..30]);
+        let fed = Engine::over(Federation::new(vec![cluster(3)], Box::new(SpilloverPolicy)))
+            .run(&jobs[..30]);
+        assert_eq!(
+            mapa_sim::digest::schedule_digest(&bare),
+            mapa_sim::digest::schedule_digest(&fed),
+            "1-cluster federation replays the bare cluster bit-for-bit"
+        );
+        assert!(fed.federation.is_some());
+        assert!(bare.federation.is_none());
+    }
+
+    #[test]
+    fn engine_enriches_per_cluster_and_per_tenant_counters() {
+        let mut jobs: Vec<JobSpec> = generator::paper_job_mix(6)[..20].to_vec();
+        mapa_workloads::assign_tenants(&mut jobs, 3);
+        let report =
+            Engine::over(federation(2, 2, Box::new(SpilloverPolicy)).with_default_quota(12))
+                .run(&jobs);
+        let fed = report.federation.as_ref().expect("federated run");
+        let total_completed: usize = fed.clusters.iter().map(|c| c.jobs_completed).sum();
+        assert_eq!(total_completed, 20, "every record maps to a cluster");
+        let tenant_completed: usize = fed.tenants.iter().map(|t| t.jobs_completed).sum();
+        assert_eq!(tenant_completed, 20, "every record maps to a tenant");
+        for t in &fed.tenants {
+            assert_eq!(t.quota_gpus, Some(12));
+            assert!(t.peak_gpus <= 12, "quota conserved: {}", t.peak_gpus);
+        }
+        assert!(fed.clusters.iter().all(|c| c.gpu_count == 16));
+    }
+}

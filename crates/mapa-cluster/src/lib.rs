@@ -40,6 +40,12 @@
 //!   arrival evicts lower-priority victims on the cheapest shard
 //!   (global-queue path) or its own shard (queued path). Semantics:
 //!   `docs/SCHEDULING.md`.
+//! * [`Federation`] ([`federation`]) — the same pattern one level up: N
+//!   clusters behind a pluggable [`FederationPolicy`] (spillover,
+//!   round-robin, least-loaded), with per-tenant GPU quotas enforced at
+//!   admission and dominant-resource-fair re-admission of quota-held
+//!   work. Gangs pin to one cluster when possible and span clusters via
+//!   two-phase commit when not.
 //!
 //! # Example
 //!
@@ -72,12 +78,17 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod federation;
 pub mod ingest;
 pub mod migrate;
 pub mod policy;
 
 pub use cluster::{
     dispatch_mode_by_name, Cluster, DispatchMode, DEFAULT_SHARD_QUEUE_DEPTH, DISPATCH_MODE_NAMES,
+};
+pub use federation::{
+    federation_policy_by_name, ClusterView, FedLeastLoadedPolicy, FedRoundRobinPolicy, Federation,
+    FederationPolicy, SpilloverPolicy, FEDERATION_POLICY_NAMES,
 };
 pub use ingest::{Feed, JobFeed, SubmissionFeed, DEFAULT_INGEST_CAPACITY};
 pub use migrate::{

@@ -348,6 +348,14 @@ pub struct CellSummary {
     pub queue_wait_p95_seconds: f64,
     /// 99th-percentile per-job queue wait, pooled across replications.
     pub queue_wait_p99_seconds: f64,
+    /// SLO attainment across the replications that had SLO-tagged jobs;
+    /// `None` when no replication did. Replications without tagged jobs
+    /// have no attainment and are skipped — not folded in as a vacuous
+    /// 1.0, which used to inflate mixed campaign grids.
+    pub slo_attainment: Option<MetricSummary>,
+    /// Replications that carried at least one SLO-tagged job (the sample
+    /// size behind `slo_attainment`).
+    pub slo_replications: u64,
     /// FNV-1a chain over the per-replication schedule digests, in
     /// replication order — a fingerprint of every placement decision the
     /// cell made, used to prove bit-identical results across worker-pool
@@ -368,6 +376,7 @@ pub struct CellAccumulator {
     throughput: Welford,
     queue_wait_mean: Welford,
     queue_waits: StreamingQuantiles,
+    slo_attainment: Welford,
     digest: Fnv1a,
 }
 
@@ -396,6 +405,11 @@ impl CellAccumulator {
         for w in waits {
             self.queue_waits.push(w);
         }
+        // Replications without SLO-tagged jobs have no attainment to
+        // fold in — skipping them keeps mixed grids honest.
+        if let Some(attainment) = report.slo.attainment() {
+            self.slo_attainment.push(attainment);
+        }
         self.digest.write_u64(schedule_digest(report));
     }
 
@@ -417,6 +431,12 @@ impl CellAccumulator {
             queue_wait_p50_seconds: p50,
             queue_wait_p95_seconds: p95,
             queue_wait_p99_seconds: p99,
+            slo_attainment: if self.slo_attainment.count() > 0 {
+                Some(summary(&self.slo_attainment))
+            } else {
+                None
+            },
+            slo_replications: self.slo_attainment.count(),
             schedule_digest: self.digest.finish(),
         }
     }
@@ -552,6 +572,46 @@ mod tests {
         assert!((p50 - 0.50 * n).abs() / n < 0.05, "p50 {p50}");
         assert!((p95 - 0.95 * n).abs() / n < 0.05, "p95 {p95}");
         assert!((p99 - 0.99 * n).abs() / n < 0.05, "p99 {p99}");
+    }
+
+    #[test]
+    fn attainment_aggregation_skips_untagged_replications() {
+        use crate::engine::{SloStats, Submission};
+        use mapa_workloads::{GpuDemand, JobSpec, Workload};
+        // One tagged replication with a known attainment, one untagged.
+        let tagged: Vec<Submission> = (0..4)
+            .map(|id| {
+                Submission::Job(
+                    JobSpec::new(id, GpuDemand::Whole(1), Workload::BertServing)
+                        .with_iterations(100)
+                        // Half generous targets (met), half impossible.
+                        .with_slo(if id % 2 == 0 { 1e9 } else { 1e-9 }),
+                )
+            })
+            .collect();
+        let tagged_report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .run_submissions(tagged);
+        assert_eq!(tagged_report.slo.attainment(), Some(0.5));
+        let untagged_report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
+            .run(&generator::paper_job_mix(3)[..5]);
+        assert_eq!(untagged_report.slo, SloStats::default());
+
+        let mut acc = CellAccumulator::new();
+        acc.observe(&tagged_report);
+        acc.observe(&untagged_report);
+        let cell = acc.finish("mixed".to_string());
+        assert_eq!(cell.replications, 2);
+        assert_eq!(cell.slo_replications, 1, "only the tagged replication");
+        let attainment = cell.slo_attainment.expect("one tagged replication");
+        // The old vacuous-1.0 fold would have reported (0.5 + 1.0)/2.
+        assert!((attainment.mean - 0.5).abs() < 1e-12, "{}", attainment.mean);
+
+        // An all-untagged cell reports no attainment at all.
+        let mut acc = CellAccumulator::new();
+        acc.observe(&untagged_report);
+        let cell = acc.finish("untagged".to_string());
+        assert_eq!(cell.slo_attainment, None);
+        assert_eq!(cell.slo_replications, 0);
     }
 
     #[test]

@@ -370,6 +370,80 @@ pub struct DispatchReport {
     pub fragmentation_blocks: u64,
 }
 
+/// Per-cluster statistics of a federated run: static shape (label, global
+/// server range, GPU count), the federation's routing counters, and the
+/// completion counters the engine fills in from the job records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedClusterStats {
+    /// Cluster index within the federation.
+    pub cluster: usize,
+    /// The cluster's own machine label ("4× DGX-1 V100", …).
+    pub label: String,
+    /// Global index of the cluster's first server (servers are numbered
+    /// federation-wide: cluster 0's shards first, then cluster 1's, …).
+    pub first_server: usize,
+    /// Number of servers (shards) in this cluster.
+    pub servers: usize,
+    /// GPUs in this cluster, summed over its shards.
+    pub gpu_count: usize,
+    /// Jobs the federation routed into this cluster (at admission).
+    pub jobs_routed: u64,
+    /// Jobs that arrived here as spillover — the policy's first-choice
+    /// cluster could not host them.
+    pub spill_ins: u64,
+    /// Jobs this cluster ran to completion (engine-filled from records).
+    pub jobs_completed: usize,
+    /// GPU-seconds executed on this cluster (engine-filled from records).
+    pub gpu_seconds: f64,
+}
+
+/// Per-tenant statistics of a federated run: the quota the federation
+/// enforced, its admission counters, and the completion counters the
+/// engine fills in from the job records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedTenantStats {
+    /// Tenant id (from [`JobSpec::tenant`]).
+    pub tenant: u64,
+    /// Concurrent-GPU quota the federation enforced; `None` = unlimited.
+    pub quota_gpus: Option<usize>,
+    /// Largest number of GPUs the tenant held (queued-in-cluster +
+    /// running) at any instant.
+    pub peak_gpus: usize,
+    /// Admissions deferred at the federation gate because this tenant was
+    /// at its quota.
+    pub quota_holds: u64,
+    /// Jobs this tenant ran to completion (engine-filled from records).
+    pub jobs_completed: usize,
+    /// GPU-seconds the tenant executed (engine-filled from records).
+    pub gpu_seconds: f64,
+}
+
+/// Federation-layer statistics a backend reports after a run: the routing
+/// policy, cross-cluster counters, and per-cluster / per-tenant
+/// breakdowns. `None` from backends without a federation layer (a single
+/// server or a bare cluster).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FederationReport {
+    /// Federation policy name ("spillover", "round-robin", …).
+    pub policy: &'static str,
+    /// Jobs placed or routed somewhere other than the policy's
+    /// first-choice cluster because that cluster could not take them.
+    pub spillovers: u64,
+    /// Total admissions deferred at the federation gate by tenant quotas
+    /// (sum of the per-tenant `quota_holds`).
+    pub quota_holds: u64,
+    /// Gangs placed atomically inside a single cluster.
+    pub gangs_pinned: u64,
+    /// Gangs whose members were committed across more than one cluster
+    /// via the two-phase peek-then-commit path.
+    pub gangs_spanned: u64,
+    /// Per-cluster statistics, in cluster order.
+    pub clusters: Vec<FedClusterStats>,
+    /// Per-tenant statistics, ascending by tenant id. Untagged jobs
+    /// belong to no tenant and appear in no row.
+    pub tenants: Vec<FedTenantStats>,
+}
+
 /// The stage the event engine delegates placement to: one server or a
 /// sharded cluster. Implementations own all allocator state; the engine
 /// owns time, the queue, and the log.
@@ -531,6 +605,15 @@ pub trait SchedulerBackend {
     /// The backend's dispatch-layer statistics, when it has a dispatch
     /// layer (mode, migration counters, per-shard queue high-water marks).
     fn dispatch_report(&self) -> Option<DispatchReport> {
+        None
+    }
+
+    /// The backend's federation-layer statistics, when it routes across
+    /// clusters. The backend fills the routing-side counters (policy,
+    /// spillovers, quota holds, per-cluster shapes, per-tenant quotas);
+    /// the engine fills the completion-side counters (`jobs_completed`,
+    /// `gpu_seconds`) from the job records when it builds the report.
+    fn federation_report(&self) -> Option<FederationReport> {
         None
     }
 
@@ -785,14 +868,16 @@ impl SloStats {
         }
     }
 
-    /// Fraction of tagged jobs that met their target; 1 when none were
-    /// tagged (vacuously attained).
+    /// Fraction of tagged jobs that met their target; `None` when none
+    /// were tagged. A run without SLO tenants has no attainment — the old
+    /// vacuous 1.0 inflated campaign aggregates that mixed tagged and
+    /// untagged cells.
     #[must_use]
-    pub fn attainment(&self) -> f64 {
+    pub fn attainment(&self) -> Option<f64> {
         if self.jobs == 0 {
-            1.0
+            None
         } else {
-            self.met as f64 / self.jobs as f64
+            Some(self.met as f64 / self.jobs as f64)
         }
     }
 }
@@ -869,6 +954,10 @@ pub struct SimReport {
     /// SLO-attainment counters over the run's SLO-tagged (inference)
     /// jobs; all zero when none were submitted.
     pub slo: SloStats,
+    /// Federation-layer statistics (routing counters, per-cluster and
+    /// per-tenant breakdowns) from backends that route across clusters;
+    /// `None` for a single server or a bare cluster.
+    pub federation: Option<FederationReport>,
 }
 
 impl SimReport {
@@ -1233,6 +1322,29 @@ impl<B: SchedulerBackend> Engine<B> {
             dispatch_blocks: blocks,
             fragmentation_blocks: frag_blocks,
         };
+        // A federating backend reports its routing-side counters; the
+        // completion-side counters come from the records (the federation
+        // never sees finishes, only the engine does).
+        let federation = self.backend.federation_report().map(|mut fed| {
+            for r in &records {
+                let gpu_seconds = r.execution_seconds * r.gpus.len() as f64;
+                if let Some(c) = fed
+                    .clusters
+                    .iter_mut()
+                    .find(|c| (c.first_server..c.first_server + c.servers).contains(&r.server))
+                {
+                    c.jobs_completed += 1;
+                    c.gpu_seconds += gpu_seconds;
+                }
+                if let Some(tenant) = r.job.tenant {
+                    if let Some(t) = fed.tenants.iter_mut().find(|t| t.tenant == tenant) {
+                        t.jobs_completed += 1;
+                        t.gpu_seconds += gpu_seconds;
+                    }
+                }
+            }
+            fed
+        });
         SimReport {
             topology_name: self.backend.label(),
             policy_name: self.backend.policy_label(),
@@ -1246,6 +1358,7 @@ impl<B: SchedulerBackend> Engine<B> {
             dispatch,
             preemption,
             gangs,
+            federation,
         }
     }
 
@@ -2225,14 +2338,16 @@ mod tests {
         assert_eq!(report.slo.met + report.slo.missed, report.slo.jobs);
         assert!(report.slo.p95_latency_ms > 0.0);
         assert!(report.slo.p95_target_ms > 0.0);
-        assert!((0.0..=1.0).contains(&report.slo.attainment()));
+        let attainment = report.slo.attainment().expect("tagged run has attainment");
+        assert!((0.0..=1.0).contains(&attainment));
         // The report's counters are exactly a recount over its records.
         assert_eq!(report.slo, SloStats::from_records(&report.records));
-        // Training-only runs report all-zero SLO stats.
+        // Training-only runs report all-zero SLO stats and *no*
+        // attainment — not a vacuous 1.0 that would skew aggregates.
         let plain = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy))
             .run(&generator::paper_job_mix(11)[..30]);
         assert_eq!(plain.slo, SloStats::default());
-        assert_eq!(plain.slo.attainment(), 1.0, "vacuously attained");
+        assert_eq!(plain.slo.attainment(), None, "no tagged jobs, no number");
     }
 
     #[test]

@@ -104,10 +104,43 @@ pub fn write_log(report: &SimReport) -> String {
             report.slo.jobs,
             report.slo.met,
             report.slo.missed,
-            report.slo.attainment(),
+            report.slo.attainment().expect("jobs > 0"),
             report.slo.p95_latency_ms,
             report.slo.p95_target_ms,
         ));
+    }
+    if let Some(fed) = &report.federation {
+        out.push_str(&format!(
+            "# federation: policy={} clusters={} spillovers={} quota_holds={} gangs_pinned={} gangs_spanned={}\n",
+            fed.policy,
+            fed.clusters.len(),
+            fed.spillovers,
+            fed.quota_holds,
+            fed.gangs_pinned,
+            fed.gangs_spanned,
+        ));
+        for c in &fed.clusters {
+            out.push_str(&format!(
+                "# cluster {}: machine={} servers={} gpus={} routed={} spill_ins={} jobs={} gpu_seconds={:.2}\n",
+                c.cluster,
+                c.label,
+                c.servers,
+                c.gpu_count,
+                c.jobs_routed,
+                c.spill_ins,
+                c.jobs_completed,
+                c.gpu_seconds,
+            ));
+        }
+        for t in &fed.tenants {
+            let quota = t
+                .quota_gpus
+                .map_or_else(|| "-".to_string(), |q| q.to_string());
+            out.push_str(&format!(
+                "# tenant {}: quota_gpus={} peak_gpus={} quota_holds={} jobs={} gpu_seconds={:.2}\n",
+                t.tenant, quota, t.peak_gpus, t.quota_holds, t.jobs_completed, t.gpu_seconds,
+            ));
+        }
     }
     out
 }
@@ -406,6 +439,62 @@ mod tests {
         assert!(text.contains("p95_latency_ms="), "{text}");
         // Trailer stays invisible to the tolerant reader.
         assert_eq!(parse_log(&text).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn log_carries_the_federation_trailer_only_for_federated_runs() {
+        let jobs = generator::paper_job_mix(10);
+        let report =
+            Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..10]);
+        assert!(
+            !write_log(&report).contains("# federation:"),
+            "bare backends log no federation trailer"
+        );
+        let mut fed = report;
+        fed.federation = Some(crate::FederationReport {
+            policy: "spillover",
+            spillovers: 4,
+            quota_holds: 2,
+            gangs_pinned: 1,
+            gangs_spanned: 0,
+            clusters: vec![crate::FedClusterStats {
+                cluster: 0,
+                label: "2× DGX-1 V100".to_string(),
+                first_server: 0,
+                servers: 2,
+                gpu_count: 16,
+                jobs_routed: 10,
+                spill_ins: 0,
+                jobs_completed: 10,
+                gpu_seconds: 1234.5,
+            }],
+            tenants: vec![crate::FedTenantStats {
+                tenant: 7,
+                quota_gpus: Some(8),
+                peak_gpus: 6,
+                quota_holds: 2,
+                jobs_completed: 10,
+                gpu_seconds: 1234.5,
+            }],
+        });
+        let text = write_log(&fed);
+        assert!(
+            text.contains(
+                "# federation: policy=spillover clusters=1 spillovers=4 quota_holds=2 \
+                 gangs_pinned=1 gangs_spanned=0"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# cluster 0: machine=2× DGX-1 V100 servers=2 gpus=16 routed=10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# tenant 7: quota_gpus=8 peak_gpus=6 quota_holds=2 jobs=10"),
+            "{text}"
+        );
+        // Trailers stay invisible to the tolerant reader.
+        assert_eq!(parse_log(&text).unwrap().len(), 10);
     }
 
     #[test]

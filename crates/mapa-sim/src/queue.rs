@@ -470,6 +470,53 @@ mod tests {
     }
 
     #[test]
+    fn push_exactly_at_the_horizon_overflows_not_wraps() {
+        // horizon() = origin + width × buckets: with origin 0, width 1.0,
+        // 8 buckets, a push at exactly t = 8.0 is the first instant
+        // *outside* the window. The floating-point bucket index would be
+        // 8 — one past the last bucket — so the `time >= horizon()`
+        // guard must route it to the overflow heap, never clamp it into
+        // bucket 7 (which would deliver it before a t = 7.5 event ties
+        // were broken against).
+        let mut q = CalendarQueue::with_geometry(1.0, 8);
+        q.push(8.0, 1); // exactly horizon → overflow
+        q.push(7.5, 2); // inside the last bucket
+        assert_eq!(q.len(), 2);
+        assert_eq!(drain(&mut q), vec![(7.5, 2), (8.0, 1)]);
+    }
+
+    #[test]
+    fn push_just_below_the_horizon_lands_in_the_last_bucket() {
+        let mut q = CalendarQueue::with_geometry(1.0, 8);
+        // The largest representable f64 below 8.0: still inside the
+        // window, so it must take the wheel path (last bucket), and the
+        // index computation must not round up past `buckets.len() - 1`.
+        let just_below = f64::from_bits(8.0f64.to_bits() - 1);
+        assert!(just_below < 8.0);
+        q.push(just_below, 1);
+        q.push(0.5, 2);
+        assert_eq!(drain(&mut q), vec![(0.5, 2), (just_below, 1)]);
+    }
+
+    #[test]
+    fn horizon_boundary_round_trips_after_reanchor() {
+        // Overflowed events re-enter the wheel once the window advances:
+        // draining past the original horizon must preserve global order
+        // across the wheel/overflow boundary, including new pushes that
+        // land exactly on the *new* window's edge.
+        let mut q = CalendarQueue::with_geometry(1.0, 4);
+        q.push(4.0, 1); // exactly the first horizon → overflow
+        q.push(1.0, 2);
+        assert_eq!(q.pop().map(|e| e.payload), Some(2));
+        // Popping 1.0 then draining to the overflow min re-anchors the
+        // window at 4.0; the event comes back out of the wheel.
+        assert_eq!(q.pop().map(|e| (e.time, e.payload)), Some((4.0, 1)));
+        q.push(8.0, 3); // beyond the re-anchored window too
+        q.push(5.0, 4);
+        assert_eq!(drain(&mut q), vec![(5.0, 4), (8.0, 3)]);
+    }
+
+    #[test]
     fn interleaved_push_pop_stays_ordered() {
         let mut q = CalendarQueue::with_geometry(0.5, 4);
         q.push(0.0, 0);

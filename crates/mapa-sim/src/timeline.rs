@@ -178,6 +178,7 @@ mod tests {
             preemption: crate::PreemptionStats::default(),
             gangs: crate::GangStats::default(),
             slo: crate::SloStats::default(),
+            federation: None,
         };
         let _ = utilization(&report, 8);
     }

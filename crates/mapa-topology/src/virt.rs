@@ -409,15 +409,33 @@ pub fn partition_gpu(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::machines;
 
+    /// Single-GPU split through the supported [`PartitionPlan`] entry
+    /// point, unpacked into the `(topology, phys-of-vertex)` pair the
+    /// assertions below inspect.
+    fn split_one(
+        topology: &Topology,
+        gpu: usize,
+        slices: usize,
+        bandwidth: SliceBandwidth,
+    ) -> (Topology, Vec<usize>) {
+        let virt = PartitionPlan::new()
+            .with_bandwidth(bandwidth)
+            .split(gpu, slices)
+            .apply(topology);
+        let phys = (0..virt.slice_map().vertex_count())
+            .map(|v| virt.slice_map().physical_of(v))
+            .collect();
+        (virt.into_topology(), phys)
+    }
+
     #[test]
     fn partition_expands_vertex_count() {
         let dgx = machines::dgx1_v100();
-        let (virt, phys) = partition_gpu(&dgx, 3, 3, SliceBandwidth::Shared);
+        let (virt, phys) = split_one(&dgx, 3, 3, SliceBandwidth::Shared);
         assert_eq!(virt.gpu_count(), 10);
         assert_eq!(phys.len(), 10);
         // Slices 3,4,5 live on physical GPU 3.
@@ -428,7 +446,7 @@ mod tests {
     #[test]
     fn slices_inherit_external_links_when_shared() {
         let dgx = machines::dgx1_v100();
-        let (virt, _) = partition_gpu(&dgx, 0, 2, SliceBandwidth::Shared);
+        let (virt, _) = split_one(&dgx, 0, 2, SliceBandwidth::Shared);
         // Physical 0-3 was double NVLink; both slices (0 and 1) keep it to
         // new id of 3, which is 3 + 1 = 4.
         assert_eq!(virt.link_type(0, 4), LinkType::DoubleNvLink2);
@@ -440,7 +458,7 @@ mod tests {
     #[test]
     fn degraded_mode_steps_links_down() {
         let dgx = machines::dgx1_v100();
-        let (virt, _) = partition_gpu(&dgx, 0, 2, SliceBandwidth::Degraded);
+        let (virt, _) = split_one(&dgx, 0, 2, SliceBandwidth::Degraded);
         // double (0-3) degrades to single for each slice.
         assert_eq!(virt.link_type(0, 4), LinkType::SingleNvLink2);
         // single (0-1, new id 2) degrades to the PCIe fallback.
@@ -452,7 +470,7 @@ mod tests {
     #[test]
     fn single_slice_is_identity() {
         let dgx = machines::dgx1_v100();
-        let (virt, phys) = partition_gpu(&dgx, 2, 1, SliceBandwidth::Degraded);
+        let (virt, phys) = split_one(&dgx, 2, 1, SliceBandwidth::Degraded);
         assert_eq!(virt.gpu_count(), 8);
         assert_eq!(phys, (0..8).collect::<Vec<_>>());
         for a in 0..8 {
@@ -465,7 +483,7 @@ mod tests {
     #[test]
     fn sockets_are_inherited() {
         let dgx = machines::dgx1_v100();
-        let (virt, phys) = partition_gpu(&dgx, 5, 4, SliceBandwidth::Shared);
+        let (virt, phys) = split_one(&dgx, 5, 4, SliceBandwidth::Shared);
         for (v, &p) in phys.iter().enumerate() {
             assert_eq!(virt.socket_of(v), dgx.socket_of(p));
         }
@@ -476,7 +494,7 @@ mod tests {
         // The virtual topology plugs into the normal matcher/policy path:
         // verify it produces a valid complete bandwidth graph.
         let dgx = machines::dgx1_v100();
-        let (virt, _) = partition_gpu(&dgx, 0, 7, SliceBandwidth::Shared);
+        let (virt, _) = split_one(&dgx, 0, 7, SliceBandwidth::Shared);
         assert_eq!(virt.gpu_count(), 14);
         let bw = virt.bandwidth_graph();
         assert_eq!(bw.edge_count(), 14 * 13 / 2);
@@ -486,18 +504,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "MIG supports")]
     fn too_many_slices_rejected() {
-        let _ = partition_gpu(&machines::dgx1_v100(), 0, 8, SliceBandwidth::Shared);
+        let _ = PartitionPlan::new().split(0, 8);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_gpu_rejected() {
-        let _ = partition_gpu(&machines::dgx1_v100(), 8, 2, SliceBandwidth::Shared);
+        let _ = PartitionPlan::new()
+            .split(8, 2)
+            .apply(&machines::dgx1_v100());
     }
 
     #[test]
+    #[allow(deprecated)]
     fn shim_matches_plan_expansion() {
-        // The deprecated single-GPU call is exactly a one-split plan.
+        // The deprecated single-GPU call is exactly a one-split plan —
+        // the only remaining exercise of the old entry point.
         let dgx = machines::dgx1_v100();
         for bw in [SliceBandwidth::Shared, SliceBandwidth::Degraded] {
             let (old_topo, old_phys) = partition_gpu(&dgx, 3, 4, bw);

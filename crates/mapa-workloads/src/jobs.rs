@@ -12,15 +12,16 @@
 //! ```
 //!
 //! We carry extra columns — workload name, iterations, an optional tenant
-//! priority, and an optional per-request latency SLO — so the
-//! execution-time model can run the job (the paper's job files embed
-//! "execution times from real-world runs" the same way), the preemption
-//! layer can tell tenant classes apart, and inference tenants can carry
-//! their deadline. The `NumGPUs` column accepts a `s` suffix for
-//! fractional demands (`3s` = three MIG slices); the `SloMs` column may be
-//! omitted or `-` (no SLO). Files written by [`write_job_file`] use the
-//! legacy 7-column format whenever no job needs the new columns, so old
-//! files and old readers keep working.
+//! priority, an optional per-request latency SLO, and an optional tenant
+//! id — so the execution-time model can run the job (the paper's job
+//! files embed "execution times from real-world runs" the same way), the
+//! preemption layer can tell tenant classes apart, inference tenants can
+//! carry their deadline, and the federation tier can charge quotas to the
+//! right tenant. The `NumGPUs` column accepts a `s` suffix for
+//! fractional demands (`3s` = three MIG slices); the `SloMs` and
+//! `Tenant` columns may be omitted or `-` (untagged). Files written by
+//! [`write_job_file`] use the legacy 7-column format whenever no job
+//! needs the new columns, so old files and old readers keep working.
 
 use crate::network::Workload;
 use std::fmt;
@@ -159,6 +160,10 @@ pub struct JobSpec {
     /// `None` (the default) means the job carries no deadline; the
     /// engine counts SLO attainment only for tagged jobs.
     pub slo_ms: Option<f64>,
+    /// Tenant identity for federation quota accounting. `None` (the
+    /// default) means the job belongs to no tenant: quotas never apply
+    /// and per-tenant counters skip it.
+    pub tenant: Option<u64>,
 }
 
 impl JobSpec {
@@ -177,6 +182,7 @@ impl JobSpec {
             iterations: model.default_iterations,
             priority: 0,
             slo_ms: None,
+            tenant: None,
         }
     }
 
@@ -196,6 +202,12 @@ impl JobSpec {
     #[must_use]
     pub fn has_slo(&self) -> bool {
         self.slo_ms.is_some()
+    }
+
+    /// Whether the job is tagged with a tenant identity.
+    #[must_use]
+    pub fn has_tenant(&self) -> bool {
+        self.tenant.is_some()
     }
 
     /// Returns the job with its demand replaced (builder style).
@@ -239,6 +251,13 @@ impl JobSpec {
         self.slo_ms = Some(target_ms);
         self
     }
+
+    /// Returns the job tagged with a tenant identity (builder style).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: u64) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
 }
 
 /// Assigns round-robin tenant classes by job id: `priority = id % classes`
@@ -249,6 +268,19 @@ pub fn assign_priority_classes(jobs: &mut [JobSpec], classes: u8) {
     let classes = classes.max(1);
     for job in jobs {
         job.priority = (job.id % u64::from(classes)) as u8;
+    }
+}
+
+/// Assigns round-robin tenant identities by job id: `tenant = id % tenants`.
+/// With `tenants = 0` every job is untagged instead (quotas never apply).
+/// The CLI's `--tenants N` flag calls exactly this.
+pub fn assign_tenants(jobs: &mut [JobSpec], tenants: u64) {
+    for job in jobs {
+        job.tenant = if tenants == 0 {
+            None
+        } else {
+            Some(job.id % tenants)
+        };
     }
 }
 
@@ -279,7 +311,7 @@ impl fmt::Display for JobFileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobFileError::FieldCount { line, found } => {
-                write!(f, "line {line}: expected 6 to 8 fields, found {found}")
+                write!(f, "line {line}: expected 6 to 9 fields, found {found}")
             }
             JobFileError::BadField { line, field, value } => {
                 write!(f, "line {line}: bad {field}: '{value}'")
@@ -293,17 +325,22 @@ impl std::error::Error for JobFileError {}
 
 /// Serializes jobs into the CSV job-file format (with header).
 ///
-/// When every job requests whole GPUs and carries no SLO, the legacy
-/// 7-column format is emitted byte-for-byte; otherwise an 8th `SloMs`
-/// column is appended (`-` for untagged jobs) and fractional demands are
-/// written with the `s` suffix.
+/// When every job requests whole GPUs and carries no SLO or tenant tag,
+/// the legacy 7-column format is emitted byte-for-byte; otherwise an 8th
+/// `SloMs` column is appended (`-` for untagged jobs), fractional demands
+/// are written with the `s` suffix, and — only when some job carries a
+/// tenant — a 9th `Tenant` column follows.
 #[must_use]
 pub fn write_job_file(jobs: &[JobSpec]) -> String {
-    let extended = jobs.iter().any(|j| j.is_fractional() || j.has_slo());
+    let tenanted = jobs.iter().any(JobSpec::has_tenant);
+    let extended = tenanted || jobs.iter().any(|j| j.is_fractional() || j.has_slo());
     let mut out =
         String::from("ID, NumGPUs, Topology, BW Sensitive, Workload, Iterations, Priority");
     if extended {
         out.push_str(", SloMs");
+    }
+    if tenanted {
+        out.push_str(", Tenant");
     }
     out.push('\n');
     for j in jobs {
@@ -324,6 +361,12 @@ pub fn write_job_file(jobs: &[JobSpec]) -> String {
         if extended {
             match j.slo_ms {
                 Some(ms) => out.push_str(&format!(", {ms}")),
+                None => out.push_str(", -"),
+            }
+        }
+        if tenanted {
+            match j.tenant {
+                Some(t) => out.push_str(&format!(", {t}")),
                 None => out.push_str(", -"),
             }
         }
@@ -350,7 +393,7 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
         if fields[0].parse::<u64>().is_err() && fields[0].eq_ignore_ascii_case("id") {
             continue;
         }
-        if !(6..=8).contains(&fields.len()) {
+        if !(6..=9).contains(&fields.len()) {
             return Err(JobFileError::FieldCount {
                 line,
                 found: fields.len(),
@@ -421,12 +464,18 @@ pub fn parse_job_file(input: &str) -> Result<Vec<JobSpec>, JobFileError> {
                 Some(ms)
             }
         };
+        let tenant = match fields.get(8) {
+            None => None,
+            Some(&"-") => None,
+            Some(s) => Some(parse_u64("Tenant", s)?),
+        };
         let mut job = JobSpec::new(id, demand, workload)
             .with_topology(topology)
             .with_bandwidth_sensitive(bandwidth_sensitive)
             .with_iterations(iterations)
             .with_priority(priority);
         job.slo_ms = slo_ms;
+        job.tenant = tenant;
         jobs.push(job);
     }
     Ok(jobs)
@@ -567,6 +616,38 @@ mod tests {
     }
 
     #[test]
+    fn tenant_column_roundtrips_and_defaults() {
+        let jobs = vec![
+            JobSpec::new(1, GpuDemand::Whole(2), Workload::Vgg16).with_tenant(3),
+            JobSpec::new(2, GpuDemand::Whole(1), Workload::GoogleNet),
+        ];
+        let text = write_job_file(&jobs);
+        assert!(text.contains("Tenant"));
+        let parsed = parse_job_file(&text).unwrap();
+        assert_eq!(parsed, jobs);
+        assert_eq!(parsed[0].tenant, Some(3));
+        assert_eq!(parsed[1].tenant, None);
+        // Files without the column parse to untagged jobs.
+        let legacy = parse_job_file("1, 2, Ring, True, vgg-16, 100, 0, -\n").unwrap();
+        assert_eq!(legacy[0].tenant, None);
+    }
+
+    #[test]
+    fn tenant_assignment_follows_job_ids() {
+        let mut jobs: Vec<JobSpec> = (1..=6)
+            .map(|id| JobSpec::new(id, GpuDemand::Whole(1), Workload::Vgg16))
+            .collect();
+        assign_tenants(&mut jobs, 3);
+        let tenants: Vec<Option<u64>> = jobs.iter().map(|j| j.tenant).collect();
+        assert_eq!(
+            tenants,
+            vec![Some(1), Some(2), Some(0), Some(1), Some(2), Some(0)]
+        );
+        assign_tenants(&mut jobs, 0);
+        assert!(jobs.iter().all(|j| j.tenant.is_none()));
+    }
+
+    #[test]
     fn priority_classes_follow_job_ids() {
         let mut jobs: Vec<JobSpec> = (1..=6)
             .map(|id| {
@@ -590,8 +671,15 @@ mod tests {
             Err(JobFileError::FieldCount { line: 1, found: 5 })
         ));
         assert!(matches!(
-            parse_job_file("1, 2, Ring, True, vgg-16, 5, 0, 50, extra"),
-            Err(JobFileError::FieldCount { line: 1, found: 9 })
+            parse_job_file("1, 2, Ring, True, vgg-16, 5, 0, 50, 1, extra"),
+            Err(JobFileError::FieldCount { line: 1, found: 10 })
+        ));
+        assert!(matches!(
+            parse_job_file("1, 2, Ring, True, vgg-16, 5, 0, 50, acme"),
+            Err(JobFileError::BadField {
+                field: "Tenant",
+                ..
+            })
         ));
         assert!(matches!(
             parse_job_file("1, 2x, Ring, True, vgg-16, 5"),

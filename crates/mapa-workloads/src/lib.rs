@@ -36,5 +36,5 @@ pub mod network;
 pub mod perf;
 
 pub use gangs::JobGroup;
-pub use jobs::{assign_priority_classes, AppTopology, GpuDemand, JobSpec};
+pub use jobs::{assign_priority_classes, assign_tenants, AppTopology, GpuDemand, JobSpec};
 pub use network::{Workload, WorkloadClass};

@@ -60,7 +60,7 @@ fn main() {
             "   slo: {}/{} met ({:.0}% attainment), p95 latency {:.2} ms vs target {:.2} ms\n",
             report.slo.met,
             report.slo.jobs,
-            report.slo.attainment() * 100.0,
+            report.slo.attainment().unwrap_or(0.0) * 100.0,
             report.slo.p95_latency_ms,
             report.slo.p95_target_ms
         );

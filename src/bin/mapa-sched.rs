@@ -12,6 +12,8 @@
 //!                     [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N] \
 //!                     [--preemption <name>] [--priorities N] [--gang-size K] \
 //!                     [--partition GPU:SLICES,...[;degraded]] \
+//!                     [--clusters N] [--federation-policy <name>] \
+//!                     [--tenants T] [--quota-gpus G] \
 //!                     [--json report.json]
 //! mapa-sched campaign --machine dgx-1-v100 \
 //!                     --grid "alloc-policies=baseline,preserve;shards=2,4;jobs=100" \
@@ -35,12 +37,17 @@
 //! applies a MIG-style plan to every server (slice tenants from
 //! `generate --inference-mix` can land on slices; whole-GPU jobs
 //! cannot), and the summary/trailer/JSON then carry SLO-attainment
-//! counters. The full semantics is documented in `docs/SCHEDULING.md`.
+//! counters. `--clusters N` federates N identical clusters behind a
+//! `--federation-policy` router; `--tenants T` tags jobs with tenant
+//! ids (`id % T`) and `--quota-gpus G` caps every tenant at G concurrent
+//! accelerator units, with quota-held work re-admitted in dominant-
+//! resource-fair order. The full semantics is documented in
+//! `docs/SCHEDULING.md`.
 
 use mapa::cluster::{
-    dispatch_mode_by_name, migration_policy_by_name, server_policy_by_name, Cluster, DispatchMode,
-    MigrationPolicy, SubmissionFeed, DISPATCH_MODE_NAMES, MIGRATION_POLICY_NAMES,
-    SERVER_POLICY_NAMES,
+    dispatch_mode_by_name, federation_policy_by_name, migration_policy_by_name,
+    server_policy_by_name, Cluster, DispatchMode, Federation, MigrationPolicy, SubmissionFeed,
+    DISPATCH_MODE_NAMES, FEDERATION_POLICY_NAMES, MIGRATION_POLICY_NAMES, SERVER_POLICY_NAMES,
 };
 use mapa::core::policy::AllocationPolicy;
 use mapa::core::{preemption_policy_by_name, PreemptionPolicy, PREEMPTION_POLICY_NAMES};
@@ -76,6 +83,8 @@ usage:
                       [--dispatch <mode>] [--migration <name>] [--shard-queue-depth N]
                       [--preemption <name>] [--preemption-penalty SECONDS]
                       [--priorities N] [--gang-size K]
+                      [--clusters N] [--federation-policy <name>]
+                      [--tenants T] [--quota-gpus G]
                       [--backfill] [--no-cache] [--seed S]
                       [--poisson MEAN_GAP | --burst SIZE [--burst-gap SECONDS]]
                       [--json <report-file>]
@@ -96,10 +105,14 @@ server policies:     round-robin | least-loaded | best-score | pack-first
 dispatch modes:      sequential | parallel
 migration policies:  none | steal-on-idle | rebalance-on-release
 preemption policies: none | priority-evict | sensitivity-aware-evict
+federation policies: spillover | round-robin | least-loaded
 (--shard-queue-depth or a non-none --migration switches the cluster from
 the global FIFO queue to bounded per-shard queues; --priorities N assigns
-tenant classes id%N; --gang-size K co-schedules every K consecutive jobs —
-see docs/SCHEDULING.md for the full semantics)";
+tenant classes id%N; --gang-size K co-schedules every K consecutive jobs;
+--clusters N federates N identical clusters of --servers shards each,
+--tenants T assigns tenant ids id%T and --quota-gpus G caps each tenant
+at G concurrent accelerator units (DRF re-admission) — see
+docs/SCHEDULING.md for the full semantics)";
 
 fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -236,6 +249,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let mut preemption_penalty: Option<f64> = None;
     let mut priorities: Option<u8> = None;
     let mut gang_size: Option<usize> = None;
+    let mut clusters = 1usize;
+    let mut federation_policy_arg: Option<String> = None;
+    let mut tenants: Option<u64> = None;
+    let mut quota_gpus: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -264,12 +281,27 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             }
             "--priorities" => priorities = Some(parse_flag(&mut it, "--priorities")?),
             "--gang-size" => gang_size = Some(parse_flag(&mut it, "--gang-size")?),
+            "--clusters" => clusters = parse_flag(&mut it, "--clusters")?,
+            "--federation-policy" => {
+                federation_policy_arg = Some(parse_flag(&mut it, "--federation-policy")?)
+            }
+            "--tenants" => tenants = Some(parse_flag(&mut it, "--tenants")?),
+            "--quota-gpus" => quota_gpus = Some(parse_flag(&mut it, "--quota-gpus")?),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
 
     if servers == 0 {
         return Err("--servers must be at least 1".to_string());
+    }
+    if clusters == 0 {
+        return Err("--clusters must be at least 1".to_string());
+    }
+    // Any federation-layer flag implies the federated path (a 1-cluster
+    // federation is valid — quotas and tenant accounting still apply).
+    let federated = clusters > 1 || federation_policy_arg.is_some() || quota_gpus.is_some();
+    if let Some(0) = quota_gpus {
+        return Err("--quota-gpus must be at least 1".to_string());
     }
     let machine = resolve_machine(&machine_arg.ok_or("--machine is required")?)?;
     // A --partition plan turns the machine into its MIG-virtualized
@@ -333,6 +365,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         }
         jobs::assign_priority_classes(&mut job_list, classes);
     }
+    if let Some(t) = tenants {
+        if t == 0 {
+            return Err("--tenants needs at least 1 tenant".to_string());
+        }
+        jobs::assign_tenants(&mut job_list, t);
+    }
     let preemption = match preemption_arg.as_deref() {
         None => PreemptionPolicy::None,
         Some(name) => preemption_policy_by_name(name).ok_or_else(|| {
@@ -382,15 +420,27 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     // use, and reject the job file if any reservation fails.
     if submissions.iter().any(|s| matches!(s, Submission::Gang(_))) {
         resolve_policy(&policy_name)?; // surface a bad --policy before the scratch build
-        let mut scratch = Cluster::homogeneous(
-            machine.clone(),
-            servers,
-            {
-                let name = policy_name.clone();
-                move || resolve_policy(&name).expect("policy name validated just above")
-            },
-            resolve_server_policy()?,
-        );
+        let scratch_cluster = || -> Result<Cluster, String> {
+            Ok(Cluster::homogeneous(
+                machine.clone(),
+                servers,
+                {
+                    let name = policy_name.clone();
+                    move || resolve_policy(&name).expect("policy name validated just above")
+                },
+                resolve_server_policy()?,
+            ))
+        };
+        // A federated fleet may *span* a gang across clusters, so the
+        // scratch must mirror the real topology (quotas deliberately
+        // omitted — over-quota gangs are held, not impossible).
+        let mut scratch: Box<dyn SchedulerBackend> = if federated {
+            let members: Result<Vec<Cluster>, String> =
+                (0..clusters).map(|_| scratch_cluster()).collect();
+            Box::new(Federation::new(members?, Box::new(SpilloverPolicy)))
+        } else {
+            Box::new(scratch_cluster()?)
+        };
         for sub in &submissions {
             let Submission::Gang(gang) = sub else {
                 continue;
@@ -404,7 +454,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 None => {
                     return Err(format!(
                         "gang {} (jobs {:?}, {} GPUs total) cannot be co-scheduled even on an \
-                         idle fleet of {servers}× {} — shrink --gang-size or add servers",
+                         idle fleet of {clusters}× {servers}× {} — shrink --gang-size or add \
+                         servers",
                         gang.id,
                         gang.members.iter().map(|m| m.id).collect::<Vec<_>>(),
                         gang.total_gpus(),
@@ -488,7 +539,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     // ingestion channel — the same front end live traffic would use.
     let feed =
         SubmissionFeed::from_submissions(submissions, mapa::cluster::DEFAULT_INGEST_CAPACITY);
-    let report = if clustered {
+    if let Some(0) = queue_depth {
+        return Err("--shard-queue-depth must be at least 1".to_string());
+    }
+    // Builds one cluster of `servers` shards with the shared dispatch
+    // configuration — the federated path calls this once per cluster.
+    let build_cluster = |machine: Topology| -> Result<Cluster, String> {
         let server_policy = resolve_server_policy()?;
         // One allocation-policy instance per shard.
         let mut shard_policies = (0..servers)
@@ -502,13 +558,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         )
         .with_dispatch(dispatch);
         if let Some(depth) = queue_depth {
-            if depth == 0 {
-                return Err("--shard-queue-depth must be at least 1".to_string());
-            }
             cluster = cluster.with_shard_queues(depth);
         }
-        cluster = cluster.with_migration(migration);
-        Engine::over(cluster)
+        Ok(cluster.with_migration(migration))
+    };
+    let report = if federated {
+        let fed_policy_name = federation_policy_arg.as_deref().unwrap_or("spillover");
+        let fed_policy = federation_policy_by_name(fed_policy_name).ok_or_else(|| {
+            format!(
+                "unknown federation policy '{fed_policy_name}' (choose from: {})",
+                FEDERATION_POLICY_NAMES.join(" | ")
+            )
+        })?;
+        let members = (0..clusters)
+            .map(|_| build_cluster(machine.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut federation = Federation::new(members, fed_policy);
+        if let Some(quota) = quota_gpus {
+            federation = federation.with_default_quota(quota);
+        }
+        Engine::over(federation)
+            .with_config(config)
+            .run_submissions(feed)
+    } else if clustered {
+        Engine::over(build_cluster(machine)?)
             .with_config(config)
             .run_submissions(feed)
     } else {
@@ -587,17 +660,52 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             report.gangs.max_wait_seconds
         );
     }
-    if report.slo.jobs > 0 {
+    if let Some(attainment) = report.slo.attainment() {
         println!(
             "slo: {} inference tenants | met {}  missed {}  attainment {:.1}% | \
              p95 latency {:.3} ms (p95 target {:.3} ms)",
             report.slo.jobs,
             report.slo.met,
             report.slo.missed,
-            report.slo.attainment() * 100.0,
+            attainment * 100.0,
             report.slo.p95_latency_ms,
             report.slo.p95_target_ms
         );
+    }
+    if let Some(fed) = &report.federation {
+        println!(
+            "federation: {} clusters | policy {} | spillovers {}  quota holds {}  \
+             gangs pinned {}  spanned {}",
+            fed.clusters.len(),
+            fed.policy,
+            fed.spillovers,
+            fed.quota_holds,
+            fed.gangs_pinned,
+            fed.gangs_spanned
+        );
+        for c in &fed.clusters {
+            println!(
+                "  cluster {:>2} {:<18} servers {:>2}  routed {:>4}  spill-ins {:>4}  \
+                 jobs {:>4}  gpu-seconds {:>10.0}",
+                c.cluster,
+                c.label,
+                c.servers,
+                c.jobs_routed,
+                c.spill_ins,
+                c.jobs_completed,
+                c.gpu_seconds
+            );
+        }
+        for t in &fed.tenants {
+            let quota = t
+                .quota_gpus
+                .map_or_else(|| "-".to_string(), |q| q.to_string());
+            println!(
+                "  tenant {:>3} quota {:>4}  peak {:>4}  holds {:>4}  jobs {:>4}  \
+                 gpu-seconds {:>10.0}",
+                t.tenant, quota, t.peak_gpus, t.quota_holds, t.jobs_completed, t.gpu_seconds
+            );
+        }
     }
     if report.shards.len() > 1 {
         println!(

@@ -357,19 +357,32 @@ impl CellContext {
 /// Serializes campaign results to the CLI's `campaign --json` schema:
 /// the grid parameters and one object per cell, in cell order. Schedule
 /// digests are emitted as hex *strings* — the reader parses numbers as
-/// `f64`, which cannot represent all 64-bit digests exactly.
+/// `f64`, which cannot represent all 64-bit digests exactly. A cell's
+/// `slo_attainment` is an object (mean/ci95 over the replications that
+/// had SLO-tagged jobs, plus how many did) or `null` when no replication
+/// had any — never a vacuous 1.0.
 #[must_use]
 pub fn campaign_to_json(summaries: &[CellSummary], replications: usize, base_seed: u64) -> String {
     let cells: Vec<String> = summaries
         .iter()
         .map(|s| {
+            let slo = s.slo_attainment.as_ref().map_or_else(
+                || "null".to_string(),
+                |a| {
+                    format!(
+                        "{{\"mean\": {:.6}, \"ci95\": {:.6}, \"replications\": {}}}",
+                        a.mean, a.ci95, s.slo_replications
+                    )
+                },
+            );
             format!(
                 "    {{\"label\": \"{}\", \"replications\": {}, \"jobs\": {}, \
                  \"makespan_seconds\": {{\"mean\": {:.6}, \"ci95\": {:.6}}}, \
                  \"throughput_jobs_per_hour\": {{\"mean\": {:.6}, \"ci95\": {:.6}}}, \
                  \"queue_wait_mean_seconds\": {{\"mean\": {:.6}, \"ci95\": {:.6}}}, \
                  \"queue_wait_p50_seconds\": {:.6}, \"queue_wait_p95_seconds\": {:.6}, \
-                 \"queue_wait_p99_seconds\": {:.6}, \"schedule_digest\": \"{:#018x}\"}}",
+                 \"queue_wait_p99_seconds\": {:.6}, \"slo_attainment\": {slo}, \
+                 \"schedule_digest\": \"{:#018x}\"}}",
                 json_escape(&s.label),
                 s.replications,
                 s.jobs,
@@ -537,6 +550,29 @@ mod tests {
                     .unwrap()
                     > 0.0
             );
+            // The default mix has no SLO-tagged jobs: attainment is null,
+            // not a vacuous 1.0.
+            assert_eq!(cell.get("slo_attainment"), Some(&crate::report::Json::Null));
         }
+    }
+
+    #[test]
+    fn campaign_json_reports_attainment_when_cells_have_slo_jobs() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut grid = tiny_grid();
+        grid.server_policies = vec!["round-robin".into()];
+        grid.mix.inference_fraction = 0.5;
+        let summaries = grid.run(&pool).unwrap();
+        let doc = campaign_to_json(&summaries, grid.replications, grid.base_seed);
+        let v = parse_json(&doc).unwrap();
+        let cell = &v.get("cells").unwrap().as_array().unwrap()[0];
+        let slo = cell.get("slo_attainment").unwrap();
+        let mean = slo.get("mean").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&mean), "attainment in [0,1]: {mean}");
+        assert_eq!(
+            slo.get("replications").unwrap().as_f64(),
+            Some(grid.replications as f64),
+            "every replication drew SLO jobs"
+        );
     }
 }

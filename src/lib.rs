@@ -50,10 +50,11 @@ pub use mapa_workloads as workloads;
 /// The most common imports in one place.
 pub mod prelude {
     pub use mapa_cluster::{
-        dispatch_mode_by_name, migration_policy_by_name, server_policy_by_name, BestScorePolicy,
-        Cluster, DispatchMode, JobFeed, LeastLoadedPolicy, MigrationPolicy, MigrationStats,
-        PackFirstPolicy, RoundRobinPolicy, ServerPolicy, ShardView, SubmissionFeed,
-        DEFAULT_SHARD_QUEUE_DEPTH,
+        dispatch_mode_by_name, federation_policy_by_name, migration_policy_by_name,
+        server_policy_by_name, BestScorePolicy, Cluster, ClusterView, DispatchMode, Federation,
+        FederationPolicy, JobFeed, LeastLoadedPolicy, MigrationPolicy, MigrationStats,
+        PackFirstPolicy, RoundRobinPolicy, ServerPolicy, ShardView, SpilloverPolicy,
+        SubmissionFeed, DEFAULT_SHARD_QUEUE_DEPTH, FEDERATION_POLICY_NAMES,
     };
     pub use mapa_core::policy::{
         AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
@@ -68,8 +69,8 @@ pub mod prelude {
     pub use mapa_model::{corpus, EffBwModel};
     pub use mapa_sim::campaign::{crn_seed, CampaignSpec, CellSummary};
     pub use mapa_sim::{
-        stats, ArrivalProcess, DispatchReport, Engine, GangStats, PendingJob, PreemptionStats,
-        SchedulerBackend, SimConfig, SimReport, Simulation, SloStats, Submission,
+        stats, ArrivalProcess, DispatchReport, Engine, FederationReport, GangStats, PendingJob,
+        PreemptionStats, SchedulerBackend, SimConfig, SimReport, Simulation, SloStats, Submission,
     };
 
     pub use crate::campaign::{allocation_policy_by_name, CampaignGrid, GridCell};

@@ -16,8 +16,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Serializes a [`SimReport`] to the CLI's `--json` schema: run summary,
-/// queue statistics, the dispatch layer (when one ran), preemption and
-/// gang counters, and one object per shard.
+/// queue statistics, the dispatch layer (when one ran), the federation
+/// layer (when one ran), preemption and gang counters, and one object
+/// per shard. `slo.attainment` is a number for runs with SLO-tagged jobs
+/// and JSON `null` otherwise — a vacuous run has no attainment, not a
+/// perfect one.
 #[must_use]
 pub fn to_json(report: &SimReport) -> String {
     // `scheduling_stats` panics on an empty run; report zeros instead.
@@ -45,6 +48,60 @@ pub fn to_json(report: &SimReport) -> String {
             depths.join(", ")
         )
     });
+    let federation = report.federation.as_ref().map_or(String::new(), |fed| {
+        let clusters: Vec<String> = fed
+            .clusters
+            .iter()
+            .map(|c| {
+                format!(
+                    "      {{\"cluster\": {}, \"machine\": \"{}\", \"first_server\": {}, \
+                     \"servers\": {}, \"gpu_count\": {}, \"jobs_routed\": {}, \
+                     \"spill_ins\": {}, \"jobs_completed\": {}, \"gpu_seconds\": {:.3}}}",
+                    c.cluster,
+                    json_escape(&c.label),
+                    c.first_server,
+                    c.servers,
+                    c.gpu_count,
+                    c.jobs_routed,
+                    c.spill_ins,
+                    c.jobs_completed,
+                    c.gpu_seconds
+                )
+            })
+            .collect();
+        let tenants: Vec<String> = fed
+            .tenants
+            .iter()
+            .map(|t| {
+                let quota = t
+                    .quota_gpus
+                    .map_or_else(|| "null".to_string(), |q| q.to_string());
+                format!(
+                    "      {{\"tenant\": {}, \"quota_gpus\": {quota}, \"peak_gpus\": {}, \
+                     \"quota_holds\": {}, \"jobs_completed\": {}, \"gpu_seconds\": {:.3}}}",
+                    t.tenant, t.peak_gpus, t.quota_holds, t.jobs_completed, t.gpu_seconds
+                )
+            })
+            .collect();
+        format!(
+            "  \"federation\": {{\"policy\": \"{}\", \"spillovers\": {}, \"quota_holds\": {}, \
+             \"gangs_pinned\": {}, \"gangs_spanned\": {},\n    \"clusters\": [\n{}\n    ],\n    \
+             \"tenants\": [{}{}{}]}},\n",
+            fed.policy,
+            fed.spillovers,
+            fed.quota_holds,
+            fed.gangs_pinned,
+            fed.gangs_spanned,
+            clusters.join(",\n"),
+            if fed.tenants.is_empty() { "" } else { "\n" },
+            tenants.join(",\n"),
+            if fed.tenants.is_empty() { "" } else { "\n    " },
+        )
+    });
+    let attainment = report
+        .slo
+        .attainment()
+        .map_or_else(|| "null".to_string(), |a| format!("{a:.6}"));
     let shards: Vec<String> = report
         .shards
         .iter()
@@ -64,12 +121,12 @@ pub fn to_json(report: &SimReport) -> String {
          \"scheduling_latency_ms\": {{\"p50\": {:.6}, \"max\": {:.6}}},\n  \
          \"cache_hit_rate\": {:.6},\n  \
          \"queue\": {{\"max_depth\": {}, \"mean_depth\": {:.3}, \"dispatch_blocks\": {}, \
-         \"fragmentation_blocks\": {}}},\n{dispatch}  \
+         \"fragmentation_blocks\": {}}},\n{dispatch}{federation}  \
          \"preemption\": {{\"jobs_preempted\": {}, \"gpu_seconds_lost\": {:.3}, \
          \"penalty_seconds_charged\": {:.3}}},\n  \
          \"gangs\": {{\"dispatched\": {}, \"members\": {}, \"total_wait_seconds\": {:.3}, \
          \"max_wait_seconds\": {:.3}}},\n  \
-         \"slo\": {{\"jobs\": {}, \"met\": {}, \"missed\": {}, \"attainment\": {:.6}, \
+         \"slo\": {{\"jobs\": {}, \"met\": {}, \"missed\": {}, \"attainment\": {attainment}, \
          \"p95_latency_ms\": {:.6}, \"p95_target_ms\": {:.6}}},\n  \"shards\": [\n{}\n  ]\n}}\n",
         report.topology_name,
         report.policy_name,
@@ -93,7 +150,6 @@ pub fn to_json(report: &SimReport) -> String {
         report.slo.jobs,
         report.slo.met,
         report.slo.missed,
-        report.slo.attainment(),
         report.slo.p95_latency_ms,
         report.slo.p95_target_ms,
         shards.join(",\n")

@@ -190,7 +190,10 @@ fn slo_counters_match_an_independent_recount() {
     assert_eq!(report.slo.jobs, met + missed);
     assert_eq!(report.slo.met, met);
     assert_eq!(report.slo.missed, missed);
-    assert_eq!(report.slo.attainment(), met as f64 / (met + missed) as f64);
+    assert_eq!(
+        report.slo.attainment(),
+        Some(met as f64 / (met + missed) as f64)
+    );
     assert_eq!(
         report.slo.p95_latency_ms,
         stats::percentile(&latencies, 95.0)
@@ -199,14 +202,15 @@ fn slo_counters_match_an_independent_recount() {
 }
 
 /// The paper's pure-training mix never touches the SLO machinery: no
-/// fractional demands, no targets, an all-zero SLO block, and vacuous
-/// 100% attainment. (The schedules themselves are pinned against the
-/// pre-fractional engine by `tests/golden/`.)
+/// fractional demands, no targets, an all-zero SLO block — and *no*
+/// attainment number at all, rather than the old vacuous 100%. (The
+/// schedules themselves are pinned against the pre-fractional engine by
+/// `tests/golden/`.)
 #[test]
 fn whole_gpu_mixes_never_touch_slo_accounting() {
     let jobs = generator::paper_job_mix(42);
     assert!(jobs.iter().all(|j| !j.is_fractional() && !j.has_slo()));
     let report = Simulation::new(machines::dgx1_v100(), Box::new(PreservePolicy)).run(&jobs[..40]);
     assert_eq!(report.slo, SloStats::default());
-    assert_eq!(report.slo.attainment(), 1.0);
+    assert_eq!(report.slo.attainment(), None);
 }

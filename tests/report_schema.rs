@@ -167,7 +167,8 @@ fn json_report_round_trips_and_matches_the_ci_schema() {
         Some(report.slo.missed as f64)
     );
     let attainment = slo.get("attainment").unwrap().as_f64().unwrap();
-    assert!((attainment - report.slo.attainment()).abs() < 1e-6);
+    let expected = report.slo.attainment().expect("the run had tagged jobs");
+    assert!((attainment - expected).abs() < 1e-6);
     let p95 = slo.get("p95_latency_ms").unwrap().as_f64().unwrap();
     assert!((p95 - report.slo.p95_latency_ms).abs() < 1e-6);
     let p95_target = slo.get("p95_target_ms").unwrap().as_f64().unwrap();
@@ -235,10 +236,83 @@ fn single_server_report_omits_only_the_dispatch_block() {
         Some(0.0)
     );
     // The slo block is always present; with no tagged tenants its counters
-    // are zero and attainment is vacuously 1.
+    // are zero and attainment is JSON null — an untagged run has *no*
+    // attainment, not a vacuous 100%.
     let slo = parsed.get("slo").unwrap();
     assert_eq!(slo.get("jobs").unwrap().as_f64(), Some(0.0));
-    assert_eq!(slo.get("attainment").unwrap().as_f64(), Some(1.0));
+    assert_eq!(slo.get("attainment"), Some(&Json::Null));
+    // No federation layer ran, so no federation block.
+    assert!(parsed.get("federation").is_none());
+}
+
+#[test]
+fn federated_report_carries_the_federation_block() {
+    let mut jobs = generator::paper_job_mix(43)[..24].to_vec();
+    mapa::workloads::assign_tenants(&mut jobs, 3);
+    let make = || {
+        Cluster::homogeneous(
+            machines::dgx1_v100(),
+            2,
+            || Box::new(PreservePolicy),
+            Box::new(LeastLoadedPolicy),
+        )
+    };
+    let federation =
+        Federation::new(vec![make(), make()], Box::new(SpilloverPolicy)).with_default_quota(12);
+    let report = Engine::over(federation).run(&jobs);
+    let fed = report.federation.as_ref().expect("federated run");
+    let parsed = parse_json(&to_json(&report)).unwrap();
+    let block = parsed.get("federation").expect("federation block present");
+    assert_eq!(block.get("policy").unwrap().as_str(), Some("spillover"));
+    assert_eq!(
+        block.get("spillovers").unwrap().as_f64(),
+        Some(fed.spillovers as f64)
+    );
+    assert_eq!(
+        block.get("quota_holds").unwrap().as_f64(),
+        Some(fed.quota_holds as f64)
+    );
+    let clusters = block.get("clusters").unwrap().as_array().unwrap();
+    assert_eq!(clusters.len(), 2);
+    for (json, c) in clusters.iter().zip(&fed.clusters) {
+        assert_eq!(
+            json.get("first_server").unwrap().as_f64(),
+            Some(c.first_server as f64)
+        );
+        assert_eq!(
+            json.get("jobs_completed").unwrap().as_f64(),
+            Some(c.jobs_completed as f64)
+        );
+        for key in [
+            "machine",
+            "servers",
+            "gpu_count",
+            "jobs_routed",
+            "spill_ins",
+            "gpu_seconds",
+        ] {
+            assert!(json.get(key).is_some(), "cluster object lost {key:?}");
+        }
+    }
+    let tenants = block.get("tenants").unwrap().as_array().unwrap();
+    assert_eq!(tenants.len(), 3);
+    for (json, t) in tenants.iter().zip(&fed.tenants) {
+        assert_eq!(json.get("tenant").unwrap().as_f64(), Some(t.tenant as f64));
+        assert_eq!(json.get("quota_gpus").unwrap().as_f64(), Some(12.0));
+        assert_eq!(
+            json.get("jobs_completed").unwrap().as_f64(),
+            Some(t.jobs_completed as f64)
+        );
+        for key in ["peak_gpus", "quota_holds", "gpu_seconds"] {
+            assert!(json.get(key).is_some(), "tenant object lost {key:?}");
+        }
+    }
+    // Completion-side counters sum to the run: every record landed in
+    // exactly one cluster and belongs to exactly one tenant.
+    let by_cluster: usize = fed.clusters.iter().map(|c| c.jobs_completed).sum();
+    let by_tenant: usize = fed.tenants.iter().map(|t| t.jobs_completed).sum();
+    assert_eq!(by_cluster, report.records.len());
+    assert_eq!(by_tenant, report.records.len());
 }
 
 #[test]

@@ -328,6 +328,32 @@ impl MapaAllocator {
         }))
     }
 
+    /// Adopts an allocation decided elsewhere: marks `gpus` as held by
+    /// `job_id` without running policy selection. This is how an agent
+    /// replays externally-known occupancy — on-disk leases, or GPUs a
+    /// hardware probe observed busy under workloads the ledger does not
+    /// know about — so that subsequent [`MapaAllocator::try_allocate`]
+    /// calls decide against the machine's true state. Adopted jobs are
+    /// ordinary active jobs afterwards (releasable, evictable) with
+    /// priority 0 and no bandwidth-sensitivity annotation.
+    ///
+    /// # Errors
+    /// [`AllocatorError::State`] if the id is already active or any GPU
+    /// is out of range, duplicated, or busy. State is unchanged on error.
+    pub fn adopt(&mut self, job_id: u64, gpus: &[usize]) -> Result<(), AllocatorError> {
+        self.state.allocate(job_id, gpus)?;
+        self.alloc_seq += 1;
+        self.active.insert(
+            job_id,
+            ActiveJob {
+                priority: 0,
+                bandwidth_sensitive: false,
+                seq: self.alloc_seq,
+            },
+        );
+        Ok(())
+    }
+
     /// Scores a hypothetical allocation of `gpus` to `job` against the
     /// current state, without allocating.
     #[must_use]

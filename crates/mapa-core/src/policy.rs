@@ -436,6 +436,32 @@ pub fn paper_policies() -> Vec<Box<dyn AllocationPolicy>> {
     ]
 }
 
+/// Names accepted by [`allocation_policy_by_name`], in documentation
+/// order (canonical spellings; the lookup also accepts the common
+/// unhyphenated variants).
+pub const ALLOCATION_POLICY_NAMES: [&str; 5] = [
+    "baseline",
+    "topo-aware",
+    "greedy",
+    "preserve",
+    "effbw-greedy",
+];
+
+/// Resolves an allocation policy from its CLI spelling (what
+/// `mapa-sched --policy`, campaign grids, and the agent accept).
+/// Case-insensitive; returns `None` for unknown names.
+#[must_use]
+pub fn allocation_policy_by_name(name: &str) -> Option<Box<dyn AllocationPolicy>> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Some(Box::new(BaselinePolicy)),
+        "topo-aware" | "topoaware" => Some(Box::new(TopoAwarePolicy)),
+        "greedy" => Some(Box::new(GreedyPolicy)),
+        "preserve" | "preservation" => Some(Box::new(PreservePolicy)),
+        "effbw-greedy" | "effbwgreedy" => Some(Box::new(EffBwGreedyPolicy)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -377,37 +377,6 @@ impl VirtualTopology {
     }
 }
 
-/// Splits physical GPU `gpu` of `topology` into `slices` virtual GPUs.
-///
-/// Virtual vertex ids: the physical GPUs keep their relative order; GPU
-/// `gpu` expands in place into `slices` consecutive ids. The returned map
-/// gives, for every new vertex, the physical GPU it lives on.
-///
-/// # Panics
-/// Panics if `gpu` is out of range or `slices` is 0 or exceeds 7 (MIG's
-/// hardware limit).
-#[deprecated(
-    since = "0.8.0",
-    note = "use PartitionPlan::new().split(gpu, slices).apply(&topology)"
-)]
-#[must_use]
-pub fn partition_gpu(
-    topology: &Topology,
-    gpu: usize,
-    slices: usize,
-    bandwidth: SliceBandwidth,
-) -> (Topology, Vec<usize>) {
-    assert!(gpu < topology.gpu_count(), "GPU {gpu} out of range");
-    let virt = PartitionPlan::new()
-        .with_bandwidth(bandwidth)
-        .split(gpu, slices)
-        .apply(topology);
-    let phys = (0..virt.slice_map().vertex_count())
-        .map(|v| virt.slice_map().physical_of(v))
-        .collect();
-    (virt.into_topology(), phys)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,20 +485,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn shim_matches_plan_expansion() {
-        // The deprecated single-GPU call is exactly a one-split plan —
-        // the only remaining exercise of the old entry point.
+    fn one_split_plan_expands_in_place() {
+        // A single-GPU split (what the removed `partition_gpu` shim
+        // wrapped): GPU 3 expands into 4 consecutive vertices, all other
+        // GPUs keep relative order, under both bandwidth modes.
         let dgx = machines::dgx1_v100();
         for bw in [SliceBandwidth::Shared, SliceBandwidth::Degraded] {
-            let (old_topo, old_phys) = partition_gpu(&dgx, 3, 4, bw);
-            let plan = PartitionPlan::new().with_bandwidth(bw).split(3, 4);
-            let virt = plan.apply(&dgx);
-            assert_eq!(virt.topology(), &old_topo);
-            let phys: Vec<usize> = (0..virt.slice_map().vertex_count())
-                .map(|v| virt.slice_map().physical_of(v))
-                .collect();
-            assert_eq!(phys, old_phys);
+            let (topo, phys) = split_one(&dgx, 3, 4, bw);
+            assert_eq!(topo.gpu_count(), 11);
+            assert_eq!(&phys[..3], &[0, 1, 2]);
+            assert_eq!(&phys[3..7], &[3, 3, 3, 3]);
+            assert_eq!(&phys[7..], &[4, 5, 6, 7]);
         }
     }
 

@@ -1,0 +1,290 @@
+//! `mapa-agent` — the real-hardware actuation front end.
+//!
+//! ```text
+//! mapa-agent probe    [--probe smi|fake:MACHINE] [--json FILE]
+//! mapa-agent status   [--probe ...] [--state-dir DIR] [--json FILE]
+//! mapa-agent allocate --gpus N [--probe ...] [--state-dir DIR]
+//!                     [--policy NAME] [--tag TEXT] [--json FILE]
+//! mapa-agent release  --lease ID [--state-dir DIR]
+//! ```
+//!
+//! The agent probes the machine (by default through `nvidia-smi`; with
+//! `--probe fake:MACHINE` through the deterministic fake, so everything
+//! works offline), maps what it sees onto a MAPA machine description,
+//! places the request with the same allocator the simulator uses, and
+//! actuates by printing a `CUDA_VISIBLE_DEVICES` line and recording a
+//! lease in the lockfile-coordinated state directory. Concurrent agents
+//! pointed at one `--state-dir` never double-book a GPU.
+
+use mapa::agent::{Agent, AllocateRequest, FakeProbe, GpuProbe, SmiProbe, StateDir};
+use mapa::report::{agent_placement_to_json, agent_status_to_json};
+use mapa::topology::machines;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  mapa-agent probe    [--probe smi|fake:MACHINE] [--json FILE]
+  mapa-agent status   [--probe smi|fake:MACHINE] [--state-dir DIR] [--json FILE]
+  mapa-agent allocate --gpus N [--probe smi|fake:MACHINE] [--state-dir DIR]
+                      [--policy NAME] [--tag TEXT] [--json FILE]
+  mapa-agent release  --lease ID [--state-dir DIR]
+
+probes:   smi (default; parses `nvidia-smi` output) or fake:MACHINE for
+          any built-in machine, e.g. fake:dgx-1-v100 — fully offline
+policies: baseline | topo-aware | greedy | preserve | effbw-greedy
+          (default effbw-greedy)
+state:    --state-dir defaults to .mapa-agent; all agents coordinating
+          one machine must share it";
+
+/// Either probe backend behind one seam.
+enum AnyProbe {
+    Smi(SmiProbe),
+    Fake(FakeProbe),
+}
+
+impl GpuProbe for AnyProbe {
+    fn source(&self) -> String {
+        match self {
+            AnyProbe::Smi(p) => p.source(),
+            AnyProbe::Fake(p) => p.source(),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<mapa::agent::ProbeSnapshot, mapa::agent::ProbeError> {
+        match self {
+            AnyProbe::Smi(p) => p.snapshot(),
+            AnyProbe::Fake(p) => p.snapshot(),
+        }
+    }
+}
+
+fn resolve_probe(spec: &str) -> Result<AnyProbe, String> {
+    if spec == "smi" {
+        return Ok(AnyProbe::Smi(SmiProbe::new()));
+    }
+    let Some(machine_name) = spec.strip_prefix("fake:") else {
+        return Err(format!(
+            "unknown probe '{spec}' (expected smi or fake:MACHINE)"
+        ));
+    };
+    let norm = |s: &str| {
+        s.chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase()
+    };
+    let machine = machines::all_machines()
+        .into_iter()
+        .find(|m| norm(m.name()) == norm(machine_name))
+        .ok_or_else(|| {
+            let names: Vec<String> = machines::all_machines()
+                .iter()
+                .map(|m| {
+                    m.name()
+                        .chars()
+                        .map(|c| {
+                            if c.is_alphanumeric() {
+                                c.to_ascii_lowercase()
+                            } else {
+                                '-'
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            format!(
+                "unknown fake machine '{machine_name}' (try one of: {})",
+                names.join(", ")
+            )
+        })?;
+    let model = if machine.name().contains("P100") {
+        "Tesla P100-SXM2-16GB"
+    } else {
+        "Tesla V100-SXM2-16GB"
+    };
+    Ok(AnyProbe::Fake(FakeProbe::from_machine(
+        &machine, model, 16_160,
+    )))
+}
+
+#[derive(Default)]
+struct CliOpts {
+    probe: Option<String>,
+    state_dir: Option<String>,
+    policy: Option<String>,
+    tag: Option<String>,
+    json: Option<String>,
+    gpus: Option<usize>,
+    lease: Option<u64>,
+}
+
+fn parse_opts(args: &[String]) -> Result<CliOpts, String> {
+    let mut opts = CliOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--probe" => opts.probe = Some(take("--probe")?),
+            "--state-dir" => opts.state_dir = Some(take("--state-dir")?),
+            "--policy" => opts.policy = Some(take("--policy")?),
+            "--tag" => opts.tag = Some(take("--tag")?),
+            "--json" => opts.json = Some(take("--json")?),
+            "--gpus" => {
+                opts.gpus = Some(
+                    take("--gpus")?
+                        .parse()
+                        .map_err(|_| "--gpus: invalid value".to_string())?,
+                );
+            }
+            "--lease" => {
+                opts.lease = Some(
+                    take("--lease")?
+                        .parse()
+                        .map_err(|_| "--lease: invalid value".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_agent(opts: &CliOpts) -> Result<Agent<AnyProbe>, String> {
+    let probe = resolve_probe(opts.probe.as_deref().unwrap_or("smi"))?;
+    let state = StateDir::new(opts.state_dir.as_deref().unwrap_or(".mapa-agent"))
+        .map_err(|e| e.to_string())?;
+    let agent = Agent::new(probe, state);
+    match &opts.policy {
+        Some(name) => agent.with_policy(name).map_err(|e| e.to_string()),
+        None => Ok(agent),
+    }
+}
+
+fn write_artifact(path: &Option<String>, json: &str) -> Result<(), String> {
+    if let Some(path) = path {
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => return Err("no subcommand".to_string()),
+    };
+    let opts = parse_opts(rest)?;
+    match cmd {
+        "probe" => cmd_probe(&opts),
+        "status" => cmd_status(&opts),
+        "allocate" => cmd_allocate(&opts),
+        "release" => cmd_release(&opts),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn cmd_probe(opts: &CliOpts) -> Result<(), String> {
+    let mut agent = build_agent(opts)?;
+    let (snapshot, machine) = agent.probe_machine().map_err(|e| e.to_string())?;
+    println!("host {}: {} GPUs", snapshot.hostname, snapshot.gpu_count());
+    match &machine.matched_profile {
+        Some(p) => println!("machine: {p} (matched built-in profile)"),
+        None => println!("machine: {} (synthesized)", machine.topology.name()),
+    }
+    for gpu in &snapshot.gpus {
+        println!(
+            "  GPU{}: {}, {} MiB used / {} MiB, util {}%, {} process(es)",
+            gpu.index,
+            gpu.model,
+            gpu.memory_used_mib,
+            gpu.memory_total_mib,
+            gpu.utilization_pct,
+            gpu.processes.len()
+        );
+    }
+    // The probe artifact is a status-shaped report (ledger will be
+    // empty/absent); one schema for CI to check on every subcommand.
+    if opts.json.is_some() {
+        let status = build_agent(opts)?.status().map_err(|e| e.to_string())?;
+        write_artifact(&opts.json, &agent_status_to_json(&status))?;
+    }
+    Ok(())
+}
+
+fn cmd_status(opts: &CliOpts) -> Result<(), String> {
+    let mut agent = build_agent(opts)?;
+    let status = agent.status().map_err(|e| e.to_string())?;
+    let profile = status
+        .machine
+        .matched_profile
+        .clone()
+        .unwrap_or_else(|| format!("{} (synthesized)", status.machine.topology.name()));
+    println!("host {} via {}: {profile}", status.hostname, status.source);
+    for gpu in &status.gpus {
+        let lease = gpu
+            .leased_by
+            .map_or_else(|| "-".to_string(), |id| format!("lease {id}"));
+        println!("  GPU{}: {:<9} {:?}", gpu.index, lease, gpu.occupancy);
+    }
+    println!(
+        "free: {:?}; {} lease(s)",
+        status.free_gpus(),
+        status.leases.len()
+    );
+    for lease in &status.leases {
+        println!(
+            "  lease {} pid {} gpus {:?} tag '{}'",
+            lease.id, lease.pid, lease.gpus, lease.tag
+        );
+    }
+    write_artifact(&opts.json, &agent_status_to_json(&status))
+}
+
+fn cmd_allocate(opts: &CliOpts) -> Result<(), String> {
+    let gpus = opts.gpus.ok_or("allocate needs --gpus N")?;
+    let mut agent = build_agent(opts)?;
+    let mut request = AllocateRequest::new(gpus);
+    if let Some(tag) = &opts.tag {
+        request = request.with_tag(tag.clone());
+    }
+    let placement = agent.allocate(&request).map_err(|e| e.to_string())?;
+    println!(
+        "lease {} on {} via {} policy: GPUs {:?}",
+        placement.lease_id,
+        placement
+            .machine
+            .matched_profile
+            .as_deref()
+            .unwrap_or(placement.machine.topology.name()),
+        placement.policy,
+        placement.gpus
+    );
+    println!("CUDA_VISIBLE_DEVICES={}", placement.cuda_visible_devices);
+    write_artifact(&opts.json, &agent_placement_to_json(&placement))
+}
+
+fn cmd_release(opts: &CliOpts) -> Result<(), String> {
+    let lease = opts.lease.ok_or("release needs --lease ID")?;
+    // Release never probes hardware; any probe backend satisfies the
+    // type, so hand it the offline fake.
+    let state = StateDir::new(opts.state_dir.as_deref().unwrap_or(".mapa-agent"))
+        .map_err(|e| e.to_string())?;
+    let mut agent = Agent::new(AnyProbe::Fake(FakeProbe::dgx1_v100()), state);
+    let gpus = agent.release(lease).map_err(|e| e.to_string())?;
+    println!("released lease {lease}: GPUs {gpus:?}");
+    Ok(())
+}

@@ -15,10 +15,8 @@
 
 use crate::report::json_escape;
 use mapa_cluster::{server_policy_by_name, Cluster, DispatchMode, DEFAULT_SHARD_QUEUE_DEPTH};
-use mapa_core::policy::{
-    AllocationPolicy, BaselinePolicy, EffBwGreedyPolicy, GreedyPolicy, PreservePolicy,
-    TopoAwarePolicy,
-};
+pub use mapa_core::policy::allocation_policy_by_name;
+use mapa_core::policy::BaselinePolicy;
 use mapa_isomorph::WorkerPool;
 use mapa_model::EffBwModel;
 use mapa_sim::campaign::{run_campaign, CampaignSpec, CellSummary};
@@ -27,20 +25,6 @@ use mapa_topology::{PartitionPlan, Topology};
 use mapa_workloads::generator::{self, JobMixConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
-
-/// The paper's allocation policies by CLI name (the same spellings
-/// `mapa-sched --policy` accepts).
-#[must_use]
-pub fn allocation_policy_by_name(name: &str) -> Option<Box<dyn AllocationPolicy>> {
-    match name.to_ascii_lowercase().as_str() {
-        "baseline" => Some(Box::new(BaselinePolicy)),
-        "topo-aware" | "topoaware" => Some(Box::new(TopoAwarePolicy)),
-        "greedy" => Some(Box::new(GreedyPolicy)),
-        "preserve" | "preservation" => Some(Box::new(PreservePolicy)),
-        "effbw-greedy" | "effbwgreedy" => Some(Box::new(EffBwGreedyPolicy)),
-        _ => None,
-    }
-}
 
 /// One flattened campaign cell: a complete cluster configuration.
 #[derive(Debug, Clone, PartialEq)]

@@ -37,6 +37,7 @@
 pub mod campaign;
 pub mod report;
 
+pub use mapa_agent as agent;
 pub use mapa_cluster as cluster;
 pub use mapa_core as core;
 pub use mapa_graph as graph;
@@ -49,6 +50,10 @@ pub use mapa_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use mapa_agent::{
+        Agent, AgentError, AllocateRequest, FakeProbe, GpuProbe, IdlePolicy, MachineDescription,
+        Occupancy, Placement, ProbeSnapshot, SmiProbe, StateDir, StatusReport,
+    };
     pub use mapa_cluster::{
         dispatch_mode_by_name, federation_policy_by_name, migration_policy_by_name,
         server_policy_by_name, BestScorePolicy, Cluster, ClusterView, DispatchMode, Federation,
@@ -62,7 +67,7 @@ pub mod prelude {
     };
     pub use mapa_core::{
         preemption_policy_by_name, scoring, AllocationCache, AllocationOutcome, AllocatorConfig,
-        CacheStats, MapaAllocator, PreemptionPolicy,
+        CacheStats, MapaAllocator, PreemptionPolicy, ALLOCATION_POLICY_NAMES,
     };
     pub use mapa_graph::{Graph, PatternGraph, WeightedGraph};
     pub use mapa_isomorph::{default_threads, MatchOptions, Matcher, WorkerPool};

@@ -176,6 +176,119 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+fn agent_machine_json(machine: &mapa_agent::MachineDescription) -> String {
+    let profile = machine
+        .matched_profile
+        .as_deref()
+        .map_or_else(|| "null".to_string(), |p| format!("\"{}\"", json_escape(p)));
+    format!(
+        "{{\"name\": \"{}\", \"gpu_count\": {}, \"matched_profile\": {}, \
+         \"synthesized\": {}}}",
+        json_escape(machine.topology.name()),
+        machine.topology.gpu_count(),
+        profile,
+        machine.is_synthesized()
+    )
+}
+
+fn agent_occupancy_json(occupancy: &mapa_agent::Occupancy) -> String {
+    use mapa_agent::Occupancy;
+    match occupancy {
+        Occupancy::Idle => "{\"kind\": \"idle\"}".to_string(),
+        Occupancy::Utilized { pct } => {
+            format!("{{\"kind\": \"utilized\", \"pct\": {pct}}}")
+        }
+        Occupancy::GhostProcess { pid, memory_mib } => {
+            format!("{{\"kind\": \"ghost-process\", \"pid\": {pid}, \"memory_mib\": {memory_mib}}}")
+        }
+        Occupancy::MemoryHeld { mib } => {
+            format!("{{\"kind\": \"memory-held\", \"mib\": {mib}}}")
+        }
+    }
+}
+
+fn agent_lease_json(lease: &mapa_agent::Lease) -> String {
+    let gpus: Vec<String> = lease.gpus.iter().map(usize::to_string).collect();
+    format!(
+        "{{\"id\": {}, \"pid\": {}, \"created_unix\": {}, \"gpus\": [{}], \"tag\": \"{}\"}}",
+        lease.id,
+        lease.pid,
+        lease.created_unix,
+        gpus.join(", "),
+        json_escape(&lease.tag)
+    )
+}
+
+/// Serializes an agent [`StatusReport`](mapa_agent::StatusReport) to the
+/// `mapa-agent status --json` schema (what CI checks on the uploaded
+/// `AGENT_report.json` artifact).
+#[must_use]
+pub fn agent_status_to_json(status: &mapa_agent::StatusReport) -> String {
+    let gpus: Vec<String> = status
+        .gpus
+        .iter()
+        .map(|g| {
+            let leased = g
+                .leased_by
+                .map_or_else(|| "null".to_string(), |id| id.to_string());
+            format!(
+                "    {{\"index\": {}, \"leased_by\": {}, \"free\": {}, \"occupancy\": {}}}",
+                g.index,
+                leased,
+                g.is_free(),
+                agent_occupancy_json(&g.occupancy)
+            )
+        })
+        .collect();
+    let leases: Vec<String> = status
+        .leases
+        .iter()
+        .map(|l| format!("    {}", agent_lease_json(l)))
+        .collect();
+    let free: Vec<String> = status.free_gpus().iter().map(usize::to_string).collect();
+    format!(
+        "{{\n  \"schema\": \"mapa-agent-status-v1\",\n  \"source\": \"{}\",\n  \
+         \"hostname\": \"{}\",\n  \"machine\": {},\n  \"free_gpus\": [{}],\n  \
+         \"gpus\": [\n{}\n  ],\n  \"leases\": [{}{}]\n}}\n",
+        json_escape(&status.source),
+        json_escape(&status.hostname),
+        agent_machine_json(&status.machine),
+        free.join(", "),
+        gpus.join(",\n"),
+        if leases.is_empty() { "" } else { "\n" },
+        if leases.is_empty() {
+            String::new()
+        } else {
+            format!("{}\n  ", leases.join(",\n"))
+        }
+    )
+}
+
+/// Serializes an agent [`Placement`](mapa_agent::Placement) to the
+/// `mapa-agent allocate --json` schema.
+#[must_use]
+pub fn agent_placement_to_json(placement: &mapa_agent::Placement) -> String {
+    let gpus: Vec<String> = placement.gpus.iter().map(usize::to_string).collect();
+    format!(
+        "{{\n  \"schema\": \"mapa-agent-placement-v1\",\n  \"lease_id\": {},\n  \
+         \"gpus\": [{}],\n  \"cuda_visible_devices\": \"{}\",\n  \"policy\": \"{}\",\n  \
+         \"machine\": {},\n  \"score\": {{\"aggregated_bw\": {:.3}, \
+         \"predicted_eff_bw\": {:.3}, \"preserved_bw\": {:.3}, \
+         \"link_mix\": {{\"double_nvlink\": {}, \"single_nvlink\": {}, \"pcie\": {}}}}}\n}}\n",
+        placement.lease_id,
+        gpus.join(", "),
+        json_escape(&placement.cuda_visible_devices),
+        json_escape(&placement.policy),
+        agent_machine_json(&placement.machine),
+        placement.score.aggregated_bw,
+        placement.score.predicted_eff_bw,
+        placement.score.preserved_bw,
+        placement.score.link_mix.double_nvlink,
+        placement.score.link_mix.single_nvlink,
+        placement.score.link_mix.pcie
+    )
+}
+
 /// A parsed JSON value (the subset our reports use; no integer/float
 /// distinction — every number is an `f64`, exactly how the report reads
 /// them back).

@@ -1,0 +1,120 @@
+//! Differential test: the agent is a *front end*, not a second
+//! allocator. Probing a fake DGX-1 V100 must yield a machine
+//! description structurally identical to the built-in `mapa-topology`
+//! one, and agent placements must match a reference [`MapaAllocator`]
+//! driven with the identical job sequence on the built-in description —
+//! for all five allocation policies, across an interleaved
+//! allocate/release schedule.
+
+use mapa::agent::machine_from_snapshot;
+use mapa::prelude::*;
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mapa-agent-placement-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fake_dgx_probe_maps_to_the_builtin_description() {
+    let mut probe = FakeProbe::dgx1_v100();
+    let snapshot = mapa::agent::GpuProbe::snapshot(&mut probe).unwrap();
+    let desc = machine_from_snapshot(&snapshot).unwrap();
+    assert_eq!(desc.matched_profile.as_deref(), Some("DGX-1 V100"));
+    let builtin = machines::dgx1_v100();
+    // Structural identity is full equality here: a matched profile
+    // adopts the built-in description wholesale (name included).
+    assert_eq!(desc.topology, builtin);
+    for a in 0..8 {
+        for b in (a + 1)..8 {
+            assert_eq!(
+                desc.topology.link_type(a, b),
+                builtin.link_type(a, b),
+                "link {a}-{b}"
+            );
+        }
+        assert_eq!(desc.topology.socket_of(a), builtin.socket_of(a));
+    }
+}
+
+/// An interleaved allocate/release schedule: `Alloc(gpus)` claims,
+/// `Release(i)` drops the i-th still-live claim (in claim order).
+#[derive(Clone, Copy)]
+enum Step {
+    Alloc(usize),
+    Release(usize),
+}
+
+const SCHEDULE: &[Step] = &[
+    Step::Alloc(2),   // used 2
+    Step::Alloc(3),   // used 5
+    Step::Alloc(1),   // used 6
+    Step::Release(1), // drop the 3-GPU job: fragmentation appears (used 3)
+    Step::Alloc(4),   // used 7
+    Step::Release(0), // used 5
+    Step::Alloc(3),   // used 8 — machine saturated
+    Step::Release(2), // used 5
+    Step::Alloc(2),   // used 7
+    Step::Release(1), // used 3
+];
+
+#[test]
+fn agent_placements_match_the_reference_allocator_for_all_policies() {
+    for policy_name in ALLOCATION_POLICY_NAMES {
+        let dir = tmpdir(&format!("diff-{policy_name}"));
+        let state = StateDir::new(&dir).unwrap();
+        let mut agent = Agent::new(FakeProbe::dgx1_v100(), state)
+            .with_policy(policy_name)
+            .unwrap();
+        let mut reference = MapaAllocator::new(
+            machines::dgx1_v100(),
+            allocation_policy_by_name(policy_name).unwrap(),
+        );
+
+        // Mirror the agent's lease-id rule: the ledger generation
+        // counter advances on every allocate *and* every release, and a
+        // new lease takes generation + 1.
+        let mut generation = 0u64;
+        // Live claims in claim order: (lease id, gpus).
+        let mut live: Vec<(u64, Vec<usize>)> = Vec::new();
+
+        for (step_no, step) in SCHEDULE.iter().enumerate() {
+            match *step {
+                Step::Alloc(gpus) => {
+                    let request = AllocateRequest::new(gpus);
+                    let lease_id = generation + 1;
+                    let placement = agent.allocate(&request).unwrap_or_else(|e| {
+                        panic!("{policy_name} step {step_no}: agent failed: {e}")
+                    });
+                    assert_eq!(placement.lease_id, lease_id, "{policy_name} step {step_no}");
+                    let expected = reference
+                        .try_allocate(&request.to_job(lease_id))
+                        .unwrap()
+                        .unwrap_or_else(|| {
+                            panic!("{policy_name} step {step_no}: reference failed")
+                        });
+                    assert_eq!(
+                        placement.gpus, expected.gpus,
+                        "{policy_name} step {step_no}: agent and reference disagree"
+                    );
+                    generation = lease_id;
+                    live.push((lease_id, placement.gpus));
+                }
+                Step::Release(i) => {
+                    let (lease_id, gpus) = live.remove(i);
+                    let agent_released = agent.release(lease_id).unwrap();
+                    let reference_released = reference.release(lease_id).unwrap();
+                    assert_eq!(agent_released, gpus);
+                    assert_eq!(reference_released, gpus);
+                    generation += 1;
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
